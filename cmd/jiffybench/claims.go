@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/index"
+	"repro/internal/tsc"
+	"repro/internal/workload"
+)
+
+// runClaims measures the scalar claims of §4.3 that are not figure series:
+//
+//   - the batch-update speedup of Jiffy over CA-AVL and CA-SL with large
+//     random batches (paper: up to 4.9-7.4x at high thread counts);
+//   - the autoscaler's settled revision sizes (paper: ~35 entries under
+//     write-only load vs ~130 under a read-mostly mix);
+//   - revision-list lengths (paper: at most 3-4 revisions, usually 2).
+func runClaims(keyspace uint64, prefill int, duration time.Duration, seed uint64) {
+	fmt.Println("# §4.3 scalar claims")
+
+	// --- Batch-update speedup, write-only scenario, random 100-op batches.
+	cfg := harness.Config{
+		Mix:      workload.MixUpdateOnly,
+		Batch:    workload.BatchMode{Size: 100, Seq: false},
+		KeySpace: keyspace,
+		Prefill:  prefill,
+		Threads:  8,
+		Duration: duration,
+		Seed:     seed,
+	}
+	mops := map[string]float64{}
+	for _, name := range harness.BatchIndices {
+		idx := harness.NewIndexA(name)
+		harness.Prefill(idx, cfg, harness.KeyA, harness.ValA)
+		res := harness.Run(idx, cfg, harness.KeyA, harness.ValA)
+		mops[name] = res.TotalMops()
+		fmt.Printf("claim batch-rand-100 %s\n", res.Row())
+	}
+	if mops["ca-avl"] > 0 && mops["ca-sl"] > 0 {
+		fmt.Printf("claim speedup jiffy/ca-avl = %.2fx  jiffy/ca-sl = %.2fx  (paper: 4.9x / 6.1x at 96 threads)\n",
+			mops["jiffy"]/mops["ca-avl"], mops["jiffy"]/mops["ca-sl"])
+	}
+
+	// --- Autoscaler settled revision sizes.
+	for _, scenario := range []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"write-only", workload.MixUpdateOnly},
+		{"update-lookup", workload.MixUpdateLookup},
+	} {
+		j := index.NewJiffy[uint64, *harness.Payload]()
+		c := harness.Config{
+			Mix:      scenario.mix,
+			KeySpace: keyspace,
+			Prefill:  prefill,
+			Threads:  8,
+			Duration: duration * 4, // give the EMA time to settle
+			Seed:     seed,
+		}
+		harness.Prefill[uint64, *harness.Payload](j, c, harness.KeyA, harness.ValA)
+		harness.Run[uint64, *harness.Payload](j, c, harness.KeyA, harness.ValA)
+		st := j.M.Stats()
+		fmt.Printf("claim revision-size %-13s avg=%.1f entries (paper: ~35 write-only, ~130 read-mostly)\n",
+			scenario.name, st.AvgRevisionSize)
+		fmt.Printf("claim revision-list %-13s max=%d revisions (paper: at most 3-4, usually 2)\n",
+			scenario.name, st.MaxRevisionList)
+	}
+
+	// --- Version-oracle ablation: TSC-style clock vs shared atomic counter.
+	for _, oracle := range []string{"tsc", "counter"} {
+		opts := core.Options[uint64]{}
+		if oracle == "counter" {
+			opts.Clock = nil // set below to the contended counter
+		}
+		j := &index.Jiffy[uint64, *harness.Payload]{M: core.New[uint64, *harness.Payload](opts)}
+		if oracle == "counter" {
+			j = &index.Jiffy[uint64, *harness.Payload]{M: core.New[uint64, *harness.Payload](core.Options[uint64]{Clock: newCounterClock()})}
+		}
+		c := harness.Config{
+			Mix:      workload.MixUpdateOnly,
+			KeySpace: keyspace,
+			Prefill:  prefill,
+			Threads:  8,
+			Duration: duration,
+			Seed:     seed,
+		}
+		harness.Prefill[uint64, *harness.Payload](j, c, harness.KeyA, harness.ValA)
+		res := harness.Run[uint64, *harness.Payload](j, c, harness.KeyA, harness.ValA)
+		fmt.Printf("claim oracle-%-8s total=%.3f Mops/s (§3.2: the counter variant did not scale past 4-8 threads)\n",
+			oracle, res.TotalMops())
+	}
+}
+
+// newCounterClock returns the shared-atomic-counter version oracle for the
+// A2 ablation.
+func newCounterClock() tsc.Clock { return tsc.NewCounter() }

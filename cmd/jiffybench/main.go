@@ -1,0 +1,92 @@
+// Command jiffybench regenerates the paper's evaluation figures (§4): for a
+// chosen figure and row it sweeps every competitor index over the requested
+// thread counts and prints one throughput row per measurement point, in the
+// same units the paper reports (millions of basic operations per second;
+// a scan over n entries counts as n gets).
+//
+// Examples:
+//
+//	jiffybench -figure 5 -row simple                 # Fig. 5 top row
+//	jiffybench -figure 6 -row b100 -threads 1,2,4,8  # Fig. 6 bottom row
+//	jiffybench -figure 8 -row b10 -mix w             # one scenario only
+//	jiffybench -claims                               # §4.3 scalar claims
+//
+// The defaults are sized for a laptop-class machine; use -keyspace,
+// -prefill and -duration to approach the paper's 20M-key / 10M-entry
+// datasets on bigger hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "5", "figure to regenerate: 5, 6, 7, 8, 9 or 10")
+		row      = flag.String("row", "simple", "figure row: simple, b10 or b100")
+		threads  = flag.String("threads", "1,2,4,8", "comma-separated thread counts (paper: 8..96)")
+		mixes    = flag.String("mix", "w,ul,ms,ml", "scenarios: w (update-only), ul (update-lookup), ms (short scans), ml (long scans)")
+		indices  = flag.String("indices", "", "restrict to these indices (comma-separated; default: all for the row)")
+		keyspace = flag.Uint64("keyspace", 1<<18, "unique keys (paper: 20M)")
+		prefill  = flag.Int("prefill", 1<<17, "prefilled entries (paper: 10M)")
+		duration = flag.Duration("duration", 300*time.Millisecond, "measurement time per point")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		claims   = flag.Bool("claims", false, "measure the scalar claims of §4.3 instead of a figure")
+	)
+	flag.Parse()
+
+	if *claims {
+		runClaims(*keyspace, *prefill, *duration, *seed)
+		return
+	}
+
+	fig, ok := harness.Figures[*figure]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+	var ths []int
+	for _, s := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", s)
+			os.Exit(2)
+		}
+		ths = append(ths, n)
+	}
+	var only map[string]bool
+	if *indices != "" {
+		only = map[string]bool{}
+		for _, n := range strings.Split(*indices, ",") {
+			only[strings.TrimSpace(n)] = true
+		}
+	}
+	wantMix := map[string]bool{}
+	for _, m := range strings.Split(*mixes, ",") {
+		wantMix[strings.TrimSpace(m)] = true
+	}
+
+	base := harness.Config{
+		KeySpace: *keyspace,
+		Prefill:  *prefill,
+		Duration: *duration,
+		Seed:     *seed,
+	}
+	fmt.Printf("# figure %s row %s  keyspace=%d prefill=%d duration=%v\n",
+		fig.ID, *row, *keyspace, *prefill, *duration)
+	for _, mix := range workload.Mixes {
+		if !wantMix[mix.Name] {
+			continue
+		}
+		base.Mix = mix
+		harness.RunFigure(os.Stdout, fig, *row, ths, base, only)
+	}
+}

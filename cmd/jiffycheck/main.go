@@ -1,0 +1,184 @@
+// Command jiffycheck runs the repository's correctness batteries from the
+// command line: randomized linearizability checking (exhaustive-search
+// verification of small concurrent histories), snapshot-stability probes
+// and structural-invariant sweeps over the Jiffy index under stress.
+//
+//	jiffycheck                     # full battery, default sizes
+//	jiffycheck -runs 2000          # more random histories
+//	jiffycheck -stress 30s         # longer invariant stress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lincheck"
+)
+
+func main() {
+	var (
+		runs   = flag.Int("runs", 500, "random histories per linearizability battery")
+		stress = flag.Duration("stress", 5*time.Second, "duration of the structural stress phase")
+		seed   = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+	ok := true
+	ok = runLinBattery(*runs, *seed) && ok
+	ok = runSnapshotStability(*stress/2, *seed) && ok
+	ok = runStructuralStress(*stress, *seed) && ok
+	if !ok {
+		fmt.Println("FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("PASS")
+}
+
+type jiffyTarget struct{ m *core.Map[int, int] }
+
+func (t *jiffyTarget) Get(k int) (int, bool) { return t.m.Get(k) }
+func (t *jiffyTarget) Put(k, v int)          { t.m.Put(k, v) }
+func (t *jiffyTarget) Remove(k int) bool     { return t.m.Remove(k) }
+func (t *jiffyTarget) Batch(keys []int, vals []int, removes []bool) {
+	b := core.NewBatch[int, int](len(keys))
+	for i, k := range keys {
+		if removes[i] {
+			b.Remove(k)
+		} else {
+			b.Put(k, vals[i])
+		}
+	}
+	t.m.BatchUpdate(b)
+}
+
+func runLinBattery(runs int, seed uint64) bool {
+	fmt.Printf("linearizability: %d random histories (3 goroutines x 7 ops, batches on)... ", runs)
+	for i := 0; i < runs; i++ {
+		t := &jiffyTarget{m: core.New[int, int](core.Options[int]{FixedRevisionSize: 2})}
+		h := lincheck.Record(t, lincheck.RecordConfig{
+			Goroutines: 3, OpsPerG: 7, Keys: 4, Seed: seed + uint64(i), BatchFrac: 0.35,
+		})
+		if !lincheck.Check(h, nil) {
+			fmt.Printf("\n  NOT LINEARIZABLE at seed %d:\n  %+v\n", seed+uint64(i), h)
+			return false
+		}
+	}
+	fmt.Println("ok")
+	return true
+}
+
+func runSnapshotStability(d time.Duration, seed uint64) bool {
+	fmt.Printf("snapshot stability under update storm (%v)... ", d)
+	m := core.New[uint64, int](core.Options[uint64]{FixedRevisionSize: 8})
+	for i := 0; i < 1000; i++ {
+		m.Put(uint64(i), i)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, uint64(g)))
+			for i := 0; !stop.Load(); i++ {
+				k := uint64(rng.IntN(1500))
+				if rng.IntN(4) == 0 {
+					m.Remove(k)
+				} else {
+					m.Put(k, i)
+				}
+			}
+		}()
+	}
+	okAll := true
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		s := m.Snapshot()
+		sum1, n1 := scanSum(s)
+		sum2, n2 := scanSum(s)
+		s.Close()
+		if sum1 != sum2 || n1 != n2 {
+			fmt.Printf("\n  UNSTABLE SNAPSHOT: (%d,%d) then (%d,%d)\n", n1, sum1, n2, sum2)
+			okAll = false
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if okAll {
+		fmt.Println("ok")
+	}
+	return okAll
+}
+
+func scanSum(s *core.Snapshot[uint64, int]) (sum uint64, n int) {
+	s.All(func(k uint64, v int) bool {
+		sum += k*31 + uint64(v)
+		n++
+		return true
+	})
+	return
+}
+
+func runStructuralStress(d time.Duration, seed uint64) bool {
+	fmt.Printf("structural invariants after mixed stress (%v)... ", d)
+	m := core.New[uint64, int](core.Options[uint64]{FixedRevisionSize: 4})
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed+100, uint64(g)))
+			for i := 0; !stop.Load(); i++ {
+				k := uint64(rng.IntN(500))
+				switch rng.IntN(8) {
+				case 0, 1, 2:
+					m.Put(k, i)
+				case 3, 4:
+					m.Remove(k)
+				case 5:
+					b := core.NewBatch[uint64, int](8)
+					for j := 0; j < 8; j++ {
+						kk := uint64(rng.IntN(500))
+						if rng.IntN(3) == 0 {
+							b.Remove(kk)
+						} else {
+							b.Put(kk, i)
+						}
+					}
+					m.BatchUpdate(b)
+				case 6:
+					m.Get(k)
+				default:
+					n := 0
+					m.RangeFrom(k, func(uint64, int) bool { n++; return n < 64 })
+				}
+			}
+		}()
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+
+	// Quiescent invariants: strictly increasing node keys, sorted
+	// revisions inside node ranges, no pending operations.
+	errs := core.CheckInvariants(m)
+	if len(errs) > 0 {
+		fmt.Println()
+		for _, e := range errs {
+			fmt.Println("  INVARIANT VIOLATION:", e)
+		}
+		return false
+	}
+	st := m.Stats()
+	fmt.Printf("ok (%d nodes, %d entries, max revision list %d)\n", st.Nodes, st.Entries, st.MaxRevisionList)
+	return true
+}

@@ -1,0 +1,128 @@
+// Command jiffyplot renders jiffybench output files as ASCII bar charts, one
+// chart per (scenario, batch-mode, distribution, thread-count) group — a
+// quick visual of the figure shapes without leaving the terminal.
+//
+//	go run ./cmd/jiffyplot results/fig5_simple.txt
+//	go run ./cmd/jiffyplot -metric update results/fig6_b100.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type point struct {
+	fig, index, mix, batch, dist string
+	threads                      int
+	total, update                float64
+}
+
+func main() {
+	metric := flag.String("metric", "total", "total or update throughput")
+	width := flag.Int("width", 46, "bar width in characters")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: jiffyplot [-metric total|update] file...")
+		os.Exit(2)
+	}
+	var pts []point
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			if p, ok := parseRow(sc.Text()); ok {
+				pts = append(pts, p)
+			}
+		}
+		f.Close()
+	}
+	if len(pts) == 0 {
+		fmt.Fprintln(os.Stderr, "no benchmark rows found")
+		os.Exit(1)
+	}
+
+	groups := map[string][]point{}
+	var order []string
+	for _, p := range pts {
+		k := fmt.Sprintf("fig%s  %s %s %s  threads=%d", p.fig, p.mix, p.batch, p.dist, p.threads)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], p)
+	}
+	for _, k := range order {
+		g := groups[k]
+		sort.SliceStable(g, func(i, j int) bool { return value(g[i], *metric) > value(g[j], *metric) })
+		max := value(g[0], *metric)
+		fmt.Printf("\n%s  (%s Mops/s)\n", k, *metric)
+		for _, p := range g {
+			v := value(p, *metric)
+			n := 0
+			if max > 0 {
+				n = int(v / max * float64(*width))
+			}
+			fmt.Printf("  %-9s %8.3f %s\n", p.index, v, strings.Repeat("█", n))
+		}
+	}
+}
+
+// parseRow parses one harness row, e.g.
+//
+//	fig5   jiffy   w   simple   uniform   threads=8   total=  1.234 Mops/s update=  0.567 Mops/s
+func parseRow(line string) (point, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 10 || !strings.HasPrefix(fields[0], "fig") {
+		return point{}, false
+	}
+	p := point{
+		fig:   strings.TrimPrefix(fields[0], "fig"),
+		index: fields[1],
+		mix:   fields[2],
+		batch: fields[3],
+		dist:  fields[4],
+	}
+	for _, f := range fields[5:] {
+		switch {
+		case strings.HasPrefix(f, "threads="):
+			p.threads, _ = strconv.Atoi(strings.TrimPrefix(f, "threads="))
+		case strings.HasPrefix(f, "total="):
+			p.total = parseFloatField(fields, f, "total=")
+		case strings.HasPrefix(f, "update="):
+			p.update = parseFloatField(fields, f, "update=")
+		}
+	}
+	return p, p.threads > 0
+}
+
+// parseFloatField handles both "total=1.2" and the aligned "total=" "1.2"
+// split the harness produces.
+func parseFloatField(fields []string, f, prefix string) float64 {
+	s := strings.TrimPrefix(f, prefix)
+	if s != "" {
+		v, _ := strconv.ParseFloat(s, 64)
+		return v
+	}
+	for i, g := range fields {
+		if g == f && i+1 < len(fields) {
+			v, _ := strconv.ParseFloat(fields[i+1], 64)
+			return v
+		}
+	}
+	return 0
+}
+
+func value(p point, metric string) float64 {
+	if metric == "update" {
+		return p.update
+	}
+	return p.total
+}

@@ -1,0 +1,63 @@
+// Quickstart: the full Jiffy API surface in one small program — puts,
+// lookups, removes, an atomic batch update, a consistent snapshot and range
+// scans over it.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A Jiffy map is ready to use with zero configuration; every method
+	// is safe for concurrent use from any number of goroutines.
+	m := core.New[string, int]()
+
+	// Single-key updates.
+	m.Put("apple", 3)
+	m.Put("banana", 7)
+	m.Put("cherry", 2)
+	m.Remove("banana")
+
+	if v, ok := m.Get("apple"); ok {
+		fmt.Println("apple =", v)
+	}
+	if _, ok := m.Get("banana"); !ok {
+		fmt.Println("banana was removed")
+	}
+
+	// Atomic batch update: all operations become visible at one instant —
+	// no reader can ever observe the restock half-applied.
+	restock := core.NewBatch[string, int](3).
+		Put("apple", 10).
+		Put("banana", 10).
+		Remove("cherry")
+	m.BatchUpdate(restock)
+
+	// O(1) consistent snapshot: a frozen view of the map as of now.
+	snap := m.Snapshot()
+	defer snap.Close()
+
+	m.Put("apple", 999) // the snapshot will not see this
+
+	fmt.Println("--- snapshot scan ---")
+	snap.All(func(k string, v int) bool {
+		fmt.Printf("  %-6s = %d\n", k, v)
+		return true
+	})
+
+	if v, _ := snap.Get("apple"); v != 10 {
+		panic("snapshot drifted")
+	}
+	if v, _ := m.Get("apple"); v != 999 {
+		panic("live map lost an update")
+	}
+
+	// Bounded range scans run on an ephemeral snapshot.
+	fmt.Println("--- live range [a, c) ---")
+	m.Range("a", "c", func(k string, v int) bool {
+		fmt.Printf("  %-6s = %d\n", k, v)
+		return true
+	})
+}

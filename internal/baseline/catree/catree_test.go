@@ -1,0 +1,363 @@
+package catree
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/index"
+)
+
+var variants = map[string]Variant{"avl": AVL, "sl": SL, "imm": Imm}
+
+func TestContainersAgainstReference(t *testing.T) {
+	for name, v := range variants {
+		v := v
+		t.Run(name, func(t *testing.T) {
+			f := func(seed uint64) bool {
+				rng := rand.New(rand.NewPCG(seed, 2))
+				tr := New[uint64, int](v)
+				var c container[uint64, int] = tr.emptyContainer()
+				ref := map[uint64]int{}
+				for i := 0; i < 500; i++ {
+					k := uint64(rng.IntN(64))
+					switch rng.IntN(3) {
+					case 0:
+						var removed bool
+						c, removed = c.remove(k)
+						if _, want := ref[k]; removed != want {
+							return false
+						}
+						delete(ref, k)
+					case 1:
+						c = c.put(k, i)
+						ref[k] = i
+					default:
+						got, ok := c.get(k)
+						want, wantOK := ref[k]
+						if ok != wantOK || (ok && got != want) {
+							return false
+						}
+					}
+				}
+				if c.size() != len(ref) {
+					return false
+				}
+				keys, vals := c.entries()
+				for i, k := range keys {
+					if i > 0 && keys[i-1] >= k {
+						return false
+					}
+					if ref[k] != vals[i] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestContainerSplitJoin(t *testing.T) {
+	for name, v := range variants {
+		v := v
+		t.Run(name, func(t *testing.T) {
+			tr := New[uint64, int](v)
+			var c container[uint64, int] = tr.emptyContainer()
+			for i := 0; i < 100; i++ {
+				c = c.put(uint64(i), i)
+			}
+			l, r, mid := c.split()
+			if l.size()+r.size() != 100 {
+				t.Fatalf("split sizes %d+%d", l.size(), r.size())
+			}
+			lk, _ := l.entries()
+			rk, _ := r.entries()
+			if lk[len(lk)-1] >= mid || rk[0] != mid {
+				t.Fatalf("split boundary: %d | mid %d | %d", lk[len(lk)-1], mid, rk[0])
+			}
+			j := l.join(r)
+			if j.size() != 100 {
+				t.Fatalf("join size %d", j.size())
+			}
+			for i := 0; i < 100; i++ {
+				if got, ok := j.get(uint64(i)); !ok || got != i {
+					t.Fatalf("joined get(%d) = %d,%v", i, got, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestContainerAscendEarlyStop(t *testing.T) {
+	for name, v := range variants {
+		v := v
+		t.Run(name, func(t *testing.T) {
+			tr := New[uint64, int](v)
+			var c container[uint64, int] = tr.emptyContainer()
+			for i := 0; i < 50; i++ {
+				c = c.put(uint64(i*2), i)
+			}
+			var got []uint64
+			c.ascend(11, func(k uint64, _ int) bool {
+				got = append(got, k)
+				return len(got) < 5
+			})
+			if len(got) != 5 || got[0] != 12 {
+				t.Fatalf("ascend: %v", got)
+			}
+		})
+	}
+}
+
+func TestTreeSequentialReference(t *testing.T) {
+	for name, v := range variants {
+		v := v
+		t.Run(name, func(t *testing.T) {
+			f := func(seed uint64) bool {
+				rng := rand.New(rand.NewPCG(seed, 9))
+				tr := New[uint64, int](v)
+				ref := map[uint64]int{}
+				for i := 0; i < 600; i++ {
+					k := uint64(rng.IntN(128))
+					switch rng.IntN(3) {
+					case 0:
+						got := tr.Remove(k)
+						_, want := ref[k]
+						if got != want {
+							return false
+						}
+						delete(ref, k)
+					case 1:
+						tr.Put(k, i)
+						ref[k] = i
+					default:
+						got, ok := tr.Get(k)
+						want, wantOK := ref[k]
+						if ok != wantOK || (ok && got != want) {
+							return false
+						}
+					}
+				}
+				return tr.Len() == len(ref)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// forceSplits pushes the contention statistic up artificially by hammering
+// from several goroutines so the tree actually fans out.
+func TestTreeAdaptsUnderContention(t *testing.T) {
+	tr := New[uint64, int](AVL)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 11))
+			for i := 0; i < 5000; i++ {
+				tr.Put(uint64(rng.IntN(10000)), i)
+			}
+		}()
+	}
+	wg.Wait()
+	// Count leaves: a tree that never split has exactly one.
+	leaves := 0
+	var walk func(n *ctNode[uint64, int])
+	walk = func(n *ctNode[uint64, int]) {
+		if n == nil {
+			return
+		}
+		if !n.route {
+			leaves++
+			return
+		}
+		walk(n.left.Load())
+		walk(n.right.Load())
+	}
+	walk(tr.root.Load())
+	if leaves < 2 {
+		t.Logf("warning: no splits happened (leaves=%d); contention too low on this host", leaves)
+	}
+	for k := uint64(0); k < 10000; k++ {
+		tr.Get(k) // must not deadlock or crash
+	}
+}
+
+func TestTreeBatchUpdateAtomicSequential(t *testing.T) {
+	for name, v := range variants {
+		v := v
+		t.Run(name, func(t *testing.T) {
+			tr := New[uint64, int](v)
+			for i := 0; i < 200; i++ {
+				tr.Put(uint64(i), -1)
+			}
+			var ops []index.BatchOp[uint64, int]
+			for i := 0; i < 200; i += 4 {
+				ops = append(ops, index.BatchOp[uint64, int]{Key: uint64(i), Val: i})
+			}
+			ops = append(ops, index.BatchOp[uint64, int]{Key: 3, Remove: true})
+			tr.BatchUpdate(ops)
+			if _, ok := tr.Get(3); ok {
+				t.Fatal("batched remove ignored")
+			}
+			for i := 0; i < 200; i += 4 {
+				if got, _ := tr.Get(uint64(i)); got != i {
+					t.Fatalf("Get(%d) = %d", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestTreeBatchAtomicityConcurrent(t *testing.T) {
+	tr := New[uint64, int](AVL)
+	keys := []uint64{10, 2000, 4000, 6000, 8000}
+	for i := 0; i < 10000; i += 7 {
+		tr.Put(uint64(i), -1)
+	}
+	for _, k := range keys {
+		tr.Put(k, -1)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for st := g; ; st += 3 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ops := make([]index.BatchOp[uint64, int], len(keys))
+				for i, k := range keys {
+					ops[i] = index.BatchOp[uint64, int]{Key: k, Val: st}
+				}
+				tr.BatchUpdate(ops)
+			}
+		}()
+	}
+	for round := 0; round < 200; round++ {
+		var got []int
+		tr.RangeFrom(0, func(k uint64, v int) bool {
+			for _, bk := range keys {
+				if k == bk {
+					got = append(got, v)
+				}
+			}
+			return k <= keys[len(keys)-1]
+		})
+		if len(got) != len(keys) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("scan saw %d/%d batch keys", len(got), len(keys))
+		}
+		for _, v := range got[1:] {
+			if v != got[0] {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("torn batch: %v", got)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTreeConcurrentShardedReference(t *testing.T) {
+	for name, v := range variants {
+		v := v
+		t.Run(name, func(t *testing.T) {
+			tr := New[uint64, int](v)
+			const goroutines, ops, space = 8, 1500, 256
+			type final struct {
+				val     int
+				present bool
+			}
+			finals := make([]final, space)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewPCG(uint64(g), 17))
+					for i := 0; i < ops; i++ {
+						k := uint64(rng.IntN(space/goroutines))*goroutines + uint64(g)
+						switch rng.IntN(4) {
+						case 0:
+							tr.Remove(k)
+							finals[k] = final{}
+						case 1:
+							tr.Get(k)
+						default:
+							val := g*ops + i
+							tr.Put(k, val)
+							finals[k] = final{val, true}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			for k, want := range finals {
+				got, ok := tr.Get(uint64(k))
+				if ok != want.present || (ok && got != want.val) {
+					t.Fatalf("key %d: %d,%v want %d,%v", k, got, ok, want.val, want.present)
+				}
+			}
+		})
+	}
+}
+
+func TestTreeScanSortedUnderChurn(t *testing.T) {
+	tr := New[uint64, int](Imm)
+	for i := 0; i < 1000; i++ {
+		tr.Put(uint64(i), i)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(1, 19))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.Put(uint64(rng.IntN(1000)), i)
+		}
+	}()
+	for round := 0; round < 100; round++ {
+		var prev uint64
+		n := 0
+		tr.RangeFrom(0, func(k uint64, _ int) bool {
+			if n > 0 && k <= prev {
+				t.Errorf("scan unsorted: %d after %d", k, prev)
+				return false
+			}
+			prev = k
+			n++
+			return true
+		})
+		if n != 1000 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("scan saw %d/1000 stable keys", n)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,471 @@
+package catree
+
+import (
+	"cmp"
+	"math/rand/v2"
+	"sort"
+)
+
+// container is the per-leaf ordered collection. Mutable containers (AVL,
+// skip list) return themselves from put/remove; the immutable container
+// returns a fresh copy (the CA-imm variant of Sagonas & Winblad).
+// Containers are accessed only under the owning leaf's lock.
+type container[K cmp.Ordered, V any] interface {
+	get(key K) (V, bool)
+	put(key K, val V) container[K, V]
+	remove(key K) (container[K, V], bool)
+	size() int
+	// split halves the container; mid is the smallest key of the right
+	// half. size() must be >= 2.
+	split() (left, right container[K, V], mid K)
+	// join merges other (all keys strictly greater) into a container.
+	join(other container[K, V]) container[K, V]
+	// ascend visits entries with key >= lo in order until fn is false.
+	ascend(lo K, fn func(K, V) bool) bool
+	// entries returns all entries in ascending order (fresh slices).
+	entries() ([]K, []V)
+}
+
+// ---------------------------------------------------------------- AVL ----
+
+// avlNode is a node of the mutable AVL container (CA-AVL).
+type avlNode[K cmp.Ordered, V any] struct {
+	key         K
+	val         V
+	left, right *avlNode[K, V]
+	height      int
+}
+
+type avlContainer[K cmp.Ordered, V any] struct {
+	root *avlNode[K, V]
+	n    int
+}
+
+func newAVL[K cmp.Ordered, V any]() *avlContainer[K, V] { return &avlContainer[K, V]{} }
+
+func h[K cmp.Ordered, V any](n *avlNode[K, V]) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix[K cmp.Ordered, V any](n *avlNode[K, V]) *avlNode[K, V] {
+	n.height = 1 + max(h(n.left), h(n.right))
+	bf := h(n.left) - h(n.right)
+	switch {
+	case bf > 1:
+		if h(n.left.left) < h(n.left.right) {
+			n.left = rotL(n.left)
+		}
+		return rotR(n)
+	case bf < -1:
+		if h(n.right.right) < h(n.right.left) {
+			n.right = rotR(n.right)
+		}
+		return rotL(n)
+	}
+	return n
+}
+
+func rotL[K cmp.Ordered, V any](n *avlNode[K, V]) *avlNode[K, V] {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.height = 1 + max(h(n.left), h(n.right))
+	r.height = 1 + max(h(r.left), h(r.right))
+	return r
+}
+
+func rotR[K cmp.Ordered, V any](n *avlNode[K, V]) *avlNode[K, V] {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.height = 1 + max(h(n.left), h(n.right))
+	l.height = 1 + max(h(l.left), h(l.right))
+	return l
+}
+
+func (c *avlContainer[K, V]) get(key K) (V, bool) {
+	n := c.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+func (c *avlContainer[K, V]) put(key K, val V) container[K, V] {
+	var ins func(n *avlNode[K, V]) *avlNode[K, V]
+	added := false
+	ins = func(n *avlNode[K, V]) *avlNode[K, V] {
+		if n == nil {
+			added = true
+			return &avlNode[K, V]{key: key, val: val, height: 1}
+		}
+		switch {
+		case key < n.key:
+			n.left = ins(n.left)
+		case key > n.key:
+			n.right = ins(n.right)
+		default:
+			n.val = val
+			return n
+		}
+		return fix(n)
+	}
+	c.root = ins(c.root)
+	if added {
+		c.n++
+	}
+	return c
+}
+
+func (c *avlContainer[K, V]) remove(key K) (container[K, V], bool) {
+	removed := false
+	var del func(n *avlNode[K, V], key K) *avlNode[K, V]
+	del = func(n *avlNode[K, V], key K) *avlNode[K, V] {
+		if n == nil {
+			return nil
+		}
+		switch {
+		case key < n.key:
+			n.left = del(n.left, key)
+		case key > n.key:
+			n.right = del(n.right, key)
+		default:
+			removed = true
+			if n.left == nil {
+				return n.right
+			}
+			if n.right == nil {
+				return n.left
+			}
+			// Replace with the in-order successor.
+			s := n.right
+			for s.left != nil {
+				s = s.left
+			}
+			n.key, n.val = s.key, s.val
+			n.right = delMin(n.right)
+		}
+		return fix(n)
+	}
+	c.root = del(c.root, key)
+	if removed {
+		c.n--
+	}
+	return c, removed
+}
+
+// delMin removes the minimum node (whose key/val were already copied up).
+func delMin[K cmp.Ordered, V any](n *avlNode[K, V]) *avlNode[K, V] {
+	if n.left == nil {
+		return n.right
+	}
+	n.left = delMin(n.left)
+	return fix(n)
+}
+
+func (c *avlContainer[K, V]) size() int { return c.n }
+
+func (c *avlContainer[K, V]) entries() ([]K, []V) {
+	keys := make([]K, 0, c.n)
+	vals := make([]V, 0, c.n)
+	var walk func(n *avlNode[K, V])
+	walk = func(n *avlNode[K, V]) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		keys = append(keys, n.key)
+		vals = append(vals, n.val)
+		walk(n.right)
+	}
+	walk(c.root)
+	return keys, vals
+}
+
+func (c *avlContainer[K, V]) split() (container[K, V], container[K, V], K) {
+	keys, vals := c.entries()
+	mid := len(keys) / 2
+	return avlFromSorted(keys[:mid], vals[:mid]), avlFromSorted(keys[mid:], vals[mid:]), keys[mid]
+}
+
+func (c *avlContainer[K, V]) join(other container[K, V]) container[K, V] {
+	ok, ov := other.entries()
+	k, v := c.entries()
+	return avlFromSorted(append(k, ok...), append(v, ov...))
+}
+
+func (c *avlContainer[K, V]) ascend(lo K, fn func(K, V) bool) bool {
+	cont := true
+	var walk func(n *avlNode[K, V])
+	walk = func(n *avlNode[K, V]) {
+		if n == nil || !cont {
+			return
+		}
+		if n.key >= lo {
+			walk(n.left)
+			if !cont {
+				return
+			}
+			if !fn(n.key, n.val) {
+				cont = false
+				return
+			}
+		}
+		walk(n.right)
+	}
+	walk(c.root)
+	return cont
+}
+
+func avlFromSorted[K cmp.Ordered, V any](keys []K, vals []V) *avlContainer[K, V] {
+	var build func(lo, hi int) *avlNode[K, V]
+	build = func(lo, hi int) *avlNode[K, V] {
+		if lo >= hi {
+			return nil
+		}
+		mid := (lo + hi) / 2
+		n := &avlNode[K, V]{key: keys[mid], val: vals[mid]}
+		n.left = build(lo, mid)
+		n.right = build(mid+1, hi)
+		n.height = 1 + max(h(n.left), h(n.right))
+		return n
+	}
+	return &avlContainer[K, V]{root: build(0, len(keys)), n: len(keys)}
+}
+
+// ----------------------------------------------------------- skip list ----
+
+// slContainer is a single-threaded skip list container (CA-SL). It is only
+// touched under the leaf lock, so it needs no internal synchronization.
+type slContainer[K cmp.Ordered, V any] struct {
+	head *slNode[K, V] // sentinel with full-height tower
+	n    int
+	rng  *rand.PCG
+}
+
+type slNode[K cmp.Ordered, V any] struct {
+	key  K
+	val  V
+	next []*slNode[K, V]
+}
+
+const slMaxLevel = 12
+
+func newSL[K cmp.Ordered, V any]() *slContainer[K, V] {
+	c := &slContainer[K, V]{head: &slNode[K, V]{next: make([]*slNode[K, V], slMaxLevel)}}
+	c.rng = rand.NewPCG(0x5eed, 0xca7)
+	return c
+}
+
+func (c *slContainer[K, V]) randLevel() int {
+	lvl := 1
+	for lvl < slMaxLevel && c.rng.Uint64()&1 == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+func (c *slContainer[K, V]) findPreds(key K, preds []*slNode[K, V]) *slNode[K, V] {
+	x := c.head
+	for i := slMaxLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		preds[i] = x
+	}
+	return x.next[0]
+}
+
+func (c *slContainer[K, V]) get(key K) (V, bool) {
+	x := c.head
+	for i := slMaxLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	if n := x.next[0]; n != nil && n.key == key {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+func (c *slContainer[K, V]) put(key K, val V) container[K, V] {
+	var preds [slMaxLevel]*slNode[K, V]
+	n := c.findPreds(key, preds[:])
+	if n != nil && n.key == key {
+		n.val = val
+		return c
+	}
+	lvl := c.randLevel()
+	nn := &slNode[K, V]{key: key, val: val, next: make([]*slNode[K, V], lvl)}
+	for i := 0; i < lvl; i++ {
+		nn.next[i] = preds[i].next[i]
+		preds[i].next[i] = nn
+	}
+	c.n++
+	return c
+}
+
+func (c *slContainer[K, V]) remove(key K) (container[K, V], bool) {
+	var preds [slMaxLevel]*slNode[K, V]
+	n := c.findPreds(key, preds[:])
+	if n == nil || n.key != key {
+		return c, false
+	}
+	for i := 0; i < len(n.next); i++ {
+		if preds[i].next[i] == n {
+			preds[i].next[i] = n.next[i]
+		}
+	}
+	c.n--
+	return c, true
+}
+
+func (c *slContainer[K, V]) size() int { return c.n }
+
+func (c *slContainer[K, V]) entries() ([]K, []V) {
+	keys := make([]K, 0, c.n)
+	vals := make([]V, 0, c.n)
+	for x := c.head.next[0]; x != nil; x = x.next[0] {
+		keys = append(keys, x.key)
+		vals = append(vals, x.val)
+	}
+	return keys, vals
+}
+
+func slFromSorted[K cmp.Ordered, V any](keys []K, vals []V) *slContainer[K, V] {
+	c := newSL[K, V]()
+	// Insert in reverse so each insert is O(level) at the front.
+	for i := len(keys) - 1; i >= 0; i-- {
+		c.put(keys[i], vals[i])
+	}
+	return c
+}
+
+func (c *slContainer[K, V]) split() (container[K, V], container[K, V], K) {
+	keys, vals := c.entries()
+	mid := len(keys) / 2
+	return slFromSorted(keys[:mid], vals[:mid]), slFromSorted(keys[mid:], vals[mid:]), keys[mid]
+}
+
+func (c *slContainer[K, V]) join(other container[K, V]) container[K, V] {
+	ok, ov := other.entries()
+	k, v := c.entries()
+	return slFromSorted(append(k, ok...), append(v, ov...))
+}
+
+func (c *slContainer[K, V]) ascend(lo K, fn func(K, V) bool) bool {
+	x := c.head
+	for i := slMaxLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < lo {
+			x = x.next[i]
+		}
+	}
+	for n := x.next[0]; n != nil; n = n.next[0] {
+		if !fn(n.key, n.val) {
+			return false
+		}
+	}
+	return true
+}
+
+// ----------------------------------------------------------- immutable ----
+
+// immContainer is an immutable sorted-array container (CA-imm / LFCA): put
+// and remove return fresh copies, similar to a Jiffy revision without the
+// hash index.
+type immContainer[K cmp.Ordered, V any] struct {
+	keys []K
+	vals []V
+}
+
+func newImm[K cmp.Ordered, V any]() *immContainer[K, V] { return &immContainer[K, V]{} }
+
+func (c *immContainer[K, V]) find(key K) (int, bool) {
+	i := sort.Search(len(c.keys), func(i int) bool { return c.keys[i] >= key })
+	return i, i < len(c.keys) && c.keys[i] == key
+}
+
+func (c *immContainer[K, V]) get(key K) (V, bool) {
+	if i, ok := c.find(key); ok {
+		return c.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+func (c *immContainer[K, V]) put(key K, val V) container[K, V] {
+	i, found := c.find(key)
+	if found {
+		keys := append([]K(nil), c.keys...)
+		vals := append([]V(nil), c.vals...)
+		vals[i] = val
+		return &immContainer[K, V]{keys, vals}
+	}
+	keys := make([]K, len(c.keys)+1)
+	vals := make([]V, len(c.vals)+1)
+	copy(keys, c.keys[:i])
+	copy(vals, c.vals[:i])
+	keys[i], vals[i] = key, val
+	copy(keys[i+1:], c.keys[i:])
+	copy(vals[i+1:], c.vals[i:])
+	return &immContainer[K, V]{keys, vals}
+}
+
+func (c *immContainer[K, V]) remove(key K) (container[K, V], bool) {
+	i, found := c.find(key)
+	if !found {
+		return c, false
+	}
+	keys := make([]K, len(c.keys)-1)
+	vals := make([]V, len(c.vals)-1)
+	copy(keys, c.keys[:i])
+	copy(vals, c.vals[:i])
+	copy(keys[i:], c.keys[i+1:])
+	copy(vals[i:], c.vals[i+1:])
+	return &immContainer[K, V]{keys, vals}, true
+}
+
+func (c *immContainer[K, V]) size() int { return len(c.keys) }
+
+func (c *immContainer[K, V]) entries() ([]K, []V) {
+	return append([]K(nil), c.keys...), append([]V(nil), c.vals...)
+}
+
+func (c *immContainer[K, V]) split() (container[K, V], container[K, V], K) {
+	mid := len(c.keys) / 2
+	l := &immContainer[K, V]{c.keys[:mid:mid], c.vals[:mid:mid]}
+	r := &immContainer[K, V]{c.keys[mid:], c.vals[mid:]}
+	return l, r, c.keys[mid]
+}
+
+func (c *immContainer[K, V]) join(other container[K, V]) container[K, V] {
+	ok, ov := other.entries()
+	keys := make([]K, 0, len(c.keys)+len(ok))
+	vals := make([]V, 0, len(c.vals)+len(ov))
+	keys = append(append(keys, c.keys...), ok...)
+	vals = append(append(vals, c.vals...), ov...)
+	return &immContainer[K, V]{keys, vals}
+}
+
+func (c *immContainer[K, V]) ascend(lo K, fn func(K, V) bool) bool {
+	i := sort.Search(len(c.keys), func(i int) bool { return c.keys[i] >= lo })
+	for ; i < len(c.keys); i++ {
+		if !fn(c.keys[i], c.vals[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,35 @@
+package cslm
+
+import "testing"
+
+func BenchmarkPutSeq(b *testing.B) {
+	s := New[uint64, int]()
+	for i := 0; i < b.N; i++ {
+		s.Put(uint64(i%65536)*2, i)
+	}
+}
+func BenchmarkPutRemove(b *testing.B) {
+	s := New[uint64, int]()
+	for i := 0; i < 32768; i++ {
+		s.Put(uint64(i)*2, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i % 65536)
+		if i&1 == 0 {
+			s.Put(k, i)
+		} else {
+			s.Remove(k)
+		}
+	}
+}
+func BenchmarkGet(b *testing.B) {
+	s := New[uint64, int]()
+	for i := 0; i < 32768; i++ {
+		s.Put(uint64(i)*2, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(uint64(i % 65536))
+	}
+}

@@ -1,0 +1,388 @@
+// Package cslm implements a lock-free concurrent skip list modeled on
+// java.util.concurrent.ConcurrentSkipListMap (the "Java CSLM" baseline of
+// the paper's evaluation, §4.1), which in turn draws on Fraser's,
+// Fomitchev's and Sundell's designs.
+//
+// Deletion follows the CSLM protocol: a node dies by CASing its value to
+// nil (the linearization point), then a marker node is appended after it so
+// the unlink CAS cannot race with a concurrent insert, then predecessor
+// pointers are swung past node and marker. Lookups and scans are lock-free;
+// range scans are weakly consistent (no snapshot semantics — exactly the
+// capability gap versus Jiffy that the paper calls out).
+package cslm
+
+import (
+	"cmp"
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+type node[K cmp.Ordered, V any] struct {
+	key    K
+	marker bool
+	isHead bool
+	val    atomic.Pointer[V] // nil = deleted (or marker/head)
+	next   atomic.Pointer[node[K, V]]
+}
+
+func (n *node[K, V]) alive() bool { return n.val.Load() != nil }
+
+// SkipList is a lock-free ordered map. The zero value is not usable; call
+// New.
+type SkipList[K cmp.Ordered, V any] struct {
+	head     *node[K, V]
+	topIndex atomic.Pointer[indexHead[K, V]]
+}
+
+const maxLevel = 24
+
+type indexItem[K cmp.Ordered, V any] struct {
+	n     *node[K, V]
+	down  *indexItem[K, V]
+	right atomic.Pointer[indexItem[K, V]]
+}
+
+type indexHead[K cmp.Ordered, V any] struct {
+	right atomic.Pointer[indexItem[K, V]]
+	down  *indexHead[K, V]
+	level int
+}
+
+// New returns an empty skip list.
+func New[K cmp.Ordered, V any]() *SkipList[K, V] {
+	s := &SkipList[K, V]{head: &node[K, V]{isHead: true}}
+	s.topIndex.Store(&indexHead[K, V]{level: 1})
+	return s
+}
+
+// Name implements index.Named.
+func (s *SkipList[K, V]) Name() string { return "cslm" }
+
+// findPredecessor descends the index lanes to a base node with key < target
+// (or the head sentinel).
+func (s *SkipList[K, V]) findPredecessor(key K) *node[K, V] {
+	h := s.topIndex.Load()
+	var item *indexItem[K, V]
+	for {
+		var right *indexItem[K, V]
+		if item != nil {
+			right = item.right.Load()
+		} else {
+			right = h.right.Load()
+		}
+		for right != nil {
+			n := right.n
+			if !n.alive() {
+				after := right.right.Load()
+				if item != nil {
+					item.right.CompareAndSwap(right, after)
+					right = item.right.Load()
+				} else {
+					h.right.CompareAndSwap(right, after)
+					right = h.right.Load()
+				}
+				continue
+			}
+			if n.key >= key {
+				break
+			}
+			item = right
+			right = item.right.Load()
+		}
+		if item != nil {
+			if item.down == nil {
+				return item.n
+			}
+			item = item.down
+		} else {
+			if h.down == nil {
+				return s.head
+			}
+			h = h.down
+		}
+	}
+}
+
+// helpDelete advances the two-phase unlink of a logically deleted node n
+// whose predecessor is b and successor f (the CSLM protocol: append marker,
+// then splice past both).
+func (s *SkipList[K, V]) helpDelete(b, n, f *node[K, V]) {
+	if f != nil && f.marker {
+		b.next.CompareAndSwap(n, f.next.Load())
+		return
+	}
+	m := &node[K, V]{marker: true}
+	m.next.Store(f)
+	n.next.CompareAndSwap(f, m)
+}
+
+// Get returns the value stored for key.
+func (s *SkipList[K, V]) Get(key K) (V, bool) {
+	var zero V
+	for {
+		b := s.findPredecessor(key)
+		n := b.next.Load()
+		for {
+			if n == nil {
+				return zero, false
+			}
+			f := n.next.Load()
+			if n != b.next.Load() {
+				break // inconsistent read; retry from index
+			}
+			if n.marker {
+				break
+			}
+			v := n.val.Load()
+			if v == nil { // deleted: help unlink and retry
+				s.helpDelete(b, n, f)
+				break
+			}
+			if !b.isHead && b.val.Load() == nil {
+				break
+			}
+			if n.key == key {
+				return *v, true
+			}
+			if n.key > key {
+				return zero, false
+			}
+			b, n = n, f
+		}
+	}
+}
+
+// Put sets the value for key.
+func (s *SkipList[K, V]) Put(key K, val V) {
+	vp := &val
+	for {
+		b := s.findPredecessor(key)
+		n := b.next.Load()
+		for {
+			if n != nil {
+				f := n.next.Load()
+				if n != b.next.Load() {
+					break
+				}
+				if n.marker {
+					break
+				}
+				v := n.val.Load()
+				if v == nil {
+					s.helpDelete(b, n, f)
+					break
+				}
+				if !b.isHead && b.val.Load() == nil {
+					break
+				}
+				if n.key < key {
+					b, n = n, f
+					continue
+				}
+				if n.key == key {
+					if n.val.CompareAndSwap(v, vp) {
+						return
+					}
+					break
+				}
+			}
+			// Insert between b and n.
+			if !b.isHead && b.val.Load() == nil {
+				break
+			}
+			z := &node[K, V]{key: key}
+			z.val.Store(vp)
+			z.next.Store(n)
+			if b.next.CompareAndSwap(n, z) {
+				s.addIndex(z)
+				return
+			}
+			break
+		}
+	}
+}
+
+// Remove deletes key, reporting whether it was present.
+func (s *SkipList[K, V]) Remove(key K) bool {
+	for {
+		b := s.findPredecessor(key)
+		n := b.next.Load()
+		for {
+			if n == nil {
+				return false
+			}
+			f := n.next.Load()
+			if n != b.next.Load() {
+				break
+			}
+			if n.marker {
+				break
+			}
+			v := n.val.Load()
+			if v == nil {
+				s.helpDelete(b, n, f)
+				break
+			}
+			if !b.isHead && b.val.Load() == nil {
+				break
+			}
+			if n.key > key {
+				return false
+			}
+			if n.key < key {
+				b, n = n, f
+				continue
+			}
+			if !n.val.CompareAndSwap(v, nil) {
+				break // lost the race; re-examine
+			}
+			// Unlink eagerly: append marker then splice.
+			s.helpDelete(b, n, n.next.Load())
+			if fm := n.next.Load(); fm != nil && fm.marker {
+				b.next.CompareAndSwap(n, fm.next.Load())
+			}
+			return true
+		}
+	}
+}
+
+// RangeFrom visits entries with key >= lo ascending until fn returns false.
+// The iteration is weakly consistent, like CSLM's: concurrent updates may
+// or may not be observed, and no atomic snapshot is provided.
+func (s *SkipList[K, V]) RangeFrom(lo K, fn func(key K, val V) bool) {
+	n := s.findPredecessor(lo).next.Load()
+	for n != nil {
+		if n.marker {
+			n = n.next.Load()
+			continue
+		}
+		v := n.val.Load()
+		if v != nil && n.key >= lo {
+			if !fn(n.key, *v) {
+				return
+			}
+		}
+		n = n.next.Load()
+	}
+}
+
+// Len counts live entries (O(n); for tests).
+func (s *SkipList[K, V]) Len() int {
+	c := 0
+	for n := s.head.next.Load(); n != nil; n = n.next.Load() {
+		if !n.marker && n.alive() {
+			c++
+		}
+	}
+	return c
+}
+
+// lanePos addresses one position in an index lane: either a head tower slot
+// or an item, whichever the descent last passed at that level.
+type lanePos[K cmp.Ordered, V any] struct {
+	h  *indexHead[K, V]
+	it *indexItem[K, V]
+}
+
+func (p lanePos[K, V]) right() *indexItem[K, V] {
+	if p.it != nil {
+		return p.it.right.Load()
+	}
+	return p.h.right.Load()
+}
+
+func (p lanePos[K, V]) casRight(old, nu *indexItem[K, V]) bool {
+	if p.it != nil {
+		return p.it.right.CompareAndSwap(old, nu)
+	}
+	return p.h.right.CompareAndSwap(old, nu)
+}
+
+// walkLane advances a lane position to the rightmost point with key < target,
+// unlinking items whose nodes died.
+func walkLane[K cmp.Ordered, V any](p lanePos[K, V], key K) lanePos[K, V] {
+	for {
+		r := p.right()
+		if r == nil {
+			return p
+		}
+		if !r.n.alive() {
+			p.casRight(r, r.right.Load())
+			continue
+		}
+		if r.n.key >= key {
+			return p
+		}
+		p = lanePos[K, V]{it: r}
+	}
+}
+
+// addIndex links index lanes for a new node with probability 1/2 per level,
+// descending once from the top to collect per-level predecessors (O(log n),
+// as in ConcurrentSkipListMap).
+func (s *SkipList[K, V]) addIndex(n *node[K, V]) {
+	level := 1
+	for level < maxLevel && rand.Uint64()&1 == 0 {
+		level++
+	}
+	if level == 1 {
+		return
+	}
+	top := s.topIndex.Load()
+	for top.level < level {
+		nh := &indexHead[K, V]{down: top, level: top.level + 1}
+		if s.topIndex.CompareAndSwap(top, nh) {
+			top = nh
+		} else {
+			top = s.topIndex.Load()
+		}
+	}
+
+	// Collect predecessors at levels [2, level] in one descent.
+	preds := make([]lanePos[K, V], level+1) // preds[l] for lane l
+	h := s.topIndex.Load()
+	pos := lanePos[K, V]{h: h}
+	lvl := h.level
+	for {
+		pos = walkLane(pos, n.key)
+		if lvl <= level {
+			preds[lvl] = pos
+		}
+		if lvl == 2 {
+			break
+		}
+		if pos.it != nil {
+			pos = lanePos[K, V]{it: pos.it.down}
+		} else {
+			pos = lanePos[K, V]{h: pos.h.down}
+		}
+		lvl--
+	}
+
+	var down *indexItem[K, V]
+	for l := 2; l <= level; l++ {
+		it := &indexItem[K, V]{n: n, down: down}
+		p := preds[l]
+		ok := false
+		for attempt := 0; attempt < 4; attempt++ {
+			if !n.alive() {
+				return
+			}
+			p = walkLane(p, n.key)
+			r := p.right()
+			if r != nil && r.n == n {
+				ok = true
+				break
+			}
+			it.right.Store(r)
+			if p.casRight(r, it) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+		down = it
+	}
+}

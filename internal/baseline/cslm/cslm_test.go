@@ -1,0 +1,176 @@
+package cslm
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicPutGetRemove(t *testing.T) {
+	s := New[uint64, int]()
+	if _, ok := s.Get(1); ok {
+		t.Fatal("phantom on empty list")
+	}
+	s.Put(1, 10)
+	s.Put(2, 20)
+	s.Put(1, 11)
+	if v, ok := s.Get(1); !ok || v != 11 {
+		t.Fatalf("Get(1) = %d,%v", v, ok)
+	}
+	if !s.Remove(1) {
+		t.Fatal("Remove(1) failed")
+	}
+	if s.Remove(1) {
+		t.Fatal("double remove succeeded")
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("removed key still visible")
+	}
+	if v, ok := s.Get(2); !ok || v != 20 {
+		t.Fatalf("Get(2) = %d,%v", v, ok)
+	}
+}
+
+func TestSequentialReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		s := New[uint64, int]()
+		ref := map[uint64]int{}
+		for i := 0; i < 1000; i++ {
+			k := uint64(rng.IntN(128))
+			switch rng.IntN(3) {
+			case 0:
+				if got, want := s.Remove(k), mapHas(ref, k); got != want {
+					return false
+				}
+				delete(ref, k)
+			case 1:
+				s.Put(k, i)
+				ref[k] = i
+			default:
+				v, ok := s.Get(k)
+				want, wantOK := ref[k]
+				if ok != wantOK || (ok && v != want) {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mapHas(m map[uint64]int, k uint64) bool { _, ok := m[k]; return ok }
+
+func TestRangeFromSortedAndBounded(t *testing.T) {
+	s := New[uint64, int]()
+	for i := 0; i < 500; i += 2 {
+		s.Put(uint64(i), i)
+	}
+	var got []uint64
+	s.RangeFrom(100, func(k uint64, v int) bool {
+		got = append(got, k)
+		return len(got) < 50
+	})
+	if len(got) != 50 || got[0] != 100 {
+		t.Fatalf("n=%d first=%d", len(got), got[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("unsorted at %d", i)
+		}
+	}
+}
+
+func TestConcurrentShardedReference(t *testing.T) {
+	s := New[uint64, int]()
+	const goroutines, ops, space = 8, 3000, 256
+	type final struct {
+		val     int
+		present bool
+	}
+	finals := make([]final, space)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 3))
+			for i := 0; i < ops; i++ {
+				k := uint64(rng.IntN(space/goroutines))*goroutines + uint64(g)
+				switch rng.IntN(4) {
+				case 0:
+					s.Remove(k)
+					finals[k] = final{}
+				case 1:
+					s.Get(k)
+				default:
+					v := g*ops + i
+					s.Put(k, v)
+					finals[k] = final{v, true}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k, want := range finals {
+		got, ok := s.Get(uint64(k))
+		if ok != want.present || (ok && got != want.val) {
+			t.Fatalf("key %d: %d,%v want %d,%v", k, got, ok, want.val, want.present)
+		}
+	}
+}
+
+func TestConcurrentInsertDeleteSameKeys(t *testing.T) {
+	s := New[uint64, int]()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 5))
+			for i := 0; i < 3000; i++ {
+				k := uint64(rng.IntN(8))
+				if rng.IntN(2) == 0 {
+					s.Put(k, i)
+				} else {
+					s.Remove(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Structure must stay sorted and marker-free at quiescence.
+	var prev uint64
+	first := true
+	for n := s.head.next.Load(); n != nil; n = n.next.Load() {
+		if n.marker {
+			continue
+		}
+		if !n.alive() {
+			continue
+		}
+		if !first && n.key <= prev {
+			t.Fatalf("keys unsorted: %d after %d", n.key, prev)
+		}
+		prev, first = n.key, false
+	}
+}
+
+func TestLenCountsOnlyLive(t *testing.T) {
+	s := New[uint64, int]()
+	for i := 0; i < 100; i++ {
+		s.Put(uint64(i), i)
+	}
+	for i := 0; i < 100; i += 2 {
+		s.Remove(uint64(i))
+	}
+	if got := s.Len(); got != 50 {
+		t.Fatalf("Len = %d", got)
+	}
+}

@@ -1,0 +1,251 @@
+// Package kary implements a non-blocking k-ary search tree after Brown &
+// Helga (OPODIS '11) with the range-query support of Brown & Avni (OPODIS
+// '12): a leaf-oriented tree whose internal nodes have k-1 separator keys
+// and k children, leaves hold at most k-1 entries and are immutable —
+// updates replace a leaf wholesale with a CAS on the parent's child slot,
+// and an overflowing leaf is replaced by a new internal node with k
+// single-entry leaf children.
+//
+// Range scans collect the leaves covering the range and validate the
+// collection by re-traversal, restarting when a concurrent update is
+// detected — the paper's point of comparison with Jiffy's never-restarting
+// scans ("range scans undergo a validation phase ... and are restarted when
+// a concurrent update is detected", §2).
+package kary
+
+import (
+	"cmp"
+	"sort"
+	"sync/atomic"
+)
+
+// arity is k. Leaves hold at most arity-1 entries.
+const arity = 4
+
+const maxScanRetries = 1 << 20
+
+type kNode[K cmp.Ordered, V any] struct {
+	internal bool
+
+	// Internal: seps[i] separates children[i] (< seps[i]) from
+	// children[i+1] (>= seps[i]). nsep separators are in use.
+	seps     [arity - 1]K
+	nsep     int
+	children [arity]atomic.Pointer[kNode[K, V]]
+
+	// Leaf payload (immutable after publication).
+	keys []K
+	vals []V
+}
+
+// Tree is a non-blocking k-ary search tree.
+type Tree[K cmp.Ordered, V any] struct {
+	root atomic.Pointer[kNode[K, V]]
+}
+
+// New returns an empty tree.
+func New[K cmp.Ordered, V any]() *Tree[K, V] {
+	t := &Tree[K, V]{}
+	t.root.Store(&kNode[K, V]{})
+	return t
+}
+
+// Name implements index.Named.
+func (t *Tree[K, V]) Name() string { return "k-ary" }
+
+// childIndex returns which child of an internal node covers key.
+func (n *kNode[K, V]) childIndex(key K) int {
+	i := 0
+	for i < n.nsep && key >= n.seps[i] {
+		i++
+	}
+	return i
+}
+
+// traverse descends to the leaf covering key, returning the leaf, its
+// parent and child slot, and the leaf's exclusive upper bound (nil for the
+// rightmost leaf).
+func (t *Tree[K, V]) traverse(key K) (p *kNode[K, V], slot int, leaf *kNode[K, V], upper *K) {
+	cur := t.root.Load()
+	for cur.internal {
+		i := cur.childIndex(key)
+		if i < cur.nsep {
+			k := cur.seps[i]
+			upper = &k
+		}
+		p = cur
+		slot = i
+		cur = cur.children[i].Load()
+	}
+	return p, slot, cur, upper
+}
+
+func (l *kNode[K, V]) find(key K) (int, bool) {
+	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= key })
+	return i, i < len(l.keys) && l.keys[i] == key
+}
+
+// Get returns the value stored for key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	_, _, leaf, _ := t.traverse(key)
+	if i, ok := leaf.find(key); ok {
+		return leaf.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+func (t *Tree[K, V]) replace(p *kNode[K, V], slot int, old, nu *kNode[K, V]) bool {
+	if p == nil {
+		return t.root.CompareAndSwap(old, nu)
+	}
+	return p.children[slot].CompareAndSwap(old, nu)
+}
+
+// Put sets the value for key.
+func (t *Tree[K, V]) Put(key K, val V) {
+	for {
+		p, slot, leaf, _ := t.traverse(key)
+		i, found := leaf.find(key)
+		var keys []K
+		var vals []V
+		if found {
+			keys = append([]K(nil), leaf.keys...)
+			vals = append([]V(nil), leaf.vals...)
+			vals[i] = val
+		} else {
+			keys = make([]K, len(leaf.keys)+1)
+			vals = make([]V, len(leaf.vals)+1)
+			copy(keys, leaf.keys[:i])
+			copy(vals, leaf.vals[:i])
+			keys[i], vals[i] = key, val
+			copy(keys[i+1:], leaf.keys[i:])
+			copy(vals[i+1:], leaf.vals[i:])
+		}
+		var nu *kNode[K, V]
+		if len(keys) <= arity-1 {
+			nu = &kNode[K, V]{keys: keys, vals: vals}
+		} else {
+			// Overflow (exactly arity entries): grow downwards into
+			// an internal node with arity single-entry leaves.
+			nu = &kNode[K, V]{internal: true, nsep: arity - 1}
+			for j := 1; j < arity; j++ {
+				nu.seps[j-1] = keys[j]
+			}
+			for j := 0; j < arity; j++ {
+				nu.children[j].Store(&kNode[K, V]{
+					keys: keys[j : j+1 : j+1],
+					vals: vals[j : j+1 : j+1],
+				})
+			}
+		}
+		if t.replace(p, slot, leaf, nu) {
+			return
+		}
+	}
+}
+
+// Remove deletes key, reporting whether it was present.
+func (t *Tree[K, V]) Remove(key K) bool {
+	for {
+		p, slot, leaf, _ := t.traverse(key)
+		i, found := leaf.find(key)
+		if !found {
+			return false
+		}
+		keys := make([]K, len(leaf.keys)-1)
+		vals := make([]V, len(leaf.vals)-1)
+		copy(keys, leaf.keys[:i])
+		copy(vals, leaf.vals[:i])
+		copy(keys[i:], leaf.keys[i+1:])
+		copy(vals[i:], leaf.vals[i+1:])
+		if t.replace(p, slot, leaf, &kNode[K, V]{keys: keys, vals: vals}) {
+			return true
+		}
+	}
+}
+
+// scanWindow bounds one validated scan window, as in the lfca baseline.
+const scanWindow = 16384
+
+// RangeFrom visits entries with key >= lo ascending until fn returns false,
+// validating each window by re-traversal and restarting the window when a
+// concurrent update replaced any collected leaf.
+func (t *Tree[K, V]) RangeFrom(lo K, fn func(key K, val V) bool) {
+	type seg struct {
+		leaf  *kNode[K, V]
+		upper *K
+	}
+	cursor := lo
+	first := true
+	for {
+		var segs []seg
+		done := false
+		for attempt := 0; attempt < maxScanRetries; attempt++ {
+			segs = segs[:0]
+			entries := 0
+			c := cursor
+			done = false
+			for entries < scanWindow {
+				_, _, leaf, upper := t.traverse(c)
+				segs = append(segs, seg{leaf, upper})
+				entries += len(leaf.keys) + 1 // +1 so empty leaves make progress
+				if upper == nil {
+					done = true
+					break
+				}
+				c = *upper
+			}
+			valid := true
+			c = cursor
+			for _, s := range segs {
+				_, _, leaf, _ := t.traverse(c)
+				if leaf != s.leaf {
+					valid = false
+					break
+				}
+				if s.upper == nil {
+					break
+				}
+				c = *s.upper
+			}
+			if valid {
+				break
+			}
+		}
+		for _, s := range segs {
+			l := s.leaf
+			i := 0
+			if first {
+				i = sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= lo })
+			}
+			for ; i < len(l.keys); i++ {
+				if !fn(l.keys[i], l.vals[i]) {
+					return
+				}
+			}
+		}
+		if done || len(segs) == 0 {
+			return
+		}
+		first = false
+		cursor = *segs[len(segs)-1].upper
+	}
+}
+
+// Len counts entries (O(n); for tests).
+func (t *Tree[K, V]) Len() int {
+	n := 0
+	var walk func(nd *kNode[K, V])
+	walk = func(nd *kNode[K, V]) {
+		if nd.internal {
+			for i := 0; i <= nd.nsep; i++ {
+				walk(nd.children[i].Load())
+			}
+			return
+		}
+		n += len(nd.keys)
+	}
+	walk(t.root.Load())
+	return n
+}

@@ -1,0 +1,189 @@
+package kary
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	tr := New[uint64, int]()
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("phantom")
+	}
+	tr.Put(1, 10)
+	tr.Put(1, 11)
+	if v, ok := tr.Get(1); !ok || v != 11 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if !tr.Remove(1) || tr.Remove(1) {
+		t.Fatal("remove semantics")
+	}
+}
+
+func TestOverflowSplitsKWays(t *testing.T) {
+	tr := New[uint64, int]()
+	for i := 0; i < arity; i++ {
+		tr.Put(uint64(i*10), i)
+	}
+	root := tr.root.Load()
+	if !root.internal || root.nsep != arity-1 {
+		t.Fatalf("expected k-way split at root: internal=%v nsep=%d", root.internal, root.nsep)
+	}
+	for i := 0; i < arity; i++ {
+		if v, ok := tr.Get(uint64(i * 10)); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i*10, v, ok)
+		}
+	}
+}
+
+func TestSequentialReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 43))
+		tr := New[uint64, int]()
+		ref := map[uint64]int{}
+		for i := 0; i < 800; i++ {
+			k := uint64(rng.IntN(128))
+			switch rng.IntN(3) {
+			case 0:
+				got := tr.Remove(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			case 1:
+				tr.Put(k, i)
+				ref[k] = i
+			default:
+				v, ok := tr.Get(k)
+				want, wantOK := ref[k]
+				if ok != wantOK || (ok && v != want) {
+					return false
+				}
+			}
+		}
+		return tr.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanSortedCompleteEarlyStop(t *testing.T) {
+	tr := New[uint64, int]()
+	for i := 0; i < 1500; i += 3 {
+		tr.Put(uint64(i), i)
+	}
+	var got []uint64
+	tr.RangeFrom(9, func(k uint64, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 497 || got[0] != 9 {
+		t.Fatalf("n=%d first=%d", len(got), got[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("unsorted scan")
+		}
+	}
+	n := 0
+	tr.RangeFrom(0, func(uint64, int) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestConcurrentShardedReference(t *testing.T) {
+	tr := New[uint64, int]()
+	const goroutines, ops, space = 8, 2000, 256
+	type final struct {
+		val     int
+		present bool
+	}
+	finals := make([]final, space)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 47))
+			for i := 0; i < ops; i++ {
+				k := uint64(rng.IntN(space/goroutines))*goroutines + uint64(g)
+				switch rng.IntN(4) {
+				case 0:
+					tr.Remove(k)
+					finals[k] = final{}
+				case 1:
+					tr.Get(k)
+				default:
+					v := g*ops + i
+					tr.Put(k, v)
+					finals[k] = final{v, true}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k, want := range finals {
+		got, ok := tr.Get(uint64(k))
+		if ok != want.present || (ok && got != want.val) {
+			t.Fatalf("key %d: %d,%v want %d,%v", k, got, ok, want.val, want.present)
+		}
+	}
+}
+
+func TestScanUnderChurnSeesStableKeys(t *testing.T) {
+	tr := New[uint64, int]()
+	for i := uint64(0); i < 400; i += 4 {
+		tr.Put(i, int(i))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 53))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.IntN(400))
+				if k%4 == 0 {
+					continue
+				}
+				if rng.IntN(3) == 0 {
+					tr.Remove(k)
+				} else {
+					tr.Put(k, i)
+				}
+			}
+		}()
+	}
+	for round := 0; round < 150; round++ {
+		n := 0
+		tr.RangeFrom(0, func(k uint64, v int) bool {
+			if k%4 == 0 {
+				if v != int(k) {
+					t.Errorf("stable key %d drifted to %d", k, v)
+				}
+				n++
+			}
+			return true
+		})
+		if n != 100 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("round %d: scan saw %d/100 stable keys", round, n)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

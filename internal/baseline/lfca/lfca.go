@@ -1,0 +1,269 @@
+// Package lfca implements a lock-free contention-adapting search tree after
+// Winblad, Sagonas & Jonsson (SPAA '18), the "LFCA tree" baseline of the
+// paper's evaluation: immutable sorted-array leaf containers replaced
+// wholesale by CAS, with leaf granularity adapting to observed CAS
+// contention.
+//
+// Simplifications versus the published LFCA (documented in DESIGN.md):
+// low-contention joins — which require the original's join descriptors and
+// multi-phase helping — are omitted, so the tree refines but does not
+// coarsen; and range scans use optimistic collect-and-validate (two
+// traversals observing identical leaf pointers linearize the scan) instead
+// of the original's help-based range objects. Both choices preserve the
+// properties the evaluation measures: lock-free updates, linearizable
+// scans, and contention-driven granularity.
+package lfca
+
+import (
+	"cmp"
+	"sort"
+	"sync/atomic"
+)
+
+const (
+	statContended   = 250
+	statUncontended = -1
+	statSplitAt     = 1000
+	maxScanRetries  = 1 << 20
+
+	// maxLeafSize bounds a leaf regardless of contention: immutable
+	// containers are copied on every update, so an unbounded leaf built
+	// during a contention-free phase would make every later update O(n).
+	// The bound emulates the size equilibrium that CAS contention
+	// produces in the original on many-core hosts.
+	maxLeafSize = 128
+)
+
+// lfNode is a routing node (route) or an immutable leaf. Leaves are never
+// mutated after publication; every update installs a replacement.
+type lfNode[K cmp.Ordered, V any] struct {
+	route       bool
+	key         K
+	left, right atomic.Pointer[lfNode[K, V]]
+
+	// Leaf payload (immutable).
+	keys []K
+	vals []V
+	stat int
+}
+
+// Tree is a lock-free contention-adapting search tree.
+type Tree[K cmp.Ordered, V any] struct {
+	root atomic.Pointer[lfNode[K, V]]
+}
+
+// New returns an empty tree.
+func New[K cmp.Ordered, V any]() *Tree[K, V] {
+	t := &Tree[K, V]{}
+	t.root.Store(&lfNode[K, V]{})
+	return t
+}
+
+// Name implements index.Named.
+func (t *Tree[K, V]) Name() string { return "lfca" }
+
+// traverse returns the leaf responsible for key, its parent route (nil at
+// the root) and the leaf's exclusive upper bound (nil for the rightmost
+// leaf).
+func (t *Tree[K, V]) traverse(key K) (p, leaf *lfNode[K, V], upper *K) {
+	cur := t.root.Load()
+	for cur.route {
+		p = cur
+		if key < cur.key {
+			k := cur.key
+			upper = &k
+			cur = cur.left.Load()
+		} else {
+			cur = cur.right.Load()
+		}
+	}
+	return p, cur, upper
+}
+
+func (l *lfNode[K, V]) find(key K) (int, bool) {
+	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= key })
+	return i, i < len(l.keys) && l.keys[i] == key
+}
+
+// Get returns the value stored for key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	_, leaf, _ := t.traverse(key)
+	if i, ok := leaf.find(key); ok {
+		return leaf.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// replaceLeaf CASes old for nu in p's slot (or the root). Returns false on
+// contention.
+func (t *Tree[K, V]) replaceLeaf(p, old, nu *lfNode[K, V]) bool {
+	if p == nil {
+		return t.root.CompareAndSwap(old, nu)
+	}
+	if p.left.Load() == old {
+		return p.left.CompareAndSwap(old, nu)
+	}
+	if p.right.Load() == old {
+		return p.right.CompareAndSwap(old, nu)
+	}
+	return false
+}
+
+// Put sets the value for key.
+func (t *Tree[K, V]) Put(key K, val V) {
+	contended := false
+	for {
+		p, leaf, _ := t.traverse(key)
+		i, found := leaf.find(key)
+		var keys []K
+		var vals []V
+		if found {
+			keys = append([]K(nil), leaf.keys...)
+			vals = append([]V(nil), leaf.vals...)
+			vals[i] = val
+		} else {
+			keys = make([]K, len(leaf.keys)+1)
+			vals = make([]V, len(leaf.vals)+1)
+			copy(keys, leaf.keys[:i])
+			copy(vals, leaf.vals[:i])
+			keys[i], vals[i] = key, val
+			copy(keys[i+1:], leaf.keys[i:])
+			copy(vals[i+1:], leaf.vals[i:])
+		}
+		if t.installLeaf(p, leaf, keys, vals, contended) {
+			return
+		}
+		contended = true
+	}
+}
+
+// Remove deletes key, reporting whether it was present.
+func (t *Tree[K, V]) Remove(key K) bool {
+	contended := false
+	for {
+		p, leaf, _ := t.traverse(key)
+		i, found := leaf.find(key)
+		if !found {
+			return false
+		}
+		keys := make([]K, len(leaf.keys)-1)
+		vals := make([]V, len(leaf.vals)-1)
+		copy(keys, leaf.keys[:i])
+		copy(vals, leaf.vals[:i])
+		copy(keys[i:], leaf.keys[i+1:])
+		copy(vals[i:], leaf.vals[i+1:])
+		if t.installLeaf(p, leaf, keys, vals, contended) {
+			return true
+		}
+		contended = true
+	}
+}
+
+// installLeaf publishes a new leaf carrying the adapted contention
+// statistic, splitting when the statistic crossed the threshold.
+func (t *Tree[K, V]) installLeaf(p, old *lfNode[K, V], keys []K, vals []V, contended bool) bool {
+	stat := old.stat
+	if contended {
+		stat += statContended
+	} else {
+		stat += statUncontended
+	}
+	if (stat > statSplitAt || len(keys) > maxLeafSize) && len(keys) >= 2 {
+		mid := len(keys) / 2
+		route := &lfNode[K, V]{route: true, key: keys[mid]}
+		route.left.Store(&lfNode[K, V]{keys: keys[:mid:mid], vals: vals[:mid:mid]})
+		route.right.Store(&lfNode[K, V]{keys: keys[mid:], vals: vals[mid:]})
+		return t.replaceLeaf(p, old, route)
+	}
+	return t.replaceLeaf(p, old, &lfNode[K, V]{keys: keys, vals: vals, stat: stat})
+}
+
+// scanWindow bounds how many entries one validated scan window covers. A
+// window is collected, validated (every leaf pointer re-observed unchanged)
+// and only then emitted, so everything inside one window is an atomic cut —
+// any concurrent update to a collected leaf forces a collect retry, the
+// validate-and-restart discipline of the k-ary/LFCA scan designs. The
+// paper's longest scans (10 000 entries) fit in a single window; larger
+// scans are atomic per window.
+const scanWindow = 16384
+
+// RangeFrom visits entries with key >= lo ascending until fn returns false.
+func (t *Tree[K, V]) RangeFrom(lo K, fn func(key K, val V) bool) {
+	type seg struct {
+		leaf  *lfNode[K, V]
+		upper *K
+	}
+	cursor := lo
+	first := true
+	for {
+		var segs []seg
+		done := false
+		for attempt := 0; attempt < maxScanRetries; attempt++ {
+			segs = segs[:0]
+			entries := 0
+			c := cursor
+			done = false
+			for entries < scanWindow {
+				_, leaf, upper := t.traverse(c)
+				segs = append(segs, seg{leaf, upper})
+				entries += len(leaf.keys)
+				if upper == nil {
+					done = true
+					break
+				}
+				c = *upper
+			}
+			// Validate: re-traversal must observe identical leaves.
+			valid := true
+			c = cursor
+			for _, s := range segs {
+				_, leaf, _ := t.traverse(c)
+				if leaf != s.leaf {
+					valid = false
+					break
+				}
+				if s.upper == nil {
+					break
+				}
+				c = *s.upper
+			}
+			if valid {
+				break
+			}
+		}
+		for _, s := range segs {
+			l := s.leaf
+			i := 0
+			if first {
+				i = sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= lo })
+			}
+			for ; i < len(l.keys); i++ {
+				if !fn(l.keys[i], l.vals[i]) {
+					return
+				}
+			}
+		}
+		if done || len(segs) == 0 {
+			return
+		}
+		first = false
+		cursor = *segs[len(segs)-1].upper
+	}
+}
+
+// Len counts entries (O(n); for tests).
+func (t *Tree[K, V]) Len() int {
+	n := 0
+	var walk func(nd *lfNode[K, V])
+	walk = func(nd *lfNode[K, V]) {
+		if nd.route {
+			walk(nd.left.Load())
+			walk(nd.right.Load())
+			return
+		}
+		n += len(nd.keys)
+	}
+	walk(t.root.Load())
+	return n
+}

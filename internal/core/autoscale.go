@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// revStats carries the autoscaling policy's state (§3.3.6): two exponential
+// moving averages that roughly track the share of wall-clock time threads
+// spend updating vs reading this node's revisions. Races on these fields
+// are harmless by design ("we are just gathering some statistics"); they go
+// through atomics only so the race detector stays clean.
+type revStats struct {
+	pReads     atomic.Uint64 // float64 bits
+	pUpdates   atomic.Uint64 // float64 bits
+	lastUpdate atomic.Int64  // clock value of the last update at this node
+	lastRead   atomic.Int64  // clock value of the last read-side EMA bump
+}
+
+func (s *revStats) loads() (pReads, pUpdates float64) {
+	return math.Float64frombits(s.pReads.Load()), math.Float64frombits(s.pUpdates.Load())
+}
+
+// clampWeight converts a clock delta (nanoseconds on the production clock)
+// to the paper's weight t in (0, 1]: the time in seconds since the thread
+// last performed such an operation, saturated at one second.
+func clampWeight(delta int64) float64 {
+	if delta <= 0 {
+		return 1e-9
+	}
+	t := float64(delta) / 1e9
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// carryUpdateStats seeds a new revision's moving averages from its
+// predecessor, weighting by the time since the last update:
+// pUpdates = t + (1-t)*u, pReads = (1-t)*p (§3.3.6).
+func (m *Map[K, V]) carryUpdateStats(dst, src *revStats) {
+	now := m.clock.Read()
+	t := clampWeight(now - src.lastUpdate.Load())
+	p, u := src.loads()
+	dst.pUpdates.Store(math.Float64bits(t + (1-t)*u))
+	dst.pReads.Store(math.Float64bits((1 - t) * p))
+	dst.lastUpdate.Store(now)
+	dst.lastRead.Store(src.lastRead.Load())
+}
+
+// noteRead bumps the read-side moving average on the head revision:
+// pReads = t + (1-t)*p, pUpdates = (1-t)*u. To keep the read path cheap the
+// bump is sampled roughly once per 128 reads (the paper throttles to one
+// bump per 100 reads per thread; sampling achieves the same rate without
+// thread-local state).
+func (m *Map[K, V]) noteRead(r *revision[K, V]) {
+	if rand.Uint64()&127 != 0 {
+		return
+	}
+	s := &r.stats
+	now := m.clock.Read()
+	t := clampWeight(now - s.lastRead.Load())
+	p, u := s.loads()
+	s.pReads.Store(math.Float64bits(t + (1-t)*p))
+	s.pUpdates.Store(math.Float64bits((1 - t) * u))
+	s.lastRead.Store(now)
+}
+
+// noteScanRead bumps the read-side average once per revision visited by a
+// range scan, regardless of how many entries the scan consumes from it
+// (§3.3.6: "range scans update the moving averages only once per revision").
+func (m *Map[K, V]) noteScanRead(r *revision[K, V]) {
+	s := &r.stats
+	now := m.clock.Read()
+	t := clampWeight(now - s.lastRead.Load())
+	p, u := s.loads()
+	s.pReads.Store(math.Float64bits(t + (1-t)*p))
+	s.pUpdates.Store(math.Float64bits((1 - t) * u))
+	s.lastRead.Store(now)
+}
+
+// targetSize maps the read/update time ratio to a revision size in
+// [MinRevisionSize, MaxRevisionSize] with a simple linear function; mostly
+// -update workloads get small revisions, mostly-read workloads large ones
+// (§3.3.6).
+func (m *Map[K, V]) targetSize(s *revStats) int {
+	if m.opts.FixedRevisionSize > 0 {
+		return m.opts.FixedRevisionSize
+	}
+	p, u := s.loads()
+	sum := p + u
+	lo, hi := m.opts.MinRevisionSize, m.opts.MaxRevisionSize
+	if sum <= 0 {
+		return (lo + hi) / 2
+	}
+	return lo + int(float64(hi-lo)*(p/sum))
+}
+
+// shouldSplit decides whether an update producing newLen entries must split
+// the node instead of writing a regular revision. Splitting requires at
+// least two entries per half.
+func (m *Map[K, V]) shouldSplit(headRev *revision[K, V], newLen int) bool {
+	if newLen < 4 {
+		return false
+	}
+	target := m.targetSize(&headRev.stats)
+	return newLen > target+target/2
+}
+
+// shouldMerge decides whether a remove producing newLen entries must merge
+// the node into its predecessor. The base node never merges.
+func (m *Map[K, V]) shouldMerge(nd *node[K, V], headRev *revision[K, V], newLen int) bool {
+	if nd.isBase {
+		return false
+	}
+	if newLen == 0 {
+		return true
+	}
+	target := m.targetSize(&headRev.stats)
+	return newLen < target/4
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"cmp"
+	"sort"
+	"sync/atomic"
+)
+
+// Batch accumulates put and remove operations to be applied atomically by
+// Map.BatchUpdate: either every operation in the batch is visible to a
+// reader (or snapshot) or none is. A Batch is not safe for concurrent
+// mutation; build it on one goroutine, then hand it to BatchUpdate.
+type Batch[K cmp.Ordered, V any] struct {
+	ops []batchEntry[K, V]
+}
+
+// NewBatch returns an empty batch. sizeHint pre-allocates capacity.
+func NewBatch[K cmp.Ordered, V any](sizeHint int) *Batch[K, V] {
+	return &Batch[K, V]{ops: make([]batchEntry[K, V], 0, sizeHint)}
+}
+
+// Put schedules key to be set to val.
+func (b *Batch[K, V]) Put(key K, val V) *Batch[K, V] {
+	b.ops = append(b.ops, batchEntry[K, V]{key: key, val: val})
+	return b
+}
+
+// Remove schedules key to be deleted. Removing an absent key is permitted
+// and has no effect beyond the atomicity guarantee (§3.3.3, point 5).
+func (b *Batch[K, V]) Remove(key K) *Batch[K, V] {
+	b.ops = append(b.ops, batchEntry[K, V]{key: key, remove: true})
+	return b
+}
+
+// Len returns the number of scheduled operations.
+func (b *Batch[K, V]) Len() int { return len(b.ops) }
+
+type batchEntry[K cmp.Ordered, V any] struct {
+	key    K
+	val    V
+	remove bool
+}
+
+// batchDesc is the batch descriptor (§3.3.3): the shared record through
+// which every revision created by one batch update reads its version
+// number, making all of the batch's effects visible atomically when the
+// final version is assigned. remaining counts the entries not yet applied;
+// helpers process entries strictly from the highest key downward (rule 3).
+type batchDesc[K cmp.Ordered, V any] struct {
+	version   atomic.Int64
+	entries   []batchEntry[K, V] // ascending by key, unique keys
+	remaining atomic.Int64
+}
+
+// BatchUpdate applies all of b's operations atomically, in one linearizable
+// step. If the same key appears multiple times in the batch, the last
+// scheduled operation wins. The batch object may be reused afterwards.
+//
+// Like put and remove, a batch update never aborts; concurrent threads that
+// encounter its pending revisions help drive it to completion.
+func (m *Map[K, V]) BatchUpdate(b *Batch[K, V]) {
+	entries := normalizeBatch(b.ops)
+	if len(entries) == 0 {
+		return
+	}
+	desc := &batchDesc[K, V]{entries: entries}
+	desc.version.Store(-(m.clock.Read() + 1))
+	desc.remaining.Store(int64(len(entries)))
+	m.helpBatch(desc)
+	m.batchGC(desc)
+}
+
+// normalizeBatch sorts ops ascending by key, deduplicating so the last
+// operation on each key wins.
+func normalizeBatch[K cmp.Ordered, V any](ops []batchEntry[K, V]) []batchEntry[K, V] {
+	if len(ops) == 0 {
+		return nil
+	}
+	out := make([]batchEntry[K, V], len(ops))
+	copy(out, ops)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].key < out[j].key })
+	w := 0
+	for i := 1; i < len(out); i++ {
+		if out[i].key == out[w].key {
+			out[w] = out[i] // later op wins
+		} else {
+			w++
+			out[w] = out[i]
+		}
+	}
+	return out[:w+1]
+}
+
+// helpBatch drives a batch update to completion: apply revisions node by
+// node from the highest remaining key downward (rule 3), then assign the
+// final version number to the descriptor. Idempotent; any thread that
+// encounters one of the batch's pending revisions runs it (§3.3.3, point 4).
+//
+// Progress accounting: desc.remaining is only a starting hint (it never
+// advances past unapplied entries, so starting from it is sound, and a
+// stale high value merely revisits nodes that are skipped). Correctness
+// rests on three facts, not on the counter:
+//
+//  1. A node holding one of this batch's revisions is frozen — nothing can
+//     stack on a pending revision (rule 2), so the revision stays at head,
+//     the node cannot split or take part in a merge, and key coverage of
+//     its range cannot move — until the batch finalizes. Hence
+//     "head.desc == desc" is a sound and complete applied-here test while
+//     the descriptor is pending.
+//  2. Each application takes every remaining entry >= the node's key, so a
+//     node is applied at most once and that application covers all of the
+//     batch's entries in its range.
+//  3. Re-reading desc.version after loading the head closes the stale-
+//     helper race: if the version is still optimistic at that point, any
+//     earlier application that could affect this node's range froze its
+//     node through the present, so this find either sees that node (and
+//     skips) or the head CAS fails against the intervening change.
+func (m *Map[K, V]) helpBatch(desc *batchDesc[K, V]) {
+	cursor := desc.remaining.Load() // entries[cursor:] are already applied
+	for cursor > 0 {
+		topKey := desc.entries[cursor-1].key
+		nd := m.findNodeForKey(topKey)
+		if nd.kind == nodeTempSplit {
+			m.helpSplit(nd.parent, nd.lrev)
+			continue
+		}
+		nextNode := nd.next.Load()
+		headRev := nd.head.Load()
+		if desc.version.Load() > 0 {
+			return // the batch linearized while we were looking
+		}
+		if nd.terminated.Load() {
+			continue
+		}
+		if headRev.kind == revTerminator {
+			m.helpMergeTerminator(headRev)
+			continue
+		}
+		lo := batchRunStart(desc.entries[:cursor], nd)
+		if headRev.desc == desc {
+			// Already applied here (fact 1); skip the node's run.
+			desc.remaining.CompareAndSwap(cursor, lo)
+			cursor = lo
+			continue
+		}
+		if headRev.pending() {
+			m.helpPendingUpdate(headRev)
+			continue
+		}
+		if nx := nd.next.Load(); nx != nextNode || (nx != nil && nx.covers(topKey)) {
+			continue
+		}
+
+		run := desc.entries[lo:cursor]
+		keys, vals := headRev.applyBatch(run)
+
+		if m.shouldSplit(headRev, len(keys)) {
+			lsr := m.makeSplitPair(nd, headRev, keys, vals, 0, desc)
+			if nd.head.CompareAndSwap(headRev, lsr) {
+				m.helpSplit(nd, lsr)
+				desc.remaining.CompareAndSwap(cursor, lo)
+				cursor = lo
+			}
+			continue
+		}
+		nr := m.newRevision(revRegular, keys, vals)
+		nr.desc = desc
+		nr.next.Store(headRev)
+		m.carryUpdateStats(&nr.stats, &headRev.stats)
+		if nd.head.CompareAndSwap(headRev, nr) {
+			desc.remaining.CompareAndSwap(cursor, lo)
+			cursor = lo
+		}
+	}
+	m.finalizeDesc(desc)
+}
+
+// batchRunStart returns the index of the first remaining entry that falls
+// in nd's key range; entries below it belong to lower nodes.
+func batchRunStart[K cmp.Ordered, V any](entries []batchEntry[K, V], nd *node[K, V]) int64 {
+	if nd.isBase {
+		return 0
+	}
+	key := nd.key
+	return int64(sort.Search(len(entries), func(i int) bool { return entries[i].key >= key }))
+}
+
+// finalizeDesc assigns the batch's final version number once every entry
+// has been applied — the batch's single linearization point.
+func (m *Map[K, V]) finalizeDesc(desc *batchDesc[K, V]) int64 {
+	v := desc.version.Load()
+	if v > 0 {
+		return v
+	}
+	fin := m.clock.Read()
+	if o := -v; o > fin {
+		fin = o
+		m.clock.ReadAtLeast(fin)
+	}
+	if desc.version.CompareAndSwap(v, fin) {
+		return fin
+	}
+	return desc.version.Load()
+}
+
+// batchGC prunes the revision lists of the nodes the batch touched, one
+// find per distinct node, mirroring the per-update GC of single-key
+// operations.
+func (m *Map[K, V]) batchGC(desc *batchDesc[K, V]) {
+	horizon := m.clock.Read()
+	snaps := m.snaps.versions()
+	i := 0
+	for i < len(desc.entries) {
+		key := desc.entries[i].key
+		nd := m.findNodeForKey(key)
+		if nd.kind == nodeTempSplit {
+			m.helpSplit(nd.parent, nd.lrev)
+			continue
+		}
+		head := nd.head.Load()
+		if head.kind != revTerminator {
+			pruneRevList(head, horizon, snaps)
+		}
+		// Skip every entry this node covers.
+		next := nd.next.Load()
+		if next == nil {
+			return
+		}
+		bound := next.key
+		e := desc.entries
+		i = sort.Search(len(e), func(j int) bool { return e[j].key >= bound })
+	}
+}

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stress parameters are kept modest so -race runs stay fast; the loops are
+// long enough that goroutine preemption interleaves every protocol phase.
+const (
+	stressGoroutines = 8
+	stressOps        = 3000
+	stressKeySpace   = 256
+)
+
+// TestConcurrentPutGetRemoveMatchesReference runs a mixed workload against
+// the map and a mutex-protected reference applying the same per-key
+// last-writer-wins operations, then compares final states. Per-key
+// determinism is achieved by sharding keys across goroutines.
+func TestConcurrentPutGetRemoveMatchesReference(t *testing.T) {
+	m := New[uint64, int](Options[uint64]{FixedRevisionSize: 8})
+	type final struct {
+		val     int
+		present bool
+	}
+	finals := make([]final, stressKeySpace)
+	var wg sync.WaitGroup
+	for g := 0; g < stressGoroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 7))
+			for i := 0; i < stressOps; i++ {
+				// Shard: goroutine g owns keys with k % stressGoroutines == g.
+				k := uint64(rng.IntN(stressKeySpace/stressGoroutines))*stressGoroutines + uint64(g)
+				switch rng.IntN(4) {
+				case 0:
+					m.Remove(k)
+					finals[k] = final{}
+				case 3:
+					m.Get(k)
+				default:
+					v := g*stressOps + i
+					m.Put(k, v)
+					finals[k] = final{val: v, present: true}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k, want := range finals {
+		got, ok := m.Get(uint64(k))
+		if ok != want.present || (ok && got != want.val) {
+			t.Fatalf("key %d: got %d,%v want %d,%v", k, got, ok, want.val, want.present)
+		}
+	}
+	checkPartition(t, m)
+}
+
+// TestConcurrentContendedKeysNoCorruption hammers a tiny key space from all
+// goroutines (no sharding): final values are nondeterministic but must be
+// ones that some thread actually wrote, and the structure must stay sound.
+func TestConcurrentContendedKeysNoCorruption(t *testing.T) {
+	m := New[uint64, int](Options[uint64]{FixedRevisionSize: 4})
+	const keys = 8
+	var wg sync.WaitGroup
+	for g := 0; g < stressGoroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 13))
+			for i := 0; i < stressOps; i++ {
+				k := uint64(rng.IntN(keys))
+				switch rng.IntN(3) {
+				case 0:
+					m.Remove(k)
+				default:
+					m.Put(k, int(k)*1_000_000+g*stressOps+i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := uint64(0); k < keys; k++ {
+		if v, ok := m.Get(k); ok {
+			if v/1_000_000 != int(k) {
+				t.Fatalf("key %d holds a value written for another key: %d", k, v)
+			}
+		}
+	}
+	checkPartition(t, m)
+}
+
+// TestConcurrentSnapshotStability verifies the core snapshot guarantee: a
+// snapshot taken at any moment returns identical results no matter how many
+// times it is re-read while updates storm past it.
+func TestConcurrentSnapshotStability(t *testing.T) {
+	m := New[uint64, int](Options[uint64]{FixedRevisionSize: 8})
+	for i := 0; i < 200; i++ {
+		m.Put(uint64(i), i)
+	}
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 99))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.IntN(300))
+				if rng.IntN(4) == 0 {
+					m.Remove(k)
+				} else {
+					m.Put(k, i)
+				}
+			}
+		}()
+	}
+
+	for round := 0; round < 40; round++ {
+		s := m.Snapshot()
+		read := func() (n int, sum uint64) {
+			s.All(func(k uint64, v int) bool {
+				n++
+				sum += k*31 + uint64(v)
+				return true
+			})
+			return
+		}
+		n1, sum1 := read()
+		n2, sum2 := read()
+		if n1 != n2 || sum1 != sum2 {
+			s.Close()
+			close(stop)
+			writers.Wait()
+			t.Fatalf("snapshot unstable: (%d,%d) then (%d,%d)", n1, sum1, n2, sum2)
+		}
+		s.Close()
+	}
+	close(stop)
+	writers.Wait()
+}
+
+// TestConcurrentBatchAtomicity: each batch writes the same stamp to a fixed
+// set of scattered keys (forcing multi-node application). Snapshot readers
+// must never observe two different stamps — half-applied batches are the
+// bug this test hunts.
+func TestConcurrentBatchAtomicity(t *testing.T) {
+	m := New[uint64, int](Options[uint64]{FixedRevisionSize: 4})
+	// Scatter the batch keys so they land in different nodes.
+	batchKeys := []uint64{5, 60, 115, 170, 225, 280}
+	for i := 0; i < 320; i++ {
+		m.Put(uint64(i), -1)
+	}
+	b0 := NewBatch[uint64, int](len(batchKeys))
+	for _, k := range batchKeys {
+		b0.Put(k, 0)
+	}
+	m.BatchUpdate(b0)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var stamp atomic.Int64
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := int(stamp.Add(1))
+				b := NewBatch[uint64, int](len(batchKeys))
+				for _, k := range batchKeys {
+					b.Put(k, st)
+				}
+				m.BatchUpdate(b)
+			}
+		}()
+	}
+	// One goroutine keeps unrelated keys churning so splits/merges hit
+	// the same nodes the batches use.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(4, 4))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := uint64(rng.IntN(320))
+			skip := false
+			for _, bk := range batchKeys {
+				if k == bk {
+					skip = true
+				}
+			}
+			if skip {
+				continue
+			}
+			if rng.IntN(5) == 0 {
+				m.Remove(k)
+			} else {
+				m.Put(k, i)
+			}
+		}
+	}()
+
+	for round := 0; round < 300; round++ {
+		s := m.Snapshot()
+		var seen = -2
+		consistent := true
+		for _, k := range batchKeys {
+			v, ok := s.Get(k)
+			if !ok {
+				consistent = false
+				break
+			}
+			if seen == -2 {
+				seen = v
+			} else if v != seen {
+				consistent = false
+				break
+			}
+		}
+		s.Close()
+		if !consistent {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("round %d: torn batch observed (stamp %d)", round, seen)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestConcurrentBatchAtomicityViaScan is the scan-side variant: a range
+// scan must see one single stamp across all batch keys.
+func TestConcurrentBatchAtomicityViaScan(t *testing.T) {
+	m := New[uint64, int](Options[uint64]{FixedRevisionSize: 4})
+	batchKeys := []uint64{10, 50, 90, 130, 170}
+	isBatchKey := func(k uint64) bool { return k >= 10 && k <= 170 && (k-10)%40 == 0 }
+	for i := 0; i < 200; i++ {
+		m.Put(uint64(i), -1)
+	}
+	b0 := NewBatch[uint64, int](len(batchKeys))
+	for _, k := range batchKeys {
+		b0.Put(k, 0)
+	}
+	m.BatchUpdate(b0)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var stamp atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := int(stamp.Add(1))
+				b := NewBatch[uint64, int](len(batchKeys))
+				for _, k := range batchKeys {
+					b.Put(k, st)
+				}
+				m.BatchUpdate(b)
+			}
+		}()
+	}
+
+	for round := 0; round < 300; round++ {
+		var got []int
+		m.Range(0, 200, func(k uint64, v int) bool {
+			if isBatchKey(k) {
+				got = append(got, v)
+			}
+			return true
+		})
+		if len(got) != len(batchKeys) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("round %d: scan saw %d/%d batch keys", round, len(got), len(batchKeys))
+		}
+		for _, v := range got[1:] {
+			if v != got[0] {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("round %d: torn batch in scan: %v", round, got)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestConcurrentBatchesIntersecting runs overlapping batches from many
+// goroutines (the hardest case for the descending-key protocol: helpers
+// complete each other's batches) and checks final-state plausibility plus
+// structural soundness.
+func TestConcurrentBatchesIntersecting(t *testing.T) {
+	m := New[uint64, int](Options[uint64]{FixedRevisionSize: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < stressGoroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 21))
+			for i := 0; i < 300; i++ {
+				b := NewBatch[uint64, int](12)
+				for j := 0; j < 12; j++ {
+					k := uint64(rng.IntN(150))
+					if rng.IntN(4) == 0 {
+						b.Remove(k)
+					} else {
+						b.Put(k, g*1000000+i)
+					}
+				}
+				m.BatchUpdate(b)
+			}
+		}()
+	}
+	wg.Wait()
+	checkPartition(t, m)
+	// Every surviving value must be a value some goroutine actually wrote.
+	m.All(func(k uint64, v int) bool {
+		if v/1000000 >= stressGoroutines || v%1000000 >= 300 {
+			t.Fatalf("key %d holds impossible value %d", k, v)
+		}
+		return true
+	})
+}
+
+// TestConcurrentGetMonotonicPerKey checks a linearizability corollary: with
+// one writer increasing a key's value monotonically, no reader may ever
+// observe the value decrease.
+func TestConcurrentGetMonotonicPerKey(t *testing.T) {
+	m := New[uint64, int](Options[uint64]{FixedRevisionSize: 4})
+	const key = 77
+	// Surround the key with churn to force splits/merges around it.
+	for i := 0; i < 64; i++ {
+		m.Put(uint64(i), 0)
+	}
+	m.Put(key, 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i < 20000; i++ {
+			m.Put(key, i)
+		}
+		close(stop)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(5, 6))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := uint64(rng.IntN(64))
+			if k == key {
+				continue
+			}
+			if rng.IntN(3) == 0 {
+				m.Remove(k)
+			} else {
+				m.Put(k, 1)
+			}
+		}
+	}()
+	errs := make(chan string, 4)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, ok := m.Get(key)
+				if !ok {
+					errs <- "key vanished"
+					return
+				}
+				if v < prev {
+					errs <- "value went backwards"
+					return
+				}
+				prev = v
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+}
+
+// TestConcurrentScansDontMissCommittedKeys: keys inserted before a scan
+// starts and never removed must always be seen by the scan, regardless of
+// concurrent splits and merges around them.
+func TestConcurrentScansDontMissCommittedKeys(t *testing.T) {
+	m := New[uint64, int](Options[uint64]{FixedRevisionSize: 4})
+	// Stable keys: multiples of 10. Churn keys: everything else.
+	var stable []uint64
+	for i := uint64(0); i < 500; i += 10 {
+		m.Put(i, int(i))
+		stable = append(stable, i)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 31))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.IntN(500))
+				if k%10 == 0 {
+					continue
+				}
+				if rng.IntN(3) == 0 {
+					m.Remove(k)
+				} else {
+					m.Put(k, i)
+				}
+			}
+		}()
+	}
+	for round := 0; round < 200; round++ {
+		seen := map[uint64]bool{}
+		m.All(func(k uint64, v int) bool {
+			if k%10 == 0 {
+				if v != int(k) {
+					t.Errorf("stable key %d has value %d", k, v)
+				}
+				seen[k] = true
+			}
+			return true
+		})
+		if len(seen) != len(stable) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("round %d: scan saw %d/%d stable keys", round, len(seen), len(stable))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestConcurrentMixedEverything exercises every operation type at once with
+// tiny revisions (maximum structure churn), then checks structural
+// soundness. This is the workload most likely to hit rare helping paths
+// (zombie temp-split nodes, merge helping chains, batch helpers).
+func TestConcurrentMixedEverything(t *testing.T) {
+	m := New[uint64, int](Options[uint64]{FixedRevisionSize: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < stressGoroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 77))
+			for i := 0; i < 1200; i++ {
+				k := uint64(rng.IntN(200))
+				switch rng.IntN(10) {
+				case 0, 1, 2:
+					m.Put(k, i)
+				case 3, 4:
+					m.Remove(k)
+				case 5, 6:
+					m.Get(k)
+				case 7:
+					b := NewBatch[uint64, int](6)
+					for j := 0; j < 6; j++ {
+						kk := uint64(rng.IntN(200))
+						if rng.IntN(3) == 0 {
+							b.Remove(kk)
+						} else {
+							b.Put(kk, i)
+						}
+					}
+					m.BatchUpdate(b)
+				case 8:
+					n := 0
+					m.RangeFrom(k, func(uint64, int) bool {
+						n++
+						return n < 50
+					})
+				default:
+					s := m.Snapshot()
+					s.Get(k)
+					s.Range(k, k+20, func(uint64, int) bool { return true })
+					s.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	checkPartition(t, m)
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"cmp"
+	"sort"
+)
+
+// performGC is Jiffy's inner garbage collector (§3.3.4): after an update
+// completes at a node it removes, from that node's revision list, every
+// revision that can never be read again. A revision survives only if it is
+// the newest one (the head of the chain being pruned) or it is the newest
+// revision visible to some registered snapshot — everything else is snipped
+// out mid-chain and reclaimed by Go's collector, exactly as the Java
+// original delegates reclamation to the JVM.
+func (m *Map[K, V]) performGC(head *revision[K, V]) {
+	if head == nil {
+		return
+	}
+	// horizon is read before the registry scan: any snapshot registration
+	// this GC fails to observe publishes a version >= horizon (the clock
+	// is machine-wide monotonic and registrations read it after pushing),
+	// so revisions at or above the horizon's boundary must all survive.
+	horizon := m.clock.Read()
+	pruneRevList(head, horizon, m.snaps.versions())
+}
+
+// versions returns the registered snapshot versions in ascending order,
+// pruning closed entries on the way. The common cases (no snapshots, or a
+// handful) dominate; the slice is freshly allocated per call.
+func (r *snapRegistry) versions() []int64 {
+	var out []int64
+	var prev *snapEntry
+	cur := r.head.Load()
+	for cur != nil {
+		next := cur.next.Load()
+		if cur.closed.Load() {
+			if prev != nil {
+				prev.next.CompareAndSwap(cur, next)
+			} else {
+				r.head.CompareAndSwap(cur, next)
+			}
+			cur = next
+			continue
+		}
+		out = append(out, cur.version.Load())
+		prev = cur
+		cur = next
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// anySnapIn reports whether some registered snapshot version s satisfies
+// lo <= s < hi (snaps ascending).
+func anySnapIn(snaps []int64, lo, hi int64) bool {
+	i := sort.Search(len(snaps), func(i int) bool { return snaps[i] >= lo })
+	return i < len(snaps) && snaps[i] < hi
+}
+
+// anySnapBelow reports whether some registered snapshot version is < hi.
+func anySnapBelow(snaps []int64, hi int64) bool {
+	return len(snaps) > 0 && snaps[0] < hi
+}
+
+// pruneRevList prunes the chain hanging off head (which is itself always
+// kept: it is the newest revision, or a pending one every future reader may
+// need). A deeper revision r, with the nearest kept newer revision at
+// version keptVer, is needed iff some registered snapshot s satisfies
+// r.ver <= s < keptVer — then r is exactly what a reader at s retrieves.
+// Kept merge revisions recurse into their right branch (the only route to
+// the merged-away node's history); pending batch revisions and everything
+// below them are left untouched.
+func pruneRevList[K cmp.Ordered, V any](head *revision[K, V], horizon int64, snaps []int64) {
+	prevKept := head
+	keptVer := head.ver()
+	if keptVer < 0 {
+		keptVer = -keptVer
+	}
+	pruneBranches(head, keptVer, horizon, snaps)
+	r := head.next.Load()
+	for r != nil {
+		if keptVer <= horizon && !anySnapBelow(snaps, keptVer) {
+			// The kept frontier is at or below the horizon and no
+			// registered snapshot can see past it: drop the whole
+			// remaining tail.
+			prevKept.next.Store(nil)
+			return
+		}
+		v := r.ver()
+		if v < 0 {
+			// A pending revision mid-chain (a batch that has not
+			// linearized yet): stop here, conservatively.
+			prevKept.next.Store(r)
+			return
+		}
+		// Keep r if (a) it is newer than the horizon or is the
+		// horizon's boundary — an unobserved concurrent registration
+		// (version >= horizon) may need exactly r; (b) it is the
+		// boundary some registered snapshot reads; or (c) it is a
+		// merge revision (the only route into the merged node's
+		// history) while anything below the frontier is still live.
+		needed := v > horizon ||
+			(keptVer > horizon && v <= horizon) ||
+			anySnapIn(snaps, v, keptVer) ||
+			r.kind == revMerge
+		if needed {
+			prevKept.next.Store(r)
+			if r.kind == revMerge {
+				pruneBranches(r, v, horizon, snaps)
+			}
+			prevKept = r
+			keptVer = v
+		}
+		r = r.next.Load()
+	}
+	prevKept.next.Store(nil)
+}
+
+// pruneBranches prunes the right branch of a kept merge revision: drops it
+// entirely when no snapshot is old enough to look below the revision's own
+// version, otherwise prunes it recursively (the branch head is the newest
+// revision any such snapshot retrieves on that side).
+func pruneBranches[K cmp.Ordered, V any](r *revision[K, V], ver int64, horizon int64, snaps []int64) {
+	if r.kind != revMerge {
+		return
+	}
+	right := r.rightNext.Load()
+	if right == nil {
+		return
+	}
+	if ver <= horizon && !anySnapBelow(snaps, ver) {
+		r.rightNext.Store(nil)
+		return
+	}
+	pruneRevList(right, horizon, snaps)
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/tsc"
+)
+
+// TestGCKeepsExactlySnapshotBoundaries: with registered snapshots at known
+// manual-clock versions, the GC must retain precisely head + one boundary
+// revision per snapshot and drop every intermediate revision.
+func TestGCKeepsExactlySnapshotBoundaries(t *testing.T) {
+	clk := tsc.NewManual(10)
+	m := New[uint64, int](Options[uint64]{Clock: clk})
+
+	m.Put(1, 0)
+	snapA := m.Snapshot() // sees value 0
+	defer snapA.Close()
+	clk.Advance(100)
+	for i := 1; i <= 5; i++ {
+		m.Put(1, i)
+		clk.Advance(100)
+	}
+	snapB := m.Snapshot() // sees value 5
+	defer snapB.Close()
+	clk.Advance(100)
+	for i := 6; i <= 10; i++ {
+		m.Put(1, i)
+		clk.Advance(100)
+	}
+
+	// Chain now needed: head (10), boundary for snapB (5), boundary for
+	// snapA (0). The intermediates 1-4 and 6-9 must be gone, with slack
+	// for the horizon rule (revisions newer than the last GC's clock
+	// read survive one extra round).
+	m.Put(1, 11) // one more GC pass at a later clock value
+	nd := m.findNodeForKey(1)
+	depth := 0
+	for r := nd.head.Load(); r != nil; r = r.next.Load() {
+		depth++
+	}
+	if depth > 4 {
+		t.Fatalf("revision list depth %d; want <= 4 (head + two boundaries + horizon slack)", depth)
+	}
+	if v, _ := snapA.Get(1); v != 0 {
+		t.Fatalf("snapA = %d want 0", v)
+	}
+	if v, _ := snapB.Get(1); v != 5 {
+		t.Fatalf("snapB = %d want 5", v)
+	}
+	if v, _ := m.Get(1); v != 11 {
+		t.Fatalf("newest = %d want 11", v)
+	}
+}
+
+// TestGCHorizonProtectsConcurrentRegistration hammers the exact race fixed
+// by the GC horizon: snapshots registered while GCs are in flight must
+// never lose the revision they are entitled to read.
+func TestGCHorizonProtectsConcurrentRegistration(t *testing.T) {
+	m := New[uint64, int](Options[uint64]{FixedRevisionSize: 4})
+	for i := 0; i < 100; i++ {
+		m.Put(uint64(i), i)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 3))
+			for i := 0; !stop.Load(); i++ {
+				m.Put(uint64(rng.IntN(100)), i)
+			}
+		}()
+	}
+	for round := 0; round < 3000; round++ {
+		s := m.Snapshot()
+		n := 0
+		s.All(func(uint64, int) bool { n++; return true })
+		if n != 100 {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("round %d: snapshot saw %d/100 keys (GC raced registration)", round, n)
+		}
+		s.Close()
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestScanSplitMergeSameRevisionNoDoubleCount is the regression test for
+// the bulk-resolution double-count: take a snapshot, then force a split and
+// a merge-back of the same node so the merge revision's two branches both
+// bottom out in the same pre-split revision. The snapshot scan must emit
+// that revision's entries exactly once.
+func TestScanSplitMergeSameRevisionNoDoubleCount(t *testing.T) {
+	clk := tsc.NewManual(10)
+	m := New[uint64, int](Options[uint64]{Clock: clk, FixedRevisionSize: 4})
+	for i := uint64(0); i < 8; i++ {
+		m.Put(i, int(i))
+	}
+	clk.Advance(10)
+	snap := m.Snapshot()
+	defer snap.Close()
+	clk.Advance(10)
+
+	// Force splits: puts grow some node past the fixed size.
+	for i := uint64(100); i < 130; i++ {
+		m.Put(i, int(i))
+	}
+	// Force merges back: removals shrink the new nodes below target/4.
+	for i := uint64(100); i < 130; i++ {
+		m.Remove(i)
+	}
+	// More churn on the original keys to deepen the branchy history.
+	for i := uint64(0); i < 8; i++ {
+		m.Put(i, 1000+int(i))
+	}
+
+	var got []uint64
+	snap.All(func(k uint64, v int) bool {
+		if int(k) != v {
+			t.Fatalf("snapshot sees post-snapshot value at %d: %d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 8 {
+		t.Fatalf("snapshot scan emitted %d entries, want 8: %v", len(got), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("scan out of order (duplicate emission): %v", got)
+		}
+	}
+}
+
+// TestScanDoubleCountStress is the randomized version: snapshots taken
+// before heavy split/merge churn must always re-scan to identical, strictly
+// ascending sequences.
+func TestScanDoubleCountStress(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0xdead))
+		m := New[uint64, int](Options[uint64]{FixedRevisionSize: 4})
+		for i := uint64(0); i < 64; i++ {
+			m.Put(i, int(i))
+		}
+		snap := m.Snapshot()
+		for i := 0; i < 500; i++ {
+			k := uint64(rng.IntN(200))
+			if rng.IntN(2) == 0 {
+				m.Put(k, i)
+			} else {
+				m.Remove(k)
+			}
+		}
+		count := func() int {
+			n := 0
+			var prev uint64
+			first := true
+			snap.All(func(k uint64, _ int) bool {
+				if !first && k <= prev {
+					t.Fatalf("seed %d: out of order/duplicate at %d", seed, k)
+				}
+				prev, first = k, false
+				n++
+				return true
+			})
+			return n
+		}
+		if n1, n2 := count(), count(); n1 != 64 || n2 != 64 {
+			t.Fatalf("seed %d: scans saw %d then %d entries, want 64", seed, n1, n2)
+		}
+		snap.Close()
+	}
+}

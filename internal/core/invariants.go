@@ -1,0 +1,64 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+)
+
+// CheckInvariants sweeps a quiescent Map and reports violations of the
+// structural invariants the algorithm maintains (§3.1, §3.4). It must only
+// be called while no operations are in flight; concurrent activity would
+// legitimately expose transient states (pending revisions, temp-split
+// nodes) that are errors only at quiescence. Intended for tests and the
+// jiffycheck tool.
+func CheckInvariants[K cmp.Ordered, V any](m *Map[K, V]) []error {
+	var errs []error
+	first := true
+	var prevKey K
+	for nd := m.base; nd != nil; nd = nd.next.Load() {
+		if nd.terminated.Load() {
+			continue
+		}
+		if nd.kind == nodeTempSplit {
+			errs = append(errs, fmt.Errorf("temp-split node (key %v) present at quiescence", nd.key))
+			continue
+		}
+		if !nd.isBase {
+			if !first && nd.key <= prevKey {
+				errs = append(errs, fmt.Errorf("node keys not strictly increasing: %v after %v", nd.key, prevKey))
+			}
+			prevKey = nd.key
+			first = false
+		}
+		head := nd.head.Load()
+		if head.kind == revTerminator {
+			errs = append(errs, fmt.Errorf("merge terminator at head of live node %v", nd.key))
+			continue
+		}
+		if head.pending() {
+			errs = append(errs, fmt.Errorf("pending revision at node %v at quiescence", nd.key))
+		}
+		next := nd.next.Load()
+		for i, k := range head.keys {
+			if !nd.isBase && k < nd.key {
+				errs = append(errs, fmt.Errorf("key %v below its node key %v", k, nd.key))
+			}
+			if next != nil && k >= next.key {
+				errs = append(errs, fmt.Errorf("key %v at or above successor node key %v", k, next.key))
+			}
+			if i > 0 && head.keys[i-1] >= k {
+				errs = append(errs, fmt.Errorf("revision keys unsorted at %v (node %v)", k, nd.key))
+			}
+			if v, ok := head.get(k, m.opts.Hash); !ok {
+				errs = append(errs, fmt.Errorf("hash index lost key %v (node %v)", k, nd.key))
+			} else {
+				_ = v
+			}
+		}
+		if len(errs) > 32 {
+			errs = append(errs, fmt.Errorf("too many violations; stopping sweep"))
+			return errs
+		}
+	}
+	return errs
+}

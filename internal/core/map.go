@@ -1,0 +1,278 @@
+package core
+
+import (
+	"cmp"
+	"math/rand/v2"
+	"sync/atomic"
+
+	"repro/internal/tsc"
+)
+
+// Map is a Jiffy index: a linearizable, lock-free ordered key-value map
+// with atomic batch updates (BatchUpdate) and O(1) consistent snapshots
+// (Snapshot). All methods are safe for concurrent use by any number of
+// goroutines. Create one with New.
+type Map[K cmp.Ordered, V any] struct {
+	opts  Options[K]
+	clock tsc.Clock
+
+	// base is the first node of the lowest-level list. It is never
+	// merged away or removed and manages (-inf, successor).
+	base *node[K, V]
+
+	// topIndex is the head tower of the probabilistic index lanes. The
+	// lanes are an accelerator over the base list, which remains the
+	// ground truth; a lost index insertion is harmless.
+	topIndex atomic.Pointer[indexHead[K, V]]
+
+	snaps snapRegistry
+}
+
+const defaultMaxLevel = 24
+
+// indexItem is an element of one index lane, pointing at a base-level node.
+type indexItem[K cmp.Ordered, V any] struct {
+	n     *node[K, V]
+	down  *indexItem[K, V]
+	right atomic.Pointer[indexItem[K, V]]
+}
+
+// indexHead anchors one index lane; head towers are stacked via down.
+type indexHead[K cmp.Ordered, V any] struct {
+	right atomic.Pointer[indexItem[K, V]]
+	down  *indexHead[K, V]
+	level int
+}
+
+// New returns an empty Map configured by opts (pass no argument for paper
+// defaults).
+func New[K cmp.Ordered, V any](opts ...Options[K]) *Map[K, V] {
+	var o Options[K]
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o = o.withDefaults()
+	m := &Map[K, V]{opts: o, clock: o.Clock}
+	m.base = &node[K, V]{isBase: true}
+	empty := m.newRevision(revRegular, nil, nil)
+	empty.version.Store(1)
+	m.base.head.Store(empty)
+	m.topIndex.Store(&indexHead[K, V]{level: 1})
+	return m
+}
+
+// Clock exposes the Map's version-number source (snapshots and tests need
+// it; see Snapshot).
+func (m *Map[K, V]) Clock() tsc.Clock { return m.clock }
+
+// indexSeek descends the index lanes and returns a base-level node from
+// which a rightward walk reaches key's covering node: the rightmost indexed
+// node with node.key <= key (strict: < key), or the base node. Index items
+// pointing at terminated nodes are unlinked on the way down.
+func (m *Map[K, V]) indexSeek(key K, strict bool) *node[K, V] {
+	h := m.topIndex.Load()
+	var item *indexItem[K, V] // current left neighbor; nil while on the head tower
+	for {
+		var right *indexItem[K, V]
+		if item != nil {
+			right = item.right.Load()
+		} else {
+			right = h.right.Load()
+		}
+		for right != nil {
+			n := right.n
+			if n.terminated.Load() {
+				after := right.right.Load()
+				if item != nil {
+					item.right.CompareAndSwap(right, after)
+					right = item.right.Load()
+				} else {
+					h.right.CompareAndSwap(right, after)
+					right = h.right.Load()
+				}
+				continue
+			}
+			if strict {
+				if n.key >= key {
+					break
+				}
+			} else if n.key > key {
+				break
+			}
+			item = right
+			right = item.right.Load()
+		}
+		if item != nil {
+			if item.down == nil {
+				return item.n
+			}
+			item = item.down
+		} else {
+			if h.down == nil {
+				return m.base
+			}
+			h = h.down
+		}
+	}
+}
+
+// findNodeForKey returns the base-level node whose range covers key: the
+// node n with n.key <= key and no successor n' with n'.key <= key. The
+// returned node may be a temp-split node (callers help and retry). While
+// traversing, terminated nodes are physically unlinked (§3.3.2).
+func (m *Map[K, V]) findNodeForKey(key K) *node[K, V] {
+	cur := m.indexSeek(key, false)
+	for {
+		next := cur.next.Load()
+		if next == nil || !next.covers(key) {
+			return cur
+		}
+		if next.terminated.Load() {
+			m.unlinkTerminated(cur, next)
+			continue
+		}
+		cur = next
+	}
+}
+
+// findPredOf returns the base-level node with the greatest key strictly
+// below key (the base node if none). The merge path uses it to locate the
+// node directly preceding the node under merge (§3.3.1: merges happen
+// towards lower keys). The result may be a temp-split node.
+func (m *Map[K, V]) findPredOf(key K) *node[K, V] {
+	cur := m.indexSeek(key, true)
+	for {
+		next := cur.next.Load()
+		if next == nil || next.key >= key {
+			return cur
+		}
+		if next.terminated.Load() {
+			m.unlinkTerminated(cur, next)
+			continue
+		}
+		cur = next
+	}
+}
+
+// unlinkTerminated removes a terminated node that directly follows pred.
+// On CAS failure somebody else repaired the list; callers simply re-read.
+func (m *Map[K, V]) unlinkTerminated(pred, dead *node[K, V]) {
+	after := dead.next.Load()
+	pred.next.CompareAndSwap(dead, after)
+}
+
+// lanePos addresses one position in an index lane: either a head tower slot
+// or an item, whichever the descent last passed at that level.
+type lanePos[K cmp.Ordered, V any] struct {
+	h  *indexHead[K, V]
+	it *indexItem[K, V]
+}
+
+func (p lanePos[K, V]) right() *indexItem[K, V] {
+	if p.it != nil {
+		return p.it.right.Load()
+	}
+	return p.h.right.Load()
+}
+
+func (p lanePos[K, V]) casRight(old, nu *indexItem[K, V]) bool {
+	if p.it != nil {
+		return p.it.right.CompareAndSwap(old, nu)
+	}
+	return p.h.right.CompareAndSwap(old, nu)
+}
+
+// walkLane advances a lane position to the rightmost point with key < target,
+// unlinking items whose nodes were merged away.
+func walkLane[K cmp.Ordered, V any](p lanePos[K, V], key K) lanePos[K, V] {
+	for {
+		r := p.right()
+		if r == nil {
+			return p
+		}
+		if r.n.terminated.Load() {
+			p.casRight(r, r.right.Load())
+			continue
+		}
+		if r.n.key >= key {
+			return p
+		}
+		p = lanePos[K, V]{it: r}
+	}
+}
+
+// addIndexForNode links index items for a freshly installed node at a
+// random level (§3.1: index nodes are inserted probabilistically, p = 1/2
+// per level as in ConcurrentSkipListMap), descending once from the top to
+// collect per-level predecessors. Index maintenance is best-effort: a
+// failed CAS leaves the node reachable via the base list, which is the
+// ground truth.
+func (m *Map[K, V]) addIndexForNode(n *node[K, V]) {
+	level := 1
+	for level < defaultMaxLevel && rand.Uint64()&1 == 0 {
+		level++
+	}
+	if level == 1 {
+		return // present on the base list only
+	}
+
+	// Grow the head tower if needed.
+	top := m.topIndex.Load()
+	for top.level < level {
+		nh := &indexHead[K, V]{down: top, level: top.level + 1}
+		if m.topIndex.CompareAndSwap(top, nh) {
+			top = nh
+		} else {
+			top = m.topIndex.Load()
+		}
+	}
+
+	// Collect predecessors at levels [2, level] in one descent.
+	preds := make([]lanePos[K, V], level+1)
+	h := m.topIndex.Load()
+	pos := lanePos[K, V]{h: h}
+	lvl := h.level
+	for {
+		pos = walkLane(pos, n.key)
+		if lvl <= level {
+			preds[lvl] = pos
+		}
+		if lvl == 2 {
+			break
+		}
+		if pos.it != nil {
+			pos = lanePos[K, V]{it: pos.it.down}
+		} else {
+			pos = lanePos[K, V]{h: pos.h.down}
+		}
+		lvl--
+	}
+
+	// Link bottom-up from the recorded positions.
+	var down *indexItem[K, V]
+	for l := 2; l <= level; l++ {
+		it := &indexItem[K, V]{n: n, down: down}
+		p := preds[l]
+		ok := false
+		for attempt := 0; attempt < 4; attempt++ {
+			if n.terminated.Load() {
+				return
+			}
+			p = walkLane(p, n.key)
+			r := p.right()
+			if r != nil && r.n == n {
+				ok = true
+				break
+			}
+			it.right.Store(r)
+			if p.casRight(r, it) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return // stop above a failed level; harmless
+		}
+		down = it
+	}
+}

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tsc"
+)
+
+// tinyMap forces frequent node splits and merges so structure-modification
+// code paths are exercised even by small sequential tests.
+func tinyMap() *Map[uint64, int] {
+	return New[uint64, int](Options[uint64]{FixedRevisionSize: 4})
+}
+
+func TestPutGetBasic(t *testing.T) {
+	m := testMap()
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map returned a value")
+	}
+	m.Put(1, 100)
+	if v, ok := m.Get(1); !ok || v != 100 {
+		t.Fatalf("Get(1) = %d,%v", v, ok)
+	}
+	m.Put(1, 200)
+	if v, _ := m.Get(1); v != 200 {
+		t.Fatalf("overwrite failed: %d", v)
+	}
+}
+
+func TestRemoveBasic(t *testing.T) {
+	m := testMap()
+	m.Put(5, 50)
+	if !m.Remove(5) {
+		t.Fatal("Remove(5) = false for present key")
+	}
+	if _, ok := m.Get(5); ok {
+		t.Fatal("key survived removal")
+	}
+	if m.Remove(5) {
+		t.Fatal("Remove(5) = true for absent key")
+	}
+	if m.Remove(99) {
+		t.Fatal("Remove(99) = true on empty range")
+	}
+}
+
+func TestManyKeysAcrossSplits(t *testing.T) {
+	m := tinyMap()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		m.Put(uint64(i*7%n), i)
+	}
+	for i := 0; i < n; i++ {
+		k := uint64(i * 7 % n)
+		if v, ok := m.Get(k); !ok {
+			t.Fatalf("lost key %d", k)
+		} else if v != i {
+			t.Fatalf("Get(%d) = %d want %d", k, v, i)
+		}
+	}
+	st := m.Stats()
+	if st.Nodes < 10 {
+		t.Fatalf("expected many nodes after splits, got %d", st.Nodes)
+	}
+	if st.Entries != n {
+		t.Fatalf("entries = %d want %d", st.Entries, n)
+	}
+}
+
+func TestRemoveTriggersMerges(t *testing.T) {
+	m := tinyMap()
+	const n = 500
+	for i := 0; i < n; i++ {
+		m.Put(uint64(i), i)
+	}
+	grown := m.Stats().Nodes
+	for i := 0; i < n; i++ {
+		if !m.Remove(uint64(i)) {
+			t.Fatalf("Remove(%d) failed", i)
+		}
+	}
+	if got := m.Len(); got != 0 {
+		t.Fatalf("Len = %d after removing everything", got)
+	}
+	shrunk := m.Stats().Nodes
+	if shrunk >= grown {
+		t.Fatalf("merges never shrank the index: %d -> %d nodes", grown, shrunk)
+	}
+	// The map must remain fully usable after heavy structure changes.
+	for i := 0; i < n; i++ {
+		m.Put(uint64(i), -i)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(uint64(i)); !ok || v != -i {
+			t.Fatalf("reuse after merges: Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestSequentialMatchesReferenceModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^42))
+		m := tinyMap()
+		ref := map[uint64]int{}
+		for i := 0; i < 800; i++ {
+			k := uint64(rng.IntN(200))
+			switch rng.IntN(3) {
+			case 0:
+				m.Put(k, i)
+				ref[k] = i
+			case 1:
+				got := m.Remove(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			default:
+				v, ok := m.Get(k)
+				want, wantOK := ref[k]
+				if ok != wantOK || (ok && v != want) {
+					return false
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangePartitionInvariant(t *testing.T) {
+	// Node keys must stay strictly increasing along the base list and
+	// every stored key must live in the node covering it.
+	m := tinyMap()
+	for i := 0; i < 3000; i += 3 {
+		m.Put(uint64(i), i)
+	}
+	for i := 0; i < 3000; i += 9 {
+		m.Remove(uint64(i))
+	}
+	checkPartition(t, m)
+}
+
+func checkPartition(t *testing.T, m *Map[uint64, int]) {
+	t.Helper()
+	first := true
+	var prevKey uint64
+	for nd := m.base; nd != nil; nd = nd.next.Load() {
+		if nd.terminated.Load() {
+			continue
+		}
+		if nd.kind == nodeTempSplit {
+			t.Fatal("temp-split node present in quiescent index")
+		}
+		if !nd.isBase {
+			if !first && nd.key <= prevKey {
+				t.Fatalf("node keys not strictly increasing: %d after %d", nd.key, prevKey)
+			}
+			prevKey = nd.key
+			first = false
+		}
+		head := nd.head.Load()
+		if head.pending() {
+			t.Fatal("pending revision in quiescent index")
+		}
+		next := nd.next.Load()
+		for i, k := range head.keys {
+			if !nd.isBase && k < nd.key {
+				t.Fatalf("key %d below node key %d", k, nd.key)
+			}
+			if next != nil && k >= next.key {
+				t.Fatalf("key %d at or above successor key %d", k, next.key)
+			}
+			if i > 0 && head.keys[i-1] >= k {
+				t.Fatalf("revision keys unsorted at %d", k)
+			}
+		}
+	}
+}
+
+func TestScanAscendingAndBounded(t *testing.T) {
+	m := tinyMap()
+	var want []uint64
+	for i := 0; i < 1000; i += 2 {
+		m.Put(uint64(i), i)
+		want = append(want, uint64(i))
+	}
+	var got []uint64
+	m.All(func(k uint64, v int) bool {
+		if int(k) != v {
+			t.Fatalf("scan value mismatch at %d: %d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("All() visited %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan order broken at %d: %d != %d", i, got[i], want[i])
+		}
+	}
+
+	var sub []uint64
+	m.Range(100, 200, func(k uint64, _ int) bool {
+		sub = append(sub, k)
+		return true
+	})
+	if len(sub) != 50 || sub[0] != 100 || sub[len(sub)-1] != 198 {
+		t.Fatalf("Range[100,200): n=%d first=%v last=%v", len(sub), sub[0], sub[len(sub)-1])
+	}
+
+	count := 0
+	m.RangeFrom(500, func(k uint64, _ int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early-stop scan visited %d", count)
+	}
+}
+
+func TestScanEmptyAndMissBounds(t *testing.T) {
+	m := testMap()
+	calls := 0
+	m.All(func(uint64, int) bool { calls++; return true })
+	if calls != 0 {
+		t.Fatalf("empty map scan visited %d", calls)
+	}
+	m.Put(10, 1)
+	m.Range(20, 30, func(uint64, int) bool { calls++; return true })
+	if calls != 0 {
+		t.Fatalf("out-of-range scan visited %d", calls)
+	}
+	m.Range(10, 10, func(uint64, int) bool { calls++; return true })
+	if calls != 0 {
+		t.Fatalf("empty range visited %d", calls)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	m := tinyMap()
+	for i := 0; i < 100; i++ {
+		m.Put(uint64(i), i)
+	}
+	snap := m.Snapshot()
+	defer snap.Close()
+
+	// Mutate heavily after the snapshot.
+	for i := 0; i < 100; i++ {
+		m.Put(uint64(i), i+1000)
+	}
+	for i := 0; i < 50; i++ {
+		m.Remove(uint64(i * 2))
+	}
+	for i := 100; i < 200; i++ {
+		m.Put(uint64(i), i)
+	}
+
+	for i := 0; i < 100; i++ {
+		v, ok := snap.Get(uint64(i))
+		if !ok || v != i {
+			t.Fatalf("snapshot Get(%d) = %d,%v want %d,true", i, v, ok, i)
+		}
+	}
+	if _, ok := snap.Get(150); ok {
+		t.Fatal("snapshot sees a future key")
+	}
+	n := 0
+	snap.All(func(k uint64, v int) bool {
+		if int(k) != v {
+			t.Fatalf("snapshot scan sees new value at %d: %d", k, v)
+		}
+		n++
+		return true
+	})
+	if n != 100 {
+		t.Fatalf("snapshot scan visited %d entries, want 100", n)
+	}
+}
+
+func TestSnapshotRefresh(t *testing.T) {
+	m := testMap()
+	m.Put(1, 1)
+	s := m.Snapshot()
+	defer s.Close()
+	m.Put(1, 2)
+	if v, _ := s.Get(1); v != 1 {
+		t.Fatalf("pre-refresh Get = %d", v)
+	}
+	s.Refresh()
+	if v, _ := s.Get(1); v != 2 {
+		t.Fatalf("post-refresh Get = %d", v)
+	}
+}
+
+func TestSnapshotRepeatedReadsStable(t *testing.T) {
+	m := tinyMap()
+	for i := 0; i < 300; i++ {
+		m.Put(uint64(i), i)
+	}
+	s := m.Snapshot()
+	defer s.Close()
+	sum := func() int {
+		tot := 0
+		s.All(func(_ uint64, v int) bool { tot += v; return true })
+		return tot
+	}
+	want := sum()
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 300; i++ {
+			m.Put(uint64(i), i*7+round)
+		}
+		if got := sum(); got != want {
+			t.Fatalf("snapshot drifted: %d -> %d (round %d)", want, got, round)
+		}
+	}
+}
+
+func TestOldSnapshotPinsHistoryAcrossGC(t *testing.T) {
+	m := tinyMap()
+	m.Put(42, 1)
+	s := m.Snapshot()
+	defer s.Close()
+	// Many subsequent updates each trigger GC; the snapshot's revision
+	// must survive all pruning.
+	for i := 0; i < 1000; i++ {
+		m.Put(42, i+2)
+	}
+	if v, ok := s.Get(42); !ok || v != 1 {
+		t.Fatalf("pinned history lost: Get = %d,%v", v, ok)
+	}
+}
+
+func TestGCPrunesWithoutSnapshots(t *testing.T) {
+	m := testMap()
+	for i := 0; i < 200; i++ {
+		m.Put(7, i)
+	}
+	st := m.Stats()
+	if st.MaxRevisionList > 3 {
+		t.Fatalf("revision list grew to %d without any snapshot", st.MaxRevisionList)
+	}
+}
+
+func TestBatchUpdateBasic(t *testing.T) {
+	m := testMap()
+	m.Put(1, 1)
+	m.Put(2, 2)
+	b := NewBatch[uint64, int](3).Put(2, 20).Put(3, 30).Remove(1)
+	m.BatchUpdate(b)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("batched remove not applied")
+	}
+	if v, _ := m.Get(2); v != 20 {
+		t.Fatalf("batched overwrite: %d", v)
+	}
+	if v, _ := m.Get(3); v != 30 {
+		t.Fatalf("batched insert: %d", v)
+	}
+}
+
+func TestBatchUpdateEmptyAndDuplicates(t *testing.T) {
+	m := testMap()
+	m.BatchUpdate(NewBatch[uint64, int](0)) // no-op
+	b := NewBatch[uint64, int](4).Put(5, 1).Put(5, 2).Remove(5).Put(5, 3)
+	m.BatchUpdate(b)
+	if v, ok := m.Get(5); !ok || v != 3 {
+		t.Fatalf("last-wins dedup: %d,%v", v, ok)
+	}
+}
+
+func TestBatchRemoveAbsentKeyStillAtomic(t *testing.T) {
+	// §3.3.3 point 5: a batched remove of an absent key must create a
+	// revision so a concurrent lower-versioned put cannot resurrect it.
+	// Sequentially we can only check it doesn't corrupt anything.
+	m := tinyMap()
+	for i := 0; i < 50; i++ {
+		m.Put(uint64(i), i)
+	}
+	b := NewBatch[uint64, int](2).Remove(1000).Remove(2000)
+	m.BatchUpdate(b)
+	if m.Len() != 50 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestBatchSpanningManyNodes(t *testing.T) {
+	m := tinyMap()
+	for i := 0; i < 1000; i++ {
+		m.Put(uint64(i), i)
+	}
+	b := NewBatch[uint64, int](200)
+	for i := 0; i < 1000; i += 5 {
+		b.Put(uint64(i), -i)
+	}
+	m.BatchUpdate(b)
+	for i := 0; i < 1000; i++ {
+		v, ok := m.Get(uint64(i))
+		if !ok {
+			t.Fatalf("lost key %d", i)
+		}
+		want := i
+		if i%5 == 0 {
+			want = -i
+		}
+		if v != want {
+			t.Fatalf("Get(%d) = %d want %d", i, v, want)
+		}
+	}
+}
+
+func TestBatchTriggersSplits(t *testing.T) {
+	m := tinyMap()
+	b := NewBatch[uint64, int](100)
+	for i := 0; i < 100; i++ {
+		b.Put(uint64(i), i)
+	}
+	m.BatchUpdate(b)
+	// A node splits at most once per batch application (the halves are
+	// frozen until the batch linearizes), so one big batch yields one
+	// split; follow-up updates keep splitting oversized nodes.
+	if m.Stats().Nodes < 2 {
+		t.Fatalf("large batch did not split the base node: %+v", m.Stats())
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok := m.Get(uint64(i)); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m.Put(uint64(i), i)
+	}
+	if st := m.Stats(); st.Nodes < 10 {
+		t.Fatalf("follow-up updates did not refine oversized nodes: %+v", st)
+	}
+	checkPartition(t, m)
+}
+
+func TestBatchVsReferenceModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed*3))
+		m := tinyMap()
+		ref := map[uint64]int{}
+		for round := 0; round < 20; round++ {
+			b := NewBatch[uint64, int](10)
+			staged := map[uint64]*int{}
+			for i := 0; i < 10; i++ {
+				k := uint64(rng.IntN(100))
+				if rng.IntN(3) == 0 {
+					b.Remove(k)
+					staged[k] = nil
+				} else {
+					v := round*100 + i
+					b.Put(k, v)
+					staged[k] = &v
+				}
+			}
+			m.BatchUpdate(b)
+			for k, pv := range staged {
+				if pv == nil {
+					delete(ref, k)
+				} else {
+					ref[k] = *pv
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			if v, ok := m.Get(k); !ok || v != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	m := New[string, string](Options[string]{FixedRevisionSize: 4})
+	words := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}
+	for i, w := range words {
+		m.Put(w, fmt.Sprintf("v%d", i))
+	}
+	for i, w := range words {
+		if v, ok := m.Get(w); !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%q) = %q,%v", w, v, ok)
+		}
+	}
+	var got []string
+	m.All(func(k, _ string) bool { got = append(got, k); return true })
+	if !sort.StringsAreSorted(got) || len(got) != len(words) {
+		t.Fatalf("scan over string keys: %v", got)
+	}
+}
+
+func TestManualClockDeterministic(t *testing.T) {
+	clk := tsc.NewManual(100)
+	m := New[uint64, int](Options[uint64]{Clock: clk})
+	m.Put(1, 1)
+	s1 := m.Snapshot()
+	defer s1.Close()
+	clk.Advance(10)
+	m.Put(1, 2)
+	if v, _ := s1.Get(1); v != 1 {
+		t.Fatalf("snapshot at manual time sees %d", v)
+	}
+	if v, _ := m.Get(1); v != 2 {
+		t.Fatalf("newest read sees %d", v)
+	}
+}
+
+func TestZeroAndMaxKeys(t *testing.T) {
+	m := tinyMap()
+	m.Put(0, 10)
+	m.Put(^uint64(0), 20)
+	if v, ok := m.Get(0); !ok || v != 10 {
+		t.Fatalf("Get(0) = %d,%v", v, ok)
+	}
+	if v, ok := m.Get(^uint64(0)); !ok || v != 20 {
+		t.Fatalf("Get(max) = %d,%v", v, ok)
+	}
+	if !m.Remove(0) || !m.Remove(^uint64(0)) {
+		t.Fatal("boundary removes failed")
+	}
+}
+
+func TestStatsSane(t *testing.T) {
+	m := tinyMap()
+	for i := 0; i < 100; i++ {
+		m.Put(uint64(i), i)
+	}
+	st := m.Stats()
+	if st.Entries != 100 || st.Nodes < 2 || st.IndexLevels < 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.PendingOps != 0 {
+		t.Fatalf("pending ops in quiescent map: %+v", st)
+	}
+}

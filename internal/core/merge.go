@@ -1,0 +1,96 @@
+package core
+
+// helpMergeTerminator drives a node merge to completion after the merge
+// terminator mt has been installed at the head of the node being merged
+// away (Figure 4, steps c-e). Idempotent; any number of helpers may run it
+// concurrently. On return the merge revision exists, the node is unlinked
+// and terminated, and the merge has linearized.
+func (m *Map[K, V]) helpMergeTerminator(mt *revision[K, V]) {
+	o := mt.node
+	for mt.mergeRev.Load() == nil {
+		// Find the node directly preceding o (§3.3.1: merges happen
+		// towards lower keys; the base node never merges, so o is
+		// never the base and a predecessor always exists).
+		pred := m.findPredOf(o.key)
+		if pred.kind == nodeTempSplit {
+			m.helpSplit(pred.parent, pred.lrev)
+			continue
+		}
+		headRev := pred.head.Load()
+		if pred.terminated.Load() {
+			continue
+		}
+		if headRev.kind == revTerminator {
+			// The predecessor is itself being merged away; help it
+			// first. Helping chains move strictly towards lower
+			// keys and bottom out at the base node.
+			m.helpMergeTerminator(headRev)
+			continue
+		}
+		if headRev.pending() {
+			m.helpPendingUpdate(headRev)
+			continue
+		}
+		if pred.next.Load() != o {
+			// Either the structure changed (re-find) or the merge
+			// already completed and o was unlinked (the loop
+			// condition will observe mergeRev).
+			continue
+		}
+
+		// Step c: build the merge revision joining both revision
+		// lists. It inherits the entries of pred's head and of o's
+		// list at termination time, with the remove operation that
+		// triggered the merge applied.
+		oKeys, oVals := mt.prevRev.keys, mt.prevRev.vals
+		if mt.remHasKey {
+			k, v, _ := mt.prevRev.cloneAndRemove(mt.remKey)
+			oKeys, oVals = k, v
+		}
+		keys, vals := unionArrays(headRev.keys, headRev.vals, oKeys, oVals)
+		mr := m.newRevision(revMerge, keys, vals)
+		mr.rightKey = o.key
+		mr.mt = mt
+		mr.node = pred
+		mr.next.Store(headRev)         // left successor: pred's old list
+		mr.rightNext.Store(mt.prevRev) // right successor: o's old list
+		mr.version.Store(mt.version.Load())
+		m.carryUpdateStats(&mr.stats, &headRev.stats)
+		if pred.head.CompareAndSwap(headRev, mr) {
+			mt.mergeRev.CompareAndSwap(nil, mr)
+			break
+		}
+		// CAS failed: maybe another helper installed the merge
+		// revision under a different head; adopt it if so.
+		if h := pred.head.Load(); h.kind == revMerge && h.mt == mt {
+			mt.mergeRev.CompareAndSwap(nil, h)
+		}
+	}
+	m.completeMerge(mt)
+}
+
+// completeMerge performs steps d-e of Figure 4: unlink the merged node from
+// the index, mark it terminated, and assign the merge's final version
+// number (the linearization point of the remove that triggered it).
+func (m *Map[K, V]) completeMerge(mt *revision[K, V]) {
+	mr := mt.mergeRev.Load()
+	o := mt.node
+	pred := mr.node
+	if !o.terminated.Load() {
+		// Step d: unlink o. Nothing can be inserted between pred and
+		// o while the merge revision is pending (pred cannot split
+		// and o cannot change), so a CAS failure means another
+		// helper already unlinked o.
+		pred.next.CompareAndSwap(o, o.next.Load())
+		o.terminated.Store(true)
+	}
+	m.finalize(mr)
+}
+
+// findMergeRevision resolves the merge revision a terminator was completed
+// with, helping the merge first if necessary (used by snapshot reads that
+// must observe the merge's effect, Algorithm 2 line 45).
+func (m *Map[K, V]) findMergeRevision(mt *revision[K, V]) *revision[K, V] {
+	m.helpMergeTerminator(mt)
+	return mt.mergeRev.Load()
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"cmp"
+	"sync/atomic"
+)
+
+// nodeKind distinguishes ordinary nodes from the temporary split node that
+// bridges steps (c)-(e) of a node split (§3.3.1, Figure 3).
+type nodeKind uint8
+
+const (
+	nodeNormal nodeKind = iota
+	nodeTempSplit
+)
+
+// node is an element of the lowest-level linked list. It manages the key
+// range [key, next.key); the base node's key is conceptually -infinity
+// (isBase). head points at the newest revision; next at the successor,
+// which may temporarily be a temp-split node.
+type node[K cmp.Ordered, V any] struct {
+	kind   nodeKind
+	isBase bool
+	key    K
+
+	head atomic.Pointer[revision[K, V]]
+	next atomic.Pointer[node[K, V]]
+
+	// terminated is set after the node has been unlinked by a completed
+	// merge; traversals physically remove terminated nodes they pass.
+	terminated atomic.Bool
+
+	// Temp-split-node fields (immutable after construction): parent is
+	// the node undergoing the split; lrev its left split revision. The
+	// temp-split node's own head is pinned to the right split revision so
+	// concurrent lookups in the upper half-range can find their entries
+	// and help (§3.3.1).
+	parent *node[K, V]
+	lrev   *revision[K, V]
+}
+
+// covers reports whether key falls in this node's range from below, i.e.
+// node.key <= key (the upper bound is checked by the traversal against the
+// successor). The base node covers every key.
+func (n *node[K, V]) covers(key K) bool {
+	return n.isBase || n.key <= key
+}

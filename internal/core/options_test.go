@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/tsc"
+)
+
+// runReferenceBattery drives a map configuration through the sequential
+// reference workload; used to prove every Options variant preserves
+// semantics (the ablations must change performance only).
+func runReferenceBattery(t *testing.T, mk func() *Map[uint64, int]) {
+	t.Helper()
+	for seed := uint64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0xab1a))
+		m := mk()
+		ref := map[uint64]int{}
+		for i := 0; i < 600; i++ {
+			k := uint64(rng.IntN(150))
+			switch rng.IntN(4) {
+			case 0:
+				got := m.Remove(k)
+				_, want := ref[k]
+				if got != want {
+					t.Fatalf("seed %d: Remove(%d) = %v want %v", seed, k, got, want)
+				}
+				delete(ref, k)
+			case 1:
+				m.Put(k, i)
+				ref[k] = i
+			case 2:
+				b := NewBatch[uint64, int](4)
+				for j := 0; j < 4; j++ {
+					kk := uint64(rng.IntN(150))
+					if rng.IntN(3) == 0 {
+						b.Remove(kk)
+						delete(ref, kk)
+					} else {
+						b.Put(kk, i*10+j)
+						ref[kk] = i*10 + j
+					}
+				}
+				// Later ops on the same key win in both models.
+				m.BatchUpdate(b)
+			default:
+				v, ok := m.Get(k)
+				want, wantOK := ref[k]
+				if ok != wantOK || (ok && v != want) {
+					t.Fatalf("seed %d: Get(%d) = %d,%v want %d,%v", seed, k, v, ok, want, wantOK)
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("seed %d: Len = %d want %d", seed, m.Len(), len(ref))
+		}
+	}
+}
+
+func TestOptionsHashIndexDisabled(t *testing.T) {
+	runReferenceBattery(t, func() *Map[uint64, int] {
+		return New[uint64, int](Options[uint64]{DisableHashIndex: true, FixedRevisionSize: 4})
+	})
+}
+
+func TestOptionsFixedRevisionSizes(t *testing.T) {
+	for _, size := range []int{1, 2, 7, 64, 300} {
+		size := size
+		runReferenceBattery(t, func() *Map[uint64, int] {
+			return New[uint64, int](Options[uint64]{FixedRevisionSize: size})
+		})
+	}
+}
+
+func TestOptionsCounterClock(t *testing.T) {
+	runReferenceBattery(t, func() *Map[uint64, int] {
+		return New[uint64, int](Options[uint64]{Clock: tsc.NewCounter(), FixedRevisionSize: 4})
+	})
+}
+
+func TestOptionsCustomHash(t *testing.T) {
+	// A terrible hash must not affect correctness (only the fallback
+	// binary-search rate).
+	runReferenceBattery(t, func() *Map[uint64, int] {
+		return New[uint64, int](Options[uint64]{Hash: func(uint64) uint16 { return 3 }, FixedRevisionSize: 8})
+	})
+}
+
+func TestOptionsDefaultsApplied(t *testing.T) {
+	o := Options[uint64]{}.withDefaults()
+	if o.Clock == nil || o.Hash == nil {
+		t.Fatal("defaults missing")
+	}
+	if o.MinRevisionSize != DefaultMinRevisionSize || o.MaxRevisionSize != DefaultMaxRevisionSize {
+		t.Fatalf("size defaults: %d..%d", o.MinRevisionSize, o.MaxRevisionSize)
+	}
+	f := Options[uint64]{FixedRevisionSize: 42}.withDefaults()
+	if f.MinRevisionSize != 42 || f.MaxRevisionSize != 42 {
+		t.Fatalf("fixed size not pinned: %d..%d", f.MinRevisionSize, f.MaxRevisionSize)
+	}
+	weird := Options[uint64]{MinRevisionSize: 50, MaxRevisionSize: 10}.withDefaults()
+	if weird.MaxRevisionSize < weird.MinRevisionSize {
+		t.Fatalf("inverted bounds survived: %d..%d", weird.MinRevisionSize, weird.MaxRevisionSize)
+	}
+}
+
+func TestCounterClockConcurrent(t *testing.T) {
+	// The atomic-counter oracle (ablation A2) must also be correct under
+	// concurrency — it is slower, not wrong.
+	m := New[uint64, int](Options[uint64]{Clock: tsc.NewCounter(), FixedRevisionSize: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 5))
+			for i := 0; i < 2000; i++ {
+				k := uint64(rng.IntN(64))
+				switch rng.IntN(3) {
+				case 0:
+					m.Remove(k)
+				case 1:
+					m.Put(k, i)
+				default:
+					m.Get(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	checkPartition(t, m)
+}
+
+func TestDefaultHashCoversIntegerKinds(t *testing.T) {
+	// Each instantiation must produce a usable hash (non-panicking,
+	// lookup-consistent).
+	if h := defaultHash[int]()(42); h == defaultHash[int]()(42) {
+		// deterministic
+	} else {
+		t.Fatal("int hash nondeterministic")
+	}
+	_ = defaultHash[int8]()(1)
+	_ = defaultHash[int16]()(1)
+	_ = defaultHash[int32]()(1)
+	_ = defaultHash[int64]()(1)
+	_ = defaultHash[uint]()(1)
+	_ = defaultHash[uint8]()(1)
+	_ = defaultHash[uint16]()(1)
+	_ = defaultHash[uint32]()(1)
+	_ = defaultHash[uintptr]()(1)
+	_ = defaultHash[float32]()(1.5)
+	_ = defaultHash[float64]()(1.5)
+	if defaultHash[string]()("abc") != defaultHash[string]()("abc") {
+		t.Fatal("string hash nondeterministic")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"cmp"
+	"math"
+)
+
+// newestVersion makes get() read the most recent committed state
+// (Algorithm 2: NEWEST_VERSION).
+const newestVersion = math.MaxInt64
+
+// Get returns the most recent value stored for key. Get is linearizable:
+// it returns the value of the last update whose final version number was
+// assigned before Get's own linearization point, and never observes a
+// pending (not yet linearized) update.
+func (m *Map[K, V]) Get(key K) (V, bool) {
+	return m.get(key, newestVersion)
+}
+
+// get implements both lookup variants of Algorithm 2. Reads help complete
+// pending structure modifications they encounter (temp-split nodes, merge
+// terminators) but — on the newest-version path — never regular updates.
+func (m *Map[K, V]) get(key K, snap int64) (V, bool) {
+	var headRev *revision[K, V]
+	for {
+		nd := m.findNodeForKey(key)
+		if nd.kind == nodeTempSplit {
+			m.helpSplit(nd.parent, nd.lrev) // Figure 3e-f
+			continue
+		}
+		nextNode := nd.next.Load()
+		headRev = nd.head.Load()
+		if headRev.kind == revTerminator {
+			m.helpMergeTerminator(headRev) // Figure 4c-e
+			continue
+		}
+		// Re-validate that the node still covers key: a concurrent
+		// split may have moved key's range to a new node between the
+		// find and the head load (Algorithm 2, lines 14-15).
+		if nx := nd.next.Load(); nx != nextNode || (nx != nil && nx.covers(key)) {
+			continue
+		}
+		break
+	}
+	var rev *revision[K, V]
+	if snap == newestVersion {
+		rev = m.getNewestRevision(headRev, key)
+	} else {
+		rev = m.getRevision(headRev, key, snap)
+	}
+	m.noteRead(headRev)
+	if rev == nil {
+		var zero V
+		return zero, false
+	}
+	return rev.get(key, m.opts.Hash)
+}
+
+// getNewestRevision walks the revision list and returns the first revision
+// from a completed update (positive version). Merge revisions route the
+// walk into the branch that owns key (Algorithm 2, lines 25-34).
+func (m *Map[K, V]) getNewestRevision(headRev *revision[K, V], key K) *revision[K, V] {
+	rev := headRev
+	for rev != nil {
+		if rev.ver() > 0 {
+			return redirectSplit(rev, key)
+		}
+		if rev.kind == revMerge && key >= rev.rightKey {
+			rev = rev.rightNext.Load()
+		} else {
+			rev = rev.next.Load()
+		}
+	}
+	return nil
+}
+
+// getRevision returns the revision holding key's value at snapshot version
+// snap: the newest revision with final version <= snap. Pending updates
+// that may belong to the snapshot (|v| <= snap) are helped to completion so
+// their final version can be resolved (§3.2; Algorithm 2, lines 35-52).
+func (m *Map[K, V]) getRevision(headRev *revision[K, V], key K, snap int64) *revision[K, V] {
+	rev := headRev
+	for rev != nil {
+		v := rev.ver()
+		if v < 0 && -v <= snap {
+			m.helpPendingUpdate(rev)
+			v = rev.ver()
+		}
+		if v > 0 && v <= snap {
+			return redirectSplit(rev, key)
+		}
+		// |v| > snap: this revision is invisible to the snapshot.
+		if rev.kind == revMerge && key >= rev.rightKey {
+			rev = rev.rightNext.Load()
+		} else {
+			rev = rev.next.Load()
+		}
+	}
+	return nil
+}
+
+// redirectSplit routes a lookup that resolved to a split revision into the
+// sibling that owns key. The two halves share one version (the left
+// sibling's field), so whichever half the walk lands on, the sibling is
+// equally visible; only the payload differs.
+func redirectSplit[K cmp.Ordered, V any](rev *revision[K, V], key K) *revision[K, V] {
+	switch rev.kind {
+	case revLeftSplit:
+		if key >= rev.splitKey {
+			return rev.sibling
+		}
+	case revRightSplit:
+		if key < rev.splitKey {
+			return rev.sibling
+		}
+	}
+	return rev
+}

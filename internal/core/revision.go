@@ -1,0 +1,323 @@
+package core
+
+import (
+	"cmp"
+	"sort"
+	"sync/atomic"
+)
+
+// revKind distinguishes the revision roles from §3.3.1. A single struct with
+// a kind tag keeps the revision list CAS-able through one head pointer.
+type revKind uint8
+
+const (
+	revRegular revKind = iota
+	revLeftSplit
+	revRightSplit
+	revMerge
+	revTerminator // merge terminator: carries no payload
+)
+
+// revision is an immutable bundle of key-value entries in a concrete
+// version (§3.3.5), plus the mutable coordination fields that drive the
+// lock-free protocol. Payload fields (keys, vals, hashes, slots and the
+// structural constants kind, sibling, splitKey, rightKey, node, prevRev,
+// remKey, remHasKey, desc) are written before the revision is published via
+// CAS and never change afterwards. Only version, next, rightNext, splitDone,
+// mergeRev and the autoscaler stats mutate after publication, all through
+// atomics.
+type revision[K cmp.Ordered, V any] struct {
+	kind revKind
+
+	// version holds the optimistic (negative) then final (positive)
+	// version number — unless desc is non-nil, in which case the version
+	// lives in the shared batch descriptor (§3.3.3).
+	version atomic.Int64
+	desc    *batchDesc[K, V]
+
+	// Payload: entries sorted by key. hashes[i] is Hash(keys[i]); slots
+	// is the lightweight hash index (2 slots per bucket, §3.3.5), nil
+	// when the index is disabled or the revision is empty.
+	keys   []K
+	vals   []V
+	hashes []uint16
+	slots  []int32
+
+	// next is the (left) successor in the revision list.
+	next atomic.Pointer[revision[K, V]]
+
+	// Merge-revision fields: rightNext is the right successor (the merged
+	// node's old revision chain), rightKey the key of the node that was
+	// merged away, mt the terminator this revision resolves.
+	rightNext atomic.Pointer[revision[K, V]]
+	rightKey  K
+	mt        *revision[K, V]
+
+	// Split-revision fields: the two split revisions reference each other
+	// through sibling; splitKey is the key of the new node (the lower
+	// bound of the right half). splitDone is set once the real new node
+	// has been installed, guarding against the ABA scenario of §3.3.1.
+	sibling   *revision[K, V]
+	splitKey  K
+	splitDone atomic.Bool
+
+	// Merge-terminator fields: node is the node being merged away,
+	// prevRev its revision list at termination time, remKey/remHasKey the
+	// remove operation folded into the merge, mergeRev the merge revision
+	// once installed (set exactly once via CAS).
+	node      *node[K, V]
+	prevRev   *revision[K, V]
+	remKey    K
+	remHasKey bool
+	mergeRev  atomic.Pointer[revision[K, V]]
+
+	stats revStats
+}
+
+// ver resolves the revision's current version number, indirecting through
+// the batch descriptor when the revision was created by a batch update.
+func (r *revision[K, V]) ver() int64 {
+	if r.desc != nil {
+		return r.desc.version.Load()
+	}
+	if r.kind == revRightSplit {
+		// Both split revisions share one linearization point: the
+		// version is stored only in the left sibling, so a lookup can
+		// never observe one half of a split as final and the other as
+		// pending.
+		return r.sibling.version.Load()
+	}
+	return r.version.Load()
+}
+
+// pending reports whether the update that created r has not linearized yet.
+func (r *revision[K, V]) pending() bool { return r.ver() < 0 }
+
+// size returns the number of entries in the revision.
+func (r *revision[K, V]) size() int { return len(r.keys) }
+
+// newRevision builds a revision over the given sorted, deduplicated arrays
+// and populates the hash index. The caller owns the arrays exclusively.
+func (m *Map[K, V]) newRevision(kind revKind, keys []K, vals []V) *revision[K, V] {
+	r := &revision[K, V]{kind: kind, keys: keys, vals: vals}
+	if !m.opts.DisableHashIndex && len(keys) > 0 {
+		r.hashes = make([]uint16, len(keys))
+		for i, k := range keys {
+			r.hashes[i] = m.opts.Hash(k)
+		}
+		r.buildSlots()
+	}
+	return r
+}
+
+// newRevisionFromHashes is newRevision for callers that already hold the
+// hash array (copied alongside keys/vals, §3.3.5: "the hashes array can be
+// efficiently copied").
+func (m *Map[K, V]) newRevisionFromHashes(kind revKind, keys []K, vals []V, hashes []uint16) *revision[K, V] {
+	r := &revision[K, V]{kind: kind, keys: keys, vals: vals}
+	if !m.opts.DisableHashIndex && len(keys) > 0 {
+		r.hashes = hashes
+		r.buildSlots()
+	}
+	return r
+}
+
+// buildSlots populates the 2-slot-per-bucket hash index: entry i lands in
+// slot 2t or 2t+1 where t = hashes[i] masked to the bucket count (the next
+// power of two >= len(keys), so the bucket computation is a mask, not a
+// division); overflow entries are found by the binary-search fallback.
+// Slots store entry index + 1 so that make()'s zeroing doubles as the
+// empty marker.
+func (r *revision[K, V]) buildSlots() {
+	n := len(r.keys)
+	b := 1
+	for b < n {
+		b <<= 1
+	}
+	mask := uint16(b - 1)
+	slots := make([]int32, 2*b)
+	for i := 0; i < n; i++ {
+		t := int(r.hashes[i] & mask)
+		if slots[2*t] == 0 {
+			slots[2*t] = int32(i) + 1
+		} else if slots[2*t+1] == 0 {
+			slots[2*t+1] = int32(i) + 1
+		}
+	}
+	r.slots = slots
+}
+
+// get returns the value stored for key in this revision. It first probes
+// the hash index (two slots), declaring the key absent if a probed slot is
+// empty, and falls back to binary search only on double collision (§3.3.5).
+func (r *revision[K, V]) get(key K, hash func(K) uint16) (V, bool) {
+	var zero V
+	n := len(r.keys)
+	if n == 0 {
+		return zero, false
+	}
+	if r.slots != nil {
+		t := int(hash(key) & uint16(len(r.slots)/2-1))
+		i := r.slots[2*t]
+		if i == 0 {
+			return zero, false
+		}
+		if r.keys[i-1] == key {
+			return r.vals[i-1], true
+		}
+		j := r.slots[2*t+1]
+		if j == 0 {
+			return zero, false
+		}
+		if r.keys[j-1] == key {
+			return r.vals[j-1], true
+		}
+		// Both slots taken by other keys: the key may have overflowed.
+	}
+	i := sort.Search(n, func(i int) bool { return r.keys[i] >= key })
+	if i < n && r.keys[i] == key {
+		return r.vals[i], true
+	}
+	return zero, false
+}
+
+// find returns the index of key in the sorted keys array, or (insertion
+// point, false).
+func (r *revision[K, V]) find(key K) (int, bool) {
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= key })
+	return i, i < len(r.keys) && r.keys[i] == key
+}
+
+// cloneAndPut returns fresh arrays equal to r's payload with key set to val.
+func (r *revision[K, V]) cloneAndPut(key K, val V, hash func(K) uint16, withHashes bool) (keys []K, vals []V, hashes []uint16) {
+	i, found := r.find(key)
+	if found {
+		keys = make([]K, len(r.keys))
+		vals = make([]V, len(r.vals))
+		copy(keys, r.keys)
+		copy(vals, r.vals)
+		vals[i] = val
+		if withHashes && r.hashes != nil {
+			hashes = make([]uint16, len(r.hashes))
+			copy(hashes, r.hashes)
+		}
+		return keys, vals, hashes
+	}
+	n := len(r.keys)
+	keys = make([]K, n+1)
+	vals = make([]V, n+1)
+	copy(keys, r.keys[:i])
+	copy(vals, r.vals[:i])
+	keys[i] = key
+	vals[i] = val
+	copy(keys[i+1:], r.keys[i:])
+	copy(vals[i+1:], r.vals[i:])
+	if withHashes {
+		hashes = make([]uint16, n+1)
+		if r.hashes != nil {
+			copy(hashes, r.hashes[:i])
+			copy(hashes[i+1:], r.hashes[i:])
+		} else {
+			for j, k := range keys {
+				hashes[j] = hash(k)
+			}
+		}
+		hashes[i] = hash(key)
+	}
+	return keys, vals, hashes
+}
+
+// cloneAndRemove returns fresh arrays equal to r's payload with key removed.
+// The caller must have checked that key is present.
+func (r *revision[K, V]) cloneAndRemove(key K) (keys []K, vals []V, hashes []uint16) {
+	i, found := r.find(key)
+	if !found {
+		keys = make([]K, len(r.keys))
+		vals = make([]V, len(r.vals))
+		copy(keys, r.keys)
+		copy(vals, r.vals)
+		if r.hashes != nil {
+			hashes = make([]uint16, len(r.hashes))
+			copy(hashes, r.hashes)
+		}
+		return keys, vals, hashes
+	}
+	n := len(r.keys)
+	keys = make([]K, n-1)
+	vals = make([]V, n-1)
+	copy(keys, r.keys[:i])
+	copy(vals, r.vals[:i])
+	copy(keys[i:], r.keys[i+1:])
+	copy(vals[i:], r.vals[i+1:])
+	if r.hashes != nil {
+		hashes = make([]uint16, n-1)
+		copy(hashes, r.hashes[:i])
+		copy(hashes[i:], r.hashes[i+1:])
+	}
+	return keys, vals, hashes
+}
+
+// applyBatch returns fresh arrays equal to r's payload with every entry in
+// ops applied (ops sorted ascending by key, unique keys). Removes of absent
+// keys are no-ops in the arrays but still force a new revision (§3.3.3
+// point 5: the lost-remove anomaly).
+func (r *revision[K, V]) applyBatch(ops []batchEntry[K, V]) (keys []K, vals []V) {
+	keys = make([]K, 0, len(r.keys)+len(ops))
+	vals = make([]V, 0, len(r.vals)+len(ops))
+	i, j := 0, 0
+	for i < len(r.keys) && j < len(ops) {
+		switch {
+		case r.keys[i] < ops[j].key:
+			keys = append(keys, r.keys[i])
+			vals = append(vals, r.vals[i])
+			i++
+		case r.keys[i] > ops[j].key:
+			if !ops[j].remove {
+				keys = append(keys, ops[j].key)
+				vals = append(vals, ops[j].val)
+			}
+			j++
+		default:
+			if !ops[j].remove {
+				keys = append(keys, ops[j].key)
+				vals = append(vals, ops[j].val)
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(r.keys); i++ {
+		keys = append(keys, r.keys[i])
+		vals = append(vals, r.vals[i])
+	}
+	for ; j < len(ops); j++ {
+		if !ops[j].remove {
+			keys = append(keys, ops[j].key)
+			vals = append(vals, ops[j].val)
+		}
+	}
+	return keys, vals
+}
+
+// splitArrays halves sorted arrays for a node split (§3.3.1: "a new node
+// inherits the upper half of the key range"). It returns the two halves and
+// the new node's key (the first key of the right half). len(keys) must be
+// >= 2.
+func splitArrays[K cmp.Ordered, V any](keys []K, vals []V) (lk []K, lv []V, rk []K, rv []V, splitKey K) {
+	mid := len(keys) / 2
+	lk = keys[:mid:mid]
+	lv = vals[:mid:mid]
+	rk = keys[mid:]
+	rv = vals[mid:]
+	return lk, lv, rk, rv, rk[0]
+}
+
+// unionArrays concatenates two disjoint sorted runs (left strictly below
+// right), producing fresh arrays for a merge revision.
+func unionArrays[K cmp.Ordered, V any](lk []K, lv []V, rk []K, rv []V) ([]K, []V) {
+	keys := make([]K, 0, len(lk)+len(rk))
+	vals := make([]V, 0, len(lv)+len(rv))
+	keys = append(append(keys, lk...), rk...)
+	vals = append(append(vals, lv...), rv...)
+	return keys, vals
+}

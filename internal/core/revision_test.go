@@ -1,0 +1,351 @@
+package core
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func testMap() *Map[uint64, int] {
+	return New[uint64, int]()
+}
+
+func mkRev(t *testing.T, m *Map[uint64, int], kv map[uint64]int) *revision[uint64, int] {
+	t.Helper()
+	keys := make([]uint64, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	vals := make([]int, len(keys))
+	for i, k := range keys {
+		vals[i] = kv[k]
+	}
+	return m.newRevision(revRegular, keys, vals)
+}
+
+func TestRevisionGetPresentAbsent(t *testing.T) {
+	m := testMap()
+	r := mkRev(t, m, map[uint64]int{1: 10, 5: 50, 9: 90})
+	for k, want := range map[uint64]int{1: 10, 5: 50, 9: 90} {
+		got, ok := r.get(k, m.opts.Hash)
+		if !ok || got != want {
+			t.Errorf("get(%d) = %d,%v want %d,true", k, got, ok, want)
+		}
+	}
+	for _, k := range []uint64{0, 2, 4, 6, 8, 10, 1 << 40} {
+		if _, ok := r.get(k, m.opts.Hash); ok {
+			t.Errorf("get(%d) found phantom entry", k)
+		}
+	}
+}
+
+func TestRevisionGetEmpty(t *testing.T) {
+	m := testMap()
+	r := m.newRevision(revRegular, nil, nil)
+	if _, ok := r.get(7, m.opts.Hash); ok {
+		t.Fatal("empty revision returned a value")
+	}
+}
+
+func TestRevisionHashIndexMatchesBinarySearch(t *testing.T) {
+	// Property: with and without the hash index, lookups agree — for
+	// every stored key and for probes around them.
+	m := testMap()
+	noIdx := New[uint64, int](Options[uint64]{DisableHashIndex: true})
+	f := func(keysIn []uint64) bool {
+		kv := make(map[uint64]int, len(keysIn))
+		for i, k := range keysIn {
+			kv[k] = i
+		}
+		r1 := mkRev(t, m, kv)
+		r2 := mkRev(t, noIdx, kv)
+		for _, k := range keysIn {
+			for _, probe := range []uint64{k, k + 1, k - 1} {
+				v1, ok1 := r1.get(probe, m.opts.Hash)
+				v2, ok2 := r2.get(probe, noIdx.opts.Hash)
+				if ok1 != ok2 || v1 != v2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevisionHashIndexManyCollisions(t *testing.T) {
+	// A constant hash forces every entry through the double-collision
+	// binary-search fallback (§3.3.5).
+	m := New[uint64, int](Options[uint64]{Hash: func(uint64) uint16 { return 7 }})
+	kv := map[uint64]int{}
+	for i := uint64(0); i < 100; i++ {
+		kv[i*3] = int(i)
+	}
+	r := mkRev(t, m, kv)
+	for k, want := range kv {
+		got, ok := r.get(k, m.opts.Hash)
+		if !ok || got != want {
+			t.Fatalf("get(%d) = %d,%v want %d,true", k, got, ok, want)
+		}
+	}
+	if _, ok := r.get(1, m.opts.Hash); ok {
+		t.Fatal("found phantom under full collisions")
+	}
+}
+
+func TestCloneAndPutInsertsSorted(t *testing.T) {
+	m := testMap()
+	r := mkRev(t, m, map[uint64]int{10: 1, 30: 3})
+	keys, vals, _ := r.cloneAndPut(20, 2, m.opts.Hash, true)
+	if !reflect.DeepEqual(keys, []uint64{10, 20, 30}) {
+		t.Fatalf("keys = %v", keys)
+	}
+	if !reflect.DeepEqual(vals, []int{1, 2, 3}) {
+		t.Fatalf("vals = %v", vals)
+	}
+	// Source arrays untouched (immutability).
+	if !reflect.DeepEqual(r.keys, []uint64{10, 30}) {
+		t.Fatalf("source mutated: %v", r.keys)
+	}
+}
+
+func TestCloneAndPutOverwrites(t *testing.T) {
+	m := testMap()
+	r := mkRev(t, m, map[uint64]int{10: 1, 30: 3})
+	keys, vals, _ := r.cloneAndPut(30, 99, m.opts.Hash, true)
+	if !reflect.DeepEqual(keys, []uint64{10, 30}) || !reflect.DeepEqual(vals, []int{1, 99}) {
+		t.Fatalf("keys=%v vals=%v", keys, vals)
+	}
+	if r.vals[1] != 3 {
+		t.Fatal("source value mutated")
+	}
+}
+
+func TestCloneAndPutBoundaries(t *testing.T) {
+	m := testMap()
+	r := mkRev(t, m, map[uint64]int{10: 1, 30: 3})
+	keys, _, _ := r.cloneAndPut(5, 0, m.opts.Hash, true)
+	if !reflect.DeepEqual(keys, []uint64{5, 10, 30}) {
+		t.Fatalf("prepend: %v", keys)
+	}
+	keys, _, _ = r.cloneAndPut(40, 4, m.opts.Hash, true)
+	if !reflect.DeepEqual(keys, []uint64{10, 30, 40}) {
+		t.Fatalf("append: %v", keys)
+	}
+	empty := m.newRevision(revRegular, nil, nil)
+	keys, vals, _ := empty.cloneAndPut(7, 70, m.opts.Hash, true)
+	if !reflect.DeepEqual(keys, []uint64{7}) || vals[0] != 70 {
+		t.Fatalf("from empty: %v %v", keys, vals)
+	}
+}
+
+func TestCloneAndRemove(t *testing.T) {
+	m := testMap()
+	r := mkRev(t, m, map[uint64]int{10: 1, 20: 2, 30: 3})
+	keys, vals, _ := r.cloneAndRemove(20)
+	if !reflect.DeepEqual(keys, []uint64{10, 30}) || !reflect.DeepEqual(vals, []int{1, 3}) {
+		t.Fatalf("keys=%v vals=%v", keys, vals)
+	}
+	keys, _, _ = r.cloneAndRemove(10)
+	if !reflect.DeepEqual(keys, []uint64{20, 30}) {
+		t.Fatalf("remove first: %v", keys)
+	}
+	keys, _, _ = r.cloneAndRemove(30)
+	if !reflect.DeepEqual(keys, []uint64{10, 20}) {
+		t.Fatalf("remove last: %v", keys)
+	}
+	// Removing an absent key clones unchanged.
+	keys, _, _ = r.cloneAndRemove(25)
+	if !reflect.DeepEqual(keys, []uint64{10, 20, 30}) {
+		t.Fatalf("remove absent: %v", keys)
+	}
+}
+
+func TestCloneHashesStayConsistent(t *testing.T) {
+	// Property: after a random chain of clone operations, the hash-index
+	// lookup still finds exactly the surviving entries.
+	m := testMap()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e37))
+		ref := map[uint64]int{}
+		rev := m.newRevision(revRegular, nil, nil)
+		for i := 0; i < 60; i++ {
+			k := uint64(rng.IntN(40))
+			if rng.IntN(3) == 0 {
+				keys, vals, hashes := rev.cloneAndRemove(k)
+				rev = m.newRevisionFromHashes(revRegular, keys, vals, hashes)
+				delete(ref, k)
+			} else {
+				keys, vals, hashes := rev.cloneAndPut(k, i, m.opts.Hash, true)
+				rev = m.newRevisionFromHashes(revRegular, keys, vals, hashes)
+				ref[k] = i
+			}
+		}
+		for k := uint64(0); k < 45; k++ {
+			want, wantOK := ref[k]
+			got, ok := rev.get(k, m.opts.Hash)
+			if ok != wantOK || (ok && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBatchAgainstReference(t *testing.T) {
+	m := testMap()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		ref := map[uint64]int{}
+		base := map[uint64]int{}
+		for i := 0; i < 30; i++ {
+			k := uint64(rng.IntN(50))
+			base[k] = int(k) * 10
+			ref[k] = int(k) * 10
+		}
+		rev := mkRev(t, m, base)
+		var ops []batchEntry[uint64, int]
+		seen := map[uint64]bool{}
+		for i := 0; i < 20; i++ {
+			k := uint64(rng.IntN(60))
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if rng.IntN(2) == 0 {
+				ops = append(ops, batchEntry[uint64, int]{key: k, remove: true})
+				delete(ref, k)
+			} else {
+				ops = append(ops, batchEntry[uint64, int]{key: k, val: i})
+				ref[k] = i
+			}
+		}
+		sort.Slice(ops, func(i, j int) bool { return ops[i].key < ops[j].key })
+		keys, vals := rev.applyBatch(ops)
+		if len(keys) != len(ref) {
+			return false
+		}
+		for i, k := range keys {
+			if i > 0 && keys[i-1] >= k {
+				return false // must stay strictly sorted
+			}
+			if ref[k] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBatchEmptyOps(t *testing.T) {
+	m := testMap()
+	r := mkRev(t, m, map[uint64]int{1: 1})
+	keys, vals := r.applyBatch(nil)
+	if !reflect.DeepEqual(keys, []uint64{1}) || vals[0] != 1 {
+		t.Fatalf("identity apply changed payload: %v %v", keys, vals)
+	}
+}
+
+func TestSplitArrays(t *testing.T) {
+	keys := []uint64{1, 2, 3, 4, 5}
+	vals := []int{10, 20, 30, 40, 50}
+	lk, lv, rk, rv, splitKey := splitArrays(keys, vals)
+	if !reflect.DeepEqual(lk, []uint64{1, 2}) || !reflect.DeepEqual(rk, []uint64{3, 4, 5}) {
+		t.Fatalf("halves: %v | %v", lk, rk)
+	}
+	if splitKey != 3 {
+		t.Fatalf("splitKey = %d", splitKey)
+	}
+	if lv[1] != 20 || rv[0] != 30 {
+		t.Fatalf("values misaligned: %v %v", lv, rv)
+	}
+}
+
+func TestSplitArraysEven(t *testing.T) {
+	lk, _, rk, _, splitKey := splitArrays([]uint64{1, 2, 3, 4}, []int{1, 2, 3, 4})
+	if len(lk) != 2 || len(rk) != 2 || splitKey != 3 {
+		t.Fatalf("even split: %v %v key=%d", lk, rk, splitKey)
+	}
+}
+
+func TestUnionArrays(t *testing.T) {
+	k, v := unionArrays([]uint64{1, 2}, []int{1, 2}, []uint64{5, 6}, []int{5, 6})
+	if !reflect.DeepEqual(k, []uint64{1, 2, 5, 6}) || !reflect.DeepEqual(v, []int{1, 2, 5, 6}) {
+		t.Fatalf("union: %v %v", k, v)
+	}
+	k, _ = unionArrays(nil, nil, []uint64{5}, []int{5})
+	if !reflect.DeepEqual(k, []uint64{5}) {
+		t.Fatalf("union with empty left: %v", k)
+	}
+}
+
+func TestSplitThenUnionRoundTrips(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%60) + 4
+		keys := make([]uint64, size)
+		vals := make([]int, size)
+		for i := range keys {
+			keys[i] = uint64(i * 2)
+			vals[i] = i
+		}
+		lk, lv, rk, rv, _ := splitArrays(keys, vals)
+		uk, uv := unionArrays(lk, lv, rk, rv)
+		return reflect.DeepEqual(uk, keys) && reflect.DeepEqual(uv, vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultHashStrings(t *testing.T) {
+	m := New[string, int]()
+	r := m.newRevision(revRegular, []string{"a", "bb", "ccc"}, []int{1, 2, 3})
+	for k, want := range map[string]int{"a": 1, "bb": 2, "ccc": 3} {
+		if got, ok := r.get(k, m.opts.Hash); !ok || got != want {
+			t.Fatalf("get(%q) = %d,%v", k, got, ok)
+		}
+	}
+	if _, ok := r.get("zz", m.opts.Hash); ok {
+		t.Fatal("phantom string key")
+	}
+}
+
+func TestNormalizeBatchLastWins(t *testing.T) {
+	ops := []batchEntry[uint64, int]{
+		{key: 5, val: 1},
+		{key: 3, val: 2},
+		{key: 5, remove: true},
+		{key: 3, val: 9},
+		{key: 7, val: 7},
+	}
+	out := normalizeBatch(ops)
+	if len(out) != 3 {
+		t.Fatalf("len = %d, want 3 (%v)", len(out), out)
+	}
+	if out[0].key != 3 || out[0].val != 9 || out[0].remove {
+		t.Fatalf("key 3: %+v", out[0])
+	}
+	if out[1].key != 5 || !out[1].remove {
+		t.Fatalf("key 5 should be a remove: %+v", out[1])
+	}
+	if out[2].key != 7 || out[2].val != 7 {
+		t.Fatalf("key 7: %+v", out[2])
+	}
+}
+
+func TestNormalizeBatchEmpty(t *testing.T) {
+	if out := normalizeBatch[uint64, int](nil); out != nil {
+		t.Fatalf("normalize(nil) = %v", out)
+	}
+}

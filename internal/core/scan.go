@@ -1,0 +1,192 @@
+package core
+
+import (
+	"cmp"
+	"sort"
+)
+
+// Range calls fn for every entry with lo <= key < hi, ascending, on an
+// ephemeral snapshot taken at call time. Equivalent to
+// Snapshot().Range(...) followed by Close.
+func (m *Map[K, V]) Range(lo, hi K, fn func(key K, val V) bool) {
+	s := m.Snapshot()
+	defer s.Close()
+	s.Range(lo, hi, fn)
+}
+
+// RangeFrom calls fn for every entry with key >= lo, ascending, on an
+// ephemeral snapshot, until fn returns false.
+func (m *Map[K, V]) RangeFrom(lo K, fn func(key K, val V) bool) {
+	s := m.Snapshot()
+	defer s.Close()
+	s.RangeFrom(lo, fn)
+}
+
+// All calls fn for every entry, ascending, on an ephemeral snapshot.
+func (m *Map[K, V]) All(fn func(key K, val V) bool) {
+	s := m.Snapshot()
+	defer s.Close()
+	s.All(fn)
+}
+
+// Len counts the entries visible in an ephemeral snapshot. O(n); intended
+// for tests and diagnostics.
+func (m *Map[K, V]) Len() int {
+	n := 0
+	m.All(func(K, V) bool { n++; return true })
+	return n
+}
+
+// frag is one resolved fragment of a node's state at a snapshot: a visible
+// revision clamped to the key range its branch of the revision DAG is
+// responsible for. The bounds matter when a merge revision newer than the
+// snapshot branches into histories that both bottom out in the same
+// pre-split revision: without them the shared revision would be emitted
+// once per branch.
+type frag[K cmp.Ordered, V any] struct {
+	rev    *revision[K, V]
+	lo, hi *K // nil = unbounded on that side
+}
+
+// scan is the range-scan engine (§3.3.4). It walks base-level nodes from
+// lo's covering node, and for each node resolves the set of revision
+// fragments visible at snap — recursing through both successors of merge
+// revisions that are newer than the snapshot (the paper's bulk revisions)
+// — then emits the fragments clamped to the node's range at traversal
+// time. Scans help pending updates that belong to the snapshot but are
+// never restarted.
+func (m *Map[K, V]) scan(lo, hi *K, snap int64, fn func(K, V) bool) {
+	var nd *node[K, V]
+	if lo != nil {
+		for {
+			nd = m.findNodeForKey(*lo)
+			if nd.kind == nodeTempSplit {
+				m.helpSplit(nd.parent, nd.lrev)
+				continue
+			}
+			break
+		}
+	} else {
+		nd = m.base
+	}
+
+	var frags []frag[K, V]
+	for nd != nil {
+		if hi != nil && !nd.isBase && nd.key >= *hi {
+			return
+		}
+		// The successor must be captured before resolving the head:
+		// any structure change that completes afterwards is newer
+		// than the snapshot, and the captured pointer still leads to
+		// the node (live or terminated) holding the remainder of the
+		// range's history.
+		//
+		// A temp-split successor is only trustworthy while its split
+		// is incomplete (then its pinned right split revision is the
+		// authoritative history for the upper half-range). A zombie
+		// temp-split node — re-inserted by a stale helper after the
+		// split completed, the ABA recovery case of §3.3.1 — is born
+		// with splitDone already set; trusting it would clamp this
+		// node's range wrongly and serve stale data. Retract it and
+		// re-read.
+		bound := nd.next.Load()
+		if bound != nil && bound.kind == nodeTempSplit && bound.lrev.splitDone.Load() {
+			m.helpSplit(bound.parent, bound.lrev)
+			continue
+		}
+		headRev := nd.head.Load()
+
+		frags = frags[:0]
+		if headRev.kind == revTerminator {
+			// A node that is being (or has been) merged away: the
+			// merge is invisible at snap (a merge visible at snap
+			// would have unlinked the node before this scan could
+			// reach it), so the node's own pre-merge history is
+			// authoritative.
+			m.resolveFrags(headRev.prevRev, snap, nil, nil, &frags)
+		} else {
+			m.resolveFrags(headRev, snap, nil, nil, &frags)
+			m.noteScanRead(headRev)
+		}
+
+		// Clamp to the node's current range and the scan bounds.
+		var low *K
+		if !nd.isBase {
+			k := nd.key
+			low = &k
+		}
+		if lo != nil && (low == nil || *lo > *low) {
+			low = lo
+		}
+		var high *K
+		if bound != nil {
+			k := bound.key
+			high = &k
+		}
+		if hi != nil && (high == nil || *hi < *high) {
+			high = hi
+		}
+		for _, fr := range frags {
+			flo, fhi := low, high
+			if fr.lo != nil && (flo == nil || *fr.lo > *flo) {
+				flo = fr.lo
+			}
+			if fr.hi != nil && (fhi == nil || *fr.hi < *fhi) {
+				fhi = fr.hi
+			}
+			keys := fr.rev.keys
+			i := 0
+			if flo != nil {
+				l := *flo
+				i = sort.Search(len(keys), func(i int) bool { return keys[i] >= l })
+			}
+			for ; i < len(keys); i++ {
+				k := keys[i]
+				if fhi != nil && k >= *fhi {
+					break
+				}
+				if !fn(k, fr.rev.vals[i]) {
+					return
+				}
+			}
+		}
+		nd = bound
+	}
+}
+
+// resolveFrags appends, in ascending key order, the revision fragments that
+// together hold this chain's state at snapshot snap within the key range
+// [lo, hi). A merge revision newer than the snapshot contributes both of
+// its branches, partitioned at its rightKey (left first: lower keys); one
+// visible revision terminates each branch. Without the partition, two
+// branches that bottom out in one shared pre-split revision would
+// double-count it.
+func (m *Map[K, V]) resolveFrags(rev *revision[K, V], snap int64, lo, hi *K, out *[]frag[K, V]) {
+	for rev != nil {
+		v := rev.ver()
+		if v < 0 && -v <= snap {
+			m.helpPendingUpdate(rev)
+			v = rev.ver()
+		}
+		if v > 0 && v <= snap {
+			*out = append(*out, frag[K, V]{rev: rev, lo: lo, hi: hi})
+			return
+		}
+		if rev.kind == revMerge {
+			rk := rev.rightKey
+			lhi := hi
+			if lhi == nil || rk < *lhi {
+				lhi = &rk
+			}
+			m.resolveFrags(rev.next.Load(), snap, lo, lhi, out)
+			rlo := lo
+			if rlo == nil || rk > *rlo {
+				rlo = &rk
+			}
+			lo = rlo
+			rev = rev.rightNext.Load()
+			continue
+		}
+		rev = rev.next.Load()
+	}
+}

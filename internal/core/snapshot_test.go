@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/tsc"
+)
+
+// TestSnapshotHistoryDeterministic replays a random operation sequence on a
+// manual clock, recording the reference state at every tick, then verifies
+// that a snapshot taken at each tick reproduces exactly the state the
+// reference had then — the multiversion store as a time machine.
+func TestSnapshotHistoryDeterministic(t *testing.T) {
+	clk := tsc.NewManual(10)
+	m := New[uint64, int](Options[uint64]{Clock: clk, FixedRevisionSize: 4})
+	rng := rand.New(rand.NewPCG(7, 9))
+
+	type stateSnap struct {
+		snap *Snapshot[uint64, int]
+		ref  map[uint64]int
+	}
+	var snaps []stateSnap
+	ref := map[uint64]int{}
+
+	for tick := 0; tick < 60; tick++ {
+		// A few operations per tick.
+		for i := 0; i < 5; i++ {
+			k := uint64(rng.IntN(30))
+			if rng.IntN(3) == 0 {
+				m.Remove(k)
+				delete(ref, k)
+			} else {
+				v := tick*10 + i
+				m.Put(k, v)
+				ref[k] = v
+			}
+		}
+		// Snapshot the current state; it must stay frozen forever.
+		cp := make(map[uint64]int, len(ref))
+		for k, v := range ref {
+			cp[k] = v
+		}
+		snaps = append(snaps, stateSnap{m.Snapshot(), cp})
+		clk.Advance(100)
+	}
+
+	// All snapshots must still read their recorded state, despite all the
+	// later updates (their registrations block the GC from pruning).
+	for i, s := range snaps {
+		for k := uint64(0); k < 30; k++ {
+			want, wantOK := s.ref[k]
+			got, ok := s.snap.Get(k)
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("snapshot %d key %d: got %d,%v want %d,%v", i, k, got, ok, want, wantOK)
+			}
+		}
+		n := 0
+		s.snap.All(func(k uint64, v int) bool {
+			if s.ref[k] != v {
+				t.Fatalf("snapshot %d scan: key %d = %d want %d", i, k, v, s.ref[k])
+			}
+			n++
+			return true
+		})
+		if n != len(s.ref) {
+			t.Fatalf("snapshot %d scan saw %d entries, want %d", i, n, len(s.ref))
+		}
+	}
+	for _, s := range snaps {
+		s.snap.Close()
+	}
+}
+
+// TestSnapshotAfterBatchSeesAllOrNothing: snapshots interleaved with batch
+// updates on a manual clock observe batches atomically at exact versions.
+func TestSnapshotAfterBatchSeesAllOrNothing(t *testing.T) {
+	clk := tsc.NewManual(10)
+	m := New[uint64, int](Options[uint64]{Clock: clk, FixedRevisionSize: 3})
+	pre := m.Snapshot()
+	defer pre.Close()
+
+	b := NewBatch[uint64, int](10)
+	for i := uint64(0); i < 10; i++ {
+		b.Put(i*7, int(i))
+	}
+	m.BatchUpdate(b)
+	post := m.Snapshot()
+	defer post.Close()
+
+	for i := uint64(0); i < 10; i++ {
+		if _, ok := pre.Get(i * 7); ok {
+			t.Fatalf("pre-batch snapshot sees key %d", i*7)
+		}
+		if v, ok := post.Get(i * 7); !ok || v != int(i) {
+			t.Fatalf("post-batch snapshot missing key %d: %d,%v", i*7, v, ok)
+		}
+	}
+}
+
+// TestClosedSnapshotReleasesGC: after the only snapshot closes, subsequent
+// updates prune history down to the newest revisions again.
+func TestClosedSnapshotReleasesGC(t *testing.T) {
+	m := testMap()
+	s := m.Snapshot()
+	for i := 0; i < 50; i++ {
+		m.Put(9, i)
+	}
+	s.Close()
+	for i := 0; i < 50; i++ {
+		m.Put(9, 100+i)
+	}
+	if st := m.Stats(); st.MaxRevisionList > 3 {
+		t.Fatalf("history not released after Close: list length %d", st.MaxRevisionList)
+	}
+}
+
+// TestManySnapshotsMinVersionWins: the GC must respect the OLDEST open
+// snapshot, not the newest.
+func TestManySnapshotsMinVersionWins(t *testing.T) {
+	clk := tsc.NewManual(10)
+	m := New[uint64, int](Options[uint64]{Clock: clk})
+	m.Put(1, 100)
+	old := m.Snapshot()
+	defer old.Close()
+	clk.Advance(50)
+	for i := 0; i < 20; i++ {
+		m.Put(1, 200+i)
+		clk.Advance(10)
+		s := m.Snapshot()
+		s.Close()
+	}
+	if v, ok := old.Get(1); !ok || v != 100 {
+		t.Fatalf("oldest snapshot lost its value: %d,%v", v, ok)
+	}
+}
+
+// TestSnapshotRefreshReleasesHistory: refreshing moves the pin forward.
+func TestSnapshotRefreshReleasesHistory(t *testing.T) {
+	m := testMap()
+	s := m.Snapshot()
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		m.Put(5, i)
+	}
+	s.Refresh()
+	for i := 0; i < 100; i++ {
+		m.Put(5, 1000+i)
+	}
+	if st := m.Stats(); st.MaxRevisionList > 3 {
+		t.Fatalf("refresh did not release history: list length %d", st.MaxRevisionList)
+	}
+	if v, _ := s.Get(5); v < 99 {
+		t.Fatalf("refreshed snapshot too old: %d", v)
+	}
+}
+
+// TestSnapshotVersionsMonotonic: snapshot versions never decrease.
+func TestSnapshotVersionsMonotonic(t *testing.T) {
+	m := testMap()
+	prev := int64(0)
+	for i := 0; i < 100; i++ {
+		s := m.Snapshot()
+		if s.Version() < prev {
+			t.Fatalf("snapshot version went backwards: %d after %d", s.Version(), prev)
+		}
+		prev = s.Version()
+		s.Close()
+	}
+}
+
+// TestRegistryPrunesClosedEntries: closed snapshot entries are physically
+// unlinked by min-version scans.
+func TestRegistryPrunesClosedEntries(t *testing.T) {
+	m := testMap()
+	for i := 0; i < 100; i++ {
+		s := m.Snapshot()
+		s.Close()
+	}
+	m.Put(1, 1) // triggers a minVersion scan in GC
+	n := 0
+	for e := m.snaps.head.Load(); e != nil; e = e.next.Load() {
+		n++
+	}
+	if n > 2 {
+		t.Fatalf("registry kept %d closed entries", n)
+	}
+}

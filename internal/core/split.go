@@ -1,0 +1,82 @@
+package core
+
+// helpSplit drives a node split to completion after the left split revision
+// lsr has been installed at nd's head (Figure 3, steps c-f). It is
+// idempotent and may be called by any number of helpers concurrently; on
+// return the new node is installed (or was installed by someone else).
+//
+// ABA protection (§3.3.1): the temp-split node is retracted, never acted
+// upon, once lsr.splitDone is observed. splitDone is set by the thread that
+// installs the real node, strictly before any merge could remove that node
+// again (merging requires the split revisions to be finalized first, which
+// happens after splitDone). Because a stale temp-split node can only be
+// re-inserted after the split completed, reading nd.next before splitDone
+// guarantees we notice the staleness.
+func (m *Map[K, V]) helpSplit(nd *node[K, V], lsr *revision[K, V]) {
+	rsr := lsr.sibling
+	splitKey := lsr.splitKey
+	for {
+		next := nd.next.Load()
+
+		// Step f (or its observation): the real node is in place.
+		if next != nil && next.kind == nodeNormal && next.key == splitKey && !next.terminated.Load() &&
+			next.head.Load() == rsr {
+			lsr.splitDone.Store(true)
+			return
+		}
+
+		if next != nil && next.kind == nodeTempSplit && next.lrev == lsr {
+			// Steps e-f: replace the temp-split node with the
+			// real node.
+			if lsr.splitDone.Load() {
+				// Stale (zombie) temp-split node: retract it.
+				nd.next.CompareAndSwap(next, next.next.Load())
+				return
+			}
+			o := &node[K, V]{key: splitKey}
+			o.head.Store(rsr)
+			o.next.Store(next.next.Load())
+			if nd.next.CompareAndSwap(next, o) {
+				lsr.splitDone.Store(true)
+				m.addIndexForNode(o)
+				return
+			}
+			continue
+		}
+
+		if lsr.splitDone.Load() {
+			return // split completed via some other path
+		}
+
+		if next != nil && next.kind == nodeTempSplit && next.lrev != lsr {
+			// A foreign temp-split node at nd.next is necessarily a
+			// zombie from an earlier, completed split (two live
+			// splits of one node cannot coexist: ours holds the
+			// pending head). Retract it rather than splice in front
+			// of it; if it was in fact a live one racing us, its own
+			// helpers re-insert it.
+			nd.next.CompareAndSwap(next, next.next.Load())
+			continue
+		}
+
+		if next != nil && next.terminated.Load() {
+			// Unlink a merged-away successor before splicing.
+			m.unlinkTerminated(nd, next)
+			continue
+		}
+
+		// Steps c-d: install the temp-split node.
+		tsn := &node[K, V]{kind: nodeTempSplit, key: splitKey, parent: nd, lrev: lsr}
+		tsn.head.Store(rsr)
+		tsn.next.Store(next)
+		if nd.next.CompareAndSwap(next, tsn) {
+			// Recover from the ABA race: if the split completed
+			// while we were installing, our temp-split node is a
+			// zombie and must be retracted (§3.3.1).
+			if lsr.splitDone.Load() {
+				nd.next.CompareAndSwap(tsn, tsn.next.Load())
+				return
+			}
+		}
+	}
+}

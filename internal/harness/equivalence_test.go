@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/index"
+)
+
+// TestAllIndicesAgreeSequentially drives every competitor through the same
+// sequential operation stream and verifies they produce identical results —
+// the semantic baseline underneath the performance comparison. (KiWi is
+// covered by the B-configuration variant below.)
+func TestAllIndicesAgreeSequentially(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		indices := make([]index.Index[uint64, *Payload], len(IndicesA))
+		for i, name := range IndicesA {
+			indices[i] = NewIndexA(name)
+		}
+		rng := rand.New(rand.NewPCG(seed, 0xe10))
+		for op := 0; op < 2000; op++ {
+			k := rng.Uint64N(512)
+			switch rng.IntN(4) {
+			case 0:
+				v := ValA(k)
+				for _, idx := range indices {
+					idx.Put(k, v)
+				}
+			case 1:
+				ref := indices[0].Remove(k)
+				for i, idx := range indices[1:] {
+					if got := idx.Remove(k); got != ref {
+						t.Fatalf("seed %d op %d: %s Remove(%d)=%v, jiffy=%v",
+							seed, op, IndicesA[i+1], k, got, ref)
+					}
+				}
+			case 2:
+				refV, refOK := indices[0].Get(k)
+				for i, idx := range indices[1:] {
+					v, ok := idx.Get(k)
+					if ok != refOK || (ok && v != refV) {
+						t.Fatalf("seed %d op %d: %s Get(%d) disagrees with jiffy",
+							seed, op, IndicesA[i+1], k)
+					}
+				}
+			default:
+				var refKeys []uint64
+				n := 0
+				indices[0].RangeFrom(k, func(kk uint64, _ *Payload) bool {
+					refKeys = append(refKeys, kk)
+					n++
+					return n < 20
+				})
+				for i, idx := range indices[1:] {
+					var got []uint64
+					n := 0
+					idx.RangeFrom(k, func(kk uint64, _ *Payload) bool {
+						got = append(got, kk)
+						n++
+						return n < 20
+					})
+					if len(got) != len(refKeys) {
+						t.Fatalf("seed %d op %d: %s scan len %d vs jiffy %d",
+							seed, op, IndicesA[i+1], len(got), len(refKeys))
+					}
+					for j := range got {
+						if got[j] != refKeys[j] {
+							t.Fatalf("seed %d op %d: %s scan[%d]=%d vs jiffy %d",
+								seed, op, IndicesA[i+1], j, got[j], refKeys[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBIndicesAgreeSequentially is the 4/4 B variant including KiWi.
+func TestBIndicesAgreeSequentially(t *testing.T) {
+	for seed := uint64(10); seed < 13; seed++ {
+		indices := make([]index.Index[uint32, uint32], len(IndicesB))
+		for i, name := range IndicesB {
+			indices[i] = NewIndexB(name)
+		}
+		rng := rand.New(rand.NewPCG(seed, 77))
+		for op := 0; op < 2000; op++ {
+			k := uint32(rng.IntN(512))
+			switch rng.IntN(3) {
+			case 0:
+				for _, idx := range indices {
+					idx.Put(k, uint32(op))
+				}
+			case 1:
+				ref := indices[0].Remove(k)
+				for i, idx := range indices[1:] {
+					if got := idx.Remove(k); got != ref {
+						t.Fatalf("seed %d op %d: %s Remove(%d)=%v, jiffy=%v",
+							seed, op, IndicesB[i+1], k, got, ref)
+					}
+				}
+			default:
+				refV, refOK := indices[0].Get(k)
+				for i, idx := range indices[1:] {
+					v, ok := idx.Get(k)
+					if ok != refOK || (ok && v != refV) {
+						t.Fatalf("seed %d op %d: %s Get(%d)=(%d,%v), jiffy=(%d,%v)",
+							seed, op, IndicesB[i+1], k, v, ok, refV, refOK)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchersAgree drives the three batch-capable indices through the same
+// batch streams.
+func TestBatchersAgree(t *testing.T) {
+	names := BatchIndices
+	for seed := uint64(0); seed < 5; seed++ {
+		indices := make([]index.Index[uint64, *Payload], len(names))
+		batchers := make([]index.Batcher[uint64, *Payload], len(names))
+		for i, name := range names {
+			idx := NewIndexA(name)
+			indices[i] = idx
+			batchers[i] = idx.(index.Batcher[uint64, *Payload])
+		}
+		rng := rand.New(rand.NewPCG(seed, 0xba7c4))
+		for round := 0; round < 100; round++ {
+			ops := make([]index.BatchOp[uint64, *Payload], 0, 16)
+			for j := 0; j < 16; j++ {
+				k := rng.Uint64N(256)
+				if rng.IntN(3) == 0 {
+					ops = append(ops, index.BatchOp[uint64, *Payload]{Key: k, Remove: true})
+				} else {
+					ops = append(ops, index.BatchOp[uint64, *Payload]{Key: k, Val: ValA(k)})
+				}
+			}
+			for _, b := range batchers {
+				b.BatchUpdate(ops)
+			}
+		}
+		for k := uint64(0); k < 256; k++ {
+			_, ref := indices[0].Get(k)
+			for i, idx := range indices[1:] {
+				if _, ok := idx.Get(k); ok != ref {
+					t.Fatalf("seed %d: %s presence of %d = %v, jiffy = %v",
+						seed, names[i+1], k, ok, ref)
+				}
+			}
+		}
+	}
+}

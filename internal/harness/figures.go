@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline/catree"
+	"repro/internal/baseline/cslm"
+	"repro/internal/baseline/kary"
+	"repro/internal/baseline/lfca"
+	"repro/internal/baseline/snaptree"
+	"repro/internal/index"
+	"repro/internal/workload"
+)
+
+// Payload is the boxed 100-byte value of the 16/100 B configuration: like
+// the Java original, indices store references to the value objects, not the
+// bytes themselves (paper footnote 7).
+type Payload [100]byte
+
+// KeyA/ValA map generated keys into the 16/100 B configuration ("config A":
+// 8-byte comparable keys standing in for the paper's 16 B keys — Go's
+// uint64 is the largest cheaply comparable integer key — with 100 B
+// heap-allocated payloads).
+func KeyA(k uint64) uint64 { return k }
+
+// ValA allocates the 100-byte payload for key k.
+func ValA(k uint64) *Payload {
+	var p Payload
+	p[0] = byte(k)
+	p[1] = byte(k >> 8)
+	return &p
+}
+
+// KeyB/ValB map into the 4/4 B configuration.
+func KeyB(k uint64) uint32 { return uint32(k) }
+
+// ValB returns the 4-byte value for key k.
+func ValB(k uint64) uint32 { return uint32(k) }
+
+// IndicesA are the competitors in the 16/100 B configuration (Figures 5, 7
+// and 8). KiWi is absent: its codebase supports only 4 B integer keys.
+var IndicesA = []string{"jiffy", "snaptree", "k-ary", "ca-avl", "ca-sl", "ca-imm", "lfca", "cslm"}
+
+// IndicesB adds KiWi for the 4/4 B configuration (Figures 6, 9 and 10).
+var IndicesB = []string{"jiffy", "snaptree", "k-ary", "ca-avl", "ca-sl", "ca-imm", "lfca", "cslm", "kiwi"}
+
+// BatchIndices are the indices supporting atomic batch updates: the batch
+// rows of every figure compare exactly these (§4.2).
+var BatchIndices = []string{"jiffy", "ca-avl", "ca-sl"}
+
+// NewIndexA constructs a named index in the 16/100 B configuration.
+func NewIndexA(name string) index.Index[uint64, *Payload] {
+	switch name {
+	case "jiffy":
+		return index.NewJiffy[uint64, *Payload]()
+	case "snaptree":
+		return snaptree.New[uint64, *Payload]()
+	case "k-ary":
+		return kary.New[uint64, *Payload]()
+	case "ca-avl":
+		return catree.New[uint64, *Payload](catree.AVL)
+	case "ca-sl":
+		return catree.New[uint64, *Payload](catree.SL)
+	case "ca-imm":
+		return catree.New[uint64, *Payload](catree.Imm)
+	case "lfca":
+		return lfca.New[uint64, *Payload]()
+	case "cslm":
+		return cslm.New[uint64, *Payload]()
+	}
+	panic("unknown index " + name)
+}
+
+// NewIndexB constructs a named index in the 4/4 B configuration.
+func NewIndexB(name string) index.Index[uint32, uint32] {
+	switch name {
+	case "jiffy":
+		return index.NewJiffy[uint32, uint32]()
+	case "snaptree":
+		return snaptree.New[uint32, uint32]()
+	case "k-ary":
+		return kary.New[uint32, uint32]()
+	case "ca-avl":
+		return catree.New[uint32, uint32](catree.AVL)
+	case "ca-sl":
+		return catree.New[uint32, uint32](catree.SL)
+	case "ca-imm":
+		return catree.New[uint32, uint32](catree.Imm)
+	case "lfca":
+		return lfca.New[uint32, uint32]()
+	case "cslm":
+		return cslm.New[uint32, uint32]()
+	case "kiwi":
+		return index.NewKiwi()
+	}
+	panic("unknown index " + name)
+}
+
+// Figure describes one of the paper's figures.
+type Figure struct {
+	ID     string
+	Small  bool // false: 16/100 B (config A); true: 4/4 B (config B)
+	Dist   workload.Distribution
+	Update bool // also report update-only throughput (Figures 7-10)
+}
+
+// Figures maps figure numbers to their axes (DESIGN.md §4).
+var Figures = map[string]Figure{
+	"5":  {ID: "5", Small: false, Dist: workload.Uniform},
+	"6":  {ID: "6", Small: true, Dist: workload.Uniform},
+	"7":  {ID: "7", Small: false, Dist: workload.Uniform, Update: true},
+	"8":  {ID: "8", Small: false, Dist: workload.Zipf, Update: true},
+	"9":  {ID: "9", Small: true, Dist: workload.Uniform, Update: true},
+	"10": {ID: "10", Small: true, Dist: workload.Zipf, Update: true},
+}
+
+// Rows are the three figure rows: simple put/remove operations and the two
+// batch-update sizes, each in sequential and random variants.
+var Rows = map[string][]workload.BatchMode{
+	"simple": {{}},
+	"b10":    {{Size: 10, Seq: true}, {Size: 10, Seq: false}},
+	"b100":   {{Size: 100, Seq: true}, {Size: 100, Seq: false}},
+}
+
+// RunFigure regenerates one row of one figure: every index × every thread
+// count × every batch variant, printing one harness row per point. A fresh
+// index is built and prefilled per point, as in the paper's methodology.
+func RunFigure(w io.Writer, fig Figure, row string, threads []int, base Config, only map[string]bool) []Result {
+	var out []Result
+	modes, ok := Rows[row]
+	if !ok {
+		panic("unknown row " + row)
+	}
+	names := IndicesA
+	if fig.Small {
+		names = IndicesB
+	}
+	if row != "simple" {
+		names = BatchIndices
+	}
+	base.Dist = fig.Dist
+	for _, mode := range modes {
+		for _, name := range names {
+			if only != nil && !only[name] {
+				continue
+			}
+			for _, th := range threads {
+				cfg := base
+				cfg.Batch = mode
+				cfg.Threads = th
+				var res Result
+				if fig.Small {
+					idx := NewIndexB(name)
+					Prefill(idx, cfg, KeyB, ValB)
+					res = Run(idx, cfg, KeyB, ValB)
+				} else {
+					idx := NewIndexA(name)
+					Prefill(idx, cfg, KeyA, ValA)
+					res = Run(idx, cfg, KeyA, ValA)
+				}
+				fmt.Fprintf(w, "fig%-3s %s\n", fig.ID, res.Row())
+				out = append(out, res)
+			}
+		}
+	}
+	return out
+}

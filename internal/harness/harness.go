@@ -1,0 +1,182 @@
+// Package harness drives any index.Index through the microbenchmark of
+// §4.2 and reports throughput in basic operations per second, where a scan
+// over n entries counts as n get operations, exactly as the paper accounts.
+//
+// Each benchmark thread issues only one type of operation (update, lookup
+// or range scan); the thread-role mix, key distribution, batch shape and
+// key/value sizes are the experiment's axes. The figures of the paper are
+// all instances of one parameterised run; see DESIGN.md §4 for the mapping.
+package harness
+
+import (
+	"cmp"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/workload"
+)
+
+// Config parameterises one measurement point.
+type Config struct {
+	Mix      workload.Mix
+	Dist     workload.Distribution
+	Batch    workload.BatchMode
+	KeySpace uint64 // unique keys (paper: 20M)
+	Prefill  int    // entries inserted before measuring (paper: 10M)
+	Threads  int
+	Duration time.Duration
+	Seed     uint64
+}
+
+// Result is one measurement point.
+type Result struct {
+	Index     string
+	Config    Config
+	TotalOps  uint64
+	UpdateOps uint64
+	Elapsed   time.Duration
+}
+
+// TotalMops returns total throughput in millions of basic ops per second.
+func (r Result) TotalMops() float64 {
+	return float64(r.TotalOps) / 1e6 / r.Elapsed.Seconds()
+}
+
+// UpdateMops returns update-only throughput (the appendix figures).
+func (r Result) UpdateMops() float64 {
+	return float64(r.UpdateOps) / 1e6 / r.Elapsed.Seconds()
+}
+
+// Row renders the result as one harness output row.
+func (r Result) Row() string {
+	return fmt.Sprintf("%-10s %-3s %-9s %-8s threads=%-3d total=%8.3f Mops/s update=%8.3f Mops/s",
+		r.Index, r.Config.Mix.Name, r.Config.Batch.String(), r.Config.Dist.String(),
+		r.Config.Threads, r.TotalMops(), r.UpdateMops())
+}
+
+// Prefill loads the initial dataset: Prefill distinct keys spread evenly
+// over the key space (the paper's 10M-entry dataset over 20M keys), so
+// updaters hit present and absent keys with equal probability. Keys are
+// inserted in a shuffled order — ascending insertion is a known worst case
+// for unbalanced leaf-oriented trees (k-ary) and would bias the comparison.
+func Prefill[K cmp.Ordered, V any](idx index.Index[K, V], cfg Config, keyOf func(uint64) K, valOf func(uint64) V) {
+	if cfg.Prefill == 0 {
+		return
+	}
+	stride := cfg.KeySpace / uint64(cfg.Prefill)
+	if stride == 0 {
+		stride = 1
+	}
+	order := rand.Perm(cfg.Prefill)
+	// Parallel prefill: even on one core this overlaps allocation and
+	// index work; on many cores it shortens setup substantially.
+	workers := 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < cfg.Prefill; i += workers {
+				k := uint64(order[i]) * stride
+				idx.Put(keyOf(k), valOf(k))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Run measures one point: cfg.Threads goroutines issue their role's
+// operations for cfg.Duration. keyOf/valOf map the generated uint64 key
+// stream into the index's key and value types (uint64 keys with 100-byte
+// payload values for the 16/100 B configuration; uint32/uint32 for 4/4 B).
+func Run[K cmp.Ordered, V any](idx index.Index[K, V], cfg Config, keyOf func(uint64) K, valOf func(uint64) V) Result {
+	roles := cfg.Mix.Assign(cfg.Threads)
+	batcher, _ := any(idx).(index.Batcher[K, V])
+	useBatch := cfg.Batch.Size > 1 && batcher != nil
+
+	var stop atomic.Bool
+	var started, ready sync.WaitGroup
+	totals := make([]uint64, cfg.Threads)
+	updates := make([]uint64, cfg.Threads)
+
+	started.Add(1) // released to start the measurement
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		ready.Add(1)
+		go func() {
+			gen := workload.NewKeyGen(cfg.Dist, cfg.KeySpace, cfg.Seed+uint64(t)*1e6+1)
+			batchBuf := make([]uint64, 0, cfg.Batch.Size)
+			ops := make([]index.BatchOp[K, V], 0, cfg.Batch.Size)
+			started.Wait()
+			defer ready.Done()
+			var n, nu uint64
+			for !stop.Load() {
+				switch roles[t] {
+				case workload.Updater:
+					if useBatch {
+						batchBuf = gen.BatchKeys(cfg.Batch, batchBuf)
+						ops = ops[:0]
+						for _, k := range batchBuf {
+							if gen.Coin(0.5) {
+								ops = append(ops, index.BatchOp[K, V]{Key: keyOf(k), Val: valOf(k)})
+							} else {
+								ops = append(ops, index.BatchOp[K, V]{Key: keyOf(k), Remove: true})
+							}
+						}
+						batcher.BatchUpdate(ops)
+						n += uint64(len(ops))
+						nu += uint64(len(ops))
+					} else {
+						k := gen.Next()
+						if gen.Coin(0.5) {
+							idx.Put(keyOf(k), valOf(k))
+						} else {
+							idx.Remove(keyOf(k))
+						}
+						n++
+						nu++
+					}
+				case workload.Lookup:
+					idx.Get(keyOf(gen.Next()))
+					n++
+				case workload.Scanner:
+					want := cfg.Mix.ScanLen
+					seen := 0
+					idx.RangeFrom(keyOf(gen.Next()), func(K, V) bool {
+						seen++
+						return seen < want
+					})
+					n += uint64(seen)
+				}
+			}
+			totals[t] = n
+			updates[t] = nu
+		}()
+	}
+
+	start := time.Now()
+	started.Done()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	ready.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{Index: name(idx), Config: cfg, Elapsed: elapsed}
+	for t := range totals {
+		res.TotalOps += totals[t]
+		res.UpdateOps += updates[t]
+	}
+	return res
+}
+
+func name(idx any) string {
+	if n, ok := idx.(index.Named); ok {
+		return n.Name()
+	}
+	return fmt.Sprintf("%T", idx)
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func smallConfig(threads int) Config {
+	return Config{
+		Mix:      workload.MixUpdateOnly,
+		Dist:     workload.Uniform,
+		KeySpace: 1 << 14,
+		Prefill:  1 << 13,
+		Threads:  threads,
+		Duration: 50 * time.Millisecond,
+		Seed:     42,
+	}
+}
+
+func TestRunProducesThroughputEveryIndexA(t *testing.T) {
+	for _, name := range IndicesA {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			idx := NewIndexA(name)
+			cfg := smallConfig(4)
+			Prefill(idx, cfg, KeyA, ValA)
+			res := Run(idx, cfg, KeyA, ValA)
+			if res.TotalOps == 0 {
+				t.Fatalf("%s made no progress", name)
+			}
+			if res.UpdateOps != res.TotalOps {
+				t.Fatalf("update-only mix: update %d != total %d", res.UpdateOps, res.TotalOps)
+			}
+		})
+	}
+}
+
+func TestRunProducesThroughputEveryIndexB(t *testing.T) {
+	for _, name := range IndicesB {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			idx := NewIndexB(name)
+			cfg := smallConfig(4)
+			cfg.Mix = workload.MixUpdateLookup
+			Prefill(idx, cfg, KeyB, ValB)
+			res := Run(idx, cfg, KeyB, ValB)
+			if res.TotalOps == 0 {
+				t.Fatalf("%s made no progress", name)
+			}
+			if res.UpdateOps == 0 || res.UpdateOps >= res.TotalOps {
+				t.Fatalf("mixed run accounting broken: update %d total %d", res.UpdateOps, res.TotalOps)
+			}
+		})
+	}
+}
+
+func TestScansCountAsBasicOps(t *testing.T) {
+	idx := NewIndexA("jiffy")
+	cfg := smallConfig(4)
+	cfg.Mix = workload.MixShortScans
+	Prefill(idx, cfg, KeyA, ValA)
+	res := Run(idx, cfg, KeyA, ValA)
+	// With 25% updaters and scans counting per entry, total must exceed
+	// updates substantially.
+	if res.TotalOps <= res.UpdateOps*2 {
+		t.Fatalf("scan accounting suspicious: total %d update %d", res.TotalOps, res.UpdateOps)
+	}
+}
+
+func TestBatchRowsRunOnBatchers(t *testing.T) {
+	for _, name := range BatchIndices {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			idx := NewIndexA(name)
+			cfg := smallConfig(2)
+			cfg.Batch = workload.BatchMode{Size: 10, Seq: false}
+			Prefill(idx, cfg, KeyA, ValA)
+			res := Run(idx, cfg, KeyA, ValA)
+			if res.TotalOps < 10 {
+				t.Fatalf("%s batch run made no progress", name)
+			}
+			if res.TotalOps%1 != 0 || res.UpdateOps != res.TotalOps {
+				t.Fatalf("batch accounting: %+v", res)
+			}
+		})
+	}
+}
+
+func TestRunFigureSmoke(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.Duration = 20 * time.Millisecond
+	only := map[string]bool{"jiffy": true, "ca-avl": true}
+	res := RunFigure(io.Discard, Figures["5"], "b10", []int{1, 2}, cfg, only)
+	// 2 modes (seq+rand) x 2 indices x 2 thread counts.
+	if len(res) != 8 {
+		t.Fatalf("expected 8 results, got %d", len(res))
+	}
+	res = RunFigure(io.Discard, Figures["6"], "simple", []int{2}, cfg, map[string]bool{"kiwi": true})
+	if len(res) != 1 || res[0].Index != "kiwi" {
+		t.Fatalf("kiwi point missing: %+v", res)
+	}
+}
+
+func TestZipfFigureSmoke(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.Duration = 20 * time.Millisecond
+	res := RunFigure(io.Discard, Figures["8"], "simple", []int{2}, cfg, map[string]bool{"jiffy": true})
+	if len(res) != 1 || res[0].Config.Dist != workload.Zipf {
+		t.Fatalf("zipf figure misconfigured: %+v", res)
+	}
+}

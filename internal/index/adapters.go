@@ -1,0 +1,70 @@
+package index
+
+import (
+	"cmp"
+
+	"repro/internal/baseline/kiwi"
+	"repro/internal/core"
+)
+
+// Jiffy adapts core.Map to the harness Index/Batcher interfaces.
+type Jiffy[K cmp.Ordered, V any] struct {
+	M *core.Map[K, V]
+}
+
+// NewJiffy wraps a fresh Jiffy map with paper-default options.
+func NewJiffy[K cmp.Ordered, V any](opts ...core.Options[K]) *Jiffy[K, V] {
+	return &Jiffy[K, V]{M: core.New[K, V](opts...)}
+}
+
+// Name implements Named.
+func (j *Jiffy[K, V]) Name() string { return "jiffy" }
+
+// Get implements Index.
+func (j *Jiffy[K, V]) Get(key K) (V, bool) { return j.M.Get(key) }
+
+// Put implements Index.
+func (j *Jiffy[K, V]) Put(key K, val V) { j.M.Put(key, val) }
+
+// Remove implements Index.
+func (j *Jiffy[K, V]) Remove(key K) bool { return j.M.Remove(key) }
+
+// RangeFrom implements Index with a linearizable snapshot scan.
+func (j *Jiffy[K, V]) RangeFrom(lo K, fn func(K, V) bool) { j.M.RangeFrom(lo, fn) }
+
+// BatchUpdate implements Batcher with Jiffy's atomic batch updates.
+func (j *Jiffy[K, V]) BatchUpdate(ops []BatchOp[K, V]) {
+	b := core.NewBatch[K, V](len(ops))
+	for _, op := range ops {
+		if op.Remove {
+			b.Remove(op.Key)
+		} else {
+			b.Put(op.Key, op.Val)
+		}
+	}
+	j.M.BatchUpdate(b)
+}
+
+// Kiwi adapts the uint32-specialized KiWi baseline to the uint32 harness
+// configuration (KiWi supports only 4-byte integer keys, paper footnote 8).
+type Kiwi struct {
+	M *kiwi.Map
+}
+
+// NewKiwi wraps a fresh KiWi map.
+func NewKiwi() *Kiwi { return &Kiwi{M: kiwi.New()} }
+
+// Name implements Named.
+func (k *Kiwi) Name() string { return "kiwi" }
+
+// Get implements Index.
+func (k *Kiwi) Get(key uint32) (uint32, bool) { return k.M.Get(key) }
+
+// Put implements Index.
+func (k *Kiwi) Put(key, val uint32) { k.M.Put(key, val) }
+
+// Remove implements Index.
+func (k *Kiwi) Remove(key uint32) bool { return k.M.Remove(key) }
+
+// RangeFrom implements Index.
+func (k *Kiwi) RangeFrom(lo uint32, fn func(uint32, uint32) bool) { k.M.RangeFrom(lo, fn) }

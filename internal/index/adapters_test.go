@@ -1,0 +1,59 @@
+package index
+
+import (
+	"testing"
+)
+
+func TestJiffyAdapterRoundTrip(t *testing.T) {
+	j := NewJiffy[uint64, string]()
+	if j.Name() != "jiffy" {
+		t.Fatalf("name = %q", j.Name())
+	}
+	j.Put(1, "a")
+	j.Put(2, "b")
+	if v, ok := j.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q,%v", v, ok)
+	}
+	if !j.Remove(1) || j.Remove(1) {
+		t.Fatal("remove semantics")
+	}
+	j.BatchUpdate([]BatchOp[uint64, string]{
+		{Key: 3, Val: "c"},
+		{Key: 2, Remove: true},
+	})
+	if _, ok := j.Get(2); ok {
+		t.Fatal("batched remove ignored")
+	}
+	if v, _ := j.Get(3); v != "c" {
+		t.Fatalf("batched put: %q", v)
+	}
+	var keys []uint64
+	j.RangeFrom(0, func(k uint64, _ string) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 1 || keys[0] != 3 {
+		t.Fatalf("scan: %v", keys)
+	}
+}
+
+func TestKiwiAdapterRoundTrip(t *testing.T) {
+	k := NewKiwi()
+	if k.Name() != "kiwi" {
+		t.Fatalf("name = %q", k.Name())
+	}
+	k.Put(7, 70)
+	if v, ok := k.Get(7); !ok || v != 70 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if !k.Remove(7) {
+		t.Fatal("remove failed")
+	}
+	n := 0
+	k.Put(1, 1)
+	k.Put(2, 2)
+	k.RangeFrom(0, func(uint32, uint32) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("scan saw %d", n)
+	}
+}

@@ -1,0 +1,41 @@
+// Package index defines the common ordered-index contract shared by Jiffy
+// and every baseline the paper evaluates against (§4.1), so the benchmark
+// harness can drive them interchangeably.
+package index
+
+import "cmp"
+
+// Index is the minimal ordered key-value map surface every competitor
+// implements. All methods must be safe for concurrent use.
+type Index[K cmp.Ordered, V any] interface {
+	// Get returns the value stored for key.
+	Get(key K) (V, bool)
+	// Put sets the value for key, overwriting any previous value.
+	Put(key K, val V)
+	// Remove deletes key, reporting whether it was present.
+	Remove(key K) bool
+	// RangeFrom visits entries with key >= lo in ascending order until
+	// fn returns false. Consistency guarantees differ per
+	// implementation: Jiffy, the CA trees, LFCA, SnapTree, k-ary and
+	// KiWi provide linearizable (atomic) scans; CSLM's are weakly
+	// consistent (as in java.util.concurrent).
+	RangeFrom(lo K, fn func(key K, val V) bool)
+}
+
+// BatchOp is one operation inside an atomic batch update.
+type BatchOp[K cmp.Ordered, V any] struct {
+	Key    K
+	Val    V
+	Remove bool
+}
+
+// Batcher is implemented by indices that support atomic batch updates
+// (Jiffy, CA-AVL, CA-SL).
+type Batcher[K cmp.Ordered, V any] interface {
+	BatchUpdate(ops []BatchOp[K, V])
+}
+
+// Name is implemented by all indices for harness reporting.
+type Named interface {
+	Name() string
+}

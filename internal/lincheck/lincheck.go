@@ -1,0 +1,193 @@
+// Package lincheck verifies linearizability of ordered-map histories by
+// exhaustive search (Wing & Gong's algorithm with memoization on completed
+// operation sets). Small randomized concurrent runs are recorded as
+// operation intervals; a history is linearizable if some total order of the
+// operations (a) respects real-time precedence — an operation that ended
+// before another began must come first — and (b) is legal for a sequential
+// map.
+//
+// The checker is deliberately small-scale: histories of up to ~24
+// operations over a handful of keys, many random runs. That regime is where
+// concurrency bugs in the protocols under test actually manifest (torn
+// batches, lost updates, stale reads), while staying exhaustively
+// checkable.
+package lincheck
+
+// Kind enumerates the operations of the checked map model.
+type Kind uint8
+
+const (
+	OpGet Kind = iota
+	OpPut
+	OpRemove
+	OpBatch // atomic multi-key write (Puts/Removes in one step)
+)
+
+// Op is one recorded operation with its real-time interval. Start and End
+// come from a shared atomic ticket counter: Start is taken immediately
+// before invoking the operation, End immediately after it returns.
+type Op struct {
+	Kind Kind
+	Key  int
+	Val  int // value written (put) — or value read (get, when ReadOK)
+
+	// Batch payload (Kind == OpBatch): parallel arrays; Removes[i] marks
+	// BatchKeys[i] as a remove rather than a put of BatchVals[i].
+	BatchKeys []int
+	BatchVals []int
+	Removes   []bool
+
+	ReadOK bool // get: key was present; remove: key was removed
+
+	Start int64
+	End   int64
+}
+
+// History is a set of recorded operations (order irrelevant; the intervals
+// carry the timing).
+type History []Op
+
+// Check reports whether h is linearizable against a sequential map whose
+// initial state is init (nil = empty).
+func Check(h History, init map[int]int) bool {
+	n := len(h)
+	if n == 0 {
+		return true
+	}
+	if n > 30 {
+		panic("lincheck: history too large for exhaustive search")
+	}
+	state := newModel(init)
+	memo := map[uint64]map[string]bool{}
+	return search(h, state, 0, memo)
+}
+
+// model is the sequential specification: an int->int map.
+type model struct {
+	m map[int]int
+}
+
+func newModel(init map[int]int) *model {
+	m := &model{m: map[int]int{}}
+	for k, v := range init {
+		m.m[k] = v
+	}
+	return m
+}
+
+func (s *model) snapshotKey() string {
+	// Small maps: encode deterministically.
+	buf := make([]byte, 0, len(s.m)*10)
+	// Keys are small ints in tests; iterate a bounded range.
+	for k := -1; k < 64; k++ {
+		if v, ok := s.m[k]; ok {
+			buf = append(buf, byte(k+1), byte(v), byte(v>>8), byte(v>>16))
+		}
+	}
+	return string(buf)
+}
+
+// apply runs op against the model, reporting whether the recorded result is
+// legal from this state; undo restores the state.
+func (s *model) apply(op Op) (legal bool, undo func()) {
+	switch op.Kind {
+	case OpGet:
+		v, ok := s.m[op.Key]
+		if ok != op.ReadOK || (ok && v != op.Val) {
+			return false, nil
+		}
+		return true, func() {}
+	case OpPut:
+		old, had := s.m[op.Key]
+		s.m[op.Key] = op.Val
+		return true, func() {
+			if had {
+				s.m[op.Key] = old
+			} else {
+				delete(s.m, op.Key)
+			}
+		}
+	case OpRemove:
+		old, had := s.m[op.Key]
+		if had != op.ReadOK {
+			return false, nil
+		}
+		if had {
+			delete(s.m, op.Key)
+		}
+		return true, func() {
+			if had {
+				s.m[op.Key] = old
+			}
+		}
+	case OpBatch:
+		type save struct {
+			key, val int
+			had      bool
+		}
+		saves := make([]save, len(op.BatchKeys))
+		for i, k := range op.BatchKeys {
+			v, had := s.m[k]
+			saves[i] = save{k, v, had}
+			if op.Removes[i] {
+				delete(s.m, k)
+			} else {
+				s.m[k] = op.BatchVals[i]
+			}
+		}
+		return true, func() {
+			for i := len(saves) - 1; i >= 0; i-- {
+				sv := saves[i]
+				if sv.had {
+					s.m[sv.key] = sv.val
+				} else {
+					delete(s.m, sv.key)
+				}
+			}
+		}
+	}
+	return false, nil
+}
+
+// search tries to linearize the remaining operations (those not in the done
+// bitmask) from the current model state.
+func search(h History, state *model, done uint64, memo map[uint64]map[string]bool) bool {
+	all := uint64(1)<<len(h) - 1
+	if done == all {
+		return true
+	}
+	sk := state.snapshotKey()
+	if m, ok := memo[done]; ok {
+		if res, ok := m[sk]; ok {
+			return res
+		}
+	} else {
+		memo[done] = map[string]bool{}
+	}
+
+	// An operation may linearize next only if no other remaining
+	// operation finished before it started (real-time order).
+	minEnd := int64(1<<62 - 1)
+	for i, op := range h {
+		if done&(1<<i) == 0 && op.End < minEnd {
+			minEnd = op.End
+		}
+	}
+	for i, op := range h {
+		if done&(1<<i) != 0 || op.Start > minEnd {
+			continue
+		}
+		legal, undo := state.apply(op)
+		if !legal {
+			continue
+		}
+		if search(h, state, done|1<<i, memo) {
+			undo()
+			memo[done][sk] = true
+			return true
+		}
+		undo()
+	}
+	memo[done][sk] = false
+	return false
+}

@@ -1,0 +1,204 @@
+package lincheck
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSequentialLegalHistory(t *testing.T) {
+	h := History{
+		{Kind: OpPut, Key: 1, Val: 5, Start: 1, End: 2},
+		{Kind: OpGet, Key: 1, Val: 5, ReadOK: true, Start: 3, End: 4},
+		{Kind: OpRemove, Key: 1, ReadOK: true, Start: 5, End: 6},
+		{Kind: OpGet, Key: 1, ReadOK: false, Start: 7, End: 8},
+	}
+	if !Check(h, nil) {
+		t.Fatal("legal sequential history rejected")
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	// get returns the old value after a put that strictly preceded it.
+	h := History{
+		{Kind: OpPut, Key: 1, Val: 5, Start: 1, End: 2},
+		{Kind: OpPut, Key: 1, Val: 6, Start: 3, End: 4},
+		{Kind: OpGet, Key: 1, Val: 5, ReadOK: true, Start: 5, End: 6},
+	}
+	if Check(h, nil) {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestConcurrentEitherOrderAccepted(t *testing.T) {
+	// get overlaps the put: both present and absent results are legal.
+	for _, readOK := range []bool{true, false} {
+		h := History{
+			{Kind: OpPut, Key: 1, Val: 5, Start: 1, End: 4},
+			{Kind: OpGet, Key: 1, Val: 5, ReadOK: readOK, Start: 2, End: 3},
+		}
+		if !Check(h, nil) {
+			t.Fatalf("overlapping put/get with readOK=%v rejected", readOK)
+		}
+	}
+}
+
+func TestLostUpdateRejected(t *testing.T) {
+	// Two sequential puts, then a read of the first: not linearizable.
+	h := History{
+		{Kind: OpPut, Key: 1, Val: 1, Start: 1, End: 2},
+		{Kind: OpRemove, Key: 1, ReadOK: true, Start: 3, End: 4},
+		{Kind: OpGet, Key: 1, Val: 1, ReadOK: true, Start: 5, End: 6},
+	}
+	if Check(h, nil) {
+		t.Fatal("read of removed key accepted")
+	}
+}
+
+func TestTornBatchRejected(t *testing.T) {
+	// A batch writes keys 1 and 2 together; a later pair of reads sees
+	// only half of it. (Reads strictly after the batch.)
+	h := History{
+		{Kind: OpBatch, BatchKeys: []int{1, 2}, BatchVals: []int{7, 7},
+			Removes: []bool{false, false}, Start: 1, End: 2},
+		{Kind: OpGet, Key: 1, Val: 7, ReadOK: true, Start: 3, End: 4},
+		{Kind: OpGet, Key: 2, ReadOK: false, Start: 5, End: 6},
+	}
+	if Check(h, nil) {
+		t.Fatal("torn batch accepted")
+	}
+}
+
+func TestBatchWithRemoveLegal(t *testing.T) {
+	h := History{
+		{Kind: OpPut, Key: 2, Val: 3, Start: 1, End: 2},
+		{Kind: OpBatch, BatchKeys: []int{1, 2}, BatchVals: []int{7, 0},
+			Removes: []bool{false, true}, Start: 3, End: 4},
+		{Kind: OpGet, Key: 1, Val: 7, ReadOK: true, Start: 5, End: 6},
+		{Kind: OpGet, Key: 2, ReadOK: false, Start: 7, End: 8},
+	}
+	if !Check(h, nil) {
+		t.Fatal("legal batch history rejected")
+	}
+}
+
+func TestInitialStateRespected(t *testing.T) {
+	h := History{
+		{Kind: OpGet, Key: 3, Val: 9, ReadOK: true, Start: 1, End: 2},
+	}
+	if Check(h, nil) {
+		t.Fatal("read of absent key accepted on empty init")
+	}
+	if !Check(h, map[int]int{3: 9}) {
+		t.Fatal("read of initial value rejected")
+	}
+}
+
+// brokenMap deliberately violates atomicity: batches apply with a window in
+// between, and the recorder's histories must catch it.
+type brokenMap struct {
+	mu sync.Mutex
+	m  map[int]int
+}
+
+func (b *brokenMap) Get(k int) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[k]
+	return v, ok
+}
+func (b *brokenMap) Put(k, v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[k] = v
+}
+func (b *brokenMap) Remove(k int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.m[k]
+	delete(b.m, k)
+	return ok
+}
+func (b *brokenMap) Batch(keys []int, vals []int, removes []bool) {
+	for i, k := range keys {
+		b.mu.Lock() // lock per element: not atomic as a whole
+		if removes[i] {
+			delete(b.m, k)
+		} else {
+			b.m[k] = vals[i]
+		}
+		b.mu.Unlock()
+		// Widen the tear window aggressively: on one CPU (and under
+		// the race detector's serializing scheduler) a single yield
+		// is often not enough for another goroutine to slip in.
+		for y := 0; y < 4; y++ {
+			runtime.Gosched()
+		}
+	}
+}
+
+func TestRecorderCatchesTornBatches(t *testing.T) {
+	// The broken map's batches are interleavable; across many seeds at
+	// least one history must be non-linearizable. (A correct map passes
+	// the same battery: see the core and baseline linearizability tests.)
+	caught := false
+	for seed := uint64(0); seed < 3000 && !caught; seed++ {
+		bm := &brokenMap{m: map[int]int{}}
+		h := Record(bm, RecordConfig{
+			Goroutines: 4, OpsPerG: 6, Keys: 3, Seed: seed, BatchFrac: 0.5,
+		})
+		if !Check(h, nil) {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatal("checker failed to catch a single torn batch in 3000 runs")
+	}
+}
+
+func TestMutexMapAlwaysLinearizable(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		lm := &lockedMap{m: map[int]int{}}
+		h := Record(lm, RecordConfig{
+			Goroutines: 3, OpsPerG: 6, Keys: 3, Seed: seed, BatchFrac: 0.3,
+		})
+		if !Check(h, nil) {
+			t.Fatalf("seed %d: linearizable map rejected", seed)
+		}
+	}
+}
+
+type lockedMap struct {
+	mu sync.Mutex
+	m  map[int]int
+}
+
+func (b *lockedMap) Get(k int) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[k]
+	return v, ok
+}
+func (b *lockedMap) Put(k, v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[k] = v
+}
+func (b *lockedMap) Remove(k int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.m[k]
+	delete(b.m, k)
+	return ok
+}
+func (b *lockedMap) Batch(keys []int, vals []int, removes []bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, k := range keys {
+		if removes[i] {
+			delete(b.m, k)
+		} else {
+			b.m[k] = vals[i]
+		}
+	}
+}

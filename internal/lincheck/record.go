@@ -1,0 +1,104 @@
+package lincheck
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Target is the surface the recorder drives.
+type Target interface {
+	Get(key int) (int, bool)
+	Put(key, val int)
+	Remove(key int) bool
+}
+
+// BatchTarget is implemented by targets with atomic batch updates.
+type BatchTarget interface {
+	Batch(keys []int, vals []int, removes []bool)
+}
+
+// RecordConfig shapes one recorded run.
+type RecordConfig struct {
+	Goroutines int
+	OpsPerG    int
+	Keys       int // key space [0, Keys)
+	Seed       uint64
+	BatchFrac  float64 // probability an update is a small batch (0 = never)
+}
+
+// Record drives target with random concurrent operations and returns the
+// recorded history. Total operations must stay <= 30 for Check.
+func Record(target Target, cfg RecordConfig) History {
+	var ticket atomic.Int64
+	hist := make(History, cfg.Goroutines*cfg.OpsPerG)
+	var wg sync.WaitGroup
+	bt, _ := target.(BatchTarget)
+	for g := 0; g < cfg.Goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(g)+1))
+			// yield forces overlap between goroutines: on a single
+			// CPU, without it each goroutine would run its whole op
+			// sequence in one scheduler slice and every history
+			// would be trivially sequential.
+			yield := func() {
+				if rng.IntN(2) == 0 {
+					runtime.Gosched()
+				}
+			}
+			for i := 0; i < cfg.OpsPerG; i++ {
+				op := Op{Key: rng.IntN(cfg.Keys)}
+				r := rng.Float64()
+				yield()
+				switch {
+				case bt != nil && r < cfg.BatchFrac:
+					op.Kind = OpBatch
+					nb := 2 + rng.IntN(2)
+					used := map[int]bool{}
+					for j := 0; j < nb; j++ {
+						k := rng.IntN(cfg.Keys)
+						if used[k] {
+							continue
+						}
+						used[k] = true
+						op.BatchKeys = append(op.BatchKeys, k)
+						op.BatchVals = append(op.BatchVals, g*1000+i*10+j+1)
+						op.Removes = append(op.Removes, rng.IntN(4) == 0)
+					}
+					op.Start = ticket.Add(1)
+					yield()
+					bt.Batch(op.BatchKeys, op.BatchVals, op.Removes)
+					op.End = ticket.Add(1)
+				case r < 0.45:
+					op.Kind = OpGet
+					op.Start = ticket.Add(1)
+					yield()
+					v, ok := target.Get(op.Key)
+					op.End = ticket.Add(1)
+					op.Val, op.ReadOK = v, ok
+				case r < 0.80:
+					op.Kind = OpPut
+					op.Val = g*1000 + i + 1
+					op.Start = ticket.Add(1)
+					yield()
+					target.Put(op.Key, op.Val)
+					op.End = ticket.Add(1)
+				default:
+					op.Kind = OpRemove
+					op.Start = ticket.Add(1)
+					yield()
+					ok := target.Remove(op.Key)
+					op.End = ticket.Add(1)
+					op.ReadOK = ok
+				}
+				hist[g*cfg.OpsPerG+i] = op
+			}
+		}()
+	}
+	wg.Wait()
+	return hist
+}

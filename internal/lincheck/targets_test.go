@@ -1,0 +1,120 @@
+package lincheck
+
+import (
+	"testing"
+
+	"repro/internal/baseline/catree"
+	"repro/internal/baseline/cslm"
+	"repro/internal/baseline/kary"
+	"repro/internal/baseline/kiwi"
+	"repro/internal/baseline/lfca"
+	"repro/internal/baseline/snaptree"
+	"repro/internal/core"
+	"repro/internal/index"
+)
+
+// jiffyTarget adapts a Jiffy map (tiny revisions to force structure
+// modifications even in 20-op histories).
+type jiffyTarget struct{ m *core.Map[int, int] }
+
+func newJiffyTarget() *jiffyTarget {
+	return &jiffyTarget{m: core.New[int, int](core.Options[int]{FixedRevisionSize: 2})}
+}
+func (t *jiffyTarget) Get(k int) (int, bool) { return t.m.Get(k) }
+func (t *jiffyTarget) Put(k, v int)          { t.m.Put(k, v) }
+func (t *jiffyTarget) Remove(k int) bool     { return t.m.Remove(k) }
+func (t *jiffyTarget) Batch(keys []int, vals []int, removes []bool) {
+	b := core.NewBatch[int, int](len(keys))
+	for i, k := range keys {
+		if removes[i] {
+			b.Remove(k)
+		} else {
+			b.Put(k, vals[i])
+		}
+	}
+	t.m.BatchUpdate(b)
+}
+
+// idxTarget adapts any index.Index (and Batcher when available).
+type idxTarget struct {
+	idx index.Index[int, int]
+}
+
+func (t *idxTarget) Get(k int) (int, bool) { return t.idx.Get(k) }
+func (t *idxTarget) Put(k, v int)          { t.idx.Put(k, v) }
+func (t *idxTarget) Remove(k int) bool     { return t.idx.Remove(k) }
+
+type idxBatchTarget struct {
+	idxTarget
+	b index.Batcher[int, int]
+}
+
+func (t *idxBatchTarget) Batch(keys []int, vals []int, removes []bool) {
+	ops := make([]index.BatchOp[int, int], len(keys))
+	for i, k := range keys {
+		ops[i] = index.BatchOp[int, int]{Key: k, Val: vals[i], Remove: removes[i]}
+	}
+	t.b.BatchUpdate(ops)
+}
+
+const linRuns = 150
+
+func runBattery(t *testing.T, mk func() Target, batchFrac float64) {
+	t.Helper()
+	for seed := uint64(0); seed < linRuns; seed++ {
+		h := Record(mk(), RecordConfig{
+			Goroutines: 3, OpsPerG: 7, Keys: 4, Seed: seed, BatchFrac: batchFrac,
+		})
+		if !Check(h, nil) {
+			t.Fatalf("seed %d: history not linearizable:\n%+v", seed, h)
+		}
+	}
+}
+
+func TestJiffyLinearizable(t *testing.T) {
+	runBattery(t, func() Target { return newJiffyTarget() }, 0.35)
+}
+
+func TestCATreesLinearizable(t *testing.T) {
+	for name, v := range map[string]catree.Variant{"avl": catree.AVL, "sl": catree.SL, "imm": catree.Imm} {
+		v := v
+		t.Run(name, func(t *testing.T) {
+			runBattery(t, func() Target {
+				tr := catree.New[int, int](v)
+				return &idxBatchTarget{idxTarget{tr}, tr}
+			}, 0.35)
+		})
+	}
+}
+
+func TestLFCALinearizable(t *testing.T) {
+	runBattery(t, func() Target { return &idxTarget{lfca.New[int, int]()} }, 0)
+}
+
+func TestKaryLinearizable(t *testing.T) {
+	runBattery(t, func() Target { return &idxTarget{kary.New[int, int]()} }, 0)
+}
+
+func TestSnapTreeLinearizable(t *testing.T) {
+	runBattery(t, func() Target { return &idxTarget{snaptree.New[int, int]()} }, 0)
+}
+
+func TestCSLMLinearizable(t *testing.T) {
+	// CSLM's scans are weakly consistent, but its point operations are
+	// linearizable — which is all this battery exercises.
+	runBattery(t, func() Target { return &idxTarget{cslm.New[int, int]()} }, 0)
+}
+
+// kiwiTarget adapts the uint32-specialized KiWi.
+type kiwiTarget struct{ m *kiwi.Map }
+
+func (t *kiwiTarget) Get(k int) (int, bool) {
+	v, ok := t.m.Get(uint32(k))
+	return int(v), ok
+}
+func (t *kiwiTarget) Put(k, v int)      { t.m.Put(uint32(k), uint32(v)) }
+func (t *kiwiTarget) Remove(k int) bool { return t.m.Remove(uint32(k)) }
+
+func TestKiwiLinearizable(t *testing.T) {
+	runBattery(t, func() Target { return &kiwiTarget{kiwi.New()} }, 0)
+}

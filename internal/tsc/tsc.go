@@ -1,0 +1,148 @@
+// Package tsc provides the version-number oracle used by Jiffy.
+//
+// The paper (§3.2) reads the x86 Time Stamp Counter (via RDTSCP on bare
+// metal, System.nanoTime() from Java) to obtain machine-wide, monotonically
+// non-decreasing version numbers without a shared atomic counter. On
+// linux/amd64 Go's monotonic clock is vDSO-backed and itself reads the TSC,
+// so time.Since over a fixed base preserves the two properties Jiffy needs:
+// the read is cheap (tens of nanoseconds) and introduces no cross-thread
+// contention.
+//
+// All values returned by a Clock are strictly positive: the paper rebases
+// System.nanoTime() against the value observed at index creation, and so do
+// we (plus one, so the first read is already positive).
+package tsc
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a source of positive, monotonically non-decreasing version
+// numbers shared by every thread operating on one index.
+//
+// Reads from distinct goroutines need not be strictly increasing; Jiffy's
+// optimistic-version invariant (§3.2) only requires that a value read now is
+// >= any value read earlier on the same machine-wide clock.
+type Clock interface {
+	// Read returns the current version-number value. It is safe for
+	// concurrent use and never returns a value <= 0.
+	Read() int64
+
+	// ReadAtLeast returns a value >= min, waiting for (or, for
+	// deterministic clocks, advancing) the clock if needed. It implements
+	// the paper's waitUntil (Algorithm 1, lines 66-68): an update must not
+	// publish a final version number ahead of the machine-wide clock. On
+	// the monotonic clock the wait is at most one nanosecond and, as the
+	// paper observes, in practice never spins.
+	ReadAtLeast(min int64) int64
+}
+
+// Monotonic is the production Clock: Go's monotonic clock rebased to the
+// moment the Clock was created. The zero value is not usable; call
+// NewMonotonic.
+type Monotonic struct {
+	base time.Time
+}
+
+// NewMonotonic returns a Clock backed by the runtime monotonic clock.
+func NewMonotonic() *Monotonic {
+	return &Monotonic{base: time.Now()}
+}
+
+// Read returns nanoseconds since the clock was created, plus one.
+func (m *Monotonic) Read() int64 {
+	return int64(time.Since(m.base)) + 1
+}
+
+// ReadAtLeast spins (nanosecond-scale at most) until the clock reaches min.
+func (m *Monotonic) ReadAtLeast(min int64) int64 {
+	for {
+		if v := m.Read(); v >= min {
+			return v
+		}
+	}
+}
+
+// Manual is a deterministic Clock for tests. Each Read returns the current
+// value; Advance and Set move it. The zero value starts at 1.
+type Manual struct {
+	now atomic.Int64
+}
+
+// NewManual returns a Manual clock whose first Read returns start (or 1 if
+// start < 1).
+func NewManual(start int64) *Manual {
+	m := &Manual{}
+	if start < 1 {
+		start = 1
+	}
+	m.now.Store(start)
+	return m
+}
+
+// Read returns the current manual time.
+func (m *Manual) Read() int64 {
+	v := m.now.Load()
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Advance moves the clock forward by d (no-op if d <= 0) and returns the new
+// value.
+func (m *Manual) Advance(d int64) int64 {
+	if d <= 0 {
+		return m.Read()
+	}
+	return m.now.Add(d)
+}
+
+// ReadAtLeast advances the manual clock to min if it is behind; it never
+// blocks, which keeps tests deterministic.
+func (m *Manual) ReadAtLeast(min int64) int64 {
+	m.Set(min)
+	return m.Read()
+}
+
+// Set jumps the clock to t if t is greater than the current value
+// (monotonicity is preserved even under concurrent Set calls).
+func (m *Manual) Set(t int64) {
+	for {
+		cur := m.now.Load()
+		if t <= cur {
+			return
+		}
+		if m.now.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// Counter is a Clock backed by a single shared atomic counter, the design
+// §3.2 argues against. It exists for the A2 ablation benchmark
+// (BenchmarkAblation_AtomicCounter*): swapping it in reintroduces the single
+// point of contention that the first version of Jiffy suffered from.
+type Counter struct {
+	n atomic.Int64
+}
+
+// NewCounter returns a Counter clock starting at 1.
+func NewCounter() *Counter { return &Counter{} }
+
+// Read increments and returns the shared counter.
+func (c *Counter) Read() int64 { return c.n.Add(1) }
+
+// ReadAtLeast bumps the counter up to min if it is behind.
+func (c *Counter) ReadAtLeast(min int64) int64 {
+	for {
+		cur := c.n.Load()
+		if cur >= min {
+			return c.n.Add(1)
+		}
+		if c.n.CompareAndSwap(cur, min) {
+			return min
+		}
+	}
+}

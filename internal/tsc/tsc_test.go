@@ -1,0 +1,166 @@
+package tsc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMonotonicPositive(t *testing.T) {
+	c := NewMonotonic()
+	if v := c.Read(); v <= 0 {
+		t.Fatalf("first Read = %d, want > 0", v)
+	}
+}
+
+func TestMonotonicNonDecreasing(t *testing.T) {
+	c := NewMonotonic()
+	prev := c.Read()
+	for i := 0; i < 10000; i++ {
+		v := c.Read()
+		if v < prev {
+			t.Fatalf("Read went backwards: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestMonotonicAdvances(t *testing.T) {
+	c := NewMonotonic()
+	a := c.Read()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Read()
+	if b <= a {
+		t.Fatalf("clock did not advance across a sleep: %d then %d", a, b)
+	}
+}
+
+func TestMonotonicConcurrentNonDecreasingPerGoroutine(t *testing.T) {
+	c := NewMonotonic()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := c.Read()
+			for i := 0; i < 5000; i++ {
+				v := c.Read()
+				if v < prev {
+					t.Errorf("Read went backwards: %d after %d", v, prev)
+					return
+				}
+				prev = v
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestManualDefaults(t *testing.T) {
+	m := NewManual(0)
+	if v := m.Read(); v != 1 {
+		t.Fatalf("NewManual(0).Read() = %d, want 1", v)
+	}
+	var zero Manual
+	if v := zero.Read(); v != 1 {
+		t.Fatalf("zero Manual Read() = %d, want 1", v)
+	}
+}
+
+func TestManualAdvanceAndSet(t *testing.T) {
+	m := NewManual(10)
+	if v := m.Advance(5); v != 15 {
+		t.Fatalf("Advance(5) = %d, want 15", v)
+	}
+	if v := m.Advance(0); v != 15 {
+		t.Fatalf("Advance(0) = %d, want 15", v)
+	}
+	if v := m.Advance(-3); v != 15 {
+		t.Fatalf("Advance(-3) = %d, want 15", v)
+	}
+	m.Set(100)
+	if v := m.Read(); v != 100 {
+		t.Fatalf("after Set(100), Read() = %d", v)
+	}
+	m.Set(50) // must not go backwards
+	if v := m.Read(); v != 100 {
+		t.Fatalf("Set(50) moved clock backwards to %d", v)
+	}
+}
+
+func TestManualConcurrentSetMonotonic(t *testing.T) {
+	m := NewManual(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Set(int64(g*1000 + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if v := m.Read(); v != 7999 {
+		t.Fatalf("final value = %d, want max Set argument 7999", v)
+	}
+}
+
+func TestCounterStrictlyIncreasing(t *testing.T) {
+	c := NewCounter()
+	prev := c.Read()
+	if prev != 1 {
+		t.Fatalf("first Read = %d, want 1", prev)
+	}
+	for i := 0; i < 1000; i++ {
+		v := c.Read()
+		if v != prev+1 {
+			t.Fatalf("Read = %d after %d, want strict +1", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestCounterConcurrentUnique(t *testing.T) {
+	c := NewCounter()
+	const goroutines, per = 8, 2000
+	seen := make([]int64, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seen[g*per+i] = c.Read()
+			}
+		}()
+	}
+	wg.Wait()
+	uniq := make(map[int64]bool, len(seen))
+	for _, v := range seen {
+		if uniq[v] {
+			t.Fatalf("duplicate counter value %d", v)
+		}
+		uniq[v] = true
+	}
+}
+
+func BenchmarkMonotonicRead(b *testing.B) {
+	c := NewMonotonic()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = c.Read()
+		}
+	})
+}
+
+func BenchmarkCounterRead(b *testing.B) {
+	c := NewCounter()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = c.Read()
+		}
+	})
+}

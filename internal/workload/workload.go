@@ -1,0 +1,196 @@
+// Package workload generates the microbenchmark workloads of §4.2: key
+// streams (uniform or Zipfian with the YCSB default skew 0.99 over a 20M
+// key space), per-thread operation roles (updater / lookup / scanner), and
+// batch shapes (sequential or random 10- and 100-operation batches).
+package workload
+
+import (
+	mrand "math/rand"
+	"math/rand/v2"
+)
+
+// Distribution selects how keys are drawn.
+type Distribution int
+
+const (
+	Uniform Distribution = iota
+	Zipf                 // skew 0.99, as in YCSB's default (§4.2)
+)
+
+func (d Distribution) String() string {
+	if d == Zipf {
+		return "zipf"
+	}
+	return "uniform"
+}
+
+// KeyGen produces keys from a distribution over [0, Space). Each goroutine
+// must own its KeyGen (not safe for concurrent use).
+type KeyGen struct {
+	space uint64
+	rng   *rand.Rand
+	zipf  *mrand.Zipf
+}
+
+// NewKeyGen returns a generator over [0, space) with the given distribution
+// and per-thread seed.
+func NewKeyGen(dist Distribution, space uint64, seed uint64) *KeyGen {
+	g := &KeyGen{space: space, rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	if dist == Zipf {
+		// math/rand's Zipf implements the power-law generator used by
+		// YCSB; s = 1.01 approximates skew 0.99 closely enough while
+		// satisfying the s > 1 requirement.
+		src := mrand.New(mrand.NewSource(int64(seed | 1)))
+		g.zipf = mrand.NewZipf(src, 1.01, 1, space-1)
+	}
+	return g
+}
+
+// Next returns the next key.
+func (g *KeyGen) Next() uint64 {
+	if g.zipf != nil {
+		// Scramble so hot keys scatter across the key space instead of
+		// clustering at 0 (YCSB does the same with FNV).
+		return scramble(g.zipf.Uint64()) % g.space
+	}
+	return g.rng.Uint64N(g.space)
+}
+
+// NextN returns n keys.
+func (g *KeyGen) NextN(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Coin returns true with probability p.
+func (g *KeyGen) Coin(p float64) bool { return g.rng.Float64() < p }
+
+// IntN returns a uniform int in [0, n).
+func (g *KeyGen) IntN(n int) int { return g.rng.IntN(n) }
+
+func scramble(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// BatchMode describes how update operations are grouped (§4.2).
+type BatchMode struct {
+	Size int  // 0 or 1 = single put/remove operations
+	Seq  bool // sequential (consecutive keys) vs random batches
+}
+
+func (b BatchMode) String() string {
+	switch {
+	case b.Size <= 1:
+		return "simple"
+	case b.Seq:
+		return "b" + itoa(b.Size) + "-seq"
+	default:
+		return "b" + itoa(b.Size) + "-rand"
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BatchKeys fills keys for one batch: sequential batches update consecutive
+// keys from a random start; random batches draw every key independently.
+func (g *KeyGen) BatchKeys(mode BatchMode, out []uint64) []uint64 {
+	out = out[:0]
+	if mode.Seq {
+		start := g.Next()
+		for i := 0; i < mode.Size; i++ {
+			out = append(out, (start+uint64(i))%g.space)
+		}
+		return out
+	}
+	for i := 0; i < mode.Size; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}
+
+// Role is the operation type a benchmark thread issues exclusively (§4.2:
+// "each microbenchmark thread issues only one type of operations").
+type Role int
+
+const (
+	Updater Role = iota
+	Lookup
+	Scanner
+)
+
+// Mix describes what fraction of threads run each role and the scan length.
+type Mix struct {
+	Name       string
+	UpdateFrac float64
+	LookupFrac float64
+	ScanFrac   float64
+	ScanLen    int
+}
+
+// The four test scenarios of §4.2: update-only; update-lookup (25 % / 75 %);
+// and the two mixed scenarios (25 % updates, 50 % lookups, 25 % scans) with
+// short (100-entry) or long (10 000-entry) range scans.
+var (
+	MixUpdateOnly   = Mix{Name: "w", UpdateFrac: 1}
+	MixUpdateLookup = Mix{Name: "ul", UpdateFrac: 0.25, LookupFrac: 0.75}
+	MixShortScans   = Mix{Name: "ms", UpdateFrac: 0.25, LookupFrac: 0.50, ScanFrac: 0.25, ScanLen: 100}
+	MixLongScans    = Mix{Name: "ml", UpdateFrac: 0.25, LookupFrac: 0.50, ScanFrac: 0.25, ScanLen: 10000}
+)
+
+// Mixes lists the scenarios in the order the paper's figures use.
+var Mixes = []Mix{MixUpdateOnly, MixUpdateLookup, MixShortScans, MixLongScans}
+
+// Assign distributes roles over n threads, matching the paper's
+// thread-fraction scheme: the first UpdateFrac*n threads update, the next
+// LookupFrac*n look up, the rest scan. At least one updater is always
+// assigned when UpdateFrac > 0.
+func (m Mix) Assign(n int) []Role {
+	roles := make([]Role, n)
+	nu := int(m.UpdateFrac * float64(n))
+	if m.UpdateFrac > 0 && nu == 0 {
+		nu = 1
+	}
+	nl := int(m.LookupFrac * float64(n))
+	for i := range roles {
+		switch {
+		case i < nu:
+			roles[i] = Updater
+		case i < nu+nl:
+			roles[i] = Lookup
+		default:
+			roles[i] = Scanner
+		}
+	}
+	if m.ScanFrac == 0 {
+		// No scanners: any remainder threads become lookups (or
+		// updaters in the update-only mix).
+		for i := nu + nl; i < n; i++ {
+			if m.LookupFrac > 0 {
+				roles[i] = Lookup
+			} else {
+				roles[i] = Updater
+			}
+		}
+	}
+	return roles
+}

@@ -1,0 +1,129 @@
+package workload
+
+import "testing"
+
+func TestUniformKeysInRange(t *testing.T) {
+	g := NewKeyGen(Uniform, 1000, 1)
+	for i := 0; i < 10000; i++ {
+		if k := g.Next(); k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestZipfSkewed(t *testing.T) {
+	g := NewKeyGen(Zipf, 1<<20, 7)
+	counts := map[uint64]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k := g.Next()
+		if k >= 1<<20 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// A Zipf(1.01) stream over 1M keys concentrates mass heavily: the
+	// most frequent key should hold far more than the uniform share.
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < n/1000 {
+		t.Fatalf("distribution looks uniform: hottest key has %d/%d", maxC, n)
+	}
+}
+
+func TestZipfScrambleSpreadsHotKeys(t *testing.T) {
+	g := NewKeyGen(Zipf, 1<<20, 9)
+	low := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next() < 1<<10 {
+			low++
+		}
+	}
+	// Without scrambling, nearly all mass sits below 2^10. With it, the
+	// hot keys scatter across the space.
+	if low > n/10 {
+		t.Fatalf("hot keys clustered at the bottom: %d/%d below 2^10", low, n)
+	}
+}
+
+func TestBatchKeysSeqAndRand(t *testing.T) {
+	g := NewKeyGen(Uniform, 1<<30, 3)
+	seq := g.BatchKeys(BatchMode{Size: 10, Seq: true}, nil)
+	if len(seq) != 10 {
+		t.Fatalf("len=%d", len(seq))
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] != seq[i-1]+1 {
+			t.Fatalf("not consecutive at %d: %v", i, seq)
+		}
+	}
+	rnd := g.BatchKeys(BatchMode{Size: 10, Seq: false}, nil)
+	consecutive := true
+	for i := 1; i < len(rnd); i++ {
+		if rnd[i] != rnd[i-1]+1 {
+			consecutive = false
+		}
+	}
+	if consecutive {
+		t.Fatal("random batch came out consecutive")
+	}
+}
+
+func TestBatchModeString(t *testing.T) {
+	cases := map[string]BatchMode{
+		"simple":    {},
+		"b10-seq":   {Size: 10, Seq: true},
+		"b100-rand": {Size: 100},
+	}
+	for want, mode := range cases {
+		if got := mode.String(); got != want {
+			t.Errorf("%+v.String() = %q want %q", mode, got, want)
+		}
+	}
+}
+
+func TestMixAssign(t *testing.T) {
+	roles := MixShortScans.Assign(8)
+	var u, l, s int
+	for _, r := range roles {
+		switch r {
+		case Updater:
+			u++
+		case Lookup:
+			l++
+		case Scanner:
+			s++
+		}
+	}
+	if u != 2 || l != 4 || s != 2 {
+		t.Fatalf("mix 25/50/25 over 8 threads gave %d/%d/%d", u, l, s)
+	}
+	roles = MixUpdateOnly.Assign(5)
+	for _, r := range roles {
+		if r != Updater {
+			t.Fatal("update-only mix produced a non-updater")
+		}
+	}
+	roles = MixUpdateLookup.Assign(4)
+	if roles[0] != Updater {
+		t.Fatal("no updater assigned")
+	}
+	// Remainder threads fall to lookups, not scanners.
+	for _, r := range roles[1:] {
+		if r == Scanner {
+			t.Fatal("scanner in a scan-free mix")
+		}
+	}
+}
+
+func TestMixAssignAlwaysHasUpdater(t *testing.T) {
+	roles := MixUpdateLookup.Assign(2) // 0.25*2 = 0 -> forced to 1
+	if roles[0] != Updater {
+		t.Fatalf("tiny thread count lost its updater: %v", roles)
+	}
+}
