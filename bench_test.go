@@ -13,6 +13,7 @@ package repro
 
 import (
 	"cmp"
+	"fmt"
 	"sync/atomic"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/tsc"
 	"repro/internal/workload"
+	"repro/jiffy"
 )
 
 const (
@@ -232,6 +234,41 @@ func BenchmarkAblation_RevisionSize(b *testing.B) {
 			benchPoint(b, func() index.Index[uint64, *harness.Payload] {
 				return index.NewJiffy[uint64, *harness.Payload](opts)
 			}, harness.KeyA, harness.ValA, workload.MixShortScans, workload.BatchMode{}, workload.Uniform)
+		})
+	}
+}
+
+// --- Sharded frontend: scaling writes across shards (-shards axis). The
+// figure benches above already include "jiffy-sharded" at the harness
+// default shard count; this bench sweeps the shard count explicitly on the
+// update-heavy mixes where sharding pays. ---
+
+func BenchmarkSharded_Shards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, mode := range []workload.BatchMode{{}, {Size: 100}} {
+			label := fmt.Sprintf("s%d/%s", shards, mode.String())
+			shards := shards
+			mode := mode
+			b.Run(label, func(b *testing.B) {
+				benchPoint(b, func() index.Index[uint64, *harness.Payload] {
+					return index.NewShardedJiffy[uint64, *harness.Payload](shards)
+				}, harness.KeyA, harness.ValA, workload.MixUpdateOnly, mode, workload.Uniform)
+			})
+		}
+	}
+}
+
+func BenchmarkSharded_MergedScan(b *testing.B) {
+	s := jiffy.NewSharded[uint64, uint64](8)
+	for i := uint64(0); i < benchPrefill; i++ {
+		s.Put(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.RangeFrom(uint64(i%(benchPrefill-200)), func(uint64, uint64) bool {
+			n++
+			return n < 100
 		})
 	}
 }

@@ -10,6 +10,8 @@
 //	jiffybench -figure 6 -row b100 -threads 1,2,4,8  # Fig. 6 bottom row
 //	jiffybench -figure 8 -row b10 -mix w             # one scenario only
 //	jiffybench -claims                               # §4.3 scalar claims
+//	jiffybench -figure 5 -indices jiffy,jiffy-sharded -shards 8
+//	                                                 # sharded vs single-shard
 //
 // The defaults are sized for a laptop-class machine; use -keyspace,
 // -prefill and -duration to approach the paper's 20M-key / 10M-entry
@@ -40,8 +42,13 @@ func main() {
 		duration = flag.Duration("duration", 300*time.Millisecond, "measurement time per point")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		claims   = flag.Bool("claims", false, "measure the scalar claims of §4.3 instead of a figure")
+		shards   = flag.Int("shards", 0, "shard count for the jiffy-sharded index (default: GOMAXPROCS, min 2)")
 	)
 	flag.Parse()
+
+	if *shards > 0 {
+		harness.ShardCount = *shards
+	}
 
 	if *claims {
 		runClaims(*keyspace, *prefill, *duration, *seed)

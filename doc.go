@@ -2,9 +2,10 @@
 // skip list with batch updates and snapshots" (Kobus, Kokociński,
 // Wojciechowski; PPoPP 2022).
 //
-// The library lives in internal/core; the competitor indices of the paper's
-// evaluation are under internal/baseline; the workload generator and
-// benchmark harness under internal/workload and internal/harness; the
-// figure regenerator CLI is cmd/jiffybench. See README.md, DESIGN.md and
-// EXPERIMENTS.md.
+// The public API — including the sharded multi-core frontend — is the
+// jiffy package; import repro/jiffy. The implementation lives in
+// internal/core; the competitor indices of the paper's evaluation are
+// under internal/baseline; the workload generator and benchmark harness
+// under internal/workload and internal/harness; the figure regenerator CLI
+// is cmd/jiffybench. See README.md, DESIGN.md and EXPERIMENTS.md.
 package repro

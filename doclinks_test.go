@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdRefRe matches relative markdown link targets: [text](target).
+var mdRefRe = regexp.MustCompile(`\]\(([^)#][^)]*)\)`)
+
+// fencedRe and inlineCodeRe match fenced blocks and inline code spans,
+// which are stripped before link extraction: Go's generic instantiation
+// syntax (`F[K, V](x)`) would otherwise parse as a markdown link.
+var (
+	fencedRe     = regexp.MustCompile("(?s)```.*?```")
+	inlineCodeRe = regexp.MustCompile("`[^`]*`")
+)
+
+// fileMentionRe matches bare mentions of repo files in prose or Go doc
+// comments, e.g. "See README.md, DESIGN.md and EXPERIMENTS.md." or
+// "cmd/jiffybench/claims.go".
+var fileMentionRe = regexp.MustCompile(`[A-Za-z0-9_./-]+\.(?:md|go)\b`)
+
+// TestDocLinksResolve fails when documentation references a file that does
+// not exist — the state this repo was seeded in, with doc.go promising a
+// README, DESIGN.md and EXPERIMENTS.md that were missing.
+func TestDocLinksResolve(t *testing.T) {
+	// Bare file mentions (no directory) may refer to a file anywhere in
+	// the tree, e.g. "batch.go" inside a section about internal/core.
+	basenames := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		basenames[d.Name()] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sources := []string{"doc.go", "README.md", "DESIGN.md", "EXPERIMENTS.md", "CHANGELOG.md"}
+	for _, src := range sources {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Errorf("documentation source missing: %v", err)
+			continue
+		}
+		text := string(data)
+		prose := inlineCodeRe.ReplaceAllString(fencedRe.ReplaceAllString(text, ""), "")
+
+		refs := map[string]bool{}
+		for _, m := range mdRefRe.FindAllStringSubmatch(prose, -1) {
+			refs[m[1]] = true
+		}
+		for _, m := range fileMentionRe.FindAllString(text, -1) {
+			refs[m] = true
+		}
+		for ref := range refs {
+			switch {
+			case strings.Contains(ref, "://"), strings.HasPrefix(ref, "#"):
+				continue // external or intra-document
+			}
+			ref = strings.TrimPrefix(ref, "./")
+			if !strings.Contains(ref, "/") && basenames[ref] {
+				continue
+			}
+			if _, err := os.Stat(ref); err != nil {
+				t.Errorf("%s references %q, which does not exist", src, ref)
+			}
+		}
+	}
+}
+
+// TestExamplesExist keeps README's example list honest.
+func TestExamplesExist(t *testing.T) {
+	for _, ex := range []string{"quickstart", "sharded", "orderbook", "analytics", "adaptive"} {
+		if _, err := os.Stat("examples/" + ex + "/main.go"); err != nil {
+			t.Errorf("example %q missing: %v", ex, err)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"cmp"
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/tsc"
 )
 
 // Batch accumulates put and remove operations to be applied atomically by
@@ -50,6 +52,169 @@ type batchDesc[K cmp.Ordered, V any] struct {
 	version   atomic.Int64
 	entries   []batchEntry[K, V] // ascending by key, unique keys
 	remaining atomic.Int64
+
+	// group, when non-nil, makes this descriptor one part of a cross-map
+	// batch (MultiBatchUpdate): the version lives in the group's shared
+	// cell, not in the version field above. After the group commits, the
+	// final version is cached into the version field and group is cleared
+	// (releaseGroup), so revisions surviving in the shards' histories stop
+	// pinning every sibling shard's entries and maps.
+	group atomic.Pointer[batchGroup[K, V]]
+}
+
+// ver reads the descriptor's current version number, indirecting through
+// the group's shared cell for cross-map batches.
+func (d *batchDesc[K, V]) ver() int64 {
+	if g := d.group.Load(); g != nil {
+		return g.version.Load()
+	}
+	return d.version.Load()
+}
+
+// batchGroup coordinates one cross-map batch update (MultiBatchUpdate). It
+// generalizes the descriptor's visible/commit split across maps: all parts
+// share one version cell, and the shared version cannot turn final until
+// every part has installed its revisions on its map. Any thread that
+// encounters one pending revision of the group helps drive every part to
+// completion, so the whole multi-map update is non-blocking.
+//
+// parts are sorted by the maps' canonical order (Map.seq), and every
+// helper applies them in that order. This extends the single-map
+// descending-key rule to a global processing order (map seq ascending,
+// keys descending within a map), which keeps concurrent groups' help
+// chains acyclic: a group blocked at position p has installed pending
+// revisions only at positions before p, so the group it helps — whose
+// pending revision sits at p — has remaining work strictly after p and can
+// never need this group's own positions. Without the canonical order, two
+// groups applying the same maps in opposite orders each hold the revision
+// the other needs and mutual helping recurses forever.
+type batchGroup[K cmp.Ordered, V any] struct {
+	version atomic.Int64
+	clock   tsc.Clock
+	parts   []groupPart[K, V]
+}
+
+// groupPart binds one map to its share of a cross-map batch.
+type groupPart[K cmp.Ordered, V any] struct {
+	m    *Map[K, V]
+	desc *batchDesc[K, V]
+}
+
+// finalize is the group's commit protocol. Phase one (visible): every
+// part's entries are applied, installing pending revisions on all maps.
+// Phase two (commit): one final version number is CASed into the shared
+// cell — the single linearization point of the whole cross-map update.
+// Idempotent; raced finalizers agree on the version the first CAS set.
+//
+// The atomicity argument mirrors the single-map one (see applyBatchDesc):
+// because the final version is drawn from the shared clock only after every
+// part's revisions are installed, a snapshot that read its version before
+// some part was installed observes a commit version at or above its own cut
+// and excludes the batch on every map, while a snapshot whose version
+// covers the commit finds the batch's revisions present on every map.
+func (g *batchGroup[K, V]) finalize() int64 {
+	v := g.version.Load()
+	if v > 0 {
+		return v
+	}
+	for _, p := range g.parts {
+		p.m.applyBatchDesc(p.desc)
+	}
+	fin := g.clock.Read()
+	if o := -v; o > fin {
+		fin = o
+		g.clock.ReadAtLeast(fin)
+	}
+	if g.version.CompareAndSwap(v, fin) {
+		return fin
+	}
+	return g.version.Load()
+}
+
+// MapBatch names one map's share of a MultiBatchUpdate.
+type MapBatch[K cmp.Ordered, V any] struct {
+	Map   *Map[K, V]
+	Batch *Batch[K, V]
+}
+
+// MultiBatchUpdate applies the given per-map batches as one atomic,
+// linearizable update spanning all of the maps: no reader or snapshot on
+// any of the maps can observe a state where some parts have taken effect
+// and others have not. All maps must share the same Clock (as the shards of
+// a sharded frontend do); MultiBatchUpdate panics otherwise. Parts aimed at
+// the same map are coalesced (later parts win on key conflicts), and empty
+// parts are ignored; a call whose live operations all land on one map
+// degenerates to that map's ordinary BatchUpdate.
+func MultiBatchUpdate[K cmp.Ordered, V any](parts ...MapBatch[K, V]) {
+	// Coalesce parts aimed at the same map: two pending descriptors of one
+	// group on one map would block each other (nothing can stack on a
+	// pending revision, and neither part could finalize without the other).
+	type acc struct {
+		m     *Map[K, V]
+		ops   []batchEntry[K, V]
+		owned bool // ops is a private copy, not an alias of a caller's Batch
+	}
+	var accs []acc
+outer:
+	for _, p := range parts {
+		if p.Map == nil || p.Batch == nil || len(p.Batch.ops) == 0 {
+			continue
+		}
+		for i := range accs {
+			if accs[i].m == p.Map {
+				// First duplicate of this map: copy before appending so
+				// the caller's Batch backing array is never written. In
+				// the common all-distinct case ops stay aliased — they
+				// are only read, and normalizeBatch copies anyway.
+				if !accs[i].owned {
+					cp := make([]batchEntry[K, V], len(accs[i].ops), len(accs[i].ops)+len(p.Batch.ops))
+					copy(cp, accs[i].ops)
+					accs[i].ops = cp
+					accs[i].owned = true
+				}
+				accs[i].ops = append(accs[i].ops, p.Batch.ops...)
+				continue outer
+			}
+		}
+		accs = append(accs, acc{m: p.Map, ops: p.Batch.ops})
+	}
+	if len(accs) == 0 {
+		return
+	}
+	if len(accs) == 1 {
+		accs[0].m.BatchUpdate(&Batch[K, V]{ops: accs[0].ops})
+		return
+	}
+	// Canonical map order: see the batchGroup comment for why this is
+	// required for progress, not a nicety.
+	sort.Slice(accs, func(i, j int) bool { return accs[i].m.seq < accs[j].m.seq })
+	clock := accs[0].m.clock
+	g := &batchGroup[K, V]{clock: clock}
+	for _, a := range accs {
+		if a.m.clock != clock {
+			panic("core: MultiBatchUpdate requires all maps to share one Clock")
+		}
+		desc := &batchDesc[K, V]{entries: normalizeBatch(a.ops)}
+		desc.group.Store(g)
+		desc.remaining.Store(int64(len(desc.entries)))
+		g.parts = append(g.parts, groupPart[K, V]{m: a.m, desc: desc})
+	}
+	g.version.Store(-(clock.Read() + 1))
+	fin := g.finalize()
+	for _, p := range g.parts {
+		p.m.batchGC(p.desc)
+	}
+	// Release: cache the final version in every descriptor, then drop the
+	// cross-map references. A batch revision surviving in some shard's
+	// history afterwards pins only its own descriptor's entries — parity
+	// with single-map batches — instead of every sibling shard's entries
+	// and map. Readers racing this see either the group (whose version is
+	// final) or the cached version; each descriptor's version is stored
+	// strictly before its group pointer is cleared.
+	for _, p := range g.parts {
+		p.desc.version.Store(fin)
+		p.desc.group.Store(nil)
+	}
 }
 
 // BatchUpdate applies all of b's operations atomically, in one linearizable
@@ -91,10 +256,24 @@ func normalizeBatch[K cmp.Ordered, V any](ops []batchEntry[K, V]) []batchEntry[K
 	return out[:w+1]
 }
 
-// helpBatch drives a batch update to completion: apply revisions node by
-// node from the highest remaining key downward (rule 3), then assign the
-// final version number to the descriptor. Idempotent; any thread that
-// encounters one of the batch's pending revisions runs it (§3.3.3, point 4).
+// helpBatch drives the batch update that created desc to completion:
+// application, then version assignment. For a cross-map batch every part of
+// the group is driven, so helping a single pending revision completes the
+// whole multi-map update. Idempotent; any thread that encounters one of the
+// batch's pending revisions runs it (§3.3.3, point 4).
+func (m *Map[K, V]) helpBatch(desc *batchDesc[K, V]) {
+	if g := desc.group.Load(); g != nil {
+		g.finalize()
+		return
+	}
+	m.applyBatchDesc(desc)
+	m.finalizeDesc(desc)
+}
+
+// applyBatchDesc applies desc's entries node by node from the highest
+// remaining key downward (rule 3). It installs revisions but never assigns
+// the final version number — that is the caller's (or the group's) commit
+// step.
 //
 // Progress accounting: desc.remaining is only a starting hint (it never
 // advances past unapplied entries, so starting from it is sound, and a
@@ -115,7 +294,7 @@ func normalizeBatch[K cmp.Ordered, V any](ops []batchEntry[K, V]) []batchEntry[K
 //     earlier application that could affect this node's range froze its
 //     node through the present, so this find either sees that node (and
 //     skips) or the head CAS fails against the intervening change.
-func (m *Map[K, V]) helpBatch(desc *batchDesc[K, V]) {
+func (m *Map[K, V]) applyBatchDesc(desc *batchDesc[K, V]) {
 	cursor := desc.remaining.Load() // entries[cursor:] are already applied
 	for cursor > 0 {
 		topKey := desc.entries[cursor-1].key
@@ -126,7 +305,7 @@ func (m *Map[K, V]) helpBatch(desc *batchDesc[K, V]) {
 		}
 		nextNode := nd.next.Load()
 		headRev := nd.head.Load()
-		if desc.version.Load() > 0 {
+		if desc.ver() > 0 {
 			return // the batch linearized while we were looking
 		}
 		if nd.terminated.Load() {
@@ -172,7 +351,6 @@ func (m *Map[K, V]) helpBatch(desc *batchDesc[K, V]) {
 			cursor = lo
 		}
 	}
-	m.finalizeDesc(desc)
 }
 
 // batchRunStart returns the index of the first remaining entry that falls
@@ -186,8 +364,13 @@ func batchRunStart[K cmp.Ordered, V any](entries []batchEntry[K, V], nd *node[K,
 }
 
 // finalizeDesc assigns the batch's final version number once every entry
-// has been applied — the batch's single linearization point.
+// has been applied — the batch's single linearization point. Cross-map
+// descriptors route through the group, which first makes sure every sibling
+// part has been applied.
 func (m *Map[K, V]) finalizeDesc(desc *batchDesc[K, V]) int64 {
+	if g := desc.group.Load(); g != nil {
+		return g.finalize()
+	}
 	v := desc.version.Load()
 	if v > 0 {
 		return v

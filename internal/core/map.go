@@ -16,6 +16,11 @@ type Map[K cmp.Ordered, V any] struct {
 	opts  Options[K]
 	clock tsc.Clock
 
+	// seq is a process-wide unique creation sequence number. It gives
+	// cross-map batches (MultiBatchUpdate) a canonical map order, which
+	// keeps concurrent groups' help chains acyclic (see batchGroup).
+	seq uint64
+
 	// base is the first node of the lowest-level list. It is never
 	// merged away or removed and manages (-inf, successor).
 	base *node[K, V]
@@ -29,6 +34,9 @@ type Map[K cmp.Ordered, V any] struct {
 }
 
 const defaultMaxLevel = 24
+
+// mapSeq issues Map.seq values.
+var mapSeq atomic.Uint64
 
 // indexItem is an element of one index lane, pointing at a base-level node.
 type indexItem[K cmp.Ordered, V any] struct {
@@ -52,7 +60,7 @@ func New[K cmp.Ordered, V any](opts ...Options[K]) *Map[K, V] {
 		o = opts[0]
 	}
 	o = o.withDefaults()
-	m := &Map[K, V]{opts: o, clock: o.Clock}
+	m := &Map[K, V]{opts: o, clock: o.Clock, seq: mapSeq.Add(1)}
 	m.base = &node[K, V]{isBase: true}
 	empty := m.newRevision(revRegular, nil, nil)
 	empty.version.Store(1)

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/tsc"
+)
+
+// twoMaps returns two maps sharing one clock, as the shards of a sharded
+// frontend do.
+func twoMaps(t *testing.T) (*Map[int, int], *Map[int, int], tsc.Clock) {
+	t.Helper()
+	clock := tsc.NewMonotonic()
+	a := New[int, int](Options[int]{Clock: clock})
+	b := New[int, int](Options[int]{Clock: clock})
+	return a, b, clock
+}
+
+func TestMultiBatchUpdateBasic(t *testing.T) {
+	a, b, _ := twoMaps(t)
+	MultiBatchUpdate(
+		MapBatch[int, int]{Map: a, Batch: NewBatch[int, int](2).Put(1, 10).Put(2, 20)},
+		MapBatch[int, int]{Map: b, Batch: NewBatch[int, int](2).Put(3, 30).Remove(4)},
+	)
+	if v, _ := a.Get(1); v != 10 {
+		t.Fatalf("a.Get(1) = %d", v)
+	}
+	if v, _ := a.Get(2); v != 20 {
+		t.Fatalf("a.Get(2) = %d", v)
+	}
+	if v, _ := b.Get(3); v != 30 {
+		t.Fatalf("b.Get(3) = %d", v)
+	}
+	for _, errs := range [][]error{CheckInvariants(a), CheckInvariants(b)} {
+		for _, err := range errs {
+			t.Error(err)
+		}
+	}
+}
+
+func TestMultiBatchUpdateCoalescesSameMap(t *testing.T) {
+	a, _, _ := twoMaps(t)
+	// The same map twice: parts must coalesce, later part winning on the
+	// shared key.
+	MultiBatchUpdate(
+		MapBatch[int, int]{Map: a, Batch: NewBatch[int, int](2).Put(1, 10).Put(2, 20)},
+		MapBatch[int, int]{Map: a, Batch: NewBatch[int, int](2).Put(1, 11).Put(3, 30)},
+	)
+	if v, _ := a.Get(1); v != 11 {
+		t.Fatalf("later part should win: a.Get(1) = %d", v)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}
+
+func TestMultiBatchUpdateEmptyAndSingle(t *testing.T) {
+	a, b, _ := twoMaps(t)
+	MultiBatchUpdate[int, int]() // no parts: no-op
+	MultiBatchUpdate(
+		MapBatch[int, int]{Map: a, Batch: NewBatch[int, int](0)}, // empty batch
+		MapBatch[int, int]{Map: b, Batch: NewBatch[int, int](1).Put(7, 70)},
+	)
+	if a.Len() != 0 {
+		t.Fatal("empty part mutated its map")
+	}
+	if v, _ := b.Get(7); v != 70 {
+		t.Fatal("single live part not applied")
+	}
+}
+
+func TestMultiBatchUpdateClockMismatchPanics(t *testing.T) {
+	a := New[int, int]()
+	b := New[int, int]() // different clock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched clocks")
+		}
+	}()
+	MultiBatchUpdate(
+		MapBatch[int, int]{Map: a, Batch: NewBatch[int, int](1).Put(1, 1)},
+		MapBatch[int, int]{Map: b, Batch: NewBatch[int, int](1).Put(2, 2)},
+	)
+}
+
+// TestMultiBatchUpdateOpposedPartOrders: concurrent cross-map groups whose
+// callers list the maps in opposite orders must still make progress.
+// Before parts were canonicalized by Map.seq, two such groups could each
+// install the pending revision the other needed and mutual helping
+// recursed until stack overflow.
+func TestMultiBatchUpdateOpposedPartOrders(t *testing.T) {
+	a, b, _ := twoMaps(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				ba, bb := NewBatch[int, int](4), NewBatch[int, int](4)
+				for k := 0; k < 4; k++ {
+					ba.Put(k, i)
+					bb.Put(k+100, i)
+				}
+				if g%2 == 0 {
+					MultiBatchUpdate(
+						MapBatch[int, int]{Map: a, Batch: ba},
+						MapBatch[int, int]{Map: b, Batch: bb})
+				} else {
+					MultiBatchUpdate(
+						MapBatch[int, int]{Map: b, Batch: bb},
+						MapBatch[int, int]{Map: a, Batch: ba})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, errs := range [][]error{CheckInvariants(a), CheckInvariants(b)} {
+		for _, err := range errs {
+			t.Error(err)
+		}
+	}
+}
+
+// TestMultiBatchUpdateAtomicity: readers aligning per-map snapshots on one
+// clock cut must never observe a cross-map batch half-applied, even while
+// concurrent readers help complete pending group revisions.
+func TestMultiBatchUpdateAtomicity(t *testing.T) {
+	a, b, clock := twoMaps(t)
+	const keys = 8
+	write := func(gen int) {
+		ba, bb := NewBatch[int, int](keys), NewBatch[int, int](keys)
+		for k := 0; k < keys; k++ {
+			if k%2 == 0 {
+				ba.Put(k, gen)
+			} else {
+				bb.Put(k, gen)
+			}
+		}
+		MultiBatchUpdate(
+			MapBatch[int, int]{Map: a, Batch: ba},
+			MapBatch[int, int]{Map: b, Batch: bb},
+		)
+	}
+	write(0)
+
+	var stop atomic.Bool
+	var writersWG, readersWG sync.WaitGroup
+	writersWG.Add(1)
+	go func() {
+		defer writersWG.Done()
+		for gen := 1; gen <= 500; gen++ {
+			write(gen)
+		}
+	}()
+	fail := make(chan string, 4)
+	for r := 0; r < 3; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			for !stop.Load() {
+				sa, sb := a.Snapshot(), b.Snapshot()
+				cut := clock.Read()
+				sa.RefreshTo(cut)
+				sb.RefreshTo(cut)
+				first, haveFirst := 0, false
+				for k := 0; k < keys; k++ {
+					var v int
+					var ok bool
+					if k%2 == 0 {
+						v, ok = sa.Get(k)
+					} else {
+						v, ok = sb.Get(k)
+					}
+					if !ok {
+						fail <- "key missing"
+						break
+					}
+					if !haveFirst {
+						first, haveFirst = v, true
+					} else if v != first {
+						fail <- "cross-map batch observed half-applied"
+						break
+					}
+				}
+				sa.Close()
+				sb.Close()
+			}
+		}()
+	}
+	writersWG.Wait()
+	stop.Store(true)
+	readersWG.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	for _, errs := range [][]error{CheckInvariants(a), CheckInvariants(b)} {
+		for _, err := range errs {
+			t.Error(err)
+		}
+	}
+}

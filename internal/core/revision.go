@@ -75,10 +75,11 @@ type revision[K cmp.Ordered, V any] struct {
 }
 
 // ver resolves the revision's current version number, indirecting through
-// the batch descriptor when the revision was created by a batch update.
+// the batch descriptor (and, for cross-map batches, its group's shared
+// cell) when the revision was created by a batch update.
 func (r *revision[K, V]) ver() int64 {
 	if r.desc != nil {
-		return r.desc.version.Load()
+		return r.desc.ver()
 	}
 	if r.kind == revRightSplit {
 		// Both split revisions share one linearization point: the

@@ -96,9 +96,21 @@ func (s *Snapshot[K, V]) All(fn func(key K, val V) bool) {
 // and one atomic store; no CAS, §3.3.4) but must not race with concurrent
 // use of the same Snapshot value.
 func (s *Snapshot[K, V]) Refresh() {
-	if now := s.m.clock.Read(); now > s.ver {
-		s.ver = now
-		s.e.version.Store(now)
+	s.RefreshTo(s.m.clock.Read())
+}
+
+// RefreshTo advances the snapshot to version v, releasing the history
+// pinned below it; it is a no-op unless v is ahead of the snapshot's
+// current version. Like Refresh, it must not race with concurrent use of
+// the same Snapshot value. Sharded frontends use it to align a set of
+// per-shard snapshots on one global cut: register a snapshot per shard,
+// read the shared clock once, then RefreshTo that value on every one — the
+// per-shard registrations pin history from their own (earlier) versions, so
+// the state at the cut can never be collected out from under the reader.
+func (s *Snapshot[K, V]) RefreshTo(v int64) {
+	if v > s.ver {
+		s.ver = v
+		s.e.version.Store(v)
 	}
 }
 

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"repro/internal/baseline/catree"
 	"repro/internal/baseline/cslm"
@@ -39,21 +40,38 @@ func KeyB(k uint64) uint32 { return uint32(k) }
 func ValB(k uint64) uint32 { return uint32(k) }
 
 // IndicesA are the competitors in the 16/100 B configuration (Figures 5, 7
-// and 8). KiWi is absent: its codebase supports only 4 B integer keys.
-var IndicesA = []string{"jiffy", "snaptree", "k-ary", "ca-avl", "ca-sl", "ca-imm", "lfca", "cslm"}
+// and 8), plus this repo's sharded Jiffy frontend. KiWi is absent: its
+// codebase supports only 4 B integer keys.
+var IndicesA = []string{"jiffy", "jiffy-sharded", "snaptree", "k-ary", "ca-avl", "ca-sl", "ca-imm", "lfca", "cslm"}
 
 // IndicesB adds KiWi for the 4/4 B configuration (Figures 6, 9 and 10).
-var IndicesB = []string{"jiffy", "snaptree", "k-ary", "ca-avl", "ca-sl", "ca-imm", "lfca", "cslm", "kiwi"}
+var IndicesB = []string{"jiffy", "jiffy-sharded", "snaptree", "k-ary", "ca-avl", "ca-sl", "ca-imm", "lfca", "cslm", "kiwi"}
 
 // BatchIndices are the indices supporting atomic batch updates: the batch
-// rows of every figure compare exactly these (§4.2).
-var BatchIndices = []string{"jiffy", "ca-avl", "ca-sl"}
+// rows of every figure compare exactly these (§4.2), plus the sharded
+// frontend, whose batches stay atomic even across shards.
+var BatchIndices = []string{"jiffy", "jiffy-sharded", "ca-avl", "ca-sl"}
+
+// ShardCount is the shard count "jiffy-sharded" runs with. It defaults to
+// the number of schedulable CPUs (minimum 2, so the sharded paths are
+// actually exercised); cmd/jiffybench's -shards flag overrides it.
+var ShardCount = defaultShardCount()
+
+func defaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
 
 // NewIndexA constructs a named index in the 16/100 B configuration.
 func NewIndexA(name string) index.Index[uint64, *Payload] {
 	switch name {
 	case "jiffy":
 		return index.NewJiffy[uint64, *Payload]()
+	case "jiffy-sharded":
+		return index.NewShardedJiffy[uint64, *Payload](ShardCount)
 	case "snaptree":
 		return snaptree.New[uint64, *Payload]()
 	case "k-ary":
@@ -77,6 +95,8 @@ func NewIndexB(name string) index.Index[uint32, uint32] {
 	switch name {
 	case "jiffy":
 		return index.NewJiffy[uint32, uint32]()
+	case "jiffy-sharded":
+		return index.NewShardedJiffy[uint32, uint32](ShardCount)
 	case "snaptree":
 		return snaptree.New[uint32, uint32]()
 	case "k-ary":

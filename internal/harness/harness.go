@@ -53,7 +53,7 @@ func (r Result) UpdateMops() float64 {
 
 // Row renders the result as one harness output row.
 func (r Result) Row() string {
-	return fmt.Sprintf("%-10s %-3s %-9s %-8s threads=%-3d total=%8.3f Mops/s update=%8.3f Mops/s",
+	return fmt.Sprintf("%-13s %-3s %-9s %-8s threads=%-3d total=%8.3f Mops/s update=%8.3f Mops/s",
 		r.Index, r.Config.Mix.Name, r.Config.Batch.String(), r.Config.Dist.String(),
 		r.Config.Threads, r.TotalMops(), r.UpdateMops())
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/baseline/kiwi"
 	"repro/internal/core"
+	"repro/jiffy"
 )
 
 // Jiffy adapts core.Map to the harness Index/Batcher interfaces.
@@ -43,6 +44,50 @@ func (j *Jiffy[K, V]) BatchUpdate(ops []BatchOp[K, V]) {
 		}
 	}
 	j.M.BatchUpdate(b)
+}
+
+// ShardedJiffy adapts jiffy.Sharded — the hash-partitioned multi-shard
+// frontend — to the harness Index/Batcher interfaces, so the harness can
+// benchmark it against single-shard Jiffy and the baselines. Batch updates
+// go through the cross-shard atomic path and scans through the k-way
+// merged snapshot, so the adapter preserves the same consistency level the
+// single-shard adapter reports.
+type ShardedJiffy[K cmp.Ordered, V any] struct {
+	S *jiffy.Sharded[K, V]
+}
+
+// NewShardedJiffy wraps a fresh sharded Jiffy map with the given shard
+// count and paper-default options.
+func NewShardedJiffy[K cmp.Ordered, V any](shards int, opts ...jiffy.Options[K]) *ShardedJiffy[K, V] {
+	return &ShardedJiffy[K, V]{S: jiffy.NewSharded[K, V](shards, opts...)}
+}
+
+// Name implements Named.
+func (j *ShardedJiffy[K, V]) Name() string { return "jiffy-sharded" }
+
+// Get implements Index.
+func (j *ShardedJiffy[K, V]) Get(key K) (V, bool) { return j.S.Get(key) }
+
+// Put implements Index.
+func (j *ShardedJiffy[K, V]) Put(key K, val V) { j.S.Put(key, val) }
+
+// Remove implements Index.
+func (j *ShardedJiffy[K, V]) Remove(key K) bool { return j.S.Remove(key) }
+
+// RangeFrom implements Index with a merged cross-shard snapshot scan.
+func (j *ShardedJiffy[K, V]) RangeFrom(lo K, fn func(K, V) bool) { j.S.RangeFrom(lo, fn) }
+
+// BatchUpdate implements Batcher with cross-shard atomic batch updates.
+func (j *ShardedJiffy[K, V]) BatchUpdate(ops []BatchOp[K, V]) {
+	b := jiffy.NewBatch[K, V](len(ops))
+	for _, op := range ops {
+		if op.Remove {
+			b.Remove(op.Key)
+		} else {
+			b.Put(op.Key, op.Val)
+		}
+	}
+	j.S.BatchUpdate(b)
 }
 
 // Kiwi adapts the uint32-specialized KiWi baseline to the uint32 harness

@@ -1,0 +1,74 @@
+package jiffy
+
+import (
+	"cmp"
+
+	"repro/internal/core"
+)
+
+// BatchOp is one operation inside an atomic batch update: a put of Val
+// under Key, or, when Remove is set, a deletion of Key.
+type BatchOp[K cmp.Ordered, V any] struct {
+	Key    K
+	Val    V
+	Remove bool
+}
+
+// Batch accumulates put and remove operations to be applied atomically by
+// Map.BatchUpdate or Sharded.BatchUpdate. A Batch is not safe for
+// concurrent mutation: build it on one goroutine, then hand it off.
+type Batch[K cmp.Ordered, V any] struct {
+	ops []BatchOp[K, V]
+}
+
+// NewBatch returns an empty batch; sizeHint pre-allocates capacity.
+func NewBatch[K cmp.Ordered, V any](sizeHint int) *Batch[K, V] {
+	return &Batch[K, V]{ops: make([]BatchOp[K, V], 0, sizeHint)}
+}
+
+// BatchOf returns a batch holding the given operations, in order (on
+// duplicate keys the later operation wins when the batch is applied).
+func BatchOf[K cmp.Ordered, V any](ops ...BatchOp[K, V]) *Batch[K, V] {
+	return &Batch[K, V]{ops: ops}
+}
+
+// Put schedules key to be set to val. It returns the batch for chaining.
+func (b *Batch[K, V]) Put(key K, val V) *Batch[K, V] {
+	b.ops = append(b.ops, BatchOp[K, V]{Key: key, Val: val})
+	return b
+}
+
+// Remove schedules key to be deleted. Removing an absent key is permitted
+// and has no effect beyond the batch's atomicity guarantee.
+func (b *Batch[K, V]) Remove(key K) *Batch[K, V] {
+	b.ops = append(b.ops, BatchOp[K, V]{Key: key, Remove: true})
+	return b
+}
+
+// Add schedules op. It returns the batch for chaining.
+func (b *Batch[K, V]) Add(op BatchOp[K, V]) *Batch[K, V] {
+	b.ops = append(b.ops, op)
+	return b
+}
+
+// Len returns the number of scheduled operations.
+func (b *Batch[K, V]) Len() int { return len(b.ops) }
+
+// Reset empties the batch, keeping its capacity for reuse.
+func (b *Batch[K, V]) Reset() *Batch[K, V] {
+	b.ops = b.ops[:0]
+	return b
+}
+
+// core converts the batch into internal/core's builder form.
+func (b *Batch[K, V]) core() *core.Batch[K, V] {
+	cb := core.NewBatch[K, V](len(b.ops))
+	for _, op := range b.ops {
+		if op.Remove {
+			cb.Remove(op.Key)
+		} else {
+			cb.Put(op.Key, op.Val)
+		}
+	}
+	return cb
+}

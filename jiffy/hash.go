@@ -1,0 +1,99 @@
+package jiffy
+
+import (
+	"cmp"
+	"math"
+	"reflect"
+)
+
+// shardHash picks the 64-bit shard-routing hash for the common ordered key
+// types. It deliberately uses different mixing constants than internal/
+// core's 16-bit per-revision hash: were the two correlated, every key in a
+// shard would share its low hash bits and the in-revision hash buckets
+// would skew. The type switch runs once per Sharded map; the returned
+// closures assert through any, which the compiler devirtualizes for the
+// concrete K.
+func shardHash[K cmp.Ordered]() func(K) uint64 {
+	var zero K
+	switch any(zero).(type) {
+	case int:
+		return func(k K) uint64 { return splitmix(uint64(any(k).(int))) }
+	case int8:
+		return func(k K) uint64 { return splitmix(uint64(any(k).(int8))) }
+	case int16:
+		return func(k K) uint64 { return splitmix(uint64(any(k).(int16))) }
+	case int32:
+		return func(k K) uint64 { return splitmix(uint64(any(k).(int32))) }
+	case int64:
+		return func(k K) uint64 { return splitmix(uint64(any(k).(int64))) }
+	case uint:
+		return func(k K) uint64 { return splitmix(uint64(any(k).(uint))) }
+	case uint8:
+		return func(k K) uint64 { return splitmix(uint64(any(k).(uint8))) }
+	case uint16:
+		return func(k K) uint64 { return splitmix(uint64(any(k).(uint16))) }
+	case uint32:
+		return func(k K) uint64 { return splitmix(uint64(any(k).(uint32))) }
+	case uint64:
+		return func(k K) uint64 { return splitmix(any(k).(uint64)) }
+	case uintptr:
+		return func(k K) uint64 { return splitmix(uint64(any(k).(uintptr))) }
+	case float32:
+		return func(k K) uint64 {
+			return splitmix(uint64(math.Float32bits(any(k).(float32))))
+		}
+	case float64:
+		return func(k K) uint64 {
+			return splitmix(math.Float64bits(any(k).(float64)))
+		}
+	case string:
+		return func(k K) uint64 { return fnv64(any(k).(string)) }
+	default:
+		// Defined key types (type ID uint64, type Name string, ...)
+		// miss every concrete case above — a type switch matches
+		// dynamic types exactly — yet are valid cmp.Ordered
+		// instantiations. Dispatch once on the reflect kind so such
+		// keys still distribute instead of silently all routing to
+		// shard 0.
+		switch reflect.TypeOf(zero).Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			return func(k K) uint64 { return splitmix(uint64(reflect.ValueOf(k).Int())) }
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+			return func(k K) uint64 { return splitmix(reflect.ValueOf(k).Uint()) }
+		case reflect.Float32, reflect.Float64:
+			return func(k K) uint64 {
+				return splitmix(math.Float64bits(reflect.ValueOf(k).Float()))
+			}
+		case reflect.String:
+			return func(k K) uint64 { return fnv64(reflect.ValueOf(k).String()) }
+		}
+		// cmp.Ordered admits no other kinds; unreachable, but keeps
+		// the function total.
+		return func(K) uint64 { return 0 }
+	}
+}
+
+// splitmix is the splitmix64 finalizer, a strong 64-bit mixer.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fnv64 is FNV-1a over the string bytes, for string keys.
+func fnv64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

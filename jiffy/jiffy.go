@@ -1,0 +1,119 @@
+// Package jiffy is the public API of this repository's reproduction of
+// Jiffy (Kobus, Kokociński, Wojciechowski: "Jiffy: a lock-free skip list
+// with batch updates and snapshots", PPoPP 2022): a linearizable, lock-free
+// ordered key-value map with atomic multi-key batch updates and O(1)
+// consistent snapshots.
+//
+// Two frontends are provided:
+//
+//   - Map is the single-structure Jiffy index of the paper. Every operation
+//     is lock-free and safe for concurrent use by any number of goroutines.
+//   - Sharded hash-partitions keys across N independent Jiffy maps so that
+//     updates scale across cores, while batch updates stay atomic across
+//     shards and snapshots and range scans stay consistent across shards.
+//
+// The implementation lives in internal/core; this package is the stable
+// surface outside code should build against. See README.md for a tour and
+// DESIGN.md for the internals.
+package jiffy
+
+import (
+	"cmp"
+
+	"repro/internal/core"
+)
+
+// Map is a Jiffy ordered key-value map. It supports point reads and
+// updates, atomic batch updates, O(1) consistent snapshots, and snapshot
+// range scans, all linearizable and safe for concurrent use. Create one
+// with New; the zero value is not usable.
+type Map[K cmp.Ordered, V any] struct {
+	m *core.Map[K, V]
+}
+
+// Options tunes a Map or a Sharded map. The zero value selects the paper's
+// defaults, which are right for almost every workload.
+type Options[K cmp.Ordered] struct {
+	// Hash maps a key to the 16-bit hash used by the per-revision hash
+	// index (§3.3.5 of the paper). The default is a type-appropriate
+	// mixer for every ordered key type; set it only for key types whose
+	// natural encoding collides badly.
+	Hash func(K) uint16
+
+	// MinRevisionSize and MaxRevisionSize bound the autoscaler's target
+	// revision size (defaults 25 and 300, the paper's §3.3.6 bounds).
+	MinRevisionSize int
+	MaxRevisionSize int
+
+	// FixedRevisionSize, when > 0, pins the revision size and disables
+	// the autoscaling policy.
+	FixedRevisionSize int
+
+	// DisableHashIndex turns off the per-revision hash index so point
+	// lookups fall back to binary search.
+	DisableHashIndex bool
+}
+
+// coreOptions converts the public options into internal/core's options.
+func (o Options[K]) coreOptions() core.Options[K] {
+	return core.Options[K]{
+		Hash:              o.Hash,
+		MinRevisionSize:   o.MinRevisionSize,
+		MaxRevisionSize:   o.MaxRevisionSize,
+		FixedRevisionSize: o.FixedRevisionSize,
+		DisableHashIndex:  o.DisableHashIndex,
+	}
+}
+
+// New returns an empty Map. Pass no argument for the paper's defaults.
+func New[K cmp.Ordered, V any](opts ...Options[K]) *Map[K, V] {
+	var o Options[K]
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return &Map[K, V]{m: core.New[K, V](o.coreOptions())}
+}
+
+// Get returns the most recent value stored for key. Get is linearizable:
+// it observes every update that completed before it and never observes a
+// half-applied batch.
+func (m *Map[K, V]) Get(key K) (V, bool) { return m.m.Get(key) }
+
+// Put sets the value for key, overwriting any previous value.
+func (m *Map[K, V]) Put(key K, val V) { m.m.Put(key, val) }
+
+// Remove deletes key and reports whether it was present.
+func (m *Map[K, V]) Remove(key K) bool { return m.m.Remove(key) }
+
+// Len counts the entries visible in an ephemeral snapshot. It is O(n) and
+// intended for tests and diagnostics, not hot paths.
+func (m *Map[K, V]) Len() int { return m.m.Len() }
+
+// BatchUpdate applies every operation in b in one atomic, linearizable
+// step: a concurrent reader or snapshot observes either all of the batch's
+// effects or none of them. If a key appears more than once in the batch the
+// last operation wins. The batch may be reused afterwards.
+func (m *Map[K, V]) BatchUpdate(b *Batch[K, V]) {
+	m.m.BatchUpdate(b.core())
+}
+
+// Snapshot registers and returns a consistent read-only view of the map as
+// of the call. Taking a snapshot is O(1) and never blocks updates. Close
+// the snapshot when done so the internal garbage collector can reclaim the
+// history it pins.
+func (m *Map[K, V]) Snapshot() *Snapshot[K, V] {
+	return &Snapshot[K, V]{s: m.m.Snapshot()}
+}
+
+// Range calls fn for every entry with lo <= key < hi, in ascending key
+// order, on an ephemeral snapshot taken at call time, until fn returns
+// false.
+func (m *Map[K, V]) Range(lo, hi K, fn func(key K, val V) bool) { m.m.Range(lo, hi, fn) }
+
+// RangeFrom calls fn for every entry with key >= lo, ascending, on an
+// ephemeral snapshot, until fn returns false.
+func (m *Map[K, V]) RangeFrom(lo K, fn func(key K, val V) bool) { m.m.RangeFrom(lo, fn) }
+
+// All calls fn for every entry, ascending, on an ephemeral snapshot, until
+// fn returns false.
+func (m *Map[K, V]) All(fn func(key K, val V) bool) { m.m.All(fn) }

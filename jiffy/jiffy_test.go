@@ -1,0 +1,106 @@
+package jiffy
+
+import (
+	"testing"
+)
+
+// The two snapshot types must satisfy the shared read-only View surface.
+var (
+	_ View[int, string] = (*Snapshot[int, string])(nil)
+	_ View[int, string] = (*ShardedSnapshot[int, string])(nil)
+	_ View[int, string] = (*Map[int, string])(nil)
+	_ View[int, string] = (*Sharded[int, string])(nil)
+)
+
+func TestMapFacade(t *testing.T) {
+	m := New[string, int]()
+	m.Put("apple", 3)
+	m.Put("banana", 7)
+	m.Put("cherry", 2)
+	if !m.Remove("banana") || m.Remove("banana") {
+		t.Fatal("remove semantics")
+	}
+	if v, ok := m.Get("apple"); !ok || v != 3 {
+		t.Fatalf("Get(apple) = %d,%v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+
+	m.BatchUpdate(NewBatch[string, int](3).
+		Put("apple", 10).
+		Put("banana", 10).
+		Remove("cherry"))
+
+	snap := m.Snapshot()
+	defer snap.Close()
+	m.Put("apple", 999)
+
+	if v, _ := snap.Get("apple"); v != 10 {
+		t.Fatalf("snapshot Get(apple) = %d", v)
+	}
+	if v, _ := m.Get("apple"); v != 999 {
+		t.Fatalf("live Get(apple) = %d", v)
+	}
+	var keys []string
+	snap.All(func(k string, v int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 2 || keys[0] != "apple" || keys[1] != "banana" {
+		t.Fatalf("snapshot keys = %v", keys)
+	}
+
+	snap.Refresh()
+	if v, _ := snap.Get("apple"); v != 999 {
+		t.Fatalf("refreshed snapshot Get(apple) = %d", v)
+	}
+}
+
+func TestBatchBuilder(t *testing.T) {
+	b := BatchOf(
+		BatchOp[int, int]{Key: 1, Val: 10},
+		BatchOp[int, int]{Key: 2, Val: 20},
+	).Add(BatchOp[int, int]{Key: 1, Remove: true})
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	m := New[int, int]()
+	m.BatchUpdate(b)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("later remove should win over earlier put")
+	}
+	if v, _ := m.Get(2); v != 20 {
+		t.Fatal("batched put lost")
+	}
+	if b.Reset().Len() != 0 {
+		t.Fatal("Reset did not empty the batch")
+	}
+	m.BatchUpdate(b) // empty batch must be a no-op
+	if m.Len() != 1 {
+		t.Fatalf("Len after empty batch = %d", m.Len())
+	}
+}
+
+func TestMapRangeBounds(t *testing.T) {
+	m := New[int, int]()
+	for i := 0; i < 100; i++ {
+		m.Put(i, i*i)
+	}
+	var got []int
+	m.Range(10, 20, func(k, v int) bool {
+		if v != k*k {
+			t.Fatalf("val mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("Range[10,20) = %v", got)
+	}
+	n := 0
+	m.RangeFrom(95, func(int, int) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("RangeFrom(95) visited %d", n)
+	}
+}

@@ -1,0 +1,188 @@
+package jiffy
+
+import (
+	"cmp"
+
+	"repro/internal/core"
+	"repro/internal/tsc"
+)
+
+// Sharded is a hash-partitioned frontend over N independent Jiffy maps. It
+// keeps Jiffy's whole contract — linearizable point operations, atomic
+// multi-key batch updates, consistent snapshots and ordered range scans —
+// while spreading structurally conflicting work (node splits and merges,
+// revision-list CASes, index-lane maintenance) across shards so that write
+// throughput scales with cores.
+//
+// Three mechanisms make the composition sound:
+//
+//   - All shards share one version clock, so one clock read defines a
+//     consistent global cut across every shard.
+//   - Snapshot registers a snapshot on every shard and then aligns them all
+//     on a single cut version read afterwards (core.Snapshot.RefreshTo);
+//     the result is one linearizable view spanning all shards.
+//   - BatchUpdate partitions the batch by shard and applies the per-shard
+//     sub-batches through core.MultiBatchUpdate's two-phase visible/commit
+//     protocol: every sub-batch's revisions are installed pending first,
+//     then one shared version number commits them all at a single
+//     linearization point. Readers that encounter a pending revision help
+//     both phases, so cross-shard batches are non-blocking end to end.
+//
+// Range scans merge the per-shard snapshot streams through a k-way merge,
+// yielding globally ascending key order even though keys are hash-routed.
+type Sharded[K cmp.Ordered, V any] struct {
+	shards []*core.Map[K, V]
+	clock  tsc.Clock
+	hash   func(K) uint64
+}
+
+// NewSharded returns an empty Sharded map with the given number of shards
+// (values < 1 are raised to 1). Pass no options for the paper's defaults.
+// A one-shard Sharded map behaves exactly like a Map with routing overhead;
+// shard counts near GOMAXPROCS are the sweet spot for write-heavy loads.
+func NewSharded[K cmp.Ordered, V any](shards int, opts ...Options[K]) *Sharded[K, V] {
+	if shards < 1 {
+		shards = 1
+	}
+	var o Options[K]
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	co := o.coreOptions()
+	co.Clock = tsc.NewMonotonic() // one clock shared by every shard
+	s := &Sharded[K, V]{
+		shards: make([]*core.Map[K, V], shards),
+		clock:  co.Clock,
+		hash:   shardHash[K](),
+	}
+	for i := range s.shards {
+		s.shards[i] = core.New[K, V](co)
+	}
+	return s
+}
+
+// NumShards returns the number of shards.
+func (s *Sharded[K, V]) NumShards() int { return len(s.shards) }
+
+// shardOf routes key to its shard index.
+func (s *Sharded[K, V]) shardOf(key K) int {
+	return int(s.hash(key) % uint64(len(s.shards)))
+}
+
+// Get returns the most recent value stored for key.
+func (s *Sharded[K, V]) Get(key K) (V, bool) {
+	return s.shards[s.shardOf(key)].Get(key)
+}
+
+// Put sets the value for key, overwriting any previous value.
+func (s *Sharded[K, V]) Put(key K, val V) {
+	s.shards[s.shardOf(key)].Put(key, val)
+}
+
+// Remove deletes key and reports whether it was present.
+func (s *Sharded[K, V]) Remove(key K) bool {
+	return s.shards[s.shardOf(key)].Remove(key)
+}
+
+// Len counts the entries visible in an ephemeral snapshot. O(n); intended
+// for tests and diagnostics.
+func (s *Sharded[K, V]) Len() int {
+	snap := s.Snapshot()
+	defer snap.Close()
+	n := 0
+	snap.All(func(K, V) bool { n++; return true })
+	return n
+}
+
+// BatchUpdate applies every operation in b in one atomic, linearizable
+// step, even when the batch's keys span multiple shards: no reader or
+// snapshot — on any shard — can observe the batch half-applied. If a key
+// appears more than once the last operation wins. The batch may be reused
+// afterwards.
+//
+// Batches that land entirely in one shard take that shard's ordinary batch
+// path; cross-shard batches run the two-phase visible/commit protocol of
+// core.MultiBatchUpdate over the involved shards only.
+func (s *Sharded[K, V]) BatchUpdate(b *Batch[K, V]) {
+	if len(b.ops) == 0 {
+		return
+	}
+	if len(s.shards) == 1 {
+		s.shards[0].BatchUpdate(b.core())
+		return
+	}
+	// Partition by shard, preserving op order so last-wins semantics
+	// survive (equal keys always route to the same shard). Routing is
+	// computed once per op and counted first, so each sub-batch is
+	// allocated at its exact size instead of shard-count-fold over.
+	route := make([]int32, len(b.ops))
+	counts := make([]int, len(s.shards))
+	for j, op := range b.ops {
+		i := s.shardOf(op.Key)
+		route[j] = int32(i)
+		counts[i]++
+	}
+	subs := make([]*core.Batch[K, V], len(s.shards))
+	for j, op := range b.ops {
+		i := route[j]
+		if subs[i] == nil {
+			subs[i] = core.NewBatch[K, V](counts[i])
+		}
+		if op.Remove {
+			subs[i].Remove(op.Key)
+		} else {
+			subs[i].Put(op.Key, op.Val)
+		}
+	}
+	parts := make([]core.MapBatch[K, V], 0, len(s.shards))
+	for i, sub := range subs {
+		if sub != nil {
+			parts = append(parts, core.MapBatch[K, V]{Map: s.shards[i], Batch: sub})
+		}
+	}
+	core.MultiBatchUpdate(parts...)
+}
+
+// Snapshot registers and returns a consistent snapshot spanning every
+// shard. The cost is O(shards): one registration per shard plus one shared
+// clock read that fixes the global cut. Close it when done.
+func (s *Sharded[K, V]) Snapshot() *ShardedSnapshot[K, V] {
+	subs := make([]*core.Snapshot[K, V], len(s.shards))
+	for i, sh := range s.shards {
+		subs[i] = sh.Snapshot()
+	}
+	// One clock read after every registration defines the cut: each
+	// shard's registration already pins history from a version <= cut, so
+	// aligning the read versions on the cut is safe, and because the
+	// clock is shared, "final version <= cut" selects one consistent
+	// prefix of updates on every shard.
+	cut := s.clock.Read()
+	for _, sub := range subs {
+		sub.RefreshTo(cut)
+	}
+	return &ShardedSnapshot[K, V]{s: s, subs: subs, ver: cut}
+}
+
+// Range calls fn for every entry with lo <= key < hi, in globally
+// ascending key order, on an ephemeral snapshot, until fn returns false.
+func (s *Sharded[K, V]) Range(lo, hi K, fn func(key K, val V) bool) {
+	snap := s.Snapshot()
+	defer snap.Close()
+	snap.Range(lo, hi, fn)
+}
+
+// RangeFrom calls fn for every entry with key >= lo, ascending, on an
+// ephemeral snapshot, until fn returns false.
+func (s *Sharded[K, V]) RangeFrom(lo K, fn func(key K, val V) bool) {
+	snap := s.Snapshot()
+	defer snap.Close()
+	snap.RangeFrom(lo, fn)
+}
+
+// All calls fn for every entry, ascending, on an ephemeral snapshot, until
+// fn returns false.
+func (s *Sharded[K, V]) All(fn func(key K, val V) bool) {
+	snap := s.Snapshot()
+	defer snap.Close()
+	snap.All(fn)
+}

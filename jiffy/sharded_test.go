@@ -1,0 +1,350 @@
+package jiffy
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardedBasic(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		s := NewSharded[uint64, uint64](shards)
+		if s.NumShards() != shards {
+			t.Fatalf("NumShards = %d, want %d", s.NumShards(), shards)
+		}
+		const n = 1000
+		for i := uint64(0); i < n; i++ {
+			s.Put(i, i*3)
+		}
+		if s.Len() != n {
+			t.Fatalf("shards=%d: Len = %d", shards, s.Len())
+		}
+		for i := uint64(0); i < n; i++ {
+			if v, ok := s.Get(i); !ok || v != i*3 {
+				t.Fatalf("shards=%d: Get(%d) = %d,%v", shards, i, v, ok)
+			}
+		}
+		if !s.Remove(500) || s.Remove(500) {
+			t.Fatalf("shards=%d: remove semantics", shards)
+		}
+		if _, ok := s.Get(500); ok {
+			t.Fatalf("shards=%d: removed key present", shards)
+		}
+	}
+}
+
+// keysSpanningShards returns n keys that cover at least two distinct
+// shards of s (all of them, for n >= a small multiple of the shard count).
+func keysSpanningShards(s *Sharded[uint64, uint64], n int) []uint64 {
+	keys := make([]uint64, 0, n)
+	seen := map[int]bool{}
+	for k := uint64(0); len(keys) < n; k++ {
+		keys = append(keys, k*7919)
+		seen[s.shardOf(k*7919)] = true
+	}
+	if len(seen) < 2 && s.NumShards() > 1 {
+		panic("test keys failed to span shards")
+	}
+	return keys
+}
+
+// TestShardedCrossShardBatchAtomicity is the acceptance-criteria test: a
+// multi-key BatchUpdate spanning at least two shards must be observed
+// atomically by concurrent Snapshots. Writers flip a set of cross-shard
+// keys between generations; readers snapshot and require every key to
+// carry the same generation.
+func TestShardedCrossShardBatchAtomicity(t *testing.T) {
+	s := NewSharded[uint64, uint64](4)
+	keys := keysSpanningShards(s, 16)
+
+	// Verify the batch really spans >= 2 shards.
+	shardsHit := map[int]bool{}
+	for _, k := range keys {
+		shardsHit[s.shardOf(k)] = true
+	}
+	if len(shardsHit) < 2 {
+		t.Fatalf("test keys hit %d shard(s), need >= 2", len(shardsHit))
+	}
+
+	write := func(gen uint64) {
+		b := NewBatch[uint64, uint64](len(keys))
+		for _, k := range keys {
+			b.Put(k, gen)
+		}
+		s.BatchUpdate(b)
+	}
+	write(0)
+
+	const (
+		writers    = 2
+		readers    = 4
+		iterations = 400
+	)
+	var stop atomic.Bool
+	var writersWG, readersWG sync.WaitGroup
+	var gen atomic.Uint64
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < iterations; i++ {
+				write(gen.Add(1))
+			}
+		}()
+	}
+	errs := make(chan string, readers*2)
+	for r := 0; r < readers; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			for !stop.Load() {
+				snap := s.Snapshot()
+				var first uint64
+				ok := true
+				for i, k := range keys {
+					v, present := snap.Get(k)
+					if !present {
+						errs <- "key missing from snapshot"
+						ok = false
+						break
+					}
+					if i == 0 {
+						first = v
+					} else if v != first {
+						errs <- "torn batch: generations differ within one snapshot"
+						ok = false
+						break
+					}
+				}
+				// The merged scan must agree with the point reads.
+				if ok {
+					snap.RangeFrom(0, func(k, v uint64) bool {
+						if v != first {
+							errs <- "torn batch: scan saw a different generation"
+							return false
+						}
+						return true
+					})
+				}
+				snap.Close()
+			}
+		}()
+	}
+	writersWG.Wait()
+	stop.Store(true)
+	readersWG.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestShardedScanOracle cross-checks Sharded's merged scans against a
+// single-shard Jiffy map fed the identical operation stream.
+func TestShardedScanOracle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	s := NewSharded[uint64, uint64](5)
+	oracle := New[uint64, uint64]()
+
+	const keySpace = 4096
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64N(keySpace)
+		switch rng.IntN(3) {
+		case 0:
+			s.Put(k, k+1)
+			oracle.Put(k, k+1)
+		case 1:
+			s.Remove(k)
+			oracle.Remove(k)
+		case 2:
+			b, ob := NewBatch[uint64, uint64](8), NewBatch[uint64, uint64](8)
+			for j := 0; j < 8; j++ {
+				bk := rng.Uint64N(keySpace)
+				if rng.IntN(2) == 0 {
+					b.Put(bk, bk+2)
+					ob.Put(bk, bk+2)
+				} else {
+					b.Remove(bk)
+					ob.Remove(bk)
+				}
+			}
+			s.BatchUpdate(b)
+			oracle.BatchUpdate(ob)
+		}
+	}
+
+	type kv struct{ k, v uint64 }
+	collect := func(v View[uint64, uint64], f func(View[uint64, uint64], func(uint64, uint64) bool)) []kv {
+		var out []kv
+		f(v, func(k, val uint64) bool {
+			out = append(out, kv{k, val})
+			return true
+		})
+		return out
+	}
+	check := func(name string, got, want []kv) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d entries, oracle has %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: entry %d = %v, oracle %v", name, i, got[i], want[i])
+			}
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].k < got[j].k }) {
+			t.Fatalf("%s: output not in ascending key order", name)
+		}
+	}
+
+	check("All",
+		collect(s, func(v View[uint64, uint64], fn func(uint64, uint64) bool) { v.All(fn) }),
+		collect(oracle, func(v View[uint64, uint64], fn func(uint64, uint64) bool) { v.All(fn) }))
+
+	for trial := 0; trial < 50; trial++ {
+		lo := rng.Uint64N(keySpace)
+		hi := lo + rng.Uint64N(keySpace-lo) + 1
+		check("Range",
+			collect(s, func(v View[uint64, uint64], fn func(uint64, uint64) bool) { v.Range(lo, hi, fn) }),
+			collect(oracle, func(v View[uint64, uint64], fn func(uint64, uint64) bool) { v.Range(lo, hi, fn) }))
+		check("RangeFrom",
+			collect(s, func(v View[uint64, uint64], fn func(uint64, uint64) bool) { v.RangeFrom(lo, fn) }),
+			collect(oracle, func(v View[uint64, uint64], fn func(uint64, uint64) bool) { v.RangeFrom(lo, fn) }))
+	}
+
+	// Early termination must stop the merge mid-stream.
+	n := 0
+	s.All(func(uint64, uint64) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early-terminated scan visited %d entries", n)
+	}
+}
+
+// TestShardHashDefinedKeyTypes: defined ordered key types miss the type
+// switch's concrete cases; the reflect fallback must still distribute them
+// across shards instead of constant-routing everything to shard 0.
+func TestShardHashDefinedKeyTypes(t *testing.T) {
+	type userID uint64
+	type name string
+	type score float64
+
+	hu := shardHash[userID]()
+	hn := shardHash[name]()
+	hs := shardHash[score]()
+	seenU, seenN, seenS := map[uint64]bool{}, map[uint64]bool{}, map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		seenU[hu(userID(i))%8] = true
+		seenN[hn(name(string(rune('a'+i%26))))%8] = true
+		seenS[hs(score(float64(i)*1.5))%8] = true
+	}
+	if len(seenU) < 2 || len(seenN) < 2 || len(seenS) < 2 {
+		t.Fatalf("defined key types collapsed to too few shards: uint64-kind=%d string-kind=%d float-kind=%d",
+			len(seenU), len(seenN), len(seenS))
+	}
+
+	// End to end: a Sharded map over a defined key type must actually use
+	// more than one shard.
+	s := NewSharded[userID, int](4)
+	used := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		used[s.shardOf(userID(i))] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("Sharded over a defined key type used %d shard(s)", len(used))
+	}
+}
+
+// TestShardedSnapshotIsolation: a sharded snapshot must not observe
+// updates, on any shard, that complete after it was taken.
+func TestShardedSnapshotIsolation(t *testing.T) {
+	s := NewSharded[uint64, uint64](4)
+	for i := uint64(0); i < 500; i++ {
+		s.Put(i, 1)
+	}
+	snap := s.Snapshot()
+	defer snap.Close()
+
+	for i := uint64(0); i < 500; i++ {
+		s.Put(i, 2)
+	}
+	s.Put(1000, 2) // new key, invisible to the snapshot
+
+	n := 0
+	snap.All(func(k, v uint64) bool {
+		if v != 1 {
+			t.Fatalf("snapshot saw post-snapshot value %d at key %d", v, k)
+		}
+		n++
+		return true
+	})
+	if n != 500 {
+		t.Fatalf("snapshot holds %d entries, want 500", n)
+	}
+	if _, ok := snap.Get(1000); ok {
+		t.Fatal("snapshot saw a key inserted after the cut")
+	}
+
+	snap.Refresh()
+	if v, _ := snap.Get(3); v != 2 {
+		t.Fatal("refreshed snapshot did not advance")
+	}
+}
+
+// TestShardedConcurrentMixed hammers every surface at once under the race
+// detector: point ops, cross-shard batches, snapshots and merged scans.
+func TestShardedConcurrentMixed(t *testing.T) {
+	s := NewSharded[uint64, uint64](4)
+	const keySpace = 1 << 12
+	var writersWG, scannersWG sync.WaitGroup
+	var stop atomic.Bool
+	for w := 0; w < 4; w++ {
+		writersWG.Add(1)
+		go func(seed uint64) {
+			defer writersWG.Done()
+			rng := rand.New(rand.NewPCG(seed, seed))
+			for i := 0; i < 4000; i++ {
+				k := rng.Uint64N(keySpace)
+				switch rng.IntN(4) {
+				case 0:
+					s.Put(k, k)
+				case 1:
+					s.Remove(k)
+				case 2:
+					b := NewBatch[uint64, uint64](16)
+					for j := 0; j < 16; j++ {
+						b.Put(rng.Uint64N(keySpace), k)
+					}
+					s.BatchUpdate(b)
+				case 3:
+					s.Get(k)
+				}
+			}
+		}(uint64(w + 1))
+	}
+	for r := 0; r < 2; r++ {
+		scannersWG.Add(1)
+		go func() {
+			defer scannersWG.Done()
+			for !stop.Load() {
+				snap := s.Snapshot()
+				prev := uint64(0)
+				first := true
+				snap.All(func(k, v uint64) bool {
+					if !first && k <= prev {
+						t.Error("merged scan out of order")
+						return false
+					}
+					prev, first = k, false
+					return true
+				})
+				snap.Close()
+			}
+		}()
+	}
+	writersWG.Wait()
+	stop.Store(true)
+	scannersWG.Wait()
+}

@@ -1,0 +1,165 @@
+package jiffy
+
+import (
+	"cmp"
+
+	"repro/internal/core"
+)
+
+// ShardedSnapshot is a consistent read-only view spanning every shard of a
+// Sharded map, frozen at one version of the shared clock. Point reads
+// route to the owning shard's snapshot; range scans merge the per-shard
+// streams through a k-way merge so entries arrive in globally ascending
+// key order. Close it (or Refresh it periodically) when it is long-lived,
+// as it pins multiversion history on every shard.
+type ShardedSnapshot[K cmp.Ordered, V any] struct {
+	s    *Sharded[K, V]
+	subs []*core.Snapshot[K, V]
+	ver  int64
+}
+
+// Version returns the snapshot's cut version on the shared clock.
+func (ss *ShardedSnapshot[K, V]) Version() int64 { return ss.ver }
+
+// Get returns the value key had at the snapshot's version.
+func (ss *ShardedSnapshot[K, V]) Get(key K) (V, bool) {
+	return ss.subs[ss.s.shardOf(key)].Get(key)
+}
+
+// Range calls fn for every entry with lo <= key < hi at the snapshot's
+// version, in globally ascending key order, until fn returns false.
+func (ss *ShardedSnapshot[K, V]) Range(lo, hi K, fn func(key K, val V) bool) {
+	ss.merge(&lo, &hi, fn)
+}
+
+// RangeFrom calls fn for every entry with key >= lo, ascending, until fn
+// returns false.
+func (ss *ShardedSnapshot[K, V]) RangeFrom(lo K, fn func(key K, val V) bool) {
+	ss.merge(&lo, nil, fn)
+}
+
+// All calls fn for every entry in the snapshot, ascending, until fn
+// returns false.
+func (ss *ShardedSnapshot[K, V]) All(fn func(key K, val V) bool) {
+	ss.merge(nil, nil, fn)
+}
+
+// Refresh advances the snapshot to a fresh cut of the shared clock,
+// releasing the history pinned by the old one. It must not race with
+// concurrent use of the same snapshot.
+func (ss *ShardedSnapshot[K, V]) Refresh() {
+	cut := ss.s.clock.Read()
+	for _, sub := range ss.subs {
+		sub.RefreshTo(cut)
+	}
+	if cut > ss.ver {
+		ss.ver = cut
+	}
+}
+
+// Close unregisters the snapshot on every shard. Using a closed snapshot
+// is a bug.
+func (ss *ShardedSnapshot[K, V]) Close() {
+	for _, sub := range ss.subs {
+		sub.Close()
+	}
+}
+
+// mergeChunk is the number of entries a shard cursor buffers per refill.
+// Each refill re-seeks the shard's snapshot (an O(log n) descent), so the
+// chunk amortizes seeks without holding more than shards x mergeChunk
+// entries in memory.
+const mergeChunk = 128
+
+// shardCursor pulls one shard's snapshot stream in chunks, turning the
+// push-style snapshot scan into a resumable pull iterator for the k-way
+// merge. Resumption is by key: the next refill re-seeks at the last key
+// the previous chunk delivered and skips it. Snapshots are immutable, so
+// re-seeking is exact.
+type shardCursor[K cmp.Ordered, V any] struct {
+	snap    *core.Snapshot[K, V]
+	keys    []K
+	vals    []V
+	pos     int
+	last    K    // last key delivered into the buffer
+	hasLast bool // false until the first refill delivers an entry
+	short   bool // last refill was short: the stream is exhausted
+	done    bool
+}
+
+// fill replenishes the cursor's buffer with the next chunk of entries in
+// (last, hi), or from lo on the first fill.
+func (c *shardCursor[K, V]) fill(lo, hi *K) {
+	c.keys = c.keys[:0]
+	c.vals = c.vals[:0]
+	c.pos = 0
+	if c.done || c.short {
+		c.done = true
+		return
+	}
+	collect := func(k K, v V) bool {
+		if c.hasLast && k == c.last {
+			return true // the resume key itself; already delivered
+		}
+		if hi != nil && k >= *hi {
+			c.short = true
+			return false
+		}
+		c.keys = append(c.keys, k)
+		c.vals = append(c.vals, v)
+		return len(c.keys) < mergeChunk
+	}
+	switch {
+	case c.hasLast:
+		c.snap.RangeFrom(c.last, collect)
+	case lo != nil:
+		c.snap.RangeFrom(*lo, collect)
+	default:
+		c.snap.All(collect)
+	}
+	if len(c.keys) == 0 {
+		c.done = true
+		return
+	}
+	if len(c.keys) < mergeChunk {
+		c.short = true // exhausted (or hi reached); this buffer is the tail
+	}
+	c.last = c.keys[len(c.keys)-1]
+	c.hasLast = true
+}
+
+// merge is the k-way merge driving every sharded range scan: it keeps one
+// cursor per shard and repeatedly emits the smallest buffered key. Keys
+// are unique across shards (each key lives in exactly one shard), so no
+// tie-breaking is needed. With a handful of shards a linear minimum scan
+// beats a heap; shard counts are expected to be near GOMAXPROCS.
+func (ss *ShardedSnapshot[K, V]) merge(lo, hi *K, fn func(K, V) bool) {
+	curs := make([]shardCursor[K, V], len(ss.subs))
+	for i, sub := range ss.subs {
+		curs[i].snap = sub
+		curs[i].fill(lo, hi)
+	}
+	for {
+		best := -1
+		for i := range curs {
+			c := &curs[i]
+			if c.pos >= len(c.keys) {
+				c.fill(lo, hi)
+				if c.pos >= len(c.keys) {
+					continue
+				}
+			}
+			if best < 0 || c.keys[c.pos] < curs[best].keys[curs[best].pos] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		c := &curs[best]
+		if !fn(c.keys[c.pos], c.vals[c.pos]) {
+			return
+		}
+		c.pos++
+	}
+}

@@ -1,0 +1,61 @@
+package jiffy
+
+import (
+	"cmp"
+
+	"repro/internal/core"
+)
+
+// View is the read surface shared by live maps and snapshots of both
+// frontends: Map, Sharded, Snapshot and ShardedSnapshot all satisfy the
+// scan portion of it, and the two snapshot types satisfy it fully. Code
+// that only reads can accept a View and work against any of them.
+type View[K cmp.Ordered, V any] interface {
+	// Get returns the value stored for key in this view.
+	Get(key K) (V, bool)
+	// Range visits entries with lo <= key < hi, ascending, until fn
+	// returns false.
+	Range(lo, hi K, fn func(key K, val V) bool)
+	// RangeFrom visits entries with key >= lo, ascending, until fn
+	// returns false.
+	RangeFrom(lo K, fn func(key K, val V) bool)
+	// All visits every entry, ascending, until fn returns false.
+	All(fn func(key K, val V) bool)
+}
+
+// Snapshot is a consistent read-only view of a Map frozen at the moment it
+// was taken. Creating one is O(1) and never blocks or slows down updates;
+// scans over it never restart. A snapshot pins multiversion history, so
+// Close it (or Refresh it periodically) when it is long-lived.
+type Snapshot[K cmp.Ordered, V any] struct {
+	s *core.Snapshot[K, V]
+}
+
+// Version returns the snapshot's version number. Versions are drawn from
+// the map's internal clock and totally order snapshots of one map (or of
+// one Sharded map's shards).
+func (s *Snapshot[K, V]) Version() int64 { return s.s.Version() }
+
+// Get returns the value key had at the snapshot's version.
+func (s *Snapshot[K, V]) Get(key K) (V, bool) { return s.s.Get(key) }
+
+// Range calls fn for every entry with lo <= key < hi at the snapshot's
+// version, ascending, until fn returns false.
+func (s *Snapshot[K, V]) Range(lo, hi K, fn func(key K, val V) bool) { s.s.Range(lo, hi, fn) }
+
+// RangeFrom calls fn for every entry with key >= lo at the snapshot's
+// version, ascending, until fn returns false.
+func (s *Snapshot[K, V]) RangeFrom(lo K, fn func(key K, val V) bool) { s.s.RangeFrom(lo, fn) }
+
+// All calls fn for every entry in the snapshot, ascending, until fn
+// returns false.
+func (s *Snapshot[K, V]) All(fn func(key K, val V) bool) { s.s.All(fn) }
+
+// Refresh advances the snapshot to the present, releasing the history the
+// old version pinned. It must not race with concurrent use of the same
+// snapshot.
+func (s *Snapshot[K, V]) Refresh() { s.s.Refresh() }
+
+// Close unregisters the snapshot so the garbage collector can reclaim the
+// history it pinned. Using a closed snapshot is a bug.
+func (s *Snapshot[K, V]) Close() { s.s.Close() }
