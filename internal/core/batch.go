@@ -113,22 +113,13 @@ type groupPart[K cmp.Ordered, V any] struct {
 // and excludes the batch on every map, while a snapshot whose version
 // covers the commit finds the batch's revisions present on every map.
 func (g *batchGroup[K, V]) finalize() int64 {
-	v := g.version.Load()
-	if v > 0 {
+	if v := g.version.Load(); v > 0 {
 		return v
 	}
 	for _, p := range g.parts {
 		p.m.applyBatchDesc(p.desc)
 	}
-	fin := g.clock.Read()
-	if o := -v; o > fin {
-		fin = o
-		g.clock.ReadAtLeast(fin)
-	}
-	if g.version.CompareAndSwap(v, fin) {
-		return fin
-	}
-	return g.version.Load()
+	return commitVersion(&g.version, g.clock)
 }
 
 // MapBatch names one map's share of a MultiBatchUpdate.
@@ -371,19 +362,30 @@ func (m *Map[K, V]) finalizeDesc(desc *batchDesc[K, V]) int64 {
 	if g := desc.group.Load(); g != nil {
 		return g.finalize()
 	}
-	v := desc.version.Load()
+	return commitVersion(&desc.version, m.clock)
+}
+
+// commitVersion is the shared commit dance of finalizeDesc and
+// batchGroup.finalize: turn the optimistic (negative) version in cell
+// into a final one drawn from clock. The final version must not run ahead
+// of the machine-wide clock (waitUntil, Algorithm 1 lines 66-68), so if
+// the optimistic value exceeds the clock the clock is first driven up to
+// it. Idempotent; raced committers agree on the version the first CAS
+// set.
+func commitVersion(cell *atomic.Int64, clock tsc.Clock) int64 {
+	v := cell.Load()
 	if v > 0 {
 		return v
 	}
-	fin := m.clock.Read()
+	fin := clock.Read()
 	if o := -v; o > fin {
 		fin = o
-		m.clock.ReadAtLeast(fin)
+		clock.ReadAtLeast(fin)
 	}
-	if desc.version.CompareAndSwap(v, fin) {
+	if cell.CompareAndSwap(v, fin) {
 		return fin
 	}
-	return desc.version.Load()
+	return cell.Load()
 }
 
 // batchGC prunes the revision lists of the nodes the batch touched, one
@@ -391,7 +393,7 @@ func (m *Map[K, V]) finalizeDesc(desc *batchDesc[K, V]) int64 {
 // operations.
 func (m *Map[K, V]) batchGC(desc *batchDesc[K, V]) {
 	horizon := m.clock.Read()
-	snaps := m.snaps.versions()
+	snaps, pinFloor := m.snaps.versions()
 	i := 0
 	for i < len(desc.entries) {
 		key := desc.entries[i].key
@@ -402,7 +404,7 @@ func (m *Map[K, V]) batchGC(desc *batchDesc[K, V]) {
 		}
 		head := nd.head.Load()
 		if head.kind != revTerminator {
-			pruneRevList(head, horizon, snaps)
+			pruneRevList(head, horizon, snaps, pinFloor)
 		}
 		// Skip every entry this node covers.
 		next := nd.next.Load()

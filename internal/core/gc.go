@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"math"
 	"sort"
 )
 
@@ -17,18 +18,26 @@ func (m *Map[K, V]) performGC(head *revision[K, V]) {
 		return
 	}
 	// horizon is read before the registry scan: any snapshot registration
-	// this GC fails to observe publishes a version >= horizon (the clock
-	// is machine-wide monotonic and registrations read it after pushing),
-	// so revisions at or above the horizon's boundary must all survive.
+	// this GC fails to observe publishes a version read after its push,
+	// hence after this horizon read (the clock is machine-wide monotonic),
+	// so it is >= horizon and revisions at or above the horizon's boundary
+	// must all survive. Registrations the scan does observe either carry a
+	// published version (protected by the snaps list) or are still pinned
+	// at a floor — such an entry may yet publish any version >= its floor,
+	// so everything at or above the floor's boundary is kept (pinFloor),
+	// while history below the floor stays collectable.
 	horizon := m.clock.Read()
-	pruneRevList(head, horizon, m.snaps.versions())
+	snaps, pinFloor := m.snaps.versions()
+	pruneRevList(head, horizon, snaps, pinFloor)
 }
 
 // versions returns the registered snapshot versions in ascending order,
+// plus the smallest pin floor among entries that are still pinned (whose
+// eventual version is not yet published; math.MaxInt64 when none are),
 // pruning closed entries on the way. The common cases (no snapshots, or a
 // handful) dominate; the slice is freshly allocated per call.
-func (r *snapRegistry) versions() []int64 {
-	var out []int64
+func (r *snapRegistry) versions() (snaps []int64, pinFloor int64) {
+	pinFloor = math.MaxInt64
 	var prev *snapEntry
 	cur := r.head.Load()
 	for cur != nil {
@@ -42,12 +51,16 @@ func (r *snapRegistry) versions() []int64 {
 			cur = next
 			continue
 		}
-		out = append(out, cur.version.Load())
+		if v := cur.version.Load(); v < 0 {
+			pinFloor = min(pinFloor, -v)
+		} else {
+			snaps = append(snaps, v)
+		}
 		prev = cur
 		cur = next
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	return snaps, pinFloor
 }
 
 // anySnapIn reports whether some registered snapshot version s satisfies
@@ -66,23 +79,35 @@ func anySnapBelow(snaps []int64, hi int64) bool {
 // kept: it is the newest revision, or a pending one every future reader may
 // need). A deeper revision r, with the nearest kept newer revision at
 // version keptVer, is needed iff some registered snapshot s satisfies
-// r.ver <= s < keptVer — then r is exactly what a reader at s retrieves.
+// r.ver <= s < keptVer — then r is exactly what a reader at s retrieves —
+// or keptVer > pinFloor: a pinned registration may publish any version v
+// >= its floor, and any v in [max(r.ver, pinFloor), keptVer) retrieves r.
 // Kept merge revisions recurse into their right branch (the only route to
 // the merged-away node's history); pending batch revisions and everything
 // below them are left untouched.
-func pruneRevList[K cmp.Ordered, V any](head *revision[K, V], horizon int64, snaps []int64) {
+func pruneRevList[K cmp.Ordered, V any](head *revision[K, V], horizon int64, snaps []int64, pinFloor int64) {
 	prevKept := head
 	keptVer := head.ver()
 	if keptVer < 0 {
-		keptVer = -keptVer
+		// head is still pending (a concurrent writer's revision batchGC
+		// happened to load): its final version will be a clock read taken
+		// in the future — at least |optimistic| but unbounded above — and
+		// every reader whose version lands below that final value reads
+		// the chain beneath it. Treating |optimistic| as the frontier
+		// would let the tail-drop below free the newest committed
+		// revision while a snapshot between |optimistic| and the eventual
+		// final version still needs it. Treat the frontier as infinitely
+		// new instead: the newest committed revision below survives
+		// unconditionally and pruning continues normally beneath it.
+		keptVer = math.MaxInt64
 	}
-	pruneBranches(head, keptVer, horizon, snaps)
+	pruneBranches(head, keptVer, horizon, snaps, pinFloor)
 	r := head.next.Load()
 	for r != nil {
-		if keptVer <= horizon && !anySnapBelow(snaps, keptVer) {
+		if keptVer <= horizon && keptVer <= pinFloor && !anySnapBelow(snaps, keptVer) {
 			// The kept frontier is at or below the horizon and no
-			// registered snapshot can see past it: drop the whole
-			// remaining tail.
+			// registered snapshot or pinned registration can see past
+			// it: drop the whole remaining tail.
 			prevKept.next.Store(nil)
 			return
 		}
@@ -96,17 +121,20 @@ func pruneRevList[K cmp.Ordered, V any](head *revision[K, V], horizon int64, sna
 		// Keep r if (a) it is newer than the horizon or is the
 		// horizon's boundary — an unobserved concurrent registration
 		// (version >= horizon) may need exactly r; (b) it is the
-		// boundary some registered snapshot reads; or (c) it is a
-		// merge revision (the only route into the merged node's
-		// history) while anything below the frontier is still live.
+		// boundary some registered snapshot reads; (c) a pinned
+		// registration (eventual version >= its floor) may land in
+		// [r.ver, keptVer); or (d) it is a merge revision (the only
+		// route into the merged node's history) while anything below
+		// the frontier is still live.
 		needed := v > horizon ||
 			(keptVer > horizon && v <= horizon) ||
 			anySnapIn(snaps, v, keptVer) ||
+			keptVer > pinFloor ||
 			r.kind == revMerge
 		if needed {
 			prevKept.next.Store(r)
 			if r.kind == revMerge {
-				pruneBranches(r, v, horizon, snaps)
+				pruneBranches(r, v, horizon, snaps, pinFloor)
 			}
 			prevKept = r
 			keptVer = v
@@ -117,10 +145,11 @@ func pruneRevList[K cmp.Ordered, V any](head *revision[K, V], horizon int64, sna
 }
 
 // pruneBranches prunes the right branch of a kept merge revision: drops it
-// entirely when no snapshot is old enough to look below the revision's own
-// version, otherwise prunes it recursively (the branch head is the newest
-// revision any such snapshot retrieves on that side).
-func pruneBranches[K cmp.Ordered, V any](r *revision[K, V], ver int64, horizon int64, snaps []int64) {
+// entirely when no snapshot or pinned registration is old enough to look
+// below the revision's own version, otherwise prunes it recursively (the
+// branch head is the newest revision any such snapshot retrieves on that
+// side).
+func pruneBranches[K cmp.Ordered, V any](r *revision[K, V], ver int64, horizon int64, snaps []int64, pinFloor int64) {
 	if r.kind != revMerge {
 		return
 	}
@@ -128,9 +157,9 @@ func pruneBranches[K cmp.Ordered, V any](r *revision[K, V], ver int64, horizon i
 	if right == nil {
 		return
 	}
-	if ver <= horizon && !anySnapBelow(snaps, ver) {
+	if ver <= horizon && ver <= pinFloor && !anySnapBelow(snaps, ver) {
 		r.rightNext.Store(nil)
 		return
 	}
-	pruneRevList(right, horizon, snaps)
+	pruneRevList(right, horizon, snaps, pinFloor)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
@@ -90,6 +91,39 @@ func TestGCHorizonProtectsConcurrentRegistration(t *testing.T) {
 	}
 	stop.Store(true)
 	wg.Wait()
+}
+
+// TestPruneRevListPendingHead is the regression test for pruning under a
+// still-pending head: batchGC can load a node head installed by a
+// concurrent writer whose final version is not assigned yet. That final
+// version will be a future clock read — at least |optimistic| but
+// unbounded above — so a snapshot published between |optimistic| and the
+// eventual final version still reads the newest committed revision below
+// the pending head. Treating |optimistic| as the kept frontier used to
+// let the tail-drop free exactly that revision.
+func TestPruneRevListPendingHead(t *testing.T) {
+	mkRev := func(ver int64, next *revision[uint64, int]) *revision[uint64, int] {
+		r := &revision[uint64, int]{kind: revRegular}
+		r.version.Store(ver)
+		r.next.Store(next)
+		return r
+	}
+	r0 := mkRev(5, nil)
+	r1 := mkRev(10, r0)
+	pending := mkRev(-22, r1) // optimistic 22; will finalize at some ver >= 22
+
+	// A snapshot at 25 (> |optimistic|, <= the pending head's eventual
+	// final version) and a horizon far past everything: r1 must survive —
+	// it is what the snapshot reads until the head commits at > 25.
+	pruneRevList(pending, 1000, []int64{25}, math.MaxInt64)
+	if got := pending.next.Load(); got != r1 {
+		t.Fatalf("pending head's committed successor pruned: next = %v, want r1", got)
+	}
+	// r0 is unreachable for every current and future reader (anything
+	// >= 10 reads r1 or newer, and no snapshot is below 10): it must go.
+	if got := r1.next.Load(); got != nil {
+		t.Fatalf("garbage below the committed boundary survived: r1.next = %v", got)
+	}
 }
 
 // TestScanSplitMergeSameRevisionNoDoubleCount is the regression test for

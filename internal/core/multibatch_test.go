@@ -124,10 +124,11 @@ func TestMultiBatchUpdateOpposedPartOrders(t *testing.T) {
 }
 
 // TestMultiBatchUpdateAtomicity: readers aligning per-map snapshots on one
-// clock cut must never observe a cross-map batch half-applied, even while
-// concurrent readers help complete pending group revisions.
+// clock cut (MultiSnapshot) must never observe a cross-map batch
+// half-applied, even while concurrent readers help complete pending group
+// revisions.
 func TestMultiBatchUpdateAtomicity(t *testing.T) {
-	a, b, clock := twoMaps(t)
+	a, b, _ := twoMaps(t)
 	const keys = 8
 	write := func(gen int) {
 		ba, bb := NewBatch[int, int](keys), NewBatch[int, int](keys)
@@ -160,10 +161,8 @@ func TestMultiBatchUpdateAtomicity(t *testing.T) {
 		go func() {
 			defer readersWG.Done()
 			for !stop.Load() {
-				sa, sb := a.Snapshot(), b.Snapshot()
-				cut := clock.Read()
-				sa.RefreshTo(cut)
-				sb.RefreshTo(cut)
+				subs := MultiSnapshot(a, b)
+				sa, sb := subs[0], subs[1]
 				first, haveFirst := 0, false
 				for k := 0; k < keys; k++ {
 					var v int

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/tsc"
+)
+
+// TestMultiSnapshotAlignsOnOneCut: snapshots of maps sharing one manual
+// clock land on a single cut version, stay frozen there, and MultiRefresh
+// moves them all to a fresh common cut.
+func TestMultiSnapshotAlignsOnOneCut(t *testing.T) {
+	clk := tsc.NewManual(10)
+	a := New[int, int](Options[int]{Clock: clk})
+	b := New[int, int](Options[int]{Clock: clk})
+	a.Put(1, 100)
+	b.Put(2, 200)
+	clk.Advance(100)
+
+	subs := MultiSnapshot(a, b)
+	sa, sb := subs[0], subs[1]
+	defer sa.Close()
+	defer sb.Close()
+	if sa.Version() != sb.Version() {
+		t.Fatalf("sub-snapshot versions differ: %d vs %d", sa.Version(), sb.Version())
+	}
+
+	clk.Advance(100)
+	a.Put(1, 101)
+	b.Put(2, 201)
+	if v, _ := sa.Get(1); v != 100 {
+		t.Fatalf("sa sees post-cut value %d", v)
+	}
+	if v, _ := sb.Get(2); v != 200 {
+		t.Fatalf("sb sees post-cut value %d", v)
+	}
+
+	old := sa.Version()
+	MultiRefresh(sa, sb)
+	if sa.Version() != sb.Version() {
+		t.Fatalf("refreshed versions differ: %d vs %d", sa.Version(), sb.Version())
+	}
+	if sa.Version() < old {
+		t.Fatalf("refresh went backwards: %d after %d", sa.Version(), old)
+	}
+	if v, _ := sa.Get(1); v != 101 {
+		t.Fatalf("refreshed sa = %d want 101", v)
+	}
+	if v, _ := sb.Get(2); v != 201 {
+		t.Fatalf("refreshed sb = %d want 201", v)
+	}
+}
+
+// TestMultiSnapshotClockMismatchPanics: maps with distinct clocks cannot be
+// aligned on one cut.
+func TestMultiSnapshotClockMismatchPanics(t *testing.T) {
+	a := New[int, int]()
+	b := New[int, int]() // different clock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched clocks")
+		}
+	}()
+	MultiSnapshot(a, b)
+}
+
+// TestMultiRefreshClockMismatchPanics: mixing snapshots of unrelated maps
+// in one MultiRefresh is a bug, not a silent misalignment.
+func TestMultiRefreshClockMismatchPanics(t *testing.T) {
+	a := New[int, int]()
+	b := New[int, int]() // different clock
+	sa, sb := a.Snapshot(), b.Snapshot()
+	defer sa.Close()
+	defer sb.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched clocks")
+		}
+	}()
+	MultiRefresh(sa, sb)
+}
+
+// TestMultiSnapshotEmpty: the degenerate calls are no-ops.
+func TestMultiSnapshotEmpty(t *testing.T) {
+	if subs := MultiSnapshot[int, int](); subs != nil {
+		t.Fatalf("MultiSnapshot() = %v, want nil", subs)
+	}
+	MultiRefresh[int, int]() // must not panic
+}
+
+// TestPinnedRegistrationBlocksGC: while a registration is still pinned (a
+// snapshot mid-creation or mid-refresh), the GC must keep everything at
+// or above the pin floor's boundary — the entry may yet publish any
+// version >= its floor — while history below the floor stays collectable,
+// so pins cannot starve pruning. Publishing a version collapses the pin
+// to an ordinary snapshot.
+func TestPinnedRegistrationBlocksGC(t *testing.T) {
+	clk := tsc.NewManual(10)
+	m := New[uint64, int](Options[uint64]{Clock: clk})
+	const before, after = 10, 40
+	for i := 0; i < before; i++ {
+		clk.Advance(10)
+		m.Put(9, i)
+	}
+	e := m.snaps.registerPinned(clk.Read())
+	for i := 0; i < after; i++ {
+		clk.Advance(10)
+		m.Put(9, before+i)
+	}
+	// Everything the pin can reach survives: the floor's boundary
+	// revision plus every revision committed after the floor. History
+	// below the floor (the first `before` puts, minus the boundary) must
+	// have been pruned despite the pin.
+	st := m.Stats()
+	if st.MaxRevisionList < after+1 {
+		t.Fatalf("pinned registration did not retain post-floor history: list length %d, want >= %d",
+			st.MaxRevisionList, after+1)
+	}
+	if st.MaxRevisionList > after+3 {
+		t.Fatalf("pin starves pruning below its floor: list length %d, want <= %d",
+			st.MaxRevisionList, after+3)
+	}
+	// Publish the current clock value: the pin collapses to an ordinary
+	// snapshot at that version and the next update's GC prunes everything
+	// the snapshot cannot read.
+	e.version.Store(clk.Read())
+	clk.Advance(10)
+	m.Put(9, 999)
+	if st := m.Stats(); st.MaxRevisionList > 4 {
+		t.Fatalf("published registration still blocks pruning: list length %d", st.MaxRevisionList)
+	}
+	e.closed.Store(true)
+}
+
+// TestMultiSnapshotGCRace is the cross-map analogue of
+// TestGCHorizonProtectsConcurrentRegistration and the regression test for
+// the aligned-snapshot GC race: taking the cut before the per-map entries
+// pin let a concurrent GC prune a revision the cut was entitled to read,
+// so one map of the pair served stale state. Writers apply cross-map
+// batches that keep every key at one generation; every MultiSnapshot must
+// read a single generation across both maps.
+func TestMultiSnapshotGCRace(t *testing.T) {
+	clock := tsc.NewMonotonic()
+	a := New[uint64, int](Options[uint64]{Clock: clock, FixedRevisionSize: 4})
+	b := New[uint64, int](Options[uint64]{Clock: clock, FixedRevisionSize: 4})
+	const keys = 16
+	write := func(gen int) {
+		ba, bb := NewBatch[uint64, int](keys/2), NewBatch[uint64, int](keys/2)
+		for k := uint64(0); k < keys; k++ {
+			if k%2 == 0 {
+				ba.Put(k, gen)
+			} else {
+				bb.Put(k, gen)
+			}
+		}
+		MultiBatchUpdate(
+			MapBatch[uint64, int]{Map: a, Batch: ba},
+			MapBatch[uint64, int]{Map: b, Batch: bb},
+		)
+	}
+	write(0)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for gen := 1; !stop.Load(); gen++ {
+			write(gen)
+		}
+	}()
+	for round := 0; round < 3000; round++ {
+		subs := MultiSnapshot(a, b)
+		sa, sb := subs[0], subs[1]
+		gen, genOK := sa.Get(0)
+		for k := uint64(0); k < keys; k++ {
+			var v int
+			var ok bool
+			if k%2 == 0 {
+				v, ok = sa.Get(k)
+			} else {
+				v, ok = sb.Get(k)
+			}
+			if !ok || !genOK || v != gen {
+				stop.Store(true)
+				wg.Wait()
+				t.Fatalf("round %d: key %d = %d,%v want generation %d (stale or torn aligned snapshot)",
+					round, k, v, ok, gen)
+			}
+		}
+		sa.Close()
+		sb.Close()
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -2,16 +2,23 @@ package core
 
 import (
 	"cmp"
-	"math"
 	"sync/atomic"
-
-	"repro/internal/tsc"
 )
 
 // snapEntry is one registered reader on the lock-free snapshot list
-// (§3.3.4). version is published with a +inf placeholder and immediately
-// refreshed after registration, so the inner garbage collector can never
-// free a revision the reader might still need.
+// (§3.3.4). It is pushed *pinned* — carrying the negation of a pin floor,
+// a clock value read before the push — and its real version is published
+// afterwards, so the inner garbage collector can never free a revision
+// the reader might still need. The version a pinned entry eventually
+// publishes is a clock read taken after the push, hence >= the floor; a
+// GC therefore either observes the pin (and treats the entry as a reader
+// at every version >= the floor, keeping the floor's boundary revision
+// and everything newer while staying free to prune below the floor — so
+// pins cannot starve pruning), observes the published version (and keeps
+// its boundary), or misses the entry entirely — then the push, and hence
+// the clock read published into the entry, happened after that GC's
+// horizon read, so the published version is >= its horizon and the
+// horizon rule keeps every revision the reader can reach.
 type snapEntry struct {
 	version atomic.Int64
 	closed  atomic.Bool
@@ -27,21 +34,24 @@ type snapRegistry struct {
 	head atomic.Pointer[snapEntry]
 }
 
-func (r *snapRegistry) register(clock tsc.Clock) *snapEntry {
+// registerPinned pushes a new entry pinned at floor, which the caller
+// must have read from the map's clock before calling (argument evaluation
+// order suffices): the publish that follows reads the clock after the
+// push and so can never fall below the floor. Pins are stored negated —
+// clock values are always positive, so the sign distinguishes a pin from
+// a published version. The caller must publish a real version promptly
+// (Snapshot.publish): while the pin is visible the GC keeps all history
+// at or above the floor's boundary.
+func (r *snapRegistry) registerPinned(floor int64) *snapEntry {
 	e := &snapEntry{}
-	e.version.Store(math.MaxInt64) // placeholder: constrains nothing yet
+	e.version.Store(-floor)
 	for {
 		h := r.head.Load()
 		e.next.Store(h)
 		if r.head.CompareAndSwap(h, e) {
-			break
+			return e
 		}
 	}
-	// Refresh immediately after registering (§3.3.4): any GC that ran
-	// before this store used a min version <= the value stored here, so
-	// every revision this snapshot can need survives.
-	e.version.Store(clock.Read())
-	return e
 }
 
 // Snapshot is a consistent, read-only view of the Map as of the moment
@@ -58,10 +68,27 @@ type Snapshot[K cmp.Ordered, V any] struct {
 	ver int64
 }
 
+// pinnedSnapshot registers a snapshot whose version is not chosen yet; the
+// caller must publish one.
+func (m *Map[K, V]) pinnedSnapshot() *Snapshot[K, V] {
+	return &Snapshot[K, V]{m: m, e: m.snaps.registerPinned(m.clock.Read())}
+}
+
+// publish fixes the snapshot's version, collapsing a pinned registration
+// to an ordinary reader at v (releasing, on refresh, the history below
+// the previous version). The clock read supplying v must happen after the
+// entry was (re-)pinned — that ordering is what makes the protocol immune
+// to the GC: see the snapEntry comment.
+func (s *Snapshot[K, V]) publish(v int64) {
+	s.ver = v
+	s.e.version.Store(v)
+}
+
 // Snapshot registers and returns a new consistent snapshot of the map.
 func (m *Map[K, V]) Snapshot() *Snapshot[K, V] {
-	e := m.snaps.register(m.clock)
-	return &Snapshot[K, V]{m: m, e: e, ver: e.version.Load()}
+	s := m.pinnedSnapshot()
+	s.publish(m.clock.Read())
+	return s
 }
 
 // Version returns the snapshot's version number.
@@ -92,26 +119,23 @@ func (s *Snapshot[K, V]) All(fn func(key K, val V) bool) {
 
 // Refresh advances the snapshot to the present, releasing the history
 // pinned by the old version. A refreshed snapshot observes every operation
-// that completed before Refresh returned. Refresh is cheap (one clock read
-// and one atomic store; no CAS, §3.3.4) but must not race with concurrent
-// use of the same Snapshot value.
+// that completed before Refresh returned. Refresh is cheap (two atomic
+// stores and two clock reads — the re-pin floor and the published version
+// are deliberately distinct reads; no CAS, §3.3.4) but must not race with
+// concurrent use of the same Snapshot value.
 func (s *Snapshot[K, V]) Refresh() {
-	s.RefreshTo(s.m.clock.Read())
-}
-
-// RefreshTo advances the snapshot to version v, releasing the history
-// pinned below it; it is a no-op unless v is ahead of the snapshot's
-// current version. Like Refresh, it must not race with concurrent use of
-// the same Snapshot value. Sharded frontends use it to align a set of
-// per-shard snapshots on one global cut: register a snapshot per shard,
-// read the shared clock once, then RefreshTo that value on every one — the
-// per-shard registrations pin history from their own (earlier) versions, so
-// the state at the cut can never be collected out from under the reader.
-func (s *Snapshot[K, V]) RefreshTo(v int64) {
-	if v > s.ver {
-		s.ver = v
-		s.e.version.Store(v)
-	}
+	// Re-pin before choosing the new version. Storing a clock read
+	// directly would race the GC: between the read (yielding newVer) and
+	// the store, a writer can commit w then x with oldVer < w <= newVer <
+	// x, and a GC still seeing oldVer with a horizon >= x prunes w — the
+	// revision this snapshot needs at newVer. While pinned at the floor
+	// read below, the GC keeps everything at or above the floor's
+	// boundary (and newVer >= floor); a GC that saw oldVer instead
+	// scanned before the re-pin, hence read its horizon before the
+	// publish's clock read: newVer >= horizon, and the horizon rule keeps
+	// everything newVer reads.
+	s.e.version.Store(-s.m.clock.Read())
+	s.publish(s.m.clock.Read())
 }
 
 // Close unregisters the snapshot, letting the garbage collector reclaim the
@@ -119,4 +143,67 @@ func (s *Snapshot[K, V]) RefreshTo(v int64) {
 // would read may already be gone.
 func (s *Snapshot[K, V]) Close() {
 	s.e.closed.Store(true)
+}
+
+// MultiSnapshot registers one snapshot per map, all frozen at a single
+// version cut of the shared clock, so the set forms one consistent view
+// spanning every map: a cross-map batch (MultiBatchUpdate) is either
+// visible in all of the returned snapshots or in none. All maps must share
+// the same Clock (as the shards of a sharded frontend do); MultiSnapshot
+// panics otherwise. Snapshots of the same map obtained any other way are
+// not aligned with the set.
+//
+// The protocol pins first and cuts second: every entry is pushed pinned
+// at a clock floor — while a pin is visible, that map's GC keeps all
+// history at or above the floor's boundary — and only then is the cut
+// read and published to all entries (so cut >= every floor). Reading the
+// cut before the entries pin would let a concurrent GC prune a revision
+// the cut is entitled to read: a writer committing w then x with
+// v < w <= cut < x, against a registry still showing only an older
+// version v, lets a GC with horizon >= x drop w.
+func MultiSnapshot[K cmp.Ordered, V any](ms ...*Map[K, V]) []*Snapshot[K, V] {
+	if len(ms) == 0 {
+		return nil
+	}
+	clock := ms[0].clock
+	for _, m := range ms {
+		if m.clock != clock {
+			panic("core: MultiSnapshot requires all maps to share one Clock")
+		}
+	}
+	subs := make([]*Snapshot[K, V], len(ms))
+	for i, m := range ms {
+		subs[i] = m.pinnedSnapshot()
+	}
+	cut := clock.Read()
+	for _, s := range subs {
+		s.publish(cut)
+	}
+	return subs
+}
+
+// MultiRefresh advances a set of snapshots taken by MultiSnapshot to a
+// fresh common cut of their shared clock, releasing the history pinned by
+// the old one. It follows the same pin-then-cut protocol as MultiSnapshot
+// and the same rules as Refresh: it must not race with concurrent use of
+// the same snapshots, and it panics if the snapshots' maps do not share
+// one Clock.
+func MultiRefresh[K cmp.Ordered, V any](snaps ...*Snapshot[K, V]) {
+	if len(snaps) == 0 {
+		return
+	}
+	clock := snaps[0].m.clock
+	for _, s := range snaps {
+		if s.m.clock != clock {
+			panic("core: MultiRefresh requires all snapshots to share one Clock")
+		}
+	}
+	floor := -clock.Read() // one floor for all: read before any re-pin store
+	for _, s := range snaps {
+		s.e.version.Store(floor)
+	}
+	cut := clock.Read()
+	for _, s := range snaps {
+		s.publish(cut)
+	}
 }

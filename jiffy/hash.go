@@ -2,6 +2,7 @@ package jiffy
 
 import (
 	"cmp"
+	"fmt"
 	"math"
 	"reflect"
 )
@@ -67,9 +68,11 @@ func shardHash[K cmp.Ordered]() func(K) uint64 {
 		case reflect.String:
 			return func(k K) uint64 { return fnv64(reflect.ValueOf(k).String()) }
 		}
-		// cmp.Ordered admits no other kinds; unreachable, but keeps
-		// the function total.
-		return func(K) uint64 { return 0 }
+		// cmp.Ordered admits no other kinds. Fail loudly if one ever
+		// slips through: a constant fallback hash would silently route
+		// every key to shard 0, degrading Sharded to a single hot
+		// shard with no signal.
+		panic(fmt.Sprintf("jiffy: unsupported shard key kind %v", reflect.TypeOf(zero).Kind()))
 	}
 }
 

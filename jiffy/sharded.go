@@ -18,9 +18,12 @@ import (
 //
 //   - All shards share one version clock, so one clock read defines a
 //     consistent global cut across every shard.
-//   - Snapshot registers a snapshot on every shard and then aligns them all
-//     on a single cut version read afterwards (core.Snapshot.RefreshTo);
-//     the result is one linearizable view spanning all shards.
+//   - Snapshot pin-registers a snapshot on every shard and only then reads
+//     the shared clock to fix one cut version published to all of them
+//     (core.MultiSnapshot); a still-pinned registration holds every
+//     revision at or above its pin floor, and the cut is >= every floor,
+//     so the state at the cut can never be collected out from under the
+//     reader. The result is one linearizable view spanning all shards.
 //   - BatchUpdate partitions the batch by shard and applies the per-shard
 //     sub-batches through core.MultiBatchUpdate's two-phase visible/commit
 //     protocol: every sub-batch's revisions are installed pending first,
@@ -32,7 +35,6 @@ import (
 // yielding globally ascending key order even though keys are hash-routed.
 type Sharded[K cmp.Ordered, V any] struct {
 	shards []*core.Map[K, V]
-	clock  tsc.Clock
 	hash   func(K) uint64
 }
 
@@ -52,7 +54,6 @@ func NewSharded[K cmp.Ordered, V any](shards int, opts ...Options[K]) *Sharded[K
 	co.Clock = tsc.NewMonotonic() // one clock shared by every shard
 	s := &Sharded[K, V]{
 		shards: make([]*core.Map[K, V], shards),
-		clock:  co.Clock,
 		hash:   shardHash[K](),
 	}
 	for i := range s.shards {
@@ -144,23 +145,13 @@ func (s *Sharded[K, V]) BatchUpdate(b *Batch[K, V]) {
 }
 
 // Snapshot registers and returns a consistent snapshot spanning every
-// shard. The cost is O(shards): one registration per shard plus one shared
-// clock read that fixes the global cut. Close it when done.
+// shard. The cost is O(shards): one pinned registration per shard plus one
+// shared clock read that fixes the global cut (core.MultiSnapshot; because
+// the clock is shared, "final version <= cut" selects one consistent
+// prefix of updates on every shard). Close it when done.
 func (s *Sharded[K, V]) Snapshot() *ShardedSnapshot[K, V] {
-	subs := make([]*core.Snapshot[K, V], len(s.shards))
-	for i, sh := range s.shards {
-		subs[i] = sh.Snapshot()
-	}
-	// One clock read after every registration defines the cut: each
-	// shard's registration already pins history from a version <= cut, so
-	// aligning the read versions on the cut is safe, and because the
-	// clock is shared, "final version <= cut" selects one consistent
-	// prefix of updates on every shard.
-	cut := s.clock.Read()
-	for _, sub := range subs {
-		sub.RefreshTo(cut)
-	}
-	return &ShardedSnapshot[K, V]{s: s, subs: subs, ver: cut}
+	subs := core.MultiSnapshot(s.shards...)
+	return &ShardedSnapshot[K, V]{s: s, subs: subs, ver: subs[0].Version()}
 }
 
 // Range calls fn for every entry with lo <= key < hi, in globally

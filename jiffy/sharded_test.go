@@ -293,6 +293,62 @@ func TestShardedSnapshotIsolation(t *testing.T) {
 	}
 }
 
+// TestShardedSnapshotRefreshAtomicity is the regression test for the
+// refresh GC race: a long-lived sharded snapshot, refreshed while
+// cross-shard batch writers and the per-shard GCs run, must land each
+// refresh on a consistent cut — never a stale shard (a pruned revision)
+// and never a torn batch.
+func TestShardedSnapshotRefreshAtomicity(t *testing.T) {
+	s := NewSharded[uint64, uint64](4)
+	keys := keysSpanningShards(s, 16)
+	write := func(gen uint64) {
+		b := NewBatch[uint64, uint64](len(keys))
+		for _, k := range keys {
+			b.Put(k, gen)
+		}
+		s.BatchUpdate(b)
+	}
+	write(0)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for gen := uint64(1); !stop.Load(); gen++ {
+			write(gen)
+		}
+	}()
+	snap := s.Snapshot()
+	defer snap.Close()
+	prevGen := uint64(0)
+	for round := 0; round < 3000; round++ {
+		snap.Refresh()
+		gen, ok := snap.Get(keys[0])
+		if !ok {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("round %d: key missing after refresh", round)
+		}
+		if gen < prevGen {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("round %d: refresh went backwards: generation %d after %d", round, gen, prevGen)
+		}
+		prevGen = gen
+		for _, k := range keys[1:] {
+			if v, ok := snap.Get(k); !ok || v != gen {
+				stop.Store(true)
+				wg.Wait()
+				t.Fatalf("round %d: key %d = %d,%v want generation %d (stale shard after refresh)",
+					round, k, v, ok, gen)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
 // TestShardedConcurrentMixed hammers every surface at once under the race
 // detector: point ops, cross-shard batches, snapshots and merged scans.
 func TestShardedConcurrentMixed(t *testing.T) {

@@ -45,16 +45,13 @@ func (ss *ShardedSnapshot[K, V]) All(fn func(key K, val V) bool) {
 }
 
 // Refresh advances the snapshot to a fresh cut of the shared clock,
-// releasing the history pinned by the old one. It must not race with
-// concurrent use of the same snapshot.
+// releasing the history pinned by the old one (core.MultiRefresh: every
+// per-shard entry is re-pinned before the new cut is read, so no shard's
+// GC can prune state the new cut reads). It must not race with concurrent
+// use of the same snapshot.
 func (ss *ShardedSnapshot[K, V]) Refresh() {
-	cut := ss.s.clock.Read()
-	for _, sub := range ss.subs {
-		sub.RefreshTo(cut)
-	}
-	if cut > ss.ver {
-		ss.ver = cut
-	}
+	core.MultiRefresh(ss.subs...)
+	ss.ver = ss.subs[0].Version()
 }
 
 // Close unregisters the snapshot on every shard. Using a closed snapshot
