@@ -41,6 +41,7 @@ func benchPoint[K cmp.Ordered, V any](
 	mix workload.Mix, batch workload.BatchMode, dist workload.Distribution,
 ) {
 	idx := mk()
+	defer harness.CloseIndex(idx)
 	cfg := harness.Config{KeySpace: benchKeySpace, Prefill: benchPrefill}
 	harness.Prefill(idx, cfg, keyOf, valOf)
 	batcher, _ := any(idx).(index.Batcher[K, V])

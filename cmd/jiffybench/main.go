@@ -19,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		claims   = flag.Bool("claims", false, "measure the scalar claims of §4.3 instead of a figure")
 		shards   = flag.Int("shards", 0, "shard count for the jiffy-sharded index (default: GOMAXPROCS, min 2)")
+		jsonOut  = flag.String("json", "", "also write results to this file as JSON (e.g. BENCH_fig5.json), for perf-trajectory tracking")
 	)
 	flag.Parse()
 
@@ -51,6 +53,10 @@ func main() {
 	}
 
 	if *claims {
+		if *jsonOut != "" {
+			fmt.Fprintln(os.Stderr, "-json is not supported with -claims (claims are scalar comparisons, not figure points)")
+			os.Exit(2)
+		}
 		runClaims(*keyspace, *prefill, *duration, *seed)
 		return
 	}
@@ -89,11 +95,76 @@ func main() {
 	}
 	fmt.Printf("# figure %s row %s  keyspace=%d prefill=%d duration=%v\n",
 		fig.ID, *row, *keyspace, *prefill, *duration)
+	var all []harness.Result
 	for _, mix := range workload.Mixes {
 		if !wantMix[mix.Name] {
 			continue
 		}
 		base.Mix = mix
-		harness.RunFigure(os.Stdout, fig, *row, ths, base, only)
+		all = append(all, harness.RunFigure(os.Stdout, fig, *row, ths, base, only)...)
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, fig.ID, *row, base, all); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %d points to %s\n", len(all), *jsonOut)
+	}
+}
+
+// benchFile is the BENCH_*.json perf-trajectory schema: one file per run,
+// self-describing enough to compare points across commits.
+type benchFile struct {
+	Figure   string       `json:"figure"`
+	Row      string       `json:"row"`
+	KeySpace uint64       `json:"keyspace"`
+	Prefill  int          `json:"prefill"`
+	Duration string       `json:"duration"`
+	Seed     uint64       `json:"seed"`
+	When     string       `json:"when"`
+	Points   []benchPoint `json:"points"`
+}
+
+type benchPoint struct {
+	Index      string  `json:"index"`
+	Mix        string  `json:"mix"`
+	Batch      string  `json:"batch"`
+	Dist       string  `json:"dist"`
+	Threads    int     `json:"threads"`
+	TotalMops  float64 `json:"total_mops"`
+	UpdateMops float64 `json:"update_mops"`
+	TotalOps   uint64  `json:"total_ops"`
+	UpdateOps  uint64  `json:"update_ops"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+}
+
+func writeJSON(path, figure, row string, base harness.Config, results []harness.Result) error {
+	out := benchFile{
+		Figure:   figure,
+		Row:      row,
+		KeySpace: base.KeySpace,
+		Prefill:  base.Prefill,
+		Duration: base.Duration.String(),
+		Seed:     base.Seed,
+		When:     time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, r := range results {
+		out.Points = append(out.Points, benchPoint{
+			Index:      r.Index,
+			Mix:        r.Config.Mix.Name,
+			Batch:      r.Config.Batch.String(),
+			Dist:       r.Config.Dist.String(),
+			Threads:    r.Config.Threads,
+			TotalMops:  r.TotalMops(),
+			UpdateMops: r.UpdateMops(),
+			TotalOps:   r.TotalOps,
+			UpdateOps:  r.UpdateOps,
+			ElapsedMs:  float64(r.Elapsed.Microseconds()) / 1e3,
+		})
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

@@ -137,6 +137,14 @@ type MapBatch[K cmp.Ordered, V any] struct {
 // parts are ignored; a call whose live operations all land on one map
 // degenerates to that map's ordinary BatchUpdate.
 func MultiBatchUpdate[K cmp.Ordered, V any](parts ...MapBatch[K, V]) {
+	MultiBatchUpdateVersioned(parts...)
+}
+
+// MultiBatchUpdateVersioned is MultiBatchUpdate, but additionally reports
+// the final version number the whole cross-map batch committed at (see
+// PutVersioned for what the version means; here one version covers every
+// map). A call with no live operations reports version zero.
+func MultiBatchUpdateVersioned[K cmp.Ordered, V any](parts ...MapBatch[K, V]) int64 {
 	// Coalesce parts aimed at the same map: two pending descriptors of one
 	// group on one map would block each other (nothing can stack on a
 	// pending revision, and neither part could finalize without the other).
@@ -170,11 +178,10 @@ outer:
 		accs = append(accs, acc{m: p.Map, ops: p.Batch.ops})
 	}
 	if len(accs) == 0 {
-		return
+		return 0
 	}
 	if len(accs) == 1 {
-		accs[0].m.BatchUpdate(&Batch[K, V]{ops: accs[0].ops})
-		return
+		return accs[0].m.BatchUpdateVersioned(&Batch[K, V]{ops: accs[0].ops})
 	}
 	// Canonical map order: see the batchGroup comment for why this is
 	// required for progress, not a nicety.
@@ -206,6 +213,7 @@ outer:
 		p.desc.version.Store(fin)
 		p.desc.group.Store(nil)
 	}
+	return fin
 }
 
 // BatchUpdate applies all of b's operations atomically, in one linearizable
@@ -215,15 +223,25 @@ outer:
 // Like put and remove, a batch update never aborts; concurrent threads that
 // encounter its pending revisions help drive it to completion.
 func (m *Map[K, V]) BatchUpdate(b *Batch[K, V]) {
+	m.BatchUpdateVersioned(b)
+}
+
+// BatchUpdateVersioned is BatchUpdate, but additionally reports the final
+// version number the batch committed at — the batch's single linearization
+// point (see PutVersioned for what the version means). An empty batch
+// performs no update and reports version zero.
+func (m *Map[K, V]) BatchUpdateVersioned(b *Batch[K, V]) int64 {
 	entries := normalizeBatch(b.ops)
 	if len(entries) == 0 {
-		return
+		return 0
 	}
 	desc := &batchDesc[K, V]{entries: entries}
 	desc.version.Store(-(m.clock.Read() + 1))
 	desc.remaining.Store(int64(len(entries)))
-	m.helpBatch(desc)
+	m.applyBatchDesc(desc)
+	ver := m.finalizeDesc(desc)
 	m.batchGC(desc)
+	return ver
 }
 
 // normalizeBatch sorts ops ascending by key, deduplicating so the last

@@ -40,12 +40,16 @@ type Options[K cmp.Ordered] struct {
 	Hash func(K) uint16
 
 	// MinRevisionSize and MaxRevisionSize bound the autoscaler's target
-	// revision size. Defaults: 25 and 300.
+	// revision size. Defaults: 25 and 300. Invalid values degrade to the
+	// defaults rather than panic: a Min <= 0 becomes 25, a Max below Min
+	// becomes 300 (or Min itself if Min exceeds 300), so the invariant
+	// 0 < Min <= Max always holds after construction.
 	MinRevisionSize int
 	MaxRevisionSize int
 
 	// FixedRevisionSize, when > 0, disables the autoscaling policy and
-	// pins the target revision size (ablation A3).
+	// pins the target revision size (ablation A3), overriding Min/Max
+	// entirely. Values <= 0 leave autoscaling on.
 	FixedRevisionSize int
 
 	// DisableHashIndex turns off the per-revision hash index so lookups

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand/v2"
 	"sync"
 	"testing"
@@ -104,6 +105,60 @@ func TestOptionsDefaultsApplied(t *testing.T) {
 		t.Fatalf("inverted bounds survived: %d..%d", weird.MinRevisionSize, weird.MaxRevisionSize)
 	}
 }
+
+// TestOptionsEdgeCases pins the documented degradation of invalid sizing
+// options: after withDefaults the invariant 0 < Min <= Max always holds,
+// and FixedRevisionSize > 0 overrides the bounds entirely.
+func TestOptionsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       Options[uint64]
+		min, max int
+	}{
+		{"negative min", Options[uint64]{MinRevisionSize: -5}, DefaultMinRevisionSize, DefaultMaxRevisionSize},
+		{"negative max", Options[uint64]{MaxRevisionSize: -5}, DefaultMinRevisionSize, DefaultMaxRevisionSize},
+		{"both negative", Options[uint64]{MinRevisionSize: -1, MaxRevisionSize: -1}, DefaultMinRevisionSize, DefaultMaxRevisionSize},
+		{"inverted within default", Options[uint64]{MinRevisionSize: 50, MaxRevisionSize: 10}, 50, DefaultMaxRevisionSize},
+		{"inverted above default", Options[uint64]{MinRevisionSize: 500, MaxRevisionSize: 10}, 500, 500},
+		{"fixed overrides bounds", Options[uint64]{FixedRevisionSize: 7, MinRevisionSize: 100, MaxRevisionSize: 200}, 7, 7},
+		{"negative fixed ignored", Options[uint64]{FixedRevisionSize: -3}, DefaultMinRevisionSize, DefaultMaxRevisionSize},
+	}
+	for _, c := range cases {
+		o := c.in.withDefaults()
+		if o.MinRevisionSize != c.min || o.MaxRevisionSize != c.max {
+			t.Errorf("%s: got %d..%d, want %d..%d", c.name, o.MinRevisionSize, o.MaxRevisionSize, c.min, c.max)
+		}
+		if o.MinRevisionSize <= 0 || o.MaxRevisionSize < o.MinRevisionSize {
+			t.Errorf("%s: invariant 0 < Min <= Max violated: %d..%d", c.name, o.MinRevisionSize, o.MaxRevisionSize)
+		}
+	}
+}
+
+// TestFixedRevisionSizeOverridesAutoscaler proves the override reaches the
+// policy, not just the stored bounds: whatever the read/update moving
+// averages say, the target stays pinned.
+func TestFixedRevisionSizeOverridesAutoscaler(t *testing.T) {
+	m := New[uint64, int](Options[uint64]{FixedRevisionSize: 8, MinRevisionSize: 100, MaxRevisionSize: 200})
+	var readHeavy, writeHeavy revStats
+	readHeavy.pReads.Store(floatBits(0.99))
+	readHeavy.pUpdates.Store(floatBits(0.01))
+	writeHeavy.pReads.Store(floatBits(0.01))
+	writeHeavy.pUpdates.Store(floatBits(0.99))
+	for _, s := range []*revStats{&readHeavy, &writeHeavy} {
+		if got := m.targetSize(s); got != 8 {
+			t.Fatalf("targetSize = %d with FixedRevisionSize 8", got)
+		}
+	}
+	// Without the pin, the same stats must move the target inside the
+	// configured bounds.
+	a := New[uint64, int](Options[uint64]{MinRevisionSize: 100, MaxRevisionSize: 200})
+	lo, hi := a.targetSize(&writeHeavy), a.targetSize(&readHeavy)
+	if lo < 100 || hi > 200 || lo >= hi {
+		t.Fatalf("autoscaler targets %d..%d outside bounds or not monotone", lo, hi)
+	}
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
 
 func TestCounterClockConcurrent(t *testing.T) {
 	// The atomic-counter oracle (ablation A2) must also be correct under

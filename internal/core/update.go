@@ -3,7 +3,15 @@ package core
 // Put sets the value for key, overwriting any previous value. Put is
 // linearizable; its linearization point is the assignment of the final
 // version number to the revision it creates (§3.4).
-func (m *Map[K, V]) Put(key K, val V) {
+func (m *Map[K, V]) Put(key K, val V) { m.PutVersioned(key, val) }
+
+// PutVersioned is Put, but additionally reports the final version number
+// the update committed at. The version ties the update to the snapshot
+// order: every snapshot whose version is >= the returned value observes
+// the update, every older snapshot does not. The durability layer relies
+// on this to tag write-ahead-log records so that replay agrees with a
+// checkpoint's snapshot cut.
+func (m *Map[K, V]) PutVersioned(key K, val V) int64 {
 	var newRev *revision[K, V]
 	for {
 		nd := m.findNodeForKey(key)
@@ -57,14 +65,24 @@ func (m *Map[K, V]) Put(key K, val V) {
 		}
 		// CAS failed: nobody saw our attempt; start over (§3.3.2).
 	}
-	m.finalize(newRev)
+	ver := m.finalize(newRev)
 	m.performGC(newRev)
+	return ver
 }
 
 // Remove deletes key and reports whether it was present. Like put, its
 // linearization point is the final version-number assignment; a remove of
 // an absent key linearizes at the head-revision read that observed absence.
 func (m *Map[K, V]) Remove(key K) bool {
+	_, present := m.RemoveVersioned(key)
+	return present
+}
+
+// RemoveVersioned is Remove, but additionally reports the final version
+// number the remove committed at (see PutVersioned for what the version
+// means). A remove of an absent key performs no update and reports version
+// zero.
+func (m *Map[K, V]) RemoveVersioned(key K) (int64, bool) {
 	var newRev *revision[K, V]
 	for {
 		nd := m.findNodeForKey(key)
@@ -89,7 +107,7 @@ func (m *Map[K, V]) Remove(key K) bool {
 			continue
 		}
 		if _, present := headRev.find(key); !present {
-			return false // nothing to do (Algorithm 1, line 39)
+			return 0, false // nothing to do (Algorithm 1, line 39)
 		}
 
 		optVer := -(m.clock.Read() + 1)
@@ -114,9 +132,9 @@ func (m *Map[K, V]) Remove(key K) bool {
 			break
 		}
 	}
-	m.finalize(newRev)
+	ver := m.finalize(newRev)
 	m.performGC(newRev)
-	return true
+	return ver, true
 }
 
 // finalize assigns the final version number to a (non-batch) revision: the

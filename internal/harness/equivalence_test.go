@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"cmp"
 	"math/rand/v2"
 	"testing"
 
@@ -17,6 +18,7 @@ func TestAllIndicesAgreeSequentially(t *testing.T) {
 		for i, name := range IndicesA {
 			indices[i] = NewIndexA(name)
 		}
+		defer closeAll(indices)
 		rng := rand.New(rand.NewPCG(seed, 0xe10))
 		for op := 0; op < 2000; op++ {
 			k := rng.Uint64N(512)
@@ -82,6 +84,7 @@ func TestBIndicesAgreeSequentially(t *testing.T) {
 		for i, name := range IndicesB {
 			indices[i] = NewIndexB(name)
 		}
+		defer closeAll(indices)
 		rng := rand.New(rand.NewPCG(seed, 77))
 		for op := 0; op < 2000; op++ {
 			k := uint32(rng.IntN(512))
@@ -112,6 +115,14 @@ func TestBIndicesAgreeSequentially(t *testing.T) {
 	}
 }
 
+// closeAll releases every index that holds resources (jiffy-durable's
+// scratch store and open log).
+func closeAll[K cmp.Ordered, V any](indices []index.Index[K, V]) {
+	for _, idx := range indices {
+		CloseIndex(idx)
+	}
+}
+
 // TestBatchersAgree drives the three batch-capable indices through the same
 // batch streams.
 func TestBatchersAgree(t *testing.T) {
@@ -124,6 +135,7 @@ func TestBatchersAgree(t *testing.T) {
 			indices[i] = idx
 			batchers[i] = idx.(index.Batcher[uint64, *Payload])
 		}
+		defer closeAll(indices)
 		rng := rand.New(rand.NewPCG(seed, 0xba7c4))
 		for round := 0; round < 100; round++ {
 			ops := make([]index.BatchOp[uint64, *Payload], 0, 16)

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 
 	"repro/internal/baseline/catree"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/baseline/snaptree"
 	"repro/internal/index"
 	"repro/internal/workload"
+	"repro/jiffy/durable"
 )
 
 // Payload is the boxed 100-byte value of the 16/100 B configuration: like
@@ -40,17 +42,18 @@ func KeyB(k uint64) uint32 { return uint32(k) }
 func ValB(k uint64) uint32 { return uint32(k) }
 
 // IndicesA are the competitors in the 16/100 B configuration (Figures 5, 7
-// and 8), plus this repo's sharded Jiffy frontend. KiWi is absent: its
-// codebase supports only 4 B integer keys.
-var IndicesA = []string{"jiffy", "jiffy-sharded", "snaptree", "k-ary", "ca-avl", "ca-sl", "ca-imm", "lfca", "cslm"}
+// and 8), plus this repo's sharded and durable Jiffy frontends. KiWi is
+// absent: its codebase supports only 4 B integer keys.
+var IndicesA = []string{"jiffy", "jiffy-sharded", "jiffy-durable", "snaptree", "k-ary", "ca-avl", "ca-sl", "ca-imm", "lfca", "cslm"}
 
 // IndicesB adds KiWi for the 4/4 B configuration (Figures 6, 9 and 10).
-var IndicesB = []string{"jiffy", "jiffy-sharded", "snaptree", "k-ary", "ca-avl", "ca-sl", "ca-imm", "lfca", "cslm", "kiwi"}
+var IndicesB = []string{"jiffy", "jiffy-sharded", "jiffy-durable", "snaptree", "k-ary", "ca-avl", "ca-sl", "ca-imm", "lfca", "cslm", "kiwi"}
 
 // BatchIndices are the indices supporting atomic batch updates: the batch
-// rows of every figure compare exactly these (§4.2), plus the sharded
-// frontend, whose batches stay atomic even across shards.
-var BatchIndices = []string{"jiffy", "jiffy-sharded", "ca-avl", "ca-sl"}
+// rows of every figure compare exactly these (§4.2), plus the sharded and
+// durable frontends, whose batches stay atomic across shards and crashes
+// respectively.
+var BatchIndices = []string{"jiffy", "jiffy-sharded", "jiffy-durable", "ca-avl", "ca-sl"}
 
 // ShardCount is the shard count "jiffy-sharded" runs with. It defaults to
 // the number of schedulable CPUs (minimum 2, so the sharded paths are
@@ -65,6 +68,38 @@ func defaultShardCount() int {
 	return n
 }
 
+// CloseIndex releases an index that holds resources beyond memory
+// (jiffy-durable: an open log and a scratch directory). Call it after a
+// measurement point; it is a no-op for purely in-memory indices.
+func CloseIndex(idx any) {
+	if c, ok := idx.(interface{ Close() error }); ok {
+		c.Close()
+	}
+}
+
+// durableDir allocates a scratch store directory for one jiffy-durable
+// measurement point. Each point opens a fresh store, exactly as each point
+// builds a fresh in-memory index.
+func durableDir() string {
+	dir, err := os.MkdirTemp("", "jiffy-durable-")
+	if err != nil {
+		panic("harness: scratch dir for jiffy-durable: " + err.Error())
+	}
+	return dir
+}
+
+// payloadEnc encodes the boxed 100-byte payload of configuration A.
+func payloadEnc() durable.Enc[*Payload] {
+	return durable.Enc[*Payload]{
+		Append: func(dst []byte, v *Payload) []byte { return append(dst, v[:]...) },
+		Decode: func(src []byte) (*Payload, error) {
+			var p Payload
+			copy(p[:], src)
+			return &p, nil
+		},
+	}
+}
+
 // NewIndexA constructs a named index in the 16/100 B configuration.
 func NewIndexA(name string) index.Index[uint64, *Payload] {
 	switch name {
@@ -72,6 +107,10 @@ func NewIndexA(name string) index.Index[uint64, *Payload] {
 		return index.NewJiffy[uint64, *Payload]()
 	case "jiffy-sharded":
 		return index.NewShardedJiffy[uint64, *Payload](ShardCount)
+	case "jiffy-durable":
+		return index.NewDurableJiffy(durableDir(),
+			durable.Codec[uint64, *Payload]{Key: durable.Uint64Enc(), Value: payloadEnc()},
+			durable.Options[uint64]{NoSync: true})
 	case "snaptree":
 		return snaptree.New[uint64, *Payload]()
 	case "k-ary":
@@ -97,6 +136,10 @@ func NewIndexB(name string) index.Index[uint32, uint32] {
 		return index.NewJiffy[uint32, uint32]()
 	case "jiffy-sharded":
 		return index.NewShardedJiffy[uint32, uint32](ShardCount)
+	case "jiffy-durable":
+		return index.NewDurableJiffy(durableDir(),
+			durable.Codec[uint32, uint32]{Key: durable.Uint32Enc(), Value: durable.Uint32Enc()},
+			durable.Options[uint32]{NoSync: true})
 	case "snaptree":
 		return snaptree.New[uint32, uint32]()
 	case "k-ary":
@@ -174,10 +217,12 @@ func RunFigure(w io.Writer, fig Figure, row string, threads []int, base Config, 
 					idx := NewIndexB(name)
 					Prefill(idx, cfg, KeyB, ValB)
 					res = Run(idx, cfg, KeyB, ValB)
+					CloseIndex(idx)
 				} else {
 					idx := NewIndexA(name)
 					Prefill(idx, cfg, KeyA, ValA)
 					res = Run(idx, cfg, KeyA, ValA)
+					CloseIndex(idx)
 				}
 				fmt.Fprintf(w, "fig%-3s %s\n", fig.ID, res.Row())
 				out = append(out, res)

@@ -20,14 +20,35 @@ func smallConfig(threads int) Config {
 	}
 }
 
+// measureUntil re-measures with doubled windows until ok accepts the
+// result, returning the last result either way. The 50 ms default window
+// is enough on an idle multi-core box, but on one CPU under -race a single
+// role's goroutine can starve for a whole window, producing a zero-ops
+// reading that says nothing about the accounting under test.
+func measureUntil(t *testing.T, run func(d time.Duration) Result, ok func(Result) bool) Result {
+	t.Helper()
+	var res Result
+	for d := 50 * time.Millisecond; d <= 800*time.Millisecond; d *= 2 {
+		res = run(d)
+		if ok(res) {
+			break
+		}
+	}
+	return res
+}
+
 func TestRunProducesThroughputEveryIndexA(t *testing.T) {
 	for _, name := range IndicesA {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			idx := NewIndexA(name)
+			defer CloseIndex(idx)
 			cfg := smallConfig(4)
 			Prefill(idx, cfg, KeyA, ValA)
-			res := Run(idx, cfg, KeyA, ValA)
+			res := measureUntil(t, func(d time.Duration) Result {
+				cfg.Duration = d
+				return Run(idx, cfg, KeyA, ValA)
+			}, func(r Result) bool { return r.TotalOps > 0 })
 			if res.TotalOps == 0 {
 				t.Fatalf("%s made no progress", name)
 			}
@@ -43,10 +64,14 @@ func TestRunProducesThroughputEveryIndexB(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			idx := NewIndexB(name)
+			defer CloseIndex(idx)
 			cfg := smallConfig(4)
 			cfg.Mix = workload.MixUpdateLookup
 			Prefill(idx, cfg, KeyB, ValB)
-			res := Run(idx, cfg, KeyB, ValB)
+			res := measureUntil(t, func(d time.Duration) Result {
+				cfg.Duration = d
+				return Run(idx, cfg, KeyB, ValB)
+			}, func(r Result) bool { return r.UpdateOps > 0 && r.UpdateOps < r.TotalOps })
 			if res.TotalOps == 0 {
 				t.Fatalf("%s made no progress", name)
 			}
@@ -75,6 +100,7 @@ func TestBatchRowsRunOnBatchers(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			idx := NewIndexA(name)
+			defer CloseIndex(idx)
 			cfg := smallConfig(2)
 			cfg.Batch = workload.BatchMode{Size: 10, Seq: false}
 			Prefill(idx, cfg, KeyA, ValA)

@@ -2,10 +2,12 @@ package index
 
 import (
 	"cmp"
+	"os"
 
 	"repro/internal/baseline/kiwi"
 	"repro/internal/core"
 	"repro/jiffy"
+	"repro/jiffy/durable"
 )
 
 // Jiffy adapts core.Map to the harness Index/Batcher interfaces.
@@ -88,6 +90,80 @@ func (j *ShardedJiffy[K, V]) BatchUpdate(ops []BatchOp[K, V]) {
 		}
 	}
 	j.S.BatchUpdate(b)
+}
+
+// DurableJiffy adapts durable.Map — Jiffy plus a write-ahead log and
+// snapshot-consistent checkpoints — to the harness Index/Batcher
+// interfaces, so the price of durability is measurable against the
+// in-memory indices under identical workloads. The harness runs it with
+// NoSync (no fsyncs), so the measured overhead is the logging path itself
+// — encoding, group commit coordination and file writes — not the storage
+// medium. Logging errors panic: the harness has no error channel and a
+// failing log would invalidate the measurement anyway.
+type DurableJiffy[K cmp.Ordered, V any] struct {
+	D   *durable.Map[K, V]
+	dir string
+}
+
+// NewDurableJiffy opens a durable Jiffy map in dir with the given codec
+// and options. Close deletes dir — the harness treats the store as
+// scratch, one per measurement point.
+func NewDurableJiffy[K cmp.Ordered, V any](dir string, codec durable.Codec[K, V], opts durable.Options[K]) *DurableJiffy[K, V] {
+	d, err := durable.Open(dir, codec, opts)
+	if err != nil {
+		panic("index: durable open: " + err.Error())
+	}
+	return &DurableJiffy[K, V]{D: d, dir: dir}
+}
+
+// Close closes the log and deletes the scratch store. The harness closes
+// every index that has a Close after measuring it.
+func (j *DurableJiffy[K, V]) Close() error {
+	err := j.D.Close()
+	if rmErr := os.RemoveAll(j.dir); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// Name implements Named.
+func (j *DurableJiffy[K, V]) Name() string { return "jiffy-durable" }
+
+// Get implements Index.
+func (j *DurableJiffy[K, V]) Get(key K) (V, bool) { return j.D.Get(key) }
+
+// Put implements Index with a durably logged update.
+func (j *DurableJiffy[K, V]) Put(key K, val V) {
+	if err := j.D.Put(key, val); err != nil {
+		panic("index: durable put: " + err.Error())
+	}
+}
+
+// Remove implements Index with a durably logged remove.
+func (j *DurableJiffy[K, V]) Remove(key K) bool {
+	ok, err := j.D.Remove(key)
+	if err != nil {
+		panic("index: durable remove: " + err.Error())
+	}
+	return ok
+}
+
+// RangeFrom implements Index with a linearizable snapshot scan.
+func (j *DurableJiffy[K, V]) RangeFrom(lo K, fn func(K, V) bool) { j.D.RangeFrom(lo, fn) }
+
+// BatchUpdate implements Batcher; the batch is one atomic log record.
+func (j *DurableJiffy[K, V]) BatchUpdate(ops []BatchOp[K, V]) {
+	b := jiffy.NewBatch[K, V](len(ops))
+	for _, op := range ops {
+		if op.Remove {
+			b.Remove(op.Key)
+		} else {
+			b.Put(op.Key, op.Val)
+		}
+	}
+	if err := j.D.BatchUpdate(b); err != nil {
+		panic("index: durable batch: " + err.Error())
+	}
 }
 
 // Kiwi adapts the uint32-specialized KiWi baseline to the uint32 harness

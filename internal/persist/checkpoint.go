@@ -1,0 +1,324 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Checkpoint file format:
+//
+//	magic "JFCKPT01" | i64 version | entry* | 0x00 | u64 count | u32 crc
+//
+// where an entry is
+//
+//	0x01 | uvarint klen | key | uvarint vlen | val
+//
+// (integers little endian, varints standard Go uvarints) and crc is IEEE
+// CRC-32 over everything before the crc field. A checkpoint is written to
+// a .tmp file, fsynced, and renamed into place, so a crash mid-write
+// leaves no half-valid checkpoint; the loader additionally verifies count
+// and checksum and falls back to the next-newest file, so even a corrupted
+// rename survivor is skipped, not trusted.
+const (
+	ckptMagic  = "JFCKPT01"
+	ckptSuffix = ".ck"
+
+	tagEntry = 0x01
+	tagEnd   = 0x00
+)
+
+// ErrNoCheckpoint is returned by LatestCheckpoint when dir holds no valid
+// checkpoint file.
+var ErrNoCheckpoint = errors.New("persist: no valid checkpoint")
+
+func checkpointName(version int64) string {
+	return fmt.Sprintf("ckpt-%016x%s", uint64(version), ckptSuffix)
+}
+
+// CheckpointWriter streams one checkpoint file. Create it with
+// CreateCheckpoint, Add every entry, then Commit (or Abort). Not safe for
+// concurrent use.
+type CheckpointWriter struct {
+	dir, tmpPath, finalPath string
+	f                       *os.File
+	bw                      *bufio.Writer
+	h                       hash.Hash32
+	count                   uint64
+	nosync                  bool
+	scratch                 []byte
+}
+
+// CreateCheckpoint starts a checkpoint at the given snapshot version,
+// writing to a temporary file in dir.
+func CreateCheckpoint(dir string, version int64, nosync bool) (*CheckpointWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	tmp := filepath.Join(dir, checkpointName(version)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &CheckpointWriter{
+		dir:       dir,
+		tmpPath:   tmp,
+		finalPath: filepath.Join(dir, checkpointName(version)),
+		f:         f,
+		bw:        bufio.NewWriterSize(f, 1<<16),
+		h:         crc32.NewIEEE(),
+		nosync:    nosync,
+	}
+	hdr := make([]byte, 0, len(ckptMagic)+8)
+	hdr = append(hdr, ckptMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(version))
+	if err := w.write(hdr); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	return w, nil
+}
+
+// write sends b to both the file buffer and the running checksum.
+func (w *CheckpointWriter) write(b []byte) error {
+	w.h.Write(b)
+	_, err := w.bw.Write(b)
+	return err
+}
+
+// Add appends one key/value entry.
+func (w *CheckpointWriter) Add(key, val []byte) error {
+	b := w.scratch[:0]
+	b = append(b, tagEntry)
+	b = binary.AppendUvarint(b, uint64(len(key)))
+	b = append(b, key...)
+	b = binary.AppendUvarint(b, uint64(len(val)))
+	b = append(b, val...)
+	w.scratch = b
+	if err := w.write(b); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Commit writes the footer, fsyncs, and renames the checkpoint into place,
+// making it the newest durable checkpoint.
+func (w *CheckpointWriter) Commit() error {
+	foot := make([]byte, 0, 9)
+	foot = append(foot, tagEnd)
+	foot = binary.LittleEndian.AppendUint64(foot, w.count)
+	if err := w.write(foot); err != nil {
+		w.Abort()
+		return err
+	}
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], w.h.Sum32())
+	if _, err := w.bw.Write(crcb[:]); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.Abort()
+		return err
+	}
+	if !w.nosync {
+		if err := w.f.Sync(); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmpPath)
+		return err
+	}
+	if err := os.Rename(w.tmpPath, w.finalPath); err != nil {
+		os.Remove(w.tmpPath)
+		return err
+	}
+	if !w.nosync {
+		return syncDir(w.dir)
+	}
+	return nil
+}
+
+// Abort discards the in-progress checkpoint.
+func (w *CheckpointWriter) Abort() {
+	w.f.Close()
+	os.Remove(w.tmpPath)
+}
+
+// LatestCheckpoint finds the newest valid checkpoint in dir, fully
+// verifying candidates (checksum and entry count) from newest to oldest
+// and skipping invalid ones. It returns ErrNoCheckpoint when none
+// qualifies — recovery then starts from an empty map plus the log.
+func LatestCheckpoint(dir string) (version int64, path string, err error) {
+	names, err := filepath.Glob(filepath.Join(dir, "ckpt-*"+ckptSuffix))
+	if err != nil {
+		return 0, "", err
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names))) // fixed-width hex: lexical = numeric
+	for _, p := range names {
+		v, err := ReadCheckpoint(p, func(_, _ []byte) error { return nil })
+		if err != nil {
+			continue
+		}
+		return v, p, nil
+	}
+	return 0, "", ErrNoCheckpoint
+}
+
+// DropCheckpointsBelow removes checkpoint files whose version is below
+// keep; the checkpoint writer calls it after a successful Commit so only
+// the newest checkpoint (and any concurrent newer one) survives.
+func DropCheckpointsBelow(dir string, keep int64) error {
+	names, err := filepath.Glob(filepath.Join(dir, "ckpt-*"+ckptSuffix))
+	if err != nil {
+		return err
+	}
+	for _, p := range names {
+		var v uint64
+		if _, err := fmt.Sscanf(filepath.Base(p), "ckpt-%x"+ckptSuffix, &v); err != nil {
+			continue
+		}
+		if int64(v) < keep {
+			if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RemoveStaleCheckpointTemps deletes leftover ckpt-*.ck.tmp files — the
+// residue of a process killed while streaming a checkpoint. Call it on
+// open, when no checkpoint can be in flight; a crashed temp is useless
+// (Commit renames before the checkpoint becomes visible) but full-store
+// sized, so leaving it would grow the directory by one dead file per
+// crash-mid-checkpoint.
+func RemoveStaleCheckpointTemps(dir string) error {
+	names, err := filepath.Glob(filepath.Join(dir, "ckpt-*"+ckptSuffix+".tmp"))
+	if err != nil {
+		return err
+	}
+	for _, p := range names {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// crcReader reads through a bufio.Reader while hashing every byte
+// delivered, so the footer checksum can be verified without buffering the
+// file (the crc field itself is read around the hasher).
+type crcReader struct {
+	br *bufio.Reader
+	h  hash.Hash32
+}
+
+func (r *crcReader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err == nil {
+		r.h.Write([]byte{b})
+	}
+	return b, err
+}
+
+func (r *crcReader) full(buf []byte) error {
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return err
+	}
+	r.h.Write(buf)
+	return nil
+}
+
+func (r *crcReader) uvarint() (uint64, error) { return binary.ReadUvarint(r) }
+
+// ReadCheckpoint streams the entries of the checkpoint at path into fn,
+// verifying the trailing checksum and entry count; if verification fails,
+// the error reports it — callers that must not observe a partial load
+// should verify first with a no-op fn (as LatestCheckpoint does) and
+// stream second. The key and val slices are reused between calls: fn must
+// decode or copy, not retain them.
+func ReadCheckpoint(path string, fn func(key, val []byte) error) (version int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := &crcReader{br: bufio.NewReaderSize(f, 1<<16), h: crc32.NewIEEE()}
+
+	hdr := make([]byte, len(ckptMagic)+8)
+	if err := r.full(hdr); err != nil {
+		return 0, fmt.Errorf("persist: checkpoint %s: short header", path)
+	}
+	if string(hdr[:len(ckptMagic)]) != ckptMagic {
+		return 0, fmt.Errorf("persist: checkpoint %s: bad magic", path)
+	}
+	version = int64(binary.LittleEndian.Uint64(hdr[len(ckptMagic):]))
+
+	var count uint64
+	var key, val []byte
+	for {
+		tag, err := r.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("persist: checkpoint %s: truncated", path)
+		}
+		if tag == tagEnd {
+			break
+		}
+		if tag != tagEntry {
+			return 0, fmt.Errorf("persist: checkpoint %s: bad entry tag %#x", path, tag)
+		}
+		klen, err := r.uvarint()
+		if err != nil || klen > maxRecordBytes {
+			return 0, fmt.Errorf("persist: checkpoint %s: bad key length", path)
+		}
+		if uint64(cap(key)) < klen {
+			key = make([]byte, klen)
+		}
+		key = key[:klen]
+		if err := r.full(key); err != nil {
+			return 0, fmt.Errorf("persist: checkpoint %s: truncated key", path)
+		}
+		vlen, err := r.uvarint()
+		if err != nil || vlen > maxRecordBytes {
+			return 0, fmt.Errorf("persist: checkpoint %s: bad value length", path)
+		}
+		if uint64(cap(val)) < vlen {
+			val = make([]byte, vlen)
+		}
+		val = val[:vlen]
+		if err := r.full(val); err != nil {
+			return 0, fmt.Errorf("persist: checkpoint %s: truncated value", path)
+		}
+		if err := fn(key, val); err != nil {
+			return 0, err
+		}
+		count++
+	}
+	var foot [8]byte
+	if err := r.full(foot[:]); err != nil {
+		return 0, fmt.Errorf("persist: checkpoint %s: truncated footer", path)
+	}
+	if got := binary.LittleEndian.Uint64(foot[:]); got != count {
+		return 0, fmt.Errorf("persist: checkpoint %s: entry count %d, footer says %d", path, count, got)
+	}
+	want := r.h.Sum32()
+	var crcb [4]byte
+	if _, err := io.ReadFull(r.br, crcb[:]); err != nil {
+		return 0, fmt.Errorf("persist: checkpoint %s: missing checksum", path)
+	}
+	if got := binary.LittleEndian.Uint32(crcb[:]); got != want {
+		return 0, fmt.Errorf("persist: checkpoint %s: checksum mismatch", path)
+	}
+	return version, nil
+}

@@ -1,0 +1,150 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestCheckpoint(t *testing.T, dir string, version int64, n int) {
+	t.Helper()
+	w, err := CreateCheckpoint(dir, version, true)
+	if err != nil {
+		t.Fatalf("CreateCheckpoint: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Add([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d@%d", i, version))); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCheckpoint(t, dir, 77, 500)
+	ver, path, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("LatestCheckpoint: %v", err)
+	}
+	if ver != 77 {
+		t.Fatalf("version = %d, want 77", ver)
+	}
+	i := 0
+	if _, err := ReadCheckpoint(path, func(k, v []byte) error {
+		if string(k) != fmt.Sprintf("k%04d", i) || string(v) != fmt.Sprintf("v%d@77", i) {
+			t.Fatalf("entry %d = (%q, %q)", i, k, v)
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatalf("ReadCheckpoint: %v", err)
+	}
+	if i != 500 {
+		t.Fatalf("streamed %d entries, want 500", i)
+	}
+}
+
+func TestCheckpointEmpty(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCheckpoint(t, dir, 5, 0)
+	ver, _, err := LatestCheckpoint(dir)
+	if err != nil || ver != 5 {
+		t.Fatalf("empty checkpoint: ver=%d err=%v", ver, err)
+	}
+}
+
+func TestCheckpointNewestValidWins(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCheckpoint(t, dir, 10, 3)
+	writeTestCheckpoint(t, dir, 20, 3)
+
+	// Corrupt the newest by flipping a byte mid-file: the loader must fall
+	// back to version 10.
+	path := filepath.Join(dir, checkpointName(20))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ver, _, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("LatestCheckpoint with corrupt newest: %v", err)
+	}
+	if ver != 10 {
+		t.Fatalf("fell back to version %d, want 10", ver)
+	}
+
+	// A truncated newest (crash during rename-window write) is also skipped.
+	writeTestCheckpoint(t, dir, 30, 100)
+	p30 := filepath.Join(dir, checkpointName(30))
+	info, _ := os.Stat(p30)
+	os.Truncate(p30, info.Size()/2)
+	ver, _, err = LatestCheckpoint(dir)
+	if err != nil || ver != 10 {
+		t.Fatalf("after truncating v30: ver=%d err=%v, want 10", ver, err)
+	}
+}
+
+func TestCheckpointNone(t *testing.T) {
+	if _, _, err := LatestCheckpoint(t.TempDir()); err != ErrNoCheckpoint {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestDropCheckpointsBelow(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCheckpoint(t, dir, 10, 1)
+	writeTestCheckpoint(t, dir, 20, 1)
+	writeTestCheckpoint(t, dir, 30, 1)
+	if err := DropCheckpointsBelow(dir, 30); err != nil {
+		t.Fatalf("DropCheckpointsBelow: %v", err)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "ckpt-*"+ckptSuffix))
+	if len(names) != 1 {
+		t.Fatalf("%d checkpoints survive, want 1 (%v)", len(names), names)
+	}
+	ver, _, err := LatestCheckpoint(dir)
+	if err != nil || ver != 30 {
+		t.Fatalf("ver=%d err=%v, want 30", ver, err)
+	}
+}
+
+func TestRemoveStaleCheckpointTemps(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCheckpoint(t, dir, 10, 2)
+	// A crash mid-checkpoint leaves a .tmp behind; Abort was never run.
+	stale := filepath.Join(dir, checkpointName(20)+".tmp")
+	if err := os.WriteFile(stale, []byte("half a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveStaleCheckpointTemps(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived: %v", err)
+	}
+	// The committed checkpoint is untouched.
+	if ver, _, err := LatestCheckpoint(dir); err != nil || ver != 10 {
+		t.Fatalf("ver=%d err=%v after temp cleanup", ver, err)
+	}
+}
+
+func TestCheckpointAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateCheckpoint(dir, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add([]byte("k"), []byte("v"))
+	w.Abort()
+	if _, _, err := LatestCheckpoint(dir); err != ErrNoCheckpoint {
+		t.Fatalf("aborted checkpoint visible: %v", err)
+	}
+}

@@ -1,0 +1,384 @@
+// Package persist implements the byte-level durability primitives under
+// jiffy/durable: a segmented write-ahead log with group commit, and
+// snapshot-consistent checkpoint files. The package is deliberately
+// untyped — records and checkpoint entries are []byte — so one
+// implementation serves every key/value instantiation; jiffy/durable's
+// Codec does the encoding. See DESIGN.md §5 for the file formats and the
+// recovery invariant.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// WAL file format. A segment is
+//
+//	magic "JFWAL001" | record*
+//
+// and a record is
+//
+//	u32 n | u32 crc | data[n]      (little endian)
+//
+// where data = i64 version | payload, n = len(data), and crc is IEEE
+// CRC-32 over data. A record is valid only if its length fits the file and
+// its checksum matches; the first invalid record ends the segment (a torn
+// tail from a crash mid-append loses only records that were never
+// acknowledged, because acknowledgement happens after fsync).
+const (
+	walMagic = "JFWAL001"
+
+	// DefaultSegmentBytes is the rotation threshold when WALOptions
+	// leaves SegmentBytes zero.
+	DefaultSegmentBytes = 4 << 20
+
+	// maxRecordBytes bounds a single record; length prefixes beyond it
+	// are treated as corruption rather than allocated.
+	maxRecordBytes = 1 << 30
+)
+
+// ErrWALClosed is returned by appends to a closed WAL.
+var ErrWALClosed = errors.New("persist: WAL is closed")
+
+// Record is one durable log entry: an opaque payload tagged with the
+// version number its operation committed at. Versions order replay;
+// payload encoding is the caller's business.
+type Record struct {
+	Version int64
+	Payload []byte
+}
+
+// WALOptions tunes a WAL.
+type WALOptions struct {
+	// SegmentBytes is the rotation threshold (default 4 MiB): once the
+	// active segment exceeds it, the segment is sealed and a new one
+	// started. Sealed segments are the unit of truncation.
+	SegmentBytes int64
+
+	// NoSync skips every fsync. Appends then acknowledge after the OS
+	// write only — crash durability is lost, but the full logging path
+	// is exercised; benchmarks use it to separate encoding cost from
+	// media cost.
+	NoSync bool
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+// WAL is a segmented write-ahead log with group commit: concurrent Append
+// calls coalesce into one file write and one fsync. Safe for concurrent
+// use by any number of appenders; Close only after appenders are done.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	// qmu guards the queue of appends awaiting a leader.
+	qmu   sync.Mutex
+	queue []*appendReq
+
+	// fmu serializes leaders and every other file-state mutation
+	// (rotation, truncation, close).
+	fmu    sync.Mutex
+	f      *os.File
+	seq    uint64
+	size   int64
+	curMax int64 // max record version in the active segment
+	sealed []sealedSegment
+	closed bool
+}
+
+type sealedSegment struct {
+	seq    uint64
+	path   string
+	maxVer int64 // max record version in the segment (0: no records)
+}
+
+type appendReq struct {
+	version int64
+	payload []byte
+	done    chan error
+}
+
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016d.log", seq) }
+
+// OpenWAL opens (creating if needed) the log in dir and returns every
+// record it holds, in segment order then file order, tolerating a torn
+// final record per segment. All pre-existing segments are sealed — even
+// the last, which may be torn — and appends go to a fresh segment, so a
+// recovered process never writes after a torn tail.
+func OpenWAL(dir string, opts WALOptions) (*WAL, []Record, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(names) // fixed-width decimal seq: lexical order is numeric order
+
+	w := &WAL{dir: dir, opts: opts}
+	var all []Record
+	for _, path := range names {
+		var seq uint64
+		if _, err := fmt.Sscanf(filepath.Base(path), "wal-%d.log", &seq); err != nil {
+			continue // foreign file; leave it alone
+		}
+		recs, maxVer, err := readSegment(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, recs...)
+		w.sealed = append(w.sealed, sealedSegment{seq: seq, path: path, maxVer: maxVer})
+		if seq > w.seq {
+			w.seq = seq
+		}
+	}
+	if err := w.openSegment(w.seq + 1); err != nil {
+		return nil, nil, err
+	}
+	return w, all, nil
+}
+
+// readSegment parses one segment file, stopping at the first invalid
+// record (torn tail). A missing or short magic yields no records.
+func readSegment(path string) (recs []Record, maxVer int64, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(buf) < len(walMagic) || string(buf[:len(walMagic)]) != walMagic {
+		return nil, 0, nil
+	}
+	rest := buf[len(walMagic):]
+	for len(rest) >= 8 {
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if n < 8 || n > maxRecordBytes || int(n) > len(rest)-8 {
+			break // torn or corrupt tail
+		}
+		data := rest[8 : 8+int(n)]
+		if crc32.ChecksumIEEE(data) != crc {
+			break
+		}
+		ver := int64(binary.LittleEndian.Uint64(data[0:8]))
+		recs = append(recs, Record{Version: ver, Payload: data[8:]})
+		if ver > maxVer {
+			maxVer = ver
+		}
+		rest = rest[8+int(n):]
+	}
+	return recs, maxVer, nil
+}
+
+// openSegment creates and becomes the active segment seq. Caller holds fmu
+// (or is the constructor).
+func (w *WAL) openSegment(seq uint64) error {
+	path := filepath.Join(w.dir, segmentName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	if !w.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := syncDir(w.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.f, w.seq, w.size, w.curMax = f, seq, int64(len(walMagic)), 0
+	return nil
+}
+
+// rotate seals the active segment and starts the next one. Caller holds
+// fmu.
+func (w *WAL) rotate() error {
+	if !w.opts.NoSync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.sealed = append(w.sealed, sealedSegment{
+		seq:    w.seq,
+		path:   filepath.Join(w.dir, segmentName(w.seq)),
+		maxVer: w.curMax,
+	})
+	return w.openSegment(w.seq + 1)
+}
+
+// Append durably logs one record and returns once it (and every record
+// batched with it) has been written and — unless NoSync — fsynced. Under
+// concurrency, appends queue up while a leader holds the file: the next
+// leader writes the whole queue with one write and one fsync (group
+// commit), so the fsync cost amortizes across concurrent committers.
+func (w *WAL) Append(version int64, payload []byte) error {
+	req := &appendReq{version: version, payload: payload, done: make(chan error, 1)}
+	w.qmu.Lock()
+	w.queue = append(w.queue, req)
+	w.qmu.Unlock()
+
+	w.fmu.Lock()
+	// A previous leader may have flushed our request already — it signals
+	// done before releasing fmu, so the check cannot race the signal.
+	select {
+	case err := <-req.done:
+		w.fmu.Unlock()
+		return err
+	default:
+	}
+	w.qmu.Lock()
+	batch := w.queue
+	w.queue = nil
+	w.qmu.Unlock()
+	err := w.writeBatch(batch)
+	for _, r := range batch {
+		r.done <- err
+	}
+	w.fmu.Unlock()
+	return <-req.done
+}
+
+// writeBatch writes a group of records as one file write plus one fsync,
+// rotating first if the active segment is already past the threshold.
+// Caller holds fmu.
+func (w *WAL) writeBatch(batch []*appendReq) error {
+	if w.closed {
+		return ErrWALClosed
+	}
+	var n int
+	for _, r := range batch {
+		n += 8 + 8 + len(r.payload)
+	}
+	if w.size > int64(len(walMagic)) && w.size+int64(n) > w.opts.SegmentBytes {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 0, n)
+	maxVer := w.curMax
+	for _, r := range batch {
+		data := 8 + len(r.payload)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(data))
+		crcAt := len(buf)
+		buf = append(buf, 0, 0, 0, 0) // crc placeholder
+		dataAt := len(buf)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.version))
+		buf = append(buf, r.payload...)
+		binary.LittleEndian.PutUint32(buf[crcAt:], crc32.ChecksumIEEE(buf[dataAt:]))
+		if r.version > maxVer {
+			maxVer = r.version
+		}
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	if !w.opts.NoSync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.size += int64(len(buf))
+	w.curMax = maxVer
+	return nil
+}
+
+// TruncateBelow deletes every sealed segment whose records all committed
+// at or below version — they are fully covered by a checkpoint at that
+// version and can never be replayed. The active segment is first sealed
+// too if the checkpoint covers it, so a quiescent log truncates to
+// (almost) nothing. Concurrent appends are safe: they land in the active
+// segment, which is never deleted.
+func (w *WAL) TruncateBelow(version int64) error {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	if w.size > int64(len(walMagic)) && w.curMax <= version {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	// Collect survivors into a fresh slice: a failed remove keeps its
+	// segment tracked (it will be retried by the next truncation) instead
+	// of corrupting the list with a partially shifted in-place filter.
+	var firstErr error
+	kept := make([]sealedSegment, 0, len(w.sealed))
+	for _, s := range w.sealed {
+		if s.maxVer <= version {
+			err := os.Remove(s.path)
+			if err == nil || os.IsNotExist(err) {
+				continue
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		kept = append(kept, s)
+	}
+	w.sealed = kept
+	if firstErr != nil {
+		return firstErr
+	}
+	if !w.opts.NoSync {
+		return syncDir(w.dir)
+	}
+	return nil
+}
+
+// SealedSegments reports how many sealed (rotation-completed) segments the
+// log currently retains; diagnostics and tests use it to observe
+// truncation.
+func (w *WAL) SealedSegments() int {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	return len(w.sealed)
+}
+
+// Close syncs and closes the active segment. Appends after Close fail with
+// ErrWALClosed; Close must not race in-flight appends.
+func (w *WAL) Close() error {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if !w.opts.NoSync {
+		if err := w.f.Sync(); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	return w.f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creations in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

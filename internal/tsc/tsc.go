@@ -39,10 +39,11 @@ type Clock interface {
 }
 
 // Monotonic is the production Clock: Go's monotonic clock rebased to the
-// moment the Clock was created. The zero value is not usable; call
-// NewMonotonic.
+// moment the Clock was created, plus an optional fixed floor. The zero
+// value is not usable; call NewMonotonic or NewMonotonicAt.
 type Monotonic struct {
-	base time.Time
+	base  time.Time
+	floor int64
 }
 
 // NewMonotonic returns a Clock backed by the runtime monotonic clock.
@@ -50,9 +51,23 @@ func NewMonotonic() *Monotonic {
 	return &Monotonic{base: time.Now()}
 }
 
-// Read returns nanoseconds since the clock was created, plus one.
+// NewMonotonicAt returns a monotonic Clock whose every read is strictly
+// greater than floor. The durability layer uses it on recovery: versions
+// issued after a restart must stay above every version recorded before the
+// crash, so that the write-ahead log's version order and the checkpoint
+// cut remain a total order across process lifetimes. A floor <= 0 is
+// equivalent to NewMonotonic.
+func NewMonotonicAt(floor int64) *Monotonic {
+	if floor < 0 {
+		floor = 0
+	}
+	return &Monotonic{base: time.Now(), floor: floor}
+}
+
+// Read returns nanoseconds since the clock was created, plus one, plus the
+// clock's floor.
 func (m *Monotonic) Read() int64 {
-	return int64(time.Since(m.base)) + 1
+	return int64(time.Since(m.base)) + 1 + m.floor
 }
 
 // ReadAtLeast spins (nanosecond-scale at most) until the clock reaches min.

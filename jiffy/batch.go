@@ -54,6 +54,11 @@ func (b *Batch[K, V]) Add(op BatchOp[K, V]) *Batch[K, V] {
 // Len returns the number of scheduled operations.
 func (b *Batch[K, V]) Len() int { return len(b.ops) }
 
+// Ops returns the scheduled operations in the order they were added. The
+// returned slice is the batch's backing storage: read it, do not mutate
+// it. The durability layer uses it to encode batches into log records.
+func (b *Batch[K, V]) Ops() []BatchOp[K, V] { return b.ops }
+
 // Reset empties the batch, keeping its capacity for reuse.
 func (b *Batch[K, V]) Reset() *Batch[K, V] {
 	b.ops = b.ops[:0]

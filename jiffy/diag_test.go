@@ -1,0 +1,94 @@
+package jiffy
+
+import "testing"
+
+func TestMapStats(t *testing.T) {
+	m := New[uint64, int]()
+	for i := uint64(0); i < 2000; i++ {
+		m.Put(i, int(i))
+	}
+	s := m.Stats()
+	if s.Entries != 2000 {
+		t.Fatalf("Entries = %d, want 2000", s.Entries)
+	}
+	if s.Nodes <= 1 {
+		t.Fatalf("Nodes = %d: 2000 entries cannot fit one node", s.Nodes)
+	}
+	if s.MinRevisionSize < 0 || s.MaxRevisionSize < s.MinRevisionSize {
+		t.Fatalf("revision size bounds inconsistent: %d..%d", s.MinRevisionSize, s.MaxRevisionSize)
+	}
+	if s.AvgRevisionSize <= 0 || s.IndexLevels < 1 {
+		t.Fatalf("avg %f levels %d", s.AvgRevisionSize, s.IndexLevels)
+	}
+}
+
+func TestShardedStatsAggregates(t *testing.T) {
+	s := NewSharded[uint64, int](4)
+	for i := uint64(0); i < 3000; i++ {
+		s.Put(i, int(i))
+	}
+	agg := s.Stats()
+	if agg.Entries != 3000 {
+		t.Fatalf("aggregated Entries = %d, want 3000", agg.Entries)
+	}
+	// Sums across shards must cover every shard's contribution: the
+	// aggregate node count is at least the shard count (each shard has a
+	// base node) and the extrema are at least one shard's.
+	if agg.Nodes < 4 {
+		t.Fatalf("aggregated Nodes = %d with 4 shards", agg.Nodes)
+	}
+	one := s.shards[0].Stats()
+	if agg.MaxRevisionSize < one.MaxRevisionSize || agg.IndexLevels < one.IndexLevels {
+		t.Fatal("aggregate extrema below a single shard's")
+	}
+	if agg.AvgRevisionSize <= 0 {
+		t.Fatalf("AvgRevisionSize = %f", agg.AvgRevisionSize)
+	}
+}
+
+func TestSnapshotLenIsolation(t *testing.T) {
+	m := New[int, int]()
+	for i := 0; i < 100; i++ {
+		m.Put(i, i)
+	}
+	snap := m.Snapshot()
+	defer snap.Close()
+	for i := 100; i < 150; i++ {
+		m.Put(i, i)
+	}
+	if n := snap.Len(); n != 100 {
+		t.Fatalf("snapshot Len = %d, want 100", n)
+	}
+	if n := m.Len(); n != 150 {
+		t.Fatalf("map Len = %d, want 150", n)
+	}
+
+	s := NewSharded[int, int](3)
+	for i := 0; i < 100; i++ {
+		s.Put(i, i)
+	}
+	ss := s.Snapshot()
+	defer ss.Close()
+	s.Put(1000, 1)
+	if n := ss.Len(); n != 100 {
+		t.Fatalf("sharded snapshot Len = %d, want 100", n)
+	}
+}
+
+func TestClockStartFloorsVersions(t *testing.T) {
+	const floor = 1 << 40
+	m := New[int, int](Options[int]{ClockStart: floor})
+	m.Put(1, 1)
+	snap := m.Snapshot()
+	defer snap.Close()
+	if v := snap.Version(); v <= floor {
+		t.Fatalf("version %d not above ClockStart %d", v, floor)
+	}
+	s := NewSharded[int, int](2, Options[int]{ClockStart: floor})
+	s.Put(1, 1)
+	ss := s.Snapshot()
+	defer ss.Close()
+	if v := ss.Version(); v <= floor {
+		t.Fatalf("sharded version %d not above ClockStart %d", v, floor)
+	}
+}

@@ -1,0 +1,99 @@
+package durable
+
+import (
+	"cmp"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Enc encodes and decodes one type to and from bytes. Append writes v's
+// encoding onto dst (append-style, so encoders can reuse buffers); Decode
+// parses an encoding produced by Append. Decode must not retain src — the
+// durability layer reuses the buffer between calls — so reference types
+// (like byte slices) must copy.
+type Enc[T any] struct {
+	Append func(dst []byte, v T) []byte
+	Decode func(src []byte) (T, error)
+}
+
+// Codec pairs the key and value encodings of one durable map. The encoding
+// must be stable across process runs: checkpoint files and log records
+// written by one run are decoded by the next.
+type Codec[K cmp.Ordered, V any] struct {
+	Key   Enc[K]
+	Value Enc[V]
+}
+
+func (c Codec[K, V]) validate() error {
+	if c.Key.Append == nil || c.Key.Decode == nil || c.Value.Append == nil || c.Value.Decode == nil {
+		return errors.New("durable: Codec must provide Append and Decode for both key and value")
+	}
+	return nil
+}
+
+// StringEnc encodes strings as their raw bytes.
+func StringEnc() Enc[string] {
+	return Enc[string]{
+		Append: func(dst []byte, v string) []byte { return append(dst, v...) },
+		Decode: func(src []byte) (string, error) { return string(src), nil },
+	}
+}
+
+// BytesEnc encodes byte slices verbatim (Decode copies, as required).
+func BytesEnc() Enc[[]byte] {
+	return Enc[[]byte]{
+		Append: func(dst []byte, v []byte) []byte { return append(dst, v...) },
+		Decode: func(src []byte) ([]byte, error) { return append([]byte(nil), src...), nil },
+	}
+}
+
+// Uint64Enc encodes uint64 little endian, fixed 8 bytes.
+func Uint64Enc() Enc[uint64] {
+	return Enc[uint64]{
+		Append: func(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) },
+		Decode: func(src []byte) (uint64, error) {
+			if len(src) != 8 {
+				return 0, fmt.Errorf("durable: uint64 encoding is %d bytes, want 8", len(src))
+			}
+			return binary.LittleEndian.Uint64(src), nil
+		},
+	}
+}
+
+// Int64Enc encodes int64 little endian, fixed 8 bytes.
+func Int64Enc() Enc[int64] {
+	u := Uint64Enc()
+	return Enc[int64]{
+		Append: func(dst []byte, v int64) []byte { return u.Append(dst, uint64(v)) },
+		Decode: func(src []byte) (int64, error) {
+			v, err := u.Decode(src)
+			return int64(v), err
+		},
+	}
+}
+
+// Uint32Enc encodes uint32 little endian, fixed 4 bytes.
+func Uint32Enc() Enc[uint32] {
+	return Enc[uint32]{
+		Append: func(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) },
+		Decode: func(src []byte) (uint32, error) {
+			if len(src) != 4 {
+				return 0, fmt.Errorf("durable: uint32 encoding is %d bytes, want 4", len(src))
+			}
+			return binary.LittleEndian.Uint32(src), nil
+		},
+	}
+}
+
+// IntEnc encodes int as int64 (fixed 8 bytes), portable across word sizes.
+func IntEnc() Enc[int] {
+	i := Int64Enc()
+	return Enc[int]{
+		Append: func(dst []byte, v int) []byte { return i.Append(dst, int64(v)) },
+		Decode: func(src []byte) (int, error) {
+			v, err := i.Decode(src)
+			return int(v), err
+		},
+	}
+}

@@ -1,0 +1,291 @@
+// Package durable adds crash durability to jiffy's in-memory maps without
+// giving up their concurrency story. Every update is applied to the
+// in-memory index first, then appended — tagged with the version number it
+// committed at — to a segmented write-ahead log whose group commit
+// coalesces concurrent appends into one fsync. Checkpoints exploit the
+// paper's flagship capability: an O(1) snapshot (one consistent cut, even
+// across shards) is registered and streamed to a checkpoint file while
+// writers proceed at full speed, after which log segments below the
+// checkpoint version are deleted.
+//
+// Recovery inverts the pipeline: load the newest valid checkpoint, then
+// replay the log records whose version exceeds the checkpoint's cut, in
+// version order, through atomic batch updates. The invariant is
+//
+//	state(checkpoint C) ⊔ replay{records with version > C} = pre-crash state
+//
+// for every acknowledged operation: an operation acknowledged before the
+// crash is either at or below the cut (in the checkpoint) or above it (in
+// a fsynced log record). A torn final record — the append that was in
+// flight when the machine died — fails its checksum and is dropped; it was
+// never acknowledged. See DESIGN.md §5 for the file formats.
+package durable
+
+import (
+	"cmp"
+	"errors"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/persist"
+	"repro/jiffy"
+)
+
+// Options tunes a durable map. The zero value selects defaults.
+type Options[K cmp.Ordered] struct {
+	// Map configures the underlying in-memory index. ClockStart is
+	// overridden on recovery (versions must stay above everything already
+	// logged).
+	Map jiffy.Options[K]
+
+	// SegmentBytes is the log's rotation threshold (default 4 MiB).
+	SegmentBytes int64
+
+	// NoSync skips every fsync in the log and checkpoint paths:
+	// acknowledged operations survive process crashes (the OS holds the
+	// writes) but not machine crashes. Benchmarks use it to separate
+	// logging cost from media cost.
+	NoSync bool
+}
+
+// ErrClosed is returned by updates on a closed durable map.
+var ErrClosed = errors.New("durable: map is closed")
+
+// replayBatchSize bounds the batch size used to bulk-load checkpoints and
+// replay log tails.
+const replayBatchSize = 1024
+
+// Map is a durable jiffy.Map: the same linearizable in-memory index, plus
+// a write-ahead log and snapshot-consistent checkpoints. Reads and scans
+// are exactly as fast as the in-memory map's; updates return once their
+// log record is durable. All methods are safe for concurrent use.
+type Map[K cmp.Ordered, V any] struct {
+	m     *jiffy.Map[K, V]
+	wal   *persist.WAL
+	codec Codec[K, V]
+	dir   string
+	opts  Options[K]
+
+	ckptMu sync.Mutex // one checkpoint at a time
+}
+
+// Open opens (creating if needed) the durable map stored in dir,
+// recovering its pre-crash state: the newest valid checkpoint is loaded
+// and the log tail above its version is replayed through atomic batch
+// updates, in commit-version order.
+func Open[K cmp.Ordered, V any](dir string, codec Codec[K, V], opts ...Options[K]) (*Map[K, V], error) {
+	var o Options[K]
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if err := codec.validate(); err != nil {
+		return nil, err
+	}
+	ckVer, ckPath, err := persist.LatestCheckpoint(dir)
+	if errors.Is(err, persist.ErrNoCheckpoint) {
+		ckVer, ckPath = 0, ""
+	} else if err != nil {
+		return nil, err
+	}
+	// No checkpoint can be in flight at open: clear any temp file a
+	// crash mid-checkpoint left behind.
+	if err := persist.RemoveStaleCheckpointTemps(dir); err != nil {
+		return nil, err
+	}
+	wal, recs, err := persist.OpenWAL(filepath.Join(dir, "wal"), persist.WALOptions{
+		SegmentBytes: o.SegmentBytes,
+		NoSync:       o.NoSync,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Versions issued after recovery must exceed every version recorded
+	// before the crash, so the log stays totally ordered across restarts.
+	floor := ckVer
+	for _, r := range recs {
+		if r.Version > floor {
+			floor = r.Version
+		}
+	}
+	mo := o.Map
+	mo.ClockStart = floor
+	m := jiffy.New[K, V](mo)
+
+	if ckPath != "" {
+		if err := loadCheckpoint(ckPath, codec, m.BatchUpdate); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
+	if err := replayRecords(recs, ckVer, codec, m.BatchUpdate); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	return &Map[K, V]{m: m, wal: wal, codec: codec, dir: dir, opts: o}, nil
+}
+
+// loadCheckpoint bulk-loads a (pre-validated) checkpoint through apply.
+func loadCheckpoint[K cmp.Ordered, V any](path string, codec Codec[K, V], apply func(*jiffy.Batch[K, V])) error {
+	b := jiffy.NewBatch[K, V](replayBatchSize)
+	_, err := persist.ReadCheckpoint(path, func(k, v []byte) error {
+		key, err := codec.Key.Decode(k)
+		if err != nil {
+			return err
+		}
+		val, err := codec.Value.Decode(v)
+		if err != nil {
+			return err
+		}
+		b.Put(key, val)
+		if b.Len() >= replayBatchSize {
+			apply(b)
+			b.Reset()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if b.Len() > 0 {
+		apply(b)
+	}
+	return nil
+}
+
+// replayRecords applies the log tail above ckVer in commit-version order.
+// Records are chunked into batch updates, flushing only at record
+// boundaries so a record — one atomic pre-crash unit — is never split.
+func replayRecords[K cmp.Ordered, V any](recs []persist.Record, ckVer int64, codec Codec[K, V], apply func(*jiffy.Batch[K, V])) error {
+	tail := make([]persist.Record, 0, len(recs))
+	for _, r := range recs {
+		if r.Version > ckVer {
+			tail = append(tail, r)
+		}
+	}
+	// Log order within a file tracks acknowledgement order, not commit
+	// order — group commit writes concurrent operations in queue order —
+	// so replay sorts by the recorded commit version. The stable sort
+	// keeps log order for equal versions.
+	sort.SliceStable(tail, func(i, j int) bool { return tail[i].Version < tail[j].Version })
+	b := jiffy.NewBatch[K, V](replayBatchSize)
+	for _, r := range tail {
+		if err := decodeOps(r.Payload, codec, b); err != nil {
+			return err
+		}
+		if b.Len() >= replayBatchSize {
+			apply(b)
+			b.Reset()
+		}
+	}
+	if b.Len() > 0 {
+		apply(b)
+	}
+	return nil
+}
+
+// Get returns the most recent value stored for key.
+func (d *Map[K, V]) Get(key K) (V, bool) { return d.m.Get(key) }
+
+// Len counts the entries visible in an ephemeral snapshot (O(n)).
+func (d *Map[K, V]) Len() int { return d.m.Len() }
+
+// Snapshot registers and returns a consistent snapshot of the in-memory
+// state (which includes operations not yet acknowledged durable).
+func (d *Map[K, V]) Snapshot() *jiffy.Snapshot[K, V] { return d.m.Snapshot() }
+
+// Range calls fn for every entry with lo <= key < hi, ascending, on an
+// ephemeral snapshot, until fn returns false.
+func (d *Map[K, V]) Range(lo, hi K, fn func(key K, val V) bool) { d.m.Range(lo, hi, fn) }
+
+// RangeFrom calls fn for every entry with key >= lo, ascending, on an
+// ephemeral snapshot, until fn returns false.
+func (d *Map[K, V]) RangeFrom(lo K, fn func(key K, val V) bool) { d.m.RangeFrom(lo, fn) }
+
+// All calls fn for every entry, ascending, on an ephemeral snapshot, until
+// fn returns false.
+func (d *Map[K, V]) All(fn func(key K, val V) bool) { d.m.All(fn) }
+
+// Stats reports the structural diagnostics of the underlying index.
+func (d *Map[K, V]) Stats() jiffy.Stats { return d.m.Stats() }
+
+// Put sets the value for key and returns once the update is durable. The
+// update is visible to concurrent readers as soon as it commits in memory,
+// before it is durable; Put returning bounds the durability point.
+func (d *Map[K, V]) Put(key K, val V) error {
+	ver := d.m.PutVersioned(key, val)
+	return d.wal.Append(ver, appendOps(nil, []jiffy.BatchOp[K, V]{{Key: key, Val: val}}, d.codec))
+}
+
+// Remove deletes key, reporting whether it was present, and returns once
+// the remove is durable. Removing an absent key changes nothing and writes
+// no log record.
+func (d *Map[K, V]) Remove(key K) (bool, error) {
+	ver, ok := d.m.RemoveVersioned(key)
+	if !ok {
+		return false, nil
+	}
+	err := d.wal.Append(ver, appendOps(nil, []jiffy.BatchOp[K, V]{{Key: key, Remove: true}}, d.codec))
+	return true, err
+}
+
+// BatchUpdate applies every operation in b in one atomic, linearizable
+// step and returns once the batch is durable. The batch occupies one log
+// record, so recovery replays it all-or-nothing: atomicity survives the
+// crash.
+func (d *Map[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error {
+	ver := d.m.BatchUpdateVersioned(b)
+	if ver == 0 {
+		return nil // empty batch: no update, nothing to log
+	}
+	return d.wal.Append(ver, appendOps(nil, b.Ops(), d.codec))
+}
+
+// Checkpoint writes a snapshot-consistent checkpoint and truncates the log
+// below its version, returning the checkpoint's cut version. Writers are
+// never blocked: the snapshot is O(1) to take and pins the cut's history
+// while concurrent updates proceed on newer revisions; their log records
+// carry versions above the cut, so nothing the checkpoint misses is
+// truncated. One checkpoint runs at a time (concurrent calls serialize).
+func (d *Map[K, V]) Checkpoint() (int64, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	snap := d.m.Snapshot()
+	defer snap.Close()
+	ver := snap.Version()
+	w, err := persist.CreateCheckpoint(d.dir, ver, d.opts.NoSync)
+	if err != nil {
+		return 0, err
+	}
+	var kbuf, vbuf []byte
+	var werr error
+	snap.All(func(k K, v V) bool {
+		kbuf = d.codec.Key.Append(kbuf[:0], k)
+		vbuf = d.codec.Value.Append(vbuf[:0], v)
+		werr = w.Add(kbuf, vbuf)
+		return werr == nil
+	})
+	if werr != nil {
+		w.Abort()
+		return 0, werr
+	}
+	if err := w.Commit(); err != nil {
+		return 0, err
+	}
+	if err := persist.DropCheckpointsBelow(d.dir, ver); err != nil {
+		return ver, err
+	}
+	return ver, d.wal.TruncateBelow(ver)
+}
+
+// Close syncs and closes the log. Updates after Close fail; in-flight
+// updates must have returned. Reads remain valid (the in-memory index
+// survives) but the map should be discarded.
+func (d *Map[K, V]) Close() error { return d.wal.Close() }
+
+// Map and Sharded keep the full read surface of the views they wrap.
+var (
+	_ jiffy.View[int, int] = (*Map[int, int])(nil)
+	_ jiffy.View[int, int] = (*Sharded[int, int])(nil)
+)

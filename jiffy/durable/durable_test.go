@@ -1,0 +1,311 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/jiffy"
+)
+
+func u64Codec() Codec[uint64, uint64] {
+	return Codec[uint64, uint64]{Key: Uint64Enc(), Value: Uint64Enc()}
+}
+
+func strCodec() Codec[string, string] {
+	return Codec[string, string]{Key: StringEnc(), Value: StringEnc()}
+}
+
+// testOpts keeps unit tests fast: small segments force rotation, NoSync
+// skips media flushes (the crash tests operate on the written files, which
+// OS-level writes already make visible).
+func testOpts() Options[uint64] {
+	return Options[uint64]{SegmentBytes: 1 << 12, NoSync: true}
+}
+
+func TestMapRecoverFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	oracle := map[uint64]uint64{}
+	for i := uint64(0); i < 500; i++ {
+		k := i % 97
+		if i%7 == 3 {
+			if _, err := d.Remove(k); err != nil {
+				t.Fatalf("Remove: %v", err)
+			}
+			delete(oracle, k)
+			continue
+		}
+		if err := d.Put(k, i); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		oracle[k] = i
+	}
+	b := jiffy.NewBatch[uint64, uint64](3).Put(1000, 1).Put(2000, 2).Remove(1)
+	if err := d.BatchUpdate(b); err != nil {
+		t.Fatalf("BatchUpdate: %v", err)
+	}
+	oracle[1000], oracle[2000] = 1, 2
+	delete(oracle, 1)
+	d.Close()
+
+	r, err := Open(dir, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	checkOracle(t, r.All, r.Len(), oracle)
+}
+
+func TestMapCheckpointAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	oracle := map[uint64]uint64{}
+	for i := uint64(0); i < 300; i++ {
+		d.Put(i, i*10)
+		oracle[i] = i * 10
+	}
+	ver, err := d.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if ver <= 0 {
+		t.Fatalf("checkpoint version = %d", ver)
+	}
+	if n := d.wal.SealedSegments(); n != 0 {
+		t.Fatalf("checkpoint left %d sealed segments", n)
+	}
+	// Tail after the checkpoint, including removes of checkpointed keys.
+	for i := uint64(0); i < 100; i++ {
+		d.Put(i+1000, i)
+		oracle[i+1000] = i
+	}
+	for i := uint64(0); i < 50; i++ {
+		d.Remove(i * 2)
+		delete(oracle, i*2)
+	}
+	d.Close()
+
+	r, err := Open(dir, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	checkOracle(t, r.All, r.Len(), oracle)
+
+	// A second checkpoint after recovery must supersede the first.
+	ver2, err := r.Checkpoint()
+	if err != nil {
+		t.Fatalf("post-recovery Checkpoint: %v", err)
+	}
+	if ver2 <= ver {
+		t.Fatalf("post-recovery checkpoint version %d <= pre-crash %d", ver2, ver)
+	}
+}
+
+func TestMapTornFinalRecordTolerated(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	oracle := map[uint64]uint64{}
+	for i := uint64(0); i < 64; i++ {
+		d.Put(i, i)
+		oracle[i] = i
+	}
+	d.Close()
+
+	// Simulate a crash mid-append: a partial record (plausible length
+	// prefix, missing body) at the end of the newest segment.
+	appendGarbage(t, filepath.Join(dir, "wal"))
+
+	r, err := Open(dir, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer r.Close()
+	checkOracle(t, r.All, r.Len(), oracle)
+}
+
+// appendGarbage writes a partial record to the newest WAL segment in dir.
+func appendGarbage(t *testing.T, walDir string) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(walDir, "wal-*.log"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments in %s: %v", walDir, err)
+	}
+	newest := names[len(names)-1]
+	f, err := os.OpenFile(newest, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Length says 64 bytes, but only 5 arrive before the "crash".
+	if _, err := f.Write([]byte{64, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func TestVersionsMonotonicAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := d.m.PutVersioned(1, 1)
+	d.Put(2, 2)
+	d.Close()
+
+	r, err := Open(dir, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	v2 := r.m.PutVersioned(3, 3)
+	if v2 <= v1 {
+		t.Fatalf("post-restart version %d <= pre-restart %d: clock not rebased", v2, v1)
+	}
+}
+
+func TestShardedRecoverAcrossShardCounts(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenSharded(dir, 4, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	oracle := map[uint64]uint64{}
+	for i := uint64(0); i < 400; i++ {
+		d.Put(i, i+1)
+		oracle[i] = i + 1
+	}
+	// Cross-shard batch: one log record, atomic across the crash.
+	b := jiffy.NewBatch[uint64, uint64](8)
+	for i := uint64(0); i < 8; i++ {
+		b.Put(i*1000+500, 42)
+		oracle[i*1000+500] = 42
+	}
+	if err := d.BatchUpdate(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		d.Remove(i * 3)
+		delete(oracle, i*3)
+	}
+	d.Close()
+
+	// Recover with a different shard count: keys re-route by hash.
+	r, err := OpenSharded(dir, 2, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatalf("reopen with 2 shards: %v", err)
+	}
+	checkOracle(t, r.All, r.Len(), oracle)
+	r.Close()
+
+	// And back to a larger count, reading the leftover shard dirs.
+	r2, err := OpenSharded(dir, 6, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatalf("reopen with 6 shards: %v", err)
+	}
+	defer r2.Close()
+	checkOracle(t, r2.All, r2.Len(), oracle)
+}
+
+func TestStringCodecRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, strCodec(), Options[string]{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("alpha", "a")
+	d.Put("", "empty key is legal")
+	d.Put("beta", "b")
+	d.Remove("alpha")
+	d.Close()
+
+	r, err := Open(dir, strCodec(), Options[string]{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if v, ok := r.Get(""); !ok || v != "empty key is legal" {
+		t.Fatalf("empty key: %q %v", v, ok)
+	}
+	if _, ok := r.Get("alpha"); ok {
+		t.Fatal("removed key resurrected")
+	}
+	if v, ok := r.Get("beta"); !ok || v != "b" {
+		t.Fatalf("beta: %q %v", v, ok)
+	}
+}
+
+func TestOpenRejectsBadCodec(t *testing.T) {
+	if _, err := Open(t.TempDir(), Codec[uint64, uint64]{}); err == nil {
+		t.Fatal("Open accepted a nil codec")
+	}
+}
+
+func TestEmptyBatchLogsNothing(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.BatchUpdate(jiffy.NewBatch[uint64, uint64](0)); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if ok, err := d.Remove(12345); ok || err != nil {
+		t.Fatalf("absent remove: %v %v", ok, err)
+	}
+}
+
+// checkOracle compares a recovered view against the expected contents.
+func checkOracle(t *testing.T, all func(func(uint64, uint64) bool), gotLen int, oracle map[uint64]uint64) {
+	t.Helper()
+	if gotLen != len(oracle) {
+		t.Fatalf("recovered %d entries, want %d", gotLen, len(oracle))
+	}
+	all(func(k, v uint64) bool {
+		want, ok := oracle[k]
+		if !ok {
+			t.Fatalf("recovered unexpected key %d=%d", k, v)
+		}
+		if v != want {
+			t.Fatalf("recovered %d=%d, want %d", k, v, want)
+		}
+		return true
+	})
+}
+
+func TestMapLenAndSnapshotLen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := uint64(0); i < 25; i++ {
+		d.Put(i, i)
+	}
+	snap := d.Snapshot()
+	defer snap.Close()
+	d.Put(100, 100)
+	if n := snap.Len(); n != 25 {
+		t.Fatalf("snapshot Len = %d, want 25 (snapshot must exclude later put)", n)
+	}
+	if n := d.Len(); n != 26 {
+		t.Fatalf("map Len = %d, want 26", n)
+	}
+	_ = fmt.Sprint(d.Stats()) // exercised: delegation compiles and runs
+}

@@ -1,0 +1,95 @@
+package durable
+
+import (
+	"cmp"
+	"encoding/binary"
+	"fmt"
+
+	"repro/jiffy"
+)
+
+// Log-record payload encoding. A record's version lives in the WAL framing
+// (internal/persist); the payload is the operation list:
+//
+//	uvarint nops | op*
+//	op: u8 kind (0 put, 1 remove) | uvarint klen | key | put: uvarint vlen | val
+//
+// One record holds one atomic unit — a single put or remove, or one whole
+// batch — so a record is either fully replayed or (torn tail) fully absent,
+// preserving batch atomicity across crashes.
+const (
+	opPut    = 0
+	opRemove = 1
+)
+
+// appendOps encodes ops onto dst using c.
+func appendOps[K cmp.Ordered, V any](dst []byte, ops []jiffy.BatchOp[K, V], c Codec[K, V]) []byte {
+	var kbuf, vbuf []byte
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	for _, op := range ops {
+		kbuf = c.Key.Append(kbuf[:0], op.Key)
+		if op.Remove {
+			dst = append(dst, opRemove)
+			dst = binary.AppendUvarint(dst, uint64(len(kbuf)))
+			dst = append(dst, kbuf...)
+			continue
+		}
+		vbuf = c.Value.Append(vbuf[:0], op.Val)
+		dst = append(dst, opPut)
+		dst = binary.AppendUvarint(dst, uint64(len(kbuf)))
+		dst = append(dst, kbuf...)
+		dst = binary.AppendUvarint(dst, uint64(len(vbuf)))
+		dst = append(dst, vbuf...)
+	}
+	return dst
+}
+
+// decodeOps parses a record payload, appending each operation to b.
+func decodeOps[K cmp.Ordered, V any](payload []byte, c Codec[K, V], b *jiffy.Batch[K, V]) error {
+	nops, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return fmt.Errorf("durable: record payload missing op count")
+	}
+	p := payload[n:]
+	take := func() ([]byte, error) {
+		l, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p)-n) < l {
+			return nil, fmt.Errorf("durable: record payload truncated")
+		}
+		b := p[n : n+int(l)]
+		p = p[n+int(l):]
+		return b, nil
+	}
+	for i := uint64(0); i < nops; i++ {
+		if len(p) < 1 {
+			return fmt.Errorf("durable: record payload truncated")
+		}
+		kind := p[0]
+		p = p[1:]
+		kb, err := take()
+		if err != nil {
+			return err
+		}
+		key, err := c.Key.Decode(kb)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case opRemove:
+			b.Remove(key)
+		case opPut:
+			vb, err := take()
+			if err != nil {
+				return err
+			}
+			val, err := c.Value.Decode(vb)
+			if err != nil {
+				return err
+			}
+			b.Put(key, val)
+		default:
+			return fmt.Errorf("durable: unknown op kind %#x", kind)
+		}
+	}
+	return nil
+}

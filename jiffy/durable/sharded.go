@@ -1,0 +1,238 @@
+package durable
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/persist"
+	"repro/jiffy"
+)
+
+// Sharded is a durable jiffy.Sharded: the hash-partitioned multi-core
+// frontend, plus one write-ahead log per shard and checkpoints cut on one
+// cross-shard snapshot. Updates log to their shard's WAL, so group commit
+// contention scales with shards like the in-memory work does; a
+// cross-shard batch occupies a single record in one shard's log (the
+// lowest involved shard's), so its atomicity survives a crash without any
+// cross-log commit protocol. Recovery merges every shard's records, sorts
+// by commit version — all shards share one clock, so versions form one
+// total order — and replays through the frontend, which re-routes each key
+// to its shard.
+type Sharded[K cmp.Ordered, V any] struct {
+	s     *jiffy.Sharded[K, V]
+	wals  []*persist.WAL // index i: shard i's log; extras beyond NumShards are drained legacy dirs
+	codec Codec[K, V]
+	dir   string
+	opts  Options[K]
+
+	ckptMu sync.Mutex
+}
+
+func shardWALDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%03d", i))
+}
+
+// OpenSharded opens (creating if needed) the durable sharded map stored in
+// dir with the given shard count, recovering its pre-crash state exactly
+// like Open. The shard count may differ from the one the store was written
+// with: records and checkpoint entries are re-routed by key on recovery
+// (logs from extra old shard directories are still read, and drained by
+// the next checkpoint).
+func OpenSharded[K cmp.Ordered, V any](dir string, shards int, codec Codec[K, V], opts ...Options[K]) (*Sharded[K, V], error) {
+	if shards < 1 {
+		shards = 1
+	}
+	var o Options[K]
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if err := codec.validate(); err != nil {
+		return nil, err
+	}
+	ckVer, ckPath, err := persist.LatestCheckpoint(dir)
+	if errors.Is(err, persist.ErrNoCheckpoint) {
+		ckVer, ckPath = 0, ""
+	} else if err != nil {
+		return nil, err
+	}
+	// No checkpoint can be in flight at open: clear any temp file a
+	// crash mid-checkpoint left behind.
+	if err := persist.RemoveStaleCheckpointTemps(dir); err != nil {
+		return nil, err
+	}
+
+	// Open the WAL of every current shard plus any leftover shard
+	// directory from a previous (larger) shard count, so no records are
+	// orphaned by a resize.
+	nWALs := shards
+	if existing, err := filepath.Glob(filepath.Join(dir, "wal-*")); err == nil {
+		for _, p := range existing {
+			var i int
+			if _, err := fmt.Sscanf(filepath.Base(p), "wal-%d", &i); err == nil && i >= nWALs {
+				nWALs = i + 1
+			}
+		}
+	}
+	wopts := persist.WALOptions{SegmentBytes: o.SegmentBytes, NoSync: o.NoSync}
+	wals := make([]*persist.WAL, nWALs)
+	var recs []persist.Record
+	closeAll := func() {
+		for _, w := range wals {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}
+	for i := range wals {
+		w, rs, err := persist.OpenWAL(shardWALDir(dir, i), wopts)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		wals[i] = w
+		recs = append(recs, rs...)
+	}
+
+	floor := ckVer
+	for _, r := range recs {
+		if r.Version > floor {
+			floor = r.Version
+		}
+	}
+	so := o.Map
+	so.ClockStart = floor
+	s := jiffy.NewSharded[K, V](shards, so)
+
+	if ckPath != "" {
+		if err := loadCheckpoint(ckPath, codec, s.BatchUpdate); err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	if err := replayRecords(recs, ckVer, codec, s.BatchUpdate); err != nil {
+		closeAll()
+		return nil, err
+	}
+	return &Sharded[K, V]{s: s, wals: wals, codec: codec, dir: dir, opts: o}, nil
+}
+
+// NumShards returns the number of shards.
+func (d *Sharded[K, V]) NumShards() int { return d.s.NumShards() }
+
+// Get returns the most recent value stored for key.
+func (d *Sharded[K, V]) Get(key K) (V, bool) { return d.s.Get(key) }
+
+// Len counts the entries visible in an ephemeral snapshot (O(n)).
+func (d *Sharded[K, V]) Len() int { return d.s.Len() }
+
+// Snapshot registers and returns a consistent cross-shard snapshot of the
+// in-memory state.
+func (d *Sharded[K, V]) Snapshot() *jiffy.ShardedSnapshot[K, V] { return d.s.Snapshot() }
+
+// Range calls fn for every entry with lo <= key < hi, in globally
+// ascending key order, on an ephemeral snapshot, until fn returns false.
+func (d *Sharded[K, V]) Range(lo, hi K, fn func(key K, val V) bool) { d.s.Range(lo, hi, fn) }
+
+// RangeFrom calls fn for every entry with key >= lo, ascending, on an
+// ephemeral snapshot, until fn returns false.
+func (d *Sharded[K, V]) RangeFrom(lo K, fn func(key K, val V) bool) { d.s.RangeFrom(lo, fn) }
+
+// All calls fn for every entry, ascending, on an ephemeral snapshot, until
+// fn returns false.
+func (d *Sharded[K, V]) All(fn func(key K, val V) bool) { d.s.All(fn) }
+
+// Stats reports aggregated structural diagnostics across all shards.
+func (d *Sharded[K, V]) Stats() jiffy.Stats { return d.s.Stats() }
+
+// Put sets the value for key and returns once the update is durable in the
+// owning shard's log.
+func (d *Sharded[K, V]) Put(key K, val V) error {
+	ver := d.s.PutVersioned(key, val)
+	return d.wals[d.s.ShardOf(key)].Append(ver, appendOps(nil, []jiffy.BatchOp[K, V]{{Key: key, Val: val}}, d.codec))
+}
+
+// Remove deletes key, reporting whether it was present, and returns once
+// the remove is durable. Removing an absent key writes no log record.
+func (d *Sharded[K, V]) Remove(key K) (bool, error) {
+	ver, ok := d.s.RemoveVersioned(key)
+	if !ok {
+		return false, nil
+	}
+	err := d.wals[d.s.ShardOf(key)].Append(ver, appendOps(nil, []jiffy.BatchOp[K, V]{{Key: key, Remove: true}}, d.codec))
+	return true, err
+}
+
+// BatchUpdate applies every operation in b in one atomic step — even
+// across shards — and returns once the batch is durable. The whole batch
+// is one record in one log (the lowest involved shard's), so recovery
+// replays it all-or-nothing; there is no window where a crash splits a
+// cross-shard batch.
+func (d *Sharded[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error {
+	ver := d.s.BatchUpdateVersioned(b)
+	if ver == 0 {
+		return nil
+	}
+	ops := b.Ops()
+	wi := d.s.ShardOf(ops[0].Key)
+	for _, op := range ops[1:] {
+		if i := d.s.ShardOf(op.Key); i < wi {
+			wi = i
+		}
+	}
+	return d.wals[wi].Append(ver, appendOps(nil, ops, d.codec))
+}
+
+// Checkpoint writes one checkpoint spanning every shard — cut on a single
+// cross-shard snapshot version, so a cross-shard batch is either entirely
+// inside or entirely outside it — and truncates every shard's log below
+// the cut. Writers on all shards proceed while the checkpoint streams.
+func (d *Sharded[K, V]) Checkpoint() (int64, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	snap := d.s.Snapshot()
+	defer snap.Close()
+	ver := snap.Version()
+	w, err := persist.CreateCheckpoint(d.dir, ver, d.opts.NoSync)
+	if err != nil {
+		return 0, err
+	}
+	var kbuf, vbuf []byte
+	var werr error
+	snap.All(func(k K, v V) bool {
+		kbuf = d.codec.Key.Append(kbuf[:0], k)
+		vbuf = d.codec.Value.Append(vbuf[:0], v)
+		werr = w.Add(kbuf, vbuf)
+		return werr == nil
+	})
+	if werr != nil {
+		w.Abort()
+		return 0, werr
+	}
+	if err := w.Commit(); err != nil {
+		return 0, err
+	}
+	if err := persist.DropCheckpointsBelow(d.dir, ver); err != nil {
+		return ver, err
+	}
+	var firstErr error
+	for _, wal := range d.wals {
+		if err := wal.TruncateBelow(ver); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return ver, firstErr
+}
+
+// Close syncs and closes every shard's log.
+func (d *Sharded[K, V]) Close() error {
+	var firstErr error
+	for _, w := range d.wals {
+		if err := w.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -21,6 +21,7 @@ import (
 	"cmp"
 
 	"repro/internal/core"
+	"repro/internal/tsc"
 )
 
 // Map is a Jiffy ordered key-value map. It supports point reads and
@@ -52,17 +53,28 @@ type Options[K cmp.Ordered] struct {
 	// DisableHashIndex turns off the per-revision hash index so point
 	// lookups fall back to binary search.
 	DisableHashIndex bool
+
+	// ClockStart, when > 0, rebases the map's version clock so that every
+	// version it issues is strictly greater than ClockStart. The
+	// durability layer (jiffy/durable) sets it on recovery so versions
+	// stay monotonic across restarts — replayed history and new updates
+	// must share one total order. Most callers leave it zero.
+	ClockStart int64
 }
 
 // coreOptions converts the public options into internal/core's options.
 func (o Options[K]) coreOptions() core.Options[K] {
-	return core.Options[K]{
+	co := core.Options[K]{
 		Hash:              o.Hash,
 		MinRevisionSize:   o.MinRevisionSize,
 		MaxRevisionSize:   o.MaxRevisionSize,
 		FixedRevisionSize: o.FixedRevisionSize,
 		DisableHashIndex:  o.DisableHashIndex,
 	}
+	if o.ClockStart > 0 {
+		co.Clock = tsc.NewMonotonicAt(o.ClockStart)
+	}
+	return co
 }
 
 // New returns an empty Map. Pass no argument for the paper's defaults.
@@ -82,8 +94,19 @@ func (m *Map[K, V]) Get(key K) (V, bool) { return m.m.Get(key) }
 // Put sets the value for key, overwriting any previous value.
 func (m *Map[K, V]) Put(key K, val V) { m.m.Put(key, val) }
 
+// PutVersioned is Put, but additionally reports the version number the
+// update committed at: every snapshot with Version() >= the returned value
+// observes the update, every older snapshot does not. The durability layer
+// uses it to tag write-ahead-log records.
+func (m *Map[K, V]) PutVersioned(key K, val V) int64 { return m.m.PutVersioned(key, val) }
+
 // Remove deletes key and reports whether it was present.
 func (m *Map[K, V]) Remove(key K) bool { return m.m.Remove(key) }
+
+// RemoveVersioned is Remove, but additionally reports the version number
+// the remove committed at (see PutVersioned). Removing an absent key
+// performs no update and reports version zero.
+func (m *Map[K, V]) RemoveVersioned(key K) (int64, bool) { return m.m.RemoveVersioned(key) }
 
 // Len counts the entries visible in an ephemeral snapshot. It is O(n) and
 // intended for tests and diagnostics, not hot paths.
@@ -95,6 +118,14 @@ func (m *Map[K, V]) Len() int { return m.m.Len() }
 // last operation wins. The batch may be reused afterwards.
 func (m *Map[K, V]) BatchUpdate(b *Batch[K, V]) {
 	m.m.BatchUpdate(b.core())
+}
+
+// BatchUpdateVersioned is BatchUpdate, but additionally reports the version
+// number the batch committed at — its single linearization point (see
+// PutVersioned). An empty batch performs no update and reports version
+// zero.
+func (m *Map[K, V]) BatchUpdateVersioned(b *Batch[K, V]) int64 {
+	return m.m.BatchUpdateVersioned(b.core())
 }
 
 // Snapshot registers and returns a consistent read-only view of the map as

@@ -51,7 +51,9 @@ func NewSharded[K cmp.Ordered, V any](shards int, opts ...Options[K]) *Sharded[K
 		o = opts[0]
 	}
 	co := o.coreOptions()
-	co.Clock = tsc.NewMonotonic() // one clock shared by every shard
+	// One clock shared by every shard (rebased above ClockStart when the
+	// durability layer recovers an existing store).
+	co.Clock = tsc.NewMonotonicAt(o.ClockStart)
 	s := &Sharded[K, V]{
 		shards: make([]*core.Map[K, V], shards),
 		hash:   shardHash[K](),
@@ -64,6 +66,12 @@ func NewSharded[K cmp.Ordered, V any](shards int, opts ...Options[K]) *Sharded[K
 
 // NumShards returns the number of shards.
 func (s *Sharded[K, V]) NumShards() int { return len(s.shards) }
+
+// ShardOf reports the shard index key routes to: deterministic for a given
+// key type and shard count, in [0, NumShards()). Diagnostics and the
+// durability layer (which keeps one write-ahead log per shard) use it;
+// ordinary operations route automatically.
+func (s *Sharded[K, V]) ShardOf(key K) int { return s.shardOf(key) }
 
 // shardOf routes key to its shard index.
 func (s *Sharded[K, V]) shardOf(key K) int {
@@ -80,9 +88,21 @@ func (s *Sharded[K, V]) Put(key K, val V) {
 	s.shards[s.shardOf(key)].Put(key, val)
 }
 
+// PutVersioned is Put, but additionally reports the version number the
+// update committed at on the shared clock (see Map.PutVersioned).
+func (s *Sharded[K, V]) PutVersioned(key K, val V) int64 {
+	return s.shards[s.shardOf(key)].PutVersioned(key, val)
+}
+
 // Remove deletes key and reports whether it was present.
 func (s *Sharded[K, V]) Remove(key K) bool {
 	return s.shards[s.shardOf(key)].Remove(key)
+}
+
+// RemoveVersioned is Remove, but additionally reports the version number
+// the remove committed at on the shared clock (zero when key was absent).
+func (s *Sharded[K, V]) RemoveVersioned(key K) (int64, bool) {
+	return s.shards[s.shardOf(key)].RemoveVersioned(key)
 }
 
 // Len counts the entries visible in an ephemeral snapshot. O(n); intended
@@ -105,12 +125,19 @@ func (s *Sharded[K, V]) Len() int {
 // path; cross-shard batches run the two-phase visible/commit protocol of
 // core.MultiBatchUpdate over the involved shards only.
 func (s *Sharded[K, V]) BatchUpdate(b *Batch[K, V]) {
+	s.BatchUpdateVersioned(b)
+}
+
+// BatchUpdateVersioned is BatchUpdate, but additionally reports the version
+// number the whole (possibly cross-shard) batch committed at — its single
+// linearization point on the shared clock. An empty batch performs no
+// update and reports version zero.
+func (s *Sharded[K, V]) BatchUpdateVersioned(b *Batch[K, V]) int64 {
 	if len(b.ops) == 0 {
-		return
+		return 0
 	}
 	if len(s.shards) == 1 {
-		s.shards[0].BatchUpdate(b.core())
-		return
+		return s.shards[0].BatchUpdateVersioned(b.core())
 	}
 	// Partition by shard, preserving op order so last-wins semantics
 	// survive (equal keys always route to the same shard). Routing is
@@ -141,7 +168,7 @@ func (s *Sharded[K, V]) BatchUpdate(b *Batch[K, V]) {
 			parts = append(parts, core.MapBatch[K, V]{Map: s.shards[i], Batch: sub})
 		}
 	}
-	core.MultiBatchUpdate(parts...)
+	return core.MultiBatchUpdateVersioned(parts...)
 }
 
 // Snapshot registers and returns a consistent snapshot spanning every

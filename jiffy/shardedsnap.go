@@ -44,6 +44,15 @@ func (ss *ShardedSnapshot[K, V]) All(fn func(key K, val V) bool) {
 	ss.merge(nil, nil, fn)
 }
 
+// Len counts the entries in the snapshot across every shard. It is O(n) —
+// a full merged scan at the snapshot's cut — and intended for tests and
+// diagnostics.
+func (ss *ShardedSnapshot[K, V]) Len() int {
+	n := 0
+	ss.All(func(K, V) bool { n++; return true })
+	return n
+}
+
 // Refresh advances the snapshot to a fresh cut of the shared clock,
 // releasing the history pinned by the old one (core.MultiRefresh: every
 // per-shard entry is re-pinned before the new cut is read, so no shard's

@@ -7,9 +7,9 @@ import (
 )
 
 // View is the read surface shared by live maps and snapshots of both
-// frontends: Map, Sharded, Snapshot and ShardedSnapshot all satisfy the
-// scan portion of it, and the two snapshot types satisfy it fully. Code
-// that only reads can accept a View and work against any of them.
+// frontends: Map, Sharded, Snapshot and ShardedSnapshot all satisfy it
+// (asserted at compile time below). Code that only reads can accept a
+// View and work against any of them.
 type View[K cmp.Ordered, V any] interface {
 	// Get returns the value stored for key in this view.
 	Get(key K) (V, bool)
@@ -22,6 +22,14 @@ type View[K cmp.Ordered, V any] interface {
 	// All visits every entry, ascending, until fn returns false.
 	All(fn func(key K, val V) bool)
 }
+
+// All four view types promised by the View doc satisfy it.
+var (
+	_ View[int, int] = (*Map[int, int])(nil)
+	_ View[int, int] = (*Sharded[int, int])(nil)
+	_ View[int, int] = (*Snapshot[int, int])(nil)
+	_ View[int, int] = (*ShardedSnapshot[int, int])(nil)
+)
 
 // Snapshot is a consistent read-only view of a Map frozen at the moment it
 // was taken. Creating one is O(1) and never blocks or slows down updates;
@@ -50,6 +58,14 @@ func (s *Snapshot[K, V]) RangeFrom(lo K, fn func(key K, val V) bool) { s.s.Range
 // All calls fn for every entry in the snapshot, ascending, until fn
 // returns false.
 func (s *Snapshot[K, V]) All(fn func(key K, val V) bool) { s.s.All(fn) }
+
+// Len counts the entries in the snapshot. It is O(n) — a full scan at the
+// snapshot's version — and intended for tests and diagnostics.
+func (s *Snapshot[K, V]) Len() int {
+	n := 0
+	s.All(func(K, V) bool { n++; return true })
+	return n
+}
 
 // Refresh advances the snapshot to the present, releasing the history the
 // old version pinned. It must not race with concurrent use of the same
