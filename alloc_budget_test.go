@@ -1,0 +1,106 @@
+// Alloc-budget smoke checks: CI fails if the steady-state allocation count
+// of a hot path regresses above its committed threshold. The thresholds are
+// deliberately above the measured steady state (see BENCH_0003.json and
+// EXPERIMENTS.md "Allocation methodology") but far below the pre-recycling
+// baseline, so a regression that reintroduces per-op clone allocations
+// trips them immediately:
+//
+//	path            baseline   steady state   budget
+//	single put      5.0        ~1.1           2.5
+//	b10 batch       54         ~15            30
+//	merged scan     136        ~0             8
+//
+// Run explicitly with: go test -run TestAllocBudget -count=1 .
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+	"repro/jiffy"
+)
+
+const (
+	putAllocBudget        = 2.5
+	batch10AllocBudget    = 30.0
+	mergedScanAllocBudget = 8.0
+)
+
+// measure reports average allocations per op after a warmup that fills the
+// payload pools.
+func measure(warmup int, op func()) float64 {
+	for i := 0; i < warmup; i++ {
+		op()
+	}
+	return testing.AllocsPerRun(3000, op)
+}
+
+func TestAllocBudgetPut(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	m := core.New[uint64, uint64]()
+	g := workload.NewKeyGen(workload.Uniform, benchKeySpace, 99)
+	for i := 0; i < benchPrefill; i++ {
+		k := g.Next()
+		m.Put(k, k)
+	}
+	got := measure(5000, func() {
+		k := g.Next()
+		m.Put(k, k)
+	})
+	if got > putAllocBudget {
+		t.Fatalf("put allocs/op = %.2f, budget %.2f (baseline 5.0; recycling regressed?)", got, putAllocBudget)
+	}
+	t.Logf("put allocs/op = %.2f (budget %.2f)", got, putAllocBudget)
+}
+
+func TestAllocBudgetBatch10(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	m := core.New[uint64, uint64]()
+	g := workload.NewKeyGen(workload.Uniform, benchKeySpace, 101)
+	for i := 0; i < benchPrefill; i++ {
+		k := g.Next()
+		m.Put(k, k)
+	}
+	b := core.NewBatch[uint64, uint64](10)
+	got := measure(2000, func() {
+		b.Reset()
+		for j := 0; j < 10; j++ {
+			b.Put(g.Next(), uint64(j))
+		}
+		m.BatchUpdate(b)
+	})
+	if got > batch10AllocBudget {
+		t.Fatalf("b10 batch allocs/op = %.2f, budget %.2f (baseline 54)", got, batch10AllocBudget)
+	}
+	t.Logf("b10 batch allocs/op = %.2f (budget %.2f)", got, batch10AllocBudget)
+}
+
+func TestAllocBudgetMergedScan(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	s := jiffy.NewSharded[uint64, uint64](8)
+	for i := uint64(0); i < 1<<14; i++ {
+		s.Put(i, i)
+	}
+	snap := s.Snapshot()
+	defer snap.Close()
+	var start uint64
+	got := measure(50, func() {
+		n := 0
+		snap.RangeFrom(start%(1<<14-200), func(uint64, uint64) bool {
+			n++
+			return n < 100
+		})
+		start += 101
+	})
+	if got > mergedScanAllocBudget {
+		t.Fatalf("merged scan allocs/op = %.2f, budget %.2f (baseline 136)", got, mergedScanAllocBudget)
+	}
+	t.Logf("merged scan allocs/op = %.2f (budget %.2f)", got, mergedScanAllocBudget)
+}

@@ -203,6 +203,24 @@ func BenchmarkAblation_HashIndex(b *testing.B) {
 	}
 }
 
+// --- Ablation A4: payload-buffer recycling on vs off (DESIGN.md §6). On
+// oversubscribed schedulers (goroutines >> GOMAXPROCS) stranded epoch pins
+// stall reclamation and "on" can trail "off"; with threads <= cores the
+// pools serve the update path and "on" wins on both allocs and time. ---
+
+func BenchmarkAblation_Recycling(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts core.Options[uint64]
+	}{{"on", core.Options[uint64]{}}, {"off", core.Options[uint64]{DisableRecycling: true}}} {
+		b.Run(mode.name, func(b *testing.B) {
+			benchPoint(b, func() index.Index[uint64, *harness.Payload] {
+				return index.NewJiffy[uint64, *harness.Payload](mode.opts)
+			}, harness.KeyA, harness.ValA, workload.MixUpdateOnly, workload.BatchMode{}, workload.Uniform)
+		})
+	}
+}
+
 // --- Ablation A2: TSC-style clock vs a shared atomic counter (§3.2). ---
 
 func BenchmarkAblation_VersionOracle(b *testing.B) {
@@ -340,5 +358,109 @@ func BenchmarkCore_Batch100(b *testing.B) {
 			batch.Put(g.Next(), uint64(j))
 		}
 		m.BatchUpdate(batch)
+	}
+}
+
+// --- Memory-profile benches: the allocation trajectory of the hot paths.
+// Every BenchmarkMem_* reports allocs/op and B/op (ReportAllocs); the
+// committed BENCH_0003.json baseline and the CI alloc budget
+// (alloc_budget_test.go) track these numbers across PRs. The durable append
+// variant lives in jiffy/durable/bench_test.go (BenchmarkMem_DurableAppend).
+// ---
+
+// BenchmarkMem_Put is the single-put hot path at steady state: one
+// goroutine updating an established map, so the cost measured is
+// clone+insert plus revision construction, not structure growth.
+func BenchmarkMem_Put(b *testing.B) {
+	m := core.New[uint64, uint64]()
+	g := workload.NewKeyGen(workload.Uniform, benchKeySpace, 11)
+	for i := 0; i < benchPrefill; i++ {
+		k := g.Next()
+		m.Put(k, k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := g.Next()
+		m.Put(k, k)
+	}
+}
+
+// BenchmarkMem_Batch10 is the b10 batch-update path (normalize, apply,
+// commit) against an established map; one op is one 10-entry batch.
+func BenchmarkMem_Batch10(b *testing.B) {
+	m := core.New[uint64, uint64]()
+	g := workload.NewKeyGen(workload.Uniform, benchKeySpace, 13)
+	for i := 0; i < benchPrefill; i++ {
+		k := g.Next()
+		m.Put(k, k)
+	}
+	batch := core.NewBatch[uint64, uint64](10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Reset()
+		for j := 0; j < 10; j++ {
+			batch.Put(g.Next(), uint64(j))
+		}
+		m.BatchUpdate(batch)
+	}
+}
+
+// BenchmarkMem_Batch100 is the b100 variant of BenchmarkMem_Batch10.
+func BenchmarkMem_Batch100(b *testing.B) {
+	m := core.New[uint64, uint64]()
+	g := workload.NewKeyGen(workload.Uniform, benchKeySpace, 17)
+	for i := 0; i < benchPrefill; i++ {
+		k := g.Next()
+		m.Put(k, k)
+	}
+	batch := core.NewBatch[uint64, uint64](100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Reset()
+		for j := 0; j < 100; j++ {
+			batch.Put(g.Next(), uint64(j))
+		}
+		m.BatchUpdate(batch)
+	}
+}
+
+// BenchmarkMem_Scan100 is a 100-entry snapshot range scan (one ephemeral
+// snapshot per op, as Map.RangeFrom does).
+func BenchmarkMem_Scan100(b *testing.B) {
+	m := core.New[uint64, uint64]()
+	for i := uint64(0); i < benchPrefill; i++ {
+		m.Put(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		m.RangeFrom(uint64(i%(benchPrefill-200)), func(uint64, uint64) bool {
+			n++
+			return n < 100
+		})
+	}
+}
+
+// BenchmarkMem_MergedScan100 is the sharded k-way merged scan: 8 shard
+// cursors feeding 100 entries through the tournament merge.
+func BenchmarkMem_MergedScan100(b *testing.B) {
+	s := jiffy.NewSharded[uint64, uint64](8)
+	for i := uint64(0); i < benchPrefill; i++ {
+		s.Put(i, i)
+	}
+	snap := s.Snapshot()
+	defer snap.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		snap.RangeFrom(uint64(i%(benchPrefill-200)), func(uint64, uint64) bool {
+			n++
+			return n < 100
+		})
 	}
 }

@@ -37,6 +37,12 @@ func (b *Batch[K, V]) Remove(key K) *Batch[K, V] {
 // Len returns the number of scheduled operations.
 func (b *Batch[K, V]) Len() int { return len(b.ops) }
 
+// Reset empties the batch, keeping its capacity for reuse.
+func (b *Batch[K, V]) Reset() *Batch[K, V] {
+	b.ops = b.ops[:0]
+	return b
+}
+
 type batchEntry[K cmp.Ordered, V any] struct {
 	key    K
 	val    V
@@ -198,10 +204,15 @@ outer:
 		g.parts = append(g.parts, groupPart[K, V]{m: a.m, desc: desc})
 	}
 	g.version.Store(-(clock.Read() + 1))
+	// Pin the reclamation epoch across application and GC: the group's
+	// helpers read (and retire) payload buffers on every involved map, and
+	// the epoch domain is process-global for exactly this reason.
+	slot, epoch := epochEnter()
 	fin := g.finalize()
 	for _, p := range g.parts {
 		p.m.batchGC(p.desc)
 	}
+	epochExit(slot, epoch)
 	// Release: cache the final version in every descriptor, then drop the
 	// cross-map references. A batch revision surviving in some shard's
 	// history afterwards pins only its own descriptor's entries — parity
@@ -235,6 +246,8 @@ func (m *Map[K, V]) BatchUpdateVersioned(b *Batch[K, V]) int64 {
 	if len(entries) == 0 {
 		return 0
 	}
+	slot, epoch := epochEnter()
+	defer epochExit(slot, epoch)
 	desc := &batchDesc[K, V]{entries: entries}
 	desc.version.Store(-(m.clock.Read() + 1))
 	desc.remaining.Store(int64(len(entries)))
@@ -340,24 +353,29 @@ func (m *Map[K, V]) applyBatchDesc(desc *batchDesc[K, V]) {
 		}
 
 		run := desc.entries[lo:cursor]
-		keys, vals := headRev.applyBatch(run)
+		pl := m.applyBatchPl(headRev, run)
 
-		if m.shouldSplit(headRev, len(keys)) {
-			lsr := m.makeSplitPair(nd, headRev, keys, vals, 0, desc)
+		if m.shouldSplit(headRev, len(pl.keys)) {
+			lsr := m.makeSplitPair(nd, headRev, pl, 0, desc)
 			if nd.head.CompareAndSwap(headRev, lsr) {
 				m.helpSplit(nd, lsr)
 				desc.remaining.CompareAndSwap(cursor, lo)
 				cursor = lo
+			} else {
+				m.recycleSplitPair(lsr)
 			}
 			continue
 		}
-		nr := m.newRevision(revRegular, keys, vals)
+		nr := m.newRevisionPl(revRegular, pl)
 		nr.desc = desc
 		nr.next.Store(headRev)
 		m.carryUpdateStats(&nr.stats, &headRev.stats)
 		if nd.head.CompareAndSwap(headRev, nr) {
 			desc.remaining.CompareAndSwap(cursor, lo)
 			cursor = lo
+		} else {
+			// Never published: the payload goes straight back to the pool.
+			m.rec.recycleNow(pl)
 		}
 	}
 }
@@ -368,8 +386,22 @@ func batchRunStart[K cmp.Ordered, V any](entries []batchEntry[K, V], nd *node[K,
 	if nd.isBase {
 		return 0
 	}
-	key := nd.key
-	return int64(sort.Search(len(entries), func(i int) bool { return entries[i].key >= key }))
+	return int64(searchEntries(entries, nd.key))
+}
+
+// searchEntries returns the first index i with entries[i].key >= key (the
+// inlined binary search of searchKeys, over batch entries).
+func searchEntries[K cmp.Ordered, V any](entries []batchEntry[K, V], key K) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		h := int(uint(lo+hi) >> 1)
+		if entries[h].key < key {
+			lo = h + 1
+		} else {
+			hi = h
+		}
+	}
+	return lo
 }
 
 // finalizeDesc assigns the batch's final version number once every entry
@@ -408,10 +440,9 @@ func commitVersion(cell *atomic.Int64, clock tsc.Clock) int64 {
 
 // batchGC prunes the revision lists of the nodes the batch touched, one
 // find per distinct node, mirroring the per-update GC of single-key
-// operations.
+// operations (including the per-node prune trylock that makes payload
+// retirement sound; a busy node is simply skipped).
 func (m *Map[K, V]) batchGC(desc *batchDesc[K, V]) {
-	horizon := m.clock.Read()
-	snaps, pinFloor := m.snaps.versions()
 	i := 0
 	for i < len(desc.entries) {
 		key := desc.entries[i].key
@@ -422,15 +453,16 @@ func (m *Map[K, V]) batchGC(desc *batchDesc[K, V]) {
 		}
 		head := nd.head.Load()
 		if head.kind != revTerminator {
-			pruneRevList(head, horizon, snaps, pinFloor)
+			// Full handshake (want flag, catch-up rounds, deferred
+			// retirement) — an inline trylock here would drop the
+			// catch-up promise pruneNodeChain's skippers rely on.
+			m.pruneNodeChain(nd, head)
 		}
 		// Skip every entry this node covers.
 		next := nd.next.Load()
 		if next == nil {
 			return
 		}
-		bound := next.key
-		e := desc.entries
-		i = sort.Search(len(e), func(j int) bool { return e[j].key >= bound })
+		i = searchEntries(desc.entries, next.key)
 	}
 }

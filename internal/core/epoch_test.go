@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEpochPinBlocksAdvance checks the protocol invariant everything else
+// rests on: a validated pin at epoch e blocks the global epoch below e+2
+// until released, and releases it afterwards.
+func TestEpochPinBlocksAdvance(t *testing.T) {
+	slot, e := epochEnter()
+	for i := 0; i < 5; i++ {
+		if now := epochTryAdvance(); now > e+1 {
+			epochExit(slot, e)
+			t.Fatalf("epoch advanced to %d past pinned %d+1", now, e)
+		}
+	}
+	epochExit(slot, e)
+	for i := 0; i < 5 && epochClock.Load() < e+2; i++ {
+		epochTryAdvance()
+	}
+	if now := epochClock.Load(); now < e+2 {
+		t.Fatalf("epoch stuck at %d after exit (pinned at %d)", now, e)
+	}
+}
+
+// TestEpochEnterRevalidates drives enter/exit from many goroutines while
+// another thread advances aggressively; every counter must return to zero,
+// proving no pin was stranded in a slot the advancer already passed.
+func TestEpochEnterRevalidates(t *testing.T) {
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			epochTryAdvance()
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				slot, e := epochEnter()
+				epochExit(slot, e)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	for i := range epochRing {
+		for j := range epochRing[i].cnt {
+			if n := epochRing[i].cnt[j].Load(); n != 0 {
+				t.Fatalf("stripe %d slot %d left at %d", i, j, n)
+			}
+		}
+	}
+}
+
+// TestEpochReclamationRace is the reclamation soundness test the recycler
+// is judged by: readers pin an epoch, capture a revision-chain pointer,
+// deliberately linger across scheduling points while writers prune, retire
+// and recycle those revisions' buffers, then read the captured payloads.
+// Under -race, any reuse of a buffer still reachable by a pinned reader is
+// a detected write/read race; without the epoch protocol this fails
+// immediately. The sortedness check additionally catches torn payloads on
+// non-race runs.
+func TestEpochReclamationRace(t *testing.T) {
+	m := New[uint64, uint64]()
+	const span = 64
+	for i := uint64(0); i < span; i++ {
+		m.Put(i, i)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		seed := uint64(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 0xfeed))
+			for !stop.Load() {
+				m.Put(uint64(rng.IntN(span)), rng.Uint64())
+			}
+		}()
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				slot, e := epochEnter()
+				nd := m.findNodeForKey(uint64(rand.IntN(span)))
+				if nd.kind == nodeTempSplit {
+					epochExit(slot, e)
+					continue
+				}
+				head := nd.head.Load()
+				// Linger: pruners may now unlink and retire revisions in
+				// this chain; the pin must keep their buffers readable.
+				runtime.Gosched()
+				for rev := head; rev != nil; rev = rev.next.Load() {
+					keys := rev.keys
+					for i := 1; i < len(keys); i++ {
+						if keys[i-1] >= keys[i] {
+							t.Errorf("torn payload: keys[%d]=%d >= keys[%d]=%d",
+								i-1, keys[i-1], i, keys[i])
+							stop.Store(true)
+							break
+						}
+					}
+				}
+				epochExit(slot, e)
+			}
+		}()
+	}
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	// The workload must actually have exercised recycling, or the test
+	// proves nothing.
+	if s := m.rec.stats(); s.PoolHits == 0 {
+		t.Fatalf("no pool hits — recycling never engaged: %+v", s)
+	}
+	for i := uint64(0); i < span; i++ {
+		if _, ok := m.Get(i); !ok {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+}
+
+// TestRecyclingRoundTrip checks the steady-state promise: a warmed-up
+// update loop is served from the pools (hits dominate misses) and the
+// recycled-bytes counter moves.
+func TestRecyclingRoundTrip(t *testing.T) {
+	m := New[uint64, uint64]()
+	for i := 0; i < 20_000; i++ {
+		m.Put(uint64(i%512), uint64(i))
+	}
+	s := m.rec.stats()
+	if s.PoolHits == 0 || s.RecycledBytes == 0 {
+		t.Fatalf("recycler idle after 20k puts: %+v", s)
+	}
+	if s.PoolHits < s.PoolMisses {
+		t.Fatalf("pool misses dominate at steady state: %+v", s)
+	}
+	if s.Epoch < 2 {
+		t.Fatalf("epoch below initial value: %+v", s)
+	}
+}
+
+// TestDisableRecyclingAblation: with recycling off, nothing is pooled and
+// correctness is unaffected.
+func TestDisableRecyclingAblation(t *testing.T) {
+	m := New[uint64, uint64](Options[uint64]{DisableRecycling: true})
+	for i := 0; i < 5000; i++ {
+		m.Put(uint64(i%128), uint64(i))
+	}
+	if s := m.rec.stats(); s.PoolHits != 0 || s.RecycledBytes != 0 {
+		t.Fatalf("recycler active despite DisableRecycling: %+v", s)
+	}
+	for i := uint64(0); i < 128; i++ {
+		if _, ok := m.Get(i); !ok {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+}
+
+// TestBuildSlotsEdgeSizes covers the hash-index builder's boundary sizes:
+// empty, single entry, and exact powers of two (where the bucket count
+// equals the entry count and every slot pair is in play).
+func TestBuildSlotsEdgeSizes(t *testing.T) {
+	m := testMap()
+	for _, n := range []int{0, 1, 2, 4, 16, 64} {
+		keys := make([]uint64, n)
+		vals := make([]int, n)
+		for i := range keys {
+			keys[i] = uint64(i * 3)
+			vals[i] = i
+		}
+		r := m.newRevision(revRegular, keys, vals)
+		if n == 0 {
+			if r.slots != nil {
+				t.Fatalf("n=0: slots built for empty revision")
+			}
+		} else if len(r.slots) < 2 || len(r.slots)%2 != 0 {
+			t.Fatalf("n=%d: slots length %d", n, len(r.slots))
+		}
+		for i, k := range keys {
+			if v, ok := r.get(k, m.opts.Hash); !ok || v != vals[i] {
+				t.Fatalf("n=%d: get(%d) = %d,%v", n, k, v, ok)
+			}
+		}
+		for _, probe := range []uint64{1, 5, 1 << 40} {
+			if _, ok := r.get(probe, m.opts.Hash); ok {
+				t.Fatalf("n=%d: phantom at %d", n, probe)
+			}
+		}
+	}
+}
+
+// TestBuildSlotsReuseClearsStale: a pooled payload's slots buffer carries
+// the previous revision's index; buildSlots must fully clear the prefix it
+// reuses or stale slot entries would alias wrong keys.
+func TestBuildSlotsReuseClearsStale(t *testing.T) {
+	m := testMap()
+	// Big revision first, to leave a large dirty slots buffer in the pool.
+	big := make([]uint64, 200)
+	bigv := make([]int, 200)
+	for i := range big {
+		big[i], bigv[i] = uint64(i), i
+	}
+	r := m.newRevision(revRegular, big, bigv)
+	pl := r.pl
+	// Simulate recycling: rebuild a much smaller revision over the same
+	// payload's slots buffer.
+	small := m.rec.alloc(3)
+	small.slots = pl.slots // adopt the dirty buffer
+	copy(small.keys, []uint64{7, 9, 11})
+	copy(small.vals, []int{1, 2, 3})
+	if small.hashes != nil {
+		for i, k := range small.keys {
+			small.hashes[i] = m.opts.Hash(k)
+		}
+	}
+	r2 := m.newRevisionPl(revRegular, small)
+	for i, k := range []uint64{7, 9, 11} {
+		if v, ok := r2.get(k, m.opts.Hash); !ok || v != i+1 {
+			t.Fatalf("get(%d) = %d,%v after slots reuse", k, v, ok)
+		}
+	}
+	for _, probe := range []uint64{0, 1, 2, 8, 100} {
+		if _, ok := r2.get(probe, m.opts.Hash); ok {
+			t.Fatalf("stale slot produced phantom at %d", probe)
+		}
+	}
+}
+
+// TestRevisionGetDoubleCollisionOverflow pins down the §3.3.5 fallback: when
+// both slots of a bucket are taken by other keys, get must fall through to
+// binary search and still find overflowed keys (and reject absent ones).
+func TestRevisionGetDoubleCollisionOverflow(t *testing.T) {
+	m := New[uint64, int](Options[uint64]{Hash: func(uint64) uint16 { return 3 }})
+	// Five keys, one shared bucket: slots hold the first two, the other
+	// three overflow.
+	r := m.newRevision(revRegular, []uint64{10, 20, 30, 40, 50}, []int{1, 2, 3, 4, 5})
+	for i, k := range []uint64{10, 20, 30, 40, 50} {
+		if v, ok := r.get(k, m.opts.Hash); !ok || v != i+1 {
+			t.Fatalf("get(%d) = %d,%v want %d,true", k, v, ok, i+1)
+		}
+	}
+	for _, probe := range []uint64{5, 15, 25, 35, 45, 55} {
+		if _, ok := r.get(probe, m.opts.Hash); ok {
+			t.Fatalf("phantom at %d under full collision", probe)
+		}
+	}
+}
+
+// TestSearchKeysMatchesSpec: the branchless binary search agrees with the
+// first-index-geq contract on boundaries.
+func TestSearchKeysMatchesSpec(t *testing.T) {
+	keys := []uint64{2, 4, 6, 8}
+	cases := map[uint64]int{0: 0, 2: 0, 3: 1, 4: 1, 7: 3, 8: 3, 9: 4}
+	for k, want := range cases {
+		if got := searchKeys(keys, k); got != want {
+			t.Fatalf("searchKeys(%v, %d) = %d want %d", keys, k, got, want)
+		}
+	}
+	if got := searchKeys(nil, uint64(5)); got != 0 {
+		t.Fatalf("searchKeys(nil) = %d", got)
+	}
+}

@@ -115,7 +115,8 @@ func TestPruneRevListPendingHead(t *testing.T) {
 	// A snapshot at 25 (> |optimistic|, <= the pending head's eventual
 	// final version) and a horizon far past everything: r1 must survive —
 	// it is what the snapshot reads until the head commits at > 25.
-	pruneRevList(pending, 1000, []int64{25}, math.MaxInt64)
+	m := New[uint64, int]()
+	m.pruneRevList(pending, 1000, []int64{25}, math.MaxInt64, nil)
 	if got := pending.next.Load(); got != r1 {
 		t.Fatalf("pending head's committed successor pruned: next = %v, want r1", got)
 	}

@@ -12,6 +12,8 @@ import (
 // nodes) that are errors only at quiescence. Intended for tests and the
 // jiffycheck tool.
 func CheckInvariants[K cmp.Ordered, V any](m *Map[K, V]) []error {
+	slot, epoch := epochEnter()
+	defer epochExit(slot, epoch)
 	var errs []error
 	first := true
 	var prevKey K

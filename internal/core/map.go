@@ -3,6 +3,7 @@ package core
 import (
 	"cmp"
 	"math/rand/v2"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/tsc"
@@ -29,6 +30,13 @@ type Map[K cmp.Ordered, V any] struct {
 	// lanes are an accelerator over the base list, which remains the
 	// ground truth; a lost index insertion is harmless.
 	topIndex atomic.Pointer[indexHead[K, V]]
+
+	// rec is the payload allocator: size-classed free lists fed by the
+	// epoch-gated retirement of pruned revisions (recycle.go).
+	rec *recycler[K, V]
+
+	// fragPool recycles the per-scan fragment scratch (scan.go).
+	fragPool sync.Pool
 
 	snaps snapRegistry
 }
@@ -61,6 +69,7 @@ func New[K cmp.Ordered, V any](opts ...Options[K]) *Map[K, V] {
 	}
 	o = o.withDefaults()
 	m := &Map[K, V]{opts: o, clock: o.Clock, seq: mapSeq.Add(1)}
+	m.rec = newRecycler[K, V](o.DisableRecycling, !o.DisableHashIndex)
 	m.base = &node[K, V]{isBase: true}
 	empty := m.newRevision(revRegular, nil, nil)
 	empty.version.Store(1)

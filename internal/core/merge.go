@@ -41,14 +41,18 @@ func (m *Map[K, V]) helpMergeTerminator(mt *revision[K, V]) {
 		// Step c: build the merge revision joining both revision
 		// lists. It inherits the entries of pred's head and of o's
 		// list at termination time, with the remove operation that
-		// triggered the merge applied.
-		oKeys, oVals := mt.prevRev.keys, mt.prevRev.vals
+		// triggered the merge applied. The remove-clone is pure
+		// scratch (the union copies it), so it cycles straight back
+		// through the pool.
+		oKeys, oVals, oHashes := mt.prevRev.keys, mt.prevRev.vals, mt.prevRev.hashes
+		var scratch *payload[K, V]
 		if mt.remHasKey {
-			k, v, _ := mt.prevRev.cloneAndRemove(mt.remKey)
-			oKeys, oVals = k, v
+			scratch = m.cloneRemove(mt.prevRev, mt.remKey)
+			oKeys, oVals, oHashes = scratch.keys, scratch.vals, scratch.hashes
 		}
-		keys, vals := unionArrays(headRev.keys, headRev.vals, oKeys, oVals)
-		mr := m.newRevision(revMerge, keys, vals)
+		pl := m.unionPayload(headRev.keys, headRev.vals, headRev.hashes, oKeys, oVals, oHashes)
+		m.rec.recycleNow(scratch)
+		mr := m.newRevisionPl(revMerge, pl)
 		mr.rightKey = o.key
 		mr.mt = mt
 		mr.node = pred
@@ -60,8 +64,10 @@ func (m *Map[K, V]) helpMergeTerminator(mt *revision[K, V]) {
 			mt.mergeRev.CompareAndSwap(nil, mr)
 			break
 		}
-		// CAS failed: maybe another helper installed the merge
-		// revision under a different head; adopt it if so.
+		// CAS failed: mr was never published, so its payload is
+		// immediately reusable. Maybe another helper installed the
+		// merge revision under a different head; adopt it if so.
+		m.rec.recycleNow(mr.pl)
 		if h := pred.head.Load(); h.kind == revMerge && h.mt == mt {
 			mt.mergeRev.CompareAndSwap(nil, h)
 		}

@@ -30,6 +30,18 @@ type node[K cmp.Ordered, V any] struct {
 	// merge; traversals physically remove terminated nodes they pass.
 	terminated atomic.Bool
 
+	// gcBusy is the chain-prune trylock: at most one pruner walks this
+	// node's revision list at a time, which makes unlinks definitive and
+	// payload retirement sound (see performGC). It stays meaningful after
+	// termination — the merge's right-branch pruning takes it to exclude
+	// the stale GC of a pre-merge update. gcWant is the handoff flag: an
+	// updater that found the lock busy records that the chain has grown,
+	// and the holder re-prunes from the fresh head before quitting —
+	// otherwise a holder descheduled mid-prune would let the chain grow
+	// unpruned for a whole scheduling round.
+	gcBusy atomic.Bool
+	gcWant atomic.Bool
+
 	// Temp-split-node fields (immutable after construction): parent is
 	// the node undergoing the split; lrev its left split revision. The
 	// temp-split node's own head is pinned to the right split revision so

@@ -55,6 +55,13 @@ type Options[K cmp.Ordered] struct {
 	// DisableHashIndex turns off the per-revision hash index so lookups
 	// fall back to binary search (ablation A1).
 	DisableHashIndex bool
+
+	// DisableRecycling turns off the epoch-protected recycling of pruned
+	// revisions' payload buffers, so every update allocates fresh arrays
+	// (ablation A4, and a safety valve). Reads and updates still pin the
+	// reclamation epoch — the cost is two striped atomic adds — but
+	// nothing is ever retired or reused.
+	DisableRecycling bool
 }
 
 func (o Options[K]) withDefaults() Options[K] {

@@ -20,7 +20,11 @@ func (m *Map[K, V]) Get(key K) (V, bool) {
 // get implements both lookup variants of Algorithm 2. Reads help complete
 // pending structure modifications they encounter (temp-split nodes, merge
 // terminators) but — on the newest-version path — never regular updates.
+// The epoch pin brackets every payload access: revisions pruned and
+// retired concurrently stay readable until the pin is released (epoch.go).
 func (m *Map[K, V]) get(key K, snap int64) (V, bool) {
+	slot, epoch := epochEnter()
+	defer epochExit(slot, epoch)
 	var headRev *revision[K, V]
 	for {
 		nd := m.findNodeForKey(key)

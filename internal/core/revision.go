@@ -2,7 +2,6 @@ package core
 
 import (
 	"cmp"
-	"sort"
 	"sync/atomic"
 )
 
@@ -20,12 +19,12 @@ const (
 
 // revision is an immutable bundle of key-value entries in a concrete
 // version (§3.3.5), plus the mutable coordination fields that drive the
-// lock-free protocol. Payload fields (keys, vals, hashes, slots and the
-// structural constants kind, sibling, splitKey, rightKey, node, prevRev,
-// remKey, remHasKey, desc) are written before the revision is published via
-// CAS and never change afterwards. Only version, next, rightNext, splitDone,
-// mergeRev and the autoscaler stats mutate after publication, all through
-// atomics.
+// lock-free protocol. Payload fields (keys, vals, hashes, slots — views
+// into pl's fused buffers — and the structural constants kind, sibling,
+// splitKey, rightKey, node, prevRev, remKey, remHasKey, desc) are written
+// before the revision is published via CAS and never change afterwards.
+// Only version, next, rightNext, splitDone, mergeRev, shared, reclaimed and
+// the autoscaler stats mutate after publication, all through atomics.
 type revision[K cmp.Ordered, V any] struct {
 	kind revKind
 
@@ -37,11 +36,29 @@ type revision[K cmp.Ordered, V any] struct {
 
 	// Payload: entries sorted by key. hashes[i] is Hash(keys[i]); slots
 	// is the lightweight hash index (2 slots per bucket, §3.3.5), nil
-	// when the index is disabled or the revision is empty.
+	// when the index is disabled or the revision is empty. pl is the
+	// fused allocation backing all four slices (nil for empty revisions
+	// and test-constructed ones); the inner GC retires it through the
+	// epoch-gated recycler once the revision is pruned.
 	keys   []K
 	vals   []V
 	hashes []uint16
 	slots  []int32
+	pl     *payload[K, V]
+
+	// sharedCnt marks a revision referenced (or about to be referenced) by
+	// more than one revision chain: the pre-split head both split
+	// revisions point at. Its buffers (and everything below it, reachable
+	// from both chains) are left to Go's collector — the exclusive
+	// per-node prune that justifies recycling does not hold across chains
+	// (see gc.go). It is a counter, not a flag, because the mark must be
+	// visible before the split's installing CAS: a failed attempt
+	// decrements its own mark without erasing a concurrent attempt's.
+	sharedCnt atomic.Int32
+
+	// reclaimed guards retirement: the first pruner to claim it owns the
+	// payload's trip through the recycler.
+	reclaimed atomic.Bool
 
 	// next is the (left) successor in the revision list.
 	next atomic.Pointer[revision[K, V]]
@@ -94,58 +111,98 @@ func (r *revision[K, V]) ver() int64 {
 // pending reports whether the update that created r has not linearized yet.
 func (r *revision[K, V]) pending() bool { return r.ver() < 0 }
 
+// shared reports whether a second chain references (or is about to
+// reference) this revision; see sharedCnt.
+func (r *revision[K, V]) shared() bool { return r.sharedCnt.Load() > 0 }
+
 // size returns the number of entries in the revision.
 func (r *revision[K, V]) size() int { return len(r.keys) }
 
-// newRevision builds a revision over the given sorted, deduplicated arrays
-// and populates the hash index. The caller owns the arrays exclusively.
+// searchKeys returns the first index i with keys[i] >= key: the sort.Search
+// loop with the closure and its per-iteration indirect call flattened into
+// a branch-predictable inline loop — this runs on every get, find and scan
+// seek.
+func searchKeys[K cmp.Ordered](keys []K, key K) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		h := int(uint(lo+hi) >> 1)
+		if keys[h] < key {
+			lo = h + 1
+		} else {
+			hi = h
+		}
+	}
+	return lo
+}
+
+// newRevision builds a revision over caller-owned sorted, deduplicated
+// arrays, computing hashes from scratch. It serves construction paths that
+// do not go through the recycler (the initial empty revision, tests);
+// update hot paths use newRevisionPl with a pooled payload instead.
 func (m *Map[K, V]) newRevision(kind revKind, keys []K, vals []V) *revision[K, V] {
 	r := &revision[K, V]{kind: kind, keys: keys, vals: vals}
 	if !m.opts.DisableHashIndex && len(keys) > 0 {
-		r.hashes = make([]uint16, len(keys))
+		pl := &payload[K, V]{keys: keys, vals: vals, hashes: make([]uint16, len(keys))}
 		for i, k := range keys {
-			r.hashes[i] = m.opts.Hash(k)
+			pl.hashes[i] = m.opts.Hash(k)
 		}
-		r.buildSlots()
+		r.hashes = pl.hashes
+		r.buildSlots(pl)
+		r.pl = pl
 	}
 	return r
 }
 
-// newRevisionFromHashes is newRevision for callers that already hold the
-// hash array (copied alongside keys/vals, §3.3.5: "the hashes array can be
-// efficiently copied").
-func (m *Map[K, V]) newRevisionFromHashes(kind revKind, keys []K, vals []V, hashes []uint16) *revision[K, V] {
-	r := &revision[K, V]{kind: kind, keys: keys, vals: vals}
-	if !m.opts.DisableHashIndex && len(keys) > 0 {
-		r.hashes = hashes
-		r.buildSlots()
+// newRevisionPl builds a revision adopting a (usually pooled) payload whose
+// keys, vals and hashes are already populated. The caller transfers
+// ownership: the payload is published with the revision and only the inner
+// GC may reclaim it afterwards.
+func (m *Map[K, V]) newRevisionPl(kind revKind, pl *payload[K, V]) *revision[K, V] {
+	r := &revision[K, V]{kind: kind}
+	if pl == nil {
+		return r
+	}
+	r.pl = pl
+	r.keys = pl.keys
+	r.vals = pl.vals
+	if pl.hashes != nil && len(pl.keys) > 0 {
+		r.hashes = pl.hashes
+		r.buildSlots(pl)
 	}
 	return r
 }
 
-// buildSlots populates the 2-slot-per-bucket hash index: entry i lands in
-// slot 2t or 2t+1 where t = hashes[i] masked to the bucket count (the next
-// power of two >= len(keys), so the bucket computation is a mask, not a
-// division); overflow entries are found by the binary-search fallback.
-// Slots store entry index + 1 so that make()'s zeroing doubles as the
-// empty marker.
-func (r *revision[K, V]) buildSlots() {
+// buildSlots populates the 2-slot-per-bucket hash index into pl's slots
+// buffer (grown or cleared as needed): entry i lands in slot 2t or 2t+1
+// where t = hashes[i] masked to the bucket count (the next power of two >=
+// len(keys), so the bucket computation is a mask, not a division); overflow
+// entries are found by the binary-search fallback. Slots store entry index
+// + 1 so that zeroing doubles as the empty marker.
+func (r *revision[K, V]) buildSlots(pl *payload[K, V]) {
 	n := len(r.keys)
 	b := 1
 	for b < n {
 		b <<= 1
 	}
+	need := 2 * b
+	s := pl.slots
+	if cap(s) < need {
+		s = make([]int32, need)
+	} else {
+		s = s[:need]
+		clear(s)
+	}
 	mask := uint16(b - 1)
-	slots := make([]int32, 2*b)
 	for i := 0; i < n; i++ {
 		t := int(r.hashes[i] & mask)
-		if slots[2*t] == 0 {
-			slots[2*t] = int32(i) + 1
-		} else if slots[2*t+1] == 0 {
-			slots[2*t+1] = int32(i) + 1
+		if s[2*t] == 0 {
+			s[2*t] = int32(i) + 1
+		} else if s[2*t+1] == 0 {
+			s[2*t+1] = int32(i) + 1
 		}
 	}
-	r.slots = slots
+	pl.slots = s
+	r.slots = s
 }
 
 // get returns the value stored for key in this revision. It first probes
@@ -175,7 +232,7 @@ func (r *revision[K, V]) get(key K, hash func(K) uint16) (V, bool) {
 		}
 		// Both slots taken by other keys: the key may have overflowed.
 	}
-	i := sort.Search(n, func(i int) bool { return r.keys[i] >= key })
+	i := searchKeys(r.keys, key)
 	if i < n && r.keys[i] == key {
 		return r.vals[i], true
 	}
@@ -185,140 +242,168 @@ func (r *revision[K, V]) get(key K, hash func(K) uint16) (V, bool) {
 // find returns the index of key in the sorted keys array, or (insertion
 // point, false).
 func (r *revision[K, V]) find(key K) (int, bool) {
-	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= key })
+	i := searchKeys(r.keys, key)
 	return i, i < len(r.keys) && r.keys[i] == key
 }
 
-// cloneAndPut returns fresh arrays equal to r's payload with key set to val.
-func (r *revision[K, V]) cloneAndPut(key K, val V, hash func(K) uint16, withHashes bool) (keys []K, vals []V, hashes []uint16) {
+// clonePut returns a pooled payload equal to r's with key set to val. One
+// pass: the insertion point doubles as the copy split, and the parent's
+// hash array is reused — only the inserted key is hashed.
+func (m *Map[K, V]) clonePut(r *revision[K, V], key K, val V) *payload[K, V] {
 	i, found := r.find(key)
+	n := len(r.keys)
 	if found {
-		keys = make([]K, len(r.keys))
-		vals = make([]V, len(r.vals))
-		copy(keys, r.keys)
-		copy(vals, r.vals)
-		vals[i] = val
-		if withHashes && r.hashes != nil {
-			hashes = make([]uint16, len(r.hashes))
-			copy(hashes, r.hashes)
+		pl := m.rec.alloc(n)
+		copy(pl.keys, r.keys)
+		copy(pl.vals, r.vals)
+		pl.vals[i] = val
+		if pl.hashes != nil {
+			copy(pl.hashes, r.hashes)
 		}
-		return keys, vals, hashes
+		return pl
 	}
-	n := len(r.keys)
-	keys = make([]K, n+1)
-	vals = make([]V, n+1)
-	copy(keys, r.keys[:i])
-	copy(vals, r.vals[:i])
-	keys[i] = key
-	vals[i] = val
-	copy(keys[i+1:], r.keys[i:])
-	copy(vals[i+1:], r.vals[i:])
-	if withHashes {
-		hashes = make([]uint16, n+1)
-		if r.hashes != nil {
-			copy(hashes, r.hashes[:i])
-			copy(hashes[i+1:], r.hashes[i:])
-		} else {
-			for j, k := range keys {
-				hashes[j] = hash(k)
-			}
-		}
-		hashes[i] = hash(key)
+	pl := m.rec.alloc(n + 1)
+	copy(pl.keys[:i], r.keys[:i])
+	copy(pl.vals[:i], r.vals[:i])
+	pl.keys[i] = key
+	pl.vals[i] = val
+	copy(pl.keys[i+1:], r.keys[i:])
+	copy(pl.vals[i+1:], r.vals[i:])
+	if pl.hashes != nil {
+		copy(pl.hashes[:i], r.hashes[:i])
+		pl.hashes[i] = m.opts.Hash(key)
+		copy(pl.hashes[i+1:], r.hashes[i:])
 	}
-	return keys, vals, hashes
+	return pl
 }
 
-// cloneAndRemove returns fresh arrays equal to r's payload with key removed.
-// The caller must have checked that key is present.
-func (r *revision[K, V]) cloneAndRemove(key K) (keys []K, vals []V, hashes []uint16) {
+// cloneRemove returns a pooled payload equal to r's with key removed (an
+// unchanged copy if key is absent).
+func (m *Map[K, V]) cloneRemove(r *revision[K, V], key K) *payload[K, V] {
 	i, found := r.find(key)
-	if !found {
-		keys = make([]K, len(r.keys))
-		vals = make([]V, len(r.vals))
-		copy(keys, r.keys)
-		copy(vals, r.vals)
-		if r.hashes != nil {
-			hashes = make([]uint16, len(r.hashes))
-			copy(hashes, r.hashes)
-		}
-		return keys, vals, hashes
-	}
 	n := len(r.keys)
-	keys = make([]K, n-1)
-	vals = make([]V, n-1)
-	copy(keys, r.keys[:i])
-	copy(vals, r.vals[:i])
-	copy(keys[i:], r.keys[i+1:])
-	copy(vals[i:], r.vals[i+1:])
-	if r.hashes != nil {
-		hashes = make([]uint16, n-1)
-		copy(hashes, r.hashes[:i])
-		copy(hashes[i:], r.hashes[i+1:])
+	if !found {
+		pl := m.rec.alloc(n)
+		copy(pl.keys, r.keys)
+		copy(pl.vals, r.vals)
+		if pl.hashes != nil {
+			copy(pl.hashes, r.hashes)
+		}
+		return pl
 	}
-	return keys, vals, hashes
+	pl := m.rec.alloc(n - 1)
+	copy(pl.keys[:i], r.keys[:i])
+	copy(pl.vals[:i], r.vals[:i])
+	copy(pl.keys[i:], r.keys[i+1:])
+	copy(pl.vals[i:], r.vals[i+1:])
+	if pl.hashes != nil {
+		copy(pl.hashes[:i], r.hashes[:i])
+		copy(pl.hashes[i:], r.hashes[i+1:])
+	}
+	return pl
 }
 
-// applyBatch returns fresh arrays equal to r's payload with every entry in
+// applyBatchPl returns a pooled payload equal to r's with every entry in
 // ops applied (ops sorted ascending by key, unique keys). Removes of absent
 // keys are no-ops in the arrays but still force a new revision (§3.3.3
-// point 5: the lost-remove anomaly).
-func (r *revision[K, V]) applyBatch(ops []batchEntry[K, V]) (keys []K, vals []V) {
-	keys = make([]K, 0, len(r.keys)+len(ops))
-	vals = make([]V, 0, len(r.vals)+len(ops))
+// point 5: the lost-remove anomaly). Hashes are merged alongside — kept
+// entries reuse the parent's, only inserted keys are hashed.
+func (m *Map[K, V]) applyBatchPl(r *revision[K, V], ops []batchEntry[K, V]) *payload[K, V] {
+	pl := m.rec.alloc(len(r.keys) + len(ops))
+	wh := pl.hashes != nil
+	w := 0
 	i, j := 0, 0
 	for i < len(r.keys) && j < len(ops) {
 		switch {
 		case r.keys[i] < ops[j].key:
-			keys = append(keys, r.keys[i])
-			vals = append(vals, r.vals[i])
+			pl.keys[w], pl.vals[w] = r.keys[i], r.vals[i]
+			if wh {
+				pl.hashes[w] = r.hashes[i]
+			}
+			w++
 			i++
 		case r.keys[i] > ops[j].key:
 			if !ops[j].remove {
-				keys = append(keys, ops[j].key)
-				vals = append(vals, ops[j].val)
+				pl.keys[w], pl.vals[w] = ops[j].key, ops[j].val
+				if wh {
+					pl.hashes[w] = m.opts.Hash(ops[j].key)
+				}
+				w++
 			}
 			j++
 		default:
 			if !ops[j].remove {
-				keys = append(keys, ops[j].key)
-				vals = append(vals, ops[j].val)
+				pl.keys[w], pl.vals[w] = ops[j].key, ops[j].val
+				if wh {
+					pl.hashes[w] = r.hashes[i]
+				}
+				w++
 			}
 			i++
 			j++
 		}
 	}
 	for ; i < len(r.keys); i++ {
-		keys = append(keys, r.keys[i])
-		vals = append(vals, r.vals[i])
+		pl.keys[w], pl.vals[w] = r.keys[i], r.vals[i]
+		if wh {
+			pl.hashes[w] = r.hashes[i]
+		}
+		w++
 	}
 	for ; j < len(ops); j++ {
 		if !ops[j].remove {
-			keys = append(keys, ops[j].key)
-			vals = append(vals, ops[j].val)
+			pl.keys[w], pl.vals[w] = ops[j].key, ops[j].val
+			if wh {
+				pl.hashes[w] = m.opts.Hash(ops[j].key)
+			}
+			w++
 		}
 	}
-	return keys, vals
+	pl.truncate(w)
+	return pl
 }
 
-// splitArrays halves sorted arrays for a node split (§3.3.1: "a new node
-// inherits the upper half of the key range"). It returns the two halves and
-// the new node's key (the first key of the right half). len(keys) must be
-// >= 2.
-func splitArrays[K cmp.Ordered, V any](keys []K, vals []V) (lk []K, lv []V, rk []K, rv []V, splitKey K) {
-	mid := len(keys) / 2
-	lk = keys[:mid:mid]
-	lv = vals[:mid:mid]
-	rk = keys[mid:]
-	rv = vals[mid:]
-	return lk, lv, rk, rv, rk[0]
+// splitPayloads copies the two halves of a combined payload into fresh
+// pooled payloads for a node split (§3.3.1: "a new node inherits the upper
+// half of the key range") and returns them with the new node's key (the
+// first key of the right half). The copy — rather than aliasing the halves
+// into the combined buffer, as an earlier revision of this code did — is
+// what lets each half's buffers be recycled independently: an aliasing
+// right half would keep the entire combined array reachable (and
+// unrecyclable) for the lifetime of the right node. The caller still owns
+// the combined payload afterwards and recycles it as scratch. len(keys)
+// must be >= 2.
+func (m *Map[K, V]) splitPayloads(pl *payload[K, V]) (lpl, rpl *payload[K, V], splitKey K) {
+	mid := len(pl.keys) / 2
+	lpl = m.rec.alloc(mid)
+	rpl = m.rec.alloc(len(pl.keys) - mid)
+	copy(lpl.keys, pl.keys[:mid])
+	copy(lpl.vals, pl.vals[:mid])
+	copy(rpl.keys, pl.keys[mid:])
+	copy(rpl.vals, pl.vals[mid:])
+	if pl.hashes != nil {
+		if lpl.hashes != nil {
+			copy(lpl.hashes, pl.hashes[:mid])
+		}
+		if rpl.hashes != nil {
+			copy(rpl.hashes, pl.hashes[mid:])
+		}
+	}
+	return lpl, rpl, pl.keys[mid]
 }
 
-// unionArrays concatenates two disjoint sorted runs (left strictly below
-// right), producing fresh arrays for a merge revision.
-func unionArrays[K cmp.Ordered, V any](lk []K, lv []V, rk []K, rv []V) ([]K, []V) {
-	keys := make([]K, 0, len(lk)+len(rk))
-	vals := make([]V, 0, len(lv)+len(rv))
-	keys = append(append(keys, lk...), rk...)
-	vals = append(append(vals, lv...), rv...)
-	return keys, vals
+// unionPayload concatenates two disjoint sorted runs (left strictly below
+// right) into a pooled payload for a merge revision, merging hashes when
+// both sides carry them (an empty side's hashes are nil).
+func (m *Map[K, V]) unionPayload(lk []K, lv []V, lh []uint16, rk []K, rv []V, rh []uint16) *payload[K, V] {
+	pl := m.rec.alloc(len(lk) + len(rk))
+	copy(pl.keys, lk)
+	copy(pl.keys[len(lk):], rk)
+	copy(pl.vals, lv)
+	copy(pl.vals[len(lk):], rv)
+	if pl.hashes != nil {
+		copy(pl.hashes, lh)
+		copy(pl.hashes[len(lk):], rh)
+	}
+	return pl
 }

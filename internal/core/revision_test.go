@@ -98,15 +98,15 @@ func TestRevisionHashIndexManyCollisions(t *testing.T) {
 	}
 }
 
-func TestCloneAndPutInsertsSorted(t *testing.T) {
+func TestClonePutInsertsSorted(t *testing.T) {
 	m := testMap()
 	r := mkRev(t, m, map[uint64]int{10: 1, 30: 3})
-	keys, vals, _ := r.cloneAndPut(20, 2, m.opts.Hash, true)
-	if !reflect.DeepEqual(keys, []uint64{10, 20, 30}) {
-		t.Fatalf("keys = %v", keys)
+	pl := m.clonePut(r, 20, 2)
+	if !reflect.DeepEqual(pl.keys, []uint64{10, 20, 30}) {
+		t.Fatalf("keys = %v", pl.keys)
 	}
-	if !reflect.DeepEqual(vals, []int{1, 2, 3}) {
-		t.Fatalf("vals = %v", vals)
+	if !reflect.DeepEqual(pl.vals, []int{1, 2, 3}) {
+		t.Fatalf("vals = %v", pl.vals)
 	}
 	// Source arrays untouched (immutability).
 	if !reflect.DeepEqual(r.keys, []uint64{10, 30}) {
@@ -114,61 +114,62 @@ func TestCloneAndPutInsertsSorted(t *testing.T) {
 	}
 }
 
-func TestCloneAndPutOverwrites(t *testing.T) {
+func TestClonePutOverwrites(t *testing.T) {
 	m := testMap()
 	r := mkRev(t, m, map[uint64]int{10: 1, 30: 3})
-	keys, vals, _ := r.cloneAndPut(30, 99, m.opts.Hash, true)
-	if !reflect.DeepEqual(keys, []uint64{10, 30}) || !reflect.DeepEqual(vals, []int{1, 99}) {
-		t.Fatalf("keys=%v vals=%v", keys, vals)
+	pl := m.clonePut(r, 30, 99)
+	if !reflect.DeepEqual(pl.keys, []uint64{10, 30}) || !reflect.DeepEqual(pl.vals, []int{1, 99}) {
+		t.Fatalf("keys=%v vals=%v", pl.keys, pl.vals)
 	}
 	if r.vals[1] != 3 {
 		t.Fatal("source value mutated")
 	}
 }
 
-func TestCloneAndPutBoundaries(t *testing.T) {
+func TestClonePutBoundaries(t *testing.T) {
 	m := testMap()
 	r := mkRev(t, m, map[uint64]int{10: 1, 30: 3})
-	keys, _, _ := r.cloneAndPut(5, 0, m.opts.Hash, true)
-	if !reflect.DeepEqual(keys, []uint64{5, 10, 30}) {
-		t.Fatalf("prepend: %v", keys)
+	pl := m.clonePut(r, 5, 0)
+	if !reflect.DeepEqual(pl.keys, []uint64{5, 10, 30}) {
+		t.Fatalf("prepend: %v", pl.keys)
 	}
-	keys, _, _ = r.cloneAndPut(40, 4, m.opts.Hash, true)
-	if !reflect.DeepEqual(keys, []uint64{10, 30, 40}) {
-		t.Fatalf("append: %v", keys)
+	pl = m.clonePut(r, 40, 4)
+	if !reflect.DeepEqual(pl.keys, []uint64{10, 30, 40}) {
+		t.Fatalf("append: %v", pl.keys)
 	}
 	empty := m.newRevision(revRegular, nil, nil)
-	keys, vals, _ := empty.cloneAndPut(7, 70, m.opts.Hash, true)
-	if !reflect.DeepEqual(keys, []uint64{7}) || vals[0] != 70 {
-		t.Fatalf("from empty: %v %v", keys, vals)
+	pl = m.clonePut(empty, 7, 70)
+	if !reflect.DeepEqual(pl.keys, []uint64{7}) || pl.vals[0] != 70 {
+		t.Fatalf("from empty: %v %v", pl.keys, pl.vals)
 	}
 }
 
-func TestCloneAndRemove(t *testing.T) {
+func TestCloneRemove(t *testing.T) {
 	m := testMap()
 	r := mkRev(t, m, map[uint64]int{10: 1, 20: 2, 30: 3})
-	keys, vals, _ := r.cloneAndRemove(20)
-	if !reflect.DeepEqual(keys, []uint64{10, 30}) || !reflect.DeepEqual(vals, []int{1, 3}) {
-		t.Fatalf("keys=%v vals=%v", keys, vals)
+	pl := m.cloneRemove(r, 20)
+	if !reflect.DeepEqual(pl.keys, []uint64{10, 30}) || !reflect.DeepEqual(pl.vals, []int{1, 3}) {
+		t.Fatalf("keys=%v vals=%v", pl.keys, pl.vals)
 	}
-	keys, _, _ = r.cloneAndRemove(10)
-	if !reflect.DeepEqual(keys, []uint64{20, 30}) {
-		t.Fatalf("remove first: %v", keys)
+	pl = m.cloneRemove(r, 10)
+	if !reflect.DeepEqual(pl.keys, []uint64{20, 30}) {
+		t.Fatalf("remove first: %v", pl.keys)
 	}
-	keys, _, _ = r.cloneAndRemove(30)
-	if !reflect.DeepEqual(keys, []uint64{10, 20}) {
-		t.Fatalf("remove last: %v", keys)
+	pl = m.cloneRemove(r, 30)
+	if !reflect.DeepEqual(pl.keys, []uint64{10, 20}) {
+		t.Fatalf("remove last: %v", pl.keys)
 	}
 	// Removing an absent key clones unchanged.
-	keys, _, _ = r.cloneAndRemove(25)
-	if !reflect.DeepEqual(keys, []uint64{10, 20, 30}) {
-		t.Fatalf("remove absent: %v", keys)
+	pl = m.cloneRemove(r, 25)
+	if !reflect.DeepEqual(pl.keys, []uint64{10, 20, 30}) {
+		t.Fatalf("remove absent: %v", pl.keys)
 	}
 }
 
 func TestCloneHashesStayConsistent(t *testing.T) {
-	// Property: after a random chain of clone operations, the hash-index
-	// lookup still finds exactly the surviving entries.
+	// Property: after a random chain of clone operations — each reusing
+	// the parent's hash array through the pooled payload path — the
+	// hash-index lookup still finds exactly the surviving entries.
 	m := testMap()
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, seed^0x9e37))
@@ -177,12 +178,10 @@ func TestCloneHashesStayConsistent(t *testing.T) {
 		for i := 0; i < 60; i++ {
 			k := uint64(rng.IntN(40))
 			if rng.IntN(3) == 0 {
-				keys, vals, hashes := rev.cloneAndRemove(k)
-				rev = m.newRevisionFromHashes(revRegular, keys, vals, hashes)
+				rev = m.newRevisionPl(revRegular, m.cloneRemove(rev, k))
 				delete(ref, k)
 			} else {
-				keys, vals, hashes := rev.cloneAndPut(k, i, m.opts.Hash, true)
-				rev = m.newRevisionFromHashes(revRegular, keys, vals, hashes)
+				rev = m.newRevisionPl(revRegular, m.clonePut(rev, k, i))
 				ref[k] = i
 			}
 		}
@@ -229,16 +228,19 @@ func TestApplyBatchAgainstReference(t *testing.T) {
 			}
 		}
 		sort.Slice(ops, func(i, j int) bool { return ops[i].key < ops[j].key })
-		keys, vals := rev.applyBatch(ops)
-		if len(keys) != len(ref) {
+		pl := m.applyBatchPl(rev, ops)
+		if len(pl.keys) != len(ref) {
 			return false
 		}
-		for i, k := range keys {
-			if i > 0 && keys[i-1] >= k {
+		for i, k := range pl.keys {
+			if i > 0 && pl.keys[i-1] >= k {
 				return false // must stay strictly sorted
 			}
-			if ref[k] != vals[i] {
+			if ref[k] != pl.vals[i] {
 				return false
+			}
+			if pl.hashes[i] != m.opts.Hash(k) {
+				return false // merged hash array must track the keys
 			}
 		}
 		return true
@@ -251,46 +253,84 @@ func TestApplyBatchAgainstReference(t *testing.T) {
 func TestApplyBatchEmptyOps(t *testing.T) {
 	m := testMap()
 	r := mkRev(t, m, map[uint64]int{1: 1})
-	keys, vals := r.applyBatch(nil)
-	if !reflect.DeepEqual(keys, []uint64{1}) || vals[0] != 1 {
-		t.Fatalf("identity apply changed payload: %v %v", keys, vals)
+	pl := m.applyBatchPl(r, nil)
+	if !reflect.DeepEqual(pl.keys, []uint64{1}) || pl.vals[0] != 1 {
+		t.Fatalf("identity apply changed payload: %v %v", pl.keys, pl.vals)
 	}
 }
 
-func TestSplitArrays(t *testing.T) {
-	keys := []uint64{1, 2, 3, 4, 5}
-	vals := []int{10, 20, 30, 40, 50}
-	lk, lv, rk, rv, splitKey := splitArrays(keys, vals)
-	if !reflect.DeepEqual(lk, []uint64{1, 2}) || !reflect.DeepEqual(rk, []uint64{3, 4, 5}) {
-		t.Fatalf("halves: %v | %v", lk, rk)
+// mkCombined builds the combined pre-split payload a put produces, with
+// hashes populated the way the real path would.
+func mkCombined(t *testing.T, m *Map[uint64, int], keys []uint64, vals []int) *payload[uint64, int] {
+	t.Helper()
+	kv := map[uint64]int{}
+	for i, k := range keys {
+		kv[k] = vals[i]
+	}
+	rev := mkRev(t, m, kv)
+	pl := m.rec.alloc(len(rev.keys))
+	copy(pl.keys, rev.keys)
+	copy(pl.vals, rev.vals)
+	if pl.hashes != nil {
+		copy(pl.hashes, rev.hashes)
+	}
+	return pl
+}
+
+func TestSplitPayloads(t *testing.T) {
+	m := testMap()
+	pl := mkCombined(t, m, []uint64{1, 2, 3, 4, 5}, []int{10, 20, 30, 40, 50})
+	lpl, rpl, splitKey := m.splitPayloads(pl)
+	if !reflect.DeepEqual(lpl.keys, []uint64{1, 2}) || !reflect.DeepEqual(rpl.keys, []uint64{3, 4, 5}) {
+		t.Fatalf("halves: %v | %v", lpl.keys, rpl.keys)
 	}
 	if splitKey != 3 {
 		t.Fatalf("splitKey = %d", splitKey)
 	}
-	if lv[1] != 20 || rv[0] != 30 {
-		t.Fatalf("values misaligned: %v %v", lv, rv)
+	if lpl.vals[1] != 20 || rpl.vals[0] != 30 {
+		t.Fatalf("values misaligned: %v %v", lpl.vals, rpl.vals)
+	}
+	// The halves must not alias the combined buffer: retiring one later
+	// must not pin (or scribble over) the other or the parent.
+	if &rpl.keys[0] == &pl.keys[len(lpl.keys)] {
+		t.Fatal("right half aliases the combined array")
+	}
+	for i, k := range lpl.keys {
+		if lpl.hashes[i] != m.opts.Hash(k) {
+			t.Fatalf("left hashes diverged at %d", i)
+		}
+	}
+	for i, k := range rpl.keys {
+		if rpl.hashes[i] != m.opts.Hash(k) {
+			t.Fatalf("right hashes diverged at %d", i)
+		}
 	}
 }
 
-func TestSplitArraysEven(t *testing.T) {
-	lk, _, rk, _, splitKey := splitArrays([]uint64{1, 2, 3, 4}, []int{1, 2, 3, 4})
-	if len(lk) != 2 || len(rk) != 2 || splitKey != 3 {
-		t.Fatalf("even split: %v %v key=%d", lk, rk, splitKey)
+func TestSplitPayloadsEven(t *testing.T) {
+	m := testMap()
+	pl := mkCombined(t, m, []uint64{1, 2, 3, 4}, []int{1, 2, 3, 4})
+	lpl, rpl, splitKey := m.splitPayloads(pl)
+	if len(lpl.keys) != 2 || len(rpl.keys) != 2 || splitKey != 3 {
+		t.Fatalf("even split: %v %v key=%d", lpl.keys, rpl.keys, splitKey)
 	}
 }
 
-func TestUnionArrays(t *testing.T) {
-	k, v := unionArrays([]uint64{1, 2}, []int{1, 2}, []uint64{5, 6}, []int{5, 6})
-	if !reflect.DeepEqual(k, []uint64{1, 2, 5, 6}) || !reflect.DeepEqual(v, []int{1, 2, 5, 6}) {
-		t.Fatalf("union: %v %v", k, v)
+func TestUnionPayload(t *testing.T) {
+	m := testMap()
+	pl := m.unionPayload([]uint64{1, 2}, []int{1, 2}, []uint16{m.opts.Hash(1), m.opts.Hash(2)},
+		[]uint64{5, 6}, []int{5, 6}, []uint16{m.opts.Hash(5), m.opts.Hash(6)})
+	if !reflect.DeepEqual(pl.keys, []uint64{1, 2, 5, 6}) || !reflect.DeepEqual(pl.vals, []int{1, 2, 5, 6}) {
+		t.Fatalf("union: %v %v", pl.keys, pl.vals)
 	}
-	k, _ = unionArrays(nil, nil, []uint64{5}, []int{5})
-	if !reflect.DeepEqual(k, []uint64{5}) {
-		t.Fatalf("union with empty left: %v", k)
+	pl = m.unionPayload(nil, nil, nil, []uint64{5}, []int{5}, []uint16{m.opts.Hash(5)})
+	if !reflect.DeepEqual(pl.keys, []uint64{5}) {
+		t.Fatalf("union with empty left: %v", pl.keys)
 	}
 }
 
 func TestSplitThenUnionRoundTrips(t *testing.T) {
+	m := testMap()
 	f := func(n uint8) bool {
 		size := int(n%60) + 4
 		keys := make([]uint64, size)
@@ -299,9 +339,10 @@ func TestSplitThenUnionRoundTrips(t *testing.T) {
 			keys[i] = uint64(i * 2)
 			vals[i] = i
 		}
-		lk, lv, rk, rv, _ := splitArrays(keys, vals)
-		uk, uv := unionArrays(lk, lv, rk, rv)
-		return reflect.DeepEqual(uk, keys) && reflect.DeepEqual(uv, vals)
+		pl := mkCombined(t, m, keys, vals)
+		lpl, rpl, _ := m.splitPayloads(pl)
+		upl := m.unionPayload(lpl.keys, lpl.vals, lpl.hashes, rpl.keys, rpl.vals, rpl.hashes)
+		return reflect.DeepEqual(upl.keys, keys) && reflect.DeepEqual(upl.vals, vals)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -1,9 +1,6 @@
 package core
 
-import (
-	"cmp"
-	"sort"
-)
+import "cmp"
 
 // Range calls fn for every entry with lo <= key < hi, ascending, on an
 // ephemeral snapshot taken at call time. Equivalent to
@@ -48,6 +45,26 @@ type frag[K cmp.Ordered, V any] struct {
 	lo, hi *K // nil = unbounded on that side
 }
 
+// getFragScratch takes a fragment scratch slice from the map's scan pool
+// (fresh on a cold pool); putFragScratch clears it — the pooled slice must
+// not pin revisions — and returns it. One scratch per in-flight scan, so
+// nested scans (a callback scanning again) each get their own.
+func (m *Map[K, V]) getFragScratch() *[]frag[K, V] {
+	if fp, _ := m.fragPool.Get().(*[]frag[K, V]); fp != nil {
+		return fp
+	}
+	fp := new([]frag[K, V])
+	*fp = make([]frag[K, V], 0, 8)
+	return fp
+}
+
+func (m *Map[K, V]) putFragScratch(fp *[]frag[K, V]) {
+	s := (*fp)[:cap(*fp)]
+	clear(s)
+	*fp = s[:0]
+	m.fragPool.Put(fp)
+}
+
 // scan is the range-scan engine (§3.3.4). It walks base-level nodes from
 // lo's covering node, and for each node resolves the set of revision
 // fragments visible at snap — recursing through both successors of merge
@@ -56,7 +73,14 @@ type frag[K cmp.Ordered, V any] struct {
 // time. Scans help pending updates that belong to the snapshot but are
 // never restarted.
 func (m *Map[K, V]) scan(lo, hi *K, snap int64, fn func(K, V) bool) {
+	// Pin the reclamation epoch for the scan's whole lifetime: every
+	// fragment's keys/vals are read under it, so concurrent pruning can
+	// retire but never recycle the buffers mid-scan (epoch.go).
+	slot, epoch := epochEnter()
+	defer epochExit(slot, epoch)
 	var nd *node[K, V]
+	fp := m.getFragScratch()
+	defer m.putFragScratch(fp)
 	if lo != nil {
 		for {
 			nd = m.findNodeForKey(*lo)
@@ -70,7 +94,6 @@ func (m *Map[K, V]) scan(lo, hi *K, snap int64, fn func(K, V) bool) {
 		nd = m.base
 	}
 
-	var frags []frag[K, V]
 	for nd != nil {
 		if hi != nil && !nd.isBase && nd.key >= *hi {
 			return
@@ -96,16 +119,16 @@ func (m *Map[K, V]) scan(lo, hi *K, snap int64, fn func(K, V) bool) {
 		}
 		headRev := nd.head.Load()
 
-		frags = frags[:0]
+		*fp = (*fp)[:0]
 		if headRev.kind == revTerminator {
 			// A node that is being (or has been) merged away: the
 			// merge is invisible at snap (a merge visible at snap
 			// would have unlinked the node before this scan could
 			// reach it), so the node's own pre-merge history is
 			// authoritative.
-			m.resolveFrags(headRev.prevRev, snap, nil, nil, &frags)
+			m.resolveFrags(headRev.prevRev, snap, nil, nil, fp)
 		} else {
-			m.resolveFrags(headRev, snap, nil, nil, &frags)
+			m.resolveFrags(headRev, snap, nil, nil, fp)
 			m.noteScanRead(headRev)
 		}
 
@@ -126,7 +149,7 @@ func (m *Map[K, V]) scan(lo, hi *K, snap int64, fn func(K, V) bool) {
 		if hi != nil && (high == nil || *hi < *high) {
 			high = hi
 		}
-		for _, fr := range frags {
+		for _, fr := range *fp {
 			flo, fhi := low, high
 			if fr.lo != nil && (flo == nil || *fr.lo > *flo) {
 				flo = fr.lo
@@ -137,8 +160,7 @@ func (m *Map[K, V]) scan(lo, hi *K, snap int64, fn func(K, V) bool) {
 			keys := fr.rev.keys
 			i := 0
 			if flo != nil {
-				l := *flo
-				i = sort.Search(len(keys), func(i int) bool { return keys[i] >= l })
+				i = searchKeys(keys, *flo)
 			}
 			for ; i < len(keys); i++ {
 				k := keys[i]

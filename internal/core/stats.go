@@ -17,6 +17,14 @@ type Stats struct {
 	MinRevisionSize int
 	PendingOps      int // head revisions awaiting a final version
 	IndexLevels     int // height of the skip-list index lanes
+
+	// Payload-recycling diagnostics (recycle.go / epoch.go): pool hit and
+	// miss counts for payload allocations, cumulative buffer bytes
+	// returned to the pools, and the current global reclamation epoch.
+	PoolHits      uint64
+	PoolMisses    uint64
+	RecycledBytes uint64
+	Epoch         uint64
 }
 
 // Stats walks the structure concurrently with other operations; the numbers
@@ -59,6 +67,11 @@ func (m *Map[K, V]) Stats() Stats {
 	for h := m.topIndex.Load(); h != nil; h = h.down {
 		s.IndexLevels++
 	}
+	rs := m.rec.stats()
+	s.PoolHits = rs.PoolHits
+	s.PoolMisses = rs.PoolMisses
+	s.RecycledBytes = rs.RecycledBytes
+	s.Epoch = rs.Epoch
 	return s
 }
 

@@ -12,7 +12,10 @@ func (m *Map[K, V]) Put(key K, val V) { m.PutVersioned(key, val) }
 // on this to tag write-ahead-log records so that replay agrees with a
 // checkpoint's snapshot cut.
 func (m *Map[K, V]) PutVersioned(key K, val V) int64 {
+	slot, epoch := epochEnter()
+	defer epochExit(slot, epoch)
 	var newRev *revision[K, V]
+	var gcNode *node[K, V]
 	for {
 		nd := m.findNodeForKey(key)
 		if nd.kind == nodeTempSplit {
@@ -49,24 +52,27 @@ func (m *Map[K, V]) PutVersioned(key K, val V) int64 {
 			lsr := m.makePutSplit(nd, headRev, key, val, optVer)
 			if nd.head.CompareAndSwap(headRev, lsr) {
 				m.helpSplit(nd, lsr) // Figure 3c-f
-				newRev = lsr
+				newRev, gcNode = lsr, nd
 				break
 			}
+			m.recycleSplitPair(lsr)
 			continue
 		}
-		keys, vals, hashes := headRev.cloneAndPut(key, val, m.opts.Hash, !m.opts.DisableHashIndex)
-		nr := m.newRevisionFromHashes(revRegular, keys, vals, hashes)
+		pl := m.clonePut(headRev, key, val)
+		nr := m.newRevisionPl(revRegular, pl)
 		nr.version.Store(optVer)
 		nr.next.Store(headRev)
 		m.carryUpdateStats(&nr.stats, &headRev.stats)
 		if nd.head.CompareAndSwap(headRev, nr) {
-			newRev = nr
+			newRev, gcNode = nr, nd
 			break
 		}
-		// CAS failed: nobody saw our attempt; start over (§3.3.2).
+		// CAS failed: nobody saw our attempt; the payload was never
+		// published and goes straight back to the pool (§3.3.2).
+		m.rec.recycleNow(pl)
 	}
 	ver := m.finalize(newRev)
-	m.performGC(newRev)
+	m.performGC(gcNode, newRev)
 	return ver
 }
 
@@ -83,7 +89,10 @@ func (m *Map[K, V]) Remove(key K) bool {
 // means). A remove of an absent key performs no update and reports version
 // zero.
 func (m *Map[K, V]) RemoveVersioned(key K) (int64, bool) {
+	slot, epoch := epochEnter()
+	defer epochExit(slot, epoch)
 	var newRev *revision[K, V]
+	var gcNode *node[K, V]
 	for {
 		nd := m.findNodeForKey(key)
 		if nd.kind == nodeTempSplit {
@@ -118,22 +127,24 @@ func (m *Map[K, V]) RemoveVersioned(key K) (int64, bool) {
 			if nd.head.CompareAndSwap(headRev, mt) {
 				m.helpMergeTerminator(mt) // Figure 4c-e
 				newRev = mt.mergeRev.Load()
+				gcNode = newRev.node // the predecessor the node merged into
 				break
 			}
 			continue
 		}
-		keys, vals, hashes := headRev.cloneAndRemove(key)
-		nr := m.newRevisionFromHashes(revRegular, keys, vals, hashes)
+		pl := m.cloneRemove(headRev, key)
+		nr := m.newRevisionPl(revRegular, pl)
 		nr.version.Store(optVer)
 		nr.next.Store(headRev)
 		m.carryUpdateStats(&nr.stats, &headRev.stats)
 		if nd.head.CompareAndSwap(headRev, nr) {
-			newRev = nr
+			newRev, gcNode = nr, nd
 			break
 		}
+		m.rec.recycleNow(pl)
 	}
 	ver := m.finalize(newRev)
-	m.performGC(newRev)
+	m.performGC(gcNode, newRev)
 	return ver, true
 }
 
@@ -200,17 +211,27 @@ func (m *Map[K, V]) helpPendingUpdate(rev *revision[K, V]) {
 // created unnecessarily (§3.3.1). It returns the left split revision, ready
 // to be CASed in; the right sibling is reachable through it.
 func (m *Map[K, V]) makePutSplit(nd *node[K, V], headRev *revision[K, V], key K, val V, optVer int64) *revision[K, V] {
-	keys, vals, _ := headRev.cloneAndPut(key, val, m.opts.Hash, false)
-	return m.makeSplitPair(nd, headRev, keys, vals, optVer, nil)
+	combined := m.clonePut(headRev, key, val)
+	return m.makeSplitPair(nd, headRev, combined, optVer, nil)
 }
 
 // makeSplitPair builds left/right split revisions over the given combined
-// arrays. Exactly one of optVer (single-key ops) and desc (batch updates)
-// carries the version.
-func (m *Map[K, V]) makeSplitPair(nd *node[K, V], headRev *revision[K, V], keys []K, vals []V, optVer int64, desc *batchDesc[K, V]) *revision[K, V] {
-	lk, lv, rk, rv, splitKey := splitArrays(keys, vals)
-	lsr := m.newRevision(revLeftSplit, lk, lv)
-	rsr := m.newRevision(revRightSplit, rk, rv)
+// payload, which it consumes (the halves are copied out and the combined
+// buffer recycled as scratch — it was never published). Exactly one of
+// optVer (single-key ops) and desc (batch updates) carries the version.
+func (m *Map[K, V]) makeSplitPair(nd *node[K, V], headRev *revision[K, V], combined *payload[K, V], optVer int64, desc *batchDesc[K, V]) *revision[K, V] {
+	// Both split revisions will reference headRev as their successor, so
+	// headRev's tail becomes reachable from two chains: mark it before the
+	// installing CAS can publish the second entry point, so no pruner ever
+	// retires at or below it. A failed CAS removes its own mark in
+	// recycleSplitPair; writes below the head stay exclusive either way,
+	// because pruners reach that region only under this node's gcBusy
+	// (right-node pruners recurse through the ownership barrier, gc.go).
+	headRev.sharedCnt.Add(1)
+	lpl, rpl, splitKey := m.splitPayloads(combined)
+	m.rec.recycleNow(combined)
+	lsr := m.newRevisionPl(revLeftSplit, lpl)
+	rsr := m.newRevisionPl(revRightSplit, rpl)
 	lsr.sibling, rsr.sibling = rsr, lsr
 	lsr.splitKey, rsr.splitKey = splitKey, splitKey
 	lsr.node = nd
@@ -225,4 +246,17 @@ func (m *Map[K, V]) makeSplitPair(nd *node[K, V], headRev *revision[K, V], keys 
 	m.carryUpdateStats(&lsr.stats, &headRev.stats)
 	m.carryUpdateStats(&rsr.stats, &headRev.stats)
 	return lsr
+}
+
+// recycleSplitPair returns both halves' payloads of a split pair whose
+// installing CAS failed — neither revision was ever published — and
+// removes this attempt's shared mark from the would-be successor (a
+// concurrent attempt's mark, if any, stays: the count only reaches zero
+// when no attempt against that head is in flight or succeeded).
+func (m *Map[K, V]) recycleSplitPair(lsr *revision[K, V]) {
+	if headRev := lsr.next.Load(); headRev != nil {
+		headRev.sharedCnt.Add(-1)
+	}
+	m.rec.recycleNow(lsr.pl)
+	m.rec.recycleNow(lsr.sibling.pl)
 }

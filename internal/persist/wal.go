@@ -82,9 +82,12 @@ type WAL struct {
 	dir  string
 	opts WALOptions
 
-	// qmu guards the queue of appends awaiting a leader.
-	qmu   sync.Mutex
-	queue []*appendReq
+	// qmu guards the queue of appends awaiting a leader. qspare is the
+	// previous leader's drained queue slice, recycled so steady-state
+	// queueing never allocates.
+	qmu    sync.Mutex
+	queue  []*appendReq
+	qspare []*appendReq
 
 	// fmu serializes leaders and every other file-state mutation
 	// (rotation, truncation, close).
@@ -92,7 +95,8 @@ type WAL struct {
 	f      *os.File
 	seq    uint64
 	size   int64
-	curMax int64 // max record version in the active segment
+	curMax int64  // max record version in the active segment
+	wbuf   []byte // group-commit coalescing buffer, reused across flushes
 	sealed []sealedSegment
 	closed bool
 }
@@ -107,6 +111,14 @@ type appendReq struct {
 	version int64
 	payload []byte
 	done    chan error
+}
+
+// reqPool recycles append requests (and their one-slot done channels): a
+// request's channel holds exactly one send per Append, received by exactly
+// one waiter before the request is pooled again, so a recycled channel is
+// always empty.
+var reqPool = sync.Pool{
+	New: func() any { return &appendReq{done: make(chan error, 1)} },
 }
 
 func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016d.log", seq) }
@@ -232,8 +244,13 @@ func (w *WAL) rotate() error {
 // leader writes the whole queue with one write and one fsync (group
 // commit), so the fsync cost amortizes across concurrent committers.
 func (w *WAL) Append(version int64, payload []byte) error {
-	req := &appendReq{version: version, payload: payload, done: make(chan error, 1)}
+	req := reqPool.Get().(*appendReq)
+	req.version, req.payload = version, payload
 	w.qmu.Lock()
+	if w.queue == nil {
+		w.queue = w.qspare
+		w.qspare = nil
+	}
 	w.queue = append(w.queue, req)
 	w.qmu.Unlock()
 
@@ -243,6 +260,8 @@ func (w *WAL) Append(version int64, payload []byte) error {
 	select {
 	case err := <-req.done:
 		w.fmu.Unlock()
+		req.payload = nil
+		reqPool.Put(req)
 		return err
 	default:
 	}
@@ -254,13 +273,27 @@ func (w *WAL) Append(version int64, payload []byte) error {
 	for _, r := range batch {
 		r.done <- err
 	}
+	// Recycle the drained queue slice for the next leader's batch. Each
+	// waiter recycles its own request after receiving from done.
+	for i := range batch {
+		batch[i] = nil
+	}
+	w.qmu.Lock()
+	if w.qspare == nil || cap(batch) > cap(w.qspare) {
+		w.qspare = batch[:0]
+	}
+	w.qmu.Unlock()
 	w.fmu.Unlock()
-	return <-req.done
+	ferr := <-req.done
+	req.payload = nil
+	reqPool.Put(req)
+	return ferr
 }
 
 // writeBatch writes a group of records as one file write plus one fsync,
-// rotating first if the active segment is already past the threshold.
-// Caller holds fmu.
+// rotating first if the active segment is already past the threshold,
+// encoding into the WAL's reused coalescing buffer (caller holds fmu, so
+// at most one flush owns it at a time).
 func (w *WAL) writeBatch(batch []*appendReq) error {
 	if w.closed {
 		return ErrWALClosed
@@ -274,7 +307,10 @@ func (w *WAL) writeBatch(batch []*appendReq) error {
 			return err
 		}
 	}
-	buf := make([]byte, 0, n)
+	if cap(w.wbuf) < n {
+		w.wbuf = make([]byte, 0, n)
+	}
+	buf := w.wbuf[:0]
 	maxVer := w.curMax
 	for _, r := range batch {
 		data := 8 + len(r.payload)
@@ -289,6 +325,7 @@ func (w *WAL) writeBatch(batch []*appendReq) error {
 			maxVer = r.version
 		}
 	}
+	w.wbuf = buf[:0]
 	if _, err := w.f.Write(buf); err != nil {
 		return err
 	}

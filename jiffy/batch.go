@@ -19,6 +19,10 @@ type BatchOp[K cmp.Ordered, V any] struct {
 // concurrent mutation: build it on one goroutine, then hand it off.
 type Batch[K cmp.Ordered, V any] struct {
 	ops []BatchOp[K, V]
+
+	// cb is the cached internal builder core() refills on every apply, so
+	// a reused Batch stops allocating one conversion copy per update.
+	cb *core.Batch[K, V]
 }
 
 // NewBatch returns an empty batch; sizeHint pre-allocates capacity.
@@ -65,15 +69,21 @@ func (b *Batch[K, V]) Reset() *Batch[K, V] {
 	return b
 }
 
-// core converts the batch into internal/core's builder form.
+// core converts the batch into internal/core's builder form, reusing one
+// cached builder across applies (a Batch is single-goroutine by contract,
+// and core.BatchUpdate copies the operations before returning).
 func (b *Batch[K, V]) core() *core.Batch[K, V] {
-	cb := core.NewBatch[K, V](len(b.ops))
+	if b.cb == nil {
+		b.cb = core.NewBatch[K, V](len(b.ops))
+	} else {
+		b.cb.Reset()
+	}
 	for _, op := range b.ops {
 		if op.Remove {
-			cb.Remove(op.Key)
+			b.cb.Remove(op.Key)
 		} else {
-			cb.Put(op.Key, op.Val)
+			b.cb.Put(op.Key, op.Val)
 		}
 	}
-	return cb
+	return b.cb
 }

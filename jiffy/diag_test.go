@@ -20,6 +20,18 @@ func TestMapStats(t *testing.T) {
 	if s.AvgRevisionSize <= 0 || s.IndexLevels < 1 {
 		t.Fatalf("avg %f levels %d", s.AvgRevisionSize, s.IndexLevels)
 	}
+	// Recycling diagnostics: after 2000 puts the payload allocator has
+	// been exercised (hits + misses > 0), bytes have cycled through the
+	// pools, and the global epoch is at or past its initial value.
+	if s.PoolHits+s.PoolMisses == 0 {
+		t.Fatalf("no payload allocations recorded: %+v", s)
+	}
+	if s.PoolHits == 0 || s.RecycledBytes == 0 {
+		t.Fatalf("recycler never engaged: hits=%d recycled=%d", s.PoolHits, s.RecycledBytes)
+	}
+	if s.Epoch < 2 {
+		t.Fatalf("epoch = %d, below initial", s.Epoch)
+	}
 }
 
 func TestShardedStatsAggregates(t *testing.T) {
@@ -30,6 +42,9 @@ func TestShardedStatsAggregates(t *testing.T) {
 	agg := s.Stats()
 	if agg.Entries != 3000 {
 		t.Fatalf("aggregated Entries = %d, want 3000", agg.Entries)
+	}
+	if agg.PoolHits+agg.PoolMisses == 0 || agg.Epoch < 2 {
+		t.Fatalf("recycling diagnostics not aggregated: %+v", agg)
 	}
 	// Sums across shards must cover every shard's contribution: the
 	// aggregate node count is at least the shard count (each shard has a

@@ -36,6 +36,25 @@ func BenchmarkDurable_Put(b *testing.B) {
 	}
 }
 
+// BenchmarkMem_DurableAppend measures the allocation profile of the durable
+// append path (encode + group commit + file write, fsync elided) — the
+// BenchmarkMem_* family's durable member; see bench_test.go at the repo
+// root for the in-memory members.
+func BenchmarkMem_DurableAppend(b *testing.B) {
+	d, err := Open(b.TempDir(), u64Codec(), Options[uint64]{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Put(uint64(i)%(1<<16), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDurable_CheckpointWhileWriting measures the tentpole scenario:
 // checkpoints streamed off O(1) snapshots while writers keep committing.
 // Each iteration takes one checkpoint of a ~100k-entry store under

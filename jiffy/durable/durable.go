@@ -215,7 +215,7 @@ func (d *Map[K, V]) Stats() jiffy.Stats { return d.m.Stats() }
 // before it is durable; Put returning bounds the durability point.
 func (d *Map[K, V]) Put(key K, val V) error {
 	ver := d.m.PutVersioned(key, val)
-	return d.wal.Append(ver, appendOps(nil, []jiffy.BatchOp[K, V]{{Key: key, Val: val}}, d.codec))
+	return appendRecord(d.wal, ver, []jiffy.BatchOp[K, V]{{Key: key, Val: val}}, d.codec)
 }
 
 // Remove deletes key, reporting whether it was present, and returns once
@@ -226,7 +226,7 @@ func (d *Map[K, V]) Remove(key K) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	err := d.wal.Append(ver, appendOps(nil, []jiffy.BatchOp[K, V]{{Key: key, Remove: true}}, d.codec))
+	err := appendRecord(d.wal, ver, []jiffy.BatchOp[K, V]{{Key: key, Remove: true}}, d.codec)
 	return true, err
 }
 
@@ -239,7 +239,7 @@ func (d *Map[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error {
 	if ver == 0 {
 		return nil // empty batch: no update, nothing to log
 	}
-	return d.wal.Append(ver, appendOps(nil, b.Ops(), d.codec))
+	return appendRecord(d.wal, ver, b.Ops(), d.codec)
 }
 
 // Checkpoint writes a snapshot-consistent checkpoint and truncates the log

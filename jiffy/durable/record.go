@@ -4,7 +4,9 @@ import (
 	"cmp"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
+	"repro/internal/persist"
 	"repro/jiffy"
 )
 
@@ -22,26 +24,52 @@ const (
 	opRemove = 1
 )
 
-// appendOps encodes ops onto dst using c.
-func appendOps[K cmp.Ordered, V any](dst []byte, ops []jiffy.BatchOp[K, V], c Codec[K, V]) []byte {
-	var kbuf, vbuf []byte
+// encBuf is one pooled record-encoding workspace: the record payload plus
+// the per-field key/value scratch. An update borrows one, encodes into it,
+// appends to the WAL (which copies the payload into its group-commit
+// buffer before acknowledging) and returns it — so the steady-state append
+// path allocates nothing.
+type encBuf struct {
+	payload []byte
+	kbuf    []byte
+	vbuf    []byte
+}
+
+var encPool = sync.Pool{New: func() any { return new(encBuf) }}
+
+// encodeOps encodes ops into e's payload buffer using c and returns it.
+// The returned slice is valid until e is released back to the pool.
+func encodeOps[K cmp.Ordered, V any](e *encBuf, ops []jiffy.BatchOp[K, V], c Codec[K, V]) []byte {
+	dst := e.payload[:0]
 	dst = binary.AppendUvarint(dst, uint64(len(ops)))
 	for _, op := range ops {
-		kbuf = c.Key.Append(kbuf[:0], op.Key)
+		e.kbuf = c.Key.Append(e.kbuf[:0], op.Key)
 		if op.Remove {
 			dst = append(dst, opRemove)
-			dst = binary.AppendUvarint(dst, uint64(len(kbuf)))
-			dst = append(dst, kbuf...)
+			dst = binary.AppendUvarint(dst, uint64(len(e.kbuf)))
+			dst = append(dst, e.kbuf...)
 			continue
 		}
-		vbuf = c.Value.Append(vbuf[:0], op.Val)
+		e.vbuf = c.Value.Append(e.vbuf[:0], op.Val)
 		dst = append(dst, opPut)
-		dst = binary.AppendUvarint(dst, uint64(len(kbuf)))
-		dst = append(dst, kbuf...)
-		dst = binary.AppendUvarint(dst, uint64(len(vbuf)))
-		dst = append(dst, vbuf...)
+		dst = binary.AppendUvarint(dst, uint64(len(e.kbuf)))
+		dst = append(dst, e.kbuf...)
+		dst = binary.AppendUvarint(dst, uint64(len(e.vbuf)))
+		dst = append(dst, e.vbuf...)
 	}
+	e.payload = dst
 	return dst
+}
+
+// appendRecord encodes ops through a pooled buffer and appends the record
+// to w at version ver. The WAL copies the payload into its group-commit
+// buffer before acknowledging, so the encode buffer cycles straight back
+// to the pool.
+func appendRecord[K cmp.Ordered, V any](w *persist.WAL, ver int64, ops []jiffy.BatchOp[K, V], c Codec[K, V]) error {
+	e := encPool.Get().(*encBuf)
+	err := w.Append(ver, encodeOps(e, ops, c))
+	encPool.Put(e)
+	return err
 }
 
 // decodeOps parses a record payload, appending each operation to b.

@@ -151,7 +151,7 @@ func (d *Sharded[K, V]) Stats() jiffy.Stats { return d.s.Stats() }
 // owning shard's log.
 func (d *Sharded[K, V]) Put(key K, val V) error {
 	ver := d.s.PutVersioned(key, val)
-	return d.wals[d.s.ShardOf(key)].Append(ver, appendOps(nil, []jiffy.BatchOp[K, V]{{Key: key, Val: val}}, d.codec))
+	return appendRecord(d.wals[d.s.ShardOf(key)], ver, []jiffy.BatchOp[K, V]{{Key: key, Val: val}}, d.codec)
 }
 
 // Remove deletes key, reporting whether it was present, and returns once
@@ -161,7 +161,7 @@ func (d *Sharded[K, V]) Remove(key K) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	err := d.wals[d.s.ShardOf(key)].Append(ver, appendOps(nil, []jiffy.BatchOp[K, V]{{Key: key, Remove: true}}, d.codec))
+	err := appendRecord(d.wals[d.s.ShardOf(key)], ver, []jiffy.BatchOp[K, V]{{Key: key, Remove: true}}, d.codec)
 	return true, err
 }
 
@@ -182,7 +182,7 @@ func (d *Sharded[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error {
 			wi = i
 		}
 	}
-	return d.wals[wi].Append(ver, appendOps(nil, ops, d.codec))
+	return appendRecord(d.wals[wi], ver, ops, d.codec)
 }
 
 // Checkpoint writes one checkpoint spanning every shard — cut on a single

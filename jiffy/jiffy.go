@@ -54,6 +54,12 @@ type Options[K cmp.Ordered] struct {
 	// lookups fall back to binary search.
 	DisableHashIndex bool
 
+	// DisableRecycling turns off the epoch-protected recycling of pruned
+	// revisions' payload buffers (every update then allocates fresh
+	// arrays). A safety valve and ablation knob; leave it off for the
+	// allocation-frugal default.
+	DisableRecycling bool
+
 	// ClockStart, when > 0, rebases the map's version clock so that every
 	// version it issues is strictly greater than ClockStart. The
 	// durability layer (jiffy/durable) sets it on recovery so versions
@@ -70,6 +76,7 @@ func (o Options[K]) coreOptions() core.Options[K] {
 		MaxRevisionSize:   o.MaxRevisionSize,
 		FixedRevisionSize: o.FixedRevisionSize,
 		DisableHashIndex:  o.DisableHashIndex,
+		DisableRecycling:  o.DisableRecycling,
 	}
 	if o.ClockStart > 0 {
 		co.Clock = tsc.NewMonotonicAt(o.ClockStart)

@@ -2,6 +2,7 @@ package jiffy
 
 import (
 	"cmp"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/tsc"
@@ -36,6 +37,10 @@ import (
 type Sharded[K cmp.Ordered, V any] struct {
 	shards []*core.Map[K, V]
 	hash   func(K) uint64
+
+	// scanPool recycles merged-scan states (cursors, chunk buffers and the
+	// loser tree) across range scans; see ShardedSnapshot.merge.
+	scanPool sync.Pool
 }
 
 // NewSharded returns an empty Sharded map with the given number of shards

@@ -404,3 +404,73 @@ func TestShardedConcurrentMixed(t *testing.T) {
 	stop.Store(true)
 	scannersWG.Wait()
 }
+
+// TestLoserTreeMergeShardCounts sweeps the k-way merge over shard counts —
+// including 1 (degenerate tree), non-powers of two (uneven tree shapes) and
+// larger fan-in — against a sorted oracle, reusing each map's pooled merge
+// state across scans to cover the recycled-cursor path.
+func TestLoserTreeMergeShardCounts(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5, 8, 16} {
+		rng := rand.New(rand.NewPCG(uint64(shards), 77))
+		s := NewSharded[uint64, uint64](shards)
+		want := map[uint64]uint64{}
+		for i := 0; i < 5000; i++ {
+			k := rng.Uint64N(2048)
+			s.Put(k, k*10)
+			want[k] = k * 10
+		}
+		keys := make([]uint64, 0, len(want))
+		for k := range want {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+		snap := s.Snapshot()
+		for scan := 0; scan < 3; scan++ { // repeat: exercise the pooled state
+			i := 0
+			snap.All(func(k, v uint64) bool {
+				if i >= len(keys) || k != keys[i] || v != want[k] {
+					t.Fatalf("shards=%d scan=%d: entry %d = (%d,%d), want key %d", shards, scan, i, k, v, keys[i])
+				}
+				i++
+				return true
+			})
+			if i != len(keys) {
+				t.Fatalf("shards=%d scan=%d: %d entries, want %d", shards, scan, i, len(keys))
+			}
+		}
+
+		// Bounded ranges land exactly, including mid-chunk refill points.
+		for trial := 0; trial < 20; trial++ {
+			lo := rng.Uint64N(2048)
+			hi := lo + rng.Uint64N(2048-lo) + 1
+			wi := sort.Search(len(keys), func(i int) bool { return keys[i] >= lo })
+			snap.Range(lo, hi, func(k, v uint64) bool {
+				if wi >= len(keys) || keys[wi] >= hi || k != keys[wi] {
+					t.Fatalf("shards=%d: range [%d,%d) diverged at %d", shards, lo, hi, k)
+				}
+				wi++
+				return true
+			})
+			if wi < len(keys) && keys[wi] < hi {
+				t.Fatalf("shards=%d: range [%d,%d) stopped before %d", shards, lo, hi, keys[wi])
+			}
+		}
+
+		// Nested scans: a callback scanning the same snapshot must get its
+		// own pooled state, not scribble over the outer one.
+		outer := 0
+		snap.All(func(k, v uint64) bool {
+			outer++
+			if outer == 3 {
+				inner := 0
+				snap.All(func(uint64, uint64) bool { inner++; return inner < 5 })
+				if inner != min(5, len(keys)) {
+					t.Fatalf("shards=%d: nested scan saw %d", shards, inner)
+				}
+			}
+			return outer < 10
+		})
+		snap.Close()
+	}
+}

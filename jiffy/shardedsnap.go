@@ -9,9 +9,9 @@ import (
 // ShardedSnapshot is a consistent read-only view spanning every shard of a
 // Sharded map, frozen at one version of the shared clock. Point reads
 // route to the owning shard's snapshot; range scans merge the per-shard
-// streams through a k-way merge so entries arrive in globally ascending
-// key order. Close it (or Refresh it periodically) when it is long-lived,
-// as it pins multiversion history on every shard.
+// streams through a loser-tree k-way merge so entries arrive in globally
+// ascending key order. Close it (or Refresh it periodically) when it is
+// long-lived, as it pins multiversion history on every shard.
 type ShardedSnapshot[K cmp.Ordered, V any] struct {
 	s    *Sharded[K, V]
 	subs []*core.Snapshot[K, V]
@@ -81,7 +81,9 @@ const mergeChunk = 128
 // push-style snapshot scan into a resumable pull iterator for the k-way
 // merge. Resumption is by key: the next refill re-seeks at the last key
 // the previous chunk delivered and skips it. Snapshots are immutable, so
-// re-seeking is exact.
+// re-seeking is exact. The keys/vals chunk buffers are reused across
+// refills, and — because the whole merge state is pooled on the parent
+// Sharded map — across scans too.
 type shardCursor[K cmp.Ordered, V any] struct {
 	snap    *core.Snapshot[K, V]
 	keys    []K
@@ -91,6 +93,29 @@ type shardCursor[K cmp.Ordered, V any] struct {
 	hasLast bool // false until the first refill delivers an entry
 	short   bool // last refill was short: the stream is exhausted
 	done    bool
+
+	// hi is the scan's upper bound for the duration of one merge; collect
+	// is the buffer-filling callback, built once per cursor (it captures
+	// only the cursor) and reused across refills and pooled scans so fill
+	// allocates nothing.
+	hi      *K
+	collect func(K, V) bool
+}
+
+// initCollect builds the cursor's reusable scan callback.
+func (c *shardCursor[K, V]) initCollect() {
+	c.collect = func(k K, v V) bool {
+		if c.hasLast && k == c.last {
+			return true // the resume key itself; already delivered
+		}
+		if c.hi != nil && k >= *c.hi {
+			c.short = true
+			return false
+		}
+		c.keys = append(c.keys, k)
+		c.vals = append(c.vals, v)
+		return len(c.keys) < mergeChunk
+	}
 }
 
 // fill replenishes the cursor's buffer with the next chunk of entries in
@@ -103,25 +128,14 @@ func (c *shardCursor[K, V]) fill(lo, hi *K) {
 		c.done = true
 		return
 	}
-	collect := func(k K, v V) bool {
-		if c.hasLast && k == c.last {
-			return true // the resume key itself; already delivered
-		}
-		if hi != nil && k >= *hi {
-			c.short = true
-			return false
-		}
-		c.keys = append(c.keys, k)
-		c.vals = append(c.vals, v)
-		return len(c.keys) < mergeChunk
-	}
+	c.hi = hi
 	switch {
 	case c.hasLast:
-		c.snap.RangeFrom(c.last, collect)
+		c.snap.RangeFrom(c.last, c.collect)
 	case lo != nil:
-		c.snap.RangeFrom(*lo, collect)
+		c.snap.RangeFrom(*lo, c.collect)
 	default:
-		c.snap.All(collect)
+		c.snap.All(c.collect)
 	}
 	if len(c.keys) == 0 {
 		c.done = true
@@ -134,38 +148,139 @@ func (c *shardCursor[K, V]) fill(lo, hi *K) {
 	c.hasLast = true
 }
 
-// merge is the k-way merge driving every sharded range scan: it keeps one
-// cursor per shard and repeatedly emits the smallest buffered key. Keys
-// are unique across shards (each key lives in exactly one shard), so no
-// tie-breaking is needed. With a handful of shards a linear minimum scan
-// beats a heap; shard counts are expected to be near GOMAXPROCS.
-func (ss *ShardedSnapshot[K, V]) merge(lo, hi *K, fn func(K, V) bool) {
-	curs := make([]shardCursor[K, V], len(ss.subs))
-	for i, sub := range ss.subs {
-		curs[i].snap = sub
-		curs[i].fill(lo, hi)
+// empty reports whether the cursor has no buffered entry to offer.
+func (c *shardCursor[K, V]) empty() bool { return c.pos >= len(c.keys) }
+
+// mergeState is the reusable engine behind every sharded range scan: one
+// cursor per shard plus the loser tree over them. Instances cycle through
+// the parent Sharded map's scanPool, so a scan allocates nothing once the
+// pool is warm — cursor chunk buffers included.
+type mergeState[K cmp.Ordered, V any] struct {
+	curs []shardCursor[K, V]
+	tree []int32 // loser tree: tree[0] winner, tree[1..k-1] match losers
+}
+
+// reset binds the state to a snapshot's sub-snapshots and primes every
+// cursor.
+func (st *mergeState[K, V]) reset(subs []*core.Snapshot[K, V], lo, hi *K) {
+	if cap(st.curs) < len(subs) {
+		st.curs = make([]shardCursor[K, V], len(subs))
+		st.tree = make([]int32, len(subs))
 	}
+	st.curs = st.curs[:len(subs)]
+	st.tree = st.tree[:len(subs)]
+	for i, sub := range subs {
+		c := &st.curs[i]
+		keys, vals, collect := c.keys, c.vals, c.collect // keep buffers + callback
+		*c = shardCursor[K, V]{snap: sub, keys: keys, vals: vals, collect: collect}
+		if c.collect == nil {
+			c.initCollect()
+		}
+		c.fill(lo, hi)
+	}
+}
+
+// release drops references into the snapshot so the pooled state never
+// pins shard history, keeping the chunk buffers for the next scan.
+func (st *mergeState[K, V]) release() {
+	for i := range st.curs {
+		c := &st.curs[i]
+		c.snap = nil
+		c.hi = nil
+		c.keys = c.keys[:0]
+		c.vals = c.vals[:0]
+	}
+}
+
+// lessCur reports whether cursor a's next key beats cursor b's: an
+// exhausted cursor loses to any non-empty one, and keys are unique across
+// shards (each key lives in exactly one shard), so no tie-break is needed.
+func (st *mergeState[K, V]) lessCur(a, b int32) bool {
+	ca, cb := &st.curs[a], &st.curs[b]
+	ae, be := !ca.empty(), !cb.empty()
+	if !ae || !be {
+		return ae
+	}
+	return ca.keys[ca.pos] < cb.keys[cb.pos]
+}
+
+// build initializes the loser tree by inserting each leaf and carrying the
+// winner of every match up its path; the k-th insertion — the one that
+// finds no empty internal node — is the overall winner.
+func (st *mergeState[K, V]) build() {
+	k := len(st.curs)
+	if k == 1 {
+		st.tree[0] = 0
+		return
+	}
+	for i := range st.tree {
+		st.tree[i] = -1
+	}
+	for i := 0; i < k; i++ {
+		w := int32(i)
+		claimed := false
+		for n := (k + i) / 2; n > 0; n /= 2 {
+			if st.tree[n] == -1 {
+				st.tree[n] = w
+				claimed = true
+				break
+			}
+			if st.lessCur(st.tree[n], w) {
+				st.tree[n], w = w, st.tree[n] // loser stays, winner rises
+			}
+		}
+		if !claimed {
+			st.tree[0] = w
+		}
+	}
+}
+
+// replay re-plays leaf i's path to the root after its cursor advanced or
+// refilled, restoring the loser-tree invariant in O(log k) comparisons —
+// the step that replaces the old O(k) linear minimum scan.
+func (st *mergeState[K, V]) replay(i int32) {
+	k := len(st.curs)
+	if k == 1 {
+		return
+	}
+	w := i
+	for n := (k + int(i)) / 2; n > 0; n /= 2 {
+		if st.lessCur(st.tree[n], w) {
+			st.tree[n], w = w, st.tree[n]
+		}
+	}
+	st.tree[0] = w
+}
+
+// merge drives a sharded range scan: repeatedly emit the tree's winner and
+// replay its leaf. With k shard cursors each emission costs O(log k)
+// comparisons instead of the linear minimum the first version of this file
+// used — at 8 shards that is 3 comparisons per entry instead of 8, and the
+// gap widens with shard count.
+func (ss *ShardedSnapshot[K, V]) merge(lo, hi *K, fn func(K, V) bool) {
+	st, _ := ss.s.scanPool.Get().(*mergeState[K, V])
+	if st == nil {
+		st = &mergeState[K, V]{}
+	}
+	st.reset(ss.subs, lo, hi)
+	defer func() {
+		st.release()
+		ss.s.scanPool.Put(st)
+	}()
+	st.build()
 	for {
-		best := -1
-		for i := range curs {
-			c := &curs[i]
-			if c.pos >= len(c.keys) {
-				c.fill(lo, hi)
-				if c.pos >= len(c.keys) {
-					continue
-				}
-			}
-			if best < 0 || c.keys[c.pos] < curs[best].keys[curs[best].pos] {
-				best = i
-			}
+		w := st.tree[0]
+		c := &st.curs[w]
+		if c.empty() {
+			return // the winner is exhausted: all streams are dry
 		}
-		if best < 0 {
-			return
-		}
-		c := &curs[best]
 		if !fn(c.keys[c.pos], c.vals[c.pos]) {
 			return
 		}
 		c.pos++
+		if c.empty() {
+			c.fill(lo, hi)
+		}
+		st.replay(w)
 	}
 }

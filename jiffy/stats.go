@@ -20,6 +20,15 @@ type Stats struct {
 	MinRevisionSize int
 	PendingOps      int // head revisions awaiting a final version
 	IndexLevels     int // height of the skip-list index lanes
+
+	// Payload-recycling diagnostics: allocations served by the free pools
+	// vs the heap, cumulative buffer bytes returned to the pools, and the
+	// current global reclamation epoch (see DESIGN.md §6). The hit rate is
+	// PoolHits / (PoolHits + PoolMisses).
+	PoolHits      uint64
+	PoolMisses    uint64
+	RecycledBytes uint64
+	Epoch         uint64
 }
 
 func fromCore(s core.Stats) Stats {
@@ -33,6 +42,10 @@ func fromCore(s core.Stats) Stats {
 		MinRevisionSize: s.MinRevisionSize,
 		PendingOps:      s.PendingOps,
 		IndexLevels:     s.IndexLevels,
+		PoolHits:        s.PoolHits,
+		PoolMisses:      s.PoolMisses,
+		RecycledBytes:   s.RecycledBytes,
+		Epoch:           s.Epoch,
 	}
 }
 
@@ -56,6 +69,10 @@ func (s *Sharded[K, V]) Stats() Stats {
 		agg.MaxRevisionSize = max(agg.MaxRevisionSize, st.MaxRevisionSize)
 		agg.MinRevisionSize = min(agg.MinRevisionSize, st.MinRevisionSize)
 		agg.IndexLevels = max(agg.IndexLevels, st.IndexLevels)
+		agg.PoolHits += st.PoolHits
+		agg.PoolMisses += st.PoolMisses
+		agg.RecycledBytes += st.RecycledBytes
+		agg.Epoch = max(agg.Epoch, st.Epoch)
 	}
 	if agg.Nodes > 0 {
 		agg.AvgRevisionSize = float64(agg.Entries) / float64(agg.Nodes)

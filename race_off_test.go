@@ -1,0 +1,8 @@
+//go:build !race
+
+package repro
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary; the alloc-budget checks skip under it (instrumentation changes
+// allocation behavior).
+const raceEnabled = false
