@@ -9,6 +9,14 @@
 //	single put      5.0        ~1.1           2.5
 //	b10 batch       54         ~15            30
 //	merged scan     136        ~0             8
+//	snapshot iter   —          ~0             1
+//	map iter        —          ~2             4
+//	sharded iter    —          ~0             2
+//
+// (The iterator baselines predate the type: a bounded scan through the
+// materializing Range path cost one closure capture but could not stop
+// pulling; the budgets pin the pooled iterators at their measured steady
+// state instead.)
 //
 // Run explicitly with: go test -run TestAllocBudget -count=1 .
 package repro
@@ -22,9 +30,12 @@ import (
 )
 
 const (
-	putAllocBudget        = 2.5
-	batch10AllocBudget    = 30.0
-	mergedScanAllocBudget = 8.0
+	putAllocBudget         = 2.5
+	batch10AllocBudget     = 30.0
+	mergedScanAllocBudget  = 8.0
+	snapIterAllocBudget    = 1.0
+	mapIterAllocBudget     = 4.0
+	shardedIterAllocBudget = 2.0
 )
 
 // measure reports average allocations per op after a warmup that fills the
@@ -103,4 +114,59 @@ func TestAllocBudgetMergedScan(t *testing.T) {
 		t.Fatalf("merged scan allocs/op = %.2f, budget %.2f (baseline 136)", got, mergedScanAllocBudget)
 	}
 	t.Logf("merged scan allocs/op = %.2f (budget %.2f)", got, mergedScanAllocBudget)
+}
+
+// iterate100 runs one warm 100-entry bounded scan through it.
+func iterate100(it jiffy.Iterator[uint64, uint64], lo uint64) {
+	it.Seek(lo)
+	n := 0
+	for n < 100 && it.Next() {
+		n++
+	}
+	it.Close()
+}
+
+func TestAllocBudgetIterators(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	m := jiffy.New[uint64, uint64]()
+	for i := uint64(0); i < 1<<14; i++ {
+		m.Put(i, i)
+	}
+	snap := m.Snapshot()
+	defer snap.Close()
+	var start uint64
+	got := measure(200, func() {
+		iterate100(snap.Iter(), start%(1<<14-200))
+		start += 101
+	})
+	if got > snapIterAllocBudget {
+		t.Fatalf("snapshot iterator allocs/op = %.2f, budget %.2f (pooling regressed?)", got, snapIterAllocBudget)
+	}
+	t.Logf("snapshot iterator allocs/op = %.2f (budget %.2f)", got, snapIterAllocBudget)
+
+	got = measure(200, func() {
+		iterate100(m.Iter(), start%(1<<14-200))
+		start += 101
+	})
+	if got > mapIterAllocBudget {
+		t.Fatalf("map iterator allocs/op = %.2f, budget %.2f (steady state is the 2 ephemeral-snapshot allocs)", got, mapIterAllocBudget)
+	}
+	t.Logf("map iterator allocs/op = %.2f (budget %.2f)", got, mapIterAllocBudget)
+
+	s := jiffy.NewSharded[uint64, uint64](8)
+	for i := uint64(0); i < 1<<14; i++ {
+		s.Put(i, i)
+	}
+	ssnap := s.Snapshot()
+	defer ssnap.Close()
+	got = measure(200, func() {
+		iterate100(ssnap.Iter(), start%(1<<14-200))
+		start += 101
+	})
+	if got > shardedIterAllocBudget {
+		t.Fatalf("sharded iterator allocs/op = %.2f, budget %.2f (pooling regressed?)", got, shardedIterAllocBudget)
+	}
+	t.Logf("sharded iterator allocs/op = %.2f (budget %.2f)", got, shardedIterAllocBudget)
 }

@@ -46,6 +46,7 @@ func benchPoint[K cmp.Ordered, V any](
 	harness.Prefill(idx, cfg, keyOf, valOf)
 	batcher, _ := any(idx).(index.Batcher[K, V])
 	useBatch := batch.Size > 1 && batcher != nil
+	iterable, _ := any(idx).(index.Iterable[K, V])
 	roles := mix.Assign(benchThreads)
 	var nextRole atomic.Int64
 	var basicOps atomic.Int64
@@ -86,13 +87,7 @@ func benchPoint[K cmp.Ordered, V any](
 				idx.Get(keyOf(gen.Next()))
 				n++
 			case workload.Scanner:
-				want := mix.ScanLen
-				seen := 0
-				idx.RangeFrom(keyOf(gen.Next()), func(K, V) bool {
-					seen++
-					return seen < want
-				})
-				n += int64(seen)
+				n += int64(harness.ScanWindow(idx, iterable, keyOf(gen.Next()), mix.ScanLen))
 			}
 		}
 		basicOps.Add(n)
@@ -292,6 +287,85 @@ func BenchmarkSharded_MergedScan(b *testing.B) {
 	}
 }
 
+// --- Scan-heavy scenario (workload.MixScanHeavy): the concordance-style
+// read-a-window-around-every-hit mix the PR 4 read-scalability work is
+// measured under. Scanners dominate (75 % of threads, 500-entry windows)
+// and run through the streaming iterators. ---
+
+func BenchmarkScanHeavy(b *testing.B) {
+	for _, name := range []string{"jiffy", "jiffy-sharded"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			benchPoint(b, func() index.Index[uint64, *harness.Payload] { return harness.NewIndexA(name) },
+				harness.KeyA, harness.ValA, workload.MixScanHeavy, workload.BatchMode{}, workload.Uniform)
+		})
+	}
+}
+
+// --- Version seeks: snapshot point reads against a 1024+-deep revision
+// chain (one node, every revision pinned by a live snapshot), with the
+// back-skip pointers on vs the linear-walk baseline (DisableChainSeek).
+// The BENCH_0004.json deep-chain claim is this pair. ---
+
+func benchDeepChainGet(b *testing.B, disableSeek bool) {
+	const depth = 1200
+	m := core.New[uint64, uint64](core.Options[uint64]{DisableChainSeek: disableSeek})
+	snaps := make([]*core.Snapshot[uint64, uint64], 0, depth)
+	for i := uint64(0); i < depth; i++ {
+		m.Put(7, i)
+		snaps = append(snaps, m.Snapshot())
+	}
+	defer func() {
+		for _, s := range snaps {
+			s.Close()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rotate through old snapshots so seeks land at every depth.
+		s := snaps[(i*37)%depth]
+		if _, ok := s.Get(7); !ok {
+			b.Fatal("key lost")
+		}
+	}
+}
+
+func BenchmarkCore_DeepChainGet(b *testing.B)       { benchDeepChainGet(b, false) }
+func BenchmarkCore_DeepChainGetLinear(b *testing.B) { benchDeepChainGet(b, true) }
+
+// --- Parallel merged scans: long (10k-entry) cross-shard scans, which
+// escalate to per-shard prefetch goroutines past the serial threshold.
+// With GOMAXPROCS=1 the escalation is disabled and this measures the
+// serial fallback. ---
+
+func BenchmarkSharded_MergedScanLong(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("s%d", shards), func(b *testing.B) {
+			s := jiffy.NewSharded[uint64, uint64](shards)
+			for i := uint64(0); i < benchPrefill; i++ {
+				s.Put(i, i)
+			}
+			snap := s.Snapshot()
+			defer snap.Close()
+			b.ResetTimer()
+			entries := 0
+			for i := 0; i < b.N; i++ {
+				n := 0
+				snap.RangeFrom(uint64(i%(benchPrefill-20000)), func(uint64, uint64) bool {
+					n++
+					return n < 10000
+				})
+				entries += n
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(entries)/sec/1e6, "Mentries/s")
+			}
+		})
+	}
+}
+
 // --- Core micro-benchmarks: the primitive operations of the Jiffy map. ---
 
 func BenchmarkCore_Put(b *testing.B) {
@@ -442,6 +516,72 @@ func BenchmarkMem_Scan100(b *testing.B) {
 			n++
 			return n < 100
 		})
+	}
+}
+
+// BenchmarkMem_Iter100 is a 100-entry bounded scan through a pooled
+// streaming iterator over an existing snapshot: the warm steady state is
+// zero allocations per scan.
+func BenchmarkMem_Iter100(b *testing.B) {
+	m := core.New[uint64, uint64]()
+	for i := uint64(0); i < benchPrefill; i++ {
+		m.Put(i, i)
+	}
+	snap := m.Snapshot()
+	defer snap.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := snap.Iter()
+		it.Seek(uint64(i % (benchPrefill - 200)))
+		n := 0
+		for n < 100 && it.Next() {
+			n++
+		}
+		it.Close()
+	}
+}
+
+// BenchmarkMem_MapIter100 is BenchmarkMem_Iter100 against the live map:
+// each op additionally registers and closes the iterator's own ephemeral
+// snapshot (two allocations: the snapshot and its registry entry).
+func BenchmarkMem_MapIter100(b *testing.B) {
+	m := jiffy.New[uint64, uint64]()
+	for i := uint64(0); i < benchPrefill; i++ {
+		m.Put(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := m.Iter()
+		it.Seek(uint64(i % (benchPrefill - 200)))
+		n := 0
+		for n < 100 && it.Next() {
+			n++
+		}
+		it.Close()
+	}
+}
+
+// BenchmarkMem_ShardedIter100 is the 8-shard merge-iterator variant over
+// an existing cross-shard snapshot; warm steady state is zero allocations.
+func BenchmarkMem_ShardedIter100(b *testing.B) {
+	s := jiffy.NewSharded[uint64, uint64](8)
+	for i := uint64(0); i < benchPrefill; i++ {
+		s.Put(i, i)
+	}
+	snap := s.Snapshot()
+	defer snap.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := snap.Iter()
+		it.Seek(uint64(i % (benchPrefill - 200)))
+		n := 0
+		for n < 100 && it.Next() {
+			n++
+		}
+		it.Close()
 	}
 }
 

@@ -36,13 +36,14 @@ func main() {
 		figure   = flag.String("figure", "5", "figure to regenerate: 5, 6, 7, 8, 9 or 10")
 		row      = flag.String("row", "simple", "figure row: simple, b10 or b100")
 		threads  = flag.String("threads", "1,2,4,8", "comma-separated thread counts (paper: 8..96)")
-		mixes    = flag.String("mix", "w,ul,ms,ml", "scenarios: w (update-only), ul (update-lookup), ms (short scans), ml (long scans)")
+		mixes    = flag.String("mix", "w,ul,ms,ml", "scenarios: w (update-only), ul (update-lookup), ms (short scans), ml (long scans), sh (scan-heavy)")
 		indices  = flag.String("indices", "", "restrict to these indices (comma-separated; default: all for the row)")
 		keyspace = flag.Uint64("keyspace", 1<<18, "unique keys (paper: 20M)")
 		prefill  = flag.Int("prefill", 1<<17, "prefilled entries (paper: 10M)")
 		duration = flag.Duration("duration", 300*time.Millisecond, "measurement time per point")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		claims   = flag.Bool("claims", false, "measure the scalar claims of §4.3 instead of a figure")
+		micro    = flag.Bool("micro", false, "measure the read-scalability micro claims (deep-chain seeks, iterator allocs, merged-scan scaling) instead of a figure")
 		shards   = flag.Int("shards", 0, "shard count for the jiffy-sharded index (default: GOMAXPROCS, min 2)")
 		jsonOut  = flag.String("json", "", "also write results to this file as JSON (e.g. BENCH_fig5.json), for perf-trajectory tracking")
 	)
@@ -58,6 +59,18 @@ func main() {
 			os.Exit(2)
 		}
 		runClaims(*keyspace, *prefill, *duration, *seed)
+		return
+	}
+
+	if *micro {
+		res := runMicro(*duration, *seed)
+		if *jsonOut != "" {
+			if err := writeMicroJSON(*jsonOut, res); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("# wrote micro results to %s\n", *jsonOut)
+		}
 		return
 	}
 
@@ -96,7 +109,7 @@ func main() {
 	fmt.Printf("# figure %s row %s  keyspace=%d prefill=%d duration=%v\n",
 		fig.ID, *row, *keyspace, *prefill, *duration)
 	var all []harness.Result
-	for _, mix := range workload.Mixes {
+	for _, mix := range workload.AllMixes {
 		if !wantMix[mix.Name] {
 			continue
 		}

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+	"repro/jiffy"
+)
+
+// The -micro mode measures the scalar read-scalability claims that do not
+// fit the figure schema: O(log k) version seeks on deep revision chains,
+// warm iterator allocation counts, and merged-scan throughput across shard
+// counts (serial fallback under GOMAXPROCS=1, prefetch-parallel above).
+// The results are written as the "micro" section of a BENCH_*.json file
+// (BENCH_0004.json is the committed instance; see EXPERIMENTS.md).
+
+// microFile is the -micro JSON schema.
+type microFile struct {
+	Kind       string `json:"kind"` // always "micro"
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	When       string `json:"when"`
+
+	// DeepChain: snapshot point reads against a chain of Depth revisions
+	// pinned by live snapshots, seek-accelerated vs the linear-walk
+	// baseline (Options.DisableChainSeek).
+	DeepChain struct {
+		Depth      int     `json:"depth"`
+		SeekNsOp   float64 `json:"seek_ns_op"`
+		LinearNsOp float64 `json:"linear_ns_op"`
+		Speedup    float64 `json:"speedup"`
+	} `json:"deep_chain"`
+
+	// IterAllocs: allocations per warm 100-entry bounded scan through
+	// each iterator flavor (mallocs measured via runtime.MemStats).
+	IterAllocs struct {
+		SnapshotIter    float64 `json:"snapshot_iter"`
+		MapIter         float64 `json:"map_iter"`
+		ShardedSnapIter float64 `json:"sharded_snapshot_iter"`
+	} `json:"iter_allocs"`
+
+	// MergedScan: long (10k-entry) cross-shard merged-scan throughput by
+	// shard count, in millions of entries per second. Under GOMAXPROCS=1
+	// this is the serial loser-tree fallback; with more cores the scans
+	// escalate to per-shard prefetch.
+	MergedScan []microScanPoint `json:"merged_scan"`
+
+	// ScanHeavy: harness throughput of the sh scenario (75 % scanners,
+	// 500-entry windows) for the two jiffy frontends.
+	ScanHeavy []microMixPoint `json:"scan_heavy"`
+}
+
+type microScanPoint struct {
+	Shards    int     `json:"shards"`
+	MentriesS float64 `json:"mentries_s"`
+}
+
+type microMixPoint struct {
+	Index     string  `json:"index"`
+	Threads   int     `json:"threads"`
+	TotalMops float64 `json:"total_mops"`
+}
+
+const microPrefill = 1 << 15
+
+// runMicro executes the micro measurements and prints one line per result.
+func runMicro(duration time.Duration, seed uint64) *microFile {
+	out := &microFile{Kind: "micro", GOMAXPROCS: runtime.GOMAXPROCS(0),
+		When: time.Now().UTC().Format(time.RFC3339)}
+
+	// Deep-chain seeks.
+	const depth = 1200
+	out.DeepChain.Depth = depth
+	out.DeepChain.SeekNsOp = deepChainNsOp(depth, false)
+	out.DeepChain.LinearNsOp = deepChainNsOp(depth, true)
+	out.DeepChain.Speedup = out.DeepChain.LinearNsOp / out.DeepChain.SeekNsOp
+	fmt.Printf("micro deep-chain depth=%d seek=%.0f ns/op linear=%.0f ns/op speedup=%.1fx\n",
+		depth, out.DeepChain.SeekNsOp, out.DeepChain.LinearNsOp, out.DeepChain.Speedup)
+
+	// Iterator allocations.
+	out.IterAllocs.SnapshotIter, out.IterAllocs.MapIter, out.IterAllocs.ShardedSnapIter = iterAllocs()
+	fmt.Printf("micro iter-allocs snapshot=%.2f map=%.2f sharded-snapshot=%.2f allocs/op\n",
+		out.IterAllocs.SnapshotIter, out.IterAllocs.MapIter, out.IterAllocs.ShardedSnapIter)
+
+	// Merged-scan throughput by shard count.
+	for _, shards := range []int{1, 2, 4, 8} {
+		p := microScanPoint{Shards: shards, MentriesS: mergedScanMentries(shards, duration)}
+		out.MergedScan = append(out.MergedScan, p)
+		fmt.Printf("micro merged-scan shards=%d %.2f Mentries/s\n", p.Shards, p.MentriesS)
+	}
+
+	// Scan-heavy harness points.
+	threads := runtime.GOMAXPROCS(0) * 2
+	if threads < 4 {
+		threads = 4
+	}
+	for _, name := range []string{"jiffy", "jiffy-sharded"} {
+		cfg := harness.Config{
+			Mix: workload.MixScanHeavy, KeySpace: 1 << 17, Prefill: 1 << 16,
+			Threads: threads, Duration: duration, Seed: seed,
+		}
+		idx := harness.NewIndexA(name)
+		harness.Prefill(idx, cfg, harness.KeyA, harness.ValA)
+		res := harness.Run(idx, cfg, harness.KeyA, harness.ValA)
+		harness.CloseIndex(idx)
+		p := microMixPoint{Index: name, Threads: threads, TotalMops: res.TotalMops()}
+		out.ScanHeavy = append(out.ScanHeavy, p)
+		fmt.Printf("micro scan-heavy %-14s threads=%d %.3f Mops/s\n", p.Index, p.Threads, p.TotalMops)
+	}
+	return out
+}
+
+// deepChainNsOp builds a depth-deep revision chain on one node (every
+// revision pinned by a live snapshot) and times snapshot point reads
+// rotating across all depths.
+func deepChainNsOp(depth int, disableSeek bool) float64 {
+	m := jiffy.New[uint64, uint64](jiffy.Options[uint64]{DisableChainSeek: disableSeek})
+	snaps := make([]*jiffy.Snapshot[uint64, uint64], 0, depth)
+	for i := uint64(0); i < uint64(depth); i++ {
+		m.Put(7, i)
+		snaps = append(snaps, m.Snapshot())
+	}
+	defer func() {
+		for _, s := range snaps {
+			s.Close()
+		}
+	}()
+	const ops = 20000
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if _, ok := snaps[(i*37)%depth].Get(7); !ok {
+			panic("micro: key lost on deep chain")
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / ops
+}
+
+// iterAllocs reports mallocs per warm 100-entry bounded scan for the three
+// iterator flavors.
+func iterAllocs() (snapIter, mapIter, shardedIter float64) {
+	m := jiffy.New[uint64, uint64]()
+	for i := uint64(0); i < microPrefill; i++ {
+		m.Put(i, i)
+	}
+	snap := m.Snapshot()
+	defer snap.Close()
+	snapIter = allocsPerOp(func(i int) {
+		runIter(snap.Iter(), uint64(i%(microPrefill-200)))
+	})
+	mapIter = allocsPerOp(func(i int) {
+		runIter(m.Iter(), uint64(i%(microPrefill-200)))
+	})
+
+	s := jiffy.NewSharded[uint64, uint64](8)
+	for i := uint64(0); i < microPrefill; i++ {
+		s.Put(i, i)
+	}
+	ssnap := s.Snapshot()
+	defer ssnap.Close()
+	shardedIter = allocsPerOp(func(i int) {
+		runIter(ssnap.Iter(), uint64(i%(microPrefill-200)))
+	})
+	return snapIter, mapIter, shardedIter
+}
+
+func runIter(it jiffy.Iterator[uint64, uint64], lo uint64) {
+	it.Seek(lo)
+	n := 0
+	for n < 100 && it.Next() {
+		n++
+	}
+	it.Close()
+}
+
+// allocsPerOp measures average mallocs per op after a warmup that fills
+// the pools (the testing-package helper, minus the testing package).
+func allocsPerOp(op func(i int)) float64 {
+	for i := 0; i < 200; i++ {
+		op(i)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const ops = 2000
+	for i := 0; i < ops; i++ {
+		op(i)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / ops
+}
+
+// mergedScanMentries measures long merged-scan throughput at one shard
+// count.
+func mergedScanMentries(shards int, duration time.Duration) float64 {
+	s := jiffy.NewSharded[uint64, uint64](shards)
+	for i := uint64(0); i < microPrefill; i++ {
+		s.Put(i, i)
+	}
+	snap := s.Snapshot()
+	defer snap.Close()
+	if duration <= 0 {
+		duration = 300 * time.Millisecond
+	}
+	var entries uint64
+	start := time.Now()
+	for i := 0; time.Since(start) < duration; i++ {
+		n := 0
+		snap.RangeFrom(uint64((i*977)%(microPrefill-12000)), func(uint64, uint64) bool {
+			n++
+			return n < 10000
+		})
+		entries += uint64(n)
+	}
+	return float64(entries) / 1e6 / time.Since(start).Seconds()
+}
+
+func writeMicroJSON(path string, res *microFile) error {
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"math/rand/v2"
 	"sync/atomic"
 )
 
@@ -53,9 +52,12 @@ func (m *Map[K, V]) carryUpdateStats(dst, src *revStats) {
 // pReads = t + (1-t)*p, pUpdates = (1-t)*u. To keep the read path cheap the
 // bump is sampled roughly once per 128 reads (the paper throttles to one
 // bump per 100 reads per thread; sampling achieves the same rate without
-// thread-local state).
-func (m *Map[K, V]) noteRead(r *revision[K, V]) {
-	if rand.Uint64()&127 != 0 {
+// thread-local state). rnd is the caller's epoch-pin random draw
+// (epochEnterRand) — bits 8-14, disjoint from the stripe-choice bits —
+// so the sampled-out fast path is one mask-and-compare with no second
+// random draw and no shared counter.
+func (m *Map[K, V]) noteRead(r *revision[K, V], rnd uint64) {
+	if (rnd>>8)&127 != 0 {
 		return
 	}
 	s := &r.stats

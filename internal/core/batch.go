@@ -369,6 +369,7 @@ func (m *Map[K, V]) applyBatchDesc(desc *batchDesc[K, V]) {
 		nr := m.newRevisionPl(revRegular, pl)
 		nr.desc = desc
 		nr.next.Store(headRev)
+		m.linkSkip(nr, headRev)
 		m.carryUpdateStats(&nr.stats, &headRev.stats)
 		if nd.head.CompareAndSwap(headRev, nr) {
 			desc.remaining.CompareAndSwap(cursor, lo)

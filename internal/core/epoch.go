@@ -72,13 +72,23 @@ func init() { epochClock.Store(2) }
 // pass to epochExit. It never blocks: the retry loop only runs when the
 // epoch advances concurrently, which the pin itself then prevents.
 func epochEnter() (slot int, e uint64) {
-	slot = int(rand.Uint64() & (epochStripes - 1))
+	slot, e, _ = epochEnterRand()
+	return slot, e
+}
+
+// epochEnterRand is epochEnter, additionally handing back the full random
+// draw the stripe choice consumed only five bits of. Hot read paths reuse
+// the spare bits for their sampling decisions (noteRead, noteSeek) instead
+// of drawing a second random number per operation.
+func epochEnterRand() (slot int, e uint64, rnd uint64) {
+	rnd = rand.Uint64()
+	slot = int(rnd & (epochStripes - 1))
 	c := &epochRing[slot]
 	for {
 		e = epochClock.Load()
 		c.cnt[e%3].Add(1)
 		if epochClock.Load() == e {
-			return slot, e
+			return slot, e, rnd
 		}
 		// The epoch moved between the load and the increment: the pin
 		// may be in a slot the advancer already inspected. Roll back

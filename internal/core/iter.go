@@ -1,0 +1,179 @@
+package core
+
+import "cmp"
+
+// iterChunk is the number of entries an Iterator buffers per refill. Each
+// refill re-seeks the snapshot at the last delivered key (an O(log n)
+// index descent), so the chunk amortizes seeks while bounding both the
+// buffered memory and — more importantly — the length of each epoch pin.
+const iterChunk = 128
+
+// Iterator is a pull-style cursor over one consistent version of the map:
+// Seek positions it, Next advances it, Key/Value read the current entry.
+// Unlike the push-style Range/All callbacks, which hold a reclamation
+// epoch pin for the whole scan, an Iterator pins the epoch only inside
+// each internal chunk refill (one m.scan call of at most iterChunk
+// entries): between refills — and between the caller's Next calls,
+// however far apart they are — no pin is held, so arbitrarily slow
+// consumers never stall payload reclamation or epoch advance. The
+// snapshot registration alone keeps the state at the iterator's version
+// from being pruned; the bounded pin covers exactly the unlink race the
+// epoch scheme exists for (epoch.go), which is why bounded pinning loses
+// no safety over whole-scan pinning.
+//
+// An Iterator is not safe for concurrent use. Close it when done: Close
+// recycles its buffers through the map's iterator pool and, for iterators
+// obtained from Map.Iter, closes the internal snapshot.
+type Iterator[K cmp.Ordered, V any] struct {
+	m     *Map[K, V]
+	snap  *Snapshot[K, V]
+	owned bool // snap was created by Map.Iter and is closed on Close
+
+	keys []K
+	vals []V
+	pos  int
+
+	from      K
+	hasFrom   bool
+	last      K // last key delivered into the buffer; refills resume above it
+	hasLast   bool
+	exhausted bool
+
+	// collect is the reusable buffer-filling callback handed to m.scan,
+	// built once per pooled iterator so refills allocate nothing.
+	collect func(K, V) bool
+}
+
+// Iter returns an iterator over a consistent snapshot of the map taken at
+// call time; the snapshot is owned by the iterator and released by Close.
+// The iterator starts before the first entry (or call Seek): the usual
+// loop is
+//
+//	it := m.Iter()
+//	defer it.Close()
+//	it.Seek(lo)
+//	for it.Next() {
+//		use(it.Key(), it.Value())
+//	}
+func (m *Map[K, V]) Iter() *Iterator[K, V] {
+	it := m.getIter()
+	it.snap = m.Snapshot()
+	it.owned = true
+	return it
+}
+
+// Iter returns an iterator over the snapshot. The snapshot must stay open
+// while the iterator is in use; closing the iterator does not close it.
+func (s *Snapshot[K, V]) Iter() *Iterator[K, V] {
+	it := s.m.getIter()
+	it.snap = s
+	return it
+}
+
+// getIter takes an iterator from the map's pool (fresh on a cold pool)
+// with buffers allocated and the collect callback bound.
+func (m *Map[K, V]) getIter() *Iterator[K, V] {
+	if it, _ := m.iterPool.Get().(*Iterator[K, V]); it != nil {
+		return it
+	}
+	it := &Iterator[K, V]{
+		m:    m,
+		keys: make([]K, 0, iterChunk),
+		vals: make([]V, 0, iterChunk),
+	}
+	it.collect = func(k K, v V) bool {
+		if it.hasLast && k == it.last {
+			return true // the resume key itself; already delivered
+		}
+		it.keys = append(it.keys, k)
+		it.vals = append(it.vals, v)
+		return len(it.keys) < iterChunk
+	}
+	return it
+}
+
+// Seek repositions the iterator just before the first entry with key >=
+// key; the following Next moves onto it. Seeking an exhausted or
+// partially consumed iterator is permitted and restarts it at key.
+func (it *Iterator[K, V]) Seek(key K) {
+	it.keys = it.keys[:0]
+	it.vals = it.vals[:0]
+	it.pos = 0
+	it.from = key
+	it.hasFrom = true
+	it.hasLast = false
+	it.exhausted = false
+}
+
+// Next advances to the next entry and reports whether one exists. The
+// first Next after construction (or Seek) moves onto the first entry.
+func (it *Iterator[K, V]) Next() bool {
+	if it.pos+1 < len(it.keys) {
+		it.pos++
+		return true
+	}
+	it.refill()
+	return len(it.keys) > 0
+}
+
+// Key returns the current entry's key. Valid only after a Next that
+// returned true.
+func (it *Iterator[K, V]) Key() K { return it.keys[it.pos] }
+
+// Value returns the current entry's value. Valid only after a Next that
+// returned true.
+func (it *Iterator[K, V]) Value() V { return it.vals[it.pos] }
+
+// refill replenishes the buffer with the next chunk of entries above the
+// last delivered key (or from the Seek position on the first fill). One
+// refill is one bounded m.scan call: the epoch pin it takes spans at most
+// iterChunk delivered entries.
+func (it *Iterator[K, V]) refill() {
+	it.keys = it.keys[:0]
+	it.vals = it.vals[:0]
+	it.pos = 0
+	if it.exhausted {
+		return
+	}
+	switch {
+	case it.hasLast:
+		it.m.scan(&it.last, nil, it.snap.ver, it.collect)
+	case it.hasFrom:
+		it.m.scan(&it.from, nil, it.snap.ver, it.collect)
+	default:
+		it.m.scan(nil, nil, it.snap.ver, it.collect)
+	}
+	if len(it.keys) < iterChunk {
+		it.exhausted = true // short fill: the stream is dry
+	}
+	if len(it.keys) > 0 {
+		it.last = it.keys[len(it.keys)-1]
+		it.hasLast = true
+	}
+}
+
+// Close releases the iterator: the owned snapshot (Map.Iter) is closed,
+// the buffers are cleared — a pooled iterator must not pin values — and
+// the state returns to the map's pool for the next iterator. A second
+// Close is a no-op: double-pooling one iterator would hand the same
+// object to two later scans.
+func (it *Iterator[K, V]) Close() {
+	if it.snap == nil {
+		return // already closed
+	}
+	if it.owned {
+		it.snap.Close()
+	}
+	m := it.m
+	clear(it.keys[:cap(it.keys)])
+	clear(it.vals[:cap(it.vals)])
+	it.keys = it.keys[:0]
+	it.vals = it.vals[:0]
+	it.snap = nil
+	it.owned = false
+	it.pos = 0
+	it.hasFrom = false
+	it.hasLast = false
+	it.exhausted = false
+	m.iterPool.Put(it)
+}

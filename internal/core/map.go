@@ -35,8 +35,16 @@ type Map[K cmp.Ordered, V any] struct {
 	// epoch-gated retirement of pruned revisions (recycle.go).
 	rec *recycler[K, V]
 
-	// fragPool recycles the per-scan fragment scratch (scan.go).
+	// fragPool recycles the per-scan fragment scratch (scan.go); iterPool
+	// recycles streaming-iterator states (iter.go).
 	fragPool sync.Pool
+	iterPool sync.Pool
+
+	// seekSamples/seekSteps are the sampled version-seek telemetry
+	// (seek.go): roughly one in 64 snapshot point reads records how many
+	// chain hops its boundary seek took. Stats() exposes both.
+	seekSamples atomic.Uint64
+	seekSteps   atomic.Uint64
 
 	snaps snapRegistry
 }

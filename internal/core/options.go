@@ -62,6 +62,13 @@ type Options[K cmp.Ordered] struct {
 	// reclamation epoch — the cost is two striped atomic adds — but
 	// nothing is ever retired or reused.
 	DisableRecycling bool
+
+	// DisableChainSeek turns off the per-revision back-skip pointers that
+	// give snapshot reads and scans O(log k) seeks into long revision
+	// chains (seek.go), so every version lookup walks the chain linearly
+	// from the head (ablation A5, and the baseline the BENCH_0004
+	// deep-chain claim is measured against).
+	DisableChainSeek bool
 }
 
 func (o Options[K]) withDefaults() Options[K] {

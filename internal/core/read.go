@@ -23,7 +23,7 @@ func (m *Map[K, V]) Get(key K) (V, bool) {
 // The epoch pin brackets every payload access: revisions pruned and
 // retired concurrently stay readable until the pin is released (epoch.go).
 func (m *Map[K, V]) get(key K, snap int64) (V, bool) {
-	slot, epoch := epochEnter()
+	slot, epoch, rnd := epochEnterRand()
 	defer epochExit(slot, epoch)
 	var headRev *revision[K, V]
 	for {
@@ -50,9 +50,11 @@ func (m *Map[K, V]) get(key K, snap int64) (V, bool) {
 	if snap == newestVersion {
 		rev = m.getNewestRevision(headRev, key)
 	} else {
-		rev = m.getRevision(headRev, key, snap)
+		var steps int
+		rev, steps = m.seekRevision(headRev, key, snap)
+		m.noteSeek(steps, rnd)
 	}
-	m.noteRead(headRev)
+	m.noteRead(headRev, rnd)
 	if rev == nil {
 		var zero V
 		return zero, false
@@ -69,31 +71,6 @@ func (m *Map[K, V]) getNewestRevision(headRev *revision[K, V], key K) *revision[
 		if rev.ver() > 0 {
 			return redirectSplit(rev, key)
 		}
-		if rev.kind == revMerge && key >= rev.rightKey {
-			rev = rev.rightNext.Load()
-		} else {
-			rev = rev.next.Load()
-		}
-	}
-	return nil
-}
-
-// getRevision returns the revision holding key's value at snapshot version
-// snap: the newest revision with final version <= snap. Pending updates
-// that may belong to the snapshot (|v| <= snap) are helped to completion so
-// their final version can be resolved (§3.2; Algorithm 2, lines 35-52).
-func (m *Map[K, V]) getRevision(headRev *revision[K, V], key K, snap int64) *revision[K, V] {
-	rev := headRev
-	for rev != nil {
-		v := rev.ver()
-		if v < 0 && -v <= snap {
-			m.helpPendingUpdate(rev)
-			v = rev.ver()
-		}
-		if v > 0 && v <= snap {
-			return redirectSplit(rev, key)
-		}
-		// |v| > snap: this revision is invisible to the snapshot.
 		if rev.kind == revMerge && key >= rev.rightKey {
 			rev = rev.rightNext.Load()
 		} else {

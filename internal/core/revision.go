@@ -63,6 +63,15 @@ type revision[K cmp.Ordered, V any] struct {
 	// next is the (left) successor in the revision list.
 	next atomic.Pointer[revision[K, V]]
 
+	// skip and skipPos form the version-seek accelerator (seek.go): skip
+	// points a power-of-two number of revisions further down the same
+	// chain (Fenwick spacing over skipPos, the revision's position within
+	// its run of consecutive regular revisions). Both are written by
+	// linkSkip before the revision is published and never change; skip is
+	// nil on structural revisions and when chain seeking is disabled.
+	skip    *revision[K, V]
+	skipPos uint32
+
 	// Merge-revision fields: rightNext is the right successor (the merged
 	// node's old revision chain), rightKey the key of the node that was
 	// merged away, mt the terminator this revision resolves.

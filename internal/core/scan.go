@@ -209,6 +209,14 @@ func (m *Map[K, V]) resolveFrags(rev *revision[K, V], snap int64, lo, hi *K, out
 			rev = rev.rightNext.Load()
 			continue
 		}
+		// Version seek (seek.go): jump the back-skip pointer while its
+		// target — and hence everything in between — is invisible at
+		// snap. Skips never cross merge revisions, so the branch above
+		// is always taken explicitly.
+		if s := rev.skip; s != nil && invisibleAt(s.ver(), snap) {
+			rev = s
+			continue
+		}
 		rev = rev.next.Load()
 	}
 }

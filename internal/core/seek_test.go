@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// deepChain builds a revision chain >= depth long on one node: repeated
+// puts to one key never split, and a snapshot taken after every put pins
+// every boundary, so the inner GC can prune nothing. It returns the
+// per-update (version, value) history and the pinning snapshots.
+func deepChain(t *testing.T, m *Map[uint64, uint64], key uint64, depth int) (vers []int64, vals []uint64, snaps []*Snapshot[uint64, uint64]) {
+	t.Helper()
+	for i := 0; i < depth; i++ {
+		v := m.PutVersioned(key, uint64(i))
+		vers = append(vers, v)
+		vals = append(vals, uint64(i))
+		snaps = append(snaps, m.Snapshot())
+	}
+	return vers, vals, snaps
+}
+
+// chainLen counts the left chain under the node covering key.
+func chainLen(m *Map[uint64, uint64], key uint64) int {
+	nd := m.findNodeForKey(key)
+	n := 0
+	for r := nd.head.Load(); r != nil; r = r.next.Load() {
+		n++
+	}
+	return n
+}
+
+// oracleAt returns the value key had at version v according to the
+// recorded history: the value of the newest update with version <= v.
+func oracleAt(vers []int64, vals []uint64, v int64) (uint64, bool) {
+	i := searchKeys(vers, v)
+	// searchKeys returns first index with vers[i] >= v; we want the last
+	// index with vers[i] <= v.
+	if i < len(vers) && vers[i] == v {
+		return vals[i], true
+	}
+	if i == 0 {
+		return 0, false
+	}
+	return vals[i-1], true
+}
+
+// TestDeepChainSeekOracle checks get(key, snap) against the recorded
+// history on a >= 1024-deep chain, at every recorded version and at
+// versions between them, both before any pruning and after a mid-chain
+// prune has dropped half the boundaries.
+func TestDeepChainSeekOracle(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		name := "seek"
+		if disable {
+			name = "linear"
+		}
+		t.Run(name, func(t *testing.T) {
+			const depth = 1500
+			m := New[uint64, uint64](Options[uint64]{DisableChainSeek: disable})
+			vers, vals, snaps := deepChain(t, m, 7, depth)
+			if got := chainLen(m, 7); got < 1024 {
+				t.Fatalf("chain length = %d, want >= 1024", got)
+			}
+
+			check := func(stage string) {
+				t.Helper()
+				for i, s := range snaps {
+					if s == nil {
+						continue
+					}
+					got, ok := s.Get(7)
+					want, wantOK := oracleAt(vers, vals, s.Version())
+					if ok != wantOK || got != want {
+						t.Fatalf("%s: snapshot %d (ver %d): got (%d,%v), oracle (%d,%v)",
+							stage, i, s.Version(), got, ok, want, wantOK)
+					}
+				}
+				// Versions between and beyond the recorded points, read
+				// through live registered snapshots (get at an arbitrary
+				// unregistered version has no GC protection).
+				for i, s := range snaps {
+					if s == nil {
+						continue
+					}
+					got, ok := m.get(7, s.Version())
+					want, wantOK := oracleAt(vers, vals, s.Version())
+					if ok != wantOK || got != want {
+						t.Fatalf("%s: direct get at ver %d (snap %d): got (%d,%v), oracle (%d,%v)",
+							stage, s.Version(), i, got, ok, want, wantOK)
+					}
+				}
+			}
+			check("pre-prune")
+
+			// Mid-prune: release every other snapshot and force a GC pass
+			// on the node (any update to it prunes). The surviving
+			// snapshots must still read their exact boundaries.
+			for i := range snaps {
+				if i%2 == 1 {
+					snaps[i].Close()
+					snaps[i] = nil
+				}
+			}
+			m.Put(7, 1<<40)
+			check("mid-prune")
+
+			if !disable {
+				st := m.Stats()
+				if st.SeekSamples > 0 {
+					avg := float64(st.SeekSteps) / float64(st.SeekSamples)
+					if avg > 128 {
+						t.Fatalf("mean sampled seek depth %.1f on a %d-deep chain; skips not engaged?", avg, depth)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSkipPointerInvariants walks a deep chain and checks every back-skip
+// pointer: the target must be reachable from its owner by pure next steps
+// without crossing a merge revision (whose branches are key-dependent),
+// and versions along the chain must not increase.
+func TestSkipPointerInvariants(t *testing.T) {
+	const depth = 600
+	m := New[uint64, uint64]()
+	_, _, snaps := deepChain(t, m, 3, depth)
+	defer func() {
+		for _, s := range snaps {
+			s.Close()
+		}
+	}()
+	nd := m.findNodeForKey(3)
+	var chain []*revision[uint64, uint64]
+	index := map[*revision[uint64, uint64]]int{}
+	for r := nd.head.Load(); r != nil; r = r.next.Load() {
+		index[r] = len(chain)
+		chain = append(chain, r)
+	}
+	seen := 0
+	for i, r := range chain {
+		s := r.skip
+		if s == nil {
+			continue
+		}
+		seen++
+		if sv, rv := s.ver(), r.ver(); sv > 0 && rv > 0 && sv > rv {
+			t.Fatalf("skip target version %d above owner version %d", sv, rv)
+		}
+		j, live := index[s]
+		if !live {
+			// The target was pruned off the live chain; a seek only
+			// follows it when the target is invisible, in which case the
+			// frozen path below it rejoins the live boundaries (see
+			// seek.go). Nothing further to assert structurally.
+			continue
+		}
+		if j <= i {
+			t.Fatalf("skip target of pos %d points upward (chain index %d -> %d)", r.skipPos, i, j)
+		}
+		for _, c := range chain[i+1 : j] {
+			if c.kind == revMerge {
+				t.Fatalf("skip pointer at pos %d crosses a merge revision", r.skipPos)
+			}
+		}
+	}
+	if seen < depth/2 {
+		t.Fatalf("only %d of ~%d revisions carry skip pointers", seen, depth)
+	}
+}
+
+// TestDeepChainSeekRace exercises seeks while the chain is concurrently
+// grown and pruned: writers hammer one node's keys, a churner opens and
+// closes snapshots (so GC alternately keeps and drops boundaries), and
+// readers verify that values read through live snapshots never violate
+// the per-key monotonic history. Run with -race.
+func TestDeepChainSeekRace(t *testing.T) {
+	m := New[uint64, uint64]()
+	const iters = 300
+	var stop atomic.Bool
+	var bg, wg sync.WaitGroup
+
+	// Writer: monotone values per key on a tiny key range (one node).
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for i := uint64(1); !stop.Load(); i++ {
+			m.Put(i%4, i)
+		}
+	}()
+
+	// Churner: short-lived snapshots keep the GC's kept-set shifting.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for !stop.Load() {
+			s := m.Snapshot()
+			s.Close()
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, seed))
+			for i := 0; i < iters; i++ {
+				s := m.Snapshot()
+				key := rng.Uint64() % 4
+				v1, ok1 := s.Get(key)
+				v2, ok2 := s.Get(key) // snapshot reads must be stable
+				if ok1 != ok2 || v1 != v2 {
+					t.Errorf("snapshot read not repeatable: (%d,%v) then (%d,%v)", v1, ok1, v2, ok2)
+				}
+				s.Close()
+			}
+		}(uint64(r + 1))
+	}
+	wg.Wait() // readers finish first; then stop the background load
+	stop.Store(true)
+	bg.Wait()
+}
+
+// TestIndexLaneRepair simulates the total loss of the skip-index lanes (a
+// lost index insertion is the same failure, smaller) and checks that (a)
+// the base list alone still serves every read correctly — the lanes are an
+// accelerator, not ground truth — and (b) continued updates re-index the
+// structure: new nodes from later splits re-populate the lanes.
+func TestIndexLaneRepair(t *testing.T) {
+	m := New[uint64, uint64](Options[uint64]{FixedRevisionSize: 4})
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		m.Put(i*2, i)
+	}
+
+	// Lose every index insertion at once.
+	m.topIndex.Store(&indexHead[uint64, uint64]{level: 1})
+
+	// Seeks fall back to the base list and stay correct.
+	for i := uint64(0); i < n; i += 17 {
+		if v, ok := m.Get(i * 2); !ok || v != i {
+			t.Fatalf("Get(%d) after lane loss = (%d,%v), want (%d,true)", i*2, v, ok, i)
+		}
+		if _, ok := m.Get(i*2 + 1); ok {
+			t.Fatalf("Get(%d) after lane loss reported a phantom key", i*2+1)
+		}
+	}
+	count := 0
+	m.Range(0, n*2, func(uint64, uint64) bool { count++; return true })
+	if count != n {
+		t.Fatalf("Range after lane loss visited %d entries, want %d", count, n)
+	}
+
+	// Eventually re-indexed: later splits insert their new nodes into the
+	// lanes (probabilistically, so allow a generous number of updates).
+	indexed := func() int {
+		items := 0
+		for h := m.topIndex.Load(); h != nil; h = h.down {
+			for it := h.right.Load(); it != nil; it = it.right.Load() {
+				items++
+			}
+		}
+		return items
+	}
+	for i := uint64(0); i < 64*1024; i++ {
+		m.Put(n*2+i, i)
+		if i%256 == 0 && indexed() >= 8 {
+			break
+		}
+	}
+	if got := indexed(); got < 8 {
+		t.Fatalf("index lanes hold %d items after sustained updates; repair not happening", got)
+	}
+}

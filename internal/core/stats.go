@@ -25,6 +25,14 @@ type Stats struct {
 	PoolMisses    uint64
 	RecycledBytes uint64
 	Epoch         uint64
+
+	// Version-seek telemetry (seek.go): roughly one in 64 snapshot point
+	// reads is sampled, recording how many chain hops its boundary seek
+	// took. The mean sampled seek depth is SeekSteps / SeekSamples; with
+	// the back-skip pointers it stays logarithmic in the chain length
+	// (MaxRevisionList) instead of tracking it linearly.
+	SeekSamples uint64
+	SeekSteps   uint64
 }
 
 // Stats walks the structure concurrently with other operations; the numbers
@@ -52,7 +60,7 @@ func (m *Map[K, V]) Stats() Stats {
 		if sz < s.MinRevisionSize {
 			s.MinRevisionSize = sz
 		}
-		depth := chainDepth(head, 64)
+		depth := chainDepth(head, 1024)
 		s.Revisions += depth
 		if depth > s.MaxRevisionList {
 			s.MaxRevisionList = depth
@@ -72,11 +80,15 @@ func (m *Map[K, V]) Stats() Stats {
 	s.PoolMisses = rs.PoolMisses
 	s.RecycledBytes = rs.RecycledBytes
 	s.Epoch = rs.Epoch
+	s.SeekSamples = m.seekSamples.Load()
+	s.SeekSteps = m.seekSteps.Load()
 	return s
 }
 
 // chainDepth counts revisions on the (left) chain from r, bounded to keep
-// the walk cheap under races.
+// the walk cheap under races. The bound is high enough that the
+// snapshot-pinned deep chains the version-seek structure targets still
+// show their real length in MaxRevisionList.
 func chainDepth[K cmp.Ordered, V any](r *revision[K, V], limit int) int {
 	n := 0
 	for r != nil && n < limit {

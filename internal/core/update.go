@@ -62,6 +62,7 @@ func (m *Map[K, V]) PutVersioned(key K, val V) int64 {
 		nr := m.newRevisionPl(revRegular, pl)
 		nr.version.Store(optVer)
 		nr.next.Store(headRev)
+		m.linkSkip(nr, headRev)
 		m.carryUpdateStats(&nr.stats, &headRev.stats)
 		if nd.head.CompareAndSwap(headRev, nr) {
 			newRev, gcNode = nr, nd
@@ -136,6 +137,7 @@ func (m *Map[K, V]) RemoveVersioned(key K) (int64, bool) {
 		nr := m.newRevisionPl(revRegular, pl)
 		nr.version.Store(optVer)
 		nr.next.Store(headRev)
+		m.linkSkip(nr, headRev)
 		m.carryUpdateStats(&nr.stats, &headRev.stats)
 		if nd.head.CompareAndSwap(headRev, nr) {
 			newRev, gcNode = nr, nd

@@ -90,6 +90,30 @@ func Prefill[K cmp.Ordered, V any](idx index.Index[K, V], cfg Config, keyOf func
 	wg.Wait()
 }
 
+// ScanWindow performs one bounded window scan of want entries starting at
+// lo, pulling through the index's streaming iterator when it offers one
+// (pass the result of the index's Iterable assertion) and falling back to
+// the push-style RangeFrom callback otherwise. It reports the entries
+// seen. The harness scanner role and bench_test's mirror both drive scans
+// through it, so they measure identical behavior.
+func ScanWindow[K cmp.Ordered, V any](idx index.Index[K, V], iterable index.Iterable[K, V], lo K, want int) int {
+	seen := 0
+	if iterable != nil {
+		it := iterable.Iter()
+		it.Seek(lo)
+		for seen < want && it.Next() {
+			seen++
+		}
+		it.Close()
+		return seen
+	}
+	idx.RangeFrom(lo, func(K, V) bool {
+		seen++
+		return seen < want
+	})
+	return seen
+}
+
 // Run measures one point: cfg.Threads goroutines issue their role's
 // operations for cfg.Duration. keyOf/valOf map the generated uint64 key
 // stream into the index's key and value types (uint64 keys with 100-byte
@@ -98,6 +122,7 @@ func Run[K cmp.Ordered, V any](idx index.Index[K, V], cfg Config, keyOf func(uin
 	roles := cfg.Mix.Assign(cfg.Threads)
 	batcher, _ := any(idx).(index.Batcher[K, V])
 	useBatch := cfg.Batch.Size > 1 && batcher != nil
+	iterable, _ := any(idx).(index.Iterable[K, V])
 
 	var stop atomic.Bool
 	var started, ready sync.WaitGroup
@@ -145,13 +170,11 @@ func Run[K cmp.Ordered, V any](idx index.Index[K, V], cfg Config, keyOf func(uin
 					idx.Get(keyOf(gen.Next()))
 					n++
 				case workload.Scanner:
-					want := cfg.Mix.ScanLen
-					seen := 0
-					idx.RangeFrom(keyOf(gen.Next()), func(K, V) bool {
-						seen++
-						return seen < want
-					})
-					n += uint64(seen)
+					// Bounded window scans prefer the streaming iterator
+					// when the index offers one: the scan stops pulling
+					// at the count limit instead of cancelling a
+					// push-style callback mid-walk.
+					n += uint64(ScanWindow(idx, iterable, keyOf(gen.Next()), cfg.Mix.ScanLen))
 				}
 			}
 			totals[t] = n

@@ -35,6 +35,10 @@ func (j *Jiffy[K, V]) Remove(key K) bool { return j.M.Remove(key) }
 // RangeFrom implements Index with a linearizable snapshot scan.
 func (j *Jiffy[K, V]) RangeFrom(lo K, fn func(K, V) bool) { j.M.RangeFrom(lo, fn) }
 
+// Iter implements Iterable with a pooled streaming iterator over an
+// ephemeral snapshot.
+func (j *Jiffy[K, V]) Iter() Iterator[K, V] { return j.M.Iter() }
+
 // BatchUpdate implements Batcher with Jiffy's atomic batch updates.
 func (j *Jiffy[K, V]) BatchUpdate(ops []BatchOp[K, V]) {
 	b := core.NewBatch[K, V](len(ops))
@@ -78,6 +82,10 @@ func (j *ShardedJiffy[K, V]) Remove(key K) bool { return j.S.Remove(key) }
 
 // RangeFrom implements Index with a merged cross-shard snapshot scan.
 func (j *ShardedJiffy[K, V]) RangeFrom(lo K, fn func(K, V) bool) { j.S.RangeFrom(lo, fn) }
+
+// Iter implements Iterable with a pooled loser-tree merge iterator over an
+// ephemeral cross-shard snapshot.
+func (j *ShardedJiffy[K, V]) Iter() Iterator[K, V] { return j.S.Iter() }
 
 // BatchUpdate implements Batcher with cross-shard atomic batch updates.
 func (j *ShardedJiffy[K, V]) BatchUpdate(ops []BatchOp[K, V]) {
@@ -150,6 +158,9 @@ func (j *DurableJiffy[K, V]) Remove(key K) bool {
 
 // RangeFrom implements Index with a linearizable snapshot scan.
 func (j *DurableJiffy[K, V]) RangeFrom(lo K, fn func(K, V) bool) { j.D.RangeFrom(lo, fn) }
+
+// Iter implements Iterable; durability adds nothing to the read path.
+func (j *DurableJiffy[K, V]) Iter() Iterator[K, V] { return j.D.Iter() }
 
 // BatchUpdate implements Batcher; the batch is one atomic log record.
 func (j *DurableJiffy[K, V]) BatchUpdate(ops []BatchOp[K, V]) {

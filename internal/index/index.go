@@ -22,6 +22,27 @@ type Index[K cmp.Ordered, V any] interface {
 	RangeFrom(lo K, fn func(key K, val V) bool)
 }
 
+// Iterator is a pull-style cursor over one consistent view of an index:
+// Seek positions it before the first entry >= key, Next advances it,
+// Key/Value read the current entry, Close releases it. The method set
+// matches jiffy.Iterator so the jiffy frontends' iterators satisfy it
+// directly.
+type Iterator[K cmp.Ordered, V any] interface {
+	Seek(key K)
+	Next() bool
+	Key() K
+	Value() V
+	Close()
+}
+
+// Iterable is implemented by indices that expose streaming iterators (the
+// jiffy frontends). The harness prefers an iterator for its bounded
+// scanner role when the index offers one: a count-limited scan then stops
+// pulling instead of cancelling a push-style callback.
+type Iterable[K cmp.Ordered, V any] interface {
+	Iter() Iterator[K, V]
+}
+
 // BatchOp is one operation inside an atomic batch update.
 type BatchOp[K cmp.Ordered, V any] struct {
 	Key    K

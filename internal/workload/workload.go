@@ -149,16 +149,27 @@ type Mix struct {
 
 // The four test scenarios of §4.2: update-only; update-lookup (25 % / 75 %);
 // and the two mixed scenarios (25 % updates, 50 % lookups, 25 % scans) with
-// short (100-entry) or long (10 000-entry) range scans.
+// short (100-entry) or long (10 000-entry) range scans. MixScanHeavy goes
+// beyond the paper: a scan-dominated concordance-style scenario — most
+// threads read a bounded window of entries around every key they hit, as a
+// keyword-in-context index does — with just enough updates to keep
+// multiversion history churning. It is the workload the streaming
+// iterators and parallel merged scans are measured under.
 var (
 	MixUpdateOnly   = Mix{Name: "w", UpdateFrac: 1}
 	MixUpdateLookup = Mix{Name: "ul", UpdateFrac: 0.25, LookupFrac: 0.75}
 	MixShortScans   = Mix{Name: "ms", UpdateFrac: 0.25, LookupFrac: 0.50, ScanFrac: 0.25, ScanLen: 100}
 	MixLongScans    = Mix{Name: "ml", UpdateFrac: 0.25, LookupFrac: 0.50, ScanFrac: 0.25, ScanLen: 10000}
+	MixScanHeavy    = Mix{Name: "sh", UpdateFrac: 0.10, LookupFrac: 0.15, ScanFrac: 0.75, ScanLen: 500}
 )
 
-// Mixes lists the scenarios in the order the paper's figures use.
-var Mixes = []Mix{MixUpdateOnly, MixUpdateLookup, MixShortScans, MixLongScans}
+// Mixes lists the paper's scenarios in the order its figures use; AllMixes
+// adds this repo's extra scenarios (jiffybench accepts any of them via
+// -mix).
+var (
+	Mixes    = []Mix{MixUpdateOnly, MixUpdateLookup, MixShortScans, MixLongScans}
+	AllMixes = []Mix{MixUpdateOnly, MixUpdateLookup, MixShortScans, MixLongScans, MixScanHeavy}
+)
 
 // Assign distributes roles over n threads, matching the paper's
 // thread-fraction scheme: the first UpdateFrac*n threads update, the next

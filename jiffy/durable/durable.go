@@ -207,6 +207,10 @@ func (d *Map[K, V]) RangeFrom(lo K, fn func(key K, val V) bool) { d.m.RangeFrom(
 // fn returns false.
 func (d *Map[K, V]) All(fn func(key K, val V) bool) { d.m.All(fn) }
 
+// Iter returns a streaming iterator over a consistent snapshot taken at
+// call time; the snapshot is owned by the iterator and released by Close.
+func (d *Map[K, V]) Iter() jiffy.Iterator[K, V] { return d.m.Iter() }
+
 // Stats reports the structural diagnostics of the underlying index.
 func (d *Map[K, V]) Stats() jiffy.Stats { return d.m.Stats() }
 

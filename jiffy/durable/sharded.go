@@ -144,6 +144,11 @@ func (d *Sharded[K, V]) RangeFrom(lo K, fn func(key K, val V) bool) { d.s.RangeF
 // fn returns false.
 func (d *Sharded[K, V]) All(fn func(key K, val V) bool) { d.s.All(fn) }
 
+// Iter returns a streaming iterator over a consistent cross-shard snapshot
+// taken at call time; the snapshot is owned by the iterator and released
+// by Close.
+func (d *Sharded[K, V]) Iter() jiffy.Iterator[K, V] { return d.s.Iter() }
+
 // Stats reports aggregated structural diagnostics across all shards.
 func (d *Sharded[K, V]) Stats() jiffy.Stats { return d.s.Stats() }
 

@@ -1,0 +1,291 @@
+package jiffy
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collectRange gathers a view's entries via the push-style Range surface.
+func collectRange(v View[uint64, uint64], lo uint64, limit int) (keys, vals []uint64) {
+	v.RangeFrom(lo, func(k, val uint64) bool {
+		keys = append(keys, k)
+		vals = append(vals, val)
+		return len(keys) < limit
+	})
+	return keys, vals
+}
+
+// collectIter gathers the same entries via the view's iterator.
+func collectIter(v View[uint64, uint64], lo uint64, limit int) (keys, vals []uint64) {
+	it := v.Iter()
+	defer it.Close()
+	it.Seek(lo)
+	for len(keys) < limit && it.Next() {
+		keys = append(keys, it.Key())
+		vals = append(vals, it.Value())
+	}
+	return keys, vals
+}
+
+func assertSame(t *testing.T, label string, k1, v1, k2, v2 []uint64) {
+	t.Helper()
+	if len(k1) != len(k2) {
+		t.Fatalf("%s: Range saw %d entries, Iter saw %d", label, len(k1), len(k2))
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] || v1[i] != v2[i] {
+			t.Fatalf("%s: entry %d: Range (%d,%d), Iter (%d,%d)", label, i, k1[i], v1[i], k2[i], v2[i])
+		}
+	}
+}
+
+// TestIteratorEquivalence checks, on every view flavor, that the streaming
+// iterator delivers exactly the entries (and order) of the push-style
+// scans: full scans, bounded windows, mid-range seeks and re-seeks on one
+// pooled iterator.
+func TestIteratorEquivalence(t *testing.T) {
+	const n = 5000
+	rng := rand.New(rand.NewPCG(1, 2))
+	m := New[uint64, uint64]()
+	s := NewSharded[uint64, uint64](4)
+	for i := 0; i < n; i++ {
+		k := rng.Uint64() % (3 * n)
+		m.Put(k, k*2+1)
+		s.Put(k, k*2+1)
+	}
+	ms := m.Snapshot()
+	defer ms.Close()
+	ss := s.Snapshot()
+	defer ss.Close()
+
+	views := map[string]View[uint64, uint64]{
+		"map": m, "sharded": s, "snapshot": ms, "sharded-snapshot": ss,
+	}
+	for label, v := range views {
+		for _, tc := range []struct {
+			lo    uint64
+			limit int
+		}{
+			{0, int(^uint(0) >> 1)}, // everything
+			{0, 100},                // bounded prefix
+			{n, 250},                // mid-range window
+			{3*n - 10, 100},         // tail, fewer entries than asked
+			{3 * n, 10},             // beyond the last key
+		} {
+			k1, v1 := collectRange(v, tc.lo, tc.limit)
+			k2, v2 := collectIter(v, tc.lo, tc.limit)
+			assertSame(t, label, k1, v1, k2, v2)
+		}
+
+		// Re-seek on one iterator: positions must fully reset.
+		it := v.Iter()
+		it.Seek(n)
+		for i := 0; i < 10 && it.Next(); i++ {
+		}
+		it.Seek(0)
+		var k3, v3 []uint64
+		for len(k3) < 50 && it.Next() {
+			k3 = append(k3, it.Key())
+			v3 = append(v3, it.Value())
+		}
+		it.Close()
+		k1, v1 := collectRange(v, 0, 50)
+		assertSame(t, label+"/reseek", k1, v1, k3, v3)
+	}
+}
+
+// TestIteratorUnseeked checks that a fresh iterator (no Seek) starts at
+// the smallest key, matching All.
+func TestIteratorUnseeked(t *testing.T) {
+	m := New[uint64, uint64]()
+	s := NewSharded[uint64, uint64](3)
+	for i := uint64(0); i < 500; i++ {
+		m.Put(i*7%501, i)
+		s.Put(i*7%501, i)
+	}
+	for label, v := range map[string]View[uint64, uint64]{"map": m, "sharded": s} {
+		var want []uint64
+		v.All(func(k, _ uint64) bool { want = append(want, k); return true })
+		it := v.Iter()
+		var got []uint64
+		for it.Next() {
+			got = append(got, it.Key())
+		}
+		it.Close()
+		if len(got) != len(want) {
+			t.Fatalf("%s: unseeked iterator saw %d entries, All saw %d", label, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: entry %d: iterator %d, All %d", label, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestIteratorDoubleClose checks that a second Close is a no-op on both
+// iterator flavors: double-pooling one iterator would hand the same
+// object to two later scans.
+func TestIteratorDoubleClose(t *testing.T) {
+	m := New[uint64, uint64]()
+	s := NewSharded[uint64, uint64](3)
+	for i := uint64(0); i < 300; i++ {
+		m.Put(i, i)
+		s.Put(i, i)
+	}
+	for label, v := range map[string]View[uint64, uint64]{"map": m, "sharded": s} {
+		it := v.Iter()
+		it.Seek(0)
+		it.Next()
+		it.Close()
+		it.Close() // must not double-pool
+		a, b := v.Iter(), v.Iter()
+		if a == b {
+			t.Fatalf("%s: double Close handed one pooled iterator to two scans", label)
+		}
+		a.Close()
+		b.Close()
+	}
+}
+
+// TestIteratorSnapshotIsolation checks that an iterator over a snapshot
+// (and one owned by a live map's Iter) does not observe updates applied
+// after it was created, even across its chunked refills.
+func TestIteratorSnapshotIsolation(t *testing.T) {
+	m := New[uint64, uint64]()
+	for i := uint64(0); i < 1000; i++ {
+		m.Put(i*2, i) // even keys only
+	}
+	it := m.Iter()
+	defer it.Close()
+	it.Seek(0)
+	seen := 0
+	for it.Next() {
+		if it.Key()%2 != 0 {
+			t.Fatalf("iterator observed post-creation key %d", it.Key())
+		}
+		seen++
+		if seen == 1 {
+			// Interleave updates between refills: odd keys and
+			// overwrites must stay invisible.
+			for i := uint64(0); i < 1000; i++ {
+				m.Put(i*2+1, i)
+			}
+		}
+	}
+	if seen != 1000 {
+		t.Fatalf("iterator saw %d entries, want the original 1000", seen)
+	}
+}
+
+// TestParallelMergedScan forces the prefetch escalation (GOMAXPROCS > 1,
+// scans much longer than the threshold) and checks that long merged scans
+// remain exact and consistent, that early exits shut the producers down,
+// and that no goroutines leak across many scans.
+func TestParallelMergedScan(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const n = 20000
+	s := NewSharded[uint64, uint64](4)
+	for i := uint64(0); i < n; i++ {
+		s.Put(i, i+1)
+	}
+	snap := s.Snapshot()
+	defer snap.Close()
+
+	base := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		// Full scan: every key in order (well past the escalation
+		// threshold, so the prefetch stage carries most of it).
+		next := uint64(0)
+		snap.All(func(k, v uint64) bool {
+			if k != next || v != k+1 {
+				t.Fatalf("round %d: got (%d,%d), want (%d,%d)", round, k, v, next, next+1)
+			}
+			next++
+			return true
+		})
+		if next != n {
+			t.Fatalf("round %d: full scan saw %d entries, want %d", round, next, n)
+		}
+
+		// Early exit just past the threshold: producers must be stopped
+		// and joined by the scan's release.
+		seen := 0
+		snap.RangeFrom(3, func(uint64, uint64) bool {
+			seen++
+			return seen < 700
+		})
+		if seen != 700 {
+			t.Fatalf("round %d: early-exit scan saw %d entries", round, seen)
+		}
+
+		// Iterator flavor, abandoned mid-stream.
+		it := snap.Iter()
+		it.Seek(0)
+		for i := 0; i < 800 && it.Next(); i++ {
+		}
+		it.Close()
+	}
+	// All producer goroutines must have exited (allow scheduler slack).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > base {
+		t.Fatalf("goroutine leak: %d running, baseline %d", g, base)
+	}
+}
+
+// TestParallelMergedScanUnderWriters runs long escalated scans while
+// writers mutate every shard: the snapshot cut must stay exact. Run with
+// -race to exercise the producer/consumer hand-off.
+func TestParallelMergedScanUnderWriters(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const n = 8000
+	s := NewSharded[uint64, uint64](4)
+	for i := uint64(0); i < n; i++ {
+		s.Put(i*2, i) // even keys
+	}
+	// The cut is fixed before any writer starts, so every odd key is a
+	// post-cut update and must stay invisible to the scans below.
+	snap := s.Snapshot()
+	var stop atomic.Bool
+	var bg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		bg.Add(1)
+		go func(seed uint64) {
+			defer bg.Done()
+			rng := rand.New(rand.NewPCG(seed, seed^7))
+			for !stop.Load() {
+				k := rng.Uint64() % (4 * n)
+				s.Put(k*2+1, k) // odd keys: must stay invisible to the cut
+			}
+		}(uint64(w + 1))
+	}
+	for round := 0; round < 10; round++ {
+		count := 0
+		snap.All(func(k, _ uint64) bool {
+			if k%2 != 0 {
+				t.Errorf("round %d: scan leaked post-cut key %d", round, k)
+				return false
+			}
+			count++
+			return true
+		})
+		if count != n {
+			t.Errorf("round %d: scan saw %d entries, want %d", round, count, n)
+		}
+	}
+	snap.Close()
+	stop.Store(true)
+	bg.Wait()
+}

@@ -1,0 +1,199 @@
+package jiffy
+
+import (
+	"cmp"
+
+	"repro/internal/core"
+)
+
+// Iterator is a pull-style cursor over one consistent view: Seek positions
+// it, Next advances it, Key/Value read the current entry. All four views
+// (Map, Snapshot, Sharded, ShardedSnapshot) hand one out through Iter.
+//
+// Iterators exist for bounded and early-exit scans: unlike Range/All,
+// which materialize the walk behind a callback and hold a reclamation
+// epoch pin for the whole scan, an iterator copies entries out in small
+// chunks and pins the epoch only inside each refill — a consumer that
+// processes one entry per second never stalls payload reclamation. The
+// iterator's snapshot registration alone keeps its version readable.
+//
+// The usual loop:
+//
+//	it := m.Iter()
+//	defer it.Close()
+//	it.Seek(lo)
+//	for it.Next() {
+//		use(it.Key(), it.Value())
+//	}
+//
+// A fresh iterator (no Seek) starts before the smallest key. Iterators
+// are not safe for concurrent use; Close recycles their state. Key and
+// Value are valid only after a Next that returned true.
+type Iterator[K cmp.Ordered, V any] interface {
+	// Seek repositions the iterator just before the first entry with
+	// key >= key; the following Next moves onto it.
+	Seek(key K)
+	// Next advances to the next entry and reports whether one exists.
+	Next() bool
+	// Key returns the current entry's key.
+	Key() K
+	// Value returns the current entry's value.
+	Value() V
+	// Close releases the iterator's pooled state and any snapshot it
+	// owns. Using a closed iterator is a bug.
+	Close()
+}
+
+// The core iterator and the sharded merge iterator both satisfy the
+// public contract.
+var (
+	_ Iterator[int, int] = (*core.Iterator[int, int])(nil)
+	_ Iterator[int, int] = (*shardedIter[int, int])(nil)
+)
+
+// Iter returns an iterator over a consistent snapshot of the map taken at
+// call time. The snapshot is owned by the iterator and released by Close.
+func (m *Map[K, V]) Iter() Iterator[K, V] { return m.m.Iter() }
+
+// Iter returns an iterator over the snapshot. The snapshot must stay open
+// while the iterator is in use; Close releases only the iterator.
+func (s *Snapshot[K, V]) Iter() Iterator[K, V] { return s.s.Iter() }
+
+// Iter returns an iterator over a consistent cross-shard snapshot taken
+// at call time, yielding entries in globally ascending key order through
+// the pooled loser-tree merge. The snapshot spans every shard and is
+// owned by the iterator; Close releases it.
+func (s *Sharded[K, V]) Iter() Iterator[K, V] {
+	it := s.getShardedIter()
+	it.ss = s.Snapshot()
+	it.owned = true
+	return it
+}
+
+// Iter returns an iterator over the sharded snapshot. The snapshot must
+// stay open while the iterator is in use; Close releases only the
+// iterator.
+func (ss *ShardedSnapshot[K, V]) Iter() Iterator[K, V] {
+	it := ss.s.getShardedIter()
+	it.ss = ss
+	return it
+}
+
+// getShardedIter takes a merge iterator from the frontend's pool.
+func (s *Sharded[K, V]) getShardedIter() *shardedIter[K, V] {
+	if it, _ := s.iterPool.Get().(*shardedIter[K, V]); it != nil {
+		return it
+	}
+	return &shardedIter[K, V]{}
+}
+
+// shardedIter drives the same shard cursors and loser tree as
+// ShardedSnapshot's merged scans, pull-style: every Next emits the tree's
+// winner and replays its leaf. Long iterations escalate to per-shard
+// prefetch exactly like the push-style merge (see mergeState.maybeEscalate).
+type shardedIter[K cmp.Ordered, V any] struct {
+	ss    *ShardedSnapshot[K, V]
+	owned bool // ss was created by Sharded.Iter and is closed on Close
+
+	st     *mergeState[K, V]
+	primed bool
+
+	lo    K
+	hasLo bool
+}
+
+// Seek repositions the iterator just before the first entry with key >=
+// key, re-priming every shard cursor there.
+func (it *shardedIter[K, V]) Seek(key K) {
+	it.lo = key
+	it.hasLo = true
+	if it.st != nil {
+		it.st.release()
+	}
+	it.primed = false
+}
+
+// prime binds the merge state to the snapshot's sub-snapshots, fills every
+// cursor at the current lower bound and builds the loser tree.
+func (it *shardedIter[K, V]) prime() {
+	if it.st == nil {
+		st, _ := it.ss.s.scanPool.Get().(*mergeState[K, V])
+		if st == nil {
+			st = &mergeState[K, V]{}
+		}
+		it.st = st
+	}
+	var lo *K
+	if it.hasLo {
+		lo = &it.lo
+	}
+	it.st.reset(it.ss.subs, lo, nil)
+	it.st.build()
+	it.primed = true
+}
+
+// Next advances to the next entry in globally ascending key order.
+func (it *shardedIter[K, V]) Next() bool {
+	if !it.primed {
+		it.prime()
+		st := it.st
+		w := st.tree[0]
+		if st.curs[w].empty() {
+			return false
+		}
+		st.maybeEscalate()
+		return true
+	}
+	st := it.st
+	w := st.tree[0]
+	c := &st.curs[w]
+	if c.empty() {
+		return false
+	}
+	c.pos++
+	if c.empty() {
+		c.fill(nil, nil)
+	}
+	st.replay(w)
+	w = st.tree[0]
+	if st.curs[w].empty() {
+		return false
+	}
+	st.maybeEscalate()
+	return true
+}
+
+// Key returns the current entry's key.
+func (it *shardedIter[K, V]) Key() K {
+	c := &it.st.curs[it.st.tree[0]]
+	return c.keys[c.pos]
+}
+
+// Value returns the current entry's value.
+func (it *shardedIter[K, V]) Value() V {
+	c := &it.st.curs[it.st.tree[0]]
+	return c.vals[c.pos]
+}
+
+// Close releases the merge state back to the scan pool, the owned
+// snapshot (Sharded.Iter) and the iterator itself. A second Close is a
+// no-op.
+func (it *shardedIter[K, V]) Close() {
+	if it.ss == nil {
+		return // already closed
+	}
+	s := it.ss.s
+	if it.st != nil {
+		it.st.release()
+		s.scanPool.Put(it.st)
+		it.st = nil
+	}
+	if it.owned {
+		it.ss.Close()
+	}
+	it.ss = nil
+	it.owned = false
+	it.primed = false
+	it.hasLo = false
+	s.iterPool.Put(it)
+}

@@ -60,6 +60,13 @@ type Options[K cmp.Ordered] struct {
 	// allocation-frugal default.
 	DisableRecycling bool
 
+	// DisableChainSeek turns off the per-revision back-skip pointers that
+	// give snapshot reads and scans O(log k) seeks into long revision
+	// chains, so every version lookup walks the chain linearly from the
+	// head. An ablation knob (and the baseline the deep-chain benchmarks
+	// compare against); leave it off.
+	DisableChainSeek bool
+
 	// ClockStart, when > 0, rebases the map's version clock so that every
 	// version it issues is strictly greater than ClockStart. The
 	// durability layer (jiffy/durable) sets it on recovery so versions
@@ -77,6 +84,7 @@ func (o Options[K]) coreOptions() core.Options[K] {
 		FixedRevisionSize: o.FixedRevisionSize,
 		DisableHashIndex:  o.DisableHashIndex,
 		DisableRecycling:  o.DisableRecycling,
+		DisableChainSeek:  o.DisableChainSeek,
 	}
 	if o.ClockStart > 0 {
 		co.Clock = tsc.NewMonotonicAt(o.ClockStart)

@@ -39,8 +39,11 @@ type Sharded[K cmp.Ordered, V any] struct {
 	hash   func(K) uint64
 
 	// scanPool recycles merged-scan states (cursors, chunk buffers and the
-	// loser tree) across range scans; see ShardedSnapshot.merge.
+	// loser tree) across range scans (see ShardedSnapshot.merge); iterPool
+	// recycles the pull-style merge iterators layered on top of them
+	// (iterator.go).
 	scanPool sync.Pool
+	iterPool sync.Pool
 }
 
 // NewSharded returns an empty Sharded map with the given number of shards

@@ -2,6 +2,8 @@ package jiffy
 
 import (
 	"cmp"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -77,6 +79,15 @@ func (ss *ShardedSnapshot[K, V]) Close() {
 // entries in memory.
 const mergeChunk = 128
 
+// prefetchAfter is the emitted-entry threshold past which a merged scan
+// escalates to one prefetch goroutine per shard. Short scans (the paper's
+// 100-entry windows, ScanHeavy's 500-entry windows mostly) stay on the
+// serial, allocation-free path; long scans amortize the goroutine spawn
+// over thousands of entries and overlap the per-shard snapshot walks with
+// the merge. Escalation is skipped entirely under GOMAXPROCS=1, where the
+// goroutines could only interleave, not overlap.
+const prefetchAfter = 512
+
 // shardCursor pulls one shard's snapshot stream in chunks, turning the
 // push-style snapshot scan into a resumable pull iterator for the k-way
 // merge. Resumption is by key: the next refill re-seeks at the last key
@@ -100,6 +111,27 @@ type shardCursor[K cmp.Ordered, V any] struct {
 	// allocates nothing.
 	hi      *K
 	collect func(K, V) bool
+
+	// pf, when non-nil, is the cursor's prefetch stage: a goroutine
+	// filling chunks ahead of the merge (mergeState.maybeEscalate).
+	pf *prefetcher[K, V]
+}
+
+// chunkMsg is one prefetched chunk in flight between a prefetch goroutine
+// and its cursor.
+type chunkMsg[K cmp.Ordered, V any] struct {
+	keys  []K
+	vals  []V
+	short bool
+}
+
+// prefetcher carries the two channels of one shard's prefetch stage: out
+// delivers filled chunks to the cursor, free returns consumed buffers to
+// the producer. Two buffers circulate, so the producer runs at most one
+// chunk ahead of the merge and the stage holds a bounded amount of memory.
+type prefetcher[K cmp.Ordered, V any] struct {
+	out  chan chunkMsg[K, V]
+	free chan chunkMsg[K, V]
 }
 
 // initCollect builds the cursor's reusable scan callback.
@@ -119,13 +151,18 @@ func (c *shardCursor[K, V]) initCollect() {
 }
 
 // fill replenishes the cursor's buffer with the next chunk of entries in
-// (last, hi), or from lo on the first fill.
+// (last, hi), or from lo on the first fill. With an active prefetch stage
+// the chunk is received from the producer instead of walked inline.
 func (c *shardCursor[K, V]) fill(lo, hi *K) {
 	c.keys = c.keys[:0]
 	c.vals = c.vals[:0]
 	c.pos = 0
 	if c.done || c.short {
 		c.done = true
+		return
+	}
+	if c.pf != nil {
+		c.fillFromPrefetch()
 		return
 	}
 	c.hi = hi
@@ -148,6 +185,31 @@ func (c *shardCursor[K, V]) fill(lo, hi *K) {
 	c.hasLast = true
 }
 
+// fillFromPrefetch swaps the cursor onto the next prefetched chunk: the
+// consumed buffers — the cursor's warm serial pair on the first swap,
+// the producer's pair afterwards — go back through free (never blocking:
+// exactly two buffer pairs circulate and free has room for both), and
+// the next chunk is received from out. A closed out means the producer
+// delivered its tail in an earlier chunk.
+func (c *shardCursor[K, V]) fillFromPrefetch() {
+	c.pf.free <- chunkMsg[K, V]{keys: c.keys[:0], vals: c.vals[:0]}
+	msg, ok := <-c.pf.out
+	if !ok {
+		c.done = true
+		c.keys = c.keys[:0]
+		c.vals = c.vals[:0]
+		return
+	}
+	c.keys = msg.keys
+	c.vals = msg.vals
+	if len(msg.keys) == 0 {
+		c.done = true
+		return
+	}
+	c.short = msg.short
+	c.last = c.keys[len(c.keys)-1]
+}
+
 // empty reports whether the cursor has no buffered entry to offer.
 func (c *shardCursor[K, V]) empty() bool { return c.pos >= len(c.keys) }
 
@@ -158,6 +220,18 @@ func (c *shardCursor[K, V]) empty() bool { return c.pos >= len(c.keys) }
 type mergeState[K cmp.Ordered, V any] struct {
 	curs []shardCursor[K, V]
 	tree []int32 // loser tree: tree[0] winner, tree[1..k-1] match losers
+
+	// Prefetch escalation state: emitted counts entries delivered by this
+	// scan, canPar caches the escalation preconditions, and — once the
+	// threshold trips — stop/wg coordinate the per-shard prefetch
+	// goroutines' shutdown. hi is the scan's upper bound, kept for the
+	// producers.
+	emitted  int
+	canPar   bool
+	parallel bool
+	hi       *K
+	stop     chan struct{}
+	wg       sync.WaitGroup
 }
 
 // reset binds the state to a snapshot's sub-snapshots and primes every
@@ -169,6 +243,10 @@ func (st *mergeState[K, V]) reset(subs []*core.Snapshot[K, V], lo, hi *K) {
 	}
 	st.curs = st.curs[:len(subs)]
 	st.tree = st.tree[:len(subs)]
+	st.emitted = 0
+	st.parallel = false
+	st.canPar = len(subs) > 1 && runtime.GOMAXPROCS(0) > 1
+	st.hi = hi
 	for i, sub := range subs {
 		c := &st.curs[i]
 		keys, vals, collect := c.keys, c.vals, c.collect // keep buffers + callback
@@ -180,16 +258,113 @@ func (st *mergeState[K, V]) reset(subs []*core.Snapshot[K, V], lo, hi *K) {
 	}
 }
 
+// maybeEscalate counts one emitted entry and, past the threshold, attaches
+// a prefetch goroutine to every still-active cursor: each producer walks
+// its shard's snapshot ahead of the merge into the two circulating chunk
+// buffers of its prefetcher, so the per-shard snapshot scans overlap with
+// each other and with the merge itself. The producers bound themselves by
+// the scan's upper bound captured at reset.
+func (st *mergeState[K, V]) maybeEscalate() {
+	st.emitted++
+	if st.parallel || !st.canPar || st.emitted < prefetchAfter {
+		return
+	}
+	st.parallel = true
+	hi := st.hi
+	st.stop = make(chan struct{})
+	for i := range st.curs {
+		c := &st.curs[i]
+		if c.done || c.short || !c.hasLast {
+			continue // tail already buffered locally; nothing to prefetch
+		}
+		// One fresh buffer pair seeds the stage; the cursor's warm pair
+		// joins the circulation at its first fillFromPrefetch swap, for
+		// two pairs total per shard.
+		pf := &prefetcher[K, V]{
+			out:  make(chan chunkMsg[K, V], 1),
+			free: make(chan chunkMsg[K, V], 2),
+		}
+		pf.free <- chunkMsg[K, V]{keys: make([]K, 0, mergeChunk), vals: make([]V, 0, mergeChunk)}
+		c.pf = pf
+		st.wg.Add(1)
+		go prefetchShard(c.snap, c.last, hi, pf, st.stop, &st.wg)
+	}
+}
+
+// prefetchShard is one shard's prefetch goroutine: it resumes the shard's
+// snapshot stream above last and keeps one chunk in flight until the
+// stream dries up, the upper bound is reached, or the merge stops. Every
+// channel interaction selects on stop, so release never waits longer than
+// one in-flight chunk walk.
+func prefetchShard[K cmp.Ordered, V any](
+	snap *core.Snapshot[K, V], last K, hi *K,
+	pf *prefetcher[K, V], stop <-chan struct{}, wg *sync.WaitGroup,
+) {
+	defer wg.Done()
+	defer close(pf.out)
+	// One reusable buffer variable and collect closure for the whole
+	// producer: the loop itself allocates nothing beyond the two chunk
+	// buffers seeded into free.
+	var buf chunkMsg[K, V]
+	collect := func(k K, v V) bool {
+		if k == last {
+			return true // the resume key itself; already delivered
+		}
+		if hi != nil && k >= *hi {
+			buf.short = true
+			return false
+		}
+		buf.keys = append(buf.keys, k)
+		buf.vals = append(buf.vals, v)
+		return len(buf.keys) < mergeChunk
+	}
+	for {
+		select {
+		case buf = <-pf.free:
+		case <-stop:
+			return
+		}
+		buf.keys = buf.keys[:0]
+		buf.vals = buf.vals[:0]
+		buf.short = false
+		snap.RangeFrom(last, collect)
+		short := buf.short || len(buf.keys) < mergeChunk
+		buf.short = short
+		if n := len(buf.keys); n > 0 {
+			last = buf.keys[n-1]
+		}
+		select {
+		case pf.out <- buf:
+		case <-stop:
+			return
+		}
+		if short {
+			return
+		}
+	}
+}
+
 // release drops references into the snapshot so the pooled state never
-// pins shard history, keeping the chunk buffers for the next scan.
+// pins shard history, keeping the chunk buffers for the next scan. An
+// active prefetch stage is stopped first and its goroutines joined, so no
+// producer outlives the scan (or keeps reading a snapshot the caller is
+// about to close).
 func (st *mergeState[K, V]) release() {
+	if st.parallel {
+		close(st.stop)
+		st.wg.Wait()
+		st.stop = nil
+		st.parallel = false
+	}
 	for i := range st.curs {
 		c := &st.curs[i]
 		c.snap = nil
 		c.hi = nil
+		c.pf = nil
 		c.keys = c.keys[:0]
 		c.vals = c.vals[:0]
 	}
+	st.hi = nil
 }
 
 // lessCur reports whether cursor a's next key beats cursor b's: an
@@ -256,7 +431,8 @@ func (st *mergeState[K, V]) replay(i int32) {
 // replay its leaf. With k shard cursors each emission costs O(log k)
 // comparisons instead of the linear minimum the first version of this file
 // used — at 8 shards that is 3 comparisons per entry instead of 8, and the
-// gap widens with shard count.
+// gap widens with shard count. Long scans escalate to per-shard prefetch
+// goroutines (maybeEscalate) so the shard walks overlap with the merge.
 func (ss *ShardedSnapshot[K, V]) merge(lo, hi *K, fn func(K, V) bool) {
 	st, _ := ss.s.scanPool.Get().(*mergeState[K, V])
 	if st == nil {
@@ -277,6 +453,7 @@ func (ss *ShardedSnapshot[K, V]) merge(lo, hi *K, fn func(K, V) bool) {
 		if !fn(c.keys[c.pos], c.vals[c.pos]) {
 			return
 		}
+		st.maybeEscalate()
 		c.pos++
 		if c.empty() {
 			c.fill(lo, hi)

@@ -21,6 +21,11 @@ type View[K cmp.Ordered, V any] interface {
 	RangeFrom(lo K, fn func(key K, val V) bool)
 	// All visits every entry, ascending, until fn returns false.
 	All(fn func(key K, val V) bool)
+	// Iter returns a streaming iterator over this view; see Iterator.
+	// On live maps the iterator owns an internal snapshot released by
+	// its Close; on snapshots it borrows the snapshot, which must stay
+	// open while the iterator is in use.
+	Iter() Iterator[K, V]
 }
 
 // All four view types promised by the View doc satisfy it.

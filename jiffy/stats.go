@@ -29,6 +29,15 @@ type Stats struct {
 	PoolMisses    uint64
 	RecycledBytes uint64
 	Epoch         uint64
+
+	// Version-seek telemetry (DESIGN.md §7): roughly one in 64 snapshot
+	// point reads is sampled, recording how many revision-chain hops its
+	// boundary seek took. The mean sampled seek depth is
+	// SeekSteps / SeekSamples; with the back-skip pointers it stays
+	// logarithmic in the chain length (MaxRevisionList) instead of
+	// tracking it linearly.
+	SeekSamples uint64
+	SeekSteps   uint64
 }
 
 func fromCore(s core.Stats) Stats {
@@ -46,6 +55,8 @@ func fromCore(s core.Stats) Stats {
 		PoolMisses:      s.PoolMisses,
 		RecycledBytes:   s.RecycledBytes,
 		Epoch:           s.Epoch,
+		SeekSamples:     s.SeekSamples,
+		SeekSteps:       s.SeekSteps,
 	}
 }
 
@@ -73,6 +84,8 @@ func (s *Sharded[K, V]) Stats() Stats {
 		agg.PoolMisses += st.PoolMisses
 		agg.RecycledBytes += st.RecycledBytes
 		agg.Epoch = max(agg.Epoch, st.Epoch)
+		agg.SeekSamples += st.SeekSamples
+		agg.SeekSteps += st.SeekSteps
 	}
 	if agg.Nodes > 0 {
 		agg.AvgRevisionSize = float64(agg.Entries) / float64(agg.Nodes)
