@@ -12,6 +12,8 @@
 //	jiffybench -claims                               # §4.3 scalar claims
 //	jiffybench -figure 5 -indices jiffy,jiffy-sharded -shards 8
 //	                                                 # sharded vs single-shard
+//	jiffybench -net -json BENCH_0005.json            # serving layer over loopback
+//	jiffybench -net -conns 1,8 -netthreads 16        # smaller sweep
 //
 // The defaults are sized for a laptop-class machine; use -keyspace,
 // -prefill and -duration to approach the paper's 20M-key / 10M-entry
@@ -44,6 +46,10 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		claims   = flag.Bool("claims", false, "measure the scalar claims of §4.3 instead of a figure")
 		micro    = flag.Bool("micro", false, "measure the read-scalability micro claims (deep-chain seeks, iterator allocs, merged-scan scaling) instead of a figure")
+		netBench = flag.Bool("net", false, "measure the network serving layer over loopback (conns sweep, pipelining on/off, batch amortization) instead of a figure")
+		conns    = flag.String("conns", "1,2,4,8,16,32,64", "with -net: comma-separated client connection counts to sweep")
+		netAddr  = flag.String("netaddr", "", "with -net: measure against this running jiffyd-protocol server instead of an in-process loopback one")
+		netThr   = flag.Int("netthreads", 64, "with -net: workload goroutines driving the client")
 		shards   = flag.Int("shards", 0, "shard count for the jiffy-sharded index (default: GOMAXPROCS, min 2)")
 		jsonOut  = flag.String("json", "", "also write results to this file as JSON (e.g. BENCH_fig5.json), for perf-trajectory tracking")
 	)
@@ -74,6 +80,27 @@ func main() {
 		return
 	}
 
+	if *netBench {
+		var connsList []int
+		for _, s := range strings.Split(*conns, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad connection count %q\n", s)
+				os.Exit(2)
+			}
+			connsList = append(connsList, n)
+		}
+		res := runNet(*netAddr, connsList, *netThr, *keyspace, *prefill, *duration, *seed)
+		if *jsonOut != "" {
+			if err := writeNetJSON(*jsonOut, res); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("# wrote net results to %s\n", *jsonOut)
+		}
+		return
+	}
+
 	fig, ok := harness.Figures[*figure]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
@@ -95,9 +122,22 @@ func main() {
 			only[strings.TrimSpace(n)] = true
 		}
 	}
+	// Validate the requested mixes against the known scenarios: a typo'd
+	// -mix used to match nothing and silently run zero measurements.
+	validMix := map[string]bool{}
+	var mixNames []string
+	for _, m := range workload.AllMixes {
+		validMix[m.Name] = true
+		mixNames = append(mixNames, m.Name)
+	}
 	wantMix := map[string]bool{}
 	for _, m := range strings.Split(*mixes, ",") {
-		wantMix[strings.TrimSpace(m)] = true
+		name := strings.TrimSpace(m)
+		if !validMix[name] {
+			fmt.Fprintf(os.Stderr, "unknown mix %q; valid mixes: %s\n", name, strings.Join(mixNames, ", "))
+			os.Exit(2)
+		}
+		wantMix[name] = true
 	}
 
 	base := harness.Config{

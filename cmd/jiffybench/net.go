@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/index"
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/jiffy"
+	"repro/jiffy/client"
+	"repro/jiffy/durable"
+)
+
+// The -net mode measures the network serving layer (internal/server +
+// jiffy/client) over loopback TCP: throughput as the client connection
+// pool grows 1→64, with pipelined multiplexing on and off, and the
+// batch-amortization effect of shipping 10- and 100-op atomic batches as
+// one frame instead of ten or a hundred. By default it starts an
+// in-process jiffyd-equivalent server on 127.0.0.1:0 (config A: uint64
+// keys, 100-byte payload values, harness.ShardCount shards) so the whole
+// measurement is self-contained; -netaddr points it at an external server
+// instead. Results land in the "net" section of a BENCH_*.json file
+// (BENCH_0005.json is the committed instance).
+
+// netFile is the -net JSON schema.
+type netFile struct {
+	Kind       string       `json:"kind"` // always "net"
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Shards     int          `json:"shards"`
+	Threads    int          `json:"threads"`
+	KeySpace   uint64       `json:"keyspace"`
+	Prefill    int          `json:"prefill"`
+	Duration   string       `json:"duration"`
+	When       string       `json:"when"`
+	Sweep      []netPoint   `json:"sweep"`
+	Batch      []netBatchPt `json:"batch"`
+}
+
+// netPoint is one conns-sweep measurement (mix ul: 25 % updates, 75 %
+// lookups, one op per request).
+type netPoint struct {
+	Conns     int     `json:"conns"`
+	Pipelined bool    `json:"pipelined"`
+	Mix       string  `json:"mix"`
+	TotalMops float64 `json:"total_mops"`
+	TotalOps  uint64  `json:"total_ops"`
+}
+
+// netBatchPt is one batch-amortization measurement (update-only, all
+// connections, pipelined): ops per second counted in basic operations, so
+// the amortization of frame and round-trip overhead shows directly.
+type netBatchPt struct {
+	Batch     string  `json:"batch"`
+	Conns     int     `json:"conns"`
+	TotalMops float64 `json:"total_mops"`
+	TotalOps  uint64  `json:"total_ops"`
+}
+
+// netPayloadEnc encodes harness.Payload values as their raw 100 bytes.
+func netPayloadEnc() durable.Enc[*harness.Payload] {
+	return durable.Enc[*harness.Payload]{
+		Append: func(dst []byte, v *harness.Payload) []byte { return append(dst, v[:]...) },
+		Decode: func(src []byte) (*harness.Payload, error) {
+			var p harness.Payload
+			copy(p[:], src)
+			return &p, nil
+		},
+	}
+}
+
+func netCodec() durable.Codec[uint64, *harness.Payload] {
+	return durable.Codec[uint64, *harness.Payload]{Key: durable.Uint64Enc(), Value: netPayloadEnc()}
+}
+
+// runNet executes the serving-layer measurements and returns the file to
+// serialize. addr == "" starts the in-process loopback server.
+func runNet(addr string, connsList []int, threads int, keyspace uint64, prefill int, duration time.Duration, seed uint64) *netFile {
+	out := &netFile{
+		Kind:       "net",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Shards:     harness.ShardCount,
+		Threads:    threads,
+		KeySpace:   keyspace,
+		Prefill:    prefill,
+		Duration:   duration.String(),
+		When:       time.Now().UTC().Format(time.RFC3339),
+	}
+
+	base := harness.Config{
+		KeySpace: keyspace,
+		Prefill:  prefill,
+		Duration: duration,
+		Seed:     seed,
+		Threads:  threads,
+		Dist:     workload.Uniform,
+	}
+
+	if addr == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "net bench: listen: %v\n", err)
+			os.Exit(1)
+		}
+		s := jiffy.NewSharded[uint64, *harness.Payload](harness.ShardCount)
+		srv := server.Serve(ln, server.NewMemStore(s), netCodec(), server.Options{})
+		defer srv.Close()
+		addr = srv.Addr().String()
+		// Prefill the store directly — the dataset is the same either way
+		// and skipping the network keeps setup fast.
+		harness.Prefill[uint64, *harness.Payload](&index.ShardedJiffy[uint64, *harness.Payload]{S: s}, base, harness.KeyA, harness.ValA)
+		fmt.Printf("# net bench: loopback server on %s (%d shards, prefill %d)\n", addr, harness.ShardCount, prefill)
+	} else {
+		// External server: prefill through the wire.
+		c, err := client.Dial(addr, netCodec(), client.Options{Conns: 4})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "net bench: dial %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		harness.Prefill[uint64, *harness.Payload](index.NewNetJiffy(c), base, harness.KeyA, harness.ValA)
+		c.Close()
+		fmt.Printf("# net bench: external server %s (prefill %d over the wire)\n", addr, prefill)
+	}
+
+	// Connection sweep: mix ul, pipelining on and off.
+	base.Mix = workload.MixUpdateLookup
+	for _, conns := range connsList {
+		for _, pipelined := range []bool{true, false} {
+			c, err := client.Dial(addr, netCodec(), client.Options{Conns: conns, NoPipeline: !pipelined})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "net bench: dial: %v\n", err)
+				os.Exit(1)
+			}
+			idx := index.NewNetJiffy(c)
+			res := harness.Run[uint64, *harness.Payload](idx, base, harness.KeyA, harness.ValA)
+			idx.Close()
+			out.Sweep = append(out.Sweep, netPoint{
+				Conns:     conns,
+				Pipelined: pipelined,
+				Mix:       base.Mix.Name,
+				TotalMops: res.TotalMops(),
+				TotalOps:  res.TotalOps,
+			})
+			fmt.Printf("net   %-3s conns=%-3d pipelined=%-5v threads=%-3d total=%8.3f Mops/s\n",
+				base.Mix.Name, conns, pipelined, threads, res.TotalMops())
+		}
+	}
+
+	// Batch amortization: update-only at the largest pool, batches of 1,
+	// 10 and 100 ops per frame.
+	maxConns := connsList[0]
+	for _, n := range connsList {
+		if n > maxConns {
+			maxConns = n
+		}
+	}
+	bcfg := base
+	bcfg.Mix = workload.MixUpdateOnly
+	for _, size := range []int{1, 10, 100} {
+		bcfg.Batch = workload.BatchMode{Size: size}
+		c, err := client.Dial(addr, netCodec(), client.Options{Conns: maxConns})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "net bench: dial: %v\n", err)
+			os.Exit(1)
+		}
+		idx := index.NewNetJiffy(c)
+		res := harness.Run[uint64, *harness.Payload](idx, bcfg, harness.KeyA, harness.ValA)
+		idx.Close()
+		out.Batch = append(out.Batch, netBatchPt{
+			Batch:     bcfg.Batch.String(),
+			Conns:     maxConns,
+			TotalMops: res.TotalMops(),
+			TotalOps:  res.TotalOps,
+		})
+		fmt.Printf("net   w   batch=%-7s conns=%-3d threads=%-3d total=%8.3f Mops/s\n",
+			bcfg.Batch.String(), maxConns, threads, res.TotalMops())
+	}
+	return out
+}
+
+func writeNetJSON(path string, out *netFile) error {
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -3,9 +3,13 @@
 // Wojciechowski; PPoPP 2022).
 //
 // The public API — including the sharded multi-core frontend — is the
-// jiffy package; import repro/jiffy. The implementation lives in
-// internal/core; the competitor indices of the paper's evaluation are
-// under internal/baseline; the workload generator and benchmark harness
-// under internal/workload and internal/harness; the figure regenerator CLI
-// is cmd/jiffybench. See README.md, DESIGN.md and EXPERIMENTS.md.
+// jiffy package; import repro/jiffy. Durability (write-ahead log and
+// checkpoints) is jiffy/durable; the network client for the jiffyd server
+// is jiffy/client. The implementation lives in internal/core; the serving
+// layer in internal/wire and internal/server; the competitor indices of
+// the paper's evaluation are under internal/baseline; the workload
+// generator and benchmark harness under internal/workload and
+// internal/harness. The figure regenerator CLI is cmd/jiffybench and the
+// network server is cmd/jiffyd. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
 package repro

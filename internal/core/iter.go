@@ -95,7 +95,11 @@ func (m *Map[K, V]) getIter() *Iterator[K, V] {
 // Seek repositions the iterator just before the first entry with key >=
 // key; the following Next moves onto it. Seeking an exhausted or
 // partially consumed iterator is permitted and restarts it at key.
+// Seeking a closed iterator is a no-op (a closed iterator stays empty).
 func (it *Iterator[K, V]) Seek(key K) {
+	if it.snap == nil {
+		return // closed
+	}
 	it.keys = it.keys[:0]
 	it.vals = it.vals[:0]
 	it.pos = 0
@@ -106,8 +110,12 @@ func (it *Iterator[K, V]) Seek(key K) {
 }
 
 // Next advances to the next entry and reports whether one exists. The
-// first Next after construction (or Seek) moves onto the first entry.
+// first Next after construction (or Seek) moves onto the first entry. On
+// a closed iterator Next reports false.
 func (it *Iterator[K, V]) Next() bool {
+	if it.snap == nil {
+		return false // closed
+	}
 	if it.pos+1 < len(it.keys) {
 		it.pos++
 		return true

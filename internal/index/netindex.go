@@ -1,0 +1,111 @@
+package index
+
+import (
+	"cmp"
+
+	"repro/jiffy"
+	"repro/jiffy/client"
+)
+
+// NetJiffy adapts jiffy/client — the network client for jiffyd — to the
+// harness Index/Batcher/Iterable interfaces, so the benchmark harness can
+// drive a jiffy store across a real socket with the same workloads it
+// drives in-process indices with. The adapter preserves the consistency
+// story end to end: batch updates are atomic cross-shard on the server,
+// and the Iterable scans pull cursored pages (each page an ephemeral
+// server-side snapshot for live scans).
+//
+// Like the durable adapter, transport errors panic: the harness has no
+// error channel and a dead connection invalidates the measurement anyway.
+type NetJiffy[K cmp.Ordered, V any] struct {
+	C *client.Client[K, V]
+}
+
+// NewNetJiffy wraps an existing client connection pool.
+func NewNetJiffy[K cmp.Ordered, V any](c *client.Client[K, V]) *NetJiffy[K, V] {
+	return &NetJiffy[K, V]{C: c}
+}
+
+// Close closes the client pool. The harness closes every index that has a
+// Close after measuring it.
+func (j *NetJiffy[K, V]) Close() error { return j.C.Close() }
+
+// Name implements Named.
+func (j *NetJiffy[K, V]) Name() string { return "jiffy-net" }
+
+// Get implements Index with a network round trip.
+func (j *NetJiffy[K, V]) Get(key K) (V, bool) {
+	v, ok, err := j.C.Get(key)
+	if err != nil {
+		panic("index: net get: " + err.Error())
+	}
+	return v, ok
+}
+
+// Put implements Index.
+func (j *NetJiffy[K, V]) Put(key K, val V) {
+	if err := j.C.Put(key, val); err != nil {
+		panic("index: net put: " + err.Error())
+	}
+}
+
+// Remove implements Index.
+func (j *NetJiffy[K, V]) Remove(key K) bool {
+	ok, err := j.C.Remove(key)
+	if err != nil {
+		panic("index: net remove: " + err.Error())
+	}
+	return ok
+}
+
+// RangeFrom implements Index with a cursored paged scan.
+func (j *NetJiffy[K, V]) RangeFrom(lo K, fn func(K, V) bool) {
+	sc := j.C.Scan(lo)
+	defer sc.Close()
+	for sc.Next() {
+		if !fn(sc.Key(), sc.Value()) {
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		panic("index: net scan: " + err.Error())
+	}
+}
+
+// Iter implements Iterable with a cursored paged scanner.
+func (j *NetJiffy[K, V]) Iter() Iterator[K, V] {
+	return netIter[K, V]{sc: j.C.ScanAll()}
+}
+
+// netIter lifts client.Scanner (whose method set already matches) into
+// the harness Iterator, converting its sticky error into a panic at the
+// point Next gives up.
+type netIter[K cmp.Ordered, V any] struct {
+	sc *client.Scanner[K, V]
+}
+
+func (it netIter[K, V]) Seek(key K) { it.sc.Seek(key) }
+func (it netIter[K, V]) Next() bool {
+	if it.sc.Next() {
+		return true
+	}
+	if err := it.sc.Err(); err != nil {
+		panic("index: net scan: " + err.Error())
+	}
+	return false
+}
+func (it netIter[K, V]) Key() K   { return it.sc.Key() }
+func (it netIter[K, V]) Value() V { return it.sc.Value() }
+func (it netIter[K, V]) Close()   { it.sc.Close() }
+
+// BatchUpdate implements Batcher: the whole batch is one wire frame and
+// one atomic cross-shard update on the server.
+func (j *NetJiffy[K, V]) BatchUpdate(ops []BatchOp[K, V]) {
+	jops := make([]jiffy.BatchOp[K, V], len(ops))
+	for i, op := range ops {
+		jops[i] = jiffy.BatchOp[K, V]{Key: op.Key, Val: op.Val, Remove: op.Remove}
+	}
+	if err := j.C.BatchUpdate(jops); err != nil {
+		panic("index: net batch: " + err.Error())
+	}
+}

@@ -1,0 +1,614 @@
+// Package server implements jiffyd's serving layer: a TCP server speaking
+// the length-prefixed binary protocol of internal/wire over any Store (the
+// in-memory or durable sharded jiffy frontends).
+//
+// Every connection runs two goroutines, mirroring the WAL's group-commit
+// split (internal/persist): a reader that decodes request frames and
+// executes them inline against the store, and a writer that coalesces the
+// resulting response frames into as few socket writes as possible. A
+// pipelining client keeps many requests in flight, so by the time the
+// writer drains its queue there are usually several responses ready — they
+// leave in one write() the same way concurrent WAL appends leave in one
+// fsync. Requests on one connection execute in arrival order (responses
+// are matched by id, so clients need not rely on it); requests on
+// different connections execute concurrently with no server-wide locks —
+// the store's own lock-free paths are the only synchronization.
+//
+// Snapshot sessions (OpSnap) register a store snapshot server-side and
+// hand the client its id; subsequent OpGet/OpScan against the id read the
+// frozen version. Sessions are owned by the connection that opened them —
+// they die with it — and are reaped when idle longer than Options.SnapTTL,
+// so an abandoned session cannot pin multiversion history forever. Scans
+// are cursored: each OpScan request delivers one bounded page through a
+// jiffy.Iterator that is opened and closed within the request, so a client
+// that stalls mid-scan holds no iterator, no epoch pin and no buffer on
+// the server — only the session's snapshot registration (or nothing, for
+// sessionless scans). See DESIGN.md §8.
+package server
+
+import (
+	"cmp"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+	"repro/jiffy"
+	"repro/jiffy/durable"
+)
+
+// Options tunes a Server. The zero value selects defaults.
+type Options struct {
+	// SnapTTL is how long an idle snapshot session lives before the
+	// reaper closes it (default 30s). Every operation naming the session
+	// resets its idle clock.
+	SnapTTL time.Duration
+
+	// MaxScanPage caps the entries one OpScan request may ask for
+	// (default 4096): a page must fit one response frame and one
+	// iterator hold.
+	MaxScanPage int
+
+	// Logf, when non-nil, receives connection-level diagnostics
+	// (accept/teardown errors). The data path never logs.
+	Logf func(format string, args ...any)
+}
+
+// maxScanPageBytes caps the encoded size of one scan page, comfortably
+// inside wire.MaxFrameBytes, so entry-count limits cannot produce frames
+// the peer must reject.
+const maxScanPageBytes = 4 << 20
+
+func (o Options) withDefaults() Options {
+	if o.SnapTTL <= 0 {
+		o.SnapTTL = 30 * time.Second
+	}
+	if o.MaxScanPage <= 0 {
+		o.MaxScanPage = 4096
+	}
+	return o
+}
+
+// Server serves one Store over one listener. Create it with Serve; stop it
+// with Close.
+type Server[K cmp.Ordered, V any] struct {
+	store Store[K, V]
+	codec durable.Codec[K, V]
+	opts  Options
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[*conn[K, V]]struct{}
+	closed bool
+
+	stopReaper chan struct{}
+	wg         sync.WaitGroup // accept loop + reaper + 2 goroutines per conn
+}
+
+// Serve starts serving store on ln with codec translating keys and values
+// to and from their wire form. It returns immediately; Close stops the
+// server and joins every goroutine it started.
+func Serve[K cmp.Ordered, V any](ln net.Listener, store Store[K, V], codec durable.Codec[K, V], opts Options) *Server[K, V] {
+	s := &Server[K, V]{
+		store:      store,
+		codec:      codec,
+		opts:       opts.withDefaults(),
+		ln:         ln,
+		conns:      map[*conn[K, V]]struct{}{},
+		stopReaper: make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.reapLoop()
+	return s
+}
+
+// Addr returns the listener's address (useful with ":0" listeners).
+func (s *Server[K, V]) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, severs every connection (closing their snapshot
+// sessions) and joins all server goroutines. It is idempotent; operations
+// in flight when it is called may or may not be applied, exactly as if the
+// connection had dropped.
+func (s *Server[K, V]) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*conn[K, V], 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	err := s.ln.Close()
+	close(s.stopReaper)
+	for _, c := range conns {
+		c.c.Close() // unblocks the conn's reader, which tears the rest down
+	}
+	s.wg.Wait()
+	return err
+}
+
+// logf forwards to Options.Logf when set.
+func (s *Server[K, V]) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// acceptLoop accepts connections until the listener closes.
+func (s *Server[K, V]) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.logf("jiffyd: accept: %v", err)
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		c := &conn[K, V]{
+			srv:  s,
+			c:    nc,
+			out:  make(chan []byte, 256),
+			sess: map[uint64]*session[K, V]{},
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(2)
+		s.mu.Unlock()
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// reapLoop closes snapshot sessions idle longer than SnapTTL.
+func (s *Server[K, V]) reapLoop() {
+	defer s.wg.Done()
+	tick := s.opts.SnapTTL / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopReaper:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		conns := make([]*conn[K, V], 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		deadline := time.Now().Add(-s.opts.SnapTTL).UnixNano()
+		for _, c := range conns {
+			c.smu.Lock()
+			for id, sess := range c.sess {
+				if sess.lastUsed.Load() < deadline {
+					delete(c.sess, id)
+					sess.snap.Close()
+				}
+			}
+			c.smu.Unlock()
+		}
+	}
+}
+
+// session is one server-side snapshot session: a registered store snapshot
+// plus its idle clock.
+type session[K cmp.Ordered, V any] struct {
+	snap     Snap[K, V]
+	lastUsed atomic.Int64 // unix nanos of the last operation naming it
+}
+
+func (s *session[K, V]) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// conn is one client connection: the reader goroutine (readLoop) executes
+// requests and queues encoded responses on out; the writer goroutine
+// (writeLoop) coalesces them onto the socket. The scratch fields belong to
+// the reader goroutine alone.
+type conn[K cmp.Ordered, V any] struct {
+	srv *Server[K, V]
+	c   net.Conn
+	out chan []byte
+
+	// smu guards the session table and spans any use of a session's
+	// snapshot, so the TTL reaper cannot close a snapshot out from under
+	// an executing request.
+	smu      sync.Mutex
+	sess     map[uint64]*session[K, V]
+	nextSnap uint64
+
+	// Reader-goroutine scratch, reused across requests.
+	rbuf  []byte // frame read buffer
+	kbuf  []byte // key encoding scratch
+	vbuf  []byte // value encoding scratch
+	batch *jiffy.Batch[K, V]
+}
+
+// respPool recycles response frame buffers between a conn's reader (which
+// encodes into them) and its writer (which releases them after copying
+// into the coalescing buffer). Buffers grown past maxPooledRespBytes by a
+// large scan page are dropped instead of pooled, so one big scan does not
+// pin multi-megabyte backing arrays behind every future ping.
+const maxPooledRespBytes = 64 << 10
+
+var respPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+func getResp() []byte { return (*(respPool.Get().(*[]byte)))[:0] }
+func putResp(b []byte) {
+	if cap(b) > maxPooledRespBytes {
+		return
+	}
+	respPool.Put(&b)
+}
+
+// readLoop decodes and executes request frames until the connection
+// drops, then tears the connection down: sessions close, the writer
+// drains and exits, the server forgets the conn.
+func (c *conn[K, V]) readLoop() {
+	defer c.srv.wg.Done()
+	for {
+		id, op, body, buf, err := wire.ReadFrame(c.c, c.rbuf)
+		c.rbuf = buf
+		if err != nil {
+			break
+		}
+		c.out <- c.handle(id, op, body)
+	}
+	// Teardown. Closing the socket unblocks nothing here (the read
+	// already failed) but stops the writer's Write calls from lingering.
+	c.c.Close()
+	c.smu.Lock()
+	for id, sess := range c.sess {
+		delete(c.sess, id)
+		sess.snap.Close()
+	}
+	c.smu.Unlock()
+	close(c.out)
+	c.srv.mu.Lock()
+	delete(c.srv.conns, c)
+	c.srv.mu.Unlock()
+}
+
+// writeLoop coalesces response frames: one blocking receive, then a
+// non-blocking drain of everything else already queued, one Write for the
+// lot — the group-commit idiom, with the socket in the role of the log
+// file. Exits when the reader closes out.
+func (c *conn[K, V]) writeLoop() {
+	defer c.srv.wg.Done()
+	var wbuf []byte
+	broken := false
+	for f := range c.out {
+		wbuf = append(wbuf[:0], f...)
+		putResp(f)
+	drain:
+		for len(wbuf) < 256<<10 {
+			select {
+			case f, ok := <-c.out:
+				if !ok {
+					break drain
+				}
+				wbuf = append(wbuf, f...)
+				putResp(f)
+			default:
+				break drain
+			}
+		}
+		if !broken {
+			if _, err := c.c.Write(wbuf); err != nil {
+				// Sever the connection so the reader unblocks; keep
+				// draining out so the reader never blocks sending to it.
+				broken = true
+				c.c.Close()
+			}
+		}
+	}
+}
+
+// handle executes one request and returns its encoded response frame (a
+// pooled buffer the writer releases).
+func (c *conn[K, V]) handle(id uint64, op byte, body []byte) []byte {
+	switch op {
+	case wire.OpPing:
+		return okFrame(id, nil)
+	case wire.OpGet:
+		return c.handleGet(id, body)
+	case wire.OpPut:
+		return c.handlePut(id, body)
+	case wire.OpDel:
+		return c.handleDel(id, body)
+	case wire.OpBatch:
+		return c.handleBatch(id, body)
+	case wire.OpSnap:
+		return c.handleSnap(id)
+	case wire.OpSnapClose:
+		return c.handleSnapClose(id, body)
+	case wire.OpScan:
+		return c.handleScan(id, body)
+	}
+	return errFrame(id, wire.StatusBadRequest, "unknown opcode")
+}
+
+// okFrame encodes a StatusOK response carrying body.
+func okFrame(id uint64, body []byte) []byte {
+	return wire.AppendFrame(getResp(), id, wire.StatusOK, body)
+}
+
+// statusFrame encodes an empty-bodied response with the given status.
+func statusFrame(id uint64, status byte) []byte {
+	return wire.AppendFrame(getResp(), id, status, nil)
+}
+
+// errFrame encodes a failure response with a human-readable message.
+func errFrame(id uint64, status byte, msg string) []byte {
+	return wire.AppendFrame(getResp(), id, status, []byte(msg))
+}
+
+// lookupSess returns the named session with its idle clock touched, or
+// nil. Caller must hold smu across its use of the session's snapshot.
+func (c *conn[K, V]) lookupSess(snapID uint64) *session[K, V] {
+	sess := c.sess[snapID]
+	if sess != nil {
+		sess.touch()
+	}
+	return sess
+}
+
+func (c *conn[K, V]) handleGet(id uint64, body []byte) []byte {
+	if len(body) < 8 {
+		return errFrame(id, wire.StatusBadRequest, "get: short body")
+	}
+	snapID := binary.LittleEndian.Uint64(body[:8])
+	key, err := c.srv.codec.Key.Decode(body[8:])
+	if err != nil {
+		return errFrame(id, wire.StatusBadRequest, "get: "+err.Error())
+	}
+	var val V
+	var ok bool
+	if snapID == 0 {
+		val, ok = c.srv.store.Get(key)
+	} else {
+		c.smu.Lock()
+		sess := c.lookupSess(snapID)
+		if sess == nil {
+			c.smu.Unlock()
+			return statusFrame(id, wire.StatusUnknownSnap)
+		}
+		val, ok = sess.snap.Get(key)
+		c.smu.Unlock()
+	}
+	if !ok {
+		return statusFrame(id, wire.StatusNotFound)
+	}
+	c.vbuf = c.srv.codec.Value.Append(c.vbuf[:0], val)
+	return okFrame(id, c.vbuf)
+}
+
+func (c *conn[K, V]) handlePut(id uint64, body []byte) []byte {
+	kb, rest, err := wire.TakeBytes(body)
+	if err != nil {
+		return errFrame(id, wire.StatusBadRequest, "put: "+err.Error())
+	}
+	key, err := c.srv.codec.Key.Decode(kb)
+	if err != nil {
+		return errFrame(id, wire.StatusBadRequest, "put: "+err.Error())
+	}
+	val, err := c.srv.codec.Value.Decode(rest)
+	if err != nil {
+		return errFrame(id, wire.StatusBadRequest, "put: "+err.Error())
+	}
+	if err := c.srv.store.Put(key, val); err != nil {
+		return errFrame(id, wire.StatusErr, err.Error())
+	}
+	return okFrame(id, nil)
+}
+
+func (c *conn[K, V]) handleDel(id uint64, body []byte) []byte {
+	key, err := c.srv.codec.Key.Decode(body)
+	if err != nil {
+		return errFrame(id, wire.StatusBadRequest, "del: "+err.Error())
+	}
+	ok, err := c.srv.store.Remove(key)
+	if err != nil {
+		return errFrame(id, wire.StatusErr, err.Error())
+	}
+	if !ok {
+		return statusFrame(id, wire.StatusNotFound)
+	}
+	return okFrame(id, nil)
+}
+
+func (c *conn[K, V]) handleBatch(id uint64, body []byte) []byte {
+	if c.batch == nil {
+		c.batch = jiffy.NewBatch[K, V](16)
+	}
+	b := c.batch.Reset()
+	nops, n := binary.Uvarint(body)
+	if n <= 0 {
+		return errFrame(id, wire.StatusBadRequest, "batch: missing op count")
+	}
+	p := body[n:]
+	for i := uint64(0); i < nops; i++ {
+		if len(p) < 1 {
+			return errFrame(id, wire.StatusBadRequest, "batch: truncated")
+		}
+		kind := p[0]
+		p = p[1:]
+		kb, rest, err := wire.TakeBytes(p)
+		if err != nil {
+			return errFrame(id, wire.StatusBadRequest, "batch: "+err.Error())
+		}
+		p = rest
+		key, err := c.srv.codec.Key.Decode(kb)
+		if err != nil {
+			return errFrame(id, wire.StatusBadRequest, "batch: "+err.Error())
+		}
+		switch kind {
+		case wire.BatchRemove:
+			b.Remove(key)
+		case wire.BatchPut:
+			vb, rest, err := wire.TakeBytes(p)
+			if err != nil {
+				return errFrame(id, wire.StatusBadRequest, "batch: "+err.Error())
+			}
+			p = rest
+			val, err := c.srv.codec.Value.Decode(vb)
+			if err != nil {
+				return errFrame(id, wire.StatusBadRequest, "batch: "+err.Error())
+			}
+			b.Put(key, val)
+		default:
+			return errFrame(id, wire.StatusBadRequest, "batch: unknown op kind")
+		}
+	}
+	if err := c.srv.store.BatchUpdate(b); err != nil {
+		return errFrame(id, wire.StatusErr, err.Error())
+	}
+	return okFrame(id, nil)
+}
+
+func (c *conn[K, V]) handleSnap(id uint64) []byte {
+	snap := c.srv.store.Snapshot()
+	sess := &session[K, V]{snap: snap}
+	sess.touch()
+	c.smu.Lock()
+	c.nextSnap++
+	snapID := c.nextSnap
+	c.sess[snapID] = sess
+	c.smu.Unlock()
+	var body [16]byte
+	binary.LittleEndian.PutUint64(body[0:8], snapID)
+	binary.LittleEndian.PutUint64(body[8:16], uint64(snap.Version()))
+	return okFrame(id, body[:])
+}
+
+func (c *conn[K, V]) handleSnapClose(id uint64, body []byte) []byte {
+	if len(body) != 8 {
+		return errFrame(id, wire.StatusBadRequest, "snap-close: short body")
+	}
+	snapID := binary.LittleEndian.Uint64(body)
+	c.smu.Lock()
+	sess := c.sess[snapID]
+	if sess != nil {
+		delete(c.sess, snapID)
+		sess.snap.Close()
+	}
+	c.smu.Unlock()
+	if sess == nil {
+		return statusFrame(id, wire.StatusUnknownSnap)
+	}
+	return okFrame(id, nil)
+}
+
+// handleScan delivers one cursored page. The iterator lives only inside
+// this request: a slow or stalled client pins no iterator state, no epoch
+// and no server buffer between pages — just the session's snapshot
+// registration, which the TTL reaper bounds.
+func (c *conn[K, V]) handleScan(id uint64, body []byte) []byte {
+	if len(body) < 13 {
+		return errFrame(id, wire.StatusBadRequest, "scan: short body")
+	}
+	snapID := binary.LittleEndian.Uint64(body[0:8])
+	maxEntries := int(binary.LittleEndian.Uint32(body[8:12]))
+	mode := body[12]
+	rest := body[13:]
+	var cursor K
+	if mode == wire.ScanInclusive || mode == wire.ScanExclusive {
+		kb, r2, err := wire.TakeBytes(rest)
+		if err != nil {
+			return errFrame(id, wire.StatusBadRequest, "scan: "+err.Error())
+		}
+		rest = r2
+		cursor, err = c.srv.codec.Key.Decode(kb)
+		if err != nil {
+			return errFrame(id, wire.StatusBadRequest, "scan: "+err.Error())
+		}
+	} else if mode != wire.ScanFromStart {
+		return errFrame(id, wire.StatusBadRequest, "scan: unknown cursor mode")
+	}
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	if maxEntries > c.srv.opts.MaxScanPage {
+		maxEntries = c.srv.opts.MaxScanPage
+	}
+
+	var snap Snap[K, V]
+	if snapID == 0 {
+		// Sessionless page: an ephemeral snapshot for this page only.
+		snap = c.srv.store.Snapshot()
+		defer snap.Close()
+	} else {
+		c.smu.Lock()
+		defer c.smu.Unlock()
+		sess := c.lookupSess(snapID)
+		if sess == nil {
+			return statusFrame(id, wire.StatusUnknownSnap)
+		}
+		snap = sess.snap
+	}
+
+	it := snap.Iter()
+	defer it.Close()
+	if mode != wire.ScanFromStart {
+		it.Seek(cursor)
+	}
+	resp, lenAt := wire.BeginFrame(getResp(), id, wire.StatusOK)
+	moreAt := len(resp)
+	resp = append(resp, 0) // more flag, patched below
+	countAt := len(resp)
+	resp = append(resp, 0, 0, 0, 0) // u32 count, patched below
+	count := 0
+	truncated := false
+	for count < maxEntries && it.Next() {
+		k := it.Key()
+		if mode == wire.ScanExclusive && count == 0 && k == cursor {
+			continue // the cursor key itself: delivered by the previous page
+		}
+		c.kbuf = c.srv.codec.Key.Append(c.kbuf[:0], k)
+		c.vbuf = c.srv.codec.Value.Append(c.vbuf[:0], it.Value())
+		entryBytes := len(c.kbuf) + len(c.vbuf) + 16 // two uvarint prefixes, generously
+		if count > 0 && len(resp)+entryBytes > maxScanPageBytes {
+			// The page is bounded by bytes as well as entries, so large
+			// values cannot push a frame past the protocol limit. The
+			// entry stays unsent; the client's cursor resumes on it.
+			truncated = true
+			break
+		}
+		if len(resp)+entryBytes > wire.MaxFrameBytes-64 {
+			// A single entry too big for any frame (a value put near the
+			// frame limit gains a key and length prefixes on the way
+			// out): unservable by this protocol, and silently dropping it
+			// would corrupt the scan. Report it instead of building a
+			// frame the client must reject.
+			putResp(resp)
+			return errFrame(id, wire.StatusErr, "scan: entry exceeds the protocol frame limit")
+		}
+		resp = wire.AppendBytes(resp, c.kbuf)
+		resp = wire.AppendBytes(resp, c.vbuf)
+		count++
+	}
+	if truncated || (count == maxEntries && it.Next()) {
+		resp[moreAt] = 1
+	}
+	binary.LittleEndian.PutUint32(resp[countAt:], uint32(count))
+	return wire.EndFrame(resp, lenAt)
+}

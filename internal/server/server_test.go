@@ -1,0 +1,636 @@
+package server
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/jiffy"
+	"repro/jiffy/client"
+	"repro/jiffy/durable"
+)
+
+// u64Codec is the uint64-key / uint64-value codec the tests serve.
+func u64Codec() durable.Codec[uint64, uint64] {
+	return durable.Codec[uint64, uint64]{Key: durable.Uint64Enc(), Value: durable.Uint64Enc()}
+}
+
+// startServer serves a fresh in-memory sharded map on a loopback port and
+// returns the frontend (for white-box assertions), the server and its
+// address. Cleanup closes the server.
+func startServer(t *testing.T, shards int, opts Options) (*jiffy.Sharded[uint64, uint64], *Server[uint64, uint64], string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := jiffy.NewSharded[uint64, uint64](shards)
+	srv := Serve(ln, NewMemStore(s), u64Codec(), opts)
+	t.Cleanup(func() { srv.Close() })
+	return s, srv, srv.Addr().String()
+}
+
+func dial(t *testing.T, addr string, opts client.Options) *client.Client[uint64, uint64] {
+	t.Helper()
+	c, err := client.Dial(addr, u64Codec(), opts)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestEndToEndBasics drives every opcode through a pipelined client:
+// point ops, batches, snapshot sessions, cursored scans, and the
+// not-found/unknown-session paths.
+func TestEndToEndBasics(t *testing.T) {
+	for _, pipe := range []bool{true, false} {
+		name := "pipelined"
+		if !pipe {
+			name = "serial"
+		}
+		t.Run(name, func(t *testing.T) {
+			_, _, addr := startServer(t, 4, Options{})
+			c := dial(t, addr, client.Options{Conns: 2, NoPipeline: !pipe, ScanPageSize: 16})
+
+			if err := c.Ping(); err != nil {
+				t.Fatalf("ping: %v", err)
+			}
+			const n = 200
+			for i := uint64(0); i < n; i++ {
+				if err := c.Put(i, i*10); err != nil {
+					t.Fatalf("put %d: %v", i, err)
+				}
+			}
+			for i := uint64(0); i < n; i += 13 {
+				v, ok, err := c.Get(i)
+				if err != nil || !ok || v != i*10 {
+					t.Fatalf("get %d = %d/%v/%v, want %d", i, v, ok, err, i*10)
+				}
+			}
+			if _, ok, err := c.Get(n + 500); ok || err != nil {
+				t.Fatalf("get absent = %v/%v, want miss", ok, err)
+			}
+			if ok, err := c.Remove(0); !ok || err != nil {
+				t.Fatalf("remove present = %v/%v", ok, err)
+			}
+			if ok, err := c.Remove(0); ok || err != nil {
+				t.Fatalf("remove absent = %v/%v", ok, err)
+			}
+
+			// Batch spanning the shards; last-wins on duplicate keys.
+			ops := []jiffy.BatchOp[uint64, uint64]{
+				{Key: 1, Val: 111},
+				{Key: 2, Remove: true},
+				{Key: 3, Val: 999},
+				{Key: 3, Val: 333},
+			}
+			if err := c.BatchUpdate(ops); err != nil {
+				t.Fatalf("batch: %v", err)
+			}
+			if v, ok, _ := c.Get(1); !ok || v != 111 {
+				t.Fatalf("after batch: get 1 = %d/%v, want 111", v, ok)
+			}
+			if _, ok, _ := c.Get(2); ok {
+				t.Fatal("after batch: key 2 still present")
+			}
+			if v, ok, _ := c.Get(3); !ok || v != 333 {
+				t.Fatalf("after batch: get 3 = %d/%v, want 333 (last wins)", v, ok)
+			}
+
+			// Snapshot session: frozen against later writes.
+			snap, err := c.Snapshot()
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			if snap.Version() <= 0 {
+				t.Fatalf("snapshot version = %d, want > 0", snap.Version())
+			}
+			if err := c.Put(1, 7777); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok, err := snap.Get(1); err != nil || !ok || v != 111 {
+				t.Fatalf("snap get 1 = %d/%v/%v, want frozen 111", v, ok, err)
+			}
+			if v, ok, _ := c.Get(1); !ok || v != 7777 {
+				t.Fatalf("live get 1 = %d/%v, want 7777", v, ok)
+			}
+
+			// Cursored scan over the session: multiple pages (page size 16),
+			// ascending unique keys, frozen content.
+			var keys []uint64
+			sc := snap.ScanAll()
+			for sc.Next() {
+				keys = append(keys, sc.Key())
+				if sc.Key() == 1 && sc.Value() != 111 {
+					t.Fatalf("scan sees unfrozen value %d for key 1", sc.Value())
+				}
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatalf("scan: %v", err)
+			}
+			sc.Close()
+			if len(keys) != n-1 { // n puts, minus key 0 removed, minus key 2 removed, plus... recount below
+				// n puts (0..n-1), key 0 removed, key 2 removed by the batch.
+				if len(keys) != n-2 {
+					t.Fatalf("scanned %d keys, want %d", len(keys), n-2)
+				}
+			}
+			for i := 1; i < len(keys); i++ {
+				if keys[i-1] >= keys[i] {
+					t.Fatalf("scan out of order: %d >= %d", keys[i-1], keys[i])
+				}
+			}
+
+			// Bounded scan from a midpoint.
+			sc = snap.Scan(100)
+			want := uint64(100)
+			for sc.Next() {
+				if sc.Key() < 100 {
+					t.Fatalf("Scan(100) delivered %d", sc.Key())
+				}
+				if sc.Key() != want {
+					t.Fatalf("Scan(100): key %d, want %d", sc.Key(), want)
+				}
+				want++
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			sc.Close()
+
+			if err := snap.Close(); err != nil {
+				t.Fatalf("snap close: %v", err)
+			}
+			// Operations on the closed session report unknown-session.
+			if _, _, err := snap.Get(1); err != client.ErrUnknownSnap {
+				t.Fatalf("get on closed session: err = %v, want ErrUnknownSnap", err)
+			}
+			if err := snap.Close(); err != nil {
+				t.Fatalf("second snap close: %v", err)
+			}
+
+			// Live sessionless scan sees current state.
+			sc = c.Scan(0)
+			seen := 0
+			for sc.Next() {
+				seen++
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			sc.Close()
+			if seen != n-2 {
+				t.Fatalf("live scan saw %d entries, want %d", seen, n-2)
+			}
+		})
+	}
+}
+
+// TestConcurrentClients hammers one server from many goroutines across
+// pooled pipelined connections under -race.
+func TestConcurrentClients(t *testing.T) {
+	_, _, addr := startServer(t, 4, Options{})
+	c := dial(t, addr, client.Options{Conns: 4})
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := uint64(w) * 10000
+			for i := uint64(0); i < 300; i++ {
+				k := base + i
+				if err := c.Put(k, k); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if i%7 == 0 {
+					if _, _, err := c.Get(base + i/2); err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+				}
+				if i%31 == 0 {
+					ops := []jiffy.BatchOp[uint64, uint64]{
+						{Key: k, Val: k * 2}, {Key: k + 1, Val: k * 2}}
+					if err := c.BatchUpdate(ops); err != nil {
+						t.Errorf("batch: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCrossShardBatchAtomicThroughSnapScan is the wire-level atomicity
+// proof the ISSUE demands: a client applies cross-shard batches that
+// rewrite a band of keys to one per-batch value, while concurrent clients
+// open SNAP sessions and SCAN the band. Every scan must observe every key
+// carrying the same value — a mixed page would be a torn batch observed
+// over the network.
+func TestCrossShardBatchAtomicThroughSnapScan(t *testing.T) {
+	s, _, addr := startServer(t, 8, Options{})
+	if s.NumShards() != 8 {
+		t.Fatalf("shards = %d", s.NumShards())
+	}
+
+	const band = 64 // keys 0..63 hash across all 8 shards
+	writer := dial(t, addr, client.Options{Conns: 1})
+	// Seed round 0 so the first scans see a full band.
+	seed := make([]jiffy.BatchOp[uint64, uint64], band)
+	for k := range seed {
+		seed[k] = jiffy.BatchOp[uint64, uint64]{Key: uint64(k), Val: 0}
+	}
+	if err := writer.BatchUpdate(seed); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var rounds atomic.Uint64
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		ops := make([]jiffy.BatchOp[uint64, uint64], band)
+		for r := uint64(1); ; r++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for k := range ops {
+				ops[k] = jiffy.BatchOp[uint64, uint64]{Key: uint64(k), Val: r}
+			}
+			if err := writer.BatchUpdate(ops); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+			rounds.Store(r)
+		}
+	}()
+
+	const scanners = 3
+	var swg sync.WaitGroup
+	for sc := 0; sc < scanners; sc++ {
+		swg.Add(1)
+		go func() {
+			defer swg.Done()
+			c := dial(t, addr, client.Options{Conns: 1, ScanPageSize: 7}) // tiny pages: many cursor hops per snapshot
+			for iter := 0; iter < 40; iter++ {
+				snap, err := c.Snapshot()
+				if err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+				var vals []uint64
+				scan := snap.Scan(0)
+				for scan.Next() && scan.Key() < band {
+					vals = append(vals, scan.Value())
+				}
+				if err := scan.Err(); err != nil {
+					t.Errorf("scan: %v", err)
+					return
+				}
+				scan.Close()
+				if len(vals) != band {
+					t.Errorf("scan saw %d band keys, want %d", len(vals), band)
+				}
+				for i, v := range vals {
+					if v != vals[0] {
+						t.Errorf("torn batch over the wire: key %d has round %d, key 0 has round %d (snapshot version %d)",
+							i, v, vals[0], snap.Version())
+						snap.Close()
+						return
+					}
+				}
+				// Point reads through the same session agree with the scan.
+				if v, ok, err := snap.Get(uint64(iter % band)); err != nil || !ok || v != vals[0] {
+					t.Errorf("snap get = %d/%v/%v, want round %d", v, ok, err, vals[0])
+				}
+				snap.Close()
+			}
+		}()
+	}
+	swg.Wait()
+	close(stop)
+	wwg.Wait()
+	if rounds.Load() == 0 {
+		t.Fatal("writer made no progress; the test observed nothing")
+	}
+}
+
+// TestIdleScanCursorDoesNotBlockReclamation is the ISSUE's slow-consumer
+// proof: a client opens a SNAP session, pulls one page of a scan, and
+// goes idle. Because the server's iterator lives only inside each page
+// request, the idle cursor holds no epoch pin — so the reclamation epoch
+// keeps advancing under concurrent write load while the session (and its
+// history pin) stays open.
+func TestIdleScanCursorDoesNotBlockReclamation(t *testing.T) {
+	s, _, addr := startServer(t, 2, Options{})
+	c := dial(t, addr, client.Options{Conns: 1, ScanPageSize: 8})
+
+	for i := uint64(0); i < 512; i++ {
+		if err := c.Put(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	scan := snap.ScanAll()
+	defer scan.Close()
+	for i := 0; i < 4; i++ { // pull half a page, then stall
+		if !scan.Next() {
+			t.Fatal("scan dried up early")
+		}
+	}
+
+	epoch0 := s.Stats().Epoch
+	// Hammer updates while the cursor idles: prunes retire payloads into
+	// epoch limbo, and draining limbo forces epoch advances. If the idle
+	// cursor pinned an epoch server-side, the epoch could not advance.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := uint64(0); i < 2000; i++ {
+			if err := c.Put(i%512, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s.Stats().Epoch > epoch0+2 {
+			break
+		}
+	}
+	if e := s.Stats().Epoch; e <= epoch0+2 {
+		t.Fatalf("epoch stuck at %d (started %d) while a scan cursor idled — slow consumer is blocking reclamation", e, epoch0)
+	}
+
+	// The idle cursor resumes exactly where it stopped, still frozen.
+	want := uint64(4)
+	for scan.Next() {
+		if scan.Key() != want {
+			t.Fatalf("resumed scan: key %d, want %d", scan.Key(), want)
+		}
+		if scan.Value() != want {
+			t.Fatalf("resumed scan: value %d, want frozen %d", scan.Value(), want)
+		}
+		want++
+	}
+	if err := scan.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want != 512 {
+		t.Fatalf("resumed scan ended at %d, want 512", want)
+	}
+}
+
+// TestSessionTTLReap checks idle sessions are reaped and later use
+// reports unknown-session, while active sessions survive by being used.
+func TestSessionTTLReap(t *testing.T) {
+	_, _, addr := startServer(t, 2, Options{SnapTTL: 80 * time.Millisecond})
+	c := dial(t, addr, client.Options{Conns: 1})
+	if err := c.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	idle, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep busy alive past several TTLs; leave idle untouched.
+	for i := 0; i < 10; i++ {
+		time.Sleep(40 * time.Millisecond)
+		if _, _, err := busy.Get(1); err != nil {
+			t.Fatalf("busy session died at iteration %d: %v", i, err)
+		}
+	}
+	if _, _, err := idle.Get(1); err != client.ErrUnknownSnap {
+		t.Fatalf("idle session: err = %v, want ErrUnknownSnap", err)
+	}
+	if err := busy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := idle.Close(); err != nil {
+		t.Fatalf("closing a reaped session should be clean, got %v", err)
+	}
+}
+
+// TestDurableStoreOverWire writes through the wire into a durable store,
+// tears everything down, reopens the store and checks the data —
+// including a cross-shard batch logged as one record — survived.
+func TestDurableStoreOverWire(t *testing.T) {
+	dir := t.TempDir()
+	codec := u64Codec()
+	d, err := durable.OpenSharded(dir, 4, codec, durable.Options[uint64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, NewDurableStore(d), codec, Options{})
+	c, err := client.Dial(srv.Addr().String(), codec, client.Options{Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if err := c.Put(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops := make([]jiffy.BatchOp[uint64, uint64], 32)
+	for k := range ops {
+		ops[k] = jiffy.BatchOp[uint64, uint64]{Key: uint64(k), Val: 5555}
+	}
+	if err := c.BatchUpdate(ops); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	srv.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := durable.OpenSharded(dir, 4, codec, durable.Options[uint64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := uint64(0); i < 32; i++ {
+		if v, ok := re.Get(i); !ok || v != 5555 {
+			t.Fatalf("recovered get %d = %d/%v, want 5555", i, v, ok)
+		}
+	}
+	for i := uint64(32); i < 100; i++ {
+		if v, ok := re.Get(i); !ok || v != i+1 {
+			t.Fatalf("recovered get %d = %d/%v, want %d", i, v, ok, i+1)
+		}
+	}
+}
+
+// TestNoGoroutineLeak runs a full server+client lifecycle — sessions,
+// scans, several connections — and asserts the goroutine count returns to
+// its baseline after everything closes.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := jiffy.NewSharded[uint64, uint64](4)
+	srv := Serve(ln, NewMemStore(s), u64Codec(), Options{SnapTTL: time.Second})
+	c, err := client.Dial(srv.Addr().String(), u64Codec(), client.Options{Conns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		if err := c.Put(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := snap.ScanAll()
+	for sc.Next() {
+	}
+	sc.Close()
+	// Leave the session open: server Close must reap it.
+	c.Close()
+	srv.Close()
+
+	// A second Close is a clean no-op.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second server close: %v", err)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s", before, after, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestScanPageCap checks the server clamps page sizes to MaxScanPage
+// rather than building unbounded response frames.
+func TestScanPageCap(t *testing.T) {
+	_, _, addr := startServer(t, 2, Options{MaxScanPage: 10})
+	c := dial(t, addr, client.Options{Conns: 1, ScanPageSize: 100000})
+	for i := uint64(0); i < 45; i++ {
+		if err := c.Put(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := c.ScanAll()
+	seen := 0
+	for sc.Next() {
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sc.Close()
+	if seen != 45 {
+		t.Fatalf("capped scan saw %d entries, want 45 (across ceil(45/10) pages)", seen)
+	}
+}
+
+// TestManyConnections exercises accept/teardown churn: many short-lived
+// clients, each doing a little work.
+func TestManyConnections(t *testing.T) {
+	_, _, addr := startServer(t, 2, Options{})
+	for i := 0; i < 20; i++ {
+		c, err := client.Dial(addr, u64Codec(), client.Options{Conns: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put(uint64(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := dial(t, addr, client.Options{})
+	for i := 0; i < 20; i++ {
+		if v, ok, err := c.Get(uint64(i)); err != nil || !ok || v != uint64(i) {
+			t.Fatalf("get %d = %d/%v/%v", i, v, ok, err)
+		}
+	}
+}
+
+// TestScanPageByteBudget checks pages are bounded by encoded bytes as
+// well as entry count: with megabyte values, a default-sized page would
+// otherwise exceed the frame limit and sever the connection. The scan
+// must instead split into many small-entry-count pages and still deliver
+// everything exactly once.
+func TestScanPageByteBudget(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcodec := durable.Codec[uint64, []byte]{Key: durable.Uint64Enc(), Value: durable.BytesEnc()}
+	srv := Serve(ln, NewMemStore(jiffy.NewSharded[uint64, []byte](2)), bcodec, Options{})
+	defer srv.Close()
+	c, err := client.Dial(srv.Addr().String(), bcodec, client.Options{Conns: 1, ScanPageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 24
+	val := make([]byte, 1<<20) // 1 MiB per value; 24 MiB total > MaxFrameBytes
+	for i := uint64(0); i < n; i++ {
+		val[0] = byte(i)
+		if err := c.Put(i, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	sc := snap.ScanAll()
+	defer sc.Close()
+	want := uint64(0)
+	for sc.Next() {
+		if sc.Key() != want {
+			t.Fatalf("key %d, want %d", sc.Key(), want)
+		}
+		if v := sc.Value(); len(v) != 1<<20 || v[0] != byte(want) {
+			t.Fatalf("value for key %d corrupted (len %d, v[0]=%d)", want, len(v), v[0])
+		}
+		want++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan over byte-budgeted pages: %v", err)
+	}
+	if want != n {
+		t.Fatalf("scan delivered %d entries, want %d", want, n)
+	}
+}

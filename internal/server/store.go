@@ -1,0 +1,79 @@
+package server
+
+import (
+	"cmp"
+
+	"repro/jiffy"
+	"repro/jiffy/durable"
+)
+
+// Store is the backend surface the server serves: the update operations of
+// the jiffy frontends (error-returning, so the durable frontends fit
+// without adaptation) plus snapshot registration for the session machinery.
+// All methods must be safe for concurrent use — every connection's handler
+// goroutine calls them directly, with no server-side serialization, so the
+// store's own concurrency story (lock-free updates, O(1) snapshots) is
+// what the network layer scales on.
+type Store[K cmp.Ordered, V any] interface {
+	// Get returns the live value for key.
+	Get(key K) (V, bool)
+	// Put sets the value for key, durable when the store is.
+	Put(key K, val V) error
+	// Remove deletes key, reporting whether it was present.
+	Remove(key K) (bool, error)
+	// BatchUpdate applies b in one atomic (cross-shard) step.
+	BatchUpdate(b *jiffy.Batch[K, V]) error
+	// Snapshot registers a consistent snapshot of the store.
+	Snapshot() Snap[K, V]
+}
+
+// Snap is the snapshot surface a session needs: frozen point reads,
+// streaming iteration and release. jiffy.Snapshot and jiffy.ShardedSnapshot
+// both provide it.
+type Snap[K cmp.Ordered, V any] interface {
+	Version() int64
+	Get(key K) (V, bool)
+	Iter() jiffy.Iterator[K, V]
+	Close()
+}
+
+// memStore adapts the in-memory sharded frontend to Store (updates cannot
+// fail, so the error returns are uniformly nil).
+type memStore[K cmp.Ordered, V any] struct {
+	s *jiffy.Sharded[K, V]
+}
+
+// NewMemStore wraps a jiffy.Sharded map as a Store.
+func NewMemStore[K cmp.Ordered, V any](s *jiffy.Sharded[K, V]) Store[K, V] {
+	return memStore[K, V]{s: s}
+}
+
+func (m memStore[K, V]) Get(key K) (V, bool) { return m.s.Get(key) }
+func (m memStore[K, V]) Put(key K, val V) error {
+	m.s.Put(key, val)
+	return nil
+}
+func (m memStore[K, V]) Remove(key K) (bool, error) { return m.s.Remove(key), nil }
+func (m memStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error {
+	m.s.BatchUpdate(b)
+	return nil
+}
+func (m memStore[K, V]) Snapshot() Snap[K, V] { return m.s.Snapshot() }
+
+// durStore adapts the durable sharded frontend to Store.
+type durStore[K cmp.Ordered, V any] struct {
+	d *durable.Sharded[K, V]
+}
+
+// NewDurableStore wraps a durable.Sharded map as a Store. Updates
+// acknowledge to the client only after their log record is durable, so the
+// wire-level acknowledgement inherits the WAL's guarantee.
+func NewDurableStore[K cmp.Ordered, V any](d *durable.Sharded[K, V]) Store[K, V] {
+	return durStore[K, V]{d: d}
+}
+
+func (s durStore[K, V]) Get(key K) (V, bool)                    { return s.d.Get(key) }
+func (s durStore[K, V]) Put(key K, val V) error                 { return s.d.Put(key, val) }
+func (s durStore[K, V]) Remove(key K) (bool, error)             { return s.d.Remove(key) }
+func (s durStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error { return s.d.BatchUpdate(b) }
+func (s durStore[K, V]) Snapshot() Snap[K, V]                   { return s.d.Snapshot() }

@@ -1,0 +1,210 @@
+// Package wire defines the length-prefixed binary protocol spoken between
+// cmd/jiffyd (internal/server) and jiffy/client. The framing is shared by
+// both ends so the encoders and decoders cannot drift apart; the payload
+// semantics — which ops exist, what their bodies mean — are documented here
+// and in DESIGN.md §8.
+//
+// A frame is
+//
+//	u32 n | data[n]        (little endian)
+//
+// where data is
+//
+//	u64 id | u8 op | body
+//
+// On requests, id is a client-chosen correlation number echoed verbatim in
+// the response — responses to pipelined requests are matched by id, not by
+// order — and op is an Op* code. On responses, the op byte carries a
+// Status* code instead. The body layout depends on the op; keys and values
+// travel as uvarint-length-prefixed byte strings encoded by the caller's
+// codec (jiffy/durable.Codec), exactly as the durability layer encodes log
+// records, so a store's WAL and its wire form share one encoding.
+//
+// The protocol is deliberately minimal: no versioned handshake (the magic
+// of the first frame is the id/op structure itself — a server rejects
+// malformed frames by closing the connection), no compression, no TLS.
+// Those belong to a fronting proxy; this layer's job is to move the
+// paper's operations — point ops, atomic batches, snapshot sessions and
+// cursored scans — with as little framing overhead as possible.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Request opcodes.
+const (
+	// OpPing has an empty body; the response body is empty. Liveness
+	// probes and smoke tests use it.
+	OpPing = byte(iota + 1)
+
+	// OpGet body: u64 snapID | key. snapID 0 reads the live map; a
+	// non-zero snapID reads that snapshot session's frozen version.
+	// Response body: val (present only when status is StatusOK).
+	OpGet
+
+	// OpPut body: key | val. Response body: empty.
+	OpPut
+
+	// OpDel body: key. Response: StatusOK when the key was present,
+	// StatusNotFound when absent; body empty.
+	OpDel
+
+	// OpBatch body: uvarint nops | op*, where op is
+	//
+	//	u8 kind (0 put, 1 remove) | key | put: val
+	//
+	// — the durability layer's record payload layout. The whole batch is
+	// applied as one atomic cross-shard update. Response body: empty.
+	OpBatch
+
+	// OpSnap has an empty body. The server registers a snapshot session
+	// and responds with u64 snapID | i64 version. The session pins the
+	// store's history at that version until closed or TTL-reaped.
+	OpSnap
+
+	// OpSnapClose body: u64 snapID. Response body: empty; closing an
+	// unknown (already reaped) session reports StatusUnknownSnap.
+	OpSnapClose
+
+	// OpScan body: u64 snapID | u32 maxEntries | u8 cursor mode | key?.
+	// Cursor modes: ScanFromStart (no key), ScanInclusive (first page of
+	// a bounded scan: the key itself is included) and ScanExclusive
+	// (continuation: the key was the last one delivered and is skipped).
+	// snapID 0 scans an ephemeral snapshot taken for this page only —
+	// pages are then individually consistent but not mutually; a session
+	// id freezes every page at the session's version. Response body:
+	//
+	//	u8 more | u32 n | (key | val)*
+	//
+	// more=1 means the snapshot has entries past this page; continue with
+	// ScanExclusive from the last key.
+	OpScan
+)
+
+// Scan cursor modes (OpScan body).
+const (
+	ScanFromStart = byte(iota)
+	ScanInclusive
+	ScanExclusive
+)
+
+// Response status codes.
+const (
+	// StatusOK: the operation succeeded; the body is the op's result.
+	StatusOK = byte(iota)
+
+	// StatusNotFound: a get missed or a delete found nothing. Not an
+	// error; the body is empty.
+	StatusNotFound
+
+	// StatusUnknownSnap: the request named a snapshot session the server
+	// does not hold (never created, closed, or TTL-reaped).
+	StatusUnknownSnap
+
+	// StatusBadRequest: the server could not decode the request. The body
+	// is a human-readable message.
+	StatusBadRequest
+
+	// StatusErr: the operation failed server-side (e.g. a durable store's
+	// log append). The body is a human-readable message.
+	StatusErr
+)
+
+// Batch op kinds (OpBatch body), matching jiffy/durable's record encoding.
+const (
+	BatchPut    = byte(0)
+	BatchRemove = byte(1)
+)
+
+// MaxFrameBytes bounds a frame's data length; length prefixes beyond it
+// are treated as protocol corruption rather than allocated. One batch or
+// one scan page must fit a frame.
+const MaxFrameBytes = 16 << 20
+
+// FrameOverhead is the fixed overhead inside a frame's data: the u64 id
+// plus the u8 op byte. A frame's data length is FrameOverhead plus its
+// body length; peers reject announced lengths below it.
+const FrameOverhead = 8 + 1
+
+// ErrFrameTooBig is returned when a peer announces a frame larger than
+// MaxFrameBytes.
+var ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrameBytes")
+
+// AppendFrame appends one complete frame carrying id, op and body to dst
+// and returns the extended slice. Use it when the body is already encoded;
+// BeginFrame/EndFrame avoid the copy when encoding the body in place.
+func AppendFrame(dst []byte, id uint64, op byte, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(8+1+len(body)))
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = append(dst, op)
+	return append(dst, body...)
+}
+
+// BeginFrame appends a frame header with a length placeholder to dst,
+// returning the extended slice and the placeholder's offset. Encode the
+// body directly onto the returned slice, then call EndFrame with the same
+// offset to patch the length in.
+func BeginFrame(dst []byte, id uint64, op byte) (buf []byte, lenAt int) {
+	lenAt = len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length placeholder
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = append(dst, op)
+	return dst, lenAt
+}
+
+// EndFrame patches the length of the frame begun at lenAt, completing it.
+func EndFrame(buf []byte, lenAt int) []byte {
+	binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(buf)-lenAt-4))
+	return buf
+}
+
+// ReadFrame reads one frame from r into buf (grown as needed) and returns
+// the frame's id, op byte and body. The body aliases buf — it is valid
+// only until the next ReadFrame with the same buffer. A clean EOF before
+// the first header byte returns io.EOF; a partial frame returns
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte) (id uint64, op byte, body, bufOut []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < FrameOverhead {
+		return 0, 0, nil, buf, fmt.Errorf("wire: frame data length %d below header minimum", n)
+	}
+	if n > MaxFrameBytes {
+		return 0, 0, nil, buf, ErrFrameTooBig
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, buf, err
+	}
+	id = binary.LittleEndian.Uint64(buf[0:8])
+	return id, buf[8], buf[9:], buf, nil
+}
+
+// AppendBytes appends a uvarint-length-prefixed byte string to dst.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// TakeBytes consumes one uvarint-length-prefixed byte string from p,
+// returning the string (aliasing p) and the remainder.
+func TakeBytes(p []byte) (b, rest []byte, err error) {
+	l, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < l {
+		return nil, p, errors.New("wire: truncated byte string")
+	}
+	return p[n : n+int(l)], p[n+int(l):], nil
+}

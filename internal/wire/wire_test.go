@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestFrameRoundTrip checks AppendFrame and the BeginFrame/EndFrame pair
+// both produce frames ReadFrame parses back intact.
+func TestFrameRoundTrip(t *testing.T) {
+	var stream []byte
+	stream = AppendFrame(stream, 7, OpGet, []byte("hello"))
+	buf, lenAt := BeginFrame(stream, 8, OpPut)
+	buf = append(buf, "worldly"...)
+	stream = EndFrame(buf, lenAt)
+	stream = AppendFrame(stream, 9, OpPing, nil)
+
+	r := bytes.NewReader(stream)
+	var rbuf []byte
+	want := []struct {
+		id   uint64
+		op   byte
+		body string
+	}{{7, OpGet, "hello"}, {8, OpPut, "worldly"}, {9, OpPing, ""}}
+	for _, w := range want {
+		id, op, body, nbuf, err := ReadFrame(r, rbuf)
+		rbuf = nbuf
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if id != w.id || op != w.op || string(body) != w.body {
+			t.Fatalf("frame = (%d, %d, %q), want (%d, %d, %q)", id, op, body, w.id, w.op, w.body)
+		}
+	}
+	if _, _, _, _, err := ReadFrame(r, rbuf); err != io.EOF {
+		t.Fatalf("end of stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestReadFrameErrors checks the corruption and truncation paths.
+func TestReadFrameErrors(t *testing.T) {
+	// Truncated mid-body.
+	full := AppendFrame(nil, 1, OpGet, []byte("body"))
+	_, _, _, _, err := ReadFrame(bytes.NewReader(full[:len(full)-2]), nil)
+	if err != io.ErrUnexpectedEOF {
+		t.Errorf("torn body: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+
+	// Truncated mid-header.
+	_, _, _, _, err = ReadFrame(bytes.NewReader(full[:2]), nil)
+	if err == nil || err == io.EOF {
+		t.Errorf("torn header: err = %v, want unexpected-EOF error", err)
+	}
+
+	// Length below the id+op minimum.
+	_, _, _, _, err = ReadFrame(strings.NewReader("\x01\x00\x00\x00x"), nil)
+	if err == nil {
+		t.Error("undersized frame: want error")
+	}
+
+	// Length beyond MaxFrameBytes.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	_, _, _, _, err = ReadFrame(bytes.NewReader(huge), nil)
+	if err != ErrFrameTooBig {
+		t.Errorf("oversized frame: err = %v, want ErrFrameTooBig", err)
+	}
+}
+
+// TestBytesRoundTrip checks the length-prefixed byte-string helpers,
+// including empty strings and consumption order.
+func TestBytesRoundTrip(t *testing.T) {
+	var p []byte
+	p = AppendBytes(p, []byte("key"))
+	p = AppendBytes(p, nil)
+	p = AppendBytes(p, bytes.Repeat([]byte{0xab}, 300)) // 2-byte uvarint length
+
+	b1, p, err := TakeBytes(p)
+	if err != nil || string(b1) != "key" {
+		t.Fatalf("first = %q, %v", b1, err)
+	}
+	b2, p, err := TakeBytes(p)
+	if err != nil || len(b2) != 0 {
+		t.Fatalf("second = %q, %v", b2, err)
+	}
+	b3, p, err := TakeBytes(p)
+	if err != nil || len(b3) != 300 || b3[0] != 0xab {
+		t.Fatalf("third = %d bytes, %v", len(b3), err)
+	}
+	if len(p) != 0 {
+		t.Fatalf("%d bytes left over", len(p))
+	}
+	if _, _, err := TakeBytes(p); err == nil {
+		t.Error("TakeBytes on empty input: want error")
+	}
+	if _, _, err := TakeBytes([]byte{0x05, 'a'}); err == nil {
+		t.Error("TakeBytes with short body: want error")
+	}
+}

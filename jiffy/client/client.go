@@ -1,0 +1,396 @@
+// Package client is the typed network client for jiffyd (internal/server):
+// it speaks the length-prefixed binary protocol of internal/wire over a
+// pool of TCP connections and exposes the jiffy surface remotely — point
+// operations, atomic cross-shard batch updates, snapshot sessions frozen
+// at one version, and cursored streaming scans.
+//
+// Every connection multiplexes requests: callers' requests are assigned
+// correlation ids, queued to the connection's writer goroutine — which
+// coalesces everything already queued into one socket write, the client
+// half of the server's group-commit idiom — and the reader goroutine
+// matches response frames back to per-request futures by id. Any number of
+// goroutines can share one Client; with pipelining enabled (the default) a
+// connection carries many requests in flight at once, so throughput is not
+// bounded by one round trip per request per connection.
+//
+// Keys and values are typed: a jiffy/durable.Codec translates them to and
+// from their wire form, the same encoding the durability layer logs. The
+// server decodes with its own codec, so client and server must agree on it
+// (jiffyd serves string keys and raw []byte values).
+package client
+
+import (
+	"cmp"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+	"repro/jiffy"
+	"repro/jiffy/durable"
+)
+
+// Options tunes a Client. The zero value selects defaults.
+type Options struct {
+	// Conns is the connection pool size (default 1). Requests spread
+	// round-robin across the pool; snapshot sessions pin themselves to
+	// the connection that opened them (sessions are per-connection
+	// server-side).
+	Conns int
+
+	// NoPipeline serializes each connection: a request holds its
+	// connection exclusively for its full round trip, so at most one
+	// request per connection is ever in flight. The benchmark baseline
+	// pipelining is measured against; leave it off.
+	NoPipeline bool
+
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+
+	// ScanPageSize is how many entries each cursored scan request asks
+	// for (default 512, capped server-side).
+	ScanPageSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns < 1 {
+		o.Conns = 1
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.ScanPageSize < 1 {
+		o.ScanPageSize = 512
+	}
+	return o
+}
+
+// ErrClosed is returned by operations on a closed Client.
+var ErrClosed = errors.New("client: closed")
+
+// RemoteError is a failure reported by the server (StatusErr or
+// StatusBadRequest), as opposed to a transport failure.
+type RemoteError struct {
+	Status byte
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("client: remote error (status %d): %s", e.Status, e.Msg)
+}
+
+// Client is a pooled, pipelining jiffyd client. All methods are safe for
+// concurrent use. Create one with Dial; Close it when done.
+type Client[K cmp.Ordered, V any] struct {
+	codec  durable.Codec[K, V]
+	opts   Options
+	addr   string
+	conns  []atomic.Pointer[netConn]
+	next   atomic.Uint64
+	closed atomic.Bool
+	remu   sync.Mutex // serializes redials (and fences them against Close)
+}
+
+// Dial connects the pool and returns a ready Client.
+func Dial[K cmp.Ordered, V any](addr string, codec durable.Codec[K, V], opts ...Options) (*Client[K, V], error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o = o.withDefaults()
+	c := &Client[K, V]{codec: codec, opts: o, addr: addr, conns: make([]atomic.Pointer[netConn], o.Conns)}
+	for i := 0; i < o.Conns; i++ {
+		nc, err := dialConn(addr, o)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns[i].Store(nc)
+	}
+	return c, nil
+}
+
+// Close severs every connection. In-flight requests fail with a transport
+// error. Close is idempotent.
+func (c *Client[K, V]) Close() error {
+	c.closed.Store(true)
+	c.remu.Lock() // no redial may race the sweep or outlive it
+	defer c.remu.Unlock()
+	var firstErr error
+	for i := range c.conns {
+		if nc := c.conns[i].Load(); nc != nil {
+			if err := nc.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// conn picks the next pool connection round-robin. A connection that has
+// suffered a transport failure is replaced by a fresh dial first, so one
+// dropped connection (or a server restart) degrades the pool only until
+// the next use instead of permanently.
+func (c *Client[K, V]) conn() (*netConn, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	i := int(c.next.Add(1) % uint64(len(c.conns)))
+	nc := c.conns[i].Load()
+	if nc != nil && !nc.broken() {
+		return nc, nil
+	}
+	c.remu.Lock()
+	defer c.remu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if nc = c.conns[i].Load(); nc != nil && !nc.broken() {
+		return nc, nil // another caller already redialed this slot
+	}
+	fresh, err := dialConn(c.addr, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	if old := c.conns[i].Load(); old != nil {
+		old.close()
+	}
+	c.conns[i].Store(fresh)
+	return fresh, nil
+}
+
+// Ping round-trips an empty frame on one pool connection.
+func (c *Client[K, V]) Ping() error {
+	nc, err := c.conn()
+	if err != nil {
+		return err
+	}
+	_, _, err = nc.roundTrip(wire.OpPing, nil, nil)
+	return err
+}
+
+// Get returns the live value for key.
+func (c *Client[K, V]) Get(key K) (V, bool, error) {
+	nc, err := c.conn()
+	if err != nil {
+		var zero V
+		return zero, false, err
+	}
+	return c.get(nc, 0, key)
+}
+
+// get issues OpGet for key against snapID (0: live) on nc.
+func (c *Client[K, V]) get(nc *netConn, snapID uint64, key K) (V, bool, error) {
+	var zero V
+	body := make([]byte, 8, 8+16)
+	binary.LittleEndian.PutUint64(body, snapID)
+	body = c.codec.Key.Append(body, key)
+	status, resp, err := nc.roundTrip(wire.OpGet, body, nil)
+	if err != nil {
+		return zero, false, err
+	}
+	switch status {
+	case wire.StatusOK:
+		v, err := c.codec.Value.Decode(resp)
+		return v, err == nil, err
+	case wire.StatusNotFound:
+		return zero, false, nil
+	}
+	return zero, false, remoteErr(status, resp)
+}
+
+// Put sets the value for key; on a durable server it returns once the
+// update is logged.
+func (c *Client[K, V]) Put(key K, val V) error {
+	nc, err := c.conn()
+	if err != nil {
+		return err
+	}
+	var kbuf [16]byte
+	kb := c.codec.Key.Append(kbuf[:0], key)
+	body := wire.AppendBytes(make([]byte, 0, len(kb)+17), kb)
+	body = c.codec.Value.Append(body, val)
+	status, resp, err := nc.roundTrip(wire.OpPut, body, nil)
+	if err != nil {
+		return err
+	}
+	if status != wire.StatusOK {
+		return remoteErr(status, resp)
+	}
+	return nil
+}
+
+// Remove deletes key, reporting whether it was present.
+func (c *Client[K, V]) Remove(key K) (bool, error) {
+	nc, err := c.conn()
+	if err != nil {
+		return false, err
+	}
+	body := c.codec.Key.Append(make([]byte, 0, 16), key)
+	status, resp, err := nc.roundTrip(wire.OpDel, body, nil)
+	if err != nil {
+		return false, err
+	}
+	switch status {
+	case wire.StatusOK:
+		return true, nil
+	case wire.StatusNotFound:
+		return false, nil
+	}
+	return false, remoteErr(status, resp)
+}
+
+// BatchUpdate applies ops — puts and removes spanning any keys — in one
+// atomic step on the server: no remote reader, snapshot or scan observes
+// the batch half-applied, even when its keys span shards. An empty batch
+// is a no-op.
+func (c *Client[K, V]) BatchUpdate(ops []jiffy.BatchOp[K, V]) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	nc, err := c.conn()
+	if err != nil {
+		return err
+	}
+	body := binary.AppendUvarint(make([]byte, 0, 16+16*len(ops)), uint64(len(ops)))
+	var kbuf, vbuf []byte
+	for _, op := range ops {
+		kbuf = c.codec.Key.Append(kbuf[:0], op.Key)
+		if op.Remove {
+			body = append(body, wire.BatchRemove)
+			body = wire.AppendBytes(body, kbuf)
+			continue
+		}
+		vbuf = c.codec.Value.Append(vbuf[:0], op.Val)
+		body = append(body, wire.BatchPut)
+		body = wire.AppendBytes(body, kbuf)
+		body = wire.AppendBytes(body, vbuf)
+	}
+	status, resp, err := nc.roundTrip(wire.OpBatch, body, nil)
+	if err != nil {
+		return err
+	}
+	if status != wire.StatusOK {
+		return remoteErr(status, resp)
+	}
+	return nil
+}
+
+// Snap is a handle on a server-side snapshot session: a consistent view of
+// the whole store frozen at Version. Gets and scans through it observe
+// exactly the state at that version, however long the session lives —
+// subject to the server's idle TTL, which every operation on the session
+// resets. Close it promptly: an open session pins multiversion history on
+// the server.
+type Snap[K cmp.Ordered, V any] struct {
+	c   *Client[K, V]
+	nc  *netConn // sessions are per-connection server-side
+	id  uint64
+	ver int64
+}
+
+// Snapshot opens a snapshot session and returns its handle.
+func (c *Client[K, V]) Snapshot() (*Snap[K, V], error) {
+	nc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	status, resp, err := nc.roundTrip(wire.OpSnap, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != wire.StatusOK {
+		return nil, remoteErr(status, resp)
+	}
+	if len(resp) != 16 {
+		return nil, fmt.Errorf("client: snap response is %d bytes, want 16", len(resp))
+	}
+	return &Snap[K, V]{
+		c:   c,
+		nc:  nc,
+		id:  binary.LittleEndian.Uint64(resp[0:8]),
+		ver: int64(binary.LittleEndian.Uint64(resp[8:16])),
+	}, nil
+}
+
+// Version returns the session's frozen version on the server's clock.
+func (s *Snap[K, V]) Version() int64 { return s.ver }
+
+// Get returns the value key had at the session's version.
+func (s *Snap[K, V]) Get(key K) (V, bool, error) {
+	return s.c.get(s.nc, s.id, key)
+}
+
+// Scan returns a Scanner streaming the session's entries from lo upward in
+// ascending key order, page by page.
+func (s *Snap[K, V]) Scan(lo K) *Scanner[K, V] {
+	sc := newScanner(s.c, s.nc, s.id)
+	sc.Seek(lo)
+	return sc
+}
+
+// ScanAll returns a Scanner streaming every entry of the session.
+func (s *Snap[K, V]) ScanAll() *Scanner[K, V] {
+	return newScanner(s.c, s.nc, s.id)
+}
+
+// Close ends the session, releasing the history it pinned on the server.
+// Closing an already-reaped session is not an error.
+func (s *Snap[K, V]) Close() error {
+	var body [8]byte
+	binary.LittleEndian.PutUint64(body[:], s.id)
+	status, resp, err := s.nc.roundTrip(wire.OpSnapClose, body[:], nil)
+	if err != nil {
+		return err
+	}
+	switch status {
+	case wire.StatusOK, wire.StatusUnknownSnap:
+		return nil
+	}
+	return remoteErr(status, resp)
+}
+
+// Scan returns a Scanner streaming the live map's entries from lo upward.
+// Each page reads its own ephemeral server-side snapshot: pages are
+// individually consistent (and each sees every update that committed
+// before the page was requested), but the scan as a whole is not one
+// frozen cut — use Snapshot().Scan for that.
+func (c *Client[K, V]) Scan(lo K) *Scanner[K, V] {
+	sc := newScanner(c, nil, 0)
+	sc.Seek(lo)
+	return sc
+}
+
+// ScanAll returns a live Scanner over the whole key range (see Scan).
+func (c *Client[K, V]) ScanAll() *Scanner[K, V] {
+	return newScanner(c, nil, 0)
+}
+
+// remoteErr converts a non-OK response into an error.
+func remoteErr(status byte, body []byte) error {
+	if status == wire.StatusUnknownSnap {
+		return ErrUnknownSnap
+	}
+	return &RemoteError{Status: status, Msg: string(body)}
+}
+
+// ErrUnknownSnap is returned when an operation names a snapshot session
+// the server no longer holds (closed, TTL-reaped, or from another
+// connection).
+var ErrUnknownSnap = errors.New("client: unknown snapshot session (closed or idle-reaped)")
+
+// dialConn dials one pooled connection.
+func dialConn(addr string, o Options) (*netConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, o.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // pipelined frames coalesce in our writer, not the kernel's
+	}
+	return newNetConn(nc, o.NoPipeline), nil
+}

@@ -1,0 +1,330 @@
+package client_test
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/jiffy"
+	"repro/jiffy/client"
+	"repro/jiffy/durable"
+)
+
+func codec() durable.Codec[uint64, uint64] {
+	return durable.Codec[uint64, uint64]{Key: durable.Uint64Enc(), Value: durable.Uint64Enc()}
+}
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.Serve(ln, server.NewMemStore(jiffy.NewSharded[uint64, uint64](4)), codec(), server.Options{})
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr().String()
+}
+
+// TestMultiplexingCorrelation is the pipelining correctness core: many
+// goroutines share ONE connection, each reading keys it wrote, so any
+// misrouted response — a future resolved with another request's frame —
+// shows up as a wrong value.
+func TestMultiplexingCorrelation(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr, codec(), client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const workers = 16
+	const perWorker = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := uint64(w) * 1_000_000
+			for i := uint64(0); i < perWorker; i++ {
+				k := base + i
+				if err := c.Put(k, k^0xabcdef); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				v, ok, err := c.Get(k)
+				if err != nil || !ok || v != k^0xabcdef {
+					t.Errorf("get %d = %d/%v/%v, want %d — response misrouted?", k, v, ok, err, k^0xabcdef)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCloseFailsInflight closes the client under load: every outstanding
+// request must return an error promptly, none may hang.
+func TestCloseFailsInflight(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr, codec(), client.Options{Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); ; i++ {
+				if err := c.Put(i, i); err != nil {
+					return // expected once Close lands
+				}
+			}
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	c.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight requests hung after Close")
+	}
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping on closed client succeeded")
+	}
+}
+
+// TestScannerSeekRestart checks Seek restarts a scanner — mid-stream,
+// after exhaustion, and after Close.
+func TestScannerSeekRestart(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr, codec(), client.Options{Conns: 1, ScanPageSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := uint64(0); i < 64; i++ {
+		if err := c.Put(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	sc := snap.Scan(10)
+	for i := 0; i < 5; i++ {
+		if !sc.Next() {
+			t.Fatal("early dry")
+		}
+	}
+	sc.Seek(50) // mid-stream reposition
+	if !sc.Next() || sc.Key() != 50 {
+		t.Fatalf("after Seek(50): key %d", sc.Key())
+	}
+	for sc.Next() {
+	} // exhaust
+	sc.Seek(0) // restart from scratch
+	n := 0
+	for sc.Next() {
+		n++
+	}
+	if n != 64 {
+		t.Fatalf("restarted scan saw %d, want 64", n)
+	}
+	sc.Close()
+	sc.Seek(63) // restart a closed scanner
+	if !sc.Next() || sc.Key() != 63 || sc.Next() {
+		t.Fatal("restart after Close failed")
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sc.Close()
+}
+
+// TestDialFailure checks a refused dial reports an error, not a hang.
+func TestDialFailure(t *testing.T) {
+	// Grab a port and close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := client.Dial(addr, codec(), client.Options{DialTimeout: time.Second}); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}
+
+// TestServerGoneMidFlight severs the server under load: requests fail
+// with transport errors instead of hanging.
+func TestServerGoneMidFlight(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.Serve(ln, server.NewMemStore(jiffy.NewSharded[uint64, uint64](2)), codec(), server.Options{})
+	c, err := client.Dial(srv.Addr().String(), codec(), client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := c.Ping(); err != nil {
+			break // transport error surfaced
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no error after server close")
+		}
+	}
+}
+
+// TestPoolRedialsAfterServerRestart checks one transient disconnect does
+// not degrade the pool permanently: after the server comes back on the
+// same address, the client recovers by redialing broken connections.
+func TestPoolRedialsAfterServerRestart(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := server.Serve(ln, server.NewMemStore(jiffy.NewSharded[uint64, uint64](2)), codec(), server.Options{})
+	c, err := client.Dial(addr, codec(), client.Options{Conns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	// Wait for the breakage to surface, then restart on the same address.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := c.Ping(); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no transport error after server close")
+		}
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("relisten on %s: %v", addr, err)
+	}
+	srv2 := server.Serve(ln2, server.NewMemStore(jiffy.NewSharded[uint64, uint64](2)), codec(), server.Options{})
+	defer srv2.Close()
+
+	// Every pool slot must come back (round-robin hits them all).
+	deadline = time.Now().Add(5 * time.Second)
+	healthy := 0
+	for healthy < 6 {
+		if err := c.Put(2, 2); err == nil {
+			healthy++
+		} else if time.Now().After(deadline) {
+			t.Fatalf("pool did not recover after restart: %v", err)
+		}
+	}
+	if v, ok, err := c.Get(2); err != nil || !ok || v != 2 {
+		t.Fatalf("get after recovery = %d/%v/%v", v, ok, err)
+	}
+}
+
+// TestOversizeRequestRejectedLocally checks a request beyond the frame
+// limit fails with a descriptive error and does NOT poison the
+// connection for subsequent (and concurrent pipelined) requests.
+func TestOversizeRequestRejectedLocally(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcodec := durable.Codec[uint64, []byte]{Key: durable.Uint64Enc(), Value: durable.BytesEnc()}
+	srv := server.Serve(ln, server.NewMemStore(jiffy.NewSharded[uint64, []byte](2)), bcodec, server.Options{})
+	defer srv.Close()
+	c, err := client.Dial(srv.Addr().String(), bcodec, client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	huge := make([]byte, 17<<20) // > wire.MaxFrameBytes
+	err = c.Put(1, huge)
+	if err == nil {
+		t.Fatal("oversized put succeeded")
+	}
+	if !strings.Contains(err.Error(), "frame limit") {
+		t.Fatalf("oversized put error %q does not explain the frame limit", err)
+	}
+	// The connection survives: normal traffic proceeds.
+	if err := c.Put(2, []byte("ok")); err != nil {
+		t.Fatalf("put after rejected oversize: %v", err)
+	}
+	if v, ok, err := c.Get(2); err != nil || !ok || string(v) != "ok" {
+		t.Fatalf("get after rejected oversize = %q/%v/%v", v, ok, err)
+	}
+}
+
+// TestTeardownBufferReuse hammers one pipelined connection while the
+// server dies, then immediately reuses the callers' request buffers (the
+// Scanner restart pattern). Under -race this guards the teardown
+// ordering: the reader's failure sweep must not resolve callers while
+// the writer could still read their request buffers.
+func TestTeardownBufferReuse(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bcodec := durable.Codec[uint64, []byte]{Key: durable.Uint64Enc(), Value: durable.BytesEnc()}
+		srv := server.Serve(ln, server.NewMemStore(jiffy.NewSharded[uint64, []byte](2)), bcodec, server.Options{})
+		c, err := client.Dial(srv.Addr().String(), bcodec, client.Options{Conns: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		val := make([]byte, 4096)
+		for w := 0; w < 6; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := c.Scan(0)
+				for i := uint64(0); ; i++ {
+					if err := c.Put(i, val); err != nil {
+						// Immediately reuse buffers: restart the scanner
+						// (rebuilds its request body) and issue fresh puts.
+						sc.Seek(i)
+						sc.Next()
+						sc.Close()
+						c.Put(i, val)
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(10 * time.Millisecond)
+		srv.Close()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("teardown hung")
+		}
+		c.Close()
+	}
+}

@@ -1,0 +1,282 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// netConn is one pooled connection. In pipelined mode (the default) it
+// runs two goroutines mirroring the server's split: a writer that drains
+// the request queue into coalesced socket writes, and a reader that
+// matches response frames to waiting calls by correlation id — so any
+// number of requests ride the connection concurrently. In NoPipeline mode
+// there are no goroutines at all: a request takes the connection's
+// exclusive lock for its full round trip, the strictest
+// one-request-per-connection discipline, kept as the benchmark baseline.
+type netConn struct {
+	c      net.Conn
+	noPipe bool
+	seq    atomic.Uint64
+
+	// Pipelined mode. rstop is closed by the reader on a terminal error
+	// and wdone when the writer exits: the reader's failure sweep runs
+	// only after the writer is provably gone, so a swept call — and the
+	// caller's request buffer it aliases — can never be touched by a
+	// straggling writer.
+	writeq  chan *call
+	stopc   chan struct{}
+	rstop   chan struct{}
+	wdone   chan struct{}
+	wg      sync.WaitGroup
+	pmu     sync.Mutex // guards pending, rerr, closed
+	pending map[uint64]*call
+	rerr    error
+	closed  bool
+
+	// NoPipeline mode: xmu serializes round trips; xbuf is the frame
+	// read/write scratch it guards; xbroken marks a transport failure
+	// (the pipelined mode records failures in rerr instead).
+	xmu     sync.Mutex
+	xbuf    []byte
+	xbroken atomic.Bool
+}
+
+// broken reports whether the connection has suffered a transport failure
+// or been closed — i.e. whether the pool should replace it.
+func (nc *netConn) broken() bool {
+	if nc.noPipe {
+		return nc.xbroken.Load()
+	}
+	nc.pmu.Lock()
+	defer nc.pmu.Unlock()
+	return nc.closed || nc.rerr != nil
+}
+
+// call is one in-flight request: the correlation state between a caller,
+// the writer and the reader. done carries exactly one signal per round
+// trip, so pooled reuse is race-free.
+type call struct {
+	id     uint64
+	op     byte
+	body   []byte
+	status byte
+	resp   []byte // response body, copied into the call's own buffer
+	err    error
+	done   chan struct{}
+}
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
+
+// errConnBroken is the transport error for requests cut off by a
+// connection failure or Close.
+var errConnBroken = errors.New("client: connection broken")
+
+func newNetConn(c net.Conn, noPipe bool) *netConn {
+	nc := &netConn{c: c, noPipe: noPipe}
+	if !noPipe {
+		nc.writeq = make(chan *call, 1024)
+		nc.stopc = make(chan struct{})
+		nc.rstop = make(chan struct{})
+		nc.wdone = make(chan struct{})
+		nc.pending = map[uint64]*call{}
+		nc.wg.Add(2)
+		go nc.writeLoop()
+		go nc.readLoop()
+	}
+	return nc
+}
+
+// close severs the connection, failing every in-flight request, and joins
+// the connection's goroutines.
+func (nc *netConn) close() error {
+	if nc.noPipe {
+		nc.xbroken.Store(true)
+		return nc.c.Close()
+	}
+	nc.pmu.Lock()
+	if nc.closed {
+		nc.pmu.Unlock()
+		nc.wg.Wait()
+		return nil
+	}
+	nc.closed = true
+	nc.pmu.Unlock()
+	close(nc.stopc)
+	err := nc.c.Close() // unblocks the reader, which fails all pending calls
+	nc.wg.Wait()
+	return err
+}
+
+// roundTrip issues one request and blocks for its response. The response
+// body is copied into respBuf (grown as needed) so it stays valid after
+// the connection moves on; callers reuse their scratch across calls. An
+// oversized request is rejected locally — the server would sever the
+// connection on it, poisoning every pipelined neighbor.
+func (nc *netConn) roundTrip(op byte, body, respBuf []byte) (status byte, resp []byte, err error) {
+	if len(body)+wire.FrameOverhead > wire.MaxFrameBytes {
+		return 0, nil, fmt.Errorf("client: request body is %d bytes; the frame limit is %d (split the batch)",
+			len(body), wire.MaxFrameBytes)
+	}
+	if nc.noPipe {
+		return nc.roundTripSerial(op, body, respBuf)
+	}
+	cl := callPool.Get().(*call)
+	cl.op, cl.body, cl.err = op, body, nil
+	id := nc.seq.Add(1)
+	cl.id = id
+
+	nc.pmu.Lock()
+	if nc.closed || nc.rerr != nil {
+		err := nc.rerr
+		nc.pmu.Unlock()
+		callPool.Put(cl)
+		if err == nil {
+			err = ErrClosed
+		}
+		return 0, nil, err
+	}
+	nc.pending[id] = cl
+	nc.pmu.Unlock()
+
+	select {
+	case nc.writeq <- cl:
+	case <-cl.done:
+		// The connection died before the request could even queue (a
+		// full writeq whose writer hit a write error and exited): the
+		// reader's failure sweep already resolved this call.
+		err := cl.err
+		cl.body, cl.resp = nil, cl.resp[:0]
+		callPool.Put(cl)
+		return 0, nil, err
+	case <-nc.stopc:
+		nc.pmu.Lock()
+		_, mine := nc.pending[id]
+		if mine {
+			delete(nc.pending, id)
+		}
+		nc.pmu.Unlock()
+		if !mine {
+			<-cl.done // the reader already took it; consume the signal
+		}
+		cl.body, cl.resp = nil, cl.resp[:0]
+		callPool.Put(cl)
+		return 0, nil, errConnBroken
+	}
+	<-cl.done
+	// Whether resolved by a response or by the reader's failure sweep,
+	// the call is exclusively ours again: a response implies the writer
+	// sent the frame, and the sweep runs only after the writer has exited
+	// (readLoop waits on wdone), so no straggler can still read cl — or
+	// the caller's request buffer cl.body aliases.
+	status, err = cl.status, cl.err
+	resp = append(respBuf[:0], cl.resp...)
+	cl.body, cl.resp = nil, cl.resp[:0]
+	callPool.Put(cl)
+	return status, resp, err
+}
+
+// roundTripSerial is the NoPipeline path: one exclusive write-then-read.
+func (nc *netConn) roundTripSerial(op byte, body, respBuf []byte) (status byte, resp []byte, err error) {
+	nc.xmu.Lock()
+	defer nc.xmu.Unlock()
+	id := nc.seq.Add(1)
+	nc.xbuf = wire.AppendFrame(nc.xbuf[:0], id, op, body)
+	if _, err := nc.c.Write(nc.xbuf); err != nil {
+		nc.xbroken.Store(true)
+		return 0, nil, err
+	}
+	for {
+		rid, st, rbody, buf, err := wire.ReadFrame(nc.c, nc.xbuf)
+		nc.xbuf = buf
+		if err != nil {
+			nc.xbroken.Store(true)
+			return 0, nil, err
+		}
+		if rid != id {
+			continue // stale response from a request cut off mid-read; drop
+		}
+		return st, append(respBuf[:0], rbody...), nil
+	}
+}
+
+// writeLoop drains the request queue into coalesced writes: one blocking
+// receive, then everything else already queued, one Write for the lot.
+// It exits on Close (stopc), on its own write error, or when the reader
+// hits a terminal error (rstop); wdone announces the exit so the reader's
+// failure sweep can wait until no call can be touched here anymore.
+func (nc *netConn) writeLoop() {
+	defer nc.wg.Done()
+	defer close(nc.wdone)
+	var wbuf []byte
+	for {
+		var cl *call
+		select {
+		case cl = <-nc.writeq:
+		case <-nc.stopc:
+			return
+		case <-nc.rstop:
+			return
+		}
+		wbuf = wire.AppendFrame(wbuf[:0], cl.id, cl.op, cl.body)
+	drain:
+		for len(wbuf) < 256<<10 {
+			select {
+			case cl2 := <-nc.writeq:
+				wbuf = wire.AppendFrame(wbuf, cl2.id, cl2.op, cl2.body)
+			default:
+				break drain
+			}
+		}
+		if _, err := nc.c.Write(wbuf); err != nil {
+			// Sever the connection: the reader unblocks with an error and
+			// fails every pending call, including the ones just encoded.
+			nc.c.Close()
+			return
+		}
+	}
+}
+
+// readLoop matches response frames to pending calls until the connection
+// drops, then fails everything still in flight.
+func (nc *netConn) readLoop() {
+	defer nc.wg.Done()
+	var rbuf []byte
+	for {
+		id, status, body, buf, err := wire.ReadFrame(nc.c, rbuf)
+		rbuf = buf
+		if err != nil {
+			// Terminal: sever the socket (unblocking any in-flight write),
+			// stop the writer and wait for it to exit, and only then fail
+			// everything pending — after wdone no goroutine but the
+			// resolved callers can reach a call again, so they may recycle
+			// call objects and reuse request buffers immediately.
+			nc.c.Close()
+			close(nc.rstop)
+			<-nc.wdone
+			nc.pmu.Lock()
+			nc.rerr = errConnBroken
+			for id, cl := range nc.pending {
+				delete(nc.pending, id)
+				cl.err = errConnBroken
+				cl.done <- struct{}{}
+			}
+			nc.pmu.Unlock()
+			return
+		}
+		nc.pmu.Lock()
+		cl := nc.pending[id]
+		delete(nc.pending, id)
+		nc.pmu.Unlock()
+		if cl == nil {
+			continue // response to a request whose caller gave up; drop
+		}
+		cl.status = status
+		cl.resp = append(cl.resp[:0], body...)
+		cl.done <- struct{}{}
+	}
+}

@@ -1,0 +1,191 @@
+package client
+
+import (
+	"cmp"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Scanner streams entries in ascending key order by pulling cursored
+// pages from the server: each page is one OpScan round trip, and between
+// pages the server holds no iterator, no buffer and no epoch pin for this
+// scan — a Scanner consumed arbitrarily slowly costs the server nothing
+// beyond its session's snapshot registration (nothing at all for live
+// scans). The method set matches jiffy.Iterator:
+//
+//	sc := snap.Scan(lo)
+//	defer sc.Close()
+//	for sc.Next() {
+//		use(sc.Key(), sc.Value())
+//	}
+//	if err := sc.Err(); err != nil { ... }
+//
+// plus Err, which reports the transport or decode error that ended the
+// scan early (Next returns false on error). A Scanner is not safe for
+// concurrent use.
+type Scanner[K cmp.Ordered, V any] struct {
+	c      *Client[K, V]
+	nc     *netConn
+	snapID uint64
+
+	keys []K
+	vals []V
+	pos  int
+
+	mode   byte // wire.ScanFromStart / ScanInclusive / ScanExclusive
+	cursor K
+	done   bool
+	err    error
+
+	body []byte // request scratch
+	page []byte // response scratch
+}
+
+// newScanner builds a scanner bound to nc (or a fresh pool connection
+// when nc is nil), scanning snapID (0: live).
+func newScanner[K cmp.Ordered, V any](c *Client[K, V], nc *netConn, snapID uint64) *Scanner[K, V] {
+	sc := &Scanner[K, V]{c: c, nc: nc, snapID: snapID, mode: wire.ScanFromStart}
+	if sc.nc == nil {
+		sc.nc, sc.err = c.conn()
+		sc.done = sc.err != nil
+	}
+	return sc
+}
+
+// Seek repositions the scanner just before the first entry with key >=
+// key; the following Next moves onto it. Seeking an exhausted or errored
+// scanner restarts it.
+func (sc *Scanner[K, V]) Seek(key K) {
+	sc.keys = sc.keys[:0]
+	sc.vals = sc.vals[:0]
+	sc.pos = 0
+	sc.mode = wire.ScanInclusive
+	sc.cursor = key
+	sc.done = false
+	sc.err = nil
+	// Live scans may hop to a healthy connection on restart; a session
+	// scan must stay on the connection owning its session.
+	if sc.nc == nil || (sc.snapID == 0 && sc.nc.broken()) {
+		sc.nc, sc.err = sc.c.conn()
+		sc.done = sc.err != nil
+	}
+}
+
+// Next advances to the next entry, fetching the next page when the buffer
+// runs dry, and reports whether an entry is available. It returns false at
+// the end of the key range and on error (check Err).
+func (sc *Scanner[K, V]) Next() bool {
+	if sc.pos+1 < len(sc.keys) {
+		sc.pos++
+		return true
+	}
+	if sc.done {
+		sc.keys = sc.keys[:0]
+		sc.vals = sc.vals[:0]
+		sc.pos = 0
+		return false
+	}
+	sc.fetchPage()
+	return len(sc.keys) > 0
+}
+
+// Key returns the current entry's key. Valid only after a Next that
+// returned true.
+func (sc *Scanner[K, V]) Key() K { return sc.keys[sc.pos] }
+
+// Value returns the current entry's value. Valid only after a Next that
+// returned true.
+func (sc *Scanner[K, V]) Value() V { return sc.vals[sc.pos] }
+
+// Err returns the error that terminated the scan, if any. A scan that
+// ran off the end of the key range reports nil.
+func (sc *Scanner[K, V]) Err() error { return sc.err }
+
+// Close releases the scanner. Cursored scans hold no server-side state,
+// so Close is purely local; it exists to satisfy the iterator contract
+// (and callers' habits). Using a closed scanner restarts it via Seek.
+func (sc *Scanner[K, V]) Close() {
+	sc.done = true
+	sc.keys = sc.keys[:0]
+	sc.vals = sc.vals[:0]
+	sc.pos = 0
+}
+
+// fetchPage pulls and decodes the next cursored page into the scanner's
+// buffers.
+func (sc *Scanner[K, V]) fetchPage() {
+	sc.keys = sc.keys[:0]
+	sc.vals = sc.vals[:0]
+	sc.pos = 0
+
+	body := sc.body[:0]
+	body = binary.LittleEndian.AppendUint64(body, sc.snapID)
+	body = binary.LittleEndian.AppendUint32(body, uint32(sc.c.opts.ScanPageSize))
+	body = append(body, sc.mode)
+	if sc.mode != wire.ScanFromStart {
+		var kbuf [16]byte
+		body = wire.AppendBytes(body, sc.c.codec.Key.Append(kbuf[:0], sc.cursor))
+	}
+	sc.body = body
+
+	status, resp, err := sc.nc.roundTrip(wire.OpScan, body, sc.page)
+	sc.page = resp
+	if err != nil {
+		sc.fail(err)
+		return
+	}
+	if status != wire.StatusOK {
+		sc.fail(remoteErr(status, resp))
+		return
+	}
+	if len(resp) < 5 {
+		sc.fail(fmt.Errorf("client: scan page header is %d bytes, want 5", len(resp)))
+		return
+	}
+	more := resp[0] == 1
+	count := binary.LittleEndian.Uint32(resp[1:5])
+	p := resp[5:]
+	for i := uint32(0); i < count; i++ {
+		kb, rest, err := wire.TakeBytes(p)
+		if err != nil {
+			sc.fail(err)
+			return
+		}
+		vb, rest, err := wire.TakeBytes(rest)
+		if err != nil {
+			sc.fail(err)
+			return
+		}
+		p = rest
+		key, err := sc.c.codec.Key.Decode(kb)
+		if err != nil {
+			sc.fail(err)
+			return
+		}
+		val, err := sc.c.codec.Value.Decode(vb)
+		if err != nil {
+			sc.fail(err)
+			return
+		}
+		sc.keys = append(sc.keys, key)
+		sc.vals = append(sc.vals, val)
+	}
+	if n := len(sc.keys); n > 0 {
+		sc.cursor = sc.keys[n-1]
+		sc.mode = wire.ScanExclusive
+	}
+	if !more {
+		sc.done = true
+	}
+}
+
+// fail records err and empties the scanner.
+func (sc *Scanner[K, V]) fail(err error) {
+	sc.err = err
+	sc.done = true
+	sc.keys = sc.keys[:0]
+	sc.vals = sc.vals[:0]
+	sc.pos = 0
+}

@@ -1,0 +1,84 @@
+package durable
+
+import (
+	"errors"
+	"testing"
+
+	"repro/jiffy"
+)
+
+// TestMapCloseIdempotent checks double-Close on durable.Map is clean and
+// post-close updates fail fast with ErrClosed while reads keep working.
+func TestMapCloseIdempotent(t *testing.T) {
+	d, err := Open(t.TempDir(), u64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second close: %v (want nil: Close must be idempotent)", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("third close: %v", err)
+	}
+
+	// Updates after close fail with ErrClosed, before touching memory.
+	if err := d.Put(2, 20); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := d.Remove(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("remove after close: err = %v, want ErrClosed", err)
+	}
+	if err := d.BatchUpdate(jiffy.NewBatch[uint64, uint64](1).Put(3, 30)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("batch after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := d.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("checkpoint after close: err = %v, want ErrClosed", err)
+	}
+	if _, ok := d.Get(2); ok {
+		t.Fatal("post-close put landed in memory despite ErrClosed")
+	}
+
+	// Reads survive close (the in-memory index is intact).
+	if v, ok := d.Get(1); !ok || v != 10 {
+		t.Fatalf("get after close = %d/%v, want 10", v, ok)
+	}
+}
+
+// TestShardedCloseIdempotent is the sharded mirror of the double-close
+// contract.
+func TestShardedCloseIdempotent(t *testing.T) {
+	d, err := OpenSharded(t.TempDir(), 4, u64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second close: %v (want nil: Close must be idempotent)", err)
+	}
+	if err := d.Put(2, 20); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := d.Remove(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("remove after close: err = %v, want ErrClosed", err)
+	}
+	if err := d.BatchUpdate(jiffy.NewBatch[uint64, uint64](1).Put(3, 30)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("batch after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := d.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("checkpoint after close: err = %v, want ErrClosed", err)
+	}
+	if v, ok := d.Get(1); !ok || v != 10 {
+		t.Fatalf("get after close = %d/%v, want 10", v, ok)
+	}
+}

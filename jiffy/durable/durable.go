@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/persist"
 	"repro/jiffy"
@@ -67,7 +68,8 @@ type Map[K cmp.Ordered, V any] struct {
 	dir   string
 	opts  Options[K]
 
-	ckptMu sync.Mutex // one checkpoint at a time
+	ckptMu sync.Mutex  // one checkpoint at a time
+	closed atomic.Bool // set by the first Close; updates then fail fast
 }
 
 // Open opens (creating if needed) the durable map stored in dir,
@@ -218,6 +220,9 @@ func (d *Map[K, V]) Stats() jiffy.Stats { return d.m.Stats() }
 // update is visible to concurrent readers as soon as it commits in memory,
 // before it is durable; Put returning bounds the durability point.
 func (d *Map[K, V]) Put(key K, val V) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	ver := d.m.PutVersioned(key, val)
 	return appendRecord(d.wal, ver, []jiffy.BatchOp[K, V]{{Key: key, Val: val}}, d.codec)
 }
@@ -226,6 +231,9 @@ func (d *Map[K, V]) Put(key K, val V) error {
 // the remove is durable. Removing an absent key changes nothing and writes
 // no log record.
 func (d *Map[K, V]) Remove(key K) (bool, error) {
+	if d.closed.Load() {
+		return false, ErrClosed
+	}
 	ver, ok := d.m.RemoveVersioned(key)
 	if !ok {
 		return false, nil
@@ -239,6 +247,9 @@ func (d *Map[K, V]) Remove(key K) (bool, error) {
 // record, so recovery replays it all-or-nothing: atomicity survives the
 // crash.
 func (d *Map[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	ver := d.m.BatchUpdateVersioned(b)
 	if ver == 0 {
 		return nil // empty batch: no update, nothing to log
@@ -255,6 +266,9 @@ func (d *Map[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error {
 func (d *Map[K, V]) Checkpoint() (int64, error) {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
 	snap := d.m.Snapshot()
 	defer snap.Close()
 	ver := snap.Version()
@@ -283,10 +297,17 @@ func (d *Map[K, V]) Checkpoint() (int64, error) {
 	return ver, d.wal.TruncateBelow(ver)
 }
 
-// Close syncs and closes the log. Updates after Close fail; in-flight
-// updates must have returned. Reads remain valid (the in-memory index
-// survives) but the map should be discarded.
-func (d *Map[K, V]) Close() error { return d.wal.Close() }
+// Close syncs and closes the log. Updates after Close fail with ErrClosed;
+// in-flight updates must have returned. Reads remain valid (the in-memory
+// index survives) but the map should be discarded. Close is idempotent:
+// the first call closes the log and reports its result, later calls are
+// no-ops returning nil.
+func (d *Map[K, V]) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	return d.wal.Close()
+}
 
 // Map and Sharded keep the full read surface of the views they wrap.
 var (

@@ -1,0 +1,147 @@
+package durable
+
+import "testing"
+
+// TestIterSeekEdgesMap drives Iterator.Seek through its edge cases on the
+// durable map wrapper: seek past the last key, seek before the first,
+// seek on an empty map, and seek on a closed iterator.
+func TestIterSeekEdgesMap(t *testing.T) {
+	d, err := Open(t.TempDir(), u64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Empty map: a fresh iterator and a seeked one both report nothing.
+	it := d.Iter()
+	if it.Next() {
+		t.Fatal("Next on empty map reported an entry")
+	}
+	it.Seek(0)
+	if it.Next() {
+		t.Fatal("Seek(0)+Next on empty map reported an entry")
+	}
+	it.Close()
+
+	for i := uint64(10); i <= 50; i += 10 {
+		if err := d.Put(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	it = d.Iter()
+	defer it.Close()
+
+	// Seek before the first key lands on the first key.
+	it.Seek(1)
+	if !it.Next() || it.Key() != 10 {
+		t.Fatalf("Seek(1): key %d, want 10", it.Key())
+	}
+	// Seek onto an existing key is inclusive.
+	it.Seek(30)
+	if !it.Next() || it.Key() != 30 {
+		t.Fatalf("Seek(30): key %d, want 30", it.Key())
+	}
+	// Seek between keys lands on the next one.
+	it.Seek(31)
+	if !it.Next() || it.Key() != 40 {
+		t.Fatalf("Seek(31): key %d, want 40", it.Key())
+	}
+	// Seek exactly past the last key: exhausted.
+	it.Seek(51)
+	if it.Next() {
+		t.Fatalf("Seek(51) past last key delivered %d", it.Key())
+	}
+	// Seek far past the last key: exhausted, and restartable afterwards.
+	it.Seek(1 << 60)
+	if it.Next() {
+		t.Fatal("Seek(1<<60) delivered an entry")
+	}
+	it.Seek(50)
+	if !it.Next() || it.Key() != 50 || it.Next() {
+		t.Fatal("restart after past-the-end seek failed")
+	}
+}
+
+// TestIterSeekEdgesSharded mirrors the edge cases on the durable sharded
+// wrapper, where Seek must re-prime every shard cursor.
+func TestIterSeekEdgesSharded(t *testing.T) {
+	d, err := OpenSharded(t.TempDir(), 4, u64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Empty shards: nothing to deliver, seeked or not.
+	it := d.Iter()
+	if it.Next() {
+		t.Fatal("Next on empty sharded map reported an entry")
+	}
+	it.Seek(7)
+	if it.Next() {
+		t.Fatal("Seek(7)+Next on empty sharded map reported an entry")
+	}
+	it.Close()
+
+	for i := uint64(10); i <= 50; i += 10 {
+		if err := d.Put(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it = d.Iter()
+	defer it.Close()
+	it.Seek(1) // before the first key
+	if !it.Next() || it.Key() != 10 {
+		t.Fatalf("Seek(1): key %d, want 10", it.Key())
+	}
+	it.Seek(35) // between keys, mid-stream reposition
+	if !it.Next() || it.Key() != 40 {
+		t.Fatalf("Seek(35): key %d, want 40", it.Key())
+	}
+	it.Seek(51) // past the last key
+	if it.Next() {
+		t.Fatalf("Seek(51) past last key delivered %d", it.Key())
+	}
+	it.Seek(10) // restart from the front after exhaustion
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("restarted scan saw %d entries, want 5", n)
+	}
+}
+
+// TestIterSeekClosed checks Seek and Next on closed iterators are defined
+// no-ops on both durable wrappers (no panic, no entries).
+func TestIterSeekClosed(t *testing.T) {
+	dm, err := Open(t.TempDir(), u64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dm.Close()
+	if err := dm.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	it := dm.Iter()
+	it.Close()
+	it.Seek(0) // must not panic
+	if it.Next() {
+		t.Fatal("closed map iterator delivered an entry")
+	}
+
+	ds, err := OpenSharded(t.TempDir(), 4, u64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if err := ds.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	sit := ds.Iter()
+	sit.Close()
+	sit.Seek(0) // must not panic
+	if sit.Next() {
+		t.Fatal("closed sharded iterator delivered an entry")
+	}
+}

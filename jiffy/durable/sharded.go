@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/persist"
 	"repro/jiffy"
@@ -29,6 +30,7 @@ type Sharded[K cmp.Ordered, V any] struct {
 	opts  Options[K]
 
 	ckptMu sync.Mutex
+	closed atomic.Bool // set by the first Close; updates then fail fast
 }
 
 func shardWALDir(dir string, i int) string {
@@ -155,6 +157,9 @@ func (d *Sharded[K, V]) Stats() jiffy.Stats { return d.s.Stats() }
 // Put sets the value for key and returns once the update is durable in the
 // owning shard's log.
 func (d *Sharded[K, V]) Put(key K, val V) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	ver := d.s.PutVersioned(key, val)
 	return appendRecord(d.wals[d.s.ShardOf(key)], ver, []jiffy.BatchOp[K, V]{{Key: key, Val: val}}, d.codec)
 }
@@ -162,6 +167,9 @@ func (d *Sharded[K, V]) Put(key K, val V) error {
 // Remove deletes key, reporting whether it was present, and returns once
 // the remove is durable. Removing an absent key writes no log record.
 func (d *Sharded[K, V]) Remove(key K) (bool, error) {
+	if d.closed.Load() {
+		return false, ErrClosed
+	}
 	ver, ok := d.s.RemoveVersioned(key)
 	if !ok {
 		return false, nil
@@ -176,6 +184,9 @@ func (d *Sharded[K, V]) Remove(key K) (bool, error) {
 // replays it all-or-nothing; there is no window where a crash splits a
 // cross-shard batch.
 func (d *Sharded[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	ver := d.s.BatchUpdateVersioned(b)
 	if ver == 0 {
 		return nil
@@ -197,6 +208,9 @@ func (d *Sharded[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error {
 func (d *Sharded[K, V]) Checkpoint() (int64, error) {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
 	snap := d.s.Snapshot()
 	defer snap.Close()
 	ver := snap.Version()
@@ -231,8 +245,13 @@ func (d *Sharded[K, V]) Checkpoint() (int64, error) {
 	return ver, firstErr
 }
 
-// Close syncs and closes every shard's log.
+// Close syncs and closes every shard's log. Updates after Close fail with
+// ErrClosed. Close is idempotent: the first call closes the logs and
+// reports the first error, later calls are no-ops returning nil.
 func (d *Sharded[K, V]) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
 	var firstErr error
 	for _, w := range d.wals {
 		if err := w.Close(); err != nil && firstErr == nil {

@@ -28,7 +28,10 @@ import (
 //
 // A fresh iterator (no Seek) starts before the smallest key. Iterators
 // are not safe for concurrent use; Close recycles their state. Key and
-// Value are valid only after a Next that returned true.
+// Value are valid only after a Next that returned true. On a closed
+// iterator Seek is a no-op and Next reports false — but the object may
+// already be serving another scan (Close pools it), so treat use after
+// Close as a bug, not a feature.
 type Iterator[K cmp.Ordered, V any] interface {
 	// Seek repositions the iterator just before the first entry with
 	// key >= key; the following Next moves onto it.
@@ -103,8 +106,12 @@ type shardedIter[K cmp.Ordered, V any] struct {
 }
 
 // Seek repositions the iterator just before the first entry with key >=
-// key, re-priming every shard cursor there.
+// key, re-priming every shard cursor there. Seeking a closed iterator is
+// a no-op.
 func (it *shardedIter[K, V]) Seek(key K) {
+	if it.ss == nil {
+		return // closed
+	}
 	it.lo = key
 	it.hasLo = true
 	if it.st != nil {
@@ -132,8 +139,12 @@ func (it *shardedIter[K, V]) prime() {
 	it.primed = true
 }
 
-// Next advances to the next entry in globally ascending key order.
+// Next advances to the next entry in globally ascending key order. On a
+// closed iterator Next reports false.
 func (it *shardedIter[K, V]) Next() bool {
+	if it.ss == nil {
+		return false // closed
+	}
 	if !it.primed {
 		it.prime()
 		st := it.st
