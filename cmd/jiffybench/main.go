@@ -47,7 +47,7 @@ func main() {
 		claims   = flag.Bool("claims", false, "measure the scalar claims of §4.3 instead of a figure")
 		micro    = flag.Bool("micro", false, "measure the read-scalability micro claims (deep-chain seeks, iterator allocs, merged-scan scaling) instead of a figure")
 		netBench = flag.Bool("net", false, "measure the network serving layer over loopback (conns sweep, pipelining on/off, batch amortization) instead of a figure")
-		conns    = flag.String("conns", "1,2,4,8,16,32,64", "with -net: comma-separated client connection counts to sweep")
+		conns    = flag.String("conns", "1,2,4,8,16,32,64,128,256", "with -net: comma-separated client connection counts to sweep")
 		netAddr  = flag.String("netaddr", "", "with -net: measure against this running jiffyd-protocol server instead of an in-process loopback one")
 		netThr   = flag.Int("netthreads", 64, "with -net: workload goroutines driving the client")
 		shards   = flag.Int("shards", 0, "shard count for the jiffy-sharded index (default: GOMAXPROCS, min 2)")

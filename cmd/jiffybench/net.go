@@ -3,9 +3,11 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/harness"
@@ -19,14 +21,20 @@ import (
 
 // The -net mode measures the network serving layer (internal/server +
 // jiffy/client) over loopback TCP: throughput as the client connection
-// pool grows 1→64, with pipelined multiplexing on and off, and the
+// pool grows 1→256, with pipelined multiplexing on and off, and the
 // batch-amortization effect of shipping 10- and 100-op atomic batches as
-// one frame instead of ten or a hundred. By default it starts an
-// in-process jiffyd-equivalent server on 127.0.0.1:0 (config A: uint64
-// keys, 100-byte payload values, harness.ShardCount shards) so the whole
-// measurement is self-contained; -netaddr points it at an external server
-// instead. Results land in the "net" section of a BENCH_*.json file
-// (BENCH_0005.json is the committed instance).
+// one frame instead of ten or a hundred. The sweep runs against BOTH
+// serving cores — the sharded event loops and the goroutine-per-connection
+// fallback — so the committed numbers show what the event-loop rewrite
+// bought at each pool size, and a parity pass cross-checks that a
+// deterministic workload leaves both cores with bit-identical store
+// contents (any divergence exits nonzero; CI runs this as a smoke test).
+// By default it starts an in-process jiffyd-equivalent server on
+// 127.0.0.1:0 (uint64 keys, 100-byte payload values, harness.ShardCount
+// shards) so the whole measurement is self-contained; -netaddr points it
+// at an external server instead (single sweep, no mode control, no
+// parity). Results land in a BENCH_*.json file (BENCH_0006.json is the
+// committed instance; BENCH_0005.json predates the mode sweep).
 
 // netFile is the -net JSON schema.
 type netFile struct {
@@ -38,14 +46,20 @@ type netFile struct {
 	Prefill    int          `json:"prefill"`
 	Duration   string       `json:"duration"`
 	When       string       `json:"when"`
+	Modes      []string     `json:"modes,omitempty"`
+	Parity     string       `json:"parity,omitempty"` // "ok" when both cores converged
 	Sweep      []netPoint   `json:"sweep"`
 	Batch      []netBatchPt `json:"batch"`
 }
 
 // netPoint is one conns-sweep measurement (mix ul: 25 % updates, 75 %
-// lookups, one op per request).
+// lookups, one op per request). Threads records the workload goroutines
+// actually driving the point — max(-netthreads, conns), so wide pools are
+// not throttled by a narrow driver.
 type netPoint struct {
+	Mode      string  `json:"mode"`
 	Conns     int     `json:"conns"`
+	Threads   int     `json:"threads"`
 	Pipelined bool    `json:"pipelined"`
 	Mix       string  `json:"mix"`
 	TotalMops float64 `json:"total_mops"`
@@ -56,6 +70,7 @@ type netPoint struct {
 // connections, pipelined): ops per second counted in basic operations, so
 // the amortization of frame and round-trip overhead shows directly.
 type netBatchPt struct {
+	Mode      string  `json:"mode"`
 	Batch     string  `json:"batch"`
 	Conns     int     `json:"conns"`
 	TotalMops float64 `json:"total_mops"`
@@ -78,8 +93,94 @@ func netCodec() durable.Codec[uint64, *harness.Payload] {
 	return durable.Codec[uint64, *harness.Payload]{Key: durable.Uint64Enc(), Value: netPayloadEnc()}
 }
 
+// startNetServer starts the in-process loopback server in the given mode,
+// prefilled directly (the dataset is the same either way and skipping the
+// network keeps setup fast). Returns the server and its address.
+func startNetServer(mode server.Mode, base harness.Config) (*server.Server[uint64, *harness.Payload], string) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "net bench: listen: %v\n", err)
+		os.Exit(1)
+	}
+	s := jiffy.NewSharded[uint64, *harness.Payload](harness.ShardCount)
+	srv := server.Serve(ln, server.NewMemStore(s), netCodec(), server.Options{Mode: mode})
+	harness.Prefill[uint64, *harness.Payload](&index.ShardedJiffy[uint64, *harness.Payload]{S: s}, base, harness.KeyA, harness.ValA)
+	return srv, srv.Addr().String()
+}
+
+// sweepOne runs the conns sweep and the batch-amortization points against
+// addr, tagging every result with mode.
+func sweepOne(out *netFile, mode, addr string, connsList []int, threads int, base harness.Config) {
+	base.Mix = workload.MixUpdateLookup
+	for _, conns := range connsList {
+		ptThreads := threads
+		if conns > ptThreads {
+			ptThreads = conns
+		}
+		cfg := base
+		cfg.Threads = ptThreads
+		for _, pipelined := range []bool{true, false} {
+			c, err := client.Dial(addr, netCodec(), client.Options{Conns: conns, NoPipeline: !pipelined})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "net bench: dial: %v\n", err)
+				os.Exit(1)
+			}
+			idx := index.NewNetJiffy(c)
+			res := harness.Run[uint64, *harness.Payload](idx, cfg, harness.KeyA, harness.ValA)
+			idx.Close()
+			out.Sweep = append(out.Sweep, netPoint{
+				Mode:      mode,
+				Conns:     conns,
+				Threads:   ptThreads,
+				Pipelined: pipelined,
+				Mix:       cfg.Mix.Name,
+				TotalMops: res.TotalMops(),
+				TotalOps:  res.TotalOps,
+			})
+			fmt.Printf("net   %-9s %-3s conns=%-3d pipelined=%-5v threads=%-3d total=%8.3f Mops/s\n",
+				mode, cfg.Mix.Name, conns, pipelined, ptThreads, res.TotalMops())
+		}
+	}
+
+	// Batch amortization: update-only at the largest pool, batches of 1,
+	// 10 and 100 ops per frame.
+	maxConns := connsList[0]
+	for _, n := range connsList {
+		if n > maxConns {
+			maxConns = n
+		}
+	}
+	bcfg := base
+	bcfg.Mix = workload.MixUpdateOnly
+	if maxConns > bcfg.Threads {
+		bcfg.Threads = maxConns
+	}
+	for _, size := range []int{1, 10, 100} {
+		bcfg.Batch = workload.BatchMode{Size: size}
+		c, err := client.Dial(addr, netCodec(), client.Options{Conns: maxConns})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "net bench: dial: %v\n", err)
+			os.Exit(1)
+		}
+		idx := index.NewNetJiffy(c)
+		res := harness.Run[uint64, *harness.Payload](idx, bcfg, harness.KeyA, harness.ValA)
+		idx.Close()
+		out.Batch = append(out.Batch, netBatchPt{
+			Mode:      mode,
+			Batch:     bcfg.Batch.String(),
+			Conns:     maxConns,
+			TotalMops: res.TotalMops(),
+			TotalOps:  res.TotalOps,
+		})
+		fmt.Printf("net   %-9s w   batch=%-7s conns=%-3d threads=%-3d total=%8.3f Mops/s\n",
+			mode, bcfg.Batch.String(), maxConns, bcfg.Threads, res.TotalMops())
+	}
+}
+
 // runNet executes the serving-layer measurements and returns the file to
-// serialize. addr == "" starts the in-process loopback server.
+// serialize. addr == "" sweeps both serving cores over in-process loopback
+// servers and cross-checks their final contents; an external addr is
+// measured as-is.
 func runNet(addr string, connsList []int, threads int, keyspace uint64, prefill int, duration time.Duration, seed uint64) *netFile {
 	out := &netFile{
 		Kind:       "net",
@@ -101,22 +202,8 @@ func runNet(addr string, connsList []int, threads int, keyspace uint64, prefill 
 		Dist:     workload.Uniform,
 	}
 
-	if addr == "" {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "net bench: listen: %v\n", err)
-			os.Exit(1)
-		}
-		s := jiffy.NewSharded[uint64, *harness.Payload](harness.ShardCount)
-		srv := server.Serve(ln, server.NewMemStore(s), netCodec(), server.Options{})
-		defer srv.Close()
-		addr = srv.Addr().String()
-		// Prefill the store directly — the dataset is the same either way
-		// and skipping the network keeps setup fast.
-		harness.Prefill[uint64, *harness.Payload](&index.ShardedJiffy[uint64, *harness.Payload]{S: s}, base, harness.KeyA, harness.ValA)
-		fmt.Printf("# net bench: loopback server on %s (%d shards, prefill %d)\n", addr, harness.ShardCount, prefill)
-	} else {
-		// External server: prefill through the wire.
+	if addr != "" {
+		// External server: prefill through the wire, single sweep.
 		c, err := client.Dial(addr, netCodec(), client.Options{Conns: 4})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "net bench: dial %s: %v\n", addr, err)
@@ -125,62 +212,144 @@ func runNet(addr string, connsList []int, threads int, keyspace uint64, prefill 
 		harness.Prefill[uint64, *harness.Payload](index.NewNetJiffy(c), base, harness.KeyA, harness.ValA)
 		c.Close()
 		fmt.Printf("# net bench: external server %s (prefill %d over the wire)\n", addr, prefill)
+		out.Modes = []string{"external"}
+		sweepOne(out, "external", addr, connsList, threads, base)
+		return out
 	}
 
-	// Connection sweep: mix ul, pipelining on and off.
-	base.Mix = workload.MixUpdateLookup
-	for _, conns := range connsList {
-		for _, pipelined := range []bool{true, false} {
-			c, err := client.Dial(addr, netCodec(), client.Options{Conns: conns, NoPipeline: !pipelined})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "net bench: dial: %v\n", err)
-				os.Exit(1)
-			}
-			idx := index.NewNetJiffy(c)
-			res := harness.Run[uint64, *harness.Payload](idx, base, harness.KeyA, harness.ValA)
-			idx.Close()
-			out.Sweep = append(out.Sweep, netPoint{
-				Conns:     conns,
-				Pipelined: pipelined,
-				Mix:       base.Mix.Name,
-				TotalMops: res.TotalMops(),
-				TotalOps:  res.TotalOps,
-			})
-			fmt.Printf("net   %-3s conns=%-3d pipelined=%-5v threads=%-3d total=%8.3f Mops/s\n",
-				base.Mix.Name, conns, pipelined, threads, res.TotalMops())
+	for _, mode := range []server.Mode{server.ModeEventLoop, server.ModeGoroutine} {
+		srv, a := startNetServer(mode, base)
+		actual := srv.Mode()
+		if actual != mode {
+			// Platform without event-loop support: the fallback would
+			// measure the goroutine core twice.
+			fmt.Printf("# net bench: %v unavailable here (served as %v), skipping\n", mode, actual)
+			srv.Close()
+			continue
 		}
+		fmt.Printf("# net bench: loopback server on %s, core %v (%d shards, prefill %d)\n",
+			a, actual, harness.ShardCount, prefill)
+		out.Modes = append(out.Modes, actual.String())
+		sweepOne(out, actual.String(), a, connsList, threads, base)
+		srv.Close()
 	}
 
-	// Batch amortization: update-only at the largest pool, batches of 1,
-	// 10 and 100 ops per frame.
-	maxConns := connsList[0]
-	for _, n := range connsList {
-		if n > maxConns {
-			maxConns = n
-		}
+	out.Parity = checkParity(connsList)
+	if out.Parity != "ok" {
+		fmt.Fprintf(os.Stderr, "net bench: PARITY MISMATCH between serving cores: %s\n", out.Parity)
+		os.Exit(1)
 	}
-	bcfg := base
-	bcfg.Mix = workload.MixUpdateOnly
-	for _, size := range []int{1, 10, 100} {
-		bcfg.Batch = workload.BatchMode{Size: size}
-		c, err := client.Dial(addr, netCodec(), client.Options{Conns: maxConns})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "net bench: dial: %v\n", err)
-			os.Exit(1)
-		}
-		idx := index.NewNetJiffy(c)
-		res := harness.Run[uint64, *harness.Payload](idx, bcfg, harness.KeyA, harness.ValA)
-		idx.Close()
-		out.Batch = append(out.Batch, netBatchPt{
-			Batch:     bcfg.Batch.String(),
-			Conns:     maxConns,
-			TotalMops: res.TotalMops(),
-			TotalOps:  res.TotalOps,
-		})
-		fmt.Printf("net   w   batch=%-7s conns=%-3d threads=%-3d total=%8.3f Mops/s\n",
-			bcfg.Batch.String(), maxConns, threads, res.TotalMops())
-	}
+	fmt.Printf("# net bench: serve-mode parity ok\n")
 	return out
+}
+
+// checkParity runs one deterministic workload against each serving core —
+// workers with disjoint key ranges, so the final contents are independent
+// of interleaving — then digests a full scan of each and compares. A
+// digest mismatch means one core corrupted, dropped or misrouted an
+// operation the other executed correctly.
+func checkParity(connsList []int) string {
+	conns := 8
+	for _, n := range connsList {
+		if n > conns {
+			conns = n
+		}
+	}
+	if conns > 64 {
+		conns = 64 // parity needs determinism, not scale
+	}
+	digests := map[string]uint64{}
+	for _, mode := range []server.Mode{server.ModeEventLoop, server.ModeGoroutine} {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Sprintf("listen: %v", err)
+		}
+		srv := server.Serve(ln, server.NewMemStore(jiffy.NewSharded[uint64, *harness.Payload](harness.ShardCount)), netCodec(), server.Options{Mode: mode})
+		if srv.Mode() != mode {
+			srv.Close()
+			continue
+		}
+		c, err := client.Dial(srv.Addr().String(), netCodec(), client.Options{Conns: conns})
+		if err != nil {
+			srv.Close()
+			return fmt.Sprintf("dial: %v", err)
+		}
+
+		const workers, opsPer = 8, 2000
+		var wg sync.WaitGroup
+		errc := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Disjoint key range per worker: [w*10000, w*10000+opsPer).
+				base := uint64(w * 10000)
+				var val harness.Payload
+				for i := uint64(0); i < opsPer; i++ {
+					k := base + i%512 // revisit keys so puts overwrite and deletes hit
+					switch i % 5 {
+					case 0, 1, 2:
+						val[0] = byte(i)
+						if err := c.Put(k, &val); err != nil {
+							errc <- err
+							return
+						}
+					case 3:
+						if _, err := c.Remove(k + 256); err != nil {
+							errc <- err
+							return
+						}
+					case 4:
+						ops := []jiffy.BatchOp[uint64, *harness.Payload]{
+							{Key: k, Val: &val},
+							{Key: k + 1, Val: &val},
+							{Key: k + 100, Remove: true},
+						}
+						if err := c.BatchUpdate(ops); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			c.Close()
+			srv.Close()
+			return fmt.Sprintf("%v workload: %v", mode, err)
+		}
+
+		h := fnv.New64a()
+		sc := c.ScanAll()
+		var kb [8]byte
+		for sc.Next() {
+			k := sc.Key()
+			for i := 0; i < 8; i++ {
+				kb[i] = byte(k >> (8 * i))
+			}
+			h.Write(kb[:])
+			h.Write(sc.Value()[:])
+		}
+		err = sc.Err()
+		sc.Close()
+		c.Close()
+		srv.Close()
+		if err != nil {
+			return fmt.Sprintf("%v scan: %v", mode, err)
+		}
+		digests[mode.String()] = h.Sum64()
+	}
+	if len(digests) < 2 {
+		return "ok" // only one core available on this platform
+	}
+	if digests["eventloop"] != digests["goroutine"] {
+		return fmt.Sprintf("eventloop digest %016x != goroutine digest %016x",
+			digests["eventloop"], digests["goroutine"])
+	}
+	return "ok"
 }
 
 func writeNetJSON(path string, out *netFile) error {

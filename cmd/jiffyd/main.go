@@ -42,6 +42,8 @@ func main() {
 		snapTTL = flag.Duration("snap-ttl", 30*time.Second, "idle TTL for snapshot sessions")
 		maxPage = flag.Int("max-scan-page", 4096, "server-side cap on scan page size")
 		checkpt = flag.Duration("checkpoint-every", 0, "with -durable: checkpoint and truncate logs on this interval (0: never)")
+		mode    = flag.String("serve-mode", "auto", "serving core: auto, eventloop, goroutine (auto also honors JIFFY_SERVE_MODE)")
+		loops   = flag.Int("loops", 0, "event loop count with -serve-mode eventloop (0: GOMAXPROCS, capped at 8)")
 	)
 	flag.Parse()
 
@@ -70,9 +72,11 @@ func main() {
 	srv := server.Serve(ln, store, codec, server.Options{
 		SnapTTL:     *snapTTL,
 		MaxScanPage: *maxPage,
+		Mode:        server.ParseMode(*mode),
+		Loops:       *loops,
 		Logf:        log.Printf,
 	})
-	log.Printf("jiffyd: serving on %s (snap-ttl %v)", srv.Addr(), *snapTTL)
+	log.Printf("jiffyd: serving on %s (core %v, snap-ttl %v)", srv.Addr(), srv.Mode(), *snapTTL)
 
 	stopCkpt := make(chan struct{})
 	ckptDone := make(chan struct{})

@@ -1,0 +1,45 @@
+// Package netpoll is a small readiness-polling shim for the event-loop
+// server core (internal/server): an epoll(7) wrapper on Linux and an
+// explicit "unsupported" stub elsewhere, so the server compiles portably
+// and falls back to its goroutine-per-connection core where readiness
+// polling is unavailable.
+//
+// The shim is deliberately minimal — one Poller per event loop, owned by
+// exactly one goroutine. Only Wake is safe to call from other goroutines
+// (it is how the server nudges a loop to shut down or to notice an
+// externally requested connection close); Add/Mod/Del are additionally
+// safe from the acceptor because epoll_ctl is thread-safe against a
+// concurrent epoll_wait. Level-triggered notification is used throughout:
+// the loop may stop reading a socket mid-burst (fairness budgets, output
+// backpressure) and rely on the next Wait re-reporting the readiness.
+//
+// Raw fd I/O lives here too (Read, Writev), so internal/server contains
+// no build-tagged syscall code: on non-Linux builds these return
+// ErrUnsupported and are never reached, because Supported() steers the
+// server onto net.Conn readers instead.
+package netpoll
+
+import "errors"
+
+// ErrAgain is returned by Read and Writev when the operation would block
+// (EAGAIN/EWOULDBLOCK): the caller should wait for the next readiness
+// event on the fd.
+var ErrAgain = errors.New("netpoll: operation would block")
+
+// ErrUnsupported is returned by every operation on platforms without a
+// readiness-polling implementation. Supported() reports it up front.
+var ErrUnsupported = errors.New("netpoll: not supported on this platform")
+
+// Event is one readiness report. Readable is set for incoming data and
+// for every hangup/error condition — the reader discovers peer closes and
+// socket errors as a read result, which keeps teardown on one path.
+// Writable reports that a previously full socket drained.
+type Event struct {
+	FD       int
+	Readable bool
+	Writable bool
+}
+
+// maxIovecs caps one Writev call's vector length (IOV_MAX is 1024 on
+// Linux; stay safely under it).
+const maxIovecs = 512

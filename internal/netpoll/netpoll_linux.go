@@ -1,0 +1,332 @@
+//go:build linux
+
+package netpoll
+
+import (
+	"io"
+	"os"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// Supported reports whether this platform has a readiness-polling
+// implementation.
+func Supported() bool { return true }
+
+// Poller multiplexes readiness over one epoll instance plus a wake pipe.
+// One goroutine owns Wait; Wake may be called from anywhere; Add/Mod/Del
+// may be called concurrently with Wait (epoll_ctl is thread-safe).
+type Poller struct {
+	epfd  int
+	wakeR int
+	wakeW int
+
+	// epf wraps epfd as an *os.File registered with the Go runtime's own
+	// netpoller (an epoll instance is itself pollable, and epoll nesting
+	// is kernel-supported): raw.Read parks the waiting GOROUTINE until
+	// epfd has events, instead of parking the OS thread in a blocking
+	// epoll_wait. A thread blocked in a raw syscall pins its P until
+	// sysmon retakes it — up to 10ms of nothing-runs with GOMAXPROCS=1 —
+	// which is the difference between an event loop that keeps pace with
+	// the runtime-integrated goroutine core and one that stalls the
+	// whole process on every quiet moment. raw is nil when registration
+	// is unavailable; Wait then falls back to blocking epoll_wait.
+	epf *os.File
+	raw syscall.RawConn
+
+	eevs []syscall.EpollEvent
+	iov  []syscall.Iovec
+}
+
+// New creates a Poller.
+func New() (*Poller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	var pipe [2]int
+	if err := syscall.Pipe2(pipe[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil, err
+	}
+	p := &Poller{epfd: epfd, wakeR: pipe[0], wakeW: pipe[1]}
+	if err := p.ctl(syscall.EPOLL_CTL_ADD, p.wakeR, syscall.EPOLLIN); err != nil {
+		p.Close()
+		return nil, err
+	}
+	// Non-blocking first, so os.NewFile registers epfd with the runtime
+	// poller rather than treating it as a blocking file.
+	syscall.SetNonblock(epfd, true)
+	p.epf = os.NewFile(uintptr(epfd), "epoll")
+	if p.epf != nil {
+		if rc, err := p.epf.SyscallConn(); err == nil {
+			p.raw = rc
+		}
+	}
+	return p, nil
+}
+
+// Close releases the epoll instance and the wake pipe. Registered fds are
+// not closed (their owners close them), only deregistered implicitly.
+func (p *Poller) Close() error {
+	var err error
+	if p.epf != nil {
+		err = p.epf.Close() // owns epfd; also deregisters from the runtime poller
+	} else {
+		err = syscall.Close(p.epfd)
+	}
+	syscall.Close(p.wakeR)
+	syscall.Close(p.wakeW)
+	return err
+}
+
+func (p *Poller) ctl(op, fd int, events uint32) error {
+	ev := syscall.EpollEvent{Events: events, Fd: int32(fd)}
+	return syscall.EpollCtl(p.epfd, op, fd, &ev)
+}
+
+// evbits builds the epoll interest set. EPOLLRDHUP is always included so
+// a peer half-close surfaces as readability even while reads are paused
+// for backpressure — the loop still tears such connections down promptly.
+func evbits(read, write bool) uint32 {
+	e := uint32(syscall.EPOLLRDHUP)
+	if read {
+		e |= syscall.EPOLLIN
+	}
+	if write {
+		e |= syscall.EPOLLOUT
+	}
+	return e
+}
+
+// Add registers fd with the given interest.
+func (p *Poller) Add(fd int, read, write bool) error {
+	return p.ctl(syscall.EPOLL_CTL_ADD, fd, evbits(read, write))
+}
+
+// Mod changes fd's interest.
+func (p *Poller) Mod(fd int, read, write bool) error {
+	return p.ctl(syscall.EPOLL_CTL_MOD, fd, evbits(read, write))
+}
+
+// Del deregisters fd.
+func (p *Poller) Del(fd int) error {
+	return p.ctl(syscall.EPOLL_CTL_DEL, fd, 0)
+}
+
+// Wait blocks until at least one registered fd is ready or Wake is
+// called, filling evs and returning the count plus whether a wake was
+// consumed. Spurious wakeups are absorbed internally.
+//
+// Before blocking, Wait runs zero-timeout polls with a scheduler yield
+// between them. A blocking epoll_wait parks this OS thread and — with
+// GOMAXPROCS=1 especially — forces a P handoff on entry and a P
+// reacquisition on wakeup, a cost the runtime's own netpoller never pays;
+// under pipelined load the peer has usually produced more data by the
+// time a flush completes, and the yield lets same-process peers (tests
+// and loopback benchmarks drive client and server in one process) run
+// and produce it. epoll_wait with timeout 0 cannot block, so the fast
+// path may use a raw syscall that skips the runtime's syscall
+// bookkeeping entirely. Only after two empty polls does Wait pay for
+// parking the thread.
+func (p *Poller) Wait(evs []Event) (n int, woken bool, err error) {
+	if cap(p.eevs) < len(evs)+1 {
+		p.eevs = make([]syscall.EpollEvent, len(evs)+1)
+	}
+	eevs := p.eevs[:len(evs)+1]
+	for {
+		for spin := 0; ; spin++ {
+			// epoll_pwait rather than epoll_wait: the latter has no
+			// syscall number on newer Linux ports (arm64). NULL sigmask.
+			r, _, errno := syscall.RawSyscall6(syscall.SYS_EPOLL_PWAIT, uintptr(p.epfd),
+				uintptr(unsafe.Pointer(&eevs[0])), uintptr(len(eevs)), 0, 0, 0)
+			if errno != 0 && errno != syscall.EINTR {
+				return 0, false, errno
+			}
+			if errno == 0 && r > 0 {
+				if n, woken := p.collect(evs, eevs[:r]); n > 0 || woken {
+					return n, woken, nil
+				}
+			}
+			if spin >= 1 {
+				break
+			}
+			runtime.Gosched()
+		}
+		if p.raw != nil {
+			n, woken, err, ok := p.waitParked(evs, eevs)
+			if ok {
+				return n, woken, err
+			}
+			p.raw = nil // runtime-poller registration unusable; block from now on
+		}
+		ne, err := syscall.EpollWait(p.epfd, eevs, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		if n, woken := p.collect(evs, eevs[:ne]); n > 0 || woken {
+			return n, woken, nil
+		}
+	}
+}
+
+// waitParked blocks until epfd has events by parking the calling
+// goroutine on the Go runtime's netpoller (epfd itself is registered
+// there — see Poller.raw). The callback only ever runs zero-timeout
+// polls, so no OS thread blocks and no P is pinned. ok=false reports
+// that the registration does not work on this kernel/runtime (e.g. the
+// runtime refused the nested-epoll add) and the caller must fall back.
+func (p *Poller) waitParked(evs []Event, eevs []syscall.EpollEvent) (n int, woken bool, err error, ok bool) {
+	rerr := p.raw.Read(func(fd uintptr) bool {
+		r, _, errno := syscall.RawSyscall6(syscall.SYS_EPOLL_PWAIT, fd,
+			uintptr(unsafe.Pointer(&eevs[0])), uintptr(len(eevs)), 0, 0, 0)
+		if errno == syscall.EINTR {
+			return false
+		}
+		if errno != 0 {
+			err = errno
+			return true
+		}
+		if r == 0 {
+			return false // spurious readiness: park again
+		}
+		n, woken = p.collect(evs, eevs[:r])
+		return n > 0 || woken
+	})
+	if err != nil {
+		return n, woken, err, true
+	}
+	if rerr != nil {
+		if n > 0 || woken {
+			return n, woken, nil, true
+		}
+		// "waiting for unsupported file type" (epfd not in the runtime
+		// poller) or the file was closed under us: hand off to the caller.
+		return 0, false, nil, false
+	}
+	return n, woken, nil, true
+}
+
+// collect translates raw epoll events into evs, draining the wake pipe
+// when it fired. HUP/ERR/RDHUP map to Readable so every teardown flows
+// through the read path.
+func (p *Poller) collect(evs []Event, eevs []syscall.EpollEvent) (n int, woken bool) {
+	out := 0
+	for _, e := range eevs {
+		fd := int(e.Fd)
+		if fd == p.wakeR {
+			woken = true
+			p.drainWake()
+			continue
+		}
+		if out == len(evs) {
+			// More ready fds than evs slots (the kernel buffer holds one
+			// extra so a wake never crowds out an fd event): drop the
+			// overflow — level-triggered polling re-reports it next Wait —
+			// but keep scanning so a trailing wake entry is not lost.
+			continue
+		}
+		ev := Event{FD: fd}
+		if e.Events&(syscall.EPOLLIN|syscall.EPOLLPRI|syscall.EPOLLRDHUP|syscall.EPOLLHUP|syscall.EPOLLERR) != 0 {
+			ev.Readable = true
+		}
+		if e.Events&syscall.EPOLLOUT != 0 {
+			ev.Writable = true
+		}
+		evs[out] = ev
+		out++
+	}
+	return out, woken
+}
+
+// Wake nudges a blocked Wait. A full wake pipe means a wake is already
+// pending, which is success.
+func (p *Poller) Wake() error {
+	b := [1]byte{1}
+	for {
+		_, err := syscall.Write(p.wakeW, b[:])
+		switch err {
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return nil
+		default:
+			return err
+		}
+	}
+}
+
+func (p *Poller) drainWake() {
+	var buf [64]byte
+	for {
+		n, err := syscall.Read(p.wakeR, buf[:])
+		if err != nil || n < len(buf) {
+			return
+		}
+	}
+}
+
+// SetNonblock puts fd into non-blocking mode.
+func SetNonblock(fd int) error { return syscall.SetNonblock(fd, true) }
+
+// Read reads from a non-blocking fd. It returns ErrAgain when the socket
+// has no data, io.EOF on a clean peer close, and maps EINTR to a retry.
+func Read(fd int, p []byte) (int, error) {
+	for {
+		n, err := syscall.Read(fd, p)
+		switch err {
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return 0, ErrAgain
+		case nil:
+			if n == 0 {
+				return 0, io.EOF
+			}
+			return n, nil
+		default:
+			return 0, err
+		}
+	}
+}
+
+// Writev gathers bufs into one writev(2) on a non-blocking fd, returning
+// the bytes written (possibly a partial prefix) or ErrAgain when the
+// socket buffer is full. The iovec scratch lives on the Poller, so Writev
+// is for the owning loop goroutine only.
+func (p *Poller) Writev(fd int, bufs [][]byte) (int, error) {
+	p.iov = p.iov[:0]
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		var v syscall.Iovec
+		v.Base = &b[0]
+		v.SetLen(len(b))
+		p.iov = append(p.iov, v)
+		if len(p.iov) == maxIovecs {
+			break
+		}
+	}
+	if len(p.iov) == 0 {
+		return 0, nil
+	}
+	for {
+		r, _, errno := syscall.Syscall(syscall.SYS_WRITEV,
+			uintptr(fd), uintptr(unsafe.Pointer(&p.iov[0])), uintptr(len(p.iov)))
+		switch errno {
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return 0, ErrAgain
+		case 0:
+			return int(r), nil
+		default:
+			return 0, errno
+		}
+	}
+}

@@ -1,0 +1,33 @@
+//go:build !linux
+
+package netpoll
+
+// Supported reports whether this platform has a readiness-polling
+// implementation. When it returns false the server serves every
+// connection with its portable goroutine-per-connection core instead;
+// none of the functions below are reached.
+func Supported() bool { return false }
+
+// Poller is the unsupported-platform stub.
+type Poller struct{}
+
+// New fails with ErrUnsupported.
+func New() (*Poller, error) { return nil, ErrUnsupported }
+
+func (p *Poller) Close() error                { return ErrUnsupported }
+func (p *Poller) Add(fd int, r, w bool) error { return ErrUnsupported }
+func (p *Poller) Mod(fd int, r, w bool) error { return ErrUnsupported }
+func (p *Poller) Del(fd int) error            { return ErrUnsupported }
+func (p *Poller) Wake() error                 { return ErrUnsupported }
+func (p *Poller) Wait(evs []Event) (int, bool, error) {
+	return 0, false, ErrUnsupported
+}
+func (p *Poller) Writev(fd int, bufs [][]byte) (int, error) {
+	return 0, ErrUnsupported
+}
+
+// SetNonblock fails with ErrUnsupported.
+func SetNonblock(fd int) error { return ErrUnsupported }
+
+// Read fails with ErrUnsupported.
+func Read(fd int, p []byte) (int, error) { return 0, ErrUnsupported }

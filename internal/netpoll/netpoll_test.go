@@ -1,0 +1,283 @@
+package netpoll
+
+import (
+	"bytes"
+	"io"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// socketPair returns a connected non-blocking AF_UNIX stream pair.
+func socketPair(t *testing.T) (int, int) {
+	t.Helper()
+	fds, err := syscall.Socketpair(syscall.AF_UNIX, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		t.Fatalf("socketpair: %v", err)
+	}
+	for _, fd := range fds {
+		if err := SetNonblock(fd); err != nil {
+			t.Fatalf("nonblock: %v", err)
+		}
+	}
+	t.Cleanup(func() { syscall.Close(fds[0]); syscall.Close(fds[1]) })
+	return fds[0], fds[1]
+}
+
+func TestSupportedMatchesBuild(t *testing.T) {
+	if !Supported() {
+		t.Skip("netpoll unsupported on this platform; the server falls back to goroutine conns")
+	}
+}
+
+// TestReadinessRoundTrip registers one end of a socket pair, proves Wait
+// blocks until data arrives, and that Read drains exactly what was sent
+// then reports ErrAgain.
+func TestReadinessRoundTrip(t *testing.T) {
+	if !Supported() {
+		t.Skip("unsupported")
+	}
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	a, b := socketPair(t)
+	if err := p.Add(a, true, false); err != nil {
+		t.Fatal(err)
+	}
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		syscall.Write(b, []byte("hello"))
+	}()
+	evs := make([]Event, 8)
+	n, woken, err := p.Wait(evs)
+	if err != nil || woken || n != 1 {
+		t.Fatalf("Wait = %d/%v/%v, want 1 readable event", n, woken, err)
+	}
+	if evs[0].FD != a || !evs[0].Readable || evs[0].Writable {
+		t.Fatalf("event = %+v, want readable on %d", evs[0], a)
+	}
+	buf := make([]byte, 16)
+	rn, err := Read(a, buf)
+	if err != nil || !bytes.Equal(buf[:rn], []byte("hello")) {
+		t.Fatalf("Read = %q/%v", buf[:rn], err)
+	}
+	if _, err := Read(a, buf); err != ErrAgain {
+		t.Fatalf("drained Read err = %v, want ErrAgain", err)
+	}
+}
+
+// TestWake proves Wake unblocks Wait with no fd events, and that wakes
+// coalesce rather than error when the pipe is full.
+func TestWake(t *testing.T) {
+	if !Supported() {
+		t.Skip("unsupported")
+	}
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 100000; i++ { // overflow the wake pipe: must stay nil
+		if err := p.Wake(); err != nil {
+			t.Fatalf("wake %d: %v", i, err)
+		}
+	}
+	evs := make([]Event, 4)
+	n, woken, err := p.Wait(evs)
+	if err != nil || !woken || n != 0 {
+		t.Fatalf("Wait = %d/%v/%v, want pure wake", n, woken, err)
+	}
+	// The drain leaves the next Wait blocking again.
+	done := make(chan struct{})
+	go func() {
+		p.Wait(evs)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Wait returned with no pending wake")
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Wake()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wake did not unblock Wait")
+	}
+}
+
+// TestPeerCloseIsReadable proves a peer close surfaces as readability and
+// then io.EOF from Read — the single teardown path the loop relies on.
+func TestPeerCloseIsReadable(t *testing.T) {
+	if !Supported() {
+		t.Skip("unsupported")
+	}
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	a, b := socketPair(t)
+	if err := p.Add(a, true, false); err != nil {
+		t.Fatal(err)
+	}
+	syscall.Write(b, []byte("tail"))
+	syscall.Close(b)
+	evs := make([]Event, 4)
+	n, _, err := p.Wait(evs)
+	if err != nil || n < 1 || !evs[0].Readable {
+		t.Fatalf("Wait after peer close = %d/%v (%+v)", n, err, evs[:n])
+	}
+	buf := make([]byte, 16)
+	rn, err := Read(a, buf)
+	if err != nil || string(buf[:rn]) != "tail" {
+		t.Fatalf("buffered tail Read = %q/%v", buf[:rn], err)
+	}
+	if _, err := Read(a, buf); err != io.EOF {
+		t.Fatalf("Read after peer close err = %v, want io.EOF", err)
+	}
+}
+
+// TestWritevPartialAndWritable fills a socket until ErrAgain, registers
+// write interest, drains the peer, and expects a Writable event; the
+// writev path must also report partial progress correctly.
+func TestWritevPartialAndWritable(t *testing.T) {
+	if !Supported() {
+		t.Skip("unsupported")
+	}
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	a, b := socketPair(t)
+
+	chunk := make([]byte, 32<<10)
+	total := 0
+	for {
+		n, err := p.Writev(a, [][]byte{chunk[:8<<10], chunk[8<<10:]})
+		if err == ErrAgain {
+			break
+		}
+		if err != nil {
+			t.Fatalf("writev: %v", err)
+		}
+		total += n
+		if total > 64<<20 {
+			t.Fatal("socket never filled")
+		}
+	}
+	if total == 0 {
+		t.Fatal("no bytes written before ErrAgain")
+	}
+	if err := p.Add(a, false, true); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		buf := make([]byte, 64<<10)
+		for {
+			if _, err := syscall.Read(b, buf); err != nil && err != syscall.EAGAIN {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	evs := make([]Event, 4)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n, _, err := p.Wait(evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writable := false
+		for _, ev := range evs[:n] {
+			if ev.FD == a && ev.Writable {
+				writable = true
+			}
+		}
+		if writable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no writable event after peer drained")
+		}
+	}
+	if n, err := p.Writev(a, [][]byte{chunk[:16]}); err != nil || n != 16 {
+		t.Fatalf("post-drain writev = %d/%v", n, err)
+	}
+}
+
+// TestMoreReadyThanSlots registers more simultaneously-ready fds than one
+// Wait can report (the kernel event buffer holds len(evs)+1 entries so a
+// wake never crowds out an fd event — the overflow entry must be dropped,
+// not written past evs). Level-triggered polling re-reports the dropped
+// fds, so repeated Waits still deliver every one, and an interleaved Wake
+// is never lost.
+func TestMoreReadyThanSlots(t *testing.T) {
+	if !Supported() {
+		t.Skip("unsupported")
+	}
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const fds = 9 // evs below holds 4: three Waits' worth plus overflow
+	ready := map[int]bool{}
+	for i := 0; i < fds; i++ {
+		a, b := socketPair(t)
+		if err := p.Add(a, true, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := syscall.Write(b, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		ready[a] = false
+	}
+	if err := p.Wake(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := make([]Event, 4)
+	sawWake := false
+	for round := 0; round < 2*fds; round++ {
+		n, woken, err := p.Wait(evs)
+		if err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		sawWake = sawWake || woken
+		for _, ev := range evs[:n] {
+			if !ev.Readable {
+				t.Fatalf("event %+v not readable", ev)
+			}
+			seen, ok := ready[ev.FD]
+			if !ok {
+				t.Fatalf("unknown fd %d reported", ev.FD)
+			}
+			if !seen {
+				ready[ev.FD] = true
+				var buf [8]byte
+				if _, err := Read(ev.FD, buf[:]); err != nil {
+					t.Fatalf("drain fd %d: %v", ev.FD, err)
+				}
+			}
+		}
+		done := 0
+		for _, seen := range ready {
+			if seen {
+				done++
+			}
+		}
+		if done == fds {
+			if !sawWake {
+				t.Fatal("wake lost while fd events overflowed")
+			}
+			return
+		}
+	}
+	t.Fatalf("not all ready fds reported: %+v", ready)
+}

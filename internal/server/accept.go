@@ -1,0 +1,133 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/netpoll"
+)
+
+// This file is the acceptor: one goroutine accepting connections and
+// handing each to its serving core. In ModeEventLoop the connection's fd
+// is extracted, switched to non-blocking, and registered round-robin onto
+// one of the event loops; connections whose fd cannot be extracted (a
+// test's in-memory pipe, a future TLS wrapper) fall back to the goroutine
+// core individually, so the two cores interoperate behind one listener.
+
+// startLoops creates and starts the event loops.
+func (s *Server[K, V]) startLoops() error {
+	n := s.opts.Loops
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 8 {
+			n = 8
+		}
+	}
+	loops := make([]*loop[K, V], 0, n)
+	for i := 0; i < n; i++ {
+		l, err := newLoop(s)
+		if err != nil {
+			for _, prev := range loops {
+				prev.p.Close()
+			}
+			return err
+		}
+		loops = append(loops, l)
+	}
+	s.loops = loops
+	s.wg.Add(len(loops))
+	for _, l := range loops {
+		go l.run()
+	}
+	return nil
+}
+
+// acceptLoop accepts connections until the listener closes.
+func (s *Server[K, V]) acceptLoop() {
+	defer s.wg.Done()
+	next := 0
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.logf("jiffyd: accept: %v", err)
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if s.mode == ModeEventLoop {
+			if s.adoptConn(nc, next) {
+				next++
+				continue
+			}
+			// Fall through: fd extraction failed, serve it on goroutines.
+		}
+		if !s.spawnConn(nc) {
+			return // server closed
+		}
+	}
+}
+
+// adoptConn extracts nc's fd and registers it on an event loop. Returns
+// false when the fd cannot be extracted (caller falls back to the
+// goroutine core); nc is consumed either way on true.
+func (s *Server[K, V]) adoptConn(nc net.Conn, seq int) bool {
+	f, ok := fileOf(nc)
+	if !ok {
+		return false
+	}
+	// File() duplicated the fd; the original conn's copy is redundant.
+	nc.Close()
+	fd := int(f.Fd())
+	if err := netpoll.SetNonblock(fd); err != nil {
+		f.Close()
+		s.logf("jiffyd: nonblock: %v", err)
+		return true
+	}
+	l := s.loops[seq%len(s.loops)]
+	c := &elConn[K, V]{
+		st: connState[K, V]{srv: s, sess: map[uint64]*session[K, V]{}},
+		l:  l,
+		fd: fd,
+		// f.Fd() puts the file into blocking mode as a side effect of
+		// publishing the raw descriptor; SetNonblock above undoes that.
+		// Keeping f referenced keeps its finalizer from closing fd.
+		file: f,
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		f.Close()
+		return true
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	if err := l.register(c); err != nil {
+		s.forget(c)
+		f.Close()
+	}
+	return true
+}
+
+// filer is the subset of *net.TCPConn (and *net.UnixConn) the acceptor
+// needs to extract a descriptor.
+type filer interface {
+	File() (*os.File, error)
+}
+
+// fileOf duplicates nc's descriptor into an *os.File, when nc has one.
+func fileOf(nc net.Conn) (*os.File, bool) {
+	fc, ok := nc.(filer)
+	if !ok {
+		return nil, false
+	}
+	f, err := fc.File()
+	if err != nil {
+		return nil, false
+	}
+	return f, true
+}

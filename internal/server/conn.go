@@ -1,0 +1,133 @@
+package server
+
+import (
+	"cmp"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// This file is the goroutine-per-connection core (ModeGoroutine): the
+// original serving path, kept while the event-loop core (loop.go) proves
+// parity, and as the portable fallback where netpoll is unsupported.
+//
+// Every connection runs two goroutines, mirroring the WAL's group-commit
+// split (internal/persist): a reader that decodes request frames and
+// executes them inline against the store, and a writer that coalesces the
+// resulting response frames into as few socket writes as possible.
+
+// respPool recycles response frame buffers between a conn's reader (which
+// encodes into them) and its writer (which releases them after copying
+// into the coalescing buffer). Buffers grown past maxPooledRespBytes by a
+// large scan page are dropped instead of pooled, so one big scan does not
+// pin multi-megabyte backing arrays behind every future ping.
+const maxPooledRespBytes = 64 << 10
+
+var respPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+func getResp() []byte { return (*(respPool.Get().(*[]byte)))[:0] }
+func putResp(b []byte) {
+	if cap(b) > maxPooledRespBytes {
+		return
+	}
+	respPool.Put(&b)
+}
+
+// conn is one goroutine-core client connection: the reader goroutine
+// (readLoop) executes requests and queues encoded responses on out; the
+// writer goroutine (writeLoop) coalesces them onto the socket.
+type conn[K cmp.Ordered, V any] struct {
+	st  connState[K, V]
+	c   net.Conn
+	out chan []byte
+
+	rbuf []byte // frame read buffer, reader-goroutine scratch
+}
+
+// sever closes the socket, unblocking the reader, which tears the
+// connection down.
+func (c *conn[K, V]) sever() { c.c.Close() }
+
+// reapSessions forwards to the shared session table.
+func (c *conn[K, V]) reapSessions(deadline int64) { c.st.reapSessions(deadline) }
+
+// spawnConn registers nc as a goroutine-core connection and starts its
+// reader and writer. Used by ModeGoroutine for every connection, and by
+// the event-loop acceptor for connections whose fd cannot be extracted.
+// Returns false when the server is already closed (nc is closed too).
+func (s *Server[K, V]) spawnConn(nc net.Conn) bool {
+	c := &conn[K, V]{
+		st:  connState[K, V]{srv: s, sess: map[uint64]*session[K, V]{}},
+		c:   nc,
+		out: make(chan []byte, 256),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return false
+	}
+	s.conns[c] = struct{}{}
+	s.wg.Add(2)
+	s.mu.Unlock()
+	go c.readLoop()
+	go c.writeLoop()
+	return true
+}
+
+// readLoop decodes and executes request frames until the connection
+// drops, then tears the connection down: sessions close, the writer
+// drains and exits, the server forgets the conn.
+func (c *conn[K, V]) readLoop() {
+	defer c.st.srv.wg.Done()
+	for {
+		id, op, body, buf, err := wire.ReadFrame(c.c, c.rbuf)
+		c.rbuf = buf
+		if err != nil {
+			break
+		}
+		c.out <- c.st.handle(getResp(), id, op, body)
+	}
+	// Teardown. Closing the socket unblocks nothing here (the read
+	// already failed) but stops the writer's Write calls from lingering.
+	c.c.Close()
+	c.st.closeSessions()
+	close(c.out)
+	c.st.srv.forget(c)
+}
+
+// writeLoop coalesces response frames: one blocking receive, then a
+// non-blocking drain of everything else already queued, one Write for the
+// lot — the group-commit idiom, with the socket in the role of the log
+// file. Exits when the reader closes out.
+func (c *conn[K, V]) writeLoop() {
+	defer c.st.srv.wg.Done()
+	var wbuf []byte
+	broken := false
+	for f := range c.out {
+		wbuf = append(wbuf[:0], f...)
+		putResp(f)
+	drain:
+		for len(wbuf) < 256<<10 {
+			select {
+			case f, ok := <-c.out:
+				if !ok {
+					break drain
+				}
+				wbuf = append(wbuf, f...)
+				putResp(f)
+			default:
+				break drain
+			}
+		}
+		if !broken {
+			if _, err := c.c.Write(wbuf); err != nil {
+				// Sever the connection so the reader unblocks; keep
+				// draining out so the reader never blocks sending to it.
+				broken = true
+				c.c.Close()
+			}
+		}
+	}
+}

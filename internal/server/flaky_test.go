@@ -1,0 +1,203 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+	"repro/internal/wire"
+	"repro/jiffy/client"
+)
+
+// These tests put misbehaving clients in front of the server — dribbling
+// writers, mid-frame resets, readers that stop reading — and assert the
+// property that matters for a shared event loop: one bad connection
+// never blocks the loop's other connections, and every teardown is
+// clean (no goroutine, fd, or session leak; LeakCheck enforces the
+// first two, TestIdleScanCursorDoesNotBlockReclamation-style assertions
+// the third).
+
+// TestFlakyNeighborsStayLive runs one event loop (Loops: 1, so every
+// connection shares it) carrying a healthy client and a crowd of flaky
+// ones — short writes fragmenting frames across many syscalls, periodic
+// stalls, and mid-frame resets. The healthy client's pings must keep
+// round-tripping throughout.
+func TestFlakyNeighborsStayLive(t *testing.T) {
+	testutil.LeakCheck(t)
+	_, _, addr := startServer(t, 4, Options{Mode: ModeEventLoop, Loops: 1})
+
+	healthy := dial(t, addr, client.Options{Conns: 1})
+	if err := healthy.Ping(); err != nil {
+		t.Fatalf("healthy ping: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seed := int64(i)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				raw, err := net.Dial("tcp", addr)
+				if err != nil {
+					continue
+				}
+				fc := testutil.NewFlaky(raw, testutil.Faults{
+					ShortWrites:     3,
+					StallEvery:      7,
+					Stall:           2 * time.Millisecond,
+					ResetAfterBytes: 200 + 100*i,
+					Seed:            seed,
+				})
+				seed += 1000
+				// Dribble pings and puts until the reset fault kills us.
+				frame := wire.AppendFrame(nil, 1, wire.OpPing, nil)
+				frame = wire.AppendFrame(frame, 2, wire.OpPut, func() []byte {
+					b := wire.AppendBytes(nil, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+					return wire.AppendBytes(b, []byte{2, 0, 0, 0, 0, 0, 0, 0})
+				}())
+				for {
+					if _, err := fc.Write(frame); err != nil {
+						break
+					}
+				}
+				fc.Close()
+			}
+		}()
+	}
+
+	// The healthy connection must answer promptly the whole time the
+	// flaky crowd churns.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		start := time.Now()
+		if err := healthy.Ping(); err != nil {
+			t.Fatalf("healthy ping during fault storm: %v", err)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("healthy ping took %v behind flaky neighbors", d)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSlowReaderDoesNotBlockLoop shares one event loop between a reader
+// that stops consuming responses mid-scan (forcing the server's output
+// backlog toward the high-water mark) and a healthy client. The healthy
+// client must stay live while the slow one is paused, and the slow one
+// must finish once it resumes reading.
+func TestSlowReaderDoesNotBlockLoop(t *testing.T) {
+	testutil.LeakCheck(t)
+	s, _, addr := startServer(t, 4, Options{Mode: ModeEventLoop, Loops: 1})
+	for i := uint64(0); i < 5000; i++ {
+		s.Put(i, i)
+	}
+
+	healthy := dial(t, addr, client.Options{Conns: 1})
+
+	// The slow reader: request a pile of scan pages raw, read nothing yet.
+	slow, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer slow.Close()
+	var req []byte
+	for id := uint64(1); id <= 64; id++ {
+		body := []byte{0, 0, 0, 0, 0, 0, 0, 0} // snapID 0
+		body = append(body, 0xff, 0xff, 0, 0)  // maxEntries (clamped server-side)
+		body = append(body, wire.ScanFromStart)
+		req = wire.AppendFrame(req, id, wire.OpScan, body)
+	}
+	if _, err := slow.Write(req); err != nil {
+		t.Fatalf("write scan burst: %v", err)
+	}
+
+	// While the backlog sits unread, the healthy neighbor keeps working.
+	for i := 0; i < 50; i++ {
+		if err := healthy.Ping(); err != nil {
+			t.Fatalf("ping %d behind slow reader: %v", i, err)
+		}
+		if _, ok, err := healthy.Get(7); !ok || err != nil {
+			t.Fatalf("get behind slow reader: %v/%v", ok, err)
+		}
+	}
+
+	// Resume reading: all 64 pages arrive intact.
+	slow.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var got atomic.Int64
+	var buf []byte
+	for got.Load() < 64 {
+		_, status, _, nbuf, err := wire.ReadFrame(slow, buf)
+		buf = nbuf
+		if err != nil {
+			t.Fatalf("slow reader resume after %d pages: %v", got.Load(), err)
+		}
+		if status != wire.StatusOK {
+			t.Fatalf("scan page status %d", status)
+		}
+		got.Add(1)
+	}
+}
+
+// TestMidFrameResetCleansUp opens connections that die at every
+// interesting moment — after the length prefix, mid-header, mid-body,
+// between frames — with snapshot sessions open, and asserts the server
+// releases everything: sessions close (reclamation resumes) and
+// LeakCheck sees no goroutine or fd residue.
+func TestMidFrameResetCleansUp(t *testing.T) {
+	testutil.LeakCheck(t)
+	s, srv, addr := startServer(t, 2, Options{Mode: ModeEventLoop, Loops: 1, SnapTTL: time.Hour})
+	s.Put(1, 10)
+
+	full := wire.AppendFrame(nil, 5, wire.OpSnap, nil)
+	cuts := []int{1, 3, 4, 7, 12, len(full)}
+	for _, cut := range cuts {
+		for _, rst := range []bool{false, true} {
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			if cut == len(full) {
+				// Whole snap request: wait for the session to open so the
+				// teardown path has real state to release.
+				nc.Write(full)
+				nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+				if _, status, _, _, err := wire.ReadFrame(nc, nil); err != nil || status != wire.StatusOK {
+					t.Fatalf("snap open: status %d err %v", status, err)
+				}
+			} else {
+				nc.Write(full[:cut])
+			}
+			if rst {
+				if tc, ok := nc.(*net.TCPConn); ok {
+					tc.SetLinger(0)
+				}
+			}
+			nc.Close()
+		}
+	}
+
+	// Every severed connection's state must drain: once the server has
+	// forgotten them all, only the live-conn count remains.
+	testutil.Eventually(t, func() bool {
+		srv.mu.Lock()
+		n := len(srv.conns)
+		srv.mu.Unlock()
+		return n == 0
+	}, "server still tracks %d conns after client resets", func() int {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.conns)
+	}())
+}

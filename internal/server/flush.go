@@ -1,0 +1,152 @@
+package server
+
+import "repro/internal/netpoll"
+
+// This file is the write half of the event-loop core: per-connection
+// output buffering, writev flush coalescing, and the backpressure that
+// keeps a slow-reading client from stalling its loop or ballooning server
+// memory. See loop.go for the loop itself.
+
+const (
+	// outChunkSeal is the size at which the active output chunk is sealed
+	// and a fresh one started: responses keep appending with no memmove,
+	// and the sealed chunks leave in one writev. Large enough that small
+	// responses coalesce into few iovecs, small enough that one chunk's
+	// regrowth copies stay cheap.
+	outChunkSeal = 64 << 10
+
+	// outHighWater pauses reading from a connection whose unflushed
+	// output exceeds it: the client is not consuming responses, so the
+	// server stops consuming its requests (TCP pushes back from there)
+	// instead of buffering without bound. Large enough for one max-sized
+	// scan page plus headroom.
+	outHighWater = 8 << 20
+
+	// outLowWater resumes reading once a paused connection's backlog
+	// drains below it.
+	outLowWater = 1 << 20
+)
+
+// outBuf is an event-loop connection's pending output: a queue of sealed
+// chunks awaiting flush plus the active chunk responses append to. Chunks
+// are pooled via respPool (shared with the goroutine core — same
+// lifecycle, same size discipline). Owned by the loop goroutine.
+type outBuf struct {
+	chunks [][]byte // sealed, flush order; chunks[head][off:] is next out
+	head   int      // first unflushed chunk
+	off    int      // flushed prefix of chunks[head]
+	cur    []byte   // active append chunk (nil when none)
+	bytes  int      // total unflushed bytes across chunks and cur
+}
+
+// active returns the buffer to append the next response frame onto.
+func (b *outBuf) active() []byte {
+	if b.cur == nil {
+		b.cur = getResp()
+	}
+	return b.cur
+}
+
+// appended installs the handler's result (the active buffer extended by
+// one response frame), sealing the chunk once it is large enough to be
+// worth a dedicated iovec. pre is the buffer's length before the append.
+func (b *outBuf) appended(dst []byte, pre int) {
+	b.bytes += len(dst) - pre
+	if len(dst) >= outChunkSeal {
+		b.chunks = append(b.chunks, dst)
+		b.cur = nil
+		return
+	}
+	b.cur = dst
+}
+
+// seal moves the active chunk onto the flush queue.
+func (b *outBuf) seal() {
+	if len(b.cur) > 0 {
+		b.chunks = append(b.chunks, b.cur)
+		b.cur = nil
+	}
+}
+
+// pending appends the unflushed chunk views to iov and returns it.
+func (b *outBuf) pending(iov [][]byte) [][]byte {
+	if b.head < len(b.chunks) {
+		iov = append(iov, b.chunks[b.head][b.off:])
+		for _, c := range b.chunks[b.head+1:] {
+			iov = append(iov, c)
+		}
+	}
+	return iov
+}
+
+// consume records n flushed bytes, recycling fully written chunks.
+func (b *outBuf) consume(n int) {
+	b.bytes -= n
+	for n > 0 {
+		rem := len(b.chunks[b.head]) - b.off
+		if n < rem {
+			b.off += n
+			return
+		}
+		n -= rem
+		putResp(b.chunks[b.head])
+		b.chunks[b.head] = nil
+		b.head++
+		b.off = 0
+	}
+	if b.head == len(b.chunks) {
+		b.chunks = b.chunks[:0]
+		b.head = 0
+	}
+}
+
+// release recycles everything (connection teardown).
+func (b *outBuf) release() {
+	for _, c := range b.chunks[b.head:] {
+		putResp(c)
+	}
+	if b.cur != nil {
+		putResp(b.cur)
+	}
+	b.chunks, b.cur, b.head, b.off, b.bytes = nil, nil, 0, 0, 0
+}
+
+// flush writes c's pending output until the socket would block or the
+// backlog drains. On EAGAIN it arms write interest and returns; once the
+// backlog is gone it disarms write interest and, if backpressure had
+// paused reading, resumes it — re-running the frame processor first,
+// because frames already buffered in c.in will get no new readiness
+// event.
+func (l *loop[K, V]) flush(c *elConn[K, V]) {
+	for {
+		c.out.seal()
+		for c.out.bytes > 0 {
+			l.iov = c.out.pending(l.iov[:0])
+			n, err := l.p.Writev(c.fd, l.iov)
+			if err == netpoll.ErrAgain {
+				l.setInterest(c, !c.paused, true)
+				return
+			}
+			if err != nil {
+				l.teardown(c)
+				return
+			}
+			c.out.consume(n)
+		}
+		l.setInterest(c, !c.paused, false)
+		if !c.paused || c.out.bytes > outLowWater {
+			return
+		}
+		// Drained below the low-water mark: resume reading and execute
+		// any requests that were already buffered while paused. That can
+		// refill the output, so loop back around to flush again.
+		c.paused = false
+		l.setInterest(c, true, false)
+		if !l.processFrames(c) {
+			return // torn down
+		}
+		if c.out.bytes == 0 {
+			return
+		}
+	}
+}

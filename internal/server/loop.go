@@ -1,0 +1,363 @@
+package server
+
+import (
+	"cmp"
+	"encoding/binary"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netpoll"
+	"repro/internal/wire"
+)
+
+// This file is the event-loop core (ModeEventLoop): N loops, each a
+// single goroutine multiplexing its share of the connections through one
+// netpoll.Poller. The acceptor (accept.go) distributes connections
+// round-robin; a loop reads request bytes in bulk, decodes complete
+// frames in place, executes them inline on the store's lock-free paths,
+// and coalesces the responses into batched writev flushes (flush.go).
+// Inline execution means a loop never pays a per-request goroutine wakeup
+// — the cycles BENCH_0005 showed the goroutine core burning — and
+// response coalescing amortizes exactly like WAL group commit: by the
+// time a flush runs, every request that arrived in the same readiness
+// burst has its response queued. See DESIGN.md §9.
+
+const (
+	// readBudget bounds how many bytes one connection may consume per
+	// readiness burst before the loop moves on: level-triggered polling
+	// re-reports the leftover, so a fire-hosing client cannot starve its
+	// loop neighbors.
+	readBudget = 256 << 10
+
+	// inBufInit and inBufShrink size a connection's input buffer: start
+	// small, grow to the largest in-flight frame, shrink back once a
+	// burst's oversized buffer drains so idle connections do not pin
+	// megabytes.
+	inBufInit   = 16 << 10
+	inBufShrink = 256 << 10
+)
+
+// elConn is one event-loop connection. Every field except the session
+// table inside st (guarded by st.smu) is owned by the loop goroutine
+// after registration; the registration itself is published through
+// loop.mu.
+type elConn[K cmp.Ordered, V any] struct {
+	st   connState[K, V]
+	l    *loop[K, V]
+	fd   int
+	file *os.File // keeps the dup'd fd alive; Close tears it down
+
+	in    []byte // buffered input; undecoded window is in[inOff:]
+	inOff int
+	out   outBuf
+
+	wantR  bool // epoll read interest currently registered
+	wantW  bool // epoll write interest currently registered
+	paused bool // reading suspended by output backpressure
+	dirty  bool // queued on l.dirtyq for an end-of-wake flush
+	closed bool // torn down (loop-local)
+
+	closeReq atomic.Bool // external close request (Server.Close / sever)
+}
+
+// sever requests teardown from outside the loop goroutine: closing the fd
+// directly would race the loop's I/O on it, so the request is flagged and
+// the loop told to look.
+func (c *elConn[K, V]) sever() {
+	c.closeReq.Store(true)
+	c.l.p.Wake()
+}
+
+// reapSessions forwards to the shared session table.
+func (c *elConn[K, V]) reapSessions(deadline int64) { c.st.reapSessions(deadline) }
+
+// loop is one event loop: a poller, the connections registered on it, and
+// the scratch the loop goroutine reuses across wakes.
+type loop[K cmp.Ordered, V any] struct {
+	srv *Server[K, V]
+	p   *netpoll.Poller
+
+	// mu guards conns and stopped: the acceptor registers new
+	// connections while the loop runs.
+	mu      sync.Mutex
+	conns   map[int]*elConn[K, V]
+	stopped bool
+
+	evs    []netpoll.Event
+	dirtyq []*elConn[K, V]
+	iov    [][]byte
+}
+
+func newLoop[K cmp.Ordered, V any](s *Server[K, V]) (*loop[K, V], error) {
+	p, err := netpoll.New()
+	if err != nil {
+		return nil, err
+	}
+	return &loop[K, V]{
+		srv:   s,
+		p:     p,
+		conns: map[int]*elConn[K, V]{},
+		evs:   make([]netpoll.Event, 128),
+	}, nil
+}
+
+// register adopts c onto this loop. It fails once the loop has begun
+// shutting down, in which case the caller owns the cleanup.
+func (l *loop[K, V]) register(c *elConn[K, V]) error {
+	c.wantR = true // published by l.mu below; loop-owned thereafter
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return ErrServerClosed
+	}
+	l.conns[c.fd] = c
+	l.mu.Unlock()
+	if err := l.p.Add(c.fd, true, false); err != nil {
+		l.mu.Lock()
+		delete(l.conns, c.fd)
+		l.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (l *loop[K, V]) lookup(fd int) *elConn[K, V] {
+	l.mu.Lock()
+	c := l.conns[fd]
+	l.mu.Unlock()
+	return c
+}
+
+// run is the loop goroutine: wait for readiness, service every ready
+// connection (writes first — draining a blocked socket may unpause its
+// reads), then flush everything that produced output this wake.
+func (l *loop[K, V]) run() {
+	defer l.srv.wg.Done()
+	for {
+		n, woken, err := l.p.Wait(l.evs)
+		if err != nil {
+			// A failing poller is unrecoverable for this loop (EBADF
+			// after an external close): tear everything down rather than
+			// spin.
+			l.srv.logf("jiffyd: event loop poll: %v", err)
+			l.shutdown()
+			return
+		}
+		if woken {
+			if l.srv.closing() {
+				l.shutdown()
+				return
+			}
+			l.sweepCloseRequests()
+		}
+		for i := 0; i < n; i++ {
+			ev := l.evs[i]
+			c := l.lookup(ev.FD)
+			if c == nil || c.closed {
+				continue
+			}
+			if ev.Writable {
+				l.flush(c)
+			}
+			if ev.Readable && !c.closed && !c.paused {
+				l.readable(c)
+			}
+		}
+		for _, c := range l.dirtyq {
+			c.dirty = false
+			if !c.closed {
+				l.flush(c)
+			}
+		}
+		l.dirtyq = l.dirtyq[:0]
+	}
+}
+
+// shutdown tears down every connection and releases the poller. New
+// registrations are refused from here on.
+func (l *loop[K, V]) shutdown() {
+	l.mu.Lock()
+	l.stopped = true
+	conns := make([]*elConn[K, V], 0, len(l.conns))
+	for _, c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	for _, c := range conns {
+		l.teardown(c)
+	}
+	l.p.Close()
+}
+
+// sweepCloseRequests tears down connections flagged by sever.
+func (l *loop[K, V]) sweepCloseRequests() {
+	l.mu.Lock()
+	var victims []*elConn[K, V]
+	for _, c := range l.conns {
+		if c.closeReq.Load() {
+			victims = append(victims, c)
+		}
+	}
+	l.mu.Unlock()
+	for _, c := range victims {
+		l.teardown(c)
+	}
+}
+
+// teardown closes c: sessions released, fd deregistered and closed, the
+// server's registry updated. Loop-goroutine only (or loop shutdown).
+func (l *loop[K, V]) teardown(c *elConn[K, V]) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.st.closeSessions()
+	l.mu.Lock()
+	delete(l.conns, c.fd)
+	l.mu.Unlock()
+	l.p.Del(c.fd)
+	c.file.Close()
+	c.out.release()
+	c.in = nil
+	l.srv.forget(c)
+}
+
+// markDirty queues c for the end-of-wake flush pass.
+func (l *loop[K, V]) markDirty(c *elConn[K, V]) {
+	if !c.dirty {
+		c.dirty = true
+		l.dirtyq = append(l.dirtyq, c)
+	}
+}
+
+// setInterest reconciles c's epoll registration with the wanted state,
+// skipping the syscall when nothing changed.
+func (l *loop[K, V]) setInterest(c *elConn[K, V], read, write bool) {
+	if c.closed || (c.wantR == read && c.wantW == write) {
+		return
+	}
+	c.wantR, c.wantW = read, write
+	if err := l.p.Mod(c.fd, read, write); err != nil {
+		l.teardown(c)
+	}
+}
+
+// readable drains c's socket into its input buffer and executes the
+// complete frames, within the fairness budget. Level-triggered polling
+// re-reports anything left unread.
+func (l *loop[K, V]) readable(c *elConn[K, V]) {
+	budget := readBudget
+	for budget > 0 && !c.paused {
+		l.ensureInSpace(c)
+		space := cap(c.in) - len(c.in)
+		n, err := netpoll.Read(c.fd, c.in[len(c.in):cap(c.in)])
+		if err == netpoll.ErrAgain {
+			return
+		}
+		if err != nil {
+			// Peer close or socket error. Frames decoded before this
+			// point have executed and their responses flush below; the
+			// partial tail dies with the connection, as it would on the
+			// goroutine core.
+			l.teardown(c)
+			return
+		}
+		c.in = c.in[:len(c.in)+n]
+		budget -= n
+		if !l.processFrames(c) {
+			return
+		}
+		if n < space {
+			// A partial read almost always means the socket is drained:
+			// stop here instead of paying a confirming EAGAIN read.
+			// Level-triggered polling re-reports the fd in the rare case
+			// data arrived between the read and the next Wait.
+			return
+		}
+	}
+}
+
+// ensureInSpace guarantees read headroom in c.in, compacting the decoded
+// prefix away and growing geometrically when a frame outgrows the buffer.
+func (l *loop[K, V]) ensureInSpace(c *elConn[K, V]) {
+	if c.in == nil {
+		c.in = make([]byte, 0, inBufInit)
+	}
+	if c.inOff > 0 {
+		n := copy(c.in, c.in[c.inOff:])
+		c.in = c.in[:n]
+		c.inOff = 0
+	}
+	if cap(c.in)-len(c.in) < 4<<10 {
+		newCap := 2 * cap(c.in)
+		if newCap < inBufInit {
+			newCap = inBufInit
+		}
+		grown := make([]byte, len(c.in), newCap)
+		copy(grown, c.in)
+		c.in = grown
+	}
+}
+
+// ensureInCapacity grows c.in to hold a frame of total bytes.
+func (c *elConn[K, V]) ensureInCapacity(total int) {
+	if cap(c.in)-c.inOff >= total {
+		return
+	}
+	grown := make([]byte, len(c.in)-c.inOff, total)
+	copy(grown, c.in[c.inOff:])
+	c.in = grown
+	c.inOff = 0
+}
+
+// processFrames decodes and executes every complete frame buffered in
+// c.in, appending responses to c.out. Returns false when the connection
+// was torn down (protocol violation). Execution stops early when output
+// backpressure pauses the connection; the undecoded input stays buffered.
+func (l *loop[K, V]) processFrames(c *elConn[K, V]) bool {
+	for !c.paused {
+		buf := c.in[c.inOff:]
+		if len(buf) < 4 {
+			break
+		}
+		n := binary.LittleEndian.Uint32(buf)
+		if n < wire.FrameOverhead || n > wire.MaxFrameBytes {
+			// Protocol corruption: sever, exactly as wire.ReadFrame would
+			// have the goroutine core do.
+			l.teardown(c)
+			return false
+		}
+		total := 4 + int(n)
+		if len(buf) < total {
+			c.ensureInCapacity(total)
+			break
+		}
+		id := binary.LittleEndian.Uint64(buf[4:12])
+		op := buf[12]
+		body := buf[13:total]
+		dst := c.out.active()
+		pre := len(dst)
+		dst = c.st.handle(dst, id, op, body)
+		c.out.appended(dst, pre)
+		c.inOff += total
+		l.markDirty(c)
+		if c.out.bytes > outHighWater {
+			// The client is not reading: stop consuming its requests
+			// until the backlog drains (flush.go resumes us).
+			c.paused = true
+			l.setInterest(c, false, true)
+		}
+	}
+	if c.inOff == len(c.in) {
+		// Fully decoded: reset, and drop an oversized buffer a burst or a
+		// big frame left behind.
+		if cap(c.in) > inBufShrink {
+			c.in = make([]byte, 0, inBufInit)
+		} else {
+			c.in = c.in[:0]
+		}
+		c.inOff = 0
+	}
+	return true
+}

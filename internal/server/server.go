@@ -2,17 +2,22 @@
 // the length-prefixed binary protocol of internal/wire over any Store (the
 // in-memory or durable sharded jiffy frontends).
 //
-// Every connection runs two goroutines, mirroring the WAL's group-commit
-// split (internal/persist): a reader that decodes request frames and
-// executes them inline against the store, and a writer that coalesces the
-// resulting response frames into as few socket writes as possible. A
-// pipelining client keeps many requests in flight, so by the time the
-// writer drains its queue there are usually several responses ready — they
-// leave in one write() the same way concurrent WAL appends leave in one
-// fsync. Requests on one connection execute in arrival order (responses
-// are matched by id, so clients need not rely on it); requests on
-// different connections execute concurrently with no server-wide locks —
-// the store's own lock-free paths are the only synchronization.
+// The server has two interchangeable cores sharing one protocol engine
+// (state.go). The default event-loop core (loop.go, flush.go) runs N
+// sharded event loops: an acceptor distributes connections round-robin,
+// each loop multiplexes its share through readiness polling
+// (internal/netpoll — epoll on Linux), reads request bytes in bulk,
+// executes complete frames inline on the store's lock-free paths, and
+// coalesces responses into batched writev flushes. The goroutine core
+// (conn.go) runs a reader and a coalescing writer goroutine per
+// connection; it is the portable fallback where netpoll is unsupported and
+// the parity baseline everywhere else. Options.Mode (or the
+// JIFFY_SERVE_MODE environment variable) selects.
+//
+// Requests on one connection execute in arrival order (responses are
+// matched by id, so clients need not rely on it); requests on different
+// connections execute concurrently with no server-wide locks — the
+// store's own lock-free paths are the only synchronization.
 //
 // Snapshot sessions (OpSnap) register a store snapshot server-side and
 // hand the client its id; subsequent OpGet/OpScan against the id read the
@@ -23,22 +28,76 @@
 // jiffy.Iterator that is opened and closed within the request, so a client
 // that stalls mid-scan holds no iterator, no epoch pin and no buffer on
 // the server — only the session's snapshot registration (or nothing, for
-// sessionless scans). See DESIGN.md §8.
+// sessionless scans). See DESIGN.md §8 and §9.
 package server
 
 import (
 	"cmp"
-	"encoding/binary"
 	"errors"
 	"net"
+	"os"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/wire"
-	"repro/jiffy"
+	"repro/internal/netpoll"
 	"repro/jiffy/durable"
 )
+
+// ErrServerClosed is returned when a connection arrives at a server that
+// has begun shutting down.
+var ErrServerClosed = errors.New("server: closed")
+
+// Mode selects a serving core.
+type Mode int
+
+const (
+	// ModeAuto resolves through the JIFFY_SERVE_MODE environment variable
+	// ("eventloop" or "goroutine"); unset or unrecognized, it means
+	// ModeEventLoop where netpoll is supported and ModeGoroutine elsewhere.
+	ModeAuto Mode = iota
+	// ModeEventLoop serves with N sharded event loops (loop.go). Falls
+	// back to ModeGoroutine where netpoll is unsupported.
+	ModeEventLoop
+	// ModeGoroutine serves with two goroutines per connection (conn.go).
+	ModeGoroutine
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeEventLoop:
+		return "eventloop"
+	case ModeGoroutine:
+		return "goroutine"
+	}
+	return "auto"
+}
+
+// ParseMode maps a mode name ("auto", "eventloop", "goroutine") to its
+// Mode. Unrecognized names mean ModeAuto.
+func ParseMode(s string) Mode {
+	switch s {
+	case "eventloop", "event-loop", "loop":
+		return ModeEventLoop
+	case "goroutine", "goroutines", "threaded":
+		return ModeGoroutine
+	}
+	return ModeAuto
+}
+
+// resolve turns a Mode into the concrete core to run, consulting the
+// environment for ModeAuto and the platform for event-loop support.
+func (m Mode) resolve() Mode {
+	if m == ModeAuto {
+		m = ParseMode(os.Getenv("JIFFY_SERVE_MODE"))
+		if m == ModeAuto {
+			m = ModeEventLoop
+		}
+	}
+	if m == ModeEventLoop && !netpoll.Supported() {
+		m = ModeGoroutine
+	}
+	return m
+}
 
 // Options tunes a Server. The zero value selects defaults.
 type Options struct {
@@ -51,6 +110,13 @@ type Options struct {
 	// (default 4096): a page must fit one response frame and one
 	// iterator hold.
 	MaxScanPage int
+
+	// Mode selects the serving core; see Mode. Default ModeAuto.
+	Mode Mode
+
+	// Loops is the number of event loops in ModeEventLoop (default
+	// GOMAXPROCS, capped at 8). Ignored by ModeGoroutine.
+	Loops int
 
 	// Logf, when non-nil, receives connection-level diagnostics
 	// (accept/teardown errors). The data path never logs.
@@ -72,6 +138,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// serverConn is a registered connection of either core, as the server's
+// registry, reaper and Close see it.
+type serverConn interface {
+	sever()                      // request asynchronous teardown
+	reapSessions(deadline int64) // close sessions idle since before deadline
+}
+
 // Server serves one Store over one listener. Create it with Serve; stop it
 // with Close.
 type Server[K cmp.Ordered, V any] struct {
@@ -79,13 +152,15 @@ type Server[K cmp.Ordered, V any] struct {
 	codec durable.Codec[K, V]
 	opts  Options
 	ln    net.Listener
+	mode  Mode
+	loops []*loop[K, V] // event-loop core only
 
 	mu     sync.Mutex
-	conns  map[*conn[K, V]]struct{}
+	conns  map[serverConn]struct{}
 	closed bool
 
 	stopReaper chan struct{}
-	wg         sync.WaitGroup // accept loop + reaper + 2 goroutines per conn
+	wg         sync.WaitGroup // accept loop + reaper + per-conn goroutines or event loops
 }
 
 // Serve starts serving store on ln with codec translating keys and values
@@ -97,14 +172,26 @@ func Serve[K cmp.Ordered, V any](ln net.Listener, store Store[K, V], codec durab
 		codec:      codec,
 		opts:       opts.withDefaults(),
 		ln:         ln,
-		conns:      map[*conn[K, V]]struct{}{},
+		conns:      map[serverConn]struct{}{},
 		stopReaper: make(chan struct{}),
+	}
+	s.mode = s.opts.Mode.resolve()
+	if s.mode == ModeEventLoop {
+		if err := s.startLoops(); err != nil {
+			// Poller setup failed (fd exhaustion, seccomp): fall back to
+			// the portable core rather than refuse to serve.
+			s.logf("jiffyd: event loops unavailable (%v), serving with goroutine core", err)
+			s.mode = ModeGoroutine
+		}
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.reapLoop()
 	return s
 }
+
+// Mode reports the serving core actually in use (never ModeAuto).
+func (s *Server[K, V]) Mode() Mode { return s.mode }
 
 // Addr returns the listener's address (useful with ":0" listeners).
 func (s *Server[K, V]) Addr() net.Addr { return s.ln.Addr() }
@@ -121,7 +208,7 @@ func (s *Server[K, V]) Close() error {
 		return nil
 	}
 	s.closed = true
-	conns := make([]*conn[K, V], 0, len(s.conns))
+	conns := make([]serverConn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
@@ -130,49 +217,35 @@ func (s *Server[K, V]) Close() error {
 	err := s.ln.Close()
 	close(s.stopReaper)
 	for _, c := range conns {
-		c.c.Close() // unblocks the conn's reader, which tears the rest down
+		c.sever()
+	}
+	// Wake every loop so it observes closing() and shuts down even with
+	// no connections registered.
+	for _, l := range s.loops {
+		l.p.Wake()
 	}
 	s.wg.Wait()
 	return err
+}
+
+// closing reports whether Close has begun.
+func (s *Server[K, V]) closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// forget removes a torn-down connection from the registry.
+func (s *Server[K, V]) forget(c serverConn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
 }
 
 // logf forwards to Options.Logf when set.
 func (s *Server[K, V]) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
 		s.opts.Logf(format, args...)
-	}
-}
-
-// acceptLoop accepts connections until the listener closes.
-func (s *Server[K, V]) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		nc, err := s.ln.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return
-			}
-			s.logf("jiffyd: accept: %v", err)
-			time.Sleep(5 * time.Millisecond)
-			continue
-		}
-		c := &conn[K, V]{
-			srv:  s,
-			c:    nc,
-			out:  make(chan []byte, 256),
-			sess: map[uint64]*session[K, V]{},
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			nc.Close()
-			return
-		}
-		s.conns[c] = struct{}{}
-		s.wg.Add(2)
-		s.mu.Unlock()
-		go c.readLoop()
-		go c.writeLoop()
 	}
 }
 
@@ -192,423 +265,14 @@ func (s *Server[K, V]) reapLoop() {
 		case <-t.C:
 		}
 		s.mu.Lock()
-		conns := make([]*conn[K, V], 0, len(s.conns))
+		conns := make([]serverConn, 0, len(s.conns))
 		for c := range s.conns {
 			conns = append(conns, c)
 		}
 		s.mu.Unlock()
 		deadline := time.Now().Add(-s.opts.SnapTTL).UnixNano()
 		for _, c := range conns {
-			c.smu.Lock()
-			for id, sess := range c.sess {
-				if sess.lastUsed.Load() < deadline {
-					delete(c.sess, id)
-					sess.snap.Close()
-				}
-			}
-			c.smu.Unlock()
+			c.reapSessions(deadline)
 		}
 	}
-}
-
-// session is one server-side snapshot session: a registered store snapshot
-// plus its idle clock.
-type session[K cmp.Ordered, V any] struct {
-	snap     Snap[K, V]
-	lastUsed atomic.Int64 // unix nanos of the last operation naming it
-}
-
-func (s *session[K, V]) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
-
-// conn is one client connection: the reader goroutine (readLoop) executes
-// requests and queues encoded responses on out; the writer goroutine
-// (writeLoop) coalesces them onto the socket. The scratch fields belong to
-// the reader goroutine alone.
-type conn[K cmp.Ordered, V any] struct {
-	srv *Server[K, V]
-	c   net.Conn
-	out chan []byte
-
-	// smu guards the session table and spans any use of a session's
-	// snapshot, so the TTL reaper cannot close a snapshot out from under
-	// an executing request.
-	smu      sync.Mutex
-	sess     map[uint64]*session[K, V]
-	nextSnap uint64
-
-	// Reader-goroutine scratch, reused across requests.
-	rbuf  []byte // frame read buffer
-	kbuf  []byte // key encoding scratch
-	vbuf  []byte // value encoding scratch
-	batch *jiffy.Batch[K, V]
-}
-
-// respPool recycles response frame buffers between a conn's reader (which
-// encodes into them) and its writer (which releases them after copying
-// into the coalescing buffer). Buffers grown past maxPooledRespBytes by a
-// large scan page are dropped instead of pooled, so one big scan does not
-// pin multi-megabyte backing arrays behind every future ping.
-const maxPooledRespBytes = 64 << 10
-
-var respPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
-
-func getResp() []byte { return (*(respPool.Get().(*[]byte)))[:0] }
-func putResp(b []byte) {
-	if cap(b) > maxPooledRespBytes {
-		return
-	}
-	respPool.Put(&b)
-}
-
-// readLoop decodes and executes request frames until the connection
-// drops, then tears the connection down: sessions close, the writer
-// drains and exits, the server forgets the conn.
-func (c *conn[K, V]) readLoop() {
-	defer c.srv.wg.Done()
-	for {
-		id, op, body, buf, err := wire.ReadFrame(c.c, c.rbuf)
-		c.rbuf = buf
-		if err != nil {
-			break
-		}
-		c.out <- c.handle(id, op, body)
-	}
-	// Teardown. Closing the socket unblocks nothing here (the read
-	// already failed) but stops the writer's Write calls from lingering.
-	c.c.Close()
-	c.smu.Lock()
-	for id, sess := range c.sess {
-		delete(c.sess, id)
-		sess.snap.Close()
-	}
-	c.smu.Unlock()
-	close(c.out)
-	c.srv.mu.Lock()
-	delete(c.srv.conns, c)
-	c.srv.mu.Unlock()
-}
-
-// writeLoop coalesces response frames: one blocking receive, then a
-// non-blocking drain of everything else already queued, one Write for the
-// lot — the group-commit idiom, with the socket in the role of the log
-// file. Exits when the reader closes out.
-func (c *conn[K, V]) writeLoop() {
-	defer c.srv.wg.Done()
-	var wbuf []byte
-	broken := false
-	for f := range c.out {
-		wbuf = append(wbuf[:0], f...)
-		putResp(f)
-	drain:
-		for len(wbuf) < 256<<10 {
-			select {
-			case f, ok := <-c.out:
-				if !ok {
-					break drain
-				}
-				wbuf = append(wbuf, f...)
-				putResp(f)
-			default:
-				break drain
-			}
-		}
-		if !broken {
-			if _, err := c.c.Write(wbuf); err != nil {
-				// Sever the connection so the reader unblocks; keep
-				// draining out so the reader never blocks sending to it.
-				broken = true
-				c.c.Close()
-			}
-		}
-	}
-}
-
-// handle executes one request and returns its encoded response frame (a
-// pooled buffer the writer releases).
-func (c *conn[K, V]) handle(id uint64, op byte, body []byte) []byte {
-	switch op {
-	case wire.OpPing:
-		return okFrame(id, nil)
-	case wire.OpGet:
-		return c.handleGet(id, body)
-	case wire.OpPut:
-		return c.handlePut(id, body)
-	case wire.OpDel:
-		return c.handleDel(id, body)
-	case wire.OpBatch:
-		return c.handleBatch(id, body)
-	case wire.OpSnap:
-		return c.handleSnap(id)
-	case wire.OpSnapClose:
-		return c.handleSnapClose(id, body)
-	case wire.OpScan:
-		return c.handleScan(id, body)
-	}
-	return errFrame(id, wire.StatusBadRequest, "unknown opcode")
-}
-
-// okFrame encodes a StatusOK response carrying body.
-func okFrame(id uint64, body []byte) []byte {
-	return wire.AppendFrame(getResp(), id, wire.StatusOK, body)
-}
-
-// statusFrame encodes an empty-bodied response with the given status.
-func statusFrame(id uint64, status byte) []byte {
-	return wire.AppendFrame(getResp(), id, status, nil)
-}
-
-// errFrame encodes a failure response with a human-readable message.
-func errFrame(id uint64, status byte, msg string) []byte {
-	return wire.AppendFrame(getResp(), id, status, []byte(msg))
-}
-
-// lookupSess returns the named session with its idle clock touched, or
-// nil. Caller must hold smu across its use of the session's snapshot.
-func (c *conn[K, V]) lookupSess(snapID uint64) *session[K, V] {
-	sess := c.sess[snapID]
-	if sess != nil {
-		sess.touch()
-	}
-	return sess
-}
-
-func (c *conn[K, V]) handleGet(id uint64, body []byte) []byte {
-	if len(body) < 8 {
-		return errFrame(id, wire.StatusBadRequest, "get: short body")
-	}
-	snapID := binary.LittleEndian.Uint64(body[:8])
-	key, err := c.srv.codec.Key.Decode(body[8:])
-	if err != nil {
-		return errFrame(id, wire.StatusBadRequest, "get: "+err.Error())
-	}
-	var val V
-	var ok bool
-	if snapID == 0 {
-		val, ok = c.srv.store.Get(key)
-	} else {
-		c.smu.Lock()
-		sess := c.lookupSess(snapID)
-		if sess == nil {
-			c.smu.Unlock()
-			return statusFrame(id, wire.StatusUnknownSnap)
-		}
-		val, ok = sess.snap.Get(key)
-		c.smu.Unlock()
-	}
-	if !ok {
-		return statusFrame(id, wire.StatusNotFound)
-	}
-	c.vbuf = c.srv.codec.Value.Append(c.vbuf[:0], val)
-	return okFrame(id, c.vbuf)
-}
-
-func (c *conn[K, V]) handlePut(id uint64, body []byte) []byte {
-	kb, rest, err := wire.TakeBytes(body)
-	if err != nil {
-		return errFrame(id, wire.StatusBadRequest, "put: "+err.Error())
-	}
-	key, err := c.srv.codec.Key.Decode(kb)
-	if err != nil {
-		return errFrame(id, wire.StatusBadRequest, "put: "+err.Error())
-	}
-	val, err := c.srv.codec.Value.Decode(rest)
-	if err != nil {
-		return errFrame(id, wire.StatusBadRequest, "put: "+err.Error())
-	}
-	if err := c.srv.store.Put(key, val); err != nil {
-		return errFrame(id, wire.StatusErr, err.Error())
-	}
-	return okFrame(id, nil)
-}
-
-func (c *conn[K, V]) handleDel(id uint64, body []byte) []byte {
-	key, err := c.srv.codec.Key.Decode(body)
-	if err != nil {
-		return errFrame(id, wire.StatusBadRequest, "del: "+err.Error())
-	}
-	ok, err := c.srv.store.Remove(key)
-	if err != nil {
-		return errFrame(id, wire.StatusErr, err.Error())
-	}
-	if !ok {
-		return statusFrame(id, wire.StatusNotFound)
-	}
-	return okFrame(id, nil)
-}
-
-func (c *conn[K, V]) handleBatch(id uint64, body []byte) []byte {
-	if c.batch == nil {
-		c.batch = jiffy.NewBatch[K, V](16)
-	}
-	b := c.batch.Reset()
-	nops, n := binary.Uvarint(body)
-	if n <= 0 {
-		return errFrame(id, wire.StatusBadRequest, "batch: missing op count")
-	}
-	p := body[n:]
-	for i := uint64(0); i < nops; i++ {
-		if len(p) < 1 {
-			return errFrame(id, wire.StatusBadRequest, "batch: truncated")
-		}
-		kind := p[0]
-		p = p[1:]
-		kb, rest, err := wire.TakeBytes(p)
-		if err != nil {
-			return errFrame(id, wire.StatusBadRequest, "batch: "+err.Error())
-		}
-		p = rest
-		key, err := c.srv.codec.Key.Decode(kb)
-		if err != nil {
-			return errFrame(id, wire.StatusBadRequest, "batch: "+err.Error())
-		}
-		switch kind {
-		case wire.BatchRemove:
-			b.Remove(key)
-		case wire.BatchPut:
-			vb, rest, err := wire.TakeBytes(p)
-			if err != nil {
-				return errFrame(id, wire.StatusBadRequest, "batch: "+err.Error())
-			}
-			p = rest
-			val, err := c.srv.codec.Value.Decode(vb)
-			if err != nil {
-				return errFrame(id, wire.StatusBadRequest, "batch: "+err.Error())
-			}
-			b.Put(key, val)
-		default:
-			return errFrame(id, wire.StatusBadRequest, "batch: unknown op kind")
-		}
-	}
-	if err := c.srv.store.BatchUpdate(b); err != nil {
-		return errFrame(id, wire.StatusErr, err.Error())
-	}
-	return okFrame(id, nil)
-}
-
-func (c *conn[K, V]) handleSnap(id uint64) []byte {
-	snap := c.srv.store.Snapshot()
-	sess := &session[K, V]{snap: snap}
-	sess.touch()
-	c.smu.Lock()
-	c.nextSnap++
-	snapID := c.nextSnap
-	c.sess[snapID] = sess
-	c.smu.Unlock()
-	var body [16]byte
-	binary.LittleEndian.PutUint64(body[0:8], snapID)
-	binary.LittleEndian.PutUint64(body[8:16], uint64(snap.Version()))
-	return okFrame(id, body[:])
-}
-
-func (c *conn[K, V]) handleSnapClose(id uint64, body []byte) []byte {
-	if len(body) != 8 {
-		return errFrame(id, wire.StatusBadRequest, "snap-close: short body")
-	}
-	snapID := binary.LittleEndian.Uint64(body)
-	c.smu.Lock()
-	sess := c.sess[snapID]
-	if sess != nil {
-		delete(c.sess, snapID)
-		sess.snap.Close()
-	}
-	c.smu.Unlock()
-	if sess == nil {
-		return statusFrame(id, wire.StatusUnknownSnap)
-	}
-	return okFrame(id, nil)
-}
-
-// handleScan delivers one cursored page. The iterator lives only inside
-// this request: a slow or stalled client pins no iterator state, no epoch
-// and no server buffer between pages — just the session's snapshot
-// registration, which the TTL reaper bounds.
-func (c *conn[K, V]) handleScan(id uint64, body []byte) []byte {
-	if len(body) < 13 {
-		return errFrame(id, wire.StatusBadRequest, "scan: short body")
-	}
-	snapID := binary.LittleEndian.Uint64(body[0:8])
-	maxEntries := int(binary.LittleEndian.Uint32(body[8:12]))
-	mode := body[12]
-	rest := body[13:]
-	var cursor K
-	if mode == wire.ScanInclusive || mode == wire.ScanExclusive {
-		kb, r2, err := wire.TakeBytes(rest)
-		if err != nil {
-			return errFrame(id, wire.StatusBadRequest, "scan: "+err.Error())
-		}
-		rest = r2
-		cursor, err = c.srv.codec.Key.Decode(kb)
-		if err != nil {
-			return errFrame(id, wire.StatusBadRequest, "scan: "+err.Error())
-		}
-	} else if mode != wire.ScanFromStart {
-		return errFrame(id, wire.StatusBadRequest, "scan: unknown cursor mode")
-	}
-	if maxEntries < 1 {
-		maxEntries = 1
-	}
-	if maxEntries > c.srv.opts.MaxScanPage {
-		maxEntries = c.srv.opts.MaxScanPage
-	}
-
-	var snap Snap[K, V]
-	if snapID == 0 {
-		// Sessionless page: an ephemeral snapshot for this page only.
-		snap = c.srv.store.Snapshot()
-		defer snap.Close()
-	} else {
-		c.smu.Lock()
-		defer c.smu.Unlock()
-		sess := c.lookupSess(snapID)
-		if sess == nil {
-			return statusFrame(id, wire.StatusUnknownSnap)
-		}
-		snap = sess.snap
-	}
-
-	it := snap.Iter()
-	defer it.Close()
-	if mode != wire.ScanFromStart {
-		it.Seek(cursor)
-	}
-	resp, lenAt := wire.BeginFrame(getResp(), id, wire.StatusOK)
-	moreAt := len(resp)
-	resp = append(resp, 0) // more flag, patched below
-	countAt := len(resp)
-	resp = append(resp, 0, 0, 0, 0) // u32 count, patched below
-	count := 0
-	truncated := false
-	for count < maxEntries && it.Next() {
-		k := it.Key()
-		if mode == wire.ScanExclusive && count == 0 && k == cursor {
-			continue // the cursor key itself: delivered by the previous page
-		}
-		c.kbuf = c.srv.codec.Key.Append(c.kbuf[:0], k)
-		c.vbuf = c.srv.codec.Value.Append(c.vbuf[:0], it.Value())
-		entryBytes := len(c.kbuf) + len(c.vbuf) + 16 // two uvarint prefixes, generously
-		if count > 0 && len(resp)+entryBytes > maxScanPageBytes {
-			// The page is bounded by bytes as well as entries, so large
-			// values cannot push a frame past the protocol limit. The
-			// entry stays unsent; the client's cursor resumes on it.
-			truncated = true
-			break
-		}
-		if len(resp)+entryBytes > wire.MaxFrameBytes-64 {
-			// A single entry too big for any frame (a value put near the
-			// frame limit gains a key and length prefixes on the way
-			// out): unservable by this protocol, and silently dropping it
-			// would corrupt the scan. Report it instead of building a
-			// frame the client must reject.
-			putResp(resp)
-			return errFrame(id, wire.StatusErr, "scan: entry exceeds the protocol frame limit")
-		}
-		resp = wire.AppendBytes(resp, c.kbuf)
-		resp = wire.AppendBytes(resp, c.vbuf)
-		count++
-	}
-	if truncated || (count == maxEntries && it.Next()) {
-		resp[moreAt] = 1
-	}
-	binary.LittleEndian.PutUint32(resp[countAt:], uint32(count))
-	return wire.EndFrame(resp, lenAt)
 }

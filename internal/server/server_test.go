@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/testutil"
 	"repro/jiffy"
 	"repro/jiffy/client"
 	"repro/jiffy/durable"
@@ -47,6 +48,7 @@ func dial(t *testing.T, addr string, opts client.Options) *client.Client[uint64,
 // point ops, batches, snapshot sessions, cursored scans, and the
 // not-found/unknown-session paths.
 func TestEndToEndBasics(t *testing.T) {
+	testutil.LeakCheck(t)
 	for _, pipe := range []bool{true, false} {
 		name := "pipelined"
 		if !pipe {
@@ -193,6 +195,7 @@ func TestEndToEndBasics(t *testing.T) {
 // TestConcurrentClients hammers one server from many goroutines across
 // pooled pipelined connections under -race.
 func TestConcurrentClients(t *testing.T) {
+	testutil.LeakCheck(t)
 	_, _, addr := startServer(t, 4, Options{})
 	c := dial(t, addr, client.Options{Conns: 4})
 	const workers = 8
@@ -236,6 +239,7 @@ func TestConcurrentClients(t *testing.T) {
 // carrying the same value — a mixed page would be a torn batch observed
 // over the network.
 func TestCrossShardBatchAtomicThroughSnapScan(t *testing.T) {
+	testutil.LeakCheck(t)
 	s, _, addr := startServer(t, 8, Options{})
 	if s.NumShards() != 8 {
 		t.Fatalf("shards = %d", s.NumShards())
@@ -333,6 +337,7 @@ func TestCrossShardBatchAtomicThroughSnapScan(t *testing.T) {
 // keeps advancing under concurrent write load while the session (and its
 // history pin) stays open.
 func TestIdleScanCursorDoesNotBlockReclamation(t *testing.T) {
+	testutil.LeakCheck(t)
 	s, _, addr := startServer(t, 2, Options{})
 	c := dial(t, addr, client.Options{Conns: 1, ScanPageSize: 8})
 
@@ -395,6 +400,7 @@ func TestIdleScanCursorDoesNotBlockReclamation(t *testing.T) {
 // TestSessionTTLReap checks idle sessions are reaped and later use
 // reports unknown-session, while active sessions survive by being used.
 func TestSessionTTLReap(t *testing.T) {
+	testutil.LeakCheck(t)
 	_, _, addr := startServer(t, 2, Options{SnapTTL: 80 * time.Millisecond})
 	c := dial(t, addr, client.Options{Conns: 1})
 	if err := c.Put(1, 1); err != nil {
@@ -431,6 +437,7 @@ func TestSessionTTLReap(t *testing.T) {
 // tears everything down, reopens the store and checks the data —
 // including a cross-shard batch logged as one record — survived.
 func TestDurableStoreOverWire(t *testing.T) {
+	testutil.LeakCheck(t)
 	dir := t.TempDir()
 	codec := u64Codec()
 	d, err := durable.OpenSharded(dir, 4, codec, durable.Options[uint64]{})
@@ -485,6 +492,7 @@ func TestDurableStoreOverWire(t *testing.T) {
 // scans, several connections — and asserts the goroutine count returns to
 // its baseline after everything closes.
 func TestNoGoroutineLeak(t *testing.T) {
+	testutil.LeakCheck(t)
 	before := runtime.NumGoroutine()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -538,6 +546,7 @@ func TestNoGoroutineLeak(t *testing.T) {
 // TestScanPageCap checks the server clamps page sizes to MaxScanPage
 // rather than building unbounded response frames.
 func TestScanPageCap(t *testing.T) {
+	testutil.LeakCheck(t)
 	_, _, addr := startServer(t, 2, Options{MaxScanPage: 10})
 	c := dial(t, addr, client.Options{Conns: 1, ScanPageSize: 100000})
 	for i := uint64(0); i < 45; i++ {
@@ -562,6 +571,7 @@ func TestScanPageCap(t *testing.T) {
 // TestManyConnections exercises accept/teardown churn: many short-lived
 // clients, each doing a little work.
 func TestManyConnections(t *testing.T) {
+	testutil.LeakCheck(t)
 	_, _, addr := startServer(t, 2, Options{})
 	for i := 0; i < 20; i++ {
 		c, err := client.Dial(addr, u64Codec(), client.Options{Conns: 2})
@@ -589,6 +599,7 @@ func TestManyConnections(t *testing.T) {
 // must instead split into many small-entry-count pages and still deliver
 // everything exactly once.
 func TestScanPageByteBudget(t *testing.T) {
+	testutil.LeakCheck(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,231 @@
+package testutil
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Faults configures a Flaky conn's misbehavior. The zero value injects
+// nothing; every field is an independent dial.
+type Faults struct {
+	// ShortReads caps each Read at a random length in [1, ShortReads],
+	// fragmenting frames across many reads.
+	ShortReads int
+
+	// ShortWrites caps each Write at a random length in [1, ShortWrites],
+	// so a frame leaves the client in dribbles.
+	ShortWrites int
+
+	// StallEvery sleeps Stall before every Nth I/O call (0 disables).
+	StallEvery int
+	Stall      time.Duration
+
+	// ResetAfterBytes force-closes the connection after roughly this many
+	// bytes have crossed it in either direction (0 disables) — a mid-frame
+	// RST, from the peer's point of view.
+	ResetAfterBytes int
+
+	// Seed makes the fault schedule deterministic.
+	Seed int64
+}
+
+// Flaky wraps a net.Conn with injected faults: short reads and writes,
+// periodic stalls, and a byte-count-triggered reset. It is the client
+// side of the fault-injection tests — the server must survive whatever
+// this produces.
+type Flaky struct {
+	net.Conn
+	f Faults
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	calls int
+	moved int
+	dead  bool
+}
+
+// NewFlaky wraps c.
+func NewFlaky(c net.Conn, f Faults) *Flaky {
+	return &Flaky{Conn: c, f: f, rng: rand.New(rand.NewSource(f.Seed))}
+}
+
+// step applies the per-call faults (stall, reset) and returns the I/O
+// length to use, capped at a random value in [1, chop] when chop > 0.
+func (c *Flaky) step(n int, chop int) (int, bool) {
+	c.mu.Lock()
+	c.calls++
+	stall := c.f.StallEvery > 0 && c.calls%c.f.StallEvery == 0
+	if chop > 0 {
+		limit := 1 + c.rng.Intn(chop)
+		if n > limit {
+			n = limit
+		}
+	}
+	dead := c.dead
+	c.mu.Unlock()
+	if dead {
+		return 0, false
+	}
+	if stall {
+		time.Sleep(c.f.Stall)
+	}
+	return n, true
+}
+
+// account tracks transferred bytes and fires the reset fault.
+func (c *Flaky) account(n int) {
+	if c.f.ResetAfterBytes <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.moved += n
+	fire := c.moved >= c.f.ResetAfterBytes && !c.dead
+	if fire {
+		c.dead = true
+	}
+	c.mu.Unlock()
+	if fire {
+		// An abortive close: SetLinger(0) turns Close into RST on TCP.
+		if tc, ok := c.Conn.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		c.Conn.Close()
+	}
+}
+
+func (c *Flaky) Read(p []byte) (int, error) {
+	n, ok := c.step(len(p), c.f.ShortReads)
+	if !ok {
+		return 0, net.ErrClosed
+	}
+	got, err := c.Conn.Read(p[:n])
+	c.account(got)
+	return got, err
+}
+
+func (c *Flaky) Write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		n, ok := c.step(len(p)-written, c.f.ShortWrites)
+		if !ok {
+			return written, net.ErrClosed
+		}
+		got, err := c.Conn.Write(p[written : written+n])
+		written += got
+		c.account(got)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Proxy relays bytes between a local listener and a target address,
+// applying Faults to the server-facing side of each relayed connection.
+// It exists so fault injection can sit in front of a real server socket:
+// the client dials the proxy normally, and the proxy misbehaves toward
+// the server (or, with zero Faults, acts as a transparent relay that can
+// be severed on command).
+type Proxy struct {
+	ln     net.Listener
+	target string
+	faults Faults
+
+	mu    sync.Mutex
+	conns []net.Conn
+	done  bool
+}
+
+// NewProxy starts a proxy in front of target. Close it when done.
+func NewProxy(target string, f Faults) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, faults: f}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's dialable address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops the proxy and severs every relayed connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.done = true
+	conns := append([]net.Conn(nil), p.conns...)
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Sever abruptly closes every relayed connection without stopping the
+// listener, so clients can redial through the same proxy.
+func (p *Proxy) Sever() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return false
+	}
+	p.conns = append(p.conns, c)
+	return true
+}
+
+func (p *Proxy) acceptLoop() {
+	seed := p.faults.Seed
+	for {
+		in, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		out, err := net.Dial("tcp", p.target)
+		if err != nil {
+			in.Close()
+			continue
+		}
+		seed++
+		f := p.faults
+		f.Seed = seed
+		flaky := NewFlaky(out, f)
+		if !p.track(in) || !p.track(out) {
+			in.Close()
+			out.Close()
+			return
+		}
+		go relay(in, flaky)
+		go relay(flaky, in)
+	}
+}
+
+// relay copies until either side fails, then closes both.
+func relay(dst, src net.Conn) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	dst.Close()
+	src.Close()
+}

@@ -1,0 +1,90 @@
+// Package testutil holds shared test infrastructure: goroutine and file
+// descriptor leak detection (leak.go) and fault-injecting network
+// wrappers (flaky.go). Test-only; nothing here ships in jiffyd.
+package testutil
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// LeakCheck arranges for the test to fail if it leaks goroutines or file
+// descriptors: it records the counts at the call and re-checks them in a
+// t.Cleanup. Call it FIRST in the test (before any other t.Cleanup
+// registrations), so the check runs last, after the test's own cleanups
+// have torn servers and clients down.
+//
+// Both counts are rechecked with retries for up to two seconds, because
+// teardown is asynchronous in places the tests do not control (closed
+// sockets leave TIME_WAIT fds to the kernel, runtime bookkeeping
+// goroutines come and go). A leak therefore reports slowly but reliably;
+// a clean test passes on the first or second probe.
+func LeakCheck(t testing.TB) {
+	t.Helper()
+	g0 := runtime.NumGoroutine()
+	fd0 := countFDs()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var g, fd int
+		for {
+			runtime.GC() // run finalizers that close dup'd fds
+			g, fd = runtime.NumGoroutine(), countFDs()
+			if g <= g0 && fd <= fd0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if g > g0 {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d before, %d after\n%s", g0, g, buf[:n])
+		}
+		if fd > fd0 {
+			t.Errorf("fd leak: %d before, %d after", fd0, fd)
+		}
+	})
+}
+
+// countFDs returns the process's open descriptor count via /proc, or -1
+// where /proc is unavailable (the fd half of the check then never fires).
+func countFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// DumpGoroutines returns all goroutine stacks, for diagnosing a hang.
+func DumpGoroutines() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	return strings.TrimSpace(string(buf[:n]))
+}
+
+// WaitFor polls cond until it holds or the deadline passes, failing the
+// test with msg on timeout. For asserting eventual state (a neighbor
+// connection staying live, a backlog draining) without sleeping fixed
+// amounts.
+func WaitFor(t testing.TB, d time.Duration, cond func() bool, msg string, args ...any) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: "+msg, args...)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Eventually is WaitFor with a conventional 5s deadline.
+func Eventually(t testing.TB, cond func() bool, msg string, args ...any) {
+	t.Helper()
+	WaitFor(t, 5*time.Second, cond, msg, args...)
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/testutil"
 	"repro/jiffy"
 	"repro/jiffy/client"
 	"repro/jiffy/durable"
@@ -33,6 +34,7 @@ func startServer(t *testing.T) string {
 // misrouted response — a future resolved with another request's frame —
 // shows up as a wrong value.
 func TestMultiplexingCorrelation(t *testing.T) {
+	testutil.LeakCheck(t)
 	addr := startServer(t)
 	c, err := client.Dial(addr, codec(), client.Options{Conns: 1})
 	if err != nil {
@@ -69,6 +71,7 @@ func TestMultiplexingCorrelation(t *testing.T) {
 // TestCloseFailsInflight closes the client under load: every outstanding
 // request must return an error promptly, none may hang.
 func TestCloseFailsInflight(t *testing.T) {
+	testutil.LeakCheck(t)
 	addr := startServer(t)
 	c, err := client.Dial(addr, codec(), client.Options{Conns: 2})
 	if err != nil {
@@ -103,6 +106,7 @@ func TestCloseFailsInflight(t *testing.T) {
 // TestScannerSeekRestart checks Seek restarts a scanner — mid-stream,
 // after exhaustion, and after Close.
 func TestScannerSeekRestart(t *testing.T) {
+	testutil.LeakCheck(t)
 	addr := startServer(t)
 	c, err := client.Dial(addr, codec(), client.Options{Conns: 1, ScanPageSize: 8})
 	if err != nil {
@@ -153,6 +157,7 @@ func TestScannerSeekRestart(t *testing.T) {
 
 // TestDialFailure checks a refused dial reports an error, not a hang.
 func TestDialFailure(t *testing.T) {
+	testutil.LeakCheck(t)
 	// Grab a port and close it so nothing listens there.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -168,6 +173,7 @@ func TestDialFailure(t *testing.T) {
 // TestServerGoneMidFlight severs the server under load: requests fail
 // with transport errors instead of hanging.
 func TestServerGoneMidFlight(t *testing.T) {
+	testutil.LeakCheck(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -197,6 +203,7 @@ func TestServerGoneMidFlight(t *testing.T) {
 // not degrade the pool permanently: after the server comes back on the
 // same address, the client recovers by redialing broken connections.
 func TestPoolRedialsAfterServerRestart(t *testing.T) {
+	testutil.LeakCheck(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -249,6 +256,7 @@ func TestPoolRedialsAfterServerRestart(t *testing.T) {
 // limit fails with a descriptive error and does NOT poison the
 // connection for subsequent (and concurrent pipelined) requests.
 func TestOversizeRequestRejectedLocally(t *testing.T) {
+	testutil.LeakCheck(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -285,6 +293,7 @@ func TestOversizeRequestRejectedLocally(t *testing.T) {
 // ordering: the reader's failure sweep must not resolve callers while
 // the writer could still read their request buffers.
 func TestTeardownBufferReuse(t *testing.T) {
+	testutil.LeakCheck(t)
 	for round := 0; round < 5; round++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
