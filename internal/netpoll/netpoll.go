@@ -33,11 +33,16 @@ var ErrUnsupported = errors.New("netpoll: not supported on this platform")
 // Event is one readiness report. Readable is set for incoming data and
 // for every hangup/error condition — the reader discovers peer closes and
 // socket errors as a read result, which keeps teardown on one path.
-// Writable reports that a previously full socket drained.
+// Writable reports that a previously full socket drained. Hup is set
+// alongside Readable for hangup/error conditions (peer half-close, reset,
+// socket error): a caller that has suspended reading would otherwise see
+// the same Readable report every Wait with no read to discover the close
+// through, so Hup is its signal to tear the connection down.
 type Event struct {
 	FD       int
 	Readable bool
 	Writable bool
+	Hup      bool
 }
 
 // maxIovecs caps one Writev call's vector length (IOV_MAX is 1024 on

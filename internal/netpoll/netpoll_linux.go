@@ -234,6 +234,9 @@ func (p *Poller) collect(evs []Event, eevs []syscall.EpollEvent) (n int, woken b
 		if e.Events&(syscall.EPOLLIN|syscall.EPOLLPRI|syscall.EPOLLRDHUP|syscall.EPOLLHUP|syscall.EPOLLERR) != 0 {
 			ev.Readable = true
 		}
+		if e.Events&(syscall.EPOLLRDHUP|syscall.EPOLLHUP|syscall.EPOLLERR) != 0 {
+			ev.Hup = true
+		}
 		if e.Events&syscall.EPOLLOUT != 0 {
 			ev.Writable = true
 		}

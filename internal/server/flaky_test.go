@@ -150,6 +150,111 @@ func TestSlowReaderDoesNotBlockLoop(t *testing.T) {
 	}
 }
 
+// scanBurst builds n pipelined sessionless full-scan requests. Each
+// returns a full page (~80 KiB against the 5000-key fixture), and the
+// loop executes the whole burst inline before any flush runs, so a large
+// enough n is guaranteed to push the connection past the output
+// high-water mark and pause it.
+func scanBurst(n int) []byte {
+	var req []byte
+	for id := uint64(1); id <= uint64(n); id++ {
+		body := []byte{0, 0, 0, 0, 0, 0, 0, 0} // snapID 0 (sessionless)
+		body = append(body, 0xff, 0xff, 0, 0)  // maxEntries (clamped server-side)
+		body = append(body, wire.ScanFromStart)
+		req = wire.AppendFrame(req, id, wire.OpScan, body)
+	}
+	return req
+}
+
+// TestHalfCloseWhilePausedTearsDown pauses a connection by backpressure
+// (a scan burst whose responses the client never reads) and then
+// half-closes it with FIN. A paused connection has read interest
+// dropped, so the hangup arrives only as the always-registered
+// EPOLLRDHUP; the loop must tear the connection down from that signal.
+// Ignoring it is a 100% CPU busy-spin — level-triggered epoll re-reports
+// the event every wake — and the connection plus its sessions never die.
+func TestHalfCloseWhilePausedTearsDown(t *testing.T) {
+	testutil.LeakCheck(t)
+	s, srv, addr := startServer(t, 4, Options{Mode: ModeEventLoop, Loops: 1})
+	for i := uint64(0); i < 5000; i++ {
+		s.Put(i, i)
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	// 128 full pages ≈ 10 MiB of responses: comfortably past the 8 MiB
+	// high-water mark, so the connection pauses with most of it queued.
+	if _, err := nc.Write(scanBurst(128)); err != nil {
+		t.Fatalf("write scan burst: %v", err)
+	}
+	testutil.Eventually(t, func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.conns) == 1
+	}, "server never registered the connection")
+	// Let the burst execute and the high-water pause engage, then send
+	// FIN without having read a byte.
+	time.Sleep(50 * time.Millisecond)
+	if err := nc.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatalf("half-close: %v", err)
+	}
+	testutil.Eventually(t, func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.conns) == 0
+	}, "paused connection not torn down after peer half-close")
+}
+
+// TestBurstWithPromptReaderNeverWedges is the regression test for a
+// dropped end-of-wake flush mark: when a flush during the dirtyq pass
+// drains a paused connection below the low-water mark (a prompt reader
+// keeps the socket writable), the resumed frame processing re-marks the
+// connection dirty mid-pass. Those marks used to be silently dropped with
+// the dirty flag left set, after which every later markDirty no-opped and
+// responses sat buffered forever. Each round's trailing ping probes for
+// exactly that wedge.
+func TestBurstWithPromptReaderNeverWedges(t *testing.T) {
+	testutil.LeakCheck(t)
+	s, _, addr := startServer(t, 4, Options{Mode: ModeEventLoop, Loops: 1})
+	for i := uint64(0); i < 5000; i++ {
+		s.Put(i, i)
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(60 * time.Second))
+	var buf []byte
+	for round := 0; round < 4; round++ {
+		const pages = 128
+		if _, err := nc.Write(scanBurst(pages)); err != nil {
+			t.Fatalf("round %d: write burst: %v", round, err)
+		}
+		for got := 0; got < pages; got++ {
+			_, status, _, nbuf, err := wire.ReadFrame(nc, buf)
+			buf = nbuf
+			if err != nil {
+				t.Fatalf("round %d: page %d: %v", round, got, err)
+			}
+			if status != wire.StatusOK {
+				t.Fatalf("round %d: page %d: status %d", round, got, status)
+			}
+		}
+		probe := wire.AppendFrame(nil, 1000+uint64(round), wire.OpPing, nil)
+		if _, err := nc.Write(probe); err != nil {
+			t.Fatalf("round %d: write probe: %v", round, err)
+		}
+		_, status, _, nbuf, err := wire.ReadFrame(nc, buf)
+		buf = nbuf
+		if err != nil || status != wire.StatusOK {
+			t.Fatalf("round %d: probe after burst: status %d err %v", round, status, err)
+		}
+	}
+}
+
 // TestMidFrameResetCleansUp opens connections that die at every
 // interesting moment — after the length prefix, mid-header, mid-body,
 // between frames — with snapshot sessions open, and asserts the server

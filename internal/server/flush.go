@@ -113,14 +113,19 @@ func (b *outBuf) release() {
 
 // flush writes c's pending output until the socket would block or the
 // backlog drains. On EAGAIN it arms write interest and returns; once the
-// backlog is gone it disarms write interest and, if backpressure had
-// paused reading, resumes it — re-running the frame processor first,
-// because frames already buffered in c.in will get no new readiness
-// event.
+// backlog is gone it disarms write interest. For a connection paused by
+// backpressure the write loop stops early, at the low-water mark: reading
+// resumes there — re-running the frame processor first, because frames
+// already buffered in c.in will get no new readiness event — and the
+// loop comes back around to flush whatever remains plus whatever the
+// resumed processing produced.
 func (l *loop[K, V]) flush(c *elConn[K, V]) {
 	for {
 		c.out.seal()
 		for c.out.bytes > 0 {
+			if c.paused && c.out.bytes < outLowWater {
+				break // resume reading below; the leftover flushes next pass
+			}
 			l.iov = c.out.pending(l.iov[:0])
 			n, err := l.p.Writev(c.fd, l.iov)
 			if err == netpoll.ErrAgain {
@@ -133,15 +138,15 @@ func (l *loop[K, V]) flush(c *elConn[K, V]) {
 			}
 			c.out.consume(n)
 		}
-		l.setInterest(c, !c.paused, false)
-		if !c.paused || c.out.bytes > outLowWater {
+		if !c.paused {
+			l.setInterest(c, true, false)
 			return
 		}
 		// Drained below the low-water mark: resume reading and execute
 		// any requests that were already buffered while paused. That can
 		// refill the output, so loop back around to flush again.
 		c.paused = false
-		l.setInterest(c, true, false)
+		l.setInterest(c, true, c.out.bytes > 0)
 		if !l.processFrames(c) {
 			return // torn down
 		}

@@ -87,6 +87,7 @@ type loop[K cmp.Ordered, V any] struct {
 	evs    []netpoll.Event
 	dirtyq []*elConn[K, V]
 	iov    [][]byte
+	dead   []*os.File // fds of conns torn down this wake; closed at wake end
 }
 
 func newLoop[K cmp.Ordered, V any](s *Server[K, V]) (*loop[K, V], error) {
@@ -160,17 +161,33 @@ func (l *loop[K, V]) run() {
 			if ev.Writable {
 				l.flush(c)
 			}
-			if ev.Readable && !c.closed && !c.paused {
-				l.readable(c)
+			if ev.Readable && !c.closed {
+				if !c.paused {
+					l.readable(c)
+				} else if ev.Hup {
+					// Reads are paused, so the hangup will never surface
+					// as a read result; level-triggered polling would
+					// re-report it every wake (a busy spin) if ignored.
+					// Tear down here instead — this is why evbits always
+					// registers EPOLLRDHUP.
+					l.teardown(c)
+				}
 			}
 		}
-		for _, c := range l.dirtyq {
+		// By index, re-reading len each step: flush can unpause a
+		// connection and run processFrames, which appends to dirtyq
+		// mid-pass — a range over the initial slice header would drop
+		// those entries with dirty still set, wedging the connection.
+		for i := 0; i < len(l.dirtyq); i++ {
+			c := l.dirtyq[i]
 			c.dirty = false
 			if !c.closed {
 				l.flush(c)
 			}
 		}
+		clear(l.dirtyq)
 		l.dirtyq = l.dirtyq[:0]
+		l.closeDead()
 	}
 }
 
@@ -187,6 +204,7 @@ func (l *loop[K, V]) shutdown() {
 	for _, c := range conns {
 		l.teardown(c)
 	}
+	l.closeDead()
 	l.p.Close()
 }
 
@@ -217,10 +235,23 @@ func (l *loop[K, V]) teardown(c *elConn[K, V]) {
 	delete(l.conns, c.fd)
 	l.mu.Unlock()
 	l.p.Del(c.fd)
-	c.file.Close()
+	// Deregister now, close later (closeDead): while the fd stays open the
+	// kernel cannot hand its number to a new connection, so events still
+	// sitting in this wake's batch can never be misdelivered to an
+	// acceptor-registered successor with a reused fd.
+	l.dead = append(l.dead, c.file)
 	c.out.release()
 	c.in = nil
 	l.srv.forget(c)
+}
+
+// closeDead closes the fds of connections torn down during this wake.
+func (l *loop[K, V]) closeDead() {
+	for i, f := range l.dead {
+		f.Close()
+		l.dead[i] = nil
+	}
+	l.dead = l.dead[:0]
 }
 
 // markDirty queues c for the end-of-wake flush pass.
