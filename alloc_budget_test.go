@@ -12,6 +12,7 @@
 //	snapshot iter   —          ~0             1
 //	map iter        —          ~2             4
 //	sharded iter    —          ~0             2
+//	metric sample   —          0              0
 //
 // (The iterator baselines predate the type: a bounded scan through the
 // materializing Range path cost one closure capture but could not stop
@@ -25,6 +26,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workload"
 	"repro/jiffy"
 )
@@ -169,4 +171,34 @@ func TestAllocBudgetIterators(t *testing.T) {
 		t.Fatalf("sharded iterator allocs/op = %.2f, budget %.2f (pooling regressed?)", got, shardedIterAllocBudget)
 	}
 	t.Logf("sharded iterator allocs/op = %.2f (budget %.2f)", got, shardedIterAllocBudget)
+}
+
+// TestAllocBudgetObs pins the metric hot paths at zero allocations per
+// sample: the striped cells are allocated once at registration, so a
+// counter increment, gauge move, or histogram observation must never touch
+// the heap. The serving loop samples these on every request — any per-sample
+// allocation here shows up directly in the BENCH_0007 overhead comparison.
+func TestAllocBudgetObs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	r := obs.NewRegistry()
+	ctr := r.Counter("obs_test_ops_total", "test counter")
+	ud := r.UpDown("obs_test_inflight", "test up/down gauge")
+	hist := r.Histogram("obs_test_seconds", "test histogram", obs.LatencyBuckets)
+
+	if got := measure(1000, func() { ctr.Inc() }); got > 0 {
+		t.Fatalf("Counter.Inc allocs/op = %.2f, budget 0", got)
+	}
+	if got := measure(1000, func() { ctr.Add(3) }); got > 0 {
+		t.Fatalf("Counter.Add allocs/op = %.2f, budget 0", got)
+	}
+	if got := measure(1000, func() { ud.Add(1); ud.Add(-1) }); got > 0 {
+		t.Fatalf("UpDown.Add allocs/op = %.2f, budget 0", got)
+	}
+	v := 1e-6
+	if got := measure(1000, func() { hist.Observe(v); v *= 1.001 }); got > 0 {
+		t.Fatalf("Histogram.Observe allocs/op = %.2f, budget 0", got)
+	}
+	t.Logf("metric samples allocate 0 bytes/op (counter, up/down, histogram)")
 }

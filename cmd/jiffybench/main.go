@@ -14,6 +14,7 @@
 //	                                                 # sharded vs single-shard
 //	jiffybench -net -json BENCH_0005.json            # serving layer over loopback
 //	jiffybench -net -conns 1,8 -netthreads 16        # smaller sweep
+//	jiffybench -soak 30s -json BENCH_soak.json       # leak-asserting soak run
 //
 // The defaults are sized for a laptop-class machine; use -keyspace,
 // -prefill and -duration to approach the paper's 20M-key / 10M-entry
@@ -50,6 +51,9 @@ func main() {
 		conns    = flag.String("conns", "1,2,4,8,16,32,64,128,256", "with -net: comma-separated client connection counts to sweep")
 		netAddr  = flag.String("netaddr", "", "with -net: measure against this running jiffyd-protocol server instead of an in-process loopback one")
 		netThr   = flag.Int("netthreads", 64, "with -net: workload goroutines driving the client")
+		soakDur  = flag.Duration("soak", 0, "run the leak-asserting soak for this long (0: off); asserts steady goroutines/fds/heap and epoch progress from periodic /metrics self-scrapes")
+		soakConn = flag.Int("soakconns", 8, "with -soak: client connections")
+		soakThr  = flag.Int("soakthreads", 16, "with -soak: workload goroutines")
 		shards   = flag.Int("shards", 0, "shard count for the jiffy-sharded index (default: GOMAXPROCS, min 2)")
 		jsonOut  = flag.String("json", "", "also write results to this file as JSON (e.g. BENCH_fig5.json), for perf-trajectory tracking")
 	)
@@ -77,6 +81,23 @@ func main() {
 			}
 			fmt.Printf("# wrote micro results to %s\n", *jsonOut)
 		}
+		return
+	}
+
+	if *soakDur > 0 {
+		res := runSoak(*soakDur, *soakConn, *soakThr, *seed)
+		if *jsonOut != "" {
+			if err := writeSoakJSON(*jsonOut, res); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("# wrote soak results to %s\n", *jsonOut)
+		}
+		if !res.Pass {
+			fmt.Fprintln(os.Stderr, "soak: FAILED")
+			os.Exit(1)
+		}
+		fmt.Printf("# soak: all checks passed (%.0f requests)\n", res.Requests)
 		return
 	}
 

@@ -7,26 +7,43 @@
 //	jiffyd                                # in-memory, GOMAXPROCS shards, :7420
 //	jiffyd -durable -dir /var/lib/jiffyd  # durable store (survives restarts)
 //	jiffyd -addr 127.0.0.1:0 -shards 8    # ephemeral port, fixed shards
+//	jiffyd -metrics-addr 127.0.0.1:7421   # Prometheus /metrics + pprof
 //
 // The server exposes the full protocol of internal/wire: point ops, atomic
 // cross-shard batches, snapshot sessions (TTL-reaped when idle, see
-// -snap-ttl) and cursored scans. SIGINT/SIGTERM trigger a graceful
-// shutdown: the listener closes, every connection is severed, all server
-// goroutines join, and — with -durable — the store's logs are synced and
-// closed before the process exits.
+// -snap-ttl) and cursored scans.
+//
+// With -metrics-addr an HTTP sidecar listener serves GET /metrics (the
+// Prometheus text exposition: request rates and latencies by opcode,
+// connection and backpressure state, WAL and checkpoint activity, the
+// store's structural Stats, and Go runtime health), GET /healthz, and the
+// standard net/http/pprof endpoints under /debug/pprof/. The serving hot
+// path is instrumented whether or not the endpoint is enabled — the flag
+// only adds the listener — so the published benchmark numbers are the
+// instrumented ones. See DESIGN.md §10.
+//
+// Logs are structured (log/slog), text by default, JSON with -log-json.
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, every
+// connection is severed, all server goroutines join, and — with -durable —
+// the store's logs are synced and closed before the process exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/server"
 	"repro/jiffy"
 	"repro/jiffy/durable"
@@ -44,8 +61,26 @@ func main() {
 		checkpt = flag.Duration("checkpoint-every", 0, "with -durable: checkpoint and truncate logs on this interval (0: never)")
 		mode    = flag.String("serve-mode", "auto", "serving core: auto, eventloop, goroutine (auto also honors JIFFY_SERVE_MODE)")
 		loops   = flag.Int("loops", 0, "event loop count with -serve-mode eventloop (0: GOMAXPROCS, capped at 8)")
+		metrics = flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz and /debug/pprof (empty: no HTTP listener)")
+		logJSON = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	var h slog.Handler
+	if *logJSON {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(h)
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
 
 	codec := durable.Codec[string, []byte]{Key: durable.StringEnc(), Value: durable.BytesEnc()}
 	var store server.Store[string, []byte]
@@ -53,30 +88,68 @@ func main() {
 	if *durFlag {
 		var err error
 		dstore, err = durable.OpenSharded(*dir, *shards, codec,
-			durable.Options[string]{NoSync: *noSync})
+			durable.Options[string]{NoSync: *noSync, Metrics: persist.NewMetrics(reg)})
 		if err != nil {
-			log.Fatalf("jiffyd: open durable store: %v", err)
+			fatal("open durable store failed", "dir", *dir, "err", err)
 		}
 		store = server.NewDurableStore(dstore)
-		log.Printf("jiffyd: durable store in %s (%d shards, %d entries recovered)",
-			*dir, *shards, dstore.Len())
+		server.RegisterStoreStats(reg, dstore.Stats)
+		server.RegisterDurableStats(reg, dstore.DurStats)
+		logger.Info("durable store open", "dir", *dir, "shards", *shards,
+			"entries_recovered", dstore.Len(), "nosync", *noSync)
 	} else {
-		store = server.NewMemStore(jiffy.NewSharded[string, []byte](*shards))
-		log.Printf("jiffyd: in-memory store (%d shards)", *shards)
+		mem := jiffy.NewSharded[string, []byte](*shards)
+		store = server.NewMemStore(mem)
+		server.RegisterStoreStats(reg, mem.Stats)
+		logger.Info("in-memory store ready", "shards", *shards)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("jiffyd: listen %s: %v", *addr, err)
+		fatal("listen failed", "addr", *addr, "err", err)
 	}
 	srv := server.Serve(ln, store, codec, server.Options{
 		SnapTTL:     *snapTTL,
 		MaxScanPage: *maxPage,
 		Mode:        server.ParseMode(*mode),
 		Loops:       *loops,
-		Logf:        log.Printf,
+		Registry:    reg,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
 	})
-	log.Printf("jiffyd: serving on %s (core %v, snap-ttl %v)", srv.Addr(), srv.Mode(), *snapTTL)
+	logger.Info("serving", "addr", srv.Addr().String(), "core", srv.Mode().String(),
+		"snap_ttl", snapTTL.String())
+
+	var msrv *http.Server
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fatal("metrics listen failed", "addr", *metrics, "err", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		})
+		// net/http/pprof registers on DefaultServeMux as an import side
+		// effect; route the private mux's pprof paths to the same handlers
+		// so nothing else accidentally exposed on the default mux is served.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		msrv = &http.Server{Handler: mux}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				logger.Error("metrics server failed", "err", err)
+			}
+		}()
+		logger.Info("observability endpoint up", "addr", mln.Addr().String(),
+			"paths", "/metrics /healthz /debug/pprof/")
+	}
 
 	stopCkpt := make(chan struct{})
 	ckptDone := make(chan struct{})
@@ -90,10 +163,12 @@ func main() {
 				case <-stopCkpt:
 					return
 				case <-t.C:
+					start := time.Now()
 					if ver, err := dstore.Checkpoint(); err != nil {
-						log.Printf("jiffyd: checkpoint: %v", err)
+						logger.Error("checkpoint failed", "err", err)
 					} else {
-						log.Printf("jiffyd: checkpoint at version %d", ver)
+						logger.Info("checkpoint written", "version", ver,
+							"took", time.Since(start).String())
 					}
 				}
 			}
@@ -105,19 +180,24 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	s := <-sig
-	log.Printf("jiffyd: %v — shutting down", s)
+	logger.Info("shutting down", "signal", s.String())
 	close(stopCkpt)
 	<-ckptDone
+	if msrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		msrv.Shutdown(ctx)
+		cancel()
+	}
 	if err := srv.Close(); err != nil {
-		log.Printf("jiffyd: listener close: %v", err)
+		logger.Warn("listener close", "err", err)
 	}
 	if dstore != nil {
 		if err := dstore.Close(); err != nil {
-			log.Printf("jiffyd: store close: %v", err)
-			os.Exit(1)
+			fatal("store close failed", "err", err)
 		}
 	}
 	// All server goroutines have joined (srv.Close waits); report the
-	// residual count so smoke tests can assert nothing leaked.
-	fmt.Printf("jiffyd: clean shutdown (goroutines=%d)\n", runtime.NumGoroutine())
+	// residual count so smoke tests can assert nothing leaked. Smoke tests
+	// grep for the "clean shutdown" substring.
+	logger.Info("clean shutdown", "goroutines", runtime.NumGoroutine())
 }

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the exact exposition bytes for one of every
+// metric kind: family grouping under one HELP/TYPE pair, label handling,
+// histogram bucket/sum/count rendering, float formatting. A format drift
+// that would break a Prometheus scraper fails here first.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(`t_requests_total{op="get"}`, "Requests by op.")
+	b := r.Counter(`t_requests_total{op="put"}`, "ignored: family help comes from first registration")
+	c := r.UpDown("t_inflight", "Inflight requests.")
+	g := r.Gauge("t_ratio", "A sampled ratio.")
+	r.Func("t_func", "A computed value.", func() float64 { return 42 })
+	h := r.Histogram(`t_seconds{op="get"}`, "Latency.", []float64{0.001, 0.25, 4})
+
+	a.Add(3)
+	b.Inc()
+	c.Add(5)
+	c.Add(-2)
+	g.Set(0.5)
+	// Powers of two: the stripe-summation order varies run to run, and
+	// only exactly-representable values sum identically in every order.
+	h.Observe(0.0009765625) // first bucket
+	h.Observe(0.125)        // second
+	h.Observe(0.125)        // second
+	h.Observe(128)          // +Inf
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP t_requests_total Requests by op.
+# TYPE t_requests_total counter
+t_requests_total{op="get"} 3
+t_requests_total{op="put"} 1
+# HELP t_inflight Inflight requests.
+# TYPE t_inflight gauge
+t_inflight 3
+# HELP t_ratio A sampled ratio.
+# TYPE t_ratio gauge
+t_ratio 0.5
+# HELP t_func A computed value.
+# TYPE t_func gauge
+t_func 42
+# HELP t_seconds Latency.
+# TYPE t_seconds histogram
+t_seconds_bucket{op="get",le="0.001"} 1
+t_seconds_bucket{op="get",le="0.25"} 3
+t_seconds_bucket{op="get",le="4"} 3
+t_seconds_bucket{op="get",le="+Inf"} 4
+t_seconds_sum{op="get"} 128.2509765625
+t_seconds_count{op="get"} 4
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestConcurrentWritersExactTotals hammers every striped metric kind from
+// GOMAXPROCS writers while a scraper renders concurrently, then asserts
+// the totals are exact once the writers join: striping must never lose an
+// increment, and rendering must never disturb the cells. Run under -race
+// this is also the memory-model check for the whole package.
+func TestConcurrentWritersExactTotals(t *testing.T) {
+	r := NewRegistry()
+	cnt := r.Counter("c_total", "c")
+	ud := r.UpDown("u", "u")
+	h := r.Histogram("h", "h", []float64{1, 10, 100})
+
+	writers := runtime.GOMAXPROCS(0) * 2
+	const perWriter = 20000
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() { // concurrent scraper
+		defer scrapes.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				cnt.Inc()
+				ud.Add(1)
+				if i%2 == 1 {
+					ud.Add(-1)
+				}
+				h.Observe(float64(seed%200) + 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+
+	total := uint64(writers * perWriter)
+	if got := cnt.Value(); got != total {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	if got := ud.Value(); got != int64(writers)*perWriter/2 {
+		t.Fatalf("updown = %d, want %d", got, int64(writers)*perWriter/2)
+	}
+	buckets, count, sum := h.snapshot()
+	if count != total {
+		t.Fatalf("histogram count = %d, want %d", count, total)
+	}
+	var bsum uint64
+	for _, b := range buckets {
+		bsum += b
+	}
+	if bsum != count {
+		t.Fatalf("bucket sum %d != count %d", bsum, count)
+	}
+	// Each writer observed a fixed value perWriter times; recompute.
+	var wantSum float64
+	for w := 0; w < writers; w++ {
+		wantSum += (float64(w%200) + 0.5) * perWriter
+	}
+	if math.Abs(sum-wantSum) > wantSum*1e-9 {
+		t.Fatalf("histogram sum = %g, want %g", sum, wantSum)
+	}
+}
+
+// TestNilReceiversAreNoOps asserts every metric method tolerates a nil
+// receiver: unwired optional metrics (persist.Metrics) call through
+// unconditionally.
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	var u *UpDown
+	var g *Gauge
+	var h *Histogram
+	c.Add(1)
+	c.Inc()
+	u.Add(-1)
+	g.Set(3)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || u.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+}
+
+// TestHandlerServesExposition drives the HTTP surface end to end and
+// checks the scrape hook runs per request.
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	hooked := 0
+	g := r.Gauge("hooked", "set by hook")
+	r.OnScrape(func() { hooked++; g.Set(float64(hooked)) })
+	r.Counter("reqs_total", "x").Add(7)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	for i := 1; i <= 2; i++ {
+		resp, err := srv.Client().Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+			t.Fatalf("content type %q lacks exposition version", ct)
+		}
+		s := string(body[:n])
+		if !strings.Contains(s, "reqs_total 7") {
+			t.Fatalf("scrape %d missing counter:\n%s", i, s)
+		}
+		if !strings.Contains(s, "hooked "+string(rune('0'+i))) {
+			t.Fatalf("scrape %d: hook did not run (hooked=%d):\n%s", i, hooked, s)
+		}
+	}
+}
+
+// TestDuplicateRegistrationPanics pins the wiring-bug guard.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "x")
+}
+
+// TestTypeMismatchPanics: one family, two metric types.
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`mixed{op="a"}`, "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type mismatch did not panic")
+		}
+	}()
+	r.Gauge(`mixed{op="b"}`, "x")
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	if len(LatencyBuckets) == 0 || LatencyBuckets[0] != 1e-6 {
+		t.Fatal("LatencyBuckets must start at 1µs")
+	}
+}
+
+// The sample-path benchmarks put a number on the "instrumentation is
+// effectively free" claim: a request in the serving loop costs ~10µs, a
+// metric sample must cost nanoseconds. Run with -cpu 1,8 to see the
+// striping absorb parallel writers.
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_ops_total", "bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() == 0 {
+		b.Fatal("counter did not move")
+	}
+}
+
+func BenchmarkUpDownAdd(b *testing.B) {
+	r := NewRegistry()
+	g := r.UpDown("bench_inflight", "bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			g.Add(1)
+			g.Add(-1)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "bench", LatencyBuckets)
+	b.RunParallel(func(pb *testing.PB) {
+		v := 1e-6
+		for pb.Next() {
+			h.Observe(v)
+			v *= 1.0001
+			if v > 4 {
+				v = 1e-6
+			}
+		}
+	})
+	if h.Count() == 0 {
+		b.Fatal("histogram did not move")
+	}
+}

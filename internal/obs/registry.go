@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// series is the registration identity every metric embeds: the family
+// (base) name, and the label pairs (without braces) distinguishing this
+// series within it.
+type series struct {
+	name   string // family name, e.g. "jiffyd_requests_total"
+	labels string // label pairs, e.g. `op="get"`; empty for unlabeled
+}
+
+// renderable is one registered series as the exposition writer sees it.
+type renderable interface {
+	id() series
+	render(b []byte) []byte // append exposition line(s), \n-terminated
+}
+
+func (s series) id() series { return s }
+
+// family groups every series sharing a base name under one # HELP/# TYPE
+// pair, as the exposition format requires.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge", "histogram"
+	metrics []renderable
+}
+
+// Registry holds metrics and renders them. Registration is
+// mutex-guarded and expected at setup time; the metrics themselves are
+// lock-free and safe to write from any goroutine. A scrape (Write) locks
+// only the registry structure, never the metric hot paths.
+type Registry struct {
+	mu    sync.Mutex
+	fams  []*family
+	byKey map[string]bool // "name{labels}" dedup
+	hooks []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: map[string]bool{}}
+}
+
+// OnScrape registers fn to run at the start of every scrape, before any
+// metric is rendered. Hooks are how scraped-on-demand diagnostics (the
+// store's O(n) Stats walk, runtime.ReadMemStats) land in plain gauges
+// without paying their cost anywhere but the scrape.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// splitName separates "name{labels}" into its family name and label
+// pairs. Metrics are registered with the labels inline — the set of
+// series is fixed at wiring time, so there is no runtime label lookup.
+func splitName(full string) (name, labels string) {
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		if !strings.HasSuffix(full, "}") {
+			panic("obs: malformed metric name " + full)
+		}
+		return full[:i], full[i+1 : len(full)-1]
+	}
+	return full, ""
+}
+
+// register files m under its family, creating the family on first sight
+// of the base name. Duplicate series and families re-registered with a
+// different type are wiring bugs and panic.
+func (r *Registry) register(full, help, typ string, m renderable) {
+	name, _ := splitName(full)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byKey[full] {
+		panic("obs: duplicate metric " + full)
+	}
+	r.byKey[full] = true
+	for _, f := range r.fams {
+		if f.name == name {
+			if f.typ != typ {
+				panic("obs: metric " + full + " re-registered as " + typ + ", family is " + f.typ)
+			}
+			f.metrics = append(f.metrics, m)
+			return
+		}
+	}
+	r.fams = append(r.fams, &family{name: name, help: help, typ: typ, metrics: []renderable{m}})
+}
+
+// Counter registers and returns a counter. The name may carry inline
+// labels: Counter(`x_total{op="get"}`, ...).
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{cells: make([]cell64, numStripes)}
+	c.name, c.labels = splitName(name)
+	r.register(name, help, "counter", c)
+	return c
+}
+
+// UpDown registers and returns a delta-moved gauge.
+func (r *Registry) UpDown(name, help string) *UpDown {
+	g := &UpDown{cells: make([]icell64, numStripes)}
+	g.name, g.labels = splitName(name)
+	r.register(name, help, "gauge", g)
+	return g
+}
+
+// Gauge registers and returns a set-style gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	g.name, g.labels = splitName(name)
+	r.register(name, help, "gauge", g)
+	return g
+}
+
+// funcGauge renders a callback's value at scrape time.
+type funcGauge struct {
+	series
+	fn func() float64
+}
+
+// Func registers a gauge computed by fn at every scrape.
+func (r *Registry) Func(name, help string, fn func() float64) {
+	g := &funcGauge{fn: fn}
+	g.name, g.labels = splitName(name)
+	r.register(name, help, "gauge", g)
+}
+
+// Histogram registers and returns a histogram with the given cumulative
+// upper bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds not ascending: " + name)
+		}
+	}
+	h := &Histogram{bounds: bounds, stripes: make([]histStripe, numStripes)}
+	for i := range h.stripes {
+		h.stripes[i].counts = make([]atomic.Uint64, len(bounds)+1)
+	}
+	h.name, h.labels = splitName(name)
+	r.register(name, help, "histogram", h)
+	return h
+}
+
+// WritePrometheus runs the scrape hooks, then renders every family in
+// registration order in the Prometheus text format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	fams := append([]*family{}, r.fams...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, f := range fams {
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.typ...)
+		buf = append(buf, '\n')
+		for _, m := range f.metrics {
+			buf = m.render(buf)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the exposition (a GET /metrics
+// endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// appendSeries appends "name{labels} " (or "name " when unlabeled).
+func appendSeries(b []byte, name, labels string) []byte {
+	b = append(b, name...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	return append(b, ' ')
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	case math.IsNaN(v):
+		return append(b, "NaN"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func (c *Counter) render(b []byte) []byte {
+	b = appendSeries(b, c.name, c.labels)
+	b = strconv.AppendUint(b, c.Value(), 10)
+	return append(b, '\n')
+}
+
+func (g *UpDown) render(b []byte) []byte {
+	b = appendSeries(b, g.name, g.labels)
+	b = strconv.AppendInt(b, g.Value(), 10)
+	return append(b, '\n')
+}
+
+func (g *Gauge) render(b []byte) []byte {
+	b = appendSeries(b, g.name, g.labels)
+	b = appendFloat(b, g.Value())
+	return append(b, '\n')
+}
+
+func (g *funcGauge) render(b []byte) []byte {
+	b = appendSeries(b, g.name, g.labels)
+	b = appendFloat(b, g.fn())
+	return append(b, '\n')
+}
+
+// render writes the conventional histogram triplet: cumulative
+// _bucket{le="..."} series ending at le="+Inf", then _sum and _count.
+func (h *Histogram) render(b []byte) []byte {
+	buckets, count, sum := h.snapshot()
+	var cum uint64
+	for i := range buckets {
+		cum += buckets[i]
+		b = append(b, h.name...)
+		b = append(b, "_bucket{"...)
+		if h.labels != "" {
+			b = append(b, h.labels...)
+			b = append(b, ',')
+		}
+		b = append(b, `le="`...)
+		if i < len(h.bounds) {
+			b = appendFloat(b, h.bounds[i])
+		} else {
+			b = append(b, "+Inf"...)
+		}
+		b = append(b, `"} `...)
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	b = appendSeries(b, h.name+"_sum", h.labels)
+	b = appendFloat(b, sum)
+	b = append(b, '\n')
+	b = appendSeries(b, h.name+"_count", h.labels)
+	b = strconv.AppendUint(b, count, 10)
+	return append(b, '\n')
+}
+
+// RegisterRuntime registers process-level diagnostics: goroutine count,
+// heap numbers (one ReadMemStats per scrape, via a hook), GC cycles, open
+// file descriptors (Linux: a /proc/self/fd count; -1 elsewhere) and
+// uptime. The soak harness asserts steady state on exactly these.
+func RegisterRuntime(r *Registry) {
+	start := time.Now()
+	r.Func("go_goroutines", "Number of goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.Func("go_gomaxprocs", "GOMAXPROCS.", func() float64 {
+		return float64(runtime.GOMAXPROCS(0))
+	})
+	heapAlloc := r.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapObjects := r.Gauge("go_heap_objects", "Number of allocated heap objects.")
+	heapSys := r.Gauge("go_heap_sys_bytes", "Bytes of heap obtained from the OS.")
+	gcCycles := r.Gauge("go_gc_cycles_total", "Completed GC cycles.")
+	r.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		heapSys.Set(float64(ms.HeapSys))
+		gcCycles.Set(float64(ms.NumGC))
+	})
+	r.Func("process_open_fds", "Open file descriptors (-1 where unsupported).", func() float64 {
+		return float64(CountOpenFDs())
+	})
+	r.Func("process_uptime_seconds", "Seconds since the process registered its metrics.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+}
+
+// CountOpenFDs counts the process's open file descriptors via
+// /proc/self/fd, returning -1 where that interface does not exist.
+func CountOpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}

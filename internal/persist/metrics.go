@@ -1,0 +1,64 @@
+package persist
+
+import "repro/internal/obs"
+
+// Metrics is the durability layer's instrument panel. Every field is an
+// optional striped metric from internal/obs; a nil *Metrics (or any nil
+// field) makes the corresponding observation a no-op, so the logging hot
+// path carries its instrumentation unconditionally and an unwired WAL
+// pays one predicted branch per event.
+//
+// One Metrics struct may be shared by several WALs (durable.Sharded wires
+// all shard logs to one panel): the striped cells absorb the concurrency,
+// and the aggregated numbers are what an operator wants anyway.
+type Metrics struct {
+	Appends           *obs.Counter   // records appended (acknowledged)
+	Flushes           *obs.Counter   // group-commit flushes (one write + one fsync)
+	FlushRecords      *obs.Histogram // records coalesced per flush (group-commit width)
+	BytesWritten      *obs.Counter   // encoded record bytes written to segments
+	FsyncSeconds      *obs.Histogram // fsync latency (data-path syncs; absent under NoSync)
+	Rotations         *obs.Counter   // segments sealed by rotation
+	SegmentsDeleted   *obs.Counter   // sealed segments deleted by truncation
+	CheckpointSeconds *obs.Histogram // whole-checkpoint duration (observed by jiffy/durable)
+}
+
+// NewMetrics registers the durability panel's series on r under the
+// jiffy_wal_* / jiffy_checkpoint_* names and returns it.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Appends: r.Counter("jiffy_wal_appends_total",
+			"WAL records appended and acknowledged."),
+		Flushes: r.Counter("jiffy_wal_flushes_total",
+			"WAL group-commit flushes (one file write, at most one fsync)."),
+		FlushRecords: r.Histogram("jiffy_wal_flush_records",
+			"Records coalesced per group-commit flush.", obs.CountBuckets),
+		BytesWritten: r.Counter("jiffy_wal_bytes_written_total",
+			"Encoded record bytes written to WAL segments."),
+		FsyncSeconds: r.Histogram("jiffy_wal_fsync_seconds",
+			"WAL data fsync latency.", obs.LatencyBuckets),
+		Rotations: r.Counter("jiffy_wal_rotations_total",
+			"WAL segments sealed by rotation."),
+		SegmentsDeleted: r.Counter("jiffy_wal_segments_deleted_total",
+			"Sealed WAL segments deleted by checkpoint truncation."),
+		CheckpointSeconds: r.Histogram("jiffy_checkpoint_seconds",
+			"Checkpoint duration, snapshot through truncation.", obs.LatencyBuckets),
+	}
+}
+
+// WALStats is a point-in-time size census of one log: segment count
+// (sealed plus the active one) and the bytes they hold on disk.
+type WALStats struct {
+	Segments int
+	Bytes    int64
+}
+
+// Stats reports the log's current segment count and byte footprint.
+func (w *WAL) Stats() WALStats {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	st := WALStats{Segments: len(w.sealed) + 1, Bytes: w.size}
+	for _, s := range w.sealed {
+		st.Bytes += s.size
+	}
+	return st
+}

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // WAL file format. A segment is
@@ -66,6 +67,10 @@ type WALOptions struct {
 	// is exercised; benchmarks use it to separate encoding cost from
 	// media cost.
 	NoSync bool
+
+	// Metrics, when non-nil, receives the log's instrumentation (see
+	// Metrics). Nil leaves every observation a no-op.
+	Metrics *Metrics
 }
 
 func (o WALOptions) withDefaults() WALOptions {
@@ -81,6 +86,7 @@ func (o WALOptions) withDefaults() WALOptions {
 type WAL struct {
 	dir  string
 	opts WALOptions
+	met  *Metrics // never nil; fields may be (nil-safe no-ops)
 
 	// qmu guards the queue of appends awaiting a leader. qspare is the
 	// previous leader's drained queue slice, recycled so steady-state
@@ -105,6 +111,7 @@ type sealedSegment struct {
 	seq    uint64
 	path   string
 	maxVer int64 // max record version in the segment (0: no records)
+	size   int64 // bytes on disk, including the magic header
 }
 
 type appendReq struct {
@@ -139,19 +146,22 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, []Record, error) {
 	}
 	sort.Strings(names) // fixed-width decimal seq: lexical order is numeric order
 
-	w := &WAL{dir: dir, opts: opts}
+	w := &WAL{dir: dir, opts: opts, met: opts.Metrics}
+	if w.met == nil {
+		w.met = &Metrics{}
+	}
 	var all []Record
 	for _, path := range names {
 		var seq uint64
 		if _, err := fmt.Sscanf(filepath.Base(path), "wal-%d.log", &seq); err != nil {
 			continue // foreign file; leave it alone
 		}
-		recs, maxVer, err := readSegment(path)
+		recs, maxVer, size, err := readSegment(path)
 		if err != nil {
 			return nil, nil, err
 		}
 		all = append(all, recs...)
-		w.sealed = append(w.sealed, sealedSegment{seq: seq, path: path, maxVer: maxVer})
+		w.sealed = append(w.sealed, sealedSegment{seq: seq, path: path, maxVer: maxVer, size: size})
 		if seq > w.seq {
 			w.seq = seq
 		}
@@ -164,13 +174,14 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, []Record, error) {
 
 // readSegment parses one segment file, stopping at the first invalid
 // record (torn tail). A missing or short magic yields no records.
-func readSegment(path string) (recs []Record, maxVer int64, err error) {
+func readSegment(path string) (recs []Record, maxVer, size int64, err error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
+	size = int64(len(buf))
 	if len(buf) < len(walMagic) || string(buf[:len(walMagic)]) != walMagic {
-		return nil, 0, nil
+		return nil, 0, size, nil
 	}
 	rest := buf[len(walMagic):]
 	for len(rest) >= 8 {
@@ -190,7 +201,7 @@ func readSegment(path string) (recs []Record, maxVer int64, err error) {
 		}
 		rest = rest[8+int(n):]
 	}
-	return recs, maxVer, nil
+	return recs, maxVer, size, nil
 }
 
 // openSegment creates and becomes the active segment seq. Caller holds fmu
@@ -234,7 +245,9 @@ func (w *WAL) rotate() error {
 		seq:    w.seq,
 		path:   filepath.Join(w.dir, segmentName(w.seq)),
 		maxVer: w.curMax,
+		size:   w.size,
 	})
+	w.met.Rotations.Inc()
 	return w.openSegment(w.seq + 1)
 }
 
@@ -330,12 +343,18 @@ func (w *WAL) writeBatch(batch []*appendReq) error {
 		return err
 	}
 	if !w.opts.NoSync {
+		start := time.Now()
 		if err := w.f.Sync(); err != nil {
 			return err
 		}
+		w.met.FsyncSeconds.ObserveSince(start)
 	}
 	w.size += int64(len(buf))
 	w.curMax = maxVer
+	w.met.Flushes.Inc()
+	w.met.FlushRecords.Observe(float64(len(batch)))
+	w.met.Appends.Add(uint64(len(batch)))
+	w.met.BytesWritten.Add(uint64(len(buf)))
 	return nil
 }
 
@@ -365,6 +384,7 @@ func (w *WAL) TruncateBelow(version int64) error {
 		if s.maxVer <= version {
 			err := os.Remove(s.path)
 			if err == nil || os.IsNotExist(err) {
+				w.met.SegmentsDeleted.Inc()
 				continue
 			}
 			if firstErr == nil {

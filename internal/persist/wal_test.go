@@ -145,7 +145,7 @@ func TestWALTornTailTolerated(t *testing.T) {
 		if err := os.Truncate(seg, info.Size()-chop); err != nil {
 			t.Fatal(err)
 		}
-		recs, _, err := readSegment(seg)
+		recs, _, _, err := readSegment(seg)
 		if err != nil {
 			t.Fatalf("readSegment after %d-byte tear: %v", chop, err)
 		}
@@ -163,7 +163,7 @@ func TestWALTornTailTolerated(t *testing.T) {
 	}
 	f.Write([]byte{0xff, 0xff, 0xff, 0x7f, 1, 2, 3})
 	f.Close()
-	recs, _, err := readSegment(seg)
+	recs, _, _, err := readSegment(seg)
 	if err != nil {
 		t.Fatalf("readSegment with garbage tail: %v", err)
 	}

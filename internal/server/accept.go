@@ -106,7 +106,12 @@ func (s *Server[K, V]) adoptConn(nc net.Conn, seq int) bool {
 	}
 	s.conns[c] = struct{}{}
 	s.mu.Unlock()
+	// Count before register: once registered the loop owns c and may tear
+	// it down (decrementing) at any moment.
+	s.metrics.connsTotal.Inc()
+	s.metrics.conns.Add(1)
 	if err := l.register(c); err != nil {
+		s.metrics.conns.Add(-1)
 		s.forget(c)
 		f.Close()
 	}

@@ -50,7 +50,7 @@ type conn[K cmp.Ordered, V any] struct {
 func (c *conn[K, V]) sever() { c.c.Close() }
 
 // reapSessions forwards to the shared session table.
-func (c *conn[K, V]) reapSessions(deadline int64) { c.st.reapSessions(deadline) }
+func (c *conn[K, V]) reapSessions(deadline int64) int { return c.st.reapSessions(deadline) }
 
 // spawnConn registers nc as a goroutine-core connection and starts its
 // reader and writer. Used by ModeGoroutine for every connection, and by
@@ -71,6 +71,8 @@ func (s *Server[K, V]) spawnConn(nc net.Conn) bool {
 	s.conns[c] = struct{}{}
 	s.wg.Add(2)
 	s.mu.Unlock()
+	s.metrics.connsTotal.Inc()
+	s.metrics.conns.Add(1)
 	go c.readLoop()
 	go c.writeLoop()
 	return true
@@ -81,13 +83,15 @@ func (s *Server[K, V]) spawnConn(nc net.Conn) bool {
 // drains and exits, the server forgets the conn.
 func (c *conn[K, V]) readLoop() {
 	defer c.st.srv.wg.Done()
+	m := c.st.srv.metrics
 	for {
 		id, op, body, buf, err := wire.ReadFrame(c.c, c.rbuf)
 		c.rbuf = buf
 		if err != nil {
 			break
 		}
-		c.out <- c.st.handle(getResp(), id, op, body)
+		m.bytesIn.Add(uint64(4 + wire.FrameOverhead + len(body)))
+		c.out <- c.st.exec(getResp(), id, op, body)
 	}
 	// Teardown. Closing the socket unblocks nothing here (the read
 	// already failed) but stops the writer's Write calls from lingering.
@@ -95,6 +99,7 @@ func (c *conn[K, V]) readLoop() {
 	c.st.closeSessions()
 	close(c.out)
 	c.st.srv.forget(c)
+	m.conns.Add(-1)
 }
 
 // writeLoop coalesces response frames: one blocking receive, then a
@@ -122,7 +127,9 @@ func (c *conn[K, V]) writeLoop() {
 			}
 		}
 		if !broken {
-			if _, err := c.c.Write(wbuf); err != nil {
+			if _, err := c.c.Write(wbuf); err == nil {
+				c.st.srv.metrics.bytesOut.Add(uint64(len(wbuf)))
+			} else {
 				// Sever the connection so the reader unblocks; keep
 				// draining out so the reader never blocks sending to it.
 				broken = true

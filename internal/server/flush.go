@@ -136,6 +136,10 @@ func (l *loop[K, V]) flush(c *elConn[K, V]) {
 				l.teardown(c)
 				return
 			}
+			m := l.srv.metrics
+			m.bytesOut.Add(uint64(n))
+			m.writevBytes.Observe(float64(n))
+			m.writevIovecs.Observe(float64(len(l.iov)))
 			c.out.consume(n)
 		}
 		if !c.paused {
@@ -146,6 +150,8 @@ func (l *loop[K, V]) flush(c *elConn[K, V]) {
 		// any requests that were already buffered while paused. That can
 		// refill the output, so loop back around to flush again.
 		c.paused = false
+		l.srv.metrics.resumes.Inc()
+		l.srv.metrics.connsPaused.Add(-1)
 		l.setInterest(c, true, c.out.bytes > 0)
 		if !l.processFrames(c) {
 			return // torn down

@@ -70,7 +70,7 @@ func (c *elConn[K, V]) sever() {
 }
 
 // reapSessions forwards to the shared session table.
-func (c *elConn[K, V]) reapSessions(deadline int64) { c.st.reapSessions(deadline) }
+func (c *elConn[K, V]) reapSessions(deadline int64) int { return c.st.reapSessions(deadline) }
 
 // loop is one event loop: a poller, the connections registered on it, and
 // the scratch the loop goroutine reuses across wakes.
@@ -135,8 +135,10 @@ func (l *loop[K, V]) lookup(fd int) *elConn[K, V] {
 // reads), then flush everything that produced output this wake.
 func (l *loop[K, V]) run() {
 	defer l.srv.wg.Done()
+	m := l.srv.metrics
 	for {
 		n, woken, err := l.p.Wait(l.evs)
+		m.loopWakeups.Inc()
 		if err != nil {
 			// A failing poller is unrecoverable for this loop (EBADF
 			// after an external close): tear everything down rather than
@@ -173,6 +175,9 @@ func (l *loop[K, V]) run() {
 					l.teardown(c)
 				}
 			}
+		}
+		if len(l.dirtyq) > 0 {
+			m.dirtyqDepth.Observe(float64(len(l.dirtyq)))
 		}
 		// By index, re-reading len each step: flush can unpause a
 		// connection and run processFrames, which appends to dirtyq
@@ -231,6 +236,10 @@ func (l *loop[K, V]) teardown(c *elConn[K, V]) {
 	}
 	c.closed = true
 	c.st.closeSessions()
+	l.srv.metrics.conns.Add(-1)
+	if c.paused {
+		l.srv.metrics.connsPaused.Add(-1)
+	}
 	l.mu.Lock()
 	delete(l.conns, c.fd)
 	l.mu.Unlock()
@@ -296,6 +305,7 @@ func (l *loop[K, V]) readable(c *elConn[K, V]) {
 		}
 		c.in = c.in[:len(c.in)+n]
 		budget -= n
+		l.srv.metrics.bytesIn.Add(uint64(n))
 		if !l.processFrames(c) {
 			return
 		}
@@ -369,7 +379,7 @@ func (l *loop[K, V]) processFrames(c *elConn[K, V]) bool {
 		body := buf[13:total]
 		dst := c.out.active()
 		pre := len(dst)
-		dst = c.st.handle(dst, id, op, body)
+		dst = c.st.exec(dst, id, op, body)
 		c.out.appended(dst, pre)
 		c.inOff += total
 		l.markDirty(c)
@@ -377,6 +387,8 @@ func (l *loop[K, V]) processFrames(c *elConn[K, V]) bool {
 			// The client is not reading: stop consuming its requests
 			// until the backlog drains (flush.go resumes us).
 			c.paused = true
+			l.srv.metrics.pauses.Inc()
+			l.srv.metrics.connsPaused.Add(1)
 			l.setInterest(c, false, true)
 		}
 	}

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/netpoll"
+	"repro/internal/obs"
 	"repro/jiffy/durable"
 )
 
@@ -119,8 +120,14 @@ type Options struct {
 	Loops int
 
 	// Logf, when non-nil, receives connection-level diagnostics
-	// (accept/teardown errors). The data path never logs.
+	// (accept/teardown errors, reaper activity). The data path never logs.
 	Logf func(format string, args ...any)
+
+	// Registry, when non-nil, receives the server's metrics (see
+	// metrics.go) for exposition. When nil the server instruments into a
+	// private registry: the hot path is identical either way, so turning
+	// the endpoint on never changes what the benchmarks measured.
+	Registry *obs.Registry
 }
 
 // maxScanPageBytes caps the encoded size of one scan page, comfortably
@@ -141,19 +148,22 @@ func (o Options) withDefaults() Options {
 // serverConn is a registered connection of either core, as the server's
 // registry, reaper and Close see it.
 type serverConn interface {
-	sever()                      // request asynchronous teardown
-	reapSessions(deadline int64) // close sessions idle since before deadline
+	sever() // request asynchronous teardown
+	// reapSessions closes sessions idle since before deadline and
+	// reports how many it closed.
+	reapSessions(deadline int64) int
 }
 
 // Server serves one Store over one listener. Create it with Serve; stop it
 // with Close.
 type Server[K cmp.Ordered, V any] struct {
-	store Store[K, V]
-	codec durable.Codec[K, V]
-	opts  Options
-	ln    net.Listener
-	mode  Mode
-	loops []*loop[K, V] // event-loop core only
+	store   Store[K, V]
+	codec   durable.Codec[K, V]
+	opts    Options
+	ln      net.Listener
+	mode    Mode
+	metrics *metrics
+	loops   []*loop[K, V] // event-loop core only
 
 	mu     sync.Mutex
 	conns  map[serverConn]struct{}
@@ -175,6 +185,11 @@ func Serve[K cmp.Ordered, V any](ln net.Listener, store Store[K, V], codec durab
 		conns:      map[serverConn]struct{}{},
 		stopReaper: make(chan struct{}),
 	}
+	reg := s.opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.metrics = newMetrics(reg)
 	s.mode = s.opts.Mode.resolve()
 	if s.mode == ModeEventLoop {
 		if err := s.startLoops(); err != nil {
@@ -271,8 +286,13 @@ func (s *Server[K, V]) reapLoop() {
 		}
 		s.mu.Unlock()
 		deadline := time.Now().Add(-s.opts.SnapTTL).UnixNano()
+		reaped := 0
 		for _, c := range conns {
-			c.reapSessions(deadline)
+			reaped += c.reapSessions(deadline)
+		}
+		if reaped > 0 {
+			s.metrics.sessionsReaped.Add(uint64(reaped))
+			s.logf("jiffyd: reaped %d idle snapshot session(s)", reaped)
 		}
 	}
 }

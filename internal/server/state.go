@@ -52,23 +52,30 @@ type connState[K cmp.Ordered, V any] struct {
 // closeSessions closes every session (connection teardown).
 func (st *connState[K, V]) closeSessions() {
 	st.smu.Lock()
+	closed := len(st.sess)
 	for id, sess := range st.sess {
 		delete(st.sess, id)
 		sess.snap.Close()
 	}
 	st.smu.Unlock()
+	st.srv.metrics.sessionsOpen.Add(-int64(closed))
 }
 
-// reapSessions closes sessions idle since before deadline (unix nanos).
-func (st *connState[K, V]) reapSessions(deadline int64) {
+// reapSessions closes sessions idle since before deadline (unix nanos),
+// reporting how many it closed.
+func (st *connState[K, V]) reapSessions(deadline int64) int {
 	st.smu.Lock()
+	reaped := 0
 	for id, sess := range st.sess {
 		if sess.lastUsed.Load() < deadline {
 			delete(st.sess, id)
 			sess.snap.Close()
+			reaped++
 		}
 	}
 	st.smu.Unlock()
+	st.srv.metrics.sessionsOpen.Add(-int64(reaped))
+	return reaped
 }
 
 // lookupSess returns the named session with its idle clock touched, or
@@ -242,6 +249,8 @@ func (st *connState[K, V]) handleSnap(dst []byte, id uint64) []byte {
 	snapID := st.nextSnap
 	st.sess[snapID] = sess
 	st.smu.Unlock()
+	st.srv.metrics.sessionsOpened.Inc()
+	st.srv.metrics.sessionsOpen.Add(1)
 	var body [16]byte
 	binary.LittleEndian.PutUint64(body[0:8], snapID)
 	binary.LittleEndian.PutUint64(body[8:16], uint64(snap.Version()))
@@ -263,6 +272,7 @@ func (st *connState[K, V]) handleSnapClose(dst []byte, id uint64, body []byte) [
 	if sess == nil {
 		return statusFrame(dst, id, wire.StatusUnknownSnap)
 	}
+	st.srv.metrics.sessionsOpen.Add(-1)
 	return okFrame(dst, id, nil)
 }
 

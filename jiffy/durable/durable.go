@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/persist"
 	"repro/jiffy"
@@ -48,6 +49,11 @@ type Options[K cmp.Ordered] struct {
 	// writes) but not machine crashes. Benchmarks use it to separate
 	// logging cost from media cost.
 	NoSync bool
+
+	// Metrics, when non-nil, receives the durability layer's
+	// instrumentation (WAL group commit, fsync latency, checkpoint
+	// duration). A Sharded map shares one panel across every shard's log.
+	Metrics *persist.Metrics
 }
 
 // ErrClosed is returned by updates on a closed durable map.
@@ -69,6 +75,7 @@ type Map[K cmp.Ordered, V any] struct {
 	opts  Options[K]
 
 	ckptMu sync.Mutex  // one checkpoint at a time
+	ckpt   ckptMark    // newest checkpoint, for DurStats
 	closed atomic.Bool // set by the first Close; updates then fail fast
 }
 
@@ -98,6 +105,7 @@ func Open[K cmp.Ordered, V any](dir string, codec Codec[K, V], opts ...Options[K
 	wal, recs, err := persist.OpenWAL(filepath.Join(dir, "wal"), persist.WALOptions{
 		SegmentBytes: o.SegmentBytes,
 		NoSync:       o.NoSync,
+		Metrics:      o.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -125,7 +133,9 @@ func Open[K cmp.Ordered, V any](dir string, codec Codec[K, V], opts ...Options[K
 		wal.Close()
 		return nil, err
 	}
-	return &Map[K, V]{m: m, wal: wal, codec: codec, dir: dir, opts: o}, nil
+	d := &Map[K, V]{m: m, wal: wal, codec: codec, dir: dir, opts: o}
+	d.ckpt.recover(ckVer, ckPath)
+	return d, nil
 }
 
 // loadCheckpoint bulk-loads a (pre-validated) checkpoint through apply.
@@ -269,6 +279,7 @@ func (d *Map[K, V]) Checkpoint() (int64, error) {
 	if d.closed.Load() {
 		return 0, ErrClosed
 	}
+	start := time.Now()
 	snap := d.m.Snapshot()
 	defer snap.Close()
 	ver := snap.Version()
@@ -291,10 +302,13 @@ func (d *Map[K, V]) Checkpoint() (int64, error) {
 	if err := w.Commit(); err != nil {
 		return 0, err
 	}
+	d.ckpt.set(ver, time.Now())
 	if err := persist.DropCheckpointsBelow(d.dir, ver); err != nil {
 		return ver, err
 	}
-	return ver, d.wal.TruncateBelow(ver)
+	err = d.wal.TruncateBelow(ver)
+	d.opts.met().CheckpointSeconds.ObserveSince(start)
+	return ver, err
 }
 
 // Close syncs and closes the log. Updates after Close fail with ErrClosed;

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/persist"
 	"repro/jiffy"
@@ -30,6 +31,7 @@ type Sharded[K cmp.Ordered, V any] struct {
 	opts  Options[K]
 
 	ckptMu sync.Mutex
+	ckpt   ckptMark    // newest checkpoint, for DurStats
 	closed atomic.Bool // set by the first Close; updates then fail fast
 }
 
@@ -78,7 +80,7 @@ func OpenSharded[K cmp.Ordered, V any](dir string, shards int, codec Codec[K, V]
 			}
 		}
 	}
-	wopts := persist.WALOptions{SegmentBytes: o.SegmentBytes, NoSync: o.NoSync}
+	wopts := persist.WALOptions{SegmentBytes: o.SegmentBytes, NoSync: o.NoSync, Metrics: o.Metrics}
 	wals := make([]*persist.WAL, nWALs)
 	var recs []persist.Record
 	closeAll := func() {
@@ -118,7 +120,9 @@ func OpenSharded[K cmp.Ordered, V any](dir string, shards int, codec Codec[K, V]
 		closeAll()
 		return nil, err
 	}
-	return &Sharded[K, V]{s: s, wals: wals, codec: codec, dir: dir, opts: o}, nil
+	d := &Sharded[K, V]{s: s, wals: wals, codec: codec, dir: dir, opts: o}
+	d.ckpt.recover(ckVer, ckPath)
+	return d, nil
 }
 
 // NumShards returns the number of shards.
@@ -211,6 +215,7 @@ func (d *Sharded[K, V]) Checkpoint() (int64, error) {
 	if d.closed.Load() {
 		return 0, ErrClosed
 	}
+	start := time.Now()
 	snap := d.s.Snapshot()
 	defer snap.Close()
 	ver := snap.Version()
@@ -233,6 +238,7 @@ func (d *Sharded[K, V]) Checkpoint() (int64, error) {
 	if err := w.Commit(); err != nil {
 		return 0, err
 	}
+	d.ckpt.set(ver, time.Now())
 	if err := persist.DropCheckpointsBelow(d.dir, ver); err != nil {
 		return ver, err
 	}
@@ -242,6 +248,7 @@ func (d *Sharded[K, V]) Checkpoint() (int64, error) {
 			firstErr = err
 		}
 	}
+	d.opts.met().CheckpointSeconds.ObserveSince(start)
 	return ver, firstErr
 }
 

@@ -1,0 +1,95 @@
+package durable
+
+import (
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// DurStats is a point-in-time census of a durable map's on-disk state:
+// how much log is live (what recovery would have to replay) and how
+// recent the newest checkpoint is (how far truncation has caught up).
+// jiffyd exposes it through the jiffy_wal_* / jiffy_checkpoint_* gauges.
+type DurStats struct {
+	// WALSegments counts live segments — sealed plus active — summed
+	// across shards for a Sharded map.
+	WALSegments int
+
+	// WALLiveBytes is the bytes those segments hold on disk.
+	WALLiveBytes int64
+
+	// CheckpointVersion is the commit version of the newest checkpoint
+	// (0: never checkpointed).
+	CheckpointVersion int64
+
+	// CheckpointTime is when that checkpoint was committed (recovered
+	// from the file's mtime after a restart); zero when never
+	// checkpointed.
+	CheckpointTime time.Time
+}
+
+// ckptMark tracks the newest checkpoint's version and wall-clock time,
+// written by Checkpoint (and at Open, from the recovered file) and read
+// by DurStats without any lock.
+type ckptMark struct {
+	version atomic.Int64
+	unixNS  atomic.Int64
+}
+
+func (c *ckptMark) set(version int64, t time.Time) {
+	c.version.Store(version)
+	c.unixNS.Store(t.UnixNano())
+}
+
+// recover seeds the mark from the checkpoint file recovery loaded, using
+// the file's mtime as the commit time; a missing stat leaves the time
+// zero (age renders as unknown, not as garbage).
+func (c *ckptMark) recover(version int64, path string) {
+	if path == "" {
+		return
+	}
+	c.version.Store(version)
+	if fi, err := os.Stat(path); err == nil {
+		c.unixNS.Store(fi.ModTime().UnixNano())
+	}
+}
+
+func (c *ckptMark) read() (int64, time.Time) {
+	v := c.version.Load()
+	ns := c.unixNS.Load()
+	if ns == 0 {
+		return v, time.Time{}
+	}
+	return v, time.Unix(0, ns)
+}
+
+// DurStats reports the map's log and checkpoint state.
+func (d *Map[K, V]) DurStats() DurStats {
+	ws := d.wal.Stats()
+	st := DurStats{WALSegments: ws.Segments, WALLiveBytes: ws.Bytes}
+	st.CheckpointVersion, st.CheckpointTime = d.ckpt.read()
+	return st
+}
+
+// DurStats reports log and checkpoint state aggregated across shards.
+func (d *Sharded[K, V]) DurStats() DurStats {
+	var st DurStats
+	for _, w := range d.wals {
+		ws := w.Stats()
+		st.WALSegments += ws.Segments
+		st.WALLiveBytes += ws.Bytes
+	}
+	st.CheckpointVersion, st.CheckpointTime = d.ckpt.read()
+	return st
+}
+
+// met returns the configured durability metrics panel, or an all-nil one
+// whose observations are no-ops.
+func (o Options[K]) met() *persist.Metrics {
+	if o.Metrics != nil {
+		return o.Metrics
+	}
+	return &persist.Metrics{}
+}

@@ -1,0 +1,108 @@
+package durable
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMapDurStats pins the durable stats panel across the full lifecycle:
+// fresh open, WAL growth and rotation, checkpoint (version + time + log
+// truncation), and recovery of the checkpoint mark from disk at reopen.
+func TestMapDurStats(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	st := d.DurStats()
+	if st.WALSegments != 1 {
+		t.Fatalf("fresh store WAL segments = %d, want 1 (the active one)", st.WALSegments)
+	}
+	if st.CheckpointVersion != 0 || !st.CheckpointTime.IsZero() {
+		t.Fatalf("fresh store checkpoint mark = (%d, %v), want zero",
+			st.CheckpointVersion, st.CheckpointTime)
+	}
+
+	// Enough traffic to roll past the 4 KiB test segments.
+	for i := uint64(0); i < 600; i++ {
+		if err := d.Put(i%97, i); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	st = d.DurStats()
+	if st.WALSegments < 2 {
+		t.Fatalf("WAL segments after 600 puts = %d, want rotation (>= 2)", st.WALSegments)
+	}
+	if st.WALLiveBytes == 0 {
+		t.Fatal("WAL live bytes = 0 after 600 puts")
+	}
+
+	before := time.Now()
+	ver, err := d.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st = d.DurStats()
+	if st.CheckpointVersion != ver {
+		t.Fatalf("checkpoint version = %d, want %d", st.CheckpointVersion, ver)
+	}
+	if st.CheckpointTime.Before(before) || st.CheckpointTime.After(time.Now()) {
+		t.Fatalf("checkpoint time %v outside [%v, now]", st.CheckpointTime, before)
+	}
+	if st.WALSegments != 1 {
+		t.Fatalf("WAL segments after checkpoint = %d, want 1 (sealed logs truncated)", st.WALSegments)
+	}
+	d.Close()
+
+	// A reopened store must recover the mark from the checkpoint file, with
+	// the file's mtime standing in for the original wall-clock stamp.
+	r, err := Open(dir, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	st = r.DurStats()
+	if st.CheckpointVersion != ver {
+		t.Fatalf("recovered checkpoint version = %d, want %d", st.CheckpointVersion, ver)
+	}
+	if st.CheckpointTime.IsZero() {
+		t.Fatal("recovered checkpoint time is zero; mtime recovery failed")
+	}
+}
+
+// TestShardedDurStats asserts the sharded frontend aggregates per-shard
+// WALs into one panel and stamps one checkpoint mark for the whole store.
+func TestShardedDurStats(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenSharded(dir, 4, u64Codec(), testOpts())
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	defer d.Close()
+
+	st := d.DurStats()
+	if st.WALSegments != 4 {
+		t.Fatalf("fresh 4-shard store WAL segments = %d, want 4", st.WALSegments)
+	}
+	for i := uint64(0); i < 400; i++ {
+		if err := d.Put(i, i); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if st = d.DurStats(); st.WALLiveBytes == 0 {
+		t.Fatal("sharded WAL live bytes = 0 after 400 puts")
+	}
+	ver, err := d.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st = d.DurStats()
+	if st.CheckpointVersion != ver || st.CheckpointTime.IsZero() {
+		t.Fatalf("sharded checkpoint mark = (%d, %v), want (%d, recent)",
+			st.CheckpointVersion, st.CheckpointTime, ver)
+	}
+	if st.WALSegments != 4 {
+		t.Fatalf("sharded WAL segments after checkpoint = %d, want 4", st.WALSegments)
+	}
+}
