@@ -14,6 +14,8 @@
 //	                                                 # sharded vs single-shard
 //	jiffybench -net -json BENCH_0005.json            # serving layer over loopback
 //	jiffybench -net -conns 1,8 -netthreads 16        # smaller sweep
+//	jiffybench -net -replica-reads -json BENCH_0009.json
+//	                                                 # replica read offload
 //	jiffybench -soak 30s -json BENCH_soak.json       # leak-asserting soak run
 //
 // The defaults are sized for a laptop-class machine; use -keyspace,
@@ -48,6 +50,7 @@ func main() {
 		claims   = flag.Bool("claims", false, "measure the scalar claims of §4.3 instead of a figure")
 		micro    = flag.Bool("micro", false, "measure the read-scalability micro claims (deep-chain seeks, iterator allocs, merged-scan scaling) instead of a figure")
 		netBench = flag.Bool("net", false, "measure the network serving layer over loopback (conns sweep, pipelining on/off, batch amortization) instead of a figure")
+		replRd   = flag.Bool("replica-reads", false, "with -net: measure read offload through a WAL-shipped replica (primary-pinned vs replica-routed reads) instead of the serve-mode sweep")
 		conns    = flag.String("conns", "1,2,4,8,16,32,64,128,256", "with -net: comma-separated client connection counts to sweep")
 		netAddr  = flag.String("netaddr", "", "with -net: measure against this running jiffyd-protocol server instead of an in-process loopback one")
 		netThr   = flag.Int("netthreads", 64, "with -net: workload goroutines driving the client")
@@ -110,6 +113,17 @@ func main() {
 				os.Exit(2)
 			}
 			connsList = append(connsList, n)
+		}
+		if *replRd {
+			res := runReplicaReads(connsList, *netThr, *keyspace, *prefill, *duration, *seed)
+			if *jsonOut != "" {
+				if err := writeReplicaJSON(*jsonOut, res); err != nil {
+					fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+					os.Exit(1)
+				}
+				fmt.Printf("# wrote replica-read results to %s\n", *jsonOut)
+			}
+			return
 		}
 		res := runNet(*netAddr, connsList, *netThr, *keyspace, *prefill, *duration, *seed)
 		if *jsonOut != "" {

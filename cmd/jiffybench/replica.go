@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/index"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/jiffy/client"
+	"repro/jiffy/durable"
+)
+
+// The -net -replica-reads mode measures what replica read routing buys: a
+// durable primary streams its WAL tail to one replica (both in-process,
+// loopback TCP, temp dirs), and the same lookup workload runs twice per
+// connection count — once with every read on the primary, once with reads
+// routed through the replica at the client's write floor. The pure-read
+// sweep ("r") shows the clean offload ceiling; the mixed sweep ("ul",
+// 25 % updates) also exercises the floor-advancing fallback path, since
+// each update raises the client's read floor past the replica's watermark
+// until the tail apply catches up.
+
+// replicaFile is the -replica-reads JSON schema.
+type replicaFile struct {
+	Kind       string      `json:"kind"` // always "net-replica-reads"
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Shards     int         `json:"shards"`
+	KeySpace   uint64      `json:"keyspace"`
+	Prefill    int         `json:"prefill"`
+	Duration   string      `json:"duration"`
+	When       string      `json:"when"`
+	Sweep      []replicaPt `json:"sweep"`
+}
+
+// replicaPt is one measurement: route says where reads were served
+// ("primary" pins every read to the primary; "replica" routes reads
+// through the replica connection pool at the write floor).
+type replicaPt struct {
+	Route     string  `json:"route"`
+	Mix       string  `json:"mix"`
+	Conns     int     `json:"conns"`
+	Threads   int     `json:"threads"`
+	TotalMops float64 `json:"total_mops"`
+	TotalOps  uint64  `json:"total_ops"`
+}
+
+// runReplicaReads starts the primary/replica pair, prefills through the
+// wire, waits for the replica to converge, and sweeps both routes.
+func runReplicaReads(connsList []int, threads int, keyspace uint64, prefill int, duration time.Duration, seed uint64) *replicaFile {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "replica bench: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	pdir, err := os.MkdirTemp("", "jiffybench-primary-")
+	if err != nil {
+		fail("tempdir: %v", err)
+	}
+	defer os.RemoveAll(pdir)
+	rdir, err := os.MkdirTemp("", "jiffybench-replica-")
+	if err != nil {
+		fail("tempdir: %v", err)
+	}
+	defer os.RemoveAll(rdir)
+
+	codec := netCodec()
+	pstore, err := durable.OpenSharded(pdir, harness.ShardCount, codec,
+		durable.Options[uint64]{NoSync: true, StrictClock: true})
+	if err != nil {
+		fail("open primary: %v", err)
+	}
+	defer pstore.Close()
+	src := repl.NewSource(pstore, codec, repl.SourceOptions{})
+	defer src.Close()
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	go src.Serve(sln)
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	psrv := server.Serve(pln, server.NewDurableStore(pstore), codec, server.Options{})
+	defer psrv.Close()
+
+	rstore, err := durable.OpenReplica(rdir, harness.ShardCount, codec,
+		durable.Options[uint64]{NoSync: true})
+	if err != nil {
+		fail("open replica: %v", err)
+	}
+	defer rstore.Close()
+	runner := repl.NewRunner(rstore, codec, sln.Addr().String(), repl.RunnerOptions{})
+	runner.Start()
+	defer runner.Stop()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	rsrv := server.Serve(rln, server.NewReplicaStore(rstore), codec,
+		server.Options{ReadOnly: true, Watermark: rstore.Watermark})
+	defer rsrv.Close()
+
+	base := harness.Config{
+		KeySpace: keyspace,
+		Prefill:  prefill,
+		Duration: duration,
+		Seed:     seed,
+		Threads:  threads,
+		Dist:     workload.Uniform,
+	}
+
+	// Prefill over the wire so the replication stream carries the dataset,
+	// then hold the sweep until the replica's watermark covers it.
+	pc, err := client.Dial(pln.Addr().String(), codec, client.Options{Conns: 4})
+	if err != nil {
+		fail("dial: %v", err)
+	}
+	harness.Prefill[uint64, *harness.Payload](index.NewNetJiffy(pc), base, harness.KeyA, harness.ValA)
+	floor := pc.Floor()
+	pc.Close()
+	deadline := time.Now().Add(60 * time.Second)
+	for rstore.Watermark() < floor {
+		if time.Now().After(deadline) {
+			fail("replica did not converge: watermark %d < floor %d", rstore.Watermark(), floor)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("# replica bench: primary %s, replica %s converged at watermark %d (prefill %d over the wire)\n",
+		pln.Addr(), rln.Addr(), rstore.Watermark(), prefill)
+
+	out := &replicaFile{
+		Kind:       "net-replica-reads",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Shards:     harness.ShardCount,
+		KeySpace:   keyspace,
+		Prefill:    prefill,
+		Duration:   duration.String(),
+		When:       time.Now().UTC().Format(time.RFC3339),
+	}
+
+	lookupOnly := workload.Mix{Name: "r", LookupFrac: 1}
+	for _, mix := range []workload.Mix{lookupOnly, workload.MixUpdateLookup} {
+		for _, conns := range connsList {
+			ptThreads := threads
+			if conns > ptThreads {
+				ptThreads = conns
+			}
+			cfg := base
+			cfg.Mix = mix
+			cfg.Threads = ptThreads
+			for _, route := range []string{"primary", "replica"} {
+				opts := client.Options{Conns: conns}
+				if route == "replica" {
+					opts.Replicas = []string{rln.Addr().String()}
+				}
+				c, err := client.Dial(pln.Addr().String(), codec, opts)
+				if err != nil {
+					fail("dial: %v", err)
+				}
+				idx := index.NewNetJiffy(c)
+				res := harness.Run[uint64, *harness.Payload](idx, cfg, harness.KeyA, harness.ValA)
+				idx.Close()
+				out.Sweep = append(out.Sweep, replicaPt{
+					Route:     route,
+					Mix:       mix.Name,
+					Conns:     conns,
+					Threads:   ptThreads,
+					TotalMops: res.TotalMops(),
+					TotalOps:  res.TotalOps,
+				})
+				fmt.Printf("repl  %-7s %-3s conns=%-3d threads=%-3d total=%8.3f Mops/s\n",
+					route, mix.Name, conns, ptThreads, res.TotalMops())
+			}
+		}
+	}
+	return out
+}
+
+func writeReplicaJSON(path string, out *replicaFile) error {
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

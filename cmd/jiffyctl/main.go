@@ -1,0 +1,60 @@
+// Command jiffyctl operates a running jiffyd through its observability
+// HTTP listener (-metrics-addr on the daemon):
+//
+//	jiffyctl -ctl 127.0.0.1:7421 status    # role + replication watermark
+//	jiffyctl -ctl 127.0.0.1:7421 promote   # replica -> primary failover
+//
+// promote is the manual failover step: when the primary is gone, point
+// jiffyctl at a replica's control address and it applies every buffered
+// replication record, opens the node for writes, and (if the daemon was
+// started with -repl-addr) begins serving the replication stream for the
+// rest of the fleet. Promote is idempotent — repeating it reports the
+// same promote version.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	ctl := flag.String("ctl", "127.0.0.1:7421", "jiffyd control address (the daemon's -metrics-addr)")
+	timeout := flag.Duration("timeout", 10*time.Second, "request timeout")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: jiffyctl [-ctl host:port] <status|promote>\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	base := "http://" + strings.TrimPrefix(*ctl, "http://")
+
+	var resp *http.Response
+	var err error
+	switch flag.Arg(0) {
+	case "status":
+		resp, err = client.Get(base + "/replstatus")
+	case "promote":
+		resp, err = client.Post(base+"/promote", "application/json", nil)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jiffyctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Print(string(body))
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "jiffyctl: %s\n", resp.Status)
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,20 @@
 // cross-shard batches, snapshot sessions (TTL-reaped when idle, see
 // -snap-ttl) and cursored scans.
 //
+// Replication (DESIGN.md §11) turns one jiffyd into a primary and others
+// into replicas:
+//
+//	jiffyd -durable -repl-addr :7422            # primary: stream the WAL tail
+//	jiffyd -durable -repl-addr :7422 -repl-sync # ...waiting for replica acks
+//	jiffyd -replica-of primary:7422 -dir rep    # replica: apply + serve reads
+//
+// A replica serves the read side of the protocol (gets, scans, snapshot
+// sessions) at its replicated watermark and refuses writes with
+// StatusReadOnly. POST /promote on the metrics listener (or `jiffyctl
+// promote`) turns a replica into a primary: buffered records are applied,
+// writes open up, and — when -repl-addr is set — the promoted node starts
+// serving the replication stream itself.
+//
 // With -metrics-addr an HTTP sidecar listener serves GET /metrics (the
 // Prometheus text exposition: request rates and latencies by opcode,
 // connection and backpressure state, WAL and checkpoint activity, the
@@ -30,20 +44,24 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/persist"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/jiffy"
 	"repro/jiffy/durable"
@@ -61,8 +79,12 @@ func main() {
 		checkpt = flag.Duration("checkpoint-every", 0, "with -durable: checkpoint and truncate logs on this interval (0: never)")
 		mode    = flag.String("serve-mode", "auto", "serving core: auto, eventloop, goroutine (auto also honors JIFFY_SERVE_MODE)")
 		loops   = flag.Int("loops", 0, "event loop count with -serve-mode eventloop (0: GOMAXPROCS, capped at 8)")
-		metrics = flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz and /debug/pprof (empty: no HTTP listener)")
+		metrics = flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz, /replstatus, /promote and /debug/pprof (empty: no HTTP listener)")
 		logJSON = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+
+		replAddr  = flag.String("repl-addr", "", "with -durable: serve the replication stream on this address (primary role); on a replica, taken over after promotion")
+		replSync  = flag.Bool("repl-sync", false, "with -repl-addr: synchronous replication — a write is not acked until every synced replica confirms receipt (or times out)")
+		replicaOf = flag.String("replica-of", "", "run as a replica of this primary replication address (implies durable; reads served at the watermark, writes refused until promoted)")
 	)
 	flag.Parse()
 
@@ -82,13 +104,39 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
 
+	logf := func(format string, args ...any) {
+		logger.Info(fmt.Sprintf(format, args...))
+	}
+
 	codec := durable.Codec[string, []byte]{Key: durable.StringEnc(), Value: durable.BytesEnc()}
 	var store server.Store[string, []byte]
 	var dstore *durable.Sharded[string, []byte]
-	if *durFlag {
+	var rstore *durable.Replica[string, []byte]
+	var replMet *repl.Metrics
+	if *replAddr != "" || *replicaOf != "" {
+		replMet = repl.RegisterMetrics(reg)
+	}
+	switch {
+	case *replicaOf != "":
 		var err error
-		dstore, err = durable.OpenSharded(*dir, *shards, codec,
+		rstore, err = durable.OpenReplica(*dir, *shards, codec,
 			durable.Options[string]{NoSync: *noSync, Metrics: persist.NewMetrics(reg)})
+		if err != nil {
+			fatal("open replica store failed", "dir", *dir, "err", err)
+		}
+		store = server.NewReplicaStore(rstore)
+		server.RegisterStoreStats(reg, rstore.Stats)
+		server.RegisterDurableStats(reg, rstore.DurStats)
+		repl.RegisterReplicaGauges(reg, rstore.Watermark)
+		logger.Info("replica store open", "dir", *dir, "shards", *shards,
+			"watermark", rstore.Watermark(), "primary", *replicaOf)
+	case *durFlag:
+		var err error
+		// A replicated primary needs strictly unique commit versions so a
+		// replica's resume point is exact (see durable.Options.StrictClock).
+		dstore, err = durable.OpenSharded(*dir, *shards, codec,
+			durable.Options[string]{NoSync: *noSync, Metrics: persist.NewMetrics(reg),
+				StrictClock: *replAddr != ""})
 		if err != nil {
 			fatal("open durable store failed", "dir", *dir, "err", err)
 		}
@@ -97,29 +145,101 @@ func main() {
 		server.RegisterDurableStats(reg, dstore.DurStats)
 		logger.Info("durable store open", "dir", *dir, "shards", *shards,
 			"entries_recovered", dstore.Len(), "nosync", *noSync)
-	} else {
+	default:
+		if *replAddr != "" {
+			fatal("replication requires a durable store", "fix", "add -durable")
+		}
 		mem := jiffy.NewSharded[string, []byte](*shards)
 		store = server.NewMemStore(mem)
 		server.RegisterStoreStats(reg, mem.Stats)
 		logger.Info("in-memory store ready", "shards", *shards)
 	}
 
+	// Replication stream (primary role). The source must attach its tap
+	// before the first client write so the stream covers every update;
+	// wire it before the serving listener opens.
+	var srcMu sync.Mutex
+	var src *repl.Source[string, []byte]
+	startSource := func(st repl.SourceStore[string, []byte]) error {
+		rln, err := net.Listen("tcp", *replAddr)
+		if err != nil {
+			return err
+		}
+		s := repl.NewSource(st, codec, repl.SourceOptions{
+			Tap:     repl.TapOptions{SyncAcks: *replSync},
+			Metrics: replMet,
+			Logf:    logf,
+		})
+		repl.RegisterSourceGauges(reg, s.Tap())
+		go s.Serve(rln)
+		srcMu.Lock()
+		src = s
+		srcMu.Unlock()
+		logger.Info("replication stream serving", "addr", rln.Addr().String(), "sync", *replSync)
+		return nil
+	}
+	if dstore != nil && *replAddr != "" {
+		if err := startSource(dstore); err != nil {
+			fatal("replication listen failed", "addr", *replAddr, "err", err)
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal("listen failed", "addr", *addr, "err", err)
 	}
-	srv := server.Serve(ln, store, codec, server.Options{
+	srvOpts := server.Options{
 		SnapTTL:     *snapTTL,
 		MaxScanPage: *maxPage,
 		Mode:        server.ParseMode(*mode),
 		Loops:       *loops,
 		Registry:    reg,
-		Logf: func(format string, args ...any) {
-			logger.Info(fmt.Sprintf(format, args...))
-		},
-	})
+		Logf:        logf,
+	}
+	if rstore != nil {
+		srvOpts.ReadOnly = true
+		srvOpts.Watermark = func() int64 {
+			if rstore.Promoted() {
+				// A promoted node is a primary: every read floor is
+				// satisfiable by definition.
+				return math.MaxInt64
+			}
+			return rstore.Watermark()
+		}
+	}
+	srv := server.Serve(ln, store, codec, srvOpts)
 	logger.Info("serving", "addr", srv.Addr().String(), "core", srv.Mode().String(),
 		"snap_ttl", snapTTL.String())
+
+	// Replication apply loop (replica role), and the promote path that
+	// retires it.
+	var runner *repl.Runner[string, []byte]
+	var promoted sync.Once
+	if rstore != nil {
+		runner = repl.NewRunner(rstore, codec, *replicaOf, repl.RunnerOptions{
+			Metrics: replMet,
+			Logf:    logf,
+		})
+		runner.Start()
+	}
+	promote := func() (int64, error) {
+		ver, err := runner.Promote()
+		if err != nil {
+			return 0, err
+		}
+		promoted.Do(func() {
+			srv.SetReadOnly(false)
+			if *replAddr != "" {
+				// The promoted node serves the stream itself now, so the
+				// surviving fleet can re-point at it.
+				if serr := startSource(rstore); serr != nil {
+					logger.Error("replication stream after promote failed", "err", serr)
+				}
+			}
+			logger.Info("promoted to primary", "version", ver)
+		})
+		return ver, nil
+	}
 
 	var msrv *http.Server
 	if *metrics != "" {
@@ -132,6 +252,47 @@ func main() {
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/replstatus", func(w http.ResponseWriter, _ *http.Request) {
+			role, wm := "standalone", int64(0)
+			switch {
+			case rstore != nil && rstore.Promoted():
+				role, wm = "promoted", rstore.Watermark()
+			case rstore != nil:
+				role, wm = "replica", rstore.Watermark()
+			case *replAddr != "":
+				role = "primary"
+				srcMu.Lock()
+				if src != nil {
+					// The frontier is the highest version every replica can
+					// have applied — the primary-side watermark.
+					wm = src.Tap().Frontier()
+				}
+				srcMu.Unlock()
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"role":      role,
+				"watermark": wm,
+				"addr":      srv.Addr().String(),
+			})
+		})
+		mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "promote is a POST", http.StatusMethodNotAllowed)
+				return
+			}
+			if runner == nil {
+				http.Error(w, "not a replica", http.StatusBadRequest)
+				return
+			}
+			ver, err := promote()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{"promoted_at": ver})
 		})
 		// net/http/pprof registers on DefaultServeMux as an import side
 		// effect; route the private mux's pprof paths to the same handlers
@@ -188,12 +349,25 @@ func main() {
 		msrv.Shutdown(ctx)
 		cancel()
 	}
+	if runner != nil {
+		runner.Stop()
+	}
+	srcMu.Lock()
+	if src != nil {
+		src.Close()
+	}
+	srcMu.Unlock()
 	if err := srv.Close(); err != nil {
 		logger.Warn("listener close", "err", err)
 	}
 	if dstore != nil {
 		if err := dstore.Close(); err != nil {
 			fatal("store close failed", "err", err)
+		}
+	}
+	if rstore != nil {
+		if err := rstore.Close(); err != nil {
+			fatal("replica store close failed", "err", err)
 		}
 	}
 	// All server goroutines have joined (srv.Close waits); report the

@@ -6,6 +6,17 @@
 //
 //	jiffyd -addr 127.0.0.1:7421 &
 //	go run ./examples/netkv -addr 127.0.0.1:7421
+//
+// For replicated deployments, -replicas routes reads through replica
+// connections (exercising the read-your-writes floor), -record writes
+// every acked key with its final value to a file, and -verify replays
+// such a file against a server — the replication smoke test records
+// against the primary, SIGKILLs it, promotes the replica, and verifies
+// zero acked keys were lost:
+//
+//	go run ./examples/netkv -addr primary:7420 -record acked.txt
+//	kill -9 <primary>; jiffyctl -ctl replica:7423 promote
+//	go run ./examples/netkv -addr replica:7430 -verify acked.txt
 package main
 
 import (
@@ -13,6 +24,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/jiffy"
 	"repro/jiffy/client"
@@ -23,10 +36,22 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7420", "jiffyd address")
 	n := flag.Int("n", 1000, "keys to write")
 	conns := flag.Int("conns", 4, "client connections")
+	replicas := flag.String("replicas", "", "comma-separated replica addresses; reads route through them at the client's write floor")
+	record := flag.String("record", "", "write every acked key and its final value to this file (consumed by -verify)")
+	verify := flag.String("verify", "", "verify every key in this file against the server and exit (non-zero on any lost or stale key)")
 	flag.Parse()
 
 	codec := durable.Codec[string, []byte]{Key: durable.StringEnc(), Value: durable.BytesEnc()}
-	c, err := client.Dial(*addr, codec, client.Options{Conns: *conns})
+	opts := client.Options{Conns: *conns}
+	if *replicas != "" {
+		opts.Replicas = strings.Split(*replicas, ",")
+	}
+	if *verify != "" {
+		// The verify target is often a freshly promoted replica; give it a
+		// moment to come up.
+		opts.DialRetry = true
+	}
+	c, err := client.Dial(*addr, codec, opts)
 	if err != nil {
 		log.Fatalf("netkv: dial %s: %v", *addr, err)
 	}
@@ -35,13 +60,20 @@ func main() {
 		log.Fatalf("netkv: ping: %v", err)
 	}
 
+	if *verify != "" {
+		verifyAcked(c, *verify)
+		return
+	}
+
 	key := func(i int) string { return fmt.Sprintf("user:%06d", i) }
+	acked := map[string]string{}
 
 	// Point puts, concurrently pipelined through the pool.
 	for i := 0; i < *n; i++ {
 		if err := c.Put(key(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
 			log.Fatalf("netkv: put: %v", err)
 		}
+		acked[key(i)] = fmt.Sprintf("v%d", i)
 	}
 	for i := 0; i < *n; i += 97 {
 		v, ok, err := c.Get(key(i))
@@ -61,6 +93,9 @@ func main() {
 	}
 	if err := c.BatchUpdate(ops); err != nil {
 		log.Fatalf("netkv: batch: %v", err)
+	}
+	for _, op := range ops {
+		acked[op.Key] = string(op.Val)
 	}
 
 	// A snapshot session: frozen reads plus a cursored scan of everything.
@@ -87,6 +122,57 @@ func main() {
 		log.Fatalf("netkv: scanned %d entries, want %d", seen, *n)
 	}
 
+	if *record != "" {
+		var sb strings.Builder
+		keys := make([]string, 0, len(acked))
+		for k := range acked {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s\t%s\n", k, acked[k])
+		}
+		if err := os.WriteFile(*record, []byte(sb.String()), 0o644); err != nil {
+			log.Fatalf("netkv: record: %v", err)
+		}
+	}
+
 	fmt.Printf("netkv: ok (%d keys written, %d scanned at version %d)\n", *n, seen, snap.Version())
 	os.Exit(0)
+}
+
+// verifyAcked asserts every key recorded by a -record run is present with
+// its recorded value — the lost-ack check the failover smoke greps for.
+func verifyAcked(c *client.Client[string, []byte], path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("netkv: verify: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	lost := 0
+	for _, line := range lines {
+		k, want, ok := strings.Cut(line, "\t")
+		if !ok {
+			continue
+		}
+		got, found, err := c.Get(k)
+		if err != nil {
+			log.Fatalf("netkv: verify get %s: %v", k, err)
+		}
+		if !found || string(got) != want {
+			log.Printf("netkv: LOST acked key %s = %q (found=%v), want %q", k, got, found, want)
+			lost++
+		}
+	}
+	if lost > 0 {
+		log.Fatalf("netkv: verify FAILED: %d of %d acked keys lost", lost, len(lines))
+	}
+	// A promoted replica must also accept new writes: probe one round trip.
+	if err := c.Put("netkv:verify-probe", []byte("ok")); err != nil {
+		log.Fatalf("netkv: verify probe put: %v", err)
+	}
+	if got, found, err := c.Get("netkv:verify-probe"); err != nil || !found || string(got) != "ok" {
+		log.Fatalf("netkv: verify probe get = %q, %v, %v", got, found, err)
+	}
+	fmt.Printf("netkv: verify ok (%d acked keys intact, writes accepted)\n", len(lines))
 }

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -71,6 +72,14 @@ type WALOptions struct {
 	// Metrics, when non-nil, receives the log's instrumentation (see
 	// Metrics). Nil leaves every observation a no-op.
 	Metrics *Metrics
+
+	// OnRotate, when non-nil, is called each time the active segment is
+	// sealed by rotation, with the sealed segment's sequence number and
+	// the maximum record version it holds. Log tailers (replication) use
+	// it instead of polling the directory. It runs with the WAL's file
+	// lock held: it must return quickly and must not call back into the
+	// WAL (a channel send or condition signal is the intended body).
+	OnRotate func(seq uint64, maxVer int64)
 }
 
 func (o WALOptions) withDefaults() WALOptions {
@@ -105,6 +114,11 @@ type WAL struct {
 	wbuf   []byte // group-commit coalescing buffer, reused across flushes
 	sealed []sealedSegment
 	closed bool
+
+	// closing mirrors closed for the lock-free fast path in Append: an
+	// appender that races Close must surface ErrWALClosed, never touch
+	// closed file state. The authoritative flag stays closed (under fmu).
+	closing atomic.Bool
 }
 
 type sealedSegment struct {
@@ -248,6 +262,9 @@ func (w *WAL) rotate() error {
 		size:   w.size,
 	})
 	w.met.Rotations.Inc()
+	if w.opts.OnRotate != nil {
+		w.opts.OnRotate(w.seq, w.curMax)
+	}
 	return w.openSegment(w.seq + 1)
 }
 
@@ -257,6 +274,9 @@ func (w *WAL) rotate() error {
 // leader writes the whole queue with one write and one fsync (group
 // commit), so the fsync cost amortizes across concurrent committers.
 func (w *WAL) Append(version int64, payload []byte) error {
+	if w.closing.Load() {
+		return ErrWALClosed
+	}
 	req := reqPool.Get().(*appendReq)
 	req.version, req.payload = version, payload
 	w.qmu.Lock()
@@ -403,6 +423,48 @@ func (w *WAL) TruncateBelow(version int64) error {
 	return nil
 }
 
+// TailAbove reads back every record in the log whose version is strictly
+// greater than version: the disk-side tailing API replication's catch-up
+// path uses to close the gap between a replica's watermark and the live
+// stream without re-bootstrapping. Segments are read outside the WAL's
+// locks, so appends proceed concurrently; a batch mid-write in the active
+// segment fails its checksum and is simply not visible yet (it will reach
+// the caller through the live feed instead). A segment deleted by a
+// concurrent checkpoint truncation surfaces as an error — the caller
+// falls back to a checkpoint bootstrap. Records come back in segment
+// order, not version order; payloads are freshly allocated.
+func (w *WAL) TailAbove(version int64) ([]Record, error) {
+	w.fmu.Lock()
+	if w.closed {
+		w.fmu.Unlock()
+		return nil, ErrWALClosed
+	}
+	paths := make([]string, 0, len(w.sealed)+1)
+	for _, s := range w.sealed {
+		if s.maxVer > version {
+			paths = append(paths, s.path)
+		}
+	}
+	if w.curMax > version {
+		paths = append(paths, filepath.Join(w.dir, segmentName(w.seq)))
+	}
+	w.fmu.Unlock()
+
+	var out []Record
+	for _, p := range paths {
+		recs, _, _, err := readSegment(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			if r.Version > version {
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
 // SealedSegments reports how many sealed (rotation-completed) segments the
 // log currently retains; diagnostics and tests use it to observe
 // truncation.
@@ -415,6 +477,7 @@ func (w *WAL) SealedSegments() int {
 // Close syncs and closes the active segment. Appends after Close fail with
 // ErrWALClosed; Close must not race in-flight appends.
 func (w *WAL) Close() error {
+	w.closing.Store(true)
 	w.fmu.Lock()
 	defer w.fmu.Unlock()
 	if w.closed {

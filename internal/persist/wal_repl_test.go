@@ -1,0 +1,225 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWALRotateHook asserts OnRotate fires once per seal with the sealed
+// segment's sequence number and its maximum record version — the
+// notification replication's log tailer keys on instead of polling the
+// directory.
+func TestWALRotateHook(t *testing.T) {
+	dir := t.TempDir()
+	type seal struct {
+		seq    uint64
+		maxVer int64
+	}
+	var mu sync.Mutex
+	var seals []seal
+	w, _ := openTestWAL(t, dir, WALOptions{
+		SegmentBytes: 256,
+		OnRotate: func(seq uint64, maxVer int64) {
+			mu.Lock()
+			seals = append(seals, seal{seq, maxVer})
+			mu.Unlock()
+		},
+	})
+	payload := bytes.Repeat([]byte{'r'}, 64)
+	for i := 0; i < 40; i++ {
+		if err := w.Append(int64(i+1), payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	w.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seals) == 0 {
+		t.Fatal("no OnRotate callback at 256-byte segments")
+	}
+	if len(seals) != w.SealedSegments() {
+		// Close happened after the loop; every sealed segment must have
+		// announced itself exactly once.
+		t.Fatalf("%d OnRotate calls for %d sealed segments", len(seals), w.SealedSegments())
+	}
+	var prevSeq uint64
+	var prevMax int64
+	for i, s := range seals {
+		if i > 0 && s.seq <= prevSeq {
+			t.Fatalf("seal %d: seq %d not increasing past %d", i, s.seq, prevSeq)
+		}
+		if s.maxVer <= prevMax {
+			t.Fatalf("seal %d: maxVer %d not increasing past %d", i, s.maxVer, prevMax)
+		}
+		if s.maxVer < 1 || s.maxVer > 40 {
+			t.Fatalf("seal %d: maxVer %d outside appended range", i, s.maxVer)
+		}
+		prevSeq, prevMax = s.seq, s.maxVer
+	}
+}
+
+// TestWALAppendCloseRace hammers Append from many goroutines while Close
+// runs concurrently. The regression: an append racing Close used to reach
+// file state already torn down instead of surfacing ErrWALClosed. Run
+// under -race, every append must either succeed or report ErrWALClosed —
+// never panic, never another error.
+func TestWALAppendCloseRace(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		dir := t.TempDir()
+		w, _ := openTestWAL(t, dir, WALOptions{})
+		var wg sync.WaitGroup
+		var closedSeen atomic.Int64
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 100; i++ {
+					err := w.Append(int64(g*1000+i+1), []byte("race"))
+					if err == nil {
+						continue
+					}
+					if !errors.Is(err, ErrWALClosed) {
+						t.Errorf("Append: %v, want nil or ErrWALClosed", err)
+						return
+					}
+					closedSeen.Add(1)
+					return
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := w.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+		close(start)
+		wg.Wait()
+		// The log must still be replayable: whatever was acked is intact.
+		w2, recs := openTestWAL(t, dir, WALOptions{})
+		seen := map[int64]bool{}
+		for _, r := range recs {
+			if seen[r.Version] {
+				t.Fatalf("round %d: duplicate version %d after race", round, r.Version)
+			}
+			seen[r.Version] = true
+		}
+		w2.Close()
+	}
+}
+
+// TestWALTailAbove covers the disk-side tailing API replication's
+// catch-up uses: records strictly above the watermark come back (across
+// sealed and active segments), records at or below it never do, and
+// truncation below the watermark does not disturb the tail.
+func TestWALTailAbove(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openTestWAL(t, dir, WALOptions{SegmentBytes: 256})
+	payload := bytes.Repeat([]byte{'t'}, 64)
+	for i := 0; i < 40; i++ {
+		if err := w.Append(int64(i+1), payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+
+	recs, err := w.TailAbove(25)
+	if err != nil {
+		t.Fatalf("TailAbove: %v", err)
+	}
+	got := map[int64]bool{}
+	for _, r := range recs {
+		if r.Version <= 25 {
+			t.Fatalf("TailAbove(25) returned version %d", r.Version)
+		}
+		if got[r.Version] {
+			t.Fatalf("TailAbove(25) duplicated version %d", r.Version)
+		}
+		got[r.Version] = true
+	}
+	for v := int64(26); v <= 40; v++ {
+		if !got[v] {
+			t.Fatalf("TailAbove(25) missing version %d", v)
+		}
+	}
+
+	// A checkpoint-style truncation below the tail point must leave the
+	// tail fully readable.
+	if err := w.TruncateBelow(20); err != nil {
+		t.Fatalf("TruncateBelow: %v", err)
+	}
+	recs, err = w.TailAbove(25)
+	if err != nil {
+		t.Fatalf("TailAbove after truncation: %v", err)
+	}
+	got = map[int64]bool{}
+	for _, r := range recs {
+		got[r.Version] = true
+	}
+	for v := int64(26); v <= 40; v++ {
+		if !got[v] {
+			t.Fatalf("TailAbove(25) after truncation missing version %d", v)
+		}
+	}
+
+	// TailAbove on a closed log reports ErrWALClosed, not a read of
+	// deleted files.
+	w.Close()
+	if _, err := w.TailAbove(0); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("TailAbove after Close: %v, want ErrWALClosed", err)
+	}
+}
+
+// TestWALTailAboveConcurrentAppends interleaves TailAbove with live
+// appends: every tail snapshot must be internally consistent (no
+// duplicates, nothing at or below the floor) even as segments rotate
+// underneath it.
+func TestWALTailAboveConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openTestWAL(t, dir, WALOptions{SegmentBytes: 512})
+	defer w.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := int64(1); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := w.Append(v, []byte(fmt.Sprintf("v-%d", v))); err != nil {
+				t.Errorf("Append: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		recs, err := w.TailAbove(int64(i * 3))
+		if err != nil {
+			t.Fatalf("TailAbove: %v", err)
+		}
+		seen := map[int64]bool{}
+		for _, r := range recs {
+			if r.Version <= int64(i*3) {
+				t.Fatalf("TailAbove(%d) returned version %d", i*3, r.Version)
+			}
+			if seen[r.Version] {
+				t.Fatalf("TailAbove(%d) duplicated version %d", i*3, r.Version)
+			}
+			seen[r.Version] = true
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

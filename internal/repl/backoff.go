@@ -1,0 +1,59 @@
+// Package repl implements WAL-shipping replication for durable jiffy
+// stores: a primary taps every durable update (jiffy/durable.Feed),
+// buffers the tail in a bounded in-memory ring, and streams it to
+// replicas over the internal/wire framing; replicas apply the records at
+// the primary's exact commit versions and serve reads at a replicated
+// watermark. See DESIGN.md §11 for the protocol and its safety argument.
+package repl
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes capped, jittered exponential retry delays. The zero
+// value uses the defaults (50ms base, 5s cap, factor 2, 50% jitter). It
+// is shared by the replica runner's reconnect loop and jiffy/client's
+// optional dial retry, so both ends of the system pace retries the same
+// way. A Backoff belongs to one retry loop — it is not safe for
+// concurrent use; give each loop its own copy.
+type Backoff struct {
+	Base   time.Duration // first delay; default 50ms
+	Max    time.Duration // delay cap; default 5s
+	Factor float64       // per-attempt growth; default 2
+	Jitter float64       // fraction of each delay randomized, in [0,1]; default 0.5
+
+	attempt int
+}
+
+// Next returns the delay to sleep before the next attempt and advances
+// the attempt counter. Jitter spreads simultaneous retriers: the returned
+// delay is uniform in [d*(1-Jitter), d] for the attempt's nominal d.
+func (b *Backoff) Next() time.Duration {
+	base, max, factor, jitter := b.Base, b.Max, b.Factor, b.Jitter
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if factor < 1 {
+		factor = 2
+	}
+	if jitter < 0 || jitter > 1 {
+		jitter = 0.5
+	}
+	d := float64(base) * math.Pow(factor, float64(b.attempt))
+	if d >= float64(max) {
+		d = float64(max)
+	} else {
+		b.attempt++
+	}
+	d -= rand.Float64() * jitter * d
+	return time.Duration(d)
+}
+
+// Reset returns the backoff to its first-attempt delay; call it after a
+// successful connection.
+func (b *Backoff) Reset() { b.attempt = 0 }

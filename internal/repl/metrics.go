@@ -1,0 +1,77 @@
+package repl
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics is the replication layer's instrumentation panel. A process
+// wires the side it plays: RegisterSourceMetrics on a primary,
+// RegisterReplicaMetrics on a replica (a promoted replica keeps its
+// replica panel and gains a source panel when it starts serving replicas
+// of its own). All series are aggregates — no per-replica labels — so
+// the series set is fixed at wiring time, as internal/obs requires.
+type Metrics struct {
+	// Source side.
+	RecordsPublished *obs.Counter // records published through the tap
+	Resyncs          *obs.Counter // subscribers severed (lag or sync timeout)
+	SyncTimeouts     *obs.Counter // synchronous-ack waits that expired
+	Bootstraps       *obs.Counter // checkpoint bootstraps served
+	Catchups         *obs.Counter // disk catch-ups served
+
+	// Replica side.
+	RecordsApplied *obs.Counter // records applied to the local store
+	Reconnects     *obs.Counter // (re)connect attempts to the primary
+}
+
+// noopMetrics returns a panel wired to a throwaway registry, so
+// unconfigured taps and runners can count unconditionally.
+func noopMetrics() *Metrics {
+	return newMetrics(obs.NewRegistry())
+}
+
+func newMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		RecordsPublished: reg.Counter("jiffy_repl_records_published_total",
+			"Records published into the replication stream."),
+		Resyncs: reg.Counter("jiffy_repl_resyncs_total",
+			"Replica connections severed for lagging; each resumes or re-bootstraps."),
+		SyncTimeouts: reg.Counter("jiffy_repl_sync_timeouts_total",
+			"Synchronous replication acks that timed out (write proceeded, laggard severed)."),
+		Bootstraps: reg.Counter("jiffy_repl_bootstraps_total",
+			"Checkpoint bootstraps served to replicas."),
+		Catchups: reg.Counter("jiffy_repl_catchups_total",
+			"Disk (WAL tail) catch-ups served to replicas."),
+		RecordsApplied: reg.Counter("jiffy_repl_records_applied_total",
+			"Primary records applied to the local replica store."),
+		Reconnects: reg.Counter("jiffy_repl_reconnects_total",
+			"Connection attempts to the primary (first and retries)."),
+	}
+}
+
+// RegisterMetrics registers the replication counter panel on reg and
+// returns it; pass it to TapOptions/RunnerOptions.
+func RegisterMetrics(reg *obs.Registry) *Metrics {
+	return newMetrics(reg)
+}
+
+// RegisterSourceGauges registers the primary-side lag gauges, computed
+// from the tap's subscriber census at each scrape.
+func RegisterSourceGauges(reg *obs.Registry, t *Tap) {
+	reg.Func("jiffy_repl_replicas_connected",
+		"Replica connections currently subscribed (synced or catching up).",
+		func() float64 { return float64(t.LagStats().Replicas) })
+	reg.Func("jiffy_repl_lag_versions",
+		"Largest published-version minus replica-watermark over synced replicas.",
+		func() float64 { return float64(t.LagStats().MaxLagVersions) })
+	reg.Func("jiffy_repl_lag_bytes",
+		"Largest count of stream bytes past a synced replica's receipt ack.",
+		func() float64 { return float64(t.LagStats().MaxLagBytes) })
+}
+
+// RegisterReplicaGauges registers the replica-side watermark gauge.
+// watermark is typically durable.Replica's Watermark method.
+func RegisterReplicaGauges(reg *obs.Registry, watermark func() int64) {
+	reg.Func("jiffy_repl_watermark",
+		"Replica's applied replication watermark (0: never synced).",
+		func() float64 { return float64(watermark()) })
+}

@@ -1,0 +1,594 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"maps"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/testutil"
+	"repro/internal/wire"
+	"repro/jiffy"
+	"repro/jiffy/durable"
+)
+
+// End-to-end replication tests: a real durable primary, a real Source on
+// a TCP listener, a real durable Replica driven by a Runner — with
+// testutil's fault-injecting proxy in between where the test calls for a
+// misbehaving network.
+
+func strCodec() durable.Codec[string, string] {
+	return durable.Codec[string, string]{Key: durable.StringEnc(), Value: durable.StringEnc()}
+}
+
+// primaryOpts: StrictClock is what makes resume-from-watermark exact; the
+// small segments force rotation so disk catch-up crosses segment seams.
+func primaryOpts() durable.Options[string] {
+	return durable.Options[string]{SegmentBytes: 1 << 12, NoSync: true, StrictClock: true}
+}
+
+func replicaOpts() durable.Options[string] {
+	return durable.Options[string]{SegmentBytes: 1 << 12, NoSync: true}
+}
+
+// startSource opens a primary store, installs a Source on it (before any
+// write, so the tap's ring floor is honest), and serves it on a loopback
+// listener. Cleanup closes source then store.
+func startSource(t *testing.T, opts SourceOptions) (*durable.Sharded[string, string], *Source[string, string], string) {
+	t.Helper()
+	store, err := durable.OpenSharded(t.TempDir(), 4, strCodec(), primaryOpts())
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	if opts.HeartbeatEvery == 0 {
+		opts.HeartbeatEvery = 20 * time.Millisecond
+	}
+	src := NewSource(store, strCodec(), opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go src.Serve(ln)
+	t.Cleanup(func() {
+		src.Close()
+		store.Close()
+	})
+	return store, src, ln.Addr().String()
+}
+
+// startRunner opens a replica store and starts a Runner replicating addr
+// into it. Cleanup stops the runner then closes the store.
+func startRunner(t *testing.T, addr string, opts RunnerOptions) (*durable.Replica[string, string], *Runner[string, string]) {
+	t.Helper()
+	rep, err := durable.OpenReplica(t.TempDir(), 4, strCodec(), replicaOpts())
+	if err != nil {
+		t.Fatalf("OpenReplica: %v", err)
+	}
+	if opts.Backoff == (Backoff{}) {
+		opts.Backoff = Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond}
+	}
+	if opts.ReadTimeout == 0 {
+		opts.ReadTimeout = 2 * time.Second
+	}
+	r := NewRunner(rep, strCodec(), addr, opts)
+	r.Start()
+	t.Cleanup(func() {
+		r.Stop()
+		rep.Close()
+	})
+	return rep, r
+}
+
+type allFunc func(fn func(key, val string) bool)
+
+func dump(all allFunc) map[string]string {
+	m := map[string]string{}
+	all(func(k, v string) bool { m[k] = v; return true })
+	return m
+}
+
+// waitConverged blocks until the replica's content equals the primary's
+// and its watermark covers ver.
+func waitConverged(t *testing.T, p *durable.Sharded[string, string], r *durable.Replica[string, string], ver int64) {
+	t.Helper()
+	testutil.WaitFor(t, 15*time.Second, func() bool {
+		return r.Watermark() >= ver && maps.Equal(dump(p.All), dump(r.All))
+	}, "replica did not converge: watermark %d (want >= %d), %d keys (primary %d)",
+		r.Watermark(), ver, r.Len(), p.Len())
+}
+
+// TestReplConvergence streams puts, removes and cross-shard batches from
+// a live primary and asserts the replica reaches exactly the primary's
+// content — no gap, no duplicate apply (either would break map equality
+// under removes) — with its watermark covering every acked write.
+func TestReplConvergence(t *testing.T) {
+	testutil.LeakCheck(t)
+	reg := obs.NewRegistry()
+	met := RegisterMetrics(reg)
+	store, _, addr := startSource(t, SourceOptions{Metrics: met})
+	rep, _ := startRunner(t, addr, RunnerOptions{Metrics: met})
+
+	var last int64
+	for i := 0; i < 200; i++ {
+		v, err := store.PutV(fmt.Sprintf("k-%03d", i), fmt.Sprintf("v-%d", i))
+		if err != nil {
+			t.Fatalf("PutV: %v", err)
+		}
+		last = v
+	}
+	for i := 0; i < 200; i += 3 {
+		v, ok, err := store.RemoveV(fmt.Sprintf("k-%03d", i))
+		if err != nil || !ok {
+			t.Fatalf("RemoveV: %v/%v", ok, err)
+		}
+		last = v
+	}
+	batch := jiffy.NewBatch[string, string](51)
+	for i := 0; i < 50; i++ {
+		batch.Put(fmt.Sprintf("b-%03d", i), "batched")
+	}
+	batch.Remove("k-001")
+	v, err := store.BatchUpdateV(batch)
+	if err != nil {
+		t.Fatalf("BatchUpdateV: %v", err)
+	}
+	last = v
+
+	waitConverged(t, store, rep, last)
+	if rep.Watermark() < last {
+		t.Fatalf("watermark %d below last acked version %d", rep.Watermark(), last)
+	}
+	if pub, app := met.RecordsPublished.Value(), met.RecordsApplied.Value(); app != pub {
+		t.Fatalf("applied %d records, published %d (gap or duplicate apply)", app, pub)
+	}
+}
+
+// TestReplDiskCatchup forces the ring past a fresh replica's resume point
+// (tiny ring budget) with no checkpoint taken, so catch-up must come from
+// the on-disk log tail, and asserts it converges.
+func TestReplDiskCatchup(t *testing.T) {
+	testutil.LeakCheck(t)
+	reg := obs.NewRegistry()
+	met := RegisterMetrics(reg)
+	store, _, addr := startSource(t, SourceOptions{
+		Tap:     TapOptions{RingBytes: 512, HardRingBytes: 1 << 20},
+		Metrics: met,
+	})
+
+	val := strings.Repeat("x", 64)
+	var last int64
+	for i := 0; i < 100; i++ {
+		v, err := store.PutV(fmt.Sprintf("d-%03d", i), val)
+		if err != nil {
+			t.Fatalf("PutV: %v", err)
+		}
+		last = v
+	}
+
+	// Now connect: watermark 0 is below the evicted ring floor, and with
+	// no checkpoint (CheckpointVersion 0) the disk tier must serve it.
+	rep, _ := startRunner(t, addr, RunnerOptions{Metrics: met})
+	waitConverged(t, store, rep, last)
+	if met.Catchups.Value() == 0 {
+		t.Fatal("no disk catch-up served")
+	}
+	if met.Bootstraps.Value() != 0 {
+		t.Fatal("bootstrap served where the disk tail sufficed")
+	}
+
+	// And the stream keeps flowing afterwards.
+	v, err := store.PutV("after-catchup", "live")
+	if err != nil {
+		t.Fatalf("PutV: %v", err)
+	}
+	waitConverged(t, store, rep, v)
+}
+
+// TestReplBootstrap checkpoints the primary (truncating its log) behind a
+// tiny ring, so a fresh replica can be served by neither the ring nor the
+// disk tail: it must bootstrap from a snapshot cut. A second round stops
+// the replica, checkpoints past its watermark again, and asserts the
+// reconnect re-bootstraps (BeginBootstrap wipes) rather than resuming
+// into a gap.
+func TestReplBootstrap(t *testing.T) {
+	testutil.LeakCheck(t)
+	reg := obs.NewRegistry()
+	met := RegisterMetrics(reg)
+	store, src, addr := startSource(t, SourceOptions{
+		Tap:     TapOptions{RingBytes: 512, HardRingBytes: 1 << 20},
+		Metrics: met,
+	})
+
+	val := strings.Repeat("y", 64)
+	var last int64
+	for i := 0; i < 100; i++ {
+		v, err := store.PutV(fmt.Sprintf("s-%03d", i), val)
+		if err != nil {
+			t.Fatalf("PutV: %v", err)
+		}
+		last = v
+	}
+	if _, err := store.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	rep, runner := startRunner(t, addr, RunnerOptions{Metrics: met})
+	waitConverged(t, store, rep, last)
+	if met.Bootstraps.Value() != 1 {
+		t.Fatalf("%d bootstraps for a fresh replica behind a checkpoint, want 1", met.Bootstraps.Value())
+	}
+
+	// Round 2: leave the replica behind a second checkpoint. Wait for the
+	// source to drop the dead subscription first — a subscriber, even a
+	// doomed one, pins the ring below the hard cap, and a pinned ring
+	// would still cover the replica's resume point.
+	runner.Stop()
+	testutil.Eventually(t, func() bool {
+		return src.Tap().LagStats().Replicas == 0
+	}, "source still holds the stopped replica's subscription")
+	for i := 0; i < 100; i++ {
+		v, err := store.PutV(fmt.Sprintf("s2-%03d", i), val)
+		if err != nil {
+			t.Fatalf("PutV: %v", err)
+		}
+		last = v
+	}
+	if _, err := store.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	runner2 := NewRunner(rep, strCodec(), addr, RunnerOptions{
+		Backoff: Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+		Metrics: met,
+	})
+	runner2.Start()
+	defer runner2.Stop()
+	waitConverged(t, store, rep, last)
+	if met.Bootstraps.Value() != 2 {
+		t.Fatalf("%d bootstraps after truncation past the watermark, want 2", met.Bootstraps.Value())
+	}
+}
+
+// TestReplResumeAfterSever cuts the replica's connection over and over
+// mid-stream and asserts the replica resumes from its watermark each time
+// and still lands on exactly the primary's content.
+func TestReplResumeAfterSever(t *testing.T) {
+	testutil.LeakCheck(t)
+	reg := obs.NewRegistry()
+	met := RegisterMetrics(reg)
+	store, _, addr := startSource(t, SourceOptions{Metrics: met})
+
+	proxy, err := testutil.NewProxy(addr, testutil.Faults{})
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer proxy.Close()
+	rep, _ := startRunner(t, proxy.Addr(), RunnerOptions{Metrics: met})
+
+	var last int64
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 40; i++ {
+			v, err := store.PutV(fmt.Sprintf("r%d-%03d", round, i), "sever")
+			if err != nil {
+				t.Fatalf("PutV: %v", err)
+			}
+			last = v
+		}
+		proxy.Sever()
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i := 0; i < 40; i++ {
+		v, err := store.PutV(fmt.Sprintf("tail-%03d", i), "sever")
+		if err != nil {
+			t.Fatalf("PutV: %v", err)
+		}
+		last = v
+	}
+
+	waitConverged(t, store, rep, last)
+	if met.Reconnects.Value() < 3 {
+		t.Fatalf("%d connection attempts across 5 severs", met.Reconnects.Value())
+	}
+	if pub, app := met.RecordsPublished.Value(), met.RecordsApplied.Value(); app != pub {
+		t.Fatalf("applied %d records, published %d, across resumes", app, pub)
+	}
+}
+
+// TestReplFaultBattery runs the stream through a proxy that misbehaves
+// continuously — fragmented reads and writes, injected stalls, and a
+// connection reset every few KiB — while the primary keeps writing. Every
+// connection dies mid-batch; every resume must make progress from the
+// watermark until the replica converges.
+func TestReplFaultBattery(t *testing.T) {
+	testutil.LeakCheck(t)
+	reg := obs.NewRegistry()
+	met := RegisterMetrics(reg)
+	store, _, addr := startSource(t, SourceOptions{Metrics: met})
+
+	proxy, err := testutil.NewProxy(addr, testutil.Faults{
+		ShortReads:      3,
+		ShortWrites:     3,
+		StallEvery:      13,
+		Stall:           time.Millisecond,
+		ResetAfterBytes: 8 << 10,
+		Seed:            42,
+	})
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer proxy.Close()
+	rep, _ := startRunner(t, proxy.Addr(), RunnerOptions{Metrics: met})
+
+	var last int64
+	for i := 0; i < 300; i++ {
+		v, err := store.PutV(fmt.Sprintf("f-%03d", i), strings.Repeat("z", 32))
+		if err != nil {
+			t.Fatalf("PutV: %v", err)
+		}
+		last = v
+		if i%50 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	waitConverged(t, store, rep, last)
+	if met.Reconnects.Value() < 2 {
+		t.Fatalf("%d connection attempts under a resetting proxy", met.Reconnects.Value())
+	}
+}
+
+// TestReplPromoteLossless is the crash-the-primary property test: with
+// synchronous acks on, every write the primary acknowledged to a client
+// must be readable on the replica after the primary dies and the replica
+// promotes. Writers hammer the primary concurrently, recording exactly
+// the keys whose writes were acked; then the network is cut (no graceful
+// handoff), the replica promotes, and every recorded key must be present.
+func TestReplPromoteLossless(t *testing.T) {
+	testutil.LeakCheck(t)
+	store, src, addr := startSource(t, SourceOptions{
+		Tap: TapOptions{SyncAcks: true, SyncTimeout: 10 * time.Second},
+	})
+	proxy, err := testutil.NewProxy(addr, testutil.Faults{})
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer proxy.Close()
+	rep, runner := startRunner(t, proxy.Addr(), RunnerOptions{})
+
+	// Wait until the replica is attached and applying before measuring:
+	// a write acked with no replica connected is trivially non-replicated
+	// (graceful degradation), which is not the property under test.
+	v0, err := store.PutV("sentinel", "up")
+	if err != nil {
+		t.Fatalf("PutV: %v", err)
+	}
+	testutil.Eventually(t, func() bool { return rep.Watermark() >= v0 }, "replica never synced")
+
+	var mu sync.Mutex
+	acked := map[string]string{}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("w-%d-%03d", g, i)
+				val := fmt.Sprintf("val-%d-%d", g, i)
+				if _, err := store.PutV(k, val); err != nil {
+					t.Errorf("PutV(%s): %v", k, err)
+					return
+				}
+				// The put returned: the client holds an ack.
+				mu.Lock()
+				acked[k] = val
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// "Crash": sever the network abruptly, then promote the replica. The
+	// old primary gets no goodbye and no drain.
+	proxy.Sever()
+	proxy.Close()
+	promotedAt, err := runner.Promote()
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if promotedAt <= 0 {
+		t.Fatalf("promoted at version %d", promotedAt)
+	}
+
+	for k, want := range acked {
+		got, ok := rep.Get(k)
+		if !ok {
+			t.Fatalf("acked key %q lost across promote (promoted at %d)", k, promotedAt)
+		}
+		if got != want {
+			t.Fatalf("acked key %q has value %q, want %q", k, got, want)
+		}
+	}
+
+	// The promoted node is a primary now: writes are accepted and version
+	// history continues past the promote point.
+	v, err := rep.PutV("post-promote", "accepted")
+	if err != nil {
+		t.Fatalf("write on promoted node: %v", err)
+	}
+	if v <= promotedAt {
+		t.Fatalf("post-promote version %d not past promote point %d", v, promotedAt)
+	}
+	src.Close() // quiet cleanup of the dead "old primary"
+}
+
+// TestReplPromoteAppliesPending drives applyBatch directly with a batch
+// whose frontier is behind its records, so they buffer without applying —
+// then asserts Promote applies them (in version order) rather than
+// dropping received-but-unacknowledged-by-frontier records.
+func TestReplPromoteAppliesPending(t *testing.T) {
+	// Capture real record payloads from a real primary: ApplyRecord
+	// consumes the WAL record encoding, so hand-crafted payloads won't do.
+	store, err := durable.OpenSharded(t.TempDir(), 2, strCodec(), primaryOpts())
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	cf := &captureFeed{}
+	store.SetFeed(cf)
+	v1, err := store.PutV("a", "1")
+	if err != nil {
+		t.Fatalf("PutV: %v", err)
+	}
+	v2, err := store.PutV("b", "2")
+	if err != nil {
+		t.Fatalf("PutV: %v", err)
+	}
+	store.SetFeed(nil)
+	store.Close()
+	recs := cf.take()
+	if len(recs) != 2 {
+		t.Fatalf("captured %d records, want 2", len(recs))
+	}
+
+	rep, err := durable.OpenReplica(t.TempDir(), 2, strCodec(), replicaOpts())
+	if err != nil {
+		t.Fatalf("OpenReplica: %v", err)
+	}
+	defer rep.Close()
+	r := NewRunner(rep, strCodec(), "127.0.0.1:1", RunnerOptions{})
+
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	go io.Copy(io.Discard, srv) // drain the receipt ack
+
+	// Batch with frontier 0: both records stay pending, nothing applies.
+	body := binary.LittleEndian.AppendUint64(nil, 0) // frontier
+	body = binary.LittleEndian.AppendUint64(body, 7) // lastSeq
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(recs)))
+	for _, rec := range recs {
+		body = binary.LittleEndian.AppendUint64(body, uint64(rec.Version))
+		body = wire.AppendBytes(body, rec.Payload)
+	}
+	if _, err := r.applyBatch(cli, nil, body); err != nil {
+		t.Fatalf("applyBatch: %v", err)
+	}
+	if wm := rep.Watermark(); wm != 0 {
+		t.Fatalf("watermark %d advanced past a frontier of 0", wm)
+	}
+	if _, ok := rep.Get("a"); ok {
+		t.Fatal("record applied ahead of its frontier")
+	}
+
+	// Promote must apply the buffered records — they were received, and a
+	// synchronous primary acked its client on that receipt.
+	promotedAt, err := r.Promote()
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if got, ok := rep.Get("a"); !ok || got != "1" {
+		t.Fatalf("key a after promote: %q/%v, want 1", got, ok)
+	}
+	if got, ok := rep.Get("b"); !ok || got != "2" {
+		t.Fatalf("key b after promote: %q/%v, want 2", got, ok)
+	}
+	if promotedAt < v2 || v1 >= v2 {
+		t.Fatalf("promoted at %d with records at %d,%d", promotedAt, v1, v2)
+	}
+}
+
+// captureFeed records every published payload (copied; the buffer is
+// pooled) for replay through ApplyRecord.
+type captureFeed struct {
+	mu   sync.Mutex
+	recs []durable.TailRecord
+}
+
+func (f *captureFeed) Begin() uint64  { return 0 }
+func (f *captureFeed) Abort(_ uint64) {}
+func (f *captureFeed) Publish(_ uint64, ver int64, payload []byte) {
+	f.mu.Lock()
+	f.recs = append(f.recs, durable.TailRecord{Version: ver, Payload: append([]byte(nil), payload...)})
+	f.mu.Unlock()
+}
+func (f *captureFeed) take() []durable.TailRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.recs
+}
+
+// TestReplGauges wires the full observability panel and asserts the
+// replication gauges move as the system runs: the replica-connected
+// census rises when the runner attaches, and the replica watermark gauge
+// follows the stream.
+func TestReplGauges(t *testing.T) {
+	testutil.LeakCheck(t)
+	reg := obs.NewRegistry()
+	met := RegisterMetrics(reg)
+	store, src, addr := startSource(t, SourceOptions{Metrics: met})
+	RegisterSourceGauges(reg, src.Tap())
+
+	if g := scrapeGauge(t, reg, "jiffy_repl_replicas_connected"); g != 0 {
+		t.Fatalf("replicas_connected %v before any replica", g)
+	}
+
+	rep, _ := startRunner(t, addr, RunnerOptions{Metrics: met})
+	RegisterReplicaGauges(reg, rep.Watermark)
+	if g := scrapeGauge(t, reg, "jiffy_repl_watermark"); g != 0 {
+		t.Fatalf("watermark gauge %v before any write", g)
+	}
+
+	var last int64
+	for i := 0; i < 50; i++ {
+		v, err := store.PutV(fmt.Sprintf("g-%03d", i), "gauge")
+		if err != nil {
+			t.Fatalf("PutV: %v", err)
+		}
+		last = v
+	}
+
+	testutil.Eventually(t, func() bool {
+		return scrapeGauge(t, reg, "jiffy_repl_replicas_connected") == 1
+	}, "replicas_connected gauge never reached 1")
+	testutil.Eventually(t, func() bool {
+		return scrapeGauge(t, reg, "jiffy_repl_watermark") >= float64(last)
+	}, "watermark gauge never covered version %d", last)
+	if c := scrapeGauge(t, reg, "jiffy_repl_records_published_total"); c < 50 {
+		t.Fatalf("published counter %v after 50 writes", c)
+	}
+	// Lag gauges render and are sane (≥ 0) under a connected replica.
+	if g := scrapeGauge(t, reg, "jiffy_repl_lag_versions"); g < 0 {
+		t.Fatalf("lag_versions %v", g)
+	}
+	if g := scrapeGauge(t, reg, "jiffy_repl_lag_bytes"); g < 0 {
+		t.Fatalf("lag_bytes %v", g)
+	}
+}
+
+// scrapeGauge renders the registry Prometheus-style and extracts one
+// series' value.
+func scrapeGauge(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			f, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("parse %s value %q: %v", name, rest, err)
+			}
+			return f
+		}
+	}
+	t.Fatalf("series %s not in scrape:\n%s", name, b.String())
+	return 0
+}

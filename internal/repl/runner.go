@@ -1,0 +1,399 @@
+package repl
+
+import (
+	"cmp"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+	"repro/jiffy"
+	"repro/jiffy/durable"
+)
+
+// ReplicaStore is what the runner needs from the local replica store;
+// *durable.Replica satisfies it.
+type ReplicaStore[K cmp.Ordered, V any] interface {
+	Watermark() int64
+	ApplyRecord(version int64, payload []byte) error
+	AdvanceTo(frontier int64)
+	BeginBootstrap() error
+	ApplyBootstrap(version int64, ops []jiffy.BatchOp[K, V]) error
+	FinishBootstrap(version int64) error
+	Promote() (int64, error)
+}
+
+// RunnerOptions tunes a Runner. The zero value selects the defaults.
+type RunnerOptions struct {
+	// Backoff paces reconnect attempts (zero value: 50ms..5s, jittered).
+	Backoff Backoff
+
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+
+	// ReadTimeout bounds the wait for the next frame (default 10s). The
+	// primary heartbeats every 500ms by default, so a silent connection
+	// is dead, not idle; expiry tears it down and reconnects.
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds each ack write (default 5s).
+	WriteTimeout time.Duration
+
+	// Logf receives connection lifecycle messages; nil silences them.
+	Logf func(format string, args ...any)
+
+	// Metrics receives the runner's instrumentation; nil disables it.
+	Metrics *Metrics
+}
+
+func (o RunnerOptions) withDefaults() RunnerOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 10 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	if o.Metrics == nil {
+		o.Metrics = noopMetrics()
+	}
+	return o
+}
+
+// Runner is the replica side of replication: it keeps one connection to
+// the primary's replication listener, resuming from the local watermark
+// with jittered exponential backoff after every failure — a network blip
+// costs a reconnect and a (ring or disk) resume, never a re-bootstrap
+// unless the primary truncated past the watermark.
+//
+// Records arrive in publish order, which is not version order (group
+// commit interleaves shards), so the runner buffers them by version —
+// versions are unique, so the buffer also de-duplicates catch-up/stream
+// overlap — and applies them in version order up to each batch's
+// frontier. Promote applies everything still buffered, acknowledged or
+// not, then turns the store into a primary.
+type Runner[K cmp.Ordered, V any] struct {
+	store ReplicaStore[K, V]
+	codec durable.Codec[K, V]
+	addr  string
+	opts  RunnerOptions
+	met   *Metrics
+	bo    *Backoff
+
+	// Loop-goroutine state (owned by loop; by Promote's caller after
+	// Stop).
+	pending map[int64][]byte
+	bootVer int64
+	bootOps []jiffy.BatchOp[K, V]
+
+	mu      sync.Mutex
+	conn    net.Conn
+	started bool
+	stopped bool
+	stopCh  chan struct{}
+	done    chan struct{}
+}
+
+// NewRunner returns a Runner replicating addr's stream into store. Call
+// Start to begin.
+func NewRunner[K cmp.Ordered, V any](store ReplicaStore[K, V], codec durable.Codec[K, V], addr string, opts RunnerOptions) *Runner[K, V] {
+	opts = opts.withDefaults()
+	bo := opts.Backoff
+	return &Runner[K, V]{
+		store:   store,
+		codec:   codec,
+		addr:    addr,
+		opts:    opts,
+		met:     opts.Metrics,
+		bo:      &bo,
+		pending: make(map[int64][]byte),
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+func (r *Runner[K, V]) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// Start launches the replication loop.
+func (r *Runner[K, V]) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started || r.stopped {
+		return
+	}
+	r.started = true
+	go r.loop()
+}
+
+// Stop terminates the loop and waits for it. Idempotent.
+func (r *Runner[K, V]) Stop() {
+	r.mu.Lock()
+	if !r.stopped {
+		r.stopped = true
+		close(r.stopCh)
+		if r.conn != nil {
+			r.conn.Close()
+		}
+	}
+	started := r.started
+	r.mu.Unlock()
+	if started {
+		<-r.done
+	}
+}
+
+// Promote stops replication, applies every buffered record — thanks to
+// synchronous acks, that includes every write the old primary
+// acknowledged to a client — and promotes the local store to a primary.
+// It returns the version the node promoted at.
+func (r *Runner[K, V]) Promote() (int64, error) {
+	r.Stop()
+	vers := make([]int64, 0, len(r.pending))
+	for v := range r.pending {
+		vers = append(vers, v)
+	}
+	sort.Slice(vers, func(i, j int) bool { return vers[i] < vers[j] })
+	maxV := int64(0)
+	for _, v := range vers {
+		if err := r.store.ApplyRecord(v, r.pending[v]); err != nil {
+			return 0, fmt.Errorf("repl: promote: apply buffered record at version %d: %w", v, err)
+		}
+		delete(r.pending, v)
+		maxV = v
+	}
+	if maxV > 0 {
+		r.store.AdvanceTo(maxV)
+	}
+	r.met.RecordsApplied.Add(uint64(len(vers)))
+	return r.store.Promote()
+}
+
+func (r *Runner[K, V]) isStopped() bool {
+	select {
+	case <-r.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d or until Stop; it reports whether the loop should go on.
+func (r *Runner[K, V]) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.stopCh:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (r *Runner[K, V]) setConn(c net.Conn) {
+	r.mu.Lock()
+	r.conn = c
+	if c != nil && r.stopped {
+		c.Close()
+	}
+	r.mu.Unlock()
+}
+
+func (r *Runner[K, V]) loop() {
+	defer close(r.done)
+	for {
+		if r.isStopped() {
+			return
+		}
+		r.met.Reconnects.Inc()
+		c, err := net.DialTimeout("tcp", r.addr, r.opts.DialTimeout)
+		if err != nil {
+			r.logf("repl: dial %s: %v", r.addr, err)
+			if !r.sleep(r.bo.Next()) {
+				return
+			}
+			continue
+		}
+		r.setConn(c)
+		err = r.session(c)
+		c.Close()
+		r.setConn(nil)
+		if r.isStopped() {
+			return
+		}
+		r.logf("repl: stream from %s ended: %v", r.addr, err)
+		if !r.sleep(r.bo.Next()) {
+			return
+		}
+	}
+}
+
+// session speaks one connection's worth of the protocol: HELLO with the
+// local watermark, then frames until an error. Returns why it ended.
+func (r *Runner[K, V]) session(c net.Conn) error {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	hello := binary.LittleEndian.AppendUint32(nil, 1)
+	hello = binary.LittleEndian.AppendUint64(hello, uint64(r.store.Watermark()))
+	if err := r.writeFrame(c, wire.OpReplHello, hello); err != nil {
+		return err
+	}
+	var buf, ackBuf []byte
+	for {
+		c.SetReadDeadline(time.Now().Add(r.opts.ReadTimeout))
+		_, op, body, nbuf, err := wire.ReadFrame(c, buf)
+		buf = nbuf
+		if err != nil {
+			return err
+		}
+		switch op {
+		case wire.OpReplSnapBegin:
+			if len(body) < 8 {
+				return fmt.Errorf("repl: short SnapBegin body (%d bytes)", len(body))
+			}
+			vs := int64(binary.LittleEndian.Uint64(body))
+			r.logf("repl: bootstrapping from %s at version %d", r.addr, vs)
+			if err := r.store.BeginBootstrap(); err != nil {
+				return err
+			}
+			r.bootVer = vs
+			clear(r.pending)
+		case wire.OpReplSnapChunk:
+			if err := r.applyChunk(body); err != nil {
+				return err
+			}
+		case wire.OpReplSnapEnd:
+			if err := r.store.FinishBootstrap(r.bootVer); err != nil {
+				return err
+			}
+			r.logf("repl: bootstrap complete, watermark %d", r.bootVer)
+			r.bo.Reset()
+			ackBuf, err = r.sendAck(c, ackBuf, 0)
+			if err != nil {
+				return err
+			}
+		case wire.OpReplBatch:
+			ackBuf, err = r.applyBatch(c, ackBuf, body)
+			if err != nil {
+				return err
+			}
+			r.bo.Reset()
+		default:
+			return fmt.Errorf("repl: unexpected frame op %d from primary", op)
+		}
+	}
+}
+
+func (r *Runner[K, V]) writeFrame(c net.Conn, op byte, body []byte) error {
+	c.SetWriteDeadline(time.Now().Add(r.opts.WriteTimeout))
+	_, err := c.Write(wire.AppendFrame(nil, 0, op, body))
+	return err
+}
+
+// sendAck writes an OpReplAck carrying lastSeq and the current watermark,
+// reusing buf.
+func (r *Runner[K, V]) sendAck(c net.Conn, buf []byte, lastSeq uint64) ([]byte, error) {
+	frame, lenAt := wire.BeginFrame(buf[:0], 0, wire.OpReplAck)
+	frame = binary.LittleEndian.AppendUint64(frame, lastSeq)
+	frame = binary.LittleEndian.AppendUint64(frame, uint64(r.store.Watermark()))
+	frame = wire.EndFrame(frame, lenAt)
+	c.SetWriteDeadline(time.Now().Add(r.opts.WriteTimeout))
+	_, err := c.Write(frame)
+	return frame, err
+}
+
+// applyChunk decodes one bootstrap chunk and applies it at the cut
+// version.
+func (r *Runner[K, V]) applyChunk(body []byte) error {
+	if len(body) < 4 {
+		return fmt.Errorf("repl: short SnapChunk body (%d bytes)", len(body))
+	}
+	n := binary.LittleEndian.Uint32(body)
+	p := body[4:]
+	ops := r.bootOps[:0]
+	for i := uint32(0); i < n; i++ {
+		kb, rest, err := wire.TakeBytes(p)
+		if err != nil {
+			return fmt.Errorf("repl: SnapChunk key: %w", err)
+		}
+		vb, rest, err := wire.TakeBytes(rest)
+		if err != nil {
+			return fmt.Errorf("repl: SnapChunk value: %w", err)
+		}
+		p = rest
+		key, err := r.codec.Key.Decode(kb)
+		if err != nil {
+			return err
+		}
+		val, err := r.codec.Value.Decode(vb)
+		if err != nil {
+			return err
+		}
+		ops = append(ops, jiffy.BatchOp[K, V]{Key: key, Val: val})
+	}
+	r.bootOps = ops[:0]
+	return r.store.ApplyBootstrap(r.bootVer, ops)
+}
+
+// applyBatch handles one OpReplBatch: acknowledge receipt first (a
+// synchronous primary blocks on it), buffer the records by version, then
+// apply everything at or below the frontier in version order and advance
+// the watermark.
+func (r *Runner[K, V]) applyBatch(c net.Conn, ackBuf, body []byte) ([]byte, error) {
+	if len(body) < 20 {
+		return ackBuf, fmt.Errorf("repl: short batch body (%d bytes)", len(body))
+	}
+	frontier := int64(binary.LittleEndian.Uint64(body))
+	lastSeq := binary.LittleEndian.Uint64(body[8:])
+	n := binary.LittleEndian.Uint32(body[16:])
+	p := body[20:]
+	wm := r.store.Watermark()
+	for i := uint32(0); i < n; i++ {
+		if len(p) < 8 {
+			return ackBuf, fmt.Errorf("repl: truncated batch record header")
+		}
+		ver := int64(binary.LittleEndian.Uint64(p))
+		payload, rest, err := wire.TakeBytes(p[8:])
+		if err != nil {
+			return ackBuf, fmt.Errorf("repl: batch record payload: %w", err)
+		}
+		p = rest
+		if ver > wm {
+			// Copy: payload aliases the connection's read buffer.
+			r.pending[ver] = append([]byte(nil), payload...)
+		}
+	}
+	ackBuf, err := r.sendAck(c, ackBuf, lastSeq)
+	if err != nil {
+		return ackBuf, err
+	}
+	if frontier > wm && len(r.pending) > 0 {
+		vers := make([]int64, 0, len(r.pending))
+		for v := range r.pending {
+			if v <= frontier {
+				vers = append(vers, v)
+			}
+		}
+		sort.Slice(vers, func(i, j int) bool { return vers[i] < vers[j] })
+		for _, v := range vers {
+			if err := r.store.ApplyRecord(v, r.pending[v]); err != nil {
+				return ackBuf, err
+			}
+			delete(r.pending, v)
+		}
+		r.met.RecordsApplied.Add(uint64(len(vers)))
+	}
+	if frontier > wm {
+		r.store.AdvanceTo(frontier)
+	}
+	return ackBuf, nil
+}

@@ -1,0 +1,201 @@
+package repl
+
+import (
+	"testing"
+	"time"
+)
+
+// publish pushes one record through the full Begin/Publish bracket.
+func publish(t *Tap, ver int64, payload string) {
+	tok := t.Begin()
+	t.Publish(tok, ver, []byte(payload))
+}
+
+func TestTapStreamDelivery(t *testing.T) {
+	tap := NewTap(0, TapOptions{})
+	defer tap.Close()
+	sb, _ := tap.subscribe(false)
+	defer tap.unsubscribe(sb)
+
+	for v := int64(1); v <= 5; v++ {
+		publish(tap, v, "p")
+	}
+	batch, frontier, err := sb.nextBatch(10, 1<<20, time.Second)
+	if err != nil {
+		t.Fatalf("nextBatch: %v", err)
+	}
+	if len(batch) != 5 {
+		t.Fatalf("delivered %d records, want 5", len(batch))
+	}
+	for i, e := range batch {
+		if e.ver != int64(i+1) {
+			t.Fatalf("record %d has version %d", i, e.ver)
+		}
+	}
+	if frontier != 5 {
+		t.Fatalf("frontier %d after full delivery, want 5", frontier)
+	}
+}
+
+// TestTapFrontierHeldByInflight: an update that has entered the commit
+// path but not yet published must hold the frontier below its eventual
+// version, or a replica could advance past a record still in flight.
+func TestTapFrontierHeldByInflight(t *testing.T) {
+	tap := NewTap(10, TapOptions{})
+	defer tap.Close()
+
+	slow := tap.Begin() // lb = 10
+	publish(tap, 11, "fast")
+	if f := tap.Frontier(); f != 10 {
+		t.Fatalf("frontier %d with an in-flight update, want 10", f)
+	}
+	tap.Publish(slow, 12, []byte("slow"))
+	if f := tap.Frontier(); f != 12 {
+		t.Fatalf("frontier %d after both published, want 12", f)
+	}
+
+	// Aborts release their hold too.
+	ab := tap.Begin()
+	publish(tap, 13, "x")
+	if f := tap.Frontier(); f != 12 {
+		t.Fatalf("frontier %d with aborted-update hold, want 12", f)
+	}
+	tap.Abort(ab)
+	if f := tap.Frontier(); f != 13 {
+		t.Fatalf("frontier %d after abort, want 13", f)
+	}
+}
+
+// TestTapPerSubFrontierCap: the frontier handed to one subscriber must
+// not cover records published but not yet delivered to it — otherwise
+// the replica's watermark would claim a record it never received.
+func TestTapPerSubFrontierCap(t *testing.T) {
+	tap := NewTap(0, TapOptions{})
+	defer tap.Close()
+	sb, _ := tap.subscribe(false)
+	defer tap.unsubscribe(sb)
+
+	for v := int64(1); v <= 6; v++ {
+		publish(tap, v, "p")
+	}
+	// Take only 2 of the 6: the frontier must stay below record 3.
+	batch, frontier, err := sb.nextBatch(2, 1<<20, time.Second)
+	if err != nil || len(batch) != 2 {
+		t.Fatalf("nextBatch: %d records, err %v", len(batch), err)
+	}
+	if frontier >= 3 {
+		t.Fatalf("frontier %d covers undelivered record 3", frontier)
+	}
+	// Drain the rest: now the frontier covers everything.
+	batch, frontier, err = sb.nextBatch(10, 1<<20, time.Second)
+	if err != nil || len(batch) != 4 {
+		t.Fatalf("drain: %d records, err %v", len(batch), err)
+	}
+	if frontier != 6 {
+		t.Fatalf("frontier %d after drain, want 6", frontier)
+	}
+}
+
+// TestTapRingResumeBounds: subscribeRing must accept a watermark the
+// ring still covers and refuse one below an evicted version.
+func TestTapRingResumeBounds(t *testing.T) {
+	tap := NewTap(0, TapOptions{RingBytes: 64, HardRingBytes: 1 << 20})
+	defer tap.Close()
+
+	// No subscribers: eviction trims freely past the 64-byte budget.
+	for v := int64(1); v <= 10; v++ {
+		publish(tap, v, "0123456789abcdef") // 16 bytes each
+	}
+	if tap.ringFloor == 0 {
+		t.Fatal("nothing evicted past a 64-byte budget")
+	}
+	if _, ok := tap.subscribeRing(0); ok {
+		t.Fatal("ring resume accepted a watermark below the evicted floor")
+	}
+	sb, ok := tap.subscribeRing(tap.ringFloor)
+	if !ok {
+		t.Fatal("ring resume refused a watermark at the floor")
+	}
+	// Everything still ringed and above the floor must be deliverable.
+	batch, _, err := sb.nextBatch(100, 1<<20, time.Second)
+	if err != nil {
+		t.Fatalf("nextBatch: %v", err)
+	}
+	for _, e := range batch {
+		if e.ver <= tap.ringFloor-1 {
+			t.Fatalf("delivered version %d below the resume floor", e.ver)
+		}
+	}
+	tap.unsubscribe(sb)
+}
+
+// TestTapHardCapSeversLaggard: a subscriber pinning the ring past the
+// hard cap is severed (drop-and-resync) instead of the ring growing
+// without bound.
+func TestTapHardCapSeversLaggard(t *testing.T) {
+	met := noopMetrics()
+	tap := NewTap(0, TapOptions{RingBytes: 64, HardRingBytes: 128, Metrics: met})
+	defer tap.Close()
+	sb, _ := tap.subscribe(false)
+	defer tap.unsubscribe(sb)
+
+	// The laggard never consumes; push well past the hard cap.
+	for v := int64(1); v <= 64; v++ {
+		publish(tap, v, "0123456789abcdef")
+	}
+	if tap.ringBytes > 128 {
+		t.Fatalf("ring holds %d bytes, past the 128-byte hard cap", tap.ringBytes)
+	}
+	if met.Resyncs.Value() == 0 {
+		t.Fatal("no resync recorded for the severed laggard")
+	}
+	if _, _, err := sb.nextBatch(10, 1<<20, 10*time.Millisecond); err != errSevered {
+		t.Fatalf("laggard's nextBatch: %v, want errSevered", err)
+	}
+}
+
+// TestTapSyncAckGate: with SyncAcks, Publish must block until the synced
+// subscriber acknowledges receipt, and sever it — letting the write
+// proceed — when the ack misses the deadline.
+func TestTapSyncAckGate(t *testing.T) {
+	met := noopMetrics()
+	tap := NewTap(0, TapOptions{SyncAcks: true, SyncTimeout: 80 * time.Millisecond, Metrics: met})
+	defer tap.Close()
+	sb, _ := tap.subscribe(false)
+	defer tap.unsubscribe(sb)
+	sb.markSynced()
+
+	// Ack promptly from another goroutine: Publish returns well before
+	// the timeout.
+	go func() {
+		batch, _, err := sb.nextBatch(10, 1<<20, time.Second)
+		if err == nil && len(batch) == 1 {
+			sb.ack(batch[0].seq, batch[0].ver)
+		}
+	}()
+	start := time.Now()
+	publish(tap, 1, "acked")
+	if d := time.Since(start); d >= 80*time.Millisecond {
+		t.Fatalf("acked publish blocked %v, at or past the timeout", d)
+	}
+
+	// No ack: Publish returns only after severing the laggard.
+	start = time.Now()
+	publish(tap, 2, "unacked")
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("unacked publish returned after %v, before the timeout", d)
+	}
+	if met.SyncTimeouts.Value() == 0 {
+		t.Fatal("no sync timeout recorded")
+	}
+	if met.Resyncs.Value() == 0 {
+		t.Fatal("timed-out subscriber not severed")
+	}
+
+	// With the laggard severed, writes are asynchronous again.
+	start = time.Now()
+	publish(tap, 3, "degraded")
+	if d := time.Since(start); d >= 80*time.Millisecond {
+		t.Fatalf("publish after severing blocked %v", d)
+	}
+}

@@ -114,8 +114,9 @@ func TestSlowReaderDoesNotBlockLoop(t *testing.T) {
 	defer slow.Close()
 	var req []byte
 	for id := uint64(1); id <= 64; id++ {
-		body := []byte{0, 0, 0, 0, 0, 0, 0, 0} // snapID 0
-		body = append(body, 0xff, 0xff, 0, 0)  // maxEntries (clamped server-side)
+		body := []byte{0, 0, 0, 0, 0, 0, 0, 0}      // snapID 0
+		body = append(body, 0, 0, 0, 0, 0, 0, 0, 0) // floor 0
+		body = append(body, 0xff, 0xff, 0, 0)       // maxEntries (clamped server-side)
 		body = append(body, wire.ScanFromStart)
 		req = wire.AppendFrame(req, id, wire.OpScan, body)
 	}
@@ -158,8 +159,9 @@ func TestSlowReaderDoesNotBlockLoop(t *testing.T) {
 func scanBurst(n int) []byte {
 	var req []byte
 	for id := uint64(1); id <= uint64(n); id++ {
-		body := []byte{0, 0, 0, 0, 0, 0, 0, 0} // snapID 0 (sessionless)
-		body = append(body, 0xff, 0xff, 0, 0)  // maxEntries (clamped server-side)
+		body := []byte{0, 0, 0, 0, 0, 0, 0, 0}      // snapID 0 (sessionless)
+		body = append(body, 0, 0, 0, 0, 0, 0, 0, 0) // floor 0
+		body = append(body, 0xff, 0xff, 0, 0)       // maxEntries (clamped server-side)
 		body = append(body, wire.ScanFromStart)
 		req = wire.AppendFrame(req, id, wire.OpScan, body)
 	}

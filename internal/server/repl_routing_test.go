@@ -1,0 +1,345 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/testutil"
+	"repro/jiffy"
+	"repro/jiffy/client"
+	"repro/jiffy/durable"
+)
+
+// End-to-end read-routing tests: a durable primary serving writes, a
+// replica applying its stream and serving reads, and a client configured
+// with both — asserting writes land on the primary, reads are served by
+// the replica once it covers the client's read-your-writes floor, a
+// lagging replica falls back to the primary, and direct writes to a
+// replica are refused.
+
+// startReplPair wires primary store + replication source + wire server,
+// and replica store + runner + read-only wire server. It returns the
+// stores, both wire servers, and their addresses.
+func startReplPair(t *testing.T) (pstore *durable.Sharded[uint64, uint64], rep *durable.Replica[uint64, uint64],
+	psrv, rsrv *Server[uint64, uint64], paddr, raddr string) {
+	t.Helper()
+	pstore, err := durable.OpenSharded(t.TempDir(), 4, u64Codec(),
+		durable.Options[uint64]{SegmentBytes: 1 << 12, NoSync: true, StrictClock: true})
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	src := repl.NewSource(pstore, u64Codec(), repl.SourceOptions{HeartbeatEvery: 20 * time.Millisecond})
+	srcLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go src.Serve(srcLn)
+
+	rep, err = durable.OpenReplica(t.TempDir(), 4, u64Codec(),
+		durable.Options[uint64]{SegmentBytes: 1 << 12, NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenReplica: %v", err)
+	}
+	runner := repl.NewRunner(rep, u64Codec(), srcLn.Addr().String(), repl.RunnerOptions{
+		Backoff: repl.Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+	})
+	runner.Start()
+	t.Cleanup(func() {
+		runner.Stop()
+		src.Close()
+		pstore.Close()
+		rep.Close()
+	})
+
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	psrv = Serve(pln, NewDurableStore(pstore), u64Codec(), Options{})
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	rsrv = Serve(rln, NewReplicaStore(rep), u64Codec(), Options{
+		Watermark: rep.Watermark,
+		ReadOnly:  true,
+	})
+	t.Cleanup(func() {
+		psrv.Close()
+		rsrv.Close()
+	})
+	return pstore, rep, psrv, rsrv, psrv.Addr().String(), rsrv.Addr().String()
+}
+
+// TestReplicaReadRouting is the happy path: the client writes through the
+// primary, its floor follows the write acks, and every read — point get,
+// snapshot get, live scan — returns read-your-writes-consistent data
+// whether the replica has caught up (replica serves) or not (primary
+// fallback), transparently.
+func TestReplicaReadRouting(t *testing.T) {
+	testutil.LeakCheck(t)
+	_, rep, _, _, paddr, raddr := startReplPair(t)
+	c := dial(t, paddr, client.Options{Conns: 1, Replicas: []string{raddr}, ScanPageSize: 16})
+
+	for i := uint64(0); i < 100; i++ {
+		if err := c.Put(i, i*10); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if c.Floor() == 0 {
+		t.Fatal("write acks did not advance the client's read floor")
+	}
+	// Immediately after the writes the replica may or may not be caught
+	// up; reads must be correct either way.
+	for i := uint64(0); i < 100; i++ {
+		v, ok, err := c.Get(i)
+		if err != nil || !ok || v != i*10 {
+			t.Fatalf("get(%d) right after write: %d/%v/%v", i, v, ok, err)
+		}
+	}
+
+	// Scans see every write too (floor-consistent live scan).
+	sc := c.ScanAll()
+	n := 0
+	for sc.Next() {
+		if sc.Value() != sc.Key()*10 {
+			t.Fatalf("scan saw %d=%d", sc.Key(), sc.Value())
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if n != 100 {
+		t.Fatalf("scan saw %d keys, want 100", n)
+	}
+	sc.Close()
+
+	// Snapshot sessions respect the floor as well: the snapshot's cut
+	// must cover every acked write.
+	testutil.Eventually(t, func() bool { return rep.Watermark() >= c.Floor() }, "replica never caught up")
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if v, ok, err := snap.Get(42); err != nil || !ok || v != 420 {
+		t.Fatalf("snapshot get: %d/%v/%v", v, ok, err)
+	}
+	snap.Close()
+}
+
+// TestReplicaServesWhenPrimaryDown proves reads really are served by the
+// replica: once the replica's watermark covers the client's floor, the
+// primary's wire server goes away entirely — and point gets, scans and
+// snapshots keep working. (Only the read path is replica-routed; writes
+// fail with the primary down, as they must.)
+func TestReplicaServesWhenPrimaryDown(t *testing.T) {
+	testutil.LeakCheck(t)
+	_, rep, psrv, _, paddr, raddr := startReplPair(t)
+	c := dial(t, paddr, client.Options{Conns: 1, Replicas: []string{raddr}, ScanPageSize: 16})
+
+	for i := uint64(0); i < 50; i++ {
+		if err := c.Put(i, i+1); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	testutil.Eventually(t, func() bool { return rep.Watermark() >= c.Floor() }, "replica never caught up")
+
+	psrv.Close()
+
+	for i := uint64(0); i < 50; i++ {
+		v, ok, err := c.Get(i)
+		if err != nil || !ok || v != i+1 {
+			t.Fatalf("get(%d) with primary down: %d/%v/%v", i, v, ok, err)
+		}
+	}
+	sc := c.ScanAll()
+	n := 0
+	for sc.Next() {
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan with primary down: %v", err)
+	}
+	if n != 50 {
+		t.Fatalf("scan saw %d keys with primary down, want 50", n)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot with primary down: %v", err)
+	}
+	if v, ok, err := snap.Get(7); err != nil || !ok || v != 8 {
+		t.Fatalf("snapshot get with primary down: %d/%v/%v", v, ok, err)
+	}
+	snap.Close()
+
+	// Writes, though, need the primary.
+	if err := c.Put(1000, 1); err == nil {
+		t.Fatal("put succeeded with the primary down")
+	}
+}
+
+// TestLaggingReplicaFallsBack pins the replica at a stale watermark (its
+// runner never started) and asserts reads still return the freshest acked
+// data: the replica answers StatusBehind for any floor above its
+// watermark, and the client completes the read on the primary.
+func TestLaggingReplicaFallsBack(t *testing.T) {
+	testutil.LeakCheck(t)
+	pstore, err := durable.OpenSharded(t.TempDir(), 2, u64Codec(),
+		durable.Options[uint64]{SegmentBytes: 1 << 12, NoSync: true, StrictClock: true})
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	rep, err := durable.OpenReplica(t.TempDir(), 2, u64Codec(),
+		durable.Options[uint64]{SegmentBytes: 1 << 12, NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenReplica: %v", err)
+	}
+	t.Cleanup(func() {
+		pstore.Close()
+		rep.Close()
+	})
+	pln, _ := net.Listen("tcp", "127.0.0.1:0")
+	psrv := Serve(pln, NewDurableStore(pstore), u64Codec(), Options{})
+	rln, _ := net.Listen("tcp", "127.0.0.1:0")
+	rsrv := Serve(rln, NewReplicaStore(rep), u64Codec(), Options{Watermark: rep.Watermark, ReadOnly: true})
+	t.Cleanup(func() {
+		psrv.Close()
+		rsrv.Close()
+	})
+
+	c := dial(t, psrv.Addr().String(), client.Options{
+		Conns: 1, Replicas: []string{rsrv.Addr().String()}, ScanPageSize: 8,
+	})
+	// Every write raises the floor past the never-synced replica
+	// (watermark 0): each read must detect Behind and fall back.
+	for i := uint64(0); i < 20; i++ {
+		if err := c.Put(i, i*3); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	for i := uint64(0); i < 20; i++ {
+		v, ok, err := c.Get(i)
+		if err != nil || !ok || v != i*3 {
+			t.Fatalf("get(%d) behind a stale replica: %d/%v/%v", i, v, ok, err)
+		}
+	}
+	sc := c.ScanAll()
+	n := 0
+	for sc.Next() {
+		if sc.Value() != sc.Key()*3 {
+			t.Fatalf("scan saw stale %d=%d", sc.Key(), sc.Value())
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan behind a stale replica: %v", err)
+	}
+	if n != 20 {
+		t.Fatalf("scan saw %d keys behind a stale replica, want 20", n)
+	}
+	if snap, err := c.Snapshot(); err != nil {
+		t.Fatalf("snapshot behind a stale replica: %v", err)
+	} else {
+		if v, ok, err := snap.Get(3); err != nil || !ok || v != 9 {
+			t.Fatalf("snapshot get: %d/%v/%v", v, ok, err)
+		}
+		snap.Close()
+	}
+}
+
+// TestReplicaRefusesWrites dials the replica's wire server directly (as
+// if it were a primary) and asserts every mutation is refused with the
+// read-only error while reads pass.
+func TestReplicaRefusesWrites(t *testing.T) {
+	testutil.LeakCheck(t)
+	pstore, rep, _, _, _, raddr := startReplPair(t)
+	if err := pstore.Put(5, 55); err != nil {
+		t.Fatalf("seed put: %v", err)
+	}
+	testutil.Eventually(t, func() bool { return rep.Watermark() > 0 }, "replica never synced")
+
+	direct := dial(t, raddr, client.Options{Conns: 1})
+	if v, ok, err := direct.Get(5); err != nil || !ok || v != 55 {
+		t.Fatalf("direct replica get: %d/%v/%v", v, ok, err)
+	}
+	assertReadOnly := func(op string, err error) {
+		t.Helper()
+		if !errors.Is(err, client.ErrReadOnly) {
+			t.Fatalf("%s on a replica: %v, want client.ErrReadOnly", op, err)
+		}
+	}
+	assertReadOnly("put", direct.Put(9, 9))
+	_, err := direct.Remove(5)
+	assertReadOnly("remove", err)
+
+	if _, ok, err := direct.Get(5); err != nil || !ok {
+		t.Fatalf("replica get after refused writes: %v/%v", ok, err)
+	}
+}
+
+// TestDialRetry asserts the client's opt-in dial backoff: with no
+// listener, Dial fails fast by default and keeps retrying under
+// DialRetry until its budget expires; with a listener appearing late,
+// DialRetry bridges the gap.
+func TestDialRetry(t *testing.T) {
+	testutil.LeakCheck(t)
+	// Reserve an address with nothing listening on it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	if _, err := client.Dial(addr, u64Codec(), client.Options{Conns: 1}); err == nil {
+		t.Fatal("default dial succeeded against a dead address")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("default dial burned %v retrying; retry must be opt-in", d)
+	}
+
+	start = time.Now()
+	_, err = client.Dial(addr, u64Codec(), client.Options{
+		Conns: 1, DialRetry: true, DialRetryBudget: 300 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("retrying dial succeeded against a dead address")
+	}
+	if d := time.Since(start); d < 250*time.Millisecond {
+		t.Fatalf("retrying dial gave up after %v, before its 300ms budget", d)
+	}
+
+	// Late listener: the server comes up while the client is retrying.
+	lateLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	lateAddr := lateLn.Addr().String()
+	lateLn.Close()
+	errc := make(chan error, 1)
+	go func() {
+		c, err := client.Dial(lateAddr, u64Codec(), client.Options{
+			Conns: 1, DialRetry: true, DialRetryBudget: 5 * time.Second,
+		})
+		if err == nil {
+			err = errors.Join(c.Ping(), func() error { c.Close(); return nil }())
+		}
+		errc <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	ln2, err := net.Listen("tcp", lateAddr)
+	if err != nil {
+		t.Fatalf("late listen: %v", err)
+	}
+	s := jiffy.NewSharded[uint64, uint64](2)
+	srv := Serve(ln2, NewMemStore(s), u64Codec(), Options{})
+	defer srv.Close()
+	if err := <-errc; err != nil {
+		t.Fatalf("dial with late listener: %v", err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netpoll"
@@ -128,6 +129,18 @@ type Options struct {
 	// private registry: the hot path is identical either way, so turning
 	// the endpoint on never changes what the benchmarks measured.
 	Registry *obs.Registry
+
+	// Watermark, when non-nil, reports the store's replicated watermark:
+	// reads carrying a version floor answer StatusBehind when the
+	// watermark has not reached it, and a never-synced store (watermark
+	// 0) serves no reads at all. Nil means the store is a primary —
+	// every acked write is locally visible, so floors are trivially
+	// satisfied and not checked.
+	Watermark func() int64
+
+	// ReadOnly starts the server refusing writes with StatusReadOnly
+	// (replica serving). Promotion flips it off with SetReadOnly.
+	ReadOnly bool
 }
 
 // maxScanPageBytes caps the encoded size of one scan page, comfortably
@@ -165,6 +178,8 @@ type Server[K cmp.Ordered, V any] struct {
 	metrics *metrics
 	loops   []*loop[K, V] // event-loop core only
 
+	readOnly atomic.Bool
+
 	mu     sync.Mutex
 	conns  map[serverConn]struct{}
 	closed bool
@@ -190,6 +205,7 @@ func Serve[K cmp.Ordered, V any](ln net.Listener, store Store[K, V], codec durab
 		reg = obs.NewRegistry()
 	}
 	s.metrics = newMetrics(reg)
+	s.readOnly.Store(s.opts.ReadOnly)
 	s.mode = s.opts.Mode.resolve()
 	if s.mode == ModeEventLoop {
 		if err := s.startLoops(); err != nil {
@@ -207,6 +223,30 @@ func Serve[K cmp.Ordered, V any](ln net.Listener, store Store[K, V], codec durab
 
 // Mode reports the serving core actually in use (never ModeAuto).
 func (s *Server[K, V]) Mode() Mode { return s.mode }
+
+// SetReadOnly flips whether writes answer StatusReadOnly. Promotion
+// calls SetReadOnly(false) after the store accepts writes; requests
+// already executing race the flip harmlessly — the store's own
+// not-promoted backstop maps to the same status.
+func (s *Server[K, V]) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
+
+// IsReadOnly reports whether writes currently answer StatusReadOnly.
+func (s *Server[K, V]) IsReadOnly() bool { return s.readOnly.Load() }
+
+// readOK reports whether a read carrying the given version floor may be
+// served here. On a primary (no Watermark hook) every floor is
+// satisfied: writes commit locally before they are acked. On a replica
+// the replicated watermark must have reached the floor, and a
+// never-synced replica (watermark 0) serves nothing — it holds no state
+// a client could correctly observe.
+func (s *Server[K, V]) readOK(floor int64) bool {
+	wm := s.opts.Watermark
+	if wm == nil {
+		return true
+	}
+	w := wm()
+	return w != 0 && floor <= w
+}
 
 // Addr returns the listener's address (useful with ":0" listeners).
 func (s *Server[K, V]) Addr() net.Addr { return s.ln.Addr() }

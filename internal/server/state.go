@@ -3,12 +3,14 @@ package server
 import (
 	"cmp"
 	"encoding/binary"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
 	"repro/jiffy"
+	"repro/jiffy/durable"
 )
 
 // session is one server-side snapshot session: a registered store snapshot
@@ -103,7 +105,7 @@ func (st *connState[K, V]) handle(dst []byte, id uint64, op byte, body []byte) [
 	case wire.OpBatch:
 		return st.handleBatch(dst, id, body)
 	case wire.OpSnap:
-		return st.handleSnap(dst, id)
+		return st.handleSnap(dst, id, body)
 	case wire.OpSnapClose:
 		return st.handleSnapClose(dst, id, body)
 	case wire.OpScan:
@@ -127,12 +129,35 @@ func errFrame(dst []byte, id uint64, status byte, msg string) []byte {
 	return wire.AppendFrame(dst, id, status, []byte(msg))
 }
 
+// verFrame appends a StatusOK response whose body is the i64 commit
+// version of a write — the client folds it into its read-your-writes
+// floor for replica reads.
+func verFrame(dst []byte, id uint64, ver int64) []byte {
+	var body [8]byte
+	binary.LittleEndian.PutUint64(body[:], uint64(ver))
+	return okFrame(dst, id, body[:])
+}
+
+// writeFailFrame maps a store write error to its response: a replica's
+// not-promoted backstop becomes StatusReadOnly (the request raced a
+// read-only flip), anything else StatusErr with the message.
+func writeFailFrame(dst []byte, id uint64, prefix string, err error) []byte {
+	if errors.Is(err, durable.ErrNotPromoted) {
+		return statusFrame(dst, id, wire.StatusReadOnly)
+	}
+	return errFrame(dst, id, wire.StatusErr, prefix+": "+err.Error())
+}
+
 func (st *connState[K, V]) handleGet(dst []byte, id uint64, body []byte) []byte {
-	if len(body) < 8 {
+	if len(body) < 16 {
 		return errFrame(dst, id, wire.StatusBadRequest, "get: short body")
 	}
 	snapID := binary.LittleEndian.Uint64(body[:8])
-	key, err := st.srv.codec.Key.Decode(body[8:])
+	floor := int64(binary.LittleEndian.Uint64(body[8:16]))
+	if !st.srv.readOK(floor) {
+		return statusFrame(dst, id, wire.StatusBehind)
+	}
+	key, err := st.srv.codec.Key.Decode(body[16:])
 	if err != nil {
 		return errFrame(dst, id, wire.StatusBadRequest, "get: "+err.Error())
 	}
@@ -158,6 +183,9 @@ func (st *connState[K, V]) handleGet(dst []byte, id uint64, body []byte) []byte 
 }
 
 func (st *connState[K, V]) handlePut(dst []byte, id uint64, body []byte) []byte {
+	if st.srv.readOnly.Load() {
+		return statusFrame(dst, id, wire.StatusReadOnly)
+	}
 	kb, rest, err := wire.TakeBytes(body)
 	if err != nil {
 		return errFrame(dst, id, wire.StatusBadRequest, "put: "+err.Error())
@@ -170,28 +198,35 @@ func (st *connState[K, V]) handlePut(dst []byte, id uint64, body []byte) []byte 
 	if err != nil {
 		return errFrame(dst, id, wire.StatusBadRequest, "put: "+err.Error())
 	}
-	if err := st.srv.store.Put(key, val); err != nil {
-		return errFrame(dst, id, wire.StatusErr, err.Error())
+	ver, err := st.srv.store.Put(key, val)
+	if err != nil {
+		return writeFailFrame(dst, id, "put", err)
 	}
-	return okFrame(dst, id, nil)
+	return verFrame(dst, id, ver)
 }
 
 func (st *connState[K, V]) handleDel(dst []byte, id uint64, body []byte) []byte {
+	if st.srv.readOnly.Load() {
+		return statusFrame(dst, id, wire.StatusReadOnly)
+	}
 	key, err := st.srv.codec.Key.Decode(body)
 	if err != nil {
 		return errFrame(dst, id, wire.StatusBadRequest, "del: "+err.Error())
 	}
-	ok, err := st.srv.store.Remove(key)
+	ver, ok, err := st.srv.store.Remove(key)
 	if err != nil {
-		return errFrame(dst, id, wire.StatusErr, err.Error())
+		return writeFailFrame(dst, id, "del", err)
 	}
 	if !ok {
 		return statusFrame(dst, id, wire.StatusNotFound)
 	}
-	return okFrame(dst, id, nil)
+	return verFrame(dst, id, ver)
 }
 
 func (st *connState[K, V]) handleBatch(dst []byte, id uint64, body []byte) []byte {
+	if st.srv.readOnly.Load() {
+		return statusFrame(dst, id, wire.StatusReadOnly)
+	}
 	if st.batch == nil {
 		st.batch = jiffy.NewBatch[K, V](16)
 	}
@@ -234,14 +269,30 @@ func (st *connState[K, V]) handleBatch(dst []byte, id uint64, body []byte) []byt
 			return errFrame(dst, id, wire.StatusBadRequest, "batch: unknown op kind")
 		}
 	}
-	if err := st.srv.store.BatchUpdate(b); err != nil {
-		return errFrame(dst, id, wire.StatusErr, err.Error())
+	ver, err := st.srv.store.BatchUpdate(b)
+	if err != nil {
+		return writeFailFrame(dst, id, "batch", err)
 	}
-	return okFrame(dst, id, nil)
+	return verFrame(dst, id, ver)
 }
 
-func (st *connState[K, V]) handleSnap(dst []byte, id uint64) []byte {
+func (st *connState[K, V]) handleSnap(dst []byte, id uint64, body []byte) []byte {
+	var floor int64
+	switch len(body) {
+	case 0:
+	case 8:
+		floor = int64(binary.LittleEndian.Uint64(body))
+	default:
+		return errFrame(dst, id, wire.StatusBadRequest, "snap: bad body")
+	}
+	if !st.srv.readOK(floor) {
+		return statusFrame(dst, id, wire.StatusBehind)
+	}
 	snap := st.srv.store.Snapshot()
+	if floor > 0 && snap.Version() < floor {
+		snap.Close()
+		return statusFrame(dst, id, wire.StatusBehind)
+	}
 	sess := &session[K, V]{snap: snap}
 	sess.touch()
 	st.smu.Lock()
@@ -251,10 +302,10 @@ func (st *connState[K, V]) handleSnap(dst []byte, id uint64) []byte {
 	st.smu.Unlock()
 	st.srv.metrics.sessionsOpened.Inc()
 	st.srv.metrics.sessionsOpen.Add(1)
-	var body [16]byte
-	binary.LittleEndian.PutUint64(body[0:8], snapID)
-	binary.LittleEndian.PutUint64(body[8:16], uint64(snap.Version()))
-	return okFrame(dst, id, body[:])
+	var resp [16]byte
+	binary.LittleEndian.PutUint64(resp[0:8], snapID)
+	binary.LittleEndian.PutUint64(resp[8:16], uint64(snap.Version()))
+	return okFrame(dst, id, resp[:])
 }
 
 func (st *connState[K, V]) handleSnapClose(dst []byte, id uint64, body []byte) []byte {
@@ -282,13 +333,17 @@ func (st *connState[K, V]) handleSnapClose(dst []byte, id uint64, body []byte) [
 // registration, which the TTL reaper bounds.
 func (st *connState[K, V]) handleScan(dst []byte, id uint64, body []byte) []byte {
 	start := len(dst) // truncate back here if the page must become an error
-	if len(body) < 13 {
+	if len(body) < 21 {
 		return errFrame(dst, id, wire.StatusBadRequest, "scan: short body")
 	}
 	snapID := binary.LittleEndian.Uint64(body[0:8])
-	maxEntries := int(binary.LittleEndian.Uint32(body[8:12]))
-	mode := body[12]
-	rest := body[13:]
+	floor := int64(binary.LittleEndian.Uint64(body[8:16]))
+	maxEntries := int(binary.LittleEndian.Uint32(body[16:20]))
+	mode := body[20]
+	rest := body[21:]
+	if !st.srv.readOK(floor) {
+		return statusFrame(dst, id, wire.StatusBehind)
+	}
 	var cursor K
 	if mode == wire.ScanInclusive || mode == wire.ScanExclusive {
 		kb, r2, err := wire.TakeBytes(rest)
@@ -323,6 +378,9 @@ func (st *connState[K, V]) handleScan(dst []byte, id uint64, body []byte) []byte
 			return statusFrame(dst, id, wire.StatusUnknownSnap)
 		}
 		snap = sess.snap
+	}
+	if floor > 0 && snap.Version() < floor {
+		return statusFrame(dst, id, wire.StatusBehind)
 	}
 
 	it := snap.Iter()

@@ -10,6 +10,11 @@ import (
 // Store is the backend surface the server serves: the update operations of
 // the jiffy frontends (error-returning, so the durable frontends fit
 // without adaptation) plus snapshot registration for the session machinery.
+// Updates report the version they committed at — the server returns it in
+// write acknowledgements, and clients fold it into their read-your-writes
+// floor for replica reads (version 0 when the update performed nothing:
+// a remove of an absent key, an empty batch, or an in-memory store that
+// does not track versions).
 // All methods must be safe for concurrent use — every connection's handler
 // goroutine calls them directly, with no server-side serialization, so the
 // store's own concurrency story (lock-free updates, O(1) snapshots) is
@@ -17,12 +22,15 @@ import (
 type Store[K cmp.Ordered, V any] interface {
 	// Get returns the live value for key.
 	Get(key K) (V, bool)
-	// Put sets the value for key, durable when the store is.
-	Put(key K, val V) error
-	// Remove deletes key, reporting whether it was present.
-	Remove(key K) (bool, error)
-	// BatchUpdate applies b in one atomic (cross-shard) step.
-	BatchUpdate(b *jiffy.Batch[K, V]) error
+	// Put sets the value for key, durable when the store is, reporting
+	// the commit version.
+	Put(key K, val V) (int64, error)
+	// Remove deletes key, reporting the commit version and whether it
+	// was present.
+	Remove(key K) (int64, bool, error)
+	// BatchUpdate applies b in one atomic (cross-shard) step, reporting
+	// the commit version.
+	BatchUpdate(b *jiffy.Batch[K, V]) (int64, error)
 	// Snapshot registers a consistent snapshot of the store.
 	Snapshot() Snap[K, V]
 }
@@ -49,14 +57,15 @@ func NewMemStore[K cmp.Ordered, V any](s *jiffy.Sharded[K, V]) Store[K, V] {
 }
 
 func (m memStore[K, V]) Get(key K) (V, bool) { return m.s.Get(key) }
-func (m memStore[K, V]) Put(key K, val V) error {
-	m.s.Put(key, val)
-	return nil
+func (m memStore[K, V]) Put(key K, val V) (int64, error) {
+	return m.s.PutVersioned(key, val), nil
 }
-func (m memStore[K, V]) Remove(key K) (bool, error) { return m.s.Remove(key), nil }
-func (m memStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error {
-	m.s.BatchUpdate(b)
-	return nil
+func (m memStore[K, V]) Remove(key K) (int64, bool, error) {
+	ver, ok := m.s.RemoveVersioned(key)
+	return ver, ok, nil
+}
+func (m memStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) (int64, error) {
+	return m.s.BatchUpdateVersioned(b), nil
 }
 func (m memStore[K, V]) Snapshot() Snap[K, V] { return m.s.Snapshot() }
 
@@ -72,8 +81,31 @@ func NewDurableStore[K cmp.Ordered, V any](d *durable.Sharded[K, V]) Store[K, V]
 	return durStore[K, V]{d: d}
 }
 
-func (s durStore[K, V]) Get(key K) (V, bool)                    { return s.d.Get(key) }
-func (s durStore[K, V]) Put(key K, val V) error                 { return s.d.Put(key, val) }
-func (s durStore[K, V]) Remove(key K) (bool, error)             { return s.d.Remove(key) }
-func (s durStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error { return s.d.BatchUpdate(b) }
-func (s durStore[K, V]) Snapshot() Snap[K, V]                   { return s.d.Snapshot() }
+func (s durStore[K, V]) Get(key K) (V, bool)               { return s.d.Get(key) }
+func (s durStore[K, V]) Put(key K, val V) (int64, error)   { return s.d.PutV(key, val) }
+func (s durStore[K, V]) Remove(key K) (int64, bool, error) { return s.d.RemoveV(key) }
+func (s durStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) (int64, error) {
+	return s.d.BatchUpdateV(b)
+}
+func (s durStore[K, V]) Snapshot() Snap[K, V] { return s.d.Snapshot() }
+
+// replicaStore adapts a durable.Replica to Store. Reads serve the
+// replicated state; writes fail with durable.ErrNotPromoted until the
+// replica is promoted (the server turns the read-only state into
+// StatusReadOnly before they get here — this is the backstop).
+type replicaStore[K cmp.Ordered, V any] struct {
+	r *durable.Replica[K, V]
+}
+
+// NewReplicaStore wraps a durable.Replica as a Store.
+func NewReplicaStore[K cmp.Ordered, V any](r *durable.Replica[K, V]) Store[K, V] {
+	return replicaStore[K, V]{r: r}
+}
+
+func (s replicaStore[K, V]) Get(key K) (V, bool)               { return s.r.Get(key) }
+func (s replicaStore[K, V]) Put(key K, val V) (int64, error)   { return s.r.PutV(key, val) }
+func (s replicaStore[K, V]) Remove(key K) (int64, bool, error) { return s.r.RemoveV(key) }
+func (s replicaStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) (int64, error) {
+	return s.r.BatchUpdateV(b)
+}
+func (s replicaStore[K, V]) Snapshot() Snap[K, V] { return s.r.Snapshot() }

@@ -135,6 +135,64 @@ func (m *Manual) Set(t int64) {
 	}
 }
 
+// Strict is a Clock whose reads are strictly increasing across all
+// goroutines: each Read returns max(monotonic time, previous read + 1).
+// Plain Monotonic reads can tie — two commits on different shards in the
+// same nanosecond receive equal version numbers — which is fine for the
+// in-memory index (versions order revisions per key, and one key's
+// updates are serialized by its chain) but poisons replication, where
+// "resume every record with version > W" must be exact: a tie at W would
+// make the watermark ambiguous. The replication layer therefore runs the
+// store on a Strict clock. The cost is one CAS per read — the shared-
+// counter contention §3.2 argues against — accepted here because a
+// replicated store's commit rate is bounded by its WAL fsyncs anyway.
+type Strict struct {
+	base time.Time
+	last atomic.Int64
+}
+
+// NewStrictAt returns a Strict clock whose every read is strictly greater
+// than floor (a floor <= 0 behaves as 0).
+func NewStrictAt(floor int64) *Strict {
+	if floor < 0 {
+		floor = 0
+	}
+	s := &Strict{base: time.Now()}
+	s.last.Store(floor)
+	return s
+}
+
+// Read returns a value strictly greater than every value any goroutine has
+// read before, tracking monotonic time when it is ahead.
+func (s *Strict) Read() int64 {
+	now := int64(time.Since(s.base)) + 1
+	for {
+		last := s.last.Load()
+		v := now
+		if v <= last {
+			v = last + 1
+		}
+		if s.last.CompareAndSwap(last, v) {
+			return v
+		}
+	}
+}
+
+// ReadAtLeast bumps the clock up to min if it is behind and returns a
+// value >= min. It never spins on wall time: the strict counter can be
+// advanced directly, exactly like Counter's.
+func (s *Strict) ReadAtLeast(min int64) int64 {
+	for {
+		last := s.last.Load()
+		if last >= min {
+			return s.Read()
+		}
+		if s.last.CompareAndSwap(last, min) {
+			return min
+		}
+	}
+}
+
 // Counter is a Clock backed by a single shared atomic counter, the design
 // §3.2 argues against. It exists for the A2 ablation benchmark
 // (BenchmarkAblation_AtomicCounter*): swapping it in reintroduces the single

@@ -41,16 +41,22 @@ const (
 	// probes and smoke tests use it.
 	OpPing = byte(iota + 1)
 
-	// OpGet body: u64 snapID | key. snapID 0 reads the live map; a
-	// non-zero snapID reads that snapshot session's frozen version.
-	// Response body: val (present only when status is StatusOK).
+	// OpGet body: u64 snapID | i64 floor | key. snapID 0 reads the live
+	// map; a non-zero snapID reads that snapshot session's frozen
+	// version. floor is the caller's read-your-writes bound: a replica
+	// whose replicated watermark is below it answers StatusBehind instead
+	// of stale data (0: no bound; primaries ignore it). Response body:
+	// val (present only when status is StatusOK).
 	OpGet
 
-	// OpPut body: key | val. Response body: empty.
+	// OpPut body: key | val. Response body: i64 version — the commit
+	// version of the update, which the client folds into its
+	// read-your-writes floor. A replica answers StatusReadOnly.
 	OpPut
 
 	// OpDel body: key. Response: StatusOK when the key was present,
-	// StatusNotFound when absent; body empty.
+	// StatusNotFound when absent; body: i64 version when present (see
+	// OpPut), else empty.
 	OpDel
 
 	// OpBatch body: uvarint nops | op*, where op is
@@ -58,31 +64,83 @@ const (
 	//	u8 kind (0 put, 1 remove) | key | put: val
 	//
 	// — the durability layer's record payload layout. The whole batch is
-	// applied as one atomic cross-shard update. Response body: empty.
+	// applied as one atomic cross-shard update. Response body: i64
+	// version (see OpPut; 0 for an empty batch).
 	OpBatch
 
-	// OpSnap has an empty body. The server registers a snapshot session
-	// and responds with u64 snapID | i64 version. The session pins the
-	// store's history at that version until closed or TTL-reaped.
+	// OpSnap body: empty, or i64 floor. The server registers a snapshot
+	// session and responds with u64 snapID | i64 version. The session
+	// pins the store's history at that version until closed or
+	// TTL-reaped. A floor demands version >= floor: a replica that
+	// cannot satisfy it answers StatusBehind and registers nothing.
 	OpSnap
 
 	// OpSnapClose body: u64 snapID. Response body: empty; closing an
 	// unknown (already reaped) session reports StatusUnknownSnap.
 	OpSnapClose
 
-	// OpScan body: u64 snapID | u32 maxEntries | u8 cursor mode | key?.
-	// Cursor modes: ScanFromStart (no key), ScanInclusive (first page of
-	// a bounded scan: the key itself is included) and ScanExclusive
-	// (continuation: the key was the last one delivered and is skipped).
-	// snapID 0 scans an ephemeral snapshot taken for this page only —
-	// pages are then individually consistent but not mutually; a session
-	// id freezes every page at the session's version. Response body:
+	// OpScan body: u64 snapID | i64 floor | u32 maxEntries |
+	// u8 cursor mode | key?. Cursor modes: ScanFromStart (no key),
+	// ScanInclusive (first page of a bounded scan: the key itself is
+	// included) and ScanExclusive (continuation: the key was the last one
+	// delivered and is skipped). snapID 0 scans an ephemeral snapshot
+	// taken for this page only — pages are then individually consistent
+	// but not mutually; a session id freezes every page at the session's
+	// version. floor is as in OpGet, checked against the page's snapshot.
+	// Response body:
 	//
 	//	u8 more | u32 n | (key | val)*
 	//
 	// more=1 means the snapshot has entries past this page; continue with
 	// ScanExclusive from the last key.
 	OpScan
+
+	// Replication stream opcodes. A replica dials the primary's -repl-addr
+	// listener and the two sides exchange frames on the same framing as
+	// the client protocol, but as a stream, not request/response: ids are
+	// zero and unused. See DESIGN.md §11.
+
+	// OpReplHello, replica → primary, opens the stream. Body:
+	// u32 protocol (1) | i64 wantVersion — the replica's durable
+	// watermark; the primary resumes with records strictly above it
+	// (from its in-memory ring or its on-disk segments), or falls back
+	// to a checkpoint bootstrap when the tail below wantVersion is gone.
+	OpReplHello
+
+	// OpReplSnapBegin, primary → replica: a state bootstrap follows.
+	// Body: i64 snapVersion — the consistent cut the chunks were read
+	// at. The replica discards its local state and applies the chunks
+	// at exactly this version.
+	OpReplSnapBegin
+
+	// OpReplSnapChunk, primary → replica. Body: u32 n | (key | val)*,
+	// keys and values uvarint-length-prefixed in codec encoding.
+	OpReplSnapChunk
+
+	// OpReplSnapEnd, primary → replica: the bootstrap is complete; the
+	// replica checkpoints locally and sets its watermark to snapVersion.
+	// Body: empty. Tail batches follow.
+	OpReplSnapEnd
+
+	// OpReplBatch, primary → replica: a batch of WAL records riding the
+	// group-commit boundary, also the heartbeat (n = 0). Body:
+	//
+	//	i64 frontier | u64 lastSeq | u32 n | (i64 version | uvarint plen | payload)*
+	//
+	// frontier is the primary's stability bound: every record with
+	// version <= frontier has been delivered on this stream (or was
+	// covered by wantVersion/snapVersion), so the replica may apply all
+	// buffered records up to it, in version order, and advance its
+	// watermark to it. lastSeq is the stream sequence number of the last
+	// record in the batch (0 during disk catch-up), echoed in acks for
+	// the primary's synchronous-ack accounting.
+	OpReplBatch
+
+	// OpReplAck, replica → primary, sent after each applied batch and
+	// periodically. Body: u64 lastSeq | i64 watermark. lastSeq echoes
+	// the newest OpReplBatch received; watermark reports the replica's
+	// applied version bound, which feeds the primary's lag gauges.
+	OpReplAck
 )
 
 // Scan cursor modes (OpScan body).
@@ -112,6 +170,16 @@ const (
 	// StatusErr: the operation failed server-side (e.g. a durable store's
 	// log append). The body is a human-readable message.
 	StatusErr
+
+	// StatusBehind: a read carried a version floor the serving replica's
+	// replicated watermark has not reached. Not an error — the client
+	// retries against the primary (or waits). The body is empty.
+	StatusBehind
+
+	// StatusReadOnly: a write reached a replica. Writes go to the
+	// primary; a replica only accepts them after promotion. The body is
+	// empty.
+	StatusReadOnly
 )
 
 // Batch op kinds (OpBatch body), matching jiffy/durable's record encoding.

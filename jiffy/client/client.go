@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/repl"
 	"repro/internal/wire"
 	"repro/jiffy"
 	"repro/jiffy/durable"
@@ -51,9 +52,32 @@ type Options struct {
 	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
 
+	// DialRetry makes failed dials to the primary retry with capped
+	// jittered exponential backoff — the same schedule replicas use to
+	// re-reach their primary — instead of surfacing the first error.
+	// Default off. DialTimeout still bounds each individual attempt;
+	// DialRetryBudget bounds the whole retry loop.
+	DialRetry bool
+
+	// DialRetryBudget is how long one dial may keep retrying before the
+	// last error surfaces (default 15s). Meaningful only with DialRetry.
+	DialRetryBudget time.Duration
+
 	// ScanPageSize is how many entries each cursored scan request asks
 	// for (default 512, capped server-side).
 	ScanPageSize int
+
+	// Replicas lists replica addresses to route reads to. When non-empty,
+	// live Gets, Snapshots and live Scans go to a replica round-robin,
+	// carrying the client's read-your-writes floor (the highest commit
+	// version any write on this client was acknowledged at); a replica
+	// that has not replicated that far answers StatusBehind and the
+	// client transparently retries against the primary, as it does on
+	// any replica transport failure. Writes always go to the primary.
+	// Replica connections are dialed lazily and never retried with
+	// backoff — a dead replica just costs one failed dial before the
+	// primary serves the read.
+	Replicas []string
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +86,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
+	}
+	if o.DialRetryBudget <= 0 {
+		o.DialRetryBudget = 15 * time.Second
 	}
 	if o.ScanPageSize < 1 {
 		o.ScanPageSize = 512
@@ -93,6 +120,16 @@ type Client[K cmp.Ordered, V any] struct {
 	next   atomic.Uint64
 	closed atomic.Bool
 	remu   sync.Mutex // serializes redials (and fences them against Close)
+
+	// Replica read routing (empty when Options.Replicas is).
+	reps    []atomic.Pointer[netConn] // lazily dialed, slot i ↔ Replicas[i]
+	repNext atomic.Uint64
+
+	// floor is the read-your-writes bound: the highest commit version a
+	// write through this client was acknowledged at. Replica reads carry
+	// it so a lagging replica answers StatusBehind instead of hiding the
+	// caller's own writes.
+	floor atomic.Int64
 }
 
 // Dial connects the pool and returns a ready Client.
@@ -102,9 +139,13 @@ func Dial[K cmp.Ordered, V any](addr string, codec durable.Codec[K, V], opts ...
 		o = opts[0]
 	}
 	o = o.withDefaults()
-	c := &Client[K, V]{codec: codec, opts: o, addr: addr, conns: make([]atomic.Pointer[netConn], o.Conns)}
+	c := &Client[K, V]{
+		codec: codec, opts: o, addr: addr,
+		conns: make([]atomic.Pointer[netConn], o.Conns),
+		reps:  make([]atomic.Pointer[netConn], len(o.Replicas)),
+	}
 	for i := 0; i < o.Conns; i++ {
-		nc, err := dialConn(addr, o)
+		nc, err := dialPrimary(addr, o)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -123,6 +164,13 @@ func (c *Client[K, V]) Close() error {
 	var firstErr error
 	for i := range c.conns {
 		if nc := c.conns[i].Load(); nc != nil {
+			if err := nc.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for i := range c.reps {
+		if nc := c.reps[i].Load(); nc != nil {
 			if err := nc.close(); err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -152,7 +200,7 @@ func (c *Client[K, V]) conn() (*netConn, error) {
 	if nc = c.conns[i].Load(); nc != nil && !nc.broken() {
 		return nc, nil // another caller already redialed this slot
 	}
-	fresh, err := dialConn(c.addr, c.opts)
+	fresh, err := dialPrimary(c.addr, c.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -161,6 +209,65 @@ func (c *Client[K, V]) conn() (*netConn, error) {
 	}
 	c.conns[i].Store(fresh)
 	return fresh, nil
+}
+
+// errNoReplicas means no replica addresses are configured; callers fall
+// through to the primary.
+var errNoReplicas = errors.New("client: no replicas configured")
+
+// replicaConn picks the next replica connection round-robin, dialing
+// its slot lazily (and redialing a broken one). Replica dials never
+// retry: a dead replica costs one failed dial and the read falls back
+// to the primary.
+func (c *Client[K, V]) replicaConn() (*netConn, error) {
+	if len(c.reps) == 0 {
+		return nil, errNoReplicas
+	}
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	i := int(c.repNext.Add(1) % uint64(len(c.reps)))
+	nc := c.reps[i].Load()
+	if nc != nil && !nc.broken() {
+		return nc, nil
+	}
+	c.remu.Lock()
+	defer c.remu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if nc = c.reps[i].Load(); nc != nil && !nc.broken() {
+		return nc, nil
+	}
+	fresh, err := dialConn(c.opts.Replicas[i], c.opts)
+	if err != nil {
+		return nil, err
+	}
+	if old := c.reps[i].Load(); old != nil {
+		old.close()
+	}
+	c.reps[i].Store(fresh)
+	return fresh, nil
+}
+
+// Floor returns the client's read-your-writes floor: the highest commit
+// version any write through this client was acknowledged at. Replica
+// reads carry it automatically.
+func (c *Client[K, V]) Floor() int64 { return c.floor.Load() }
+
+// noteVersion folds a write acknowledgement's commit version into the
+// read-your-writes floor.
+func (c *Client[K, V]) noteVersion(resp []byte) {
+	if len(resp) != 8 {
+		return // no-op write (absent remove, empty batch) or old server
+	}
+	ver := int64(binary.LittleEndian.Uint64(resp))
+	for {
+		cur := c.floor.Load()
+		if ver <= cur || c.floor.CompareAndSwap(cur, ver) {
+			return
+		}
+	}
 }
 
 // Ping round-trips an empty frame on one pool connection.
@@ -173,21 +280,32 @@ func (c *Client[K, V]) Ping() error {
 	return err
 }
 
-// Get returns the live value for key.
+// Get returns the live value for key. With replicas configured the read
+// goes to a replica first, carrying the client's read-your-writes floor;
+// StatusBehind or a replica transport failure transparently retries
+// against the primary.
 func (c *Client[K, V]) Get(key K) (V, bool, error) {
+	if rc, err := c.replicaConn(); err == nil {
+		v, ok, err := c.get(rc, 0, c.floor.Load(), key)
+		if err == nil {
+			return v, ok, nil
+		}
+	}
 	nc, err := c.conn()
 	if err != nil {
 		var zero V
 		return zero, false, err
 	}
-	return c.get(nc, 0, key)
+	return c.get(nc, 0, 0, key)
 }
 
-// get issues OpGet for key against snapID (0: live) on nc.
-func (c *Client[K, V]) get(nc *netConn, snapID uint64, key K) (V, bool, error) {
+// get issues OpGet for key against snapID (0: live) on nc, demanding
+// the server has replicated at least to floor.
+func (c *Client[K, V]) get(nc *netConn, snapID uint64, floor int64, key K) (V, bool, error) {
 	var zero V
-	body := make([]byte, 8, 8+16)
+	body := make([]byte, 16, 16+16)
 	binary.LittleEndian.PutUint64(body, snapID)
+	binary.LittleEndian.PutUint64(body[8:], uint64(floor))
 	body = c.codec.Key.Append(body, key)
 	status, resp, err := nc.roundTrip(wire.OpGet, body, nil)
 	if err != nil {
@@ -221,6 +339,7 @@ func (c *Client[K, V]) Put(key K, val V) error {
 	if status != wire.StatusOK {
 		return remoteErr(status, resp)
 	}
+	c.noteVersion(resp)
 	return nil
 }
 
@@ -237,6 +356,7 @@ func (c *Client[K, V]) Remove(key K) (bool, error) {
 	}
 	switch status {
 	case wire.StatusOK:
+		c.noteVersion(resp)
 		return true, nil
 	case wire.StatusNotFound:
 		return false, nil
@@ -277,6 +397,7 @@ func (c *Client[K, V]) BatchUpdate(ops []jiffy.BatchOp[K, V]) error {
 	if status != wire.StatusOK {
 		return remoteErr(status, resp)
 	}
+	c.noteVersion(resp)
 	return nil
 }
 
@@ -293,13 +414,32 @@ type Snap[K cmp.Ordered, V any] struct {
 	ver int64
 }
 
-// Snapshot opens a snapshot session and returns its handle.
+// Snapshot opens a snapshot session and returns its handle. With
+// replicas configured the session opens on a replica, pinned at a
+// version no older than the client's read-your-writes floor; a replica
+// that cannot satisfy the floor (or fails) falls back to the primary.
 func (c *Client[K, V]) Snapshot() (*Snap[K, V], error) {
+	if rc, err := c.replicaConn(); err == nil {
+		if s, err := c.snapshot(rc, c.floor.Load()); err == nil {
+			return s, nil
+		}
+	}
 	nc, err := c.conn()
 	if err != nil {
 		return nil, err
 	}
-	status, resp, err := nc.roundTrip(wire.OpSnap, nil, nil)
+	return c.snapshot(nc, 0)
+}
+
+// snapshot opens a session on nc, demanding version >= floor.
+func (c *Client[K, V]) snapshot(nc *netConn, floor int64) (*Snap[K, V], error) {
+	var body []byte
+	if floor > 0 {
+		var fb [8]byte
+		binary.LittleEndian.PutUint64(fb[:], uint64(floor))
+		body = fb[:]
+	}
+	status, resp, err := nc.roundTrip(wire.OpSnap, body, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +462,7 @@ func (s *Snap[K, V]) Version() int64 { return s.ver }
 
 // Get returns the value key had at the session's version.
 func (s *Snap[K, V]) Get(key K) (V, bool, error) {
-	return s.c.get(s.nc, s.id, key)
+	return s.c.get(s.nc, s.id, 0, key)
 }
 
 // Scan returns a Scanner streaming the session's entries from lo upward in
@@ -372,8 +512,13 @@ func (c *Client[K, V]) ScanAll() *Scanner[K, V] {
 
 // remoteErr converts a non-OK response into an error.
 func remoteErr(status byte, body []byte) error {
-	if status == wire.StatusUnknownSnap {
+	switch status {
+	case wire.StatusUnknownSnap:
 		return ErrUnknownSnap
+	case wire.StatusReadOnly:
+		return ErrReadOnly
+	case wire.StatusBehind:
+		return ErrBehind
 	}
 	return &RemoteError{Status: status, Msg: string(body)}
 }
@@ -383,7 +528,16 @@ func remoteErr(status byte, body []byte) error {
 // connection).
 var ErrUnknownSnap = errors.New("client: unknown snapshot session (closed or idle-reaped)")
 
-// dialConn dials one pooled connection.
+// ErrReadOnly is returned when a write reaches a read-only replica.
+// Writes go to the primary; a replica accepts them only after promotion.
+var ErrReadOnly = errors.New("client: server is a read-only replica")
+
+// ErrBehind is returned when a read carried a version floor above the
+// serving replica's watermark. The routing layer normally retries such
+// reads on the primary; it surfaces only when no primary is reachable.
+var ErrBehind = errors.New("client: replica is behind the read floor")
+
+// dialConn dials one pooled connection (single attempt).
 func dialConn(addr string, o Options) (*netConn, error) {
 	nc, err := net.DialTimeout("tcp", addr, o.DialTimeout)
 	if err != nil {
@@ -393,4 +547,31 @@ func dialConn(addr string, o Options) (*netConn, error) {
 		tc.SetNoDelay(true) // pipelined frames coalesce in our writer, not the kernel's
 	}
 	return newNetConn(nc, o.NoPipeline), nil
+}
+
+// dialPrimary dials a primary connection, retrying with capped jittered
+// exponential backoff when Options.DialRetry is set — the same schedule
+// replicas use to re-reach their primary — until DialRetryBudget
+// elapses.
+func dialPrimary(addr string, o Options) (*netConn, error) {
+	nc, err := dialConn(addr, o)
+	if err == nil || !o.DialRetry {
+		return nc, err
+	}
+	var bo repl.Backoff
+	deadline := time.Now().Add(o.DialRetryBudget)
+	for {
+		d := bo.Next()
+		if remain := time.Until(deadline); remain <= 0 {
+			return nil, err
+		} else if d > remain {
+			d = remain
+		}
+		time.Sleep(d)
+		if nc, nerr := dialConn(addr, o); nerr == nil {
+			return nc, nil
+		} else {
+			err = nerr
+		}
+	}
 }

@@ -34,24 +34,37 @@ type Scanner[K cmp.Ordered, V any] struct {
 	vals []V
 	pos  int
 
-	mode   byte // wire.ScanFromStart / ScanInclusive / ScanExclusive
-	cursor K
-	done   bool
-	err    error
+	mode    byte // wire.ScanFromStart / ScanInclusive / ScanExclusive
+	cursor  K
+	replica bool // nc is a replica connection; pages fall back to the primary on failure
+	done    bool
+	err     error
 
 	body []byte // request scratch
 	page []byte // response scratch
 }
 
-// newScanner builds a scanner bound to nc (or a fresh pool connection
-// when nc is nil), scanning snapID (0: live).
+// newScanner builds a scanner bound to nc (or a fresh connection when nc
+// is nil — a replica when the client has them, else a primary pool
+// connection), scanning snapID (0: live).
 func newScanner[K cmp.Ordered, V any](c *Client[K, V], nc *netConn, snapID uint64) *Scanner[K, V] {
 	sc := &Scanner[K, V]{c: c, nc: nc, snapID: snapID, mode: wire.ScanFromStart}
 	if sc.nc == nil {
-		sc.nc, sc.err = c.conn()
-		sc.done = sc.err != nil
+		sc.pickConn()
 	}
 	return sc
+}
+
+// pickConn binds a live scanner to a connection: a replica when
+// configured, else a primary pool connection.
+func (sc *Scanner[K, V]) pickConn() {
+	if nc, err := sc.c.replicaConn(); err == nil {
+		sc.nc, sc.replica = nc, true
+		return
+	}
+	sc.replica = false
+	sc.nc, sc.err = sc.c.conn()
+	sc.done = sc.err != nil
 }
 
 // Seek repositions the scanner just before the first entry with key >=
@@ -68,8 +81,7 @@ func (sc *Scanner[K, V]) Seek(key K) {
 	// Live scans may hop to a healthy connection on restart; a session
 	// scan must stay on the connection owning its session.
 	if sc.nc == nil || (sc.snapID == 0 && sc.nc.broken()) {
-		sc.nc, sc.err = sc.c.conn()
-		sc.done = sc.err != nil
+		sc.pickConn()
 	}
 }
 
@@ -120,8 +132,13 @@ func (sc *Scanner[K, V]) fetchPage() {
 	sc.vals = sc.vals[:0]
 	sc.pos = 0
 
+	var floor int64
+	if sc.snapID == 0 && sc.replica {
+		floor = sc.c.floor.Load()
+	}
 	body := sc.body[:0]
 	body = binary.LittleEndian.AppendUint64(body, sc.snapID)
+	body = binary.LittleEndian.AppendUint64(body, uint64(floor))
 	body = binary.LittleEndian.AppendUint32(body, uint32(sc.c.opts.ScanPageSize))
 	body = append(body, sc.mode)
 	if sc.mode != wire.ScanFromStart {
@@ -132,6 +149,21 @@ func (sc *Scanner[K, V]) fetchPage() {
 
 	status, resp, err := sc.nc.roundTrip(wire.OpScan, body, sc.page)
 	sc.page = resp
+	if (err != nil || status != wire.StatusOK) && sc.replica {
+		// The replica failed this page (transport drop, lagging behind
+		// the floor, mid-scan re-bootstrap): finish the scan against the
+		// primary. Cursor state is untouched, so the page re-fetches from
+		// the same position.
+		sc.replica = false
+		sc.nc, err = sc.c.conn()
+		if err != nil {
+			sc.fail(err)
+			return
+		}
+		binary.LittleEndian.PutUint64(body[8:16], 0) // no floor on the primary
+		status, resp, err = sc.nc.roundTrip(wire.OpScan, body, sc.page)
+		sc.page = resp
+	}
 	if err != nil {
 		sc.fail(err)
 		return

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/persist"
+	"repro/internal/tsc"
 	"repro/jiffy"
 )
 
@@ -54,6 +55,15 @@ type Options[K cmp.Ordered] struct {
 	// instrumentation (WAL group commit, fsync latency, checkpoint
 	// duration). A Sharded map shares one panel across every shard's log.
 	Metrics *persist.Metrics
+
+	// StrictClock runs the in-memory index on a strictly increasing
+	// version clock (tsc.Strict) floored above everything recovered,
+	// instead of the default time-based monotonic clock whose reads can
+	// tie across shards. Replicated primaries set it: unique commit
+	// versions make a replica's resume point ("send everything above my
+	// watermark") exact, with no tie at the boundary to double-apply or
+	// drop. Ignored when Map.Clock is set explicitly.
+	StrictClock bool
 }
 
 // ErrClosed is returned by updates on a closed durable map.
@@ -120,7 +130,11 @@ func Open[K cmp.Ordered, V any](dir string, codec Codec[K, V], opts ...Options[K
 		}
 	}
 	mo := o.Map
-	mo.ClockStart = floor
+	if o.StrictClock && mo.Clock == nil {
+		mo.Clock = tsc.NewStrictAt(floor)
+	} else {
+		mo.ClockStart = floor
+	}
 	m := jiffy.New[K, V](mo)
 
 	if ckPath != "" {

@@ -1,0 +1,33 @@
+package durable
+
+// Feed is the replication tap a durable store publishes every update
+// through (internal/repl implements it). The durability layer calls it in
+// a strict bracket around each update:
+//
+//	tok := f.Begin()          // before the in-memory commit
+//	ver := <commit in-memory> // version issued by the store's clock
+//	<append to WAL>
+//	f.Publish(tok, ver, payload) on success, f.Abort(tok) on failure
+//
+// Begin is called before the update's commit version exists, so the feed
+// can record a lower bound: every version this update can commit at is
+// strictly greater than the maximum version published before Begin
+// returned (the store runs on a strictly increasing clock — see
+// Options.StrictClock). The feed's frontier — the version below which no
+// publication can still arrive — is the minimum lower bound over in-flight
+// tokens, and replicas may apply everything at or below it.
+//
+// Publish's payload is the WAL record payload (record.go's encoding) and
+// is only valid for the duration of the call: the buffer is pooled.
+// Publish may block (bounded) when the source runs synchronous acks.
+// Abort retires a token whose update never produced a record (a remove of
+// an absent key, an empty batch, a failed log append).
+type Feed interface {
+	Begin() (token uint64)
+	Publish(token uint64, version int64, payload []byte)
+	Abort(token uint64)
+}
+
+// feedHolder wraps a Feed so it can sit in an atomic.Pointer (interfaces
+// cannot).
+type feedHolder struct{ f Feed }

@@ -72,6 +72,28 @@ func appendRecord[K cmp.Ordered, V any](w *persist.WAL, ver int64, ops []jiffy.B
 	return err
 }
 
+// appendRecordFeed is appendRecord with the replication tap spliced in:
+// after a successful append the payload is published to the feed (which
+// copies it — the buffer is about to be pooled, and Publish may block for
+// synchronous replica acks), and a failed append aborts the feed token so
+// the source's frontier does not stall on a write that never happened. A
+// nil feed degrades to plain appendRecord.
+func appendRecordFeed[K cmp.Ordered, V any](w *persist.WAL, ver int64, ops []jiffy.BatchOp[K, V], c Codec[K, V], f Feed, tok uint64) error {
+	if f == nil {
+		return appendRecord(w, ver, ops, c)
+	}
+	e := encPool.Get().(*encBuf)
+	payload := encodeOps(e, ops, c)
+	err := w.Append(ver, payload)
+	if err != nil {
+		f.Abort(tok)
+	} else {
+		f.Publish(tok, ver, payload)
+	}
+	encPool.Put(e)
+	return err
+}
+
 // decodeOps parses a record payload, appending each operation to b.
 func decodeOps[K cmp.Ordered, V any](payload []byte, c Codec[K, V], b *jiffy.Batch[K, V]) error {
 	nops, n := binary.Uvarint(payload)

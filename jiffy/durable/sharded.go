@@ -4,12 +4,15 @@ import (
 	"cmp"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/persist"
+	"repro/internal/tsc"
 	"repro/jiffy"
 )
 
@@ -33,6 +36,9 @@ type Sharded[K cmp.Ordered, V any] struct {
 	ckptMu sync.Mutex
 	ckpt   ckptMark    // newest checkpoint, for DurStats
 	closed atomic.Bool // set by the first Close; updates then fail fast
+
+	floor int64                      // recovered version floor (max of checkpoint cut and replayed records)
+	feed  atomic.Pointer[feedHolder] // replication tap; nil when not replicating
 }
 
 func shardWALDir(dir string, i int) string {
@@ -55,6 +61,9 @@ func OpenSharded[K cmp.Ordered, V any](dir string, shards int, codec Codec[K, V]
 	}
 	if err := codec.validate(); err != nil {
 		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, ReplicaMarker)); err == nil {
+		return nil, fmt.Errorf("durable: %s is a replica directory; open it with OpenReplica, or promote the replica first", dir)
 	}
 	ckVer, ckPath, err := persist.LatestCheckpoint(dir)
 	if errors.Is(err, persist.ErrNoCheckpoint) {
@@ -107,7 +116,11 @@ func OpenSharded[K cmp.Ordered, V any](dir string, shards int, codec Codec[K, V]
 		}
 	}
 	so := o.Map
-	so.ClockStart = floor
+	if o.StrictClock && so.Clock == nil {
+		so.Clock = tsc.NewStrictAt(floor)
+	} else {
+		so.ClockStart = floor
+	}
 	s := jiffy.NewSharded[K, V](shards, so)
 
 	if ckPath != "" {
@@ -120,9 +133,69 @@ func OpenSharded[K cmp.Ordered, V any](dir string, shards int, codec Codec[K, V]
 		closeAll()
 		return nil, err
 	}
-	d := &Sharded[K, V]{s: s, wals: wals, codec: codec, dir: dir, opts: o}
+	d := &Sharded[K, V]{s: s, wals: wals, codec: codec, dir: dir, opts: o, floor: floor}
 	d.ckpt.recover(ckVer, ckPath)
 	return d, nil
+}
+
+// RecoveredVersion reports the version floor recovery established: the
+// maximum of the newest checkpoint's cut and every replayed log record's
+// version. Every version issued by this store is strictly greater; a
+// replication source uses it as the boundary below which only checkpoint
+// bootstrap (not log shipping) can serve a replica.
+func (d *Sharded[K, V]) RecoveredVersion() int64 { return d.floor }
+
+// SetFeed installs (or, with nil, removes) the replication tap observing
+// every durable update. The feed's Begin/Publish/Abort calls bracket each
+// update's in-memory commit and log append; see the Feed contract. Install
+// the feed before the source starts serving replicas.
+func (d *Sharded[K, V]) SetFeed(f Feed) {
+	if f == nil {
+		d.feed.Store(nil)
+		return
+	}
+	d.feed.Store(&feedHolder{f: f})
+}
+
+func (d *Sharded[K, V]) getFeed() Feed {
+	if h := d.feed.Load(); h != nil {
+		return h.f
+	}
+	return nil
+}
+
+// TailRecord is one log record surfaced by TailAbove: a commit version and
+// the record's operation payload (record.go's encoding — the same bytes
+// replication ships and a replica's ApplyRecord consumes).
+type TailRecord struct {
+	Version int64
+	Payload []byte
+}
+
+// TailAbove reads every live log record with version strictly above
+// version, across all shards, sorted by version. The replication source
+// uses it for disk catch-up: a replica whose resume point predates the
+// in-memory ring but not the newest checkpoint is fed from the logs, then
+// switched to the live stream. Payloads are freshly allocated. A
+// concurrent checkpoint can truncate segments mid-read; the resulting
+// error means "tail no longer on disk" and the caller falls back to a
+// checkpoint bootstrap.
+func (d *Sharded[K, V]) TailAbove(version int64) ([]TailRecord, error) {
+	if d.closed.Load() {
+		return nil, ErrClosed
+	}
+	var out []TailRecord
+	for _, w := range d.wals {
+		recs, err := w.TailAbove(version)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			out = append(out, TailRecord{Version: r.Version, Payload: r.Payload})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out, nil
 }
 
 // NumShards returns the number of shards.
@@ -161,25 +234,53 @@ func (d *Sharded[K, V]) Stats() jiffy.Stats { return d.s.Stats() }
 // Put sets the value for key and returns once the update is durable in the
 // owning shard's log.
 func (d *Sharded[K, V]) Put(key K, val V) error {
+	_, err := d.PutV(key, val)
+	return err
+}
+
+// PutV is Put, but additionally reports the version the update committed
+// at. Network servers return it to clients as the read-your-writes floor.
+func (d *Sharded[K, V]) PutV(key K, val V) (int64, error) {
 	if d.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
+	}
+	f := d.getFeed()
+	var tok uint64
+	if f != nil {
+		tok = f.Begin()
 	}
 	ver := d.s.PutVersioned(key, val)
-	return appendRecord(d.wals[d.s.ShardOf(key)], ver, []jiffy.BatchOp[K, V]{{Key: key, Val: val}}, d.codec)
+	err := appendRecordFeed(d.wals[d.s.ShardOf(key)], ver, []jiffy.BatchOp[K, V]{{Key: key, Val: val}}, d.codec, f, tok)
+	return ver, err
 }
 
 // Remove deletes key, reporting whether it was present, and returns once
 // the remove is durable. Removing an absent key writes no log record.
 func (d *Sharded[K, V]) Remove(key K) (bool, error) {
+	_, ok, err := d.RemoveV(key)
+	return ok, err
+}
+
+// RemoveV is Remove, but additionally reports the version the remove
+// committed at (zero when key was absent).
+func (d *Sharded[K, V]) RemoveV(key K) (int64, bool, error) {
 	if d.closed.Load() {
-		return false, ErrClosed
+		return 0, false, ErrClosed
+	}
+	f := d.getFeed()
+	var tok uint64
+	if f != nil {
+		tok = f.Begin()
 	}
 	ver, ok := d.s.RemoveVersioned(key)
 	if !ok {
-		return false, nil
+		if f != nil {
+			f.Abort(tok)
+		}
+		return 0, false, nil
 	}
-	err := appendRecord(d.wals[d.s.ShardOf(key)], ver, []jiffy.BatchOp[K, V]{{Key: key, Remove: true}}, d.codec)
-	return true, err
+	err := appendRecordFeed(d.wals[d.s.ShardOf(key)], ver, []jiffy.BatchOp[K, V]{{Key: key, Remove: true}}, d.codec, f, tok)
+	return ver, true, err
 }
 
 // BatchUpdate applies every operation in b in one atomic step — even
@@ -188,12 +289,27 @@ func (d *Sharded[K, V]) Remove(key K) (bool, error) {
 // replays it all-or-nothing; there is no window where a crash splits a
 // cross-shard batch.
 func (d *Sharded[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error {
+	_, err := d.BatchUpdateV(b)
+	return err
+}
+
+// BatchUpdateV is BatchUpdate, but additionally reports the version the
+// whole batch committed at (zero for an empty batch).
+func (d *Sharded[K, V]) BatchUpdateV(b *jiffy.Batch[K, V]) (int64, error) {
 	if d.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
+	}
+	f := d.getFeed()
+	var tok uint64
+	if f != nil {
+		tok = f.Begin()
 	}
 	ver := d.s.BatchUpdateVersioned(b)
 	if ver == 0 {
-		return nil
+		if f != nil {
+			f.Abort(tok)
+		}
+		return 0, nil
 	}
 	ops := b.Ops()
 	wi := d.s.ShardOf(ops[0].Key)
@@ -202,7 +318,8 @@ func (d *Sharded[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error {
 			wi = i
 		}
 	}
-	return appendRecord(d.wals[wi], ver, ops, d.codec)
+	err := appendRecordFeed(d.wals[wi], ver, ops, d.codec, f, tok)
+	return ver, err
 }
 
 // Checkpoint writes one checkpoint spanning every shard — cut on a single

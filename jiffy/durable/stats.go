@@ -28,6 +28,11 @@ type DurStats struct {
 	// from the file's mtime after a restart); zero when never
 	// checkpointed.
 	CheckpointTime time.Time
+
+	// ReplWatermark is a replica's applied replication watermark: every
+	// primary update with version <= it is applied and durable locally.
+	// Zero on primaries and on a replica that has never synced.
+	ReplWatermark int64
 }
 
 // ckptMark tracks the newest checkpoint's version and wall-clock time,

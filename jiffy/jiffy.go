@@ -73,6 +73,15 @@ type Options[K cmp.Ordered] struct {
 	// stay monotonic across restarts — replayed history and new updates
 	// must share one total order. Most callers leave it zero.
 	ClockStart int64
+
+	// Clock, when non-nil, replaces the version clock entirely and
+	// ClockStart is ignored — the caller owns flooring. The replication
+	// layer uses it: a replicated primary commits on a strictly
+	// increasing clock (tsc.Strict) so versions are unique and a
+	// replica's resume watermark is unambiguous, and a replica drives a
+	// manual clock so records apply at the primary's exact versions.
+	// Everything else should leave it nil.
+	Clock tsc.Clock
 }
 
 // coreOptions converts the public options into internal/core's options.
@@ -86,7 +95,10 @@ func (o Options[K]) coreOptions() core.Options[K] {
 		DisableRecycling:  o.DisableRecycling,
 		DisableChainSeek:  o.DisableChainSeek,
 	}
-	if o.ClockStart > 0 {
+	switch {
+	case o.Clock != nil:
+		co.Clock = o.Clock
+	case o.ClockStart > 0:
 		co.Clock = tsc.NewMonotonicAt(o.ClockStart)
 	}
 	return co

@@ -60,8 +60,11 @@ func NewSharded[K cmp.Ordered, V any](shards int, opts ...Options[K]) *Sharded[K
 	}
 	co := o.coreOptions()
 	// One clock shared by every shard (rebased above ClockStart when the
-	// durability layer recovers an existing store).
-	co.Clock = tsc.NewMonotonicAt(o.ClockStart)
+	// durability layer recovers an existing store, or replaced outright
+	// by Options.Clock).
+	if co.Clock == nil {
+		co.Clock = tsc.NewMonotonicAt(o.ClockStart)
+	}
 	s := &Sharded[K, V]{
 		shards: make([]*core.Map[K, V], shards),
 		hash:   shardHash[K](),
