@@ -1,15 +1,22 @@
 // Command jiffyctl operates a running jiffyd through its observability
 // HTTP listener (-metrics-addr on the daemon):
 //
-//	jiffyctl -ctl 127.0.0.1:7421 status    # role + replication watermark
+//	jiffyctl -ctl 127.0.0.1:7421 status    # role, fencing epoch, watermark
 //	jiffyctl -ctl 127.0.0.1:7421 promote   # replica -> primary failover
+//
+// status reports the node's replication view: its role (standalone,
+// primary, replica, promoted, or fenced), its fencing epoch, its
+// watermark, and — in a fleet — its node id.
 //
 // promote is the manual failover step: when the primary is gone, point
 // jiffyctl at a replica's control address and it applies every buffered
 // replication record, opens the node for writes, and (if the daemon was
 // started with -repl-addr) begins serving the replication stream for the
 // rest of the fleet. Promote is idempotent — repeating it reports the
-// same promote version.
+// same promote version. Fleets started with -auto-failover do this
+// themselves: the failure detector elects the most-caught-up replica and
+// promotes it under a bumped fencing epoch, so promote is only needed as
+// an operator override.
 package main
 
 import (

@@ -27,6 +27,21 @@
 // writes open up, and — when -repl-addr is set — the promoted node starts
 // serving the replication stream itself.
 //
+// A fleet heals itself without the promote step (DESIGN.md §12): give
+// every member a stable -node-id, the membership in -peers (the same
+// string everywhere; each node drops its own entry), and -auto-failover:
+//
+//	jiffyd -durable -repl-addr :7431 -node-id a \
+//	  -peers a=h1:7420/h1:7431,b=h2:7420/h2:7431 -auto-failover
+//
+// When the primary goes silent past -failover-threshold, the
+// most-caught-up replica promotes itself under a bumped fencing epoch and
+// the rest of the fleet re-points at it. A superseded primary fences
+// itself on first contact with the higher epoch — writes answer
+// StatusFenced — then demotes in process and rejoins the new primary's
+// stream as a replica. Clients using client.Options.Rediscover follow
+// the fleet on their own.
+//
 // With -metrics-addr an HTTP sidecar listener serves GET /metrics (the
 // Prometheus text exposition: request rates and latencies by opcode,
 // connection and backpressure state, WAL and checkpoint activity, the
@@ -48,21 +63,22 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
-	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
-	"sync"
+	"slices"
 	"syscall"
 	"time"
 
+	"repro/internal/failover"
 	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/repl"
 	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/jiffy"
 	"repro/jiffy/durable"
 )
@@ -85,6 +101,11 @@ func main() {
 		replAddr  = flag.String("repl-addr", "", "with -durable: serve the replication stream on this address (primary role); on a replica, taken over after promotion")
 		replSync  = flag.Bool("repl-sync", false, "with -repl-addr: synchronous replication — a write is not acked until every synced replica confirms receipt (or times out)")
 		replicaOf = flag.String("replica-of", "", "run as a replica of this primary replication address (implies durable; reads served at the watermark, writes refused until promoted)")
+
+		nodeID    = flag.String("node-id", "", "stable fleet identity of this node (ranks election ties; required with -auto-failover)")
+		peersFlag = flag.String("peers", "", "other fleet members, comma-separated id=host:port[/replhost:port] (client address, optional replication address)")
+		autoFail  = flag.Bool("auto-failover", false, "arm the failure detector: a replica elects and promotes a successor when the primary goes silent, and a superseded primary fences itself and rejoins as a replica")
+		failThr   = flag.Duration("failover-threshold", 0, "with -auto-failover: primary silence before a replica suspects it (0: 2s default; probe cadence, timeouts and election stagger scale with it)")
 	)
 	flag.Parse()
 
@@ -108,78 +129,98 @@ func main() {
 		logger.Info(fmt.Sprintf(format, args...))
 	}
 
+	peers, perr := parsePeers(*peersFlag)
+	if perr != nil {
+		fatal("bad -peers", "err", perr)
+	}
+	// The same -peers string can be handed to every member; each node
+	// drops its own entry.
+	if *nodeID != "" {
+		peers = slices.DeleteFunc(peers, func(m wire.Member) bool { return m.ID == *nodeID })
+	}
+	if *autoFail && *nodeID == "" {
+		fatal("automatic failover needs a stable identity", "fix", "add -node-id")
+	}
+
 	codec := durable.Codec[string, []byte]{Key: durable.StringEnc(), Value: durable.BytesEnc()}
 	var store server.Store[string, []byte]
-	var dstore *durable.Sharded[string, []byte]
-	var rstore *durable.Replica[string, []byte]
+	var fn *fleetNode
 	var replMet *repl.Metrics
 	if *replAddr != "" || *replicaOf != "" {
 		replMet = repl.RegisterMetrics(reg)
 	}
+	// fleetNode glues the durable store, the replication endpoints and the
+	// failure detector; the serving store is switchable so a fenced
+	// primary can demote to a replica under live connections.
+	newFleet := func() *fleetNode {
+		return &fleetNode{
+			logger: logger, logf: logf, codec: codec, reg: reg,
+			dir: *dir, shards: *shards,
+			dopts:    durable.Options[string]{NoSync: *noSync, Metrics: persist.NewMetrics(reg)},
+			replAddr: *replAddr, replSync: *replSync,
+			self:  wire.Member{ID: *nodeID, Addr: *addr, ReplAddr: *replAddr},
+			peers: peers, auto: *autoFail,
+			fdet:    detectorTimings(*failThr),
+			replMet: replMet,
+			failMet: failover.RegisterMetrics(reg),
+		}
+	}
 	switch {
 	case *replicaOf != "":
-		var err error
-		rstore, err = durable.OpenReplica(*dir, *shards, codec,
-			durable.Options[string]{NoSync: *noSync, Metrics: persist.NewMetrics(reg)})
+		fn = newFleet()
+		rstore, err := durable.OpenReplica(*dir, *shards, codec, fn.dopts)
 		if err != nil {
 			fatal("open replica store failed", "dir", *dir, "err", err)
 		}
-		store = server.NewReplicaStore(rstore)
-		server.RegisterStoreStats(reg, rstore.Stats)
-		server.RegisterDurableStats(reg, rstore.DurStats)
-		repl.RegisterReplicaGauges(reg, rstore.Watermark)
+		fn.rstore = rstore
+		fn.sw = server.NewSwitchableStore[string, []byte](server.NewReplicaStore(rstore))
+		store = fn.sw
 		logger.Info("replica store open", "dir", *dir, "shards", *shards,
 			"watermark", rstore.Watermark(), "primary", *replicaOf)
 	case *durFlag:
-		var err error
+		fn = newFleet()
 		// A replicated primary needs strictly unique commit versions so a
 		// replica's resume point is exact (see durable.Options.StrictClock).
-		dstore, err = durable.OpenSharded(*dir, *shards, codec,
-			durable.Options[string]{NoSync: *noSync, Metrics: persist.NewMetrics(reg),
-				StrictClock: *replAddr != ""})
+		popts := fn.dopts
+		popts.StrictClock = *replAddr != ""
+		dstore, err := durable.OpenSharded(*dir, *shards, codec, popts)
 		if err != nil {
 			fatal("open durable store failed", "dir", *dir, "err", err)
 		}
-		store = server.NewDurableStore(dstore)
-		server.RegisterStoreStats(reg, dstore.Stats)
-		server.RegisterDurableStats(reg, dstore.DurStats)
+		fn.dstore = dstore
+		fn.sw = server.NewSwitchableStore[string, []byte](server.NewDurableStore(dstore))
+		store = fn.sw
 		logger.Info("durable store open", "dir", *dir, "shards", *shards,
 			"entries_recovered", dstore.Len(), "nosync", *noSync)
 	default:
 		if *replAddr != "" {
 			fatal("replication requires a durable store", "fix", "add -durable")
 		}
+		if *autoFail || *peersFlag != "" {
+			fatal("fleet membership requires a durable store", "fix", "add -durable or -replica-of")
+		}
 		mem := jiffy.NewSharded[string, []byte](*shards)
 		store = server.NewMemStore(mem)
 		server.RegisterStoreStats(reg, mem.Stats)
 		logger.Info("in-memory store ready", "shards", *shards)
 	}
+	if fn != nil {
+		// Gauges register once and resolve through the node at each scrape,
+		// so they survive promotions and demotions (re-registering panics).
+		server.RegisterStoreStats(reg, fn.stats)
+		server.RegisterDurableStats(reg, fn.durStats)
+		repl.RegisterEpochGauge(reg, fn.epoch)
+		if replMet != nil {
+			repl.RegisterReplicaGauges(reg, fn.replicaWatermark)
+			repl.RegisterSourceGaugesFunc(reg, fn.tap)
+		}
+	}
 
 	// Replication stream (primary role). The source must attach its tap
 	// before the first client write so the stream covers every update;
 	// wire it before the serving listener opens.
-	var srcMu sync.Mutex
-	var src *repl.Source[string, []byte]
-	startSource := func(st repl.SourceStore[string, []byte]) error {
-		rln, err := net.Listen("tcp", *replAddr)
-		if err != nil {
-			return err
-		}
-		s := repl.NewSource(st, codec, repl.SourceOptions{
-			Tap:     repl.TapOptions{SyncAcks: *replSync},
-			Metrics: replMet,
-			Logf:    logf,
-		})
-		repl.RegisterSourceGauges(reg, s.Tap())
-		go s.Serve(rln)
-		srcMu.Lock()
-		src = s
-		srcMu.Unlock()
-		logger.Info("replication stream serving", "addr", rln.Addr().String(), "sync", *replSync)
-		return nil
-	}
-	if dstore != nil && *replAddr != "" {
-		if err := startSource(dstore); err != nil {
+	if fn != nil && fn.dstore != nil && *replAddr != "" {
+		if err := fn.startSource(fn.dstore); err != nil {
 			fatal("replication listen failed", "addr", *replAddr, "err", err)
 		}
 	}
@@ -196,49 +237,28 @@ func main() {
 		Registry:    reg,
 		Logf:        logf,
 	}
-	if rstore != nil {
-		srvOpts.ReadOnly = true
-		srvOpts.Watermark = func() int64 {
-			if rstore.Promoted() {
-				// A promoted node is a primary: every read floor is
-				// satisfiable by definition.
-				return math.MaxInt64
-			}
-			return rstore.Watermark()
+	if fn != nil {
+		srvOpts.Epoch = fn.epoch
+		srvOpts.Cluster = fn.cluster
+		if replMet != nil {
+			// Fencing evidence and read gating only matter on a node that
+			// plays (or may come to play) a replication role.
+			srvOpts.OnPeerEpoch = fn.onPeerEpoch
+			srvOpts.Watermark = fn.readFloor
 		}
+		srvOpts.ReadOnly = fn.isReplica()
 	}
 	srv := server.Serve(ln, store, codec, srvOpts)
+	if fn != nil {
+		fn.setServer(srv)
+	}
 	logger.Info("serving", "addr", srv.Addr().String(), "core", srv.Mode().String(),
 		"snap_ttl", snapTTL.String())
 
-	// Replication apply loop (replica role), and the promote path that
-	// retires it.
-	var runner *repl.Runner[string, []byte]
-	var promoted sync.Once
-	if rstore != nil {
-		runner = repl.NewRunner(rstore, codec, *replicaOf, repl.RunnerOptions{
-			Metrics: replMet,
-			Logf:    logf,
-		})
-		runner.Start()
-	}
-	promote := func() (int64, error) {
-		ver, err := runner.Promote()
-		if err != nil {
-			return 0, err
-		}
-		promoted.Do(func() {
-			srv.SetReadOnly(false)
-			if *replAddr != "" {
-				// The promoted node serves the stream itself now, so the
-				// surviving fleet can re-point at it.
-				if serr := startSource(rstore); serr != nil {
-					logger.Error("replication stream after promote failed", "err", serr)
-				}
-			}
-			logger.Info("promoted to primary", "version", ver)
-		})
-		return ver, nil
+	// Replication apply loop (replica role). Promotion — manual via POST
+	// /promote, or automatic from the failure detector — retires it.
+	if fn != nil && fn.isReplica() {
+		fn.startRunner(*replicaOf)
 	}
 
 	var msrv *http.Server
@@ -254,39 +274,24 @@ func main() {
 			fmt.Fprintln(w, "ok")
 		})
 		mux.HandleFunc("/replstatus", func(w http.ResponseWriter, _ *http.Request) {
-			role, wm := "standalone", int64(0)
-			switch {
-			case rstore != nil && rstore.Promoted():
-				role, wm = "promoted", rstore.Watermark()
-			case rstore != nil:
-				role, wm = "replica", rstore.Watermark()
-			case *replAddr != "":
-				role = "primary"
-				srcMu.Lock()
-				if src != nil {
-					// The frontier is the highest version every replica can
-					// have applied — the primary-side watermark.
-					wm = src.Tap().Frontier()
-				}
-				srcMu.Unlock()
+			st := map[string]any{"role": "standalone", "watermark": int64(0)}
+			if fn != nil {
+				st = fn.status()
 			}
+			st["addr"] = srv.Addr().String()
 			w.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(w).Encode(map[string]any{
-				"role":      role,
-				"watermark": wm,
-				"addr":      srv.Addr().String(),
-			})
+			json.NewEncoder(w).Encode(st)
 		})
 		mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
 			if r.Method != http.MethodPost {
 				http.Error(w, "promote is a POST", http.StatusMethodNotAllowed)
 				return
 			}
-			if runner == nil {
+			if fn == nil || !fn.isReplica() {
 				http.Error(w, "not a replica", http.StatusBadRequest)
 				return
 			}
-			ver, err := promote()
+			ver, err := fn.promoteAt(0)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
@@ -312,9 +317,15 @@ func main() {
 			"paths", "/metrics /healthz /debug/pprof/")
 	}
 
+	// Arm the failure detector last: everything it drives — the serving
+	// layer, the replication endpoints, the metrics — is up.
+	if fn != nil {
+		fn.start()
+	}
+
 	stopCkpt := make(chan struct{})
 	ckptDone := make(chan struct{})
-	if dstore != nil && *checkpt > 0 {
+	if fn != nil && *checkpt > 0 {
 		go func() {
 			defer close(ckptDone)
 			t := time.NewTicker(*checkpt)
@@ -325,9 +336,13 @@ func main() {
 					return
 				case <-t.C:
 					start := time.Now()
-					if ver, err := dstore.Checkpoint(); err != nil {
+					// Skipped while the node is not holding the primary
+					// durable store (replicas checkpoint on bootstrap).
+					ver, ran, err := fn.checkpoint()
+					switch {
+					case err != nil:
 						logger.Error("checkpoint failed", "err", err)
-					} else {
+					case ran:
 						logger.Info("checkpoint written", "version", ver,
 							"took", time.Since(start).String())
 					}
@@ -349,25 +364,12 @@ func main() {
 		msrv.Shutdown(ctx)
 		cancel()
 	}
-	if runner != nil {
-		runner.Stop()
-	}
-	srcMu.Lock()
-	if src != nil {
-		src.Close()
-	}
-	srcMu.Unlock()
 	if err := srv.Close(); err != nil {
 		logger.Warn("listener close", "err", err)
 	}
-	if dstore != nil {
-		if err := dstore.Close(); err != nil {
+	if fn != nil {
+		if err := fn.stop(); err != nil {
 			fatal("store close failed", "err", err)
-		}
-	}
-	if rstore != nil {
-		if err := rstore.Close(); err != nil {
-			fatal("replica store close failed", "err", err)
 		}
 	}
 	// All server goroutines have joined (srv.Close waits); report the

@@ -1,0 +1,611 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/failover"
+	"repro/internal/obs"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/jiffy"
+	"repro/jiffy/durable"
+)
+
+// fleetNode owns a durable jiffyd's replication role and its
+// transitions: replica → primary (manual promote or automatic failover)
+// and primary → replica (fencing demote). It is the glue between the
+// stores (durable.Sharded / durable.Replica), the replication endpoints
+// (repl.Source / repl.Runner), the serving layer's write gates, and the
+// failure detector (failover.Node). The serving store is a
+// server.SwitchableStore so a demotion swaps backends under live client
+// connections.
+type fleetNode struct {
+	logger *slog.Logger
+	logf   func(format string, args ...any)
+	codec  durable.Codec[string, []byte]
+	reg    *obs.Registry
+
+	dir      string
+	shards   int
+	dopts    durable.Options[string] // for reopening the directory after a demote
+	replAddr string
+	replSync bool
+
+	self  wire.Member
+	peers []wire.Member
+	auto  bool
+	fdet  failover.Options // detector timing overrides (zero values = defaults)
+
+	replMet *repl.Metrics
+	failMet *failover.Metrics
+
+	sw *server.SwitchableStore[string, []byte]
+
+	mu      sync.Mutex
+	srv     *server.Server[string, []byte]   // set by setServer; nil only during boot
+	dstore  *durable.Sharded[string, []byte] // non-nil: opened as a primary
+	rstore  *durable.Replica[string, []byte] // non-nil: opened (or demoted) as a replica
+	src     *repl.Source[string, []byte]
+	runner  *repl.Runner[string, []byte]
+	fencing bool // a demotion is in progress
+
+	node *failover.Node
+}
+
+func (n *fleetNode) setServer(s *server.Server[string, []byte]) {
+	n.mu.Lock()
+	n.srv = s
+	// A ":0" listen address resolved to a real port; members must carry
+	// the dialable one.
+	if n.self.Addr == "" || strings.HasSuffix(n.self.Addr, ":0") {
+		n.self.Addr = s.Addr().String()
+	}
+	n.mu.Unlock()
+}
+
+func (n *fleetNode) getSrv() *server.Server[string, []byte] {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.srv
+}
+
+// waitSrv waits out the boot window where the replication source is
+// serving (it must attach its tap before the first client write) but the
+// client listener is not up yet — epoch evidence can arrive in between.
+func (n *fleetNode) waitSrv() *server.Server[string, []byte] {
+	for i := 0; i < 200; i++ {
+		if s := n.getSrv(); s != nil {
+			return s
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return n.getSrv()
+}
+
+// epoch reports the node's persisted fencing epoch.
+func (n *fleetNode) epoch() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch {
+	case n.dstore != nil:
+		return n.dstore.Epoch()
+	case n.rstore != nil:
+		return n.rstore.Epoch()
+	}
+	return 0
+}
+
+// watermark reports the applied version bound peers should rank this
+// node by: the replication watermark on a replica; on a (promoted)
+// primary the tap frontier, which keeps advancing with new writes.
+func (n *fleetNode) watermark() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.src != nil {
+		return n.src.Tap().Frontier()
+	}
+	switch {
+	case n.rstore != nil:
+		return n.rstore.Watermark()
+	case n.dstore != nil:
+		return n.dstore.RecoveredVersion()
+	}
+	return 0
+}
+
+// readFloor gates version-floored reads: a replica serves at its
+// watermark, a primary satisfies every floor (writes commit before they
+// are acked), and a node mid-demotion serves nothing until the replica
+// store is swapped in.
+func (n *fleetNode) readFloor() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.fencing {
+		return 0
+	}
+	if n.rstore != nil && !n.rstore.Promoted() {
+		return n.rstore.Watermark()
+	}
+	return math.MaxInt64
+}
+
+// replicaWatermark feeds the jiffy_repl_watermark gauge: the replica
+// apply bound, 0 while the node is a primary.
+func (n *fleetNode) replicaWatermark() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.rstore != nil && !n.rstore.Promoted() {
+		return n.rstore.Watermark()
+	}
+	return 0
+}
+
+// tap returns the live source tap, nil while not serving the stream.
+func (n *fleetNode) tap() *repl.Tap {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.src != nil {
+		return n.src.Tap()
+	}
+	return nil
+}
+
+func (n *fleetNode) role() byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.roleLocked()
+}
+
+func (n *fleetNode) roleLocked() byte {
+	if n.fencing || (n.srv != nil && n.srv.IsFenced()) {
+		return wire.RoleFenced
+	}
+	if n.dstore != nil || (n.rstore != nil && n.rstore.Promoted()) {
+		return wire.RolePrimary
+	}
+	return wire.RoleReplica
+}
+
+func (n *fleetNode) lastContact() time.Time {
+	n.mu.Lock()
+	r := n.runner
+	n.mu.Unlock()
+	if r == nil {
+		return time.Time{}
+	}
+	return r.LastContact()
+}
+
+// cluster builds the OpCluster response: this node's role, epoch and
+// watermark, plus the configured fleet membership (self first).
+func (n *fleetNode) cluster() wire.ClusterInfo {
+	n.mu.Lock()
+	self := n.self
+	n.mu.Unlock()
+	ci := wire.ClusterInfo{
+		Epoch:     n.epoch(),
+		Role:      n.role(),
+		Watermark: n.watermark(),
+	}
+	if self.ID != "" || len(n.peers) > 0 {
+		ci.Members = append(append(make([]wire.Member, 0, 1+len(n.peers)), self), n.peers...)
+	}
+	return ci
+}
+
+// stats and durStats route the store gauges through the node so a scrape
+// never reads a store a demotion has closed.
+func (n *fleetNode) stats() jiffy.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch {
+	case n.dstore != nil:
+		return n.dstore.Stats()
+	case n.rstore != nil:
+		return n.rstore.Stats()
+	}
+	return jiffy.Stats{}
+}
+
+func (n *fleetNode) durStats() durable.DurStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch {
+	case n.dstore != nil:
+		return n.dstore.DurStats()
+	case n.rstore != nil:
+		return n.rstore.DurStats()
+	}
+	return durable.DurStats{}
+}
+
+func (n *fleetNode) isReplica() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rstore != nil
+}
+
+// startRunner begins replicating from addr (the boot-time -replica-of).
+func (n *fleetNode) startRunner(addr string) {
+	n.mu.Lock()
+	rst := n.rstore
+	n.mu.Unlock()
+	r := repl.NewRunner(rst, n.codec, addr, repl.RunnerOptions{
+		Metrics: n.replMet,
+		Logf:    n.logf,
+	})
+	n.mu.Lock()
+	n.runner = r
+	n.mu.Unlock()
+	r.Start()
+}
+
+// onPeerEpoch receives higher-epoch evidence from any channel — a
+// replica's hello on the stream, a client's OpCluster announcement, a
+// peer probe — and fences the node if it believes itself primary. Runs
+// the demotion off the calling goroutine: the callers are request
+// handlers and the source's accept path, which must not block on it.
+func (n *fleetNode) onPeerEpoch(epoch int64) {
+	if n.role() != wire.RolePrimary {
+		return
+	}
+	go n.fence(epoch, wire.Member{})
+}
+
+// startSource begins serving the replication stream from st.
+func (n *fleetNode) startSource(st repl.SourceStore[string, []byte]) error {
+	rln, err := net.Listen("tcp", n.replAddr)
+	if err != nil {
+		return err
+	}
+	s := repl.NewSource(st, n.codec, repl.SourceOptions{
+		Tap:         repl.TapOptions{SyncAcks: n.replSync},
+		Metrics:     n.replMet,
+		Logf:        n.logf,
+		OnPeerEpoch: n.onPeerEpoch,
+	})
+	go s.Serve(rln)
+	n.mu.Lock()
+	n.src = s
+	n.mu.Unlock()
+	n.logger.Info("replication stream serving", "addr", rln.Addr().String(), "sync", n.replSync)
+	return nil
+}
+
+// promoteAt turns a replica into a primary under the given fencing epoch
+// (0: bump the current epoch by one — the manual jiffyctl path). The
+// runner's buffered records are applied first; the server opens for
+// writes; with -repl-addr the node starts serving the stream itself.
+func (n *fleetNode) promoteAt(epoch int64) (int64, error) {
+	n.mu.Lock()
+	r, rst := n.runner, n.rstore
+	n.mu.Unlock()
+	if rst == nil {
+		return 0, errors.New("not a replica")
+	}
+	var ver int64
+	var err error
+	switch {
+	case r != nil && epoch > 0:
+		ver, err = r.PromoteAt(epoch)
+	case r != nil:
+		ver, err = r.Promote()
+	case epoch > 0:
+		ver, err = rst.PromoteAt(epoch)
+	default:
+		ver, err = rst.Promote()
+	}
+	if err != nil {
+		return 0, err
+	}
+	if s := n.getSrv(); s != nil {
+		s.SetReadOnly(false)
+	}
+	n.mu.Lock()
+	needSrc := n.replAddr != "" && n.src == nil
+	n.mu.Unlock()
+	if needSrc {
+		if serr := n.startSource(rst); serr != nil {
+			n.logger.Error("replication stream after promote failed", "err", serr)
+		}
+	}
+	n.logger.Info("promoted to primary", "version", ver, "epoch", rst.Epoch())
+	return ver, nil
+}
+
+// repoint re-targets the replica's replication runner at peer p.
+func (n *fleetNode) repoint(p wire.Member) error {
+	if p.ReplAddr == "" {
+		return fmt.Errorf("peer %s exposes no replication address", p.ID)
+	}
+	n.mu.Lock()
+	old, rst := n.runner, n.rstore
+	n.mu.Unlock()
+	if rst == nil {
+		return errors.New("not a replica")
+	}
+	if old != nil {
+		old.Stop()
+	}
+	r := repl.NewRunner(rst, n.codec, p.ReplAddr, repl.RunnerOptions{
+		Metrics: n.replMet,
+		Logf:    n.logf,
+	})
+	n.mu.Lock()
+	if n.rstore != rst {
+		// The node transitioned underfoot (fence or shutdown); drop it.
+		n.mu.Unlock()
+		return nil
+	}
+	n.runner = r
+	n.mu.Unlock()
+	r.Start()
+	n.logger.Info("replication repointed", "primary", p.ID, "repl_addr", p.ReplAddr)
+	return nil
+}
+
+// fence surrenders primacy on higher-epoch evidence: writes answer
+// StatusFenced immediately, then the node demotes itself in process —
+// the durable directory is marked and reopened as a replica, the
+// serving store swapped under live connections — and, when the new
+// primary is known, rejoins its stream (the epoch handshake forces a
+// bootstrap past any divergence). Idempotent while a demotion runs.
+func (n *fleetNode) fence(epoch int64, p wire.Member) error {
+	srv := n.waitSrv()
+	if srv == nil {
+		return errors.New("serving layer not up")
+	}
+	n.mu.Lock()
+	if n.fencing || n.roleLocked() != wire.RolePrimary {
+		n.mu.Unlock()
+		return nil
+	}
+	if cur := n.epochLocked(); epoch <= cur {
+		n.mu.Unlock()
+		return nil
+	}
+	n.fencing = true
+	n.mu.Unlock()
+
+	srv.SetFenced(true)
+	n.failMet.Fences.Inc()
+	n.logger.Warn("fenced: higher fencing epoch observed", "epoch", epoch, "ours", n.epoch())
+
+	// Tear the primary machinery down.
+	n.mu.Lock()
+	src, dst, rst, run := n.src, n.dstore, n.rstore, n.runner
+	n.src, n.dstore, n.rstore, n.runner = nil, nil, nil, nil
+	n.mu.Unlock()
+	if run != nil {
+		run.Stop()
+	}
+	if src != nil {
+		src.Close()
+	}
+	var cerr error
+	if dst != nil {
+		cerr = dst.Close()
+	}
+	if rst != nil {
+		cerr = rst.Close()
+	}
+	if cerr != nil {
+		n.logger.Error("demote: closing primary store", "err", cerr)
+	}
+
+	// Reopen as a replica at the exact recovered versions; the epoch
+	// handshake with the new primary decides resume vs. bootstrap.
+	if err := durable.MarkReplica(n.dir); err != nil {
+		n.logger.Error("demote: marking replica", "err", err)
+		return err // stays fenced: writes refused, which is the safe side
+	}
+	nr, err := durable.OpenReplica(n.dir, n.shards, n.codec, n.dopts)
+	if err != nil {
+		n.logger.Error("demote: reopening as replica", "err", err)
+		return err
+	}
+	n.sw.Swap(server.NewReplicaStore(nr))
+	n.mu.Lock()
+	n.rstore = nr
+	n.fencing = false
+	n.mu.Unlock()
+	srv.SetReadOnly(true)
+	srv.SetFenced(false)
+	n.logger.Info("demoted to replica", "epoch_seen", epoch, "watermark", nr.Watermark())
+	if p.ReplAddr != "" {
+		return n.repoint(p)
+	}
+	// New primary unknown: the failure detector (or the next operator
+	// action) finds it; until then the node serves watermark-gated reads.
+	return nil
+}
+
+func (n *fleetNode) epochLocked() int64 {
+	switch {
+	case n.dstore != nil:
+		return n.dstore.Epoch()
+	case n.rstore != nil:
+		return n.rstore.Epoch()
+	}
+	return 0
+}
+
+// start brings up the failure detector (with -auto-failover). A booting
+// primary first probes its peers once: if the fleet has moved past its
+// epoch while it was down, it demotes before accepting a single write.
+func (n *fleetNode) start() {
+	if !n.auto {
+		return
+	}
+	if n.role() == wire.RolePrimary && len(n.peers) > 0 {
+		n.startupProbe()
+	}
+	fopts := n.fdet
+	fopts.Self = n.self
+	fopts.Peers = n.peers
+	fopts.Logf = n.logf
+	fopts.Metrics = n.failMet
+	n.node = failover.NewNode(fopts, failover.Hooks{
+		Epoch:       n.epoch,
+		Watermark:   n.watermark,
+		LastContact: n.lastContact,
+		Role:        n.role,
+		Promote: func(e int64) error {
+			_, err := n.promoteAt(e)
+			return err
+		},
+		Repoint: n.repoint,
+		Fence:   n.fence,
+	})
+	n.node.Start()
+	n.logger.Info("automatic failover armed", "node_id", n.self.ID, "peers", len(n.peers))
+}
+
+// startupProbe checks the fleet before a primary serves its first write:
+// a higher epoch anywhere means this node was superseded while down.
+func (n *fleetNode) startupProbe() {
+	myE := n.epoch()
+	for _, p := range n.peers {
+		ci, err := failover.Probe(p.Addr, myE, time.Second)
+		if err != nil || ci.Epoch <= myE {
+			continue
+		}
+		target := p
+		if ci.Role != wire.RolePrimary {
+			target = wire.Member{}
+		}
+		n.logger.Warn("startup probe found higher epoch; rejoining as replica",
+			"peer", p.ID, "epoch", ci.Epoch, "ours", myE)
+		if err := n.fence(ci.Epoch, target); err != nil {
+			n.logger.Error("startup demote failed", "err", err)
+		}
+		return
+	}
+}
+
+// stop halts the detector and replication endpoints, then closes the
+// current store. Called on process shutdown, after the server closed.
+func (n *fleetNode) stop() error {
+	if n.node != nil {
+		n.node.Stop()
+	}
+	n.mu.Lock()
+	src, dst, rst, run := n.src, n.dstore, n.rstore, n.runner
+	n.src, n.dstore, n.rstore, n.runner = nil, nil, nil, nil
+	n.mu.Unlock()
+	if run != nil {
+		run.Stop()
+	}
+	if src != nil {
+		src.Close()
+	}
+	if dst != nil {
+		if err := dst.Close(); err != nil {
+			return err
+		}
+	}
+	if rst != nil {
+		if err := rst.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpoint runs a checkpoint if the node currently holds the primary
+// durable store (skipped on replicas — they checkpoint on bootstrap).
+func (n *fleetNode) checkpoint() (int64, bool, error) {
+	n.mu.Lock()
+	dst := n.dstore
+	n.mu.Unlock()
+	if dst == nil {
+		return 0, false, nil
+	}
+	ver, err := dst.Checkpoint()
+	return ver, true, err
+}
+
+// status reports the /replstatus view.
+func (n *fleetNode) status() map[string]any {
+	n.mu.Lock()
+	role := "standalone"
+	var wm int64
+	fenced := n.fencing || (n.srv != nil && n.srv.IsFenced())
+	switch {
+	case fenced:
+		role = "fenced"
+	case n.rstore != nil && n.rstore.Promoted():
+		role = "promoted"
+	case n.rstore != nil:
+		role = "replica"
+	case n.dstore != nil && n.src != nil:
+		role = "primary"
+	}
+	switch {
+	case n.src != nil:
+		wm = n.src.Tap().Frontier()
+	case n.rstore != nil:
+		wm = n.rstore.Watermark()
+	}
+	n.mu.Unlock()
+	st := map[string]any{
+		"role":      role,
+		"watermark": wm,
+		"epoch":     n.epoch(),
+		"fenced":    fenced,
+	}
+	if n.self.ID != "" {
+		st["node_id"] = n.self.ID
+	}
+	return st
+}
+
+// detectorTimings derives the full failure-detector schedule from one
+// knob, keeping the default 2s/500ms/1s/750ms proportions: probes run at
+// a quarter of the suspicion threshold, time out at half of it, and
+// election ranks stagger by three eighths of it.
+func detectorTimings(threshold time.Duration) failover.Options {
+	if threshold <= 0 {
+		return failover.Options{}
+	}
+	return failover.Options{
+		Threshold:    threshold,
+		ProbeEvery:   threshold / 4,
+		ProbeTimeout: threshold / 2,
+		Stagger:      3 * threshold / 8,
+	}
+}
+
+// parsePeers parses the -peers flag: comma-separated
+// id=clientAddr/replAddr entries (the /replAddr part optional for
+// members that never serve the stream).
+func parsePeers(s string) ([]wire.Member, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var ms []wire.Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, rest, ok := strings.Cut(part, "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("peer %q: want id=host:port[/replhost:port]", part)
+		}
+		addr, repl, _ := strings.Cut(rest, "/")
+		if addr == "" {
+			return nil, fmt.Errorf("peer %q: empty client address", part)
+		}
+		ms = append(ms, wire.Member{ID: id, Addr: addr, ReplAddr: repl})
+	}
+	return ms, nil
+}

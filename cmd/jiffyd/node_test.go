@@ -1,0 +1,395 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/failover"
+	"repro/internal/obs"
+	"repro/internal/persist"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/testutil"
+	"repro/internal/wire"
+	"repro/jiffy/client"
+	"repro/jiffy/durable"
+)
+
+// In-process fleet tests: three jiffyd node cores (fleetNode + serving
+// layer, everything but the flag parsing and HTTP sidecar) wired into a
+// replicated fleet, then subjected to primary death, split brain, and an
+// asymmetric partition. These are the -race-able versions of the CI
+// chaos smoke.
+
+// testTimings compresses the failure detector's 2s schedule to 1s — the
+// floor is the source's 500ms heartbeat interval, which the suspicion
+// threshold must comfortably exceed — so a failover completes in a
+// couple of seconds.
+func testTimings() failover.Options { return detectorTimings(time.Second) }
+
+// freeAddr reserves an ephemeral port and returns it as host:port. The
+// tiny window between Close and the node's own Listen is an accepted
+// test-only race.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// testLogf returns a t.Logf passthrough that disarms itself when the
+// test ends, so a straggling retry-loop goroutine cannot log into a
+// finished test.
+func testLogf(t *testing.T) func(string, ...any) {
+	var off atomic.Bool
+	t.Cleanup(func() { off.Store(true) })
+	return func(format string, args ...any) {
+		if !off.Load() {
+			t.Logf(format, args...)
+		}
+	}
+}
+
+type testNode struct {
+	fn   *fleetNode
+	srv  *server.Server[string, []byte]
+	addr string // client address
+	dead sync.Once
+}
+
+// kill abruptly stops the node: listener and connections severed, stores
+// closed. From the fleet's point of view this is a crash — peers just
+// see silence.
+func (n *testNode) kill() {
+	n.dead.Do(func() {
+		n.srv.Close()
+		n.fn.stop()
+	})
+}
+
+type nodeCfg struct {
+	id        string
+	dir       string
+	addr      string // pre-reserved client address
+	replAddr  string // serve (or take over) the replication stream here
+	replicaOf string // non-empty: boot as a replica of this repl address
+	peers     []wire.Member
+}
+
+// bootNode assembles one jiffyd core exactly the way main() does: store,
+// switchable serving frontend, replication endpoint, server hooks, and
+// the armed failure detector.
+func bootNode(t *testing.T, cfg nodeCfg) *testNode {
+	t.Helper()
+	reg := obs.NewRegistry()
+	logf := testLogf(t)
+	codec := durable.Codec[string, []byte]{Key: durable.StringEnc(), Value: durable.BytesEnc()}
+	fn := &fleetNode{
+		logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+		logf:   logf, codec: codec, reg: reg,
+		dir: cfg.dir, shards: 2,
+		dopts:    durable.Options[string]{NoSync: true, Metrics: persist.NewMetrics(reg)},
+		replAddr: cfg.replAddr,
+		self:     wire.Member{ID: cfg.id, Addr: cfg.addr, ReplAddr: cfg.replAddr},
+		peers:    cfg.peers, auto: true, fdet: testTimings(),
+		replMet: repl.RegisterMetrics(reg),
+		failMet: failover.RegisterMetrics(reg),
+	}
+	if cfg.replicaOf != "" {
+		rstore, err := durable.OpenReplica(cfg.dir, fn.shards, codec, fn.dopts)
+		if err != nil {
+			t.Fatalf("node %s: open replica store: %v", cfg.id, err)
+		}
+		fn.rstore = rstore
+		fn.sw = server.NewSwitchableStore[string, []byte](server.NewReplicaStore(rstore))
+	} else {
+		popts := fn.dopts
+		popts.StrictClock = cfg.replAddr != ""
+		dstore, err := durable.OpenSharded(cfg.dir, fn.shards, codec, popts)
+		if err != nil {
+			t.Fatalf("node %s: open durable store: %v", cfg.id, err)
+		}
+		fn.dstore = dstore
+		fn.sw = server.NewSwitchableStore[string, []byte](server.NewDurableStore(dstore))
+		if cfg.replAddr != "" {
+			if err := fn.startSource(dstore); err != nil {
+				t.Fatalf("node %s: replication listen: %v", cfg.id, err)
+			}
+		}
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		t.Fatalf("node %s: listen %s: %v", cfg.id, cfg.addr, err)
+	}
+	srv := server.Serve(ln, fn.sw, codec, server.Options{
+		Registry:    reg,
+		Logf:        logf,
+		Epoch:       fn.epoch,
+		Cluster:     fn.cluster,
+		OnPeerEpoch: fn.onPeerEpoch,
+		Watermark:   fn.readFloor,
+		ReadOnly:    fn.isReplica(),
+	})
+	fn.setServer(srv)
+	if cfg.replicaOf != "" {
+		fn.startRunner(cfg.replicaOf)
+	}
+	fn.start()
+	tn := &testNode{fn: fn, srv: srv, addr: srv.Addr().String()}
+	t.Cleanup(tn.kill)
+	return tn
+}
+
+// codecKV is the client-side codec matching jiffyd's string→bytes store.
+func codecKV() durable.Codec[string, []byte] {
+	return durable.Codec[string, []byte]{Key: durable.StringEnc(), Value: durable.BytesEnc()}
+}
+
+// fleet3 boots a primary and two replicas with full mutual membership.
+func fleet3(t *testing.T) (n1, n2, n3 *testNode) {
+	t.Helper()
+	a1, a2, a3 := freeAddr(t), freeAddr(t), freeAddr(t)
+	r1, r2, r3 := freeAddr(t), freeAddr(t), freeAddr(t)
+	m1 := wire.Member{ID: "n1", Addr: a1, ReplAddr: r1}
+	m2 := wire.Member{ID: "n2", Addr: a2, ReplAddr: r2}
+	m3 := wire.Member{ID: "n3", Addr: a3, ReplAddr: r3}
+	n1 = bootNode(t, nodeCfg{id: "n1", dir: t.TempDir(), addr: a1, replAddr: r1,
+		peers: []wire.Member{m2, m3}})
+	n2 = bootNode(t, nodeCfg{id: "n2", dir: t.TempDir(), addr: a2, replAddr: r2,
+		replicaOf: r1, peers: []wire.Member{m1, m3}})
+	n3 = bootNode(t, nodeCfg{id: "n3", dir: t.TempDir(), addr: a3, replAddr: r3,
+		replicaOf: r1, peers: []wire.Member{m1, m2}})
+	return n1, n2, n3
+}
+
+// caughtUp waits until every replica's watermark matches the primary's
+// frontier (valid to compare: same history, same version clock).
+func caughtUp(t *testing.T, primary *testNode, replicas ...*testNode) {
+	t.Helper()
+	testutil.WaitFor(t, 15*time.Second, func() bool {
+		wm := primary.fn.watermark()
+		for _, r := range replicas {
+			if r.fn.watermark() != wm {
+				return false
+			}
+		}
+		return true
+	}, "replicas never caught up to the primary's frontier")
+}
+
+// TestAutoFailover: the primary dies; with no operator action the
+// best-ranked replica promotes itself under a bumped fencing epoch, the
+// other replica repoints at it, and a rediscovering client keeps writing
+// — with every previously acked key intact.
+func TestAutoFailover(t *testing.T) {
+	testutil.LeakCheck(t)
+	n1, n2, n3 := fleet3(t)
+
+	c, err := client.Dial(n1.addr, codecKV(), client.Options{
+		Rediscover:  true,
+		RetryBudget: 20 * time.Second,
+		DialTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 100; i++ {
+		if err := c.Put(fmt.Sprintf("k-%03d", i), []byte("v1")); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	caughtUp(t, n1, n2, n3)
+	// Learn the member list while the primary is alive — it is what
+	// rediscovery probes once the primary's address goes dark.
+	if _, err := c.Cluster(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the primary. Both replicas are equally caught up, so the tie
+	// breaks on node id: n2 must self-promote, n3 must follow it.
+	n1.kill()
+	testutil.WaitFor(t, 20*time.Second, func() bool {
+		return n2.fn.role() == wire.RolePrimary && n2.fn.epoch() == 2
+	}, "n2 never promoted itself (role %d epoch %d)", n2.fn.role(), n2.fn.epoch())
+	if got := n3.fn.role(); got == wire.RolePrimary {
+		t.Fatal("both replicas promoted: split brain")
+	}
+	testutil.WaitFor(t, 20*time.Second, func() bool {
+		return n3.fn.epoch() == 2
+	}, "n3 never adopted the new primary's epoch")
+	if n2.fn.failMet.Promotions.Value() == 0 {
+		t.Fatal("promotion not counted in failover metrics")
+	}
+
+	// The same client keeps writing: rediscovery must land this on n2.
+	if err := c.Put("after-failover", []byte("v2")); err != nil {
+		t.Fatalf("put after failover: %v", err)
+	}
+	caughtUp(t, n2, n3)
+
+	// Every acked key survives on the new primary, readable through the
+	// repointed client.
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k-%03d", i)
+		if _, ok, err := c.Get(k); err != nil || !ok {
+			t.Fatalf("acked key %s lost after failover (ok=%v err=%v)", k, ok, err)
+		}
+	}
+	ci, err := c.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Epoch != 2 || ci.Role != "primary" {
+		t.Fatalf("client's post-failover view: epoch %d role %s", ci.Epoch, ci.Role)
+	}
+}
+
+// TestSplitBrainFenced is the property the fencing epochs exist for: two
+// nodes believing themselves primary at different epochs cannot both
+// keep accepting writes. The stale one is fenced on first contact with
+// higher-epoch evidence, demotes in process, and rejoins the survivor's
+// stream; every key acked at either primary before the fence survives.
+func TestSplitBrainFenced(t *testing.T) {
+	testutil.LeakCheck(t)
+	n1, n2, n3 := fleet3(t)
+
+	c, err := client.Dial(n1.addr, codecKV(), client.Options{
+		Rediscover:  true,
+		RetryBudget: 20 * time.Second,
+		DialTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		if err := c.Put(fmt.Sprintf("pre-%03d", i), []byte("v1")); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	caughtUp(t, n1, n2, n3)
+	if _, err := c.Cluster(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Manufacture the split: n2 promotes at epoch 2 while n1 still runs
+	// and still believes itself primary at epoch 1.
+	if _, err := n2.fn.promoteAt(2); err != nil {
+		t.Fatalf("promote n2: %v", err)
+	}
+	if n1.fn.role() != wire.RolePrimary && n1.fn.role() != wire.RoleFenced {
+		t.Fatalf("n1 lost primacy before any contact (role %d)", n1.fn.role())
+	}
+
+	// n1's own detector probes its peers, meets epoch 2, and must fence
+	// itself and rejoin n2's stream as a replica.
+	testutil.WaitFor(t, 20*time.Second, func() bool {
+		return n1.fn.role() == wire.RoleReplica && n1.fn.epoch() == 2
+	}, "stale primary never fenced+demoted (role %d epoch %d)", n1.fn.role(), n1.fn.epoch())
+	if n1.fn.failMet.Fences.Value() == 0 {
+		t.Fatal("fence not counted in failover metrics")
+	}
+
+	// The client keeps writing; rediscovery routes to n2 (a write that
+	// races the fence may land on n1 — value-idempotent and replicated
+	// nowhere, it is retried at n2 after the StatusFenced answer).
+	for i := 0; i < 20; i++ {
+		if err := c.Put(fmt.Sprintf("post-%03d", i), []byte("v2")); err != nil {
+			t.Fatalf("put after split: %v", err)
+		}
+	}
+	caughtUp(t, n2, n1, n3)
+
+	// All acked keys — from before the split and after — on the survivor.
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("pre-%03d", i)
+		if _, ok, err := c.Get(k); err != nil || !ok {
+			t.Fatalf("key %s acked before the split is gone (ok=%v err=%v)", k, ok, err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("post-%03d", i)
+		if _, ok, err := c.Get(k); err != nil || !ok {
+			t.Fatalf("key %s acked after the split is gone (ok=%v err=%v)", k, ok, err)
+		}
+	}
+}
+
+// TestPartitionHeal: an asymmetric partition (the replica cannot reach
+// the primary, the primary can reach the replica) makes the replica
+// elect itself; the old primary meets the higher epoch on its next peer
+// probe, fences, and rejoins — the fleet heals with one primary.
+func TestPartitionHeal(t *testing.T) {
+	testutil.LeakCheck(t)
+	a1, a2 := freeAddr(t), freeAddr(t)
+	r1, r2 := freeAddr(t), freeAddr(t)
+
+	// n2 sees n1 only through these proxies; killing them is the cut.
+	n1boot := bootNode(t, nodeCfg{id: "n1", dir: t.TempDir(), addr: a1, replAddr: r1,
+		peers: []wire.Member{{ID: "n2", Addr: a2, ReplAddr: r2}}})
+	pc, err := testutil.NewProxy(a1, testutil.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	pr, err := testutil.NewProxy(r1, testutil.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	n2 := bootNode(t, nodeCfg{id: "n2", dir: t.TempDir(), addr: a2, replAddr: r2,
+		replicaOf: pr.Addr(),
+		peers:     []wire.Member{{ID: "n1", Addr: pc.Addr(), ReplAddr: pr.Addr()}}})
+	n1 := n1boot
+
+	c, err := client.Dial(n1.addr, codecKV(), client.Options{DialTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 30; i++ {
+		if err := c.Put(fmt.Sprintf("k-%03d", i), []byte("v1")); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	caughtUp(t, n1, n2)
+
+	// Cut n2's only paths to n1. n2 sees a silent primary and no
+	// reachable one anywhere: it elects itself at epoch 2.
+	pc.Close()
+	pr.Close()
+	testutil.WaitFor(t, 20*time.Second, func() bool {
+		return n2.fn.role() == wire.RolePrimary && n2.fn.epoch() == 2
+	}, "partitioned replica never elected itself (role %d epoch %d)", n2.fn.role(), n2.fn.epoch())
+
+	// n1 still reaches n2 directly: its next peer probe meets epoch 2 and
+	// it must fence, demote, and follow n2's stream.
+	testutil.WaitFor(t, 20*time.Second, func() bool {
+		return n1.fn.role() == wire.RoleReplica && n1.fn.epoch() == 2
+	}, "old primary never rejoined after the partition (role %d epoch %d)", n1.fn.role(), n1.fn.epoch())
+
+	// Healed: writes to the new primary flow back to the demoted node.
+	c2, err := client.Dial(n2.addr, codecKV(), client.Options{DialTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Put("healed", []byte("v2")); err != nil {
+		t.Fatalf("put on new primary: %v", err)
+	}
+	caughtUp(t, n2, n1)
+	if _, ok, err := c2.Get("healed"); err != nil || !ok {
+		t.Fatalf("post-heal key missing (ok=%v err=%v)", ok, err)
+	}
+}

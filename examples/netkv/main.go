@@ -17,6 +17,12 @@
 //	go run ./examples/netkv -addr primary:7420 -record acked.txt
 //	kill -9 <primary>; jiffyctl -ctl replica:7423 promote
 //	go run ./examples/netkv -addr replica:7430 -verify acked.txt
+//
+// With a fleet running -auto-failover no promote step is needed:
+// -rediscover makes the workload itself ride through the failover —
+// writes that hit a dead or fenced server probe the fleet for the
+// elected primary and retry there, so the recorded acked set can be
+// verified against whatever node ends up primary.
 package main
 
 import (
@@ -39,12 +45,17 @@ func main() {
 	replicas := flag.String("replicas", "", "comma-separated replica addresses; reads route through them at the client's write floor")
 	record := flag.String("record", "", "write every acked key and its final value to this file (consumed by -verify)")
 	verify := flag.String("verify", "", "verify every key in this file against the server and exit (non-zero on any lost or stale key)")
+	rediscover := flag.Bool("rediscover", false, "survive failovers: writes hitting a dead, read-only or fenced server probe the fleet for the current primary and retry there")
 	flag.Parse()
 
 	codec := durable.Codec[string, []byte]{Key: durable.StringEnc(), Value: durable.BytesEnc()}
 	opts := client.Options{Conns: *conns}
 	if *replicas != "" {
 		opts.Replicas = strings.Split(*replicas, ",")
+	}
+	if *rediscover {
+		opts.Rediscover = true
+		opts.DialRetry = true
 	}
 	if *verify != "" {
 		// The verify target is often a freshly promoted replica; give it a

@@ -1,0 +1,64 @@
+// Package failover turns a statically-wired replication pair into a
+// self-healing fleet. Each jiffyd runs a Node: a small state machine
+// that watches the replication stream's heartbeats, probes its peers
+// with OpCluster when they go quiet, and drives exactly three
+// transitions through caller-supplied hooks —
+//
+//   - Promote: the primary is gone and this replica is the
+//     most-caught-up reachable candidate, so it promotes itself under a
+//     fencing epoch one above the highest it has seen anywhere;
+//   - Repoint: another node was promoted (its OpCluster response shows
+//     RolePrimary at a higher epoch), so this replica re-targets its
+//     replication runner at the new primary;
+//   - Fence: evidence of a higher epoch reached a node that believes
+//     itself primary — it must stop accepting writes immediately and
+//     demote itself to a replica of the new primary.
+//
+// There is no consensus protocol here, deliberately: safety comes from
+// the fencing epoch persisted in the durable store's EPOCH history and
+// checked at every boundary (replication hellos, client announcements,
+// peer probes), not from agreeing on who the primary is. Two nodes may
+// transiently both believe they are primary; only one of them holds the
+// highest epoch, and the other is fenced the moment any message carrying
+// the higher epoch reaches it — while every write it acked before the
+// partition is, by the promotion rank, already on the winner. Liveness
+// comes from the detector: deterministic candidate ranking (watermark,
+// then node id) plus per-rank stagger makes concurrent self-promotion
+// unlikely, and harmless when it happens anyway. See DESIGN.md §12.
+package failover
+
+import "repro/internal/obs"
+
+// Metrics is the failover detector's instrumentation panel. Fences is
+// incremented by the process's fence hook (the Node is not the only
+// fencing path — replication hellos and client announcements fence too),
+// the rest by the Node itself.
+type Metrics struct {
+	Suspicions    *obs.Counter // primary-silence suspicions raised
+	Probes        *obs.Counter // OpCluster peer probes sent
+	ProbeFailures *obs.Counter // probes that failed (dial, timeout, decode)
+	Promotions    *obs.Counter // self-promotions executed
+	Repoints      *obs.Counter // runner re-targets to a newly found primary
+	Fences        *obs.Counter // self-fences on higher-epoch evidence
+}
+
+// RegisterMetrics registers the failover counter panel on reg and
+// returns it; pass it to Options.Metrics.
+func RegisterMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Suspicions: reg.Counter("jiffy_failover_suspicions_total",
+			"Times the primary went silent past the detection threshold."),
+		Probes: reg.Counter("jiffy_failover_probes_total",
+			"OpCluster probes sent to fleet peers."),
+		ProbeFailures: reg.Counter("jiffy_failover_probe_failures_total",
+			"Peer probes that failed to connect, complete or decode."),
+		Promotions: reg.Counter("jiffy_failover_promotions_total",
+			"Automatic self-promotions to primary."),
+		Repoints: reg.Counter("jiffy_failover_repoints_total",
+			"Replication runner re-targets to a newly discovered primary."),
+		Fences: reg.Counter("jiffy_failover_fences_total",
+			"Self-fences on observing a fencing epoch above our own."),
+	}
+}
+
+func noopMetrics() *Metrics { return RegisterMetrics(obs.NewRegistry()) }

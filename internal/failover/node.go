@@ -1,0 +1,372 @@
+package failover
+
+import (
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/wire"
+)
+
+// Hooks is how a Node observes and drives its process. All hooks must be
+// safe for concurrent use; Promote, Repoint and Fence are called from
+// the Node's own goroutine, never concurrently with each other.
+type Hooks struct {
+	// Epoch reports the node's persisted fencing epoch.
+	Epoch func() int64
+
+	// Watermark reports the node's applied version bound (the replica
+	// watermark, or a primary's committed version) — the candidate rank.
+	Watermark func() int64
+
+	// LastContact reports when the last replication frame (heartbeat or
+	// batch) arrived from the primary; the zero time means none yet.
+	// Unused on a primary.
+	LastContact func() time.Time
+
+	// Role reports the node's current role (wire.RolePrimary /
+	// RoleReplica / RoleFenced); it is how the Node tracks its process
+	// through promotions and demotions it did not itself initiate.
+	Role func() byte
+
+	// Promote turns the process into a primary at the given fencing
+	// epoch: apply pending records, PromoteAt on the store, open writes,
+	// start serving the replication stream.
+	Promote func(epoch int64) error
+
+	// Repoint re-targets the process's replication runner at a newly
+	// discovered primary.
+	Repoint func(p wire.Member) error
+
+	// Fence surrenders primacy: evidence of epoch (above our own) was
+	// observed. p is the new primary when the Node has found it; a zero
+	// Member when it has not (fence first, rediscover later).
+	Fence func(epoch int64, p wire.Member) error
+}
+
+// Options configures a Node. The zero value of every field selects a
+// default; Self and Peers are required.
+type Options struct {
+	// Self identifies this node (its id ranks election ties; its
+	// addresses are what peers should see in ClusterInfo).
+	Self wire.Member
+
+	// Peers lists the other fleet members (not Self).
+	Peers []wire.Member
+
+	// Threshold is how long the primary must be silent before the
+	// detector suspects it (default 2s — four missed 500ms heartbeats).
+	Threshold time.Duration
+
+	// ProbeEvery is the detector's tick (default 500ms).
+	ProbeEvery time.Duration
+
+	// ProbeTimeout bounds one peer probe end to end (default 1s).
+	ProbeTimeout time.Duration
+
+	// Stagger is the per-rank candidacy delay (default 750ms): the
+	// rank-k candidate waits k*Stagger before promoting, so a healthier
+	// candidate's promotion is visible before a lesser one acts.
+	Stagger time.Duration
+
+	// Grace paces the jittered wait a candidate adds on top of its
+	// stagger; its PRNG is seeded from Self.ID so the sequence is stable
+	// per node. The zero value uses repl.Backoff defaults.
+	Grace repl.Backoff
+
+	// Logf receives detector decisions; nil silences them.
+	Logf func(format string, args ...any)
+
+	// Metrics receives the detector's instrumentation; nil disables it.
+	Metrics *Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold <= 0 {
+		o.Threshold = 2 * time.Second
+	}
+	if o.ProbeEvery <= 0 {
+		o.ProbeEvery = 500 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.Stagger <= 0 {
+		o.Stagger = 750 * time.Millisecond
+	}
+	if o.Metrics == nil {
+		o.Metrics = noopMetrics()
+	}
+	return o
+}
+
+// Node is the per-process failover detector. Create one with NewNode,
+// Start it, Stop it on shutdown. It is quiescent while the replication
+// stream is healthy: one LastContact read per tick, no probes.
+type Node struct {
+	opts  Options
+	hooks Hooks
+	met   *Metrics
+	grace repl.Backoff
+
+	started time.Time
+	suspect bool
+
+	mu      sync.Mutex
+	running bool
+	stopCh  chan struct{}
+	done    chan struct{}
+}
+
+// NewNode returns a Node driving hooks under opts. Call Start.
+func NewNode(opts Options, hooks Hooks) *Node {
+	opts = opts.withDefaults()
+	n := &Node{opts: opts, hooks: hooks, met: opts.Metrics, grace: opts.Grace}
+	h := fnv.New64a()
+	h.Write([]byte(opts.Self.ID))
+	n.grace.Seed(int64(h.Sum64()))
+	return n
+}
+
+// Start begins the detector loop. It is idempotent.
+func (n *Node) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.running {
+		return
+	}
+	n.running = true
+	n.started = time.Now()
+	n.stopCh = make(chan struct{})
+	n.done = make(chan struct{})
+	go n.run()
+}
+
+// Stop halts the detector and waits for its goroutine. Idempotent.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return
+	}
+	n.running = false
+	close(n.stopCh)
+	done := n.done
+	n.mu.Unlock()
+	<-done
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.opts.Logf != nil {
+		n.opts.Logf(format, args...)
+	}
+}
+
+func (n *Node) run() {
+	defer close(n.done)
+	t := time.NewTicker(n.opts.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-t.C:
+		}
+		switch n.hooks.Role() {
+		case wire.RolePrimary:
+			n.primaryTick()
+		case wire.RoleReplica:
+			n.replicaTick()
+		default:
+			// Fenced: the fence hook owns the demotion; nothing to detect
+			// until the role flips back to replica.
+		}
+	}
+}
+
+// sleep waits d or until Stop, reporting false when stopped.
+func (n *Node) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-n.stopCh:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+type probeResult struct {
+	peer wire.Member
+	ci   wire.ClusterInfo
+	err  error
+}
+
+// probePeers probes every peer concurrently, announcing knownEpoch.
+func (n *Node) probePeers(knownEpoch int64) []probeResult {
+	rs := make([]probeResult, len(n.opts.Peers))
+	var wg sync.WaitGroup
+	for i, p := range n.opts.Peers {
+		wg.Add(1)
+		go func(i int, p wire.Member) {
+			defer wg.Done()
+			n.met.Probes.Inc()
+			ci, err := Probe(p.Addr, knownEpoch, n.opts.ProbeTimeout)
+			if err != nil {
+				n.met.ProbeFailures.Inc()
+			}
+			rs[i] = probeResult{peer: p, ci: ci, err: err}
+		}(i, p)
+	}
+	wg.Wait()
+	return rs
+}
+
+// bestPrimary returns the reachable peer claiming RolePrimary at the
+// highest epoch, if any.
+func bestPrimary(rs []probeResult) (wire.Member, wire.ClusterInfo, bool) {
+	var (
+		bp    wire.Member
+		bc    wire.ClusterInfo
+		found bool
+	)
+	for _, r := range rs {
+		if r.err != nil || r.ci.Role != wire.RolePrimary {
+			continue
+		}
+		if !found || r.ci.Epoch > bc.Epoch {
+			bp, bc, found = r.peer, r.ci, true
+		}
+	}
+	return bp, bc, found
+}
+
+// maxEpoch returns the highest epoch in rs and floor.
+func maxEpoch(rs []probeResult, floor int64) int64 {
+	m := floor
+	for _, r := range rs {
+		if r.err == nil && r.ci.Epoch > m {
+			m = r.ci.Epoch
+		}
+	}
+	return m
+}
+
+// primaryTick looks for proof that this primary has been superseded: any
+// reachable peer at a higher epoch. The probes also announce our epoch,
+// which fences stale peers — so two primaries probing each other resolve
+// in one round, in the lower epoch's disfavor, whichever probes first.
+func (n *Node) primaryTick() {
+	myE := n.hooks.Epoch()
+	rs := n.probePeers(myE)
+	if top := maxEpoch(rs, myE); top > myE {
+		p, ci, ok := bestPrimary(rs)
+		if ok && ci.Epoch >= top {
+			n.logf("failover: epoch %d at %s supersedes our %d; fencing", ci.Epoch, p.ID, myE)
+		} else {
+			p = wire.Member{}
+			n.logf("failover: observed epoch %d above our %d; fencing", top, myE)
+		}
+		if err := n.hooks.Fence(top, p); err != nil {
+			n.logf("failover: fence: %v", err)
+		}
+	}
+}
+
+// replicaTick is the failure detector proper: silence past Threshold
+// raises suspicion; probes decide between repointing (someone else
+// already promoted), waiting (a better-ranked candidate should act
+// first, or the primary is alive and only our link is down), and
+// self-promotion at one past the highest epoch seen anywhere.
+func (n *Node) replicaTick() {
+	lc := n.hooks.LastContact()
+	if lc.IsZero() || lc.Before(n.started) {
+		// No frame this process lifetime: grant the primary a full
+		// threshold from detector start before suspecting it.
+		lc = n.started
+	}
+	if time.Since(lc) < n.opts.Threshold {
+		if n.suspect {
+			n.suspect = false
+			n.grace.Reset()
+		}
+		return
+	}
+	if !n.suspect {
+		n.suspect = true
+		n.met.Suspicions.Inc()
+		n.logf("failover: primary silent for %s; probing fleet", time.Since(lc).Round(time.Millisecond))
+	}
+
+	myE := n.hooks.Epoch()
+	rs := n.probePeers(myE)
+	if p, ci, ok := bestPrimary(rs); ok {
+		if ci.Epoch > myE {
+			n.logf("failover: found primary %s at epoch %d; repointing", p.ID, ci.Epoch)
+			if err := n.hooks.Repoint(p); err != nil {
+				n.logf("failover: repoint: %v", err)
+				return
+			}
+			n.met.Repoints.Inc()
+			n.suspect = false
+			n.grace.Reset()
+		}
+		// A primary at our epoch is alive but unreachable over the
+		// replication link; the runner's own reconnect loop handles that.
+		return
+	}
+
+	// No reachable primary: candidacy. Rank among reachable replica
+	// candidates by (watermark desc, id asc) and wait out the ranks
+	// ahead of us, plus jitter, before claiming the next epoch.
+	rank := n.rank(rs)
+	if !n.sleep(time.Duration(rank)*n.opts.Stagger + n.grace.Next()) {
+		return
+	}
+	rs = n.probePeers(myE)
+	if p, ci, ok := bestPrimary(rs); ok && ci.Epoch > myE {
+		n.logf("failover: %s promoted to epoch %d during grace; repointing", p.ID, ci.Epoch)
+		if err := n.hooks.Repoint(p); err != nil {
+			n.logf("failover: repoint: %v", err)
+			return
+		}
+		n.met.Repoints.Inc()
+		n.suspect = false
+		n.grace.Reset()
+		return
+	}
+	if r := n.rank(rs); r > 0 {
+		n.logf("failover: rank %d after grace; deferring to a healthier candidate", r)
+		return
+	}
+	target := maxEpoch(rs, myE) + 1
+	n.logf("failover: promoting self (%s) to epoch %d", n.opts.Self.ID, target)
+	if err := n.hooks.Promote(target); err != nil {
+		n.logf("failover: promote: %v", err)
+		return
+	}
+	n.met.Promotions.Inc()
+	n.suspect = false
+	n.grace.Reset()
+}
+
+// rank counts reachable replica candidates strictly ahead of this node
+// in the deterministic promotion order: higher watermark first, then
+// lower id. Rank 0 means this node should promote.
+func (n *Node) rank(rs []probeResult) int {
+	myWM, myID := n.hooks.Watermark(), n.opts.Self.ID
+	rank := 0
+	for _, r := range rs {
+		if r.err != nil || r.ci.Role != wire.RoleReplica {
+			continue
+		}
+		if r.ci.Watermark > myWM || (r.ci.Watermark == myWM && r.peer.ID < myID) {
+			rank++
+		}
+	}
+	return rank
+}

@@ -1,0 +1,119 @@
+package failover_test
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/failover"
+	"repro/internal/server"
+	"repro/internal/testutil"
+	"repro/internal/wire"
+	"repro/jiffy"
+	"repro/jiffy/durable"
+)
+
+// Unit tests for the failure detector's decisions in isolation: the
+// election rank (defer to a better-caught-up peer, promote once none is
+// reachable) and probe-borne fence propagation. The full role
+// transitions they trigger are covered end to end in cmd/jiffyd.
+
+// startPeer serves a throwaway mem store that answers OpCluster with
+// ci() and reports epoch announcements to onEpoch.
+func startPeer(t *testing.T, ci func() wire.ClusterInfo, onEpoch func(int64)) (*server.Server[uint64, uint64], string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := durable.Codec[uint64, uint64]{Key: durable.Uint64Enc(), Value: durable.Uint64Enc()}
+	srv := server.Serve(ln, server.NewMemStore(jiffy.NewSharded[uint64, uint64](2)), codec, server.Options{
+		Epoch:       func() int64 { return ci().Epoch },
+		Cluster:     ci,
+		OnPeerEpoch: onEpoch,
+	})
+	t.Cleanup(func() { srv.Close() })
+	return srv, srv.Addr().String()
+}
+
+// TestProbePropagatesEpoch: a probe announcing a higher epoch lands that
+// evidence in the probed server's OnPeerEpoch hook — probing doubles as
+// fence propagation.
+func TestProbePropagatesEpoch(t *testing.T) {
+	testutil.LeakCheck(t)
+	seen := make(chan int64, 1)
+	_, addr := startPeer(t, func() wire.ClusterInfo {
+		return wire.ClusterInfo{Epoch: 1, Role: wire.RolePrimary, Watermark: 42}
+	}, func(e int64) {
+		select {
+		case seen <- e:
+		default:
+		}
+	})
+	ci, err := failover.Probe(addr, 5, time.Second)
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if ci.Epoch != 1 || ci.Role != wire.RolePrimary || ci.Watermark != 42 {
+		t.Fatalf("probe view: %+v", ci)
+	}
+	select {
+	case e := <-seen:
+		if e != 5 {
+			t.Fatalf("server saw epoch %d, want 5", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("probed server never saw the announced epoch")
+	}
+}
+
+// TestElectionDefersToBetterCandidate: a suspecting replica outranked by
+// a reachable, better-caught-up peer must not promote; once that peer
+// becomes unreachable, it must. This is the no-split-brain core of the
+// election: at most one candidate acts per rank window.
+func TestElectionDefersToBetterCandidate(t *testing.T) {
+	testutil.LeakCheck(t)
+	// The better candidate: a reachable replica 50 versions ahead.
+	better, betterAddr := startPeer(t, func() wire.ClusterInfo {
+		return wire.ClusterInfo{Epoch: 1, Role: wire.RoleReplica, Watermark: 100}
+	}, nil)
+
+	var promoted atomic.Int64
+	started := time.Now()
+	node := failover.NewNode(failover.Options{
+		Self: wire.Member{ID: "b", Addr: "127.0.0.1:1"},
+		Peers: []wire.Member{
+			{ID: "a", Addr: betterAddr, ReplAddr: "127.0.0.1:1"},
+			{ID: "dead-primary", Addr: "127.0.0.1:1"},
+		},
+		Threshold:    200 * time.Millisecond,
+		ProbeEvery:   50 * time.Millisecond,
+		ProbeTimeout: 200 * time.Millisecond,
+		Stagger:      100 * time.Millisecond,
+		Logf:         t.Logf,
+	}, failover.Hooks{
+		Epoch:       func() int64 { return 1 },
+		Watermark:   func() int64 { return 50 },
+		LastContact: func() time.Time { return started }, // primary silent from the start
+		Role:        func() byte { return wire.RoleReplica },
+		Promote:     func(e int64) error { promoted.Store(e); return nil },
+		Repoint:     func(p wire.Member) error { return nil },
+		Fence:       func(e int64, p wire.Member) error { return nil },
+	})
+	node.Start()
+	defer node.Stop()
+
+	// Long enough for several suspicion rounds: the node must keep
+	// deferring to the better candidate.
+	time.Sleep(1200 * time.Millisecond)
+	if e := promoted.Load(); e != 0 {
+		t.Fatalf("outranked replica promoted itself to epoch %d", e)
+	}
+
+	// The better candidate dies without promoting; this node is now the
+	// best reachable candidate and must take epoch 2.
+	better.Close()
+	testutil.WaitFor(t, 15*time.Second, func() bool { return promoted.Load() == 2 },
+		"best remaining candidate never promoted (epoch %d)", promoted.Load())
+}

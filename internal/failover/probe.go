@@ -1,0 +1,41 @@
+package failover
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Probe asks the jiffyd at addr (its client address) for its cluster
+// view: one OpCluster round trip on a throwaway connection, bounded by
+// timeout end to end. knownEpoch, when non-zero, is announced in the
+// request body — a probed node that believes itself primary at a lower
+// epoch fences itself on receipt, so probing doubles as fence
+// propagation: the detector spreads the new epoch to every stale node it
+// can reach.
+func Probe(addr string, knownEpoch int64, timeout time.Duration) (wire.ClusterInfo, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return wire.ClusterInfo{}, err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(timeout))
+	var body []byte
+	if knownEpoch > 0 {
+		body = binary.LittleEndian.AppendUint64(nil, uint64(knownEpoch))
+	}
+	if _, err := c.Write(wire.AppendFrame(nil, 1, wire.OpCluster, body)); err != nil {
+		return wire.ClusterInfo{}, err
+	}
+	_, status, resp, _, err := wire.ReadFrame(c, nil)
+	if err != nil {
+		return wire.ClusterInfo{}, err
+	}
+	if status != wire.StatusOK {
+		return wire.ClusterInfo{}, fmt.Errorf("failover: probe %s: status %d", addr, status)
+	}
+	return wire.DecodeClusterInfo(resp)
+}

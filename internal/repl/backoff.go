@@ -14,10 +14,16 @@ import (
 
 // Backoff computes capped, jittered exponential retry delays. The zero
 // value uses the defaults (50ms base, 5s cap, factor 2, 50% jitter). It
-// is shared by the replica runner's reconnect loop and jiffy/client's
-// optional dial retry, so both ends of the system pace retries the same
-// way. A Backoff belongs to one retry loop — it is not safe for
-// concurrent use; give each loop its own copy.
+// is shared by the replica runner's reconnect loop, jiffy/client's
+// optional dial retry, and the failover detector's grace pacing, so
+// every retrying party in the system paces the same way. A Backoff
+// belongs to one retry loop — it is not safe for concurrent use; give
+// each loop its own copy.
+//
+// Jitter draws from a per-Backoff PRNG, not the global math/rand source:
+// a reconnect storm across hundreds of connections must not serialize
+// every loop on one mutex. The PRNG seeds itself lazily (one global draw
+// per Backoff, not per Next); Seed pins it for deterministic tests.
 type Backoff struct {
 	Base   time.Duration // first delay; default 50ms
 	Max    time.Duration // delay cap; default 5s
@@ -25,7 +31,13 @@ type Backoff struct {
 	Jitter float64       // fraction of each delay randomized, in [0,1]; default 0.5
 
 	attempt int
+	rng     *rand.Rand
 }
+
+// Seed pins the backoff's jitter PRNG so the delay sequence is
+// deterministic — for tests, and for deriving a node's failover grace
+// jitter from its stable id.
+func (b *Backoff) Seed(seed int64) { b.rng = rand.New(rand.NewSource(seed)) }
 
 // Next returns the delay to sleep before the next attempt and advances
 // the attempt counter. Jitter spreads simultaneous retriers: the returned
@@ -41,8 +53,13 @@ func (b *Backoff) Next() time.Duration {
 	if factor < 1 {
 		factor = 2
 	}
-	if jitter < 0 || jitter > 1 {
+	if jitter <= 0 || jitter > 1 {
 		jitter = 0.5
+	}
+	if b.rng == nil {
+		// One trip through the global source to diverge from every other
+		// lazily seeded Backoff; all later draws are lock-free and local.
+		b.rng = rand.New(rand.NewSource(rand.Int63()))
 	}
 	d := float64(base) * math.Pow(factor, float64(b.attempt))
 	if d >= float64(max) {
@@ -50,10 +67,10 @@ func (b *Backoff) Next() time.Duration {
 	} else {
 		b.attempt++
 	}
-	d -= rand.Float64() * jitter * d
+	d -= b.rng.Float64() * jitter * d
 	return time.Duration(d)
 }
 
 // Reset returns the backoff to its first-attempt delay; call it after a
-// successful connection.
+// successful connection. The jitter PRNG (and any Seed) is kept.
 func (b *Backoff) Reset() { b.attempt = 0 }

@@ -1,0 +1,195 @@
+package repl
+
+import (
+	"fmt"
+	"maps"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/testutil"
+	"repro/jiffy/durable"
+)
+
+// Fencing-epoch handshake tests: the proto-2 hello carries the replica's
+// epoch, the source answers with its own (or refuses a newer peer), and
+// a resume point past a promote boundary forces a full bootstrap.
+
+// TestReplEpochAdoptedFromStream: a replica joining a primary at a later
+// epoch adopts that epoch from the handshake and persists it.
+func TestReplEpochAdoptedFromStream(t *testing.T) {
+	testutil.LeakCheck(t)
+	dir := t.TempDir()
+	// A primary whose history already reached epoch 5.
+	if err := os.WriteFile(filepath.Join(dir, durable.EpochFile), []byte("5 0\n"), 0o644); err != nil {
+		t.Fatalf("seed EPOCH: %v", err)
+	}
+	store, err := durable.OpenSharded(dir, 4, strCodec(), primaryOpts())
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	src := NewSource(store, strCodec(), SourceOptions{HeartbeatEvery: 20 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go src.Serve(ln)
+	defer func() {
+		src.Close()
+		store.Close()
+	}()
+
+	rep, _ := startRunner(t, ln.Addr().String(), RunnerOptions{})
+	v, err := store.PutV("k", "v")
+	if err != nil {
+		t.Fatalf("PutV: %v", err)
+	}
+	testutil.Eventually(t, func() bool { return rep.Watermark() >= v }, "replica never synced")
+	testutil.Eventually(t, func() bool { return rep.Epoch() == 5 },
+		"replica epoch %d, never adopted the primary's 5", rep.Epoch())
+}
+
+// TestReplSourceRefusesStaleEpoch: a source contacted by a replica whose
+// epoch is ahead of its own is the stale party — it must refuse to serve
+// (serving would resurrect a fenced history) and report the evidence
+// through OnPeerEpoch so the process can fence itself.
+func TestReplSourceRefusesStaleEpoch(t *testing.T) {
+	testutil.LeakCheck(t)
+	seen := make(chan int64, 16)
+	store, _, addr := startSource(t, SourceOptions{
+		OnPeerEpoch: func(e int64) {
+			select {
+			case seen <- e:
+			default:
+			}
+		},
+	})
+	if _, err := store.PutV("k", "v"); err != nil {
+		t.Fatalf("PutV: %v", err)
+	}
+
+	rep, _ := startRunner(t, addr, RunnerOptions{})
+	if err := rep.AdoptEpoch(7, 0); err != nil {
+		t.Fatalf("AdoptEpoch: %v", err)
+	}
+	select {
+	case e := <-seen:
+		if e != 7 {
+			t.Fatalf("OnPeerEpoch(%d), want 7", e)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("source never reported the newer peer epoch")
+	}
+	// The stale source must not have served the stream: the replica stays
+	// unsynced and keeps its higher epoch.
+	if wm := rep.Watermark(); wm != 0 {
+		t.Fatalf("stale source served the stream (replica watermark %d)", wm)
+	}
+	if e := rep.Epoch(); e != 7 {
+		t.Fatalf("replica epoch regressed to %d", e)
+	}
+}
+
+// TestReplForcedBootstrapAcrossPromotion: B falls behind, then the old
+// primary keeps committing to C alone before dying; B promotes at its
+// (older) watermark, so C now holds records above B's promote boundary
+// that exist in no surviving history. C's resume point lies past the
+// boundary for epoch 1, so a resume could replay discarded history — the
+// handshake must force a full bootstrap, after which C matches B's
+// content exactly (the orphaned records gone) and adopts B's epoch.
+func TestReplForcedBootstrapAcrossPromotion(t *testing.T) {
+	testutil.LeakCheck(t)
+	storeA, _, addrA := startSource(t, SourceOptions{})
+	repB, runnerB := startRunner(t, addrA, RunnerOptions{})
+	repC, runnerC := startRunner(t, addrA, RunnerOptions{})
+
+	var last int64
+	for i := 0; i < 50; i++ {
+		v, err := storeA.PutV(fmt.Sprintf("k-%03d", i), "epoch1")
+		if err != nil {
+			t.Fatalf("PutV: %v", err)
+		}
+		last = v
+	}
+	testutil.Eventually(t, func() bool {
+		return repB.Watermark() >= last && repC.Watermark() >= last
+	}, "replicas never converged on the old primary")
+
+	// B goes silent; A commits more, replicated only to C — records that
+	// will survive in no history once B promotes without them.
+	runnerB.Stop()
+	var orphanHigh int64
+	for i := 0; i < 20; i++ {
+		v, err := storeA.PutV(fmt.Sprintf("orphan-%03d", i), "doomed")
+		if err != nil {
+			t.Fatalf("PutV: %v", err)
+		}
+		orphanHigh = v
+	}
+	testutil.Eventually(t, func() bool { return repC.Watermark() >= orphanHigh },
+		"C never applied the post-sever records")
+
+	// The primary dies; C goes quiet; B promotes to epoch 2 at its older
+	// watermark — the divergence point.
+	runnerC.Stop()
+	if _, err := runnerB.PromoteAt(2); err != nil {
+		t.Fatalf("PromoteAt: %v", err)
+	}
+	reg := obs.NewRegistry()
+	metB := RegisterMetrics(reg)
+	srcB := NewSource[string, string](repB, strCodec(), SourceOptions{
+		HeartbeatEvery: 20 * time.Millisecond,
+		Metrics:        metB,
+		Logf:           t.Logf,
+	})
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srcB.Serve(lnB)
+	defer srcB.Close()
+	for i := 0; i < 20; i++ {
+		v, err := repB.PutV(fmt.Sprintf("b-%03d", i), "epoch2")
+		if err != nil {
+			t.Fatalf("PutV on promoted node: %v", err)
+		}
+		last = v
+	}
+
+	t.Logf("B: epoch %d history %v | C: epoch %d watermark %d",
+		repB.Epoch(), repB.EpochHistory(), repC.Epoch(), repC.Watermark())
+
+	// C rejoins pointed at B. Its watermark lies past B's promote
+	// boundary: bootstrap, not resume.
+	runnerC2 := NewRunner(repC, strCodec(), lnB.Addr().String(), RunnerOptions{
+		Backoff: Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+		Metrics: metB,
+		Logf:    t.Logf,
+	})
+	runnerC2.Start()
+	defer runnerC2.Stop()
+
+	// Versions are clock timestamps, so C's stale watermark can already
+	// exceed B's post-promote versions — converge on content, not version.
+	testutil.Eventually(t, func() bool {
+		return repC.Epoch() == 2 && maps.Equal(dump(repB.All), dump(repC.All))
+	}, "C never converged on the new primary (epoch %d, %d keys vs %d)",
+		repC.Epoch(), repC.Len(), repB.Len())
+	if metB.Bootstraps.Value() == 0 {
+		t.Fatal("rejoin across a promote boundary resumed instead of bootstrapping")
+	}
+	if e := repC.Epoch(); e != 2 {
+		t.Fatalf("C's epoch %d after rejoin, want 2", e)
+	}
+	if got, ok := repC.Get("b-019"); !ok || got != "epoch2" {
+		t.Fatalf("post-promote key on C: %q/%v", got, ok)
+	}
+	// The orphaned records — applied from the dead primary, never seen by
+	// the survivor — must be gone: they exist in no surviving history.
+	if _, ok := repC.Get("orphan-000"); ok {
+		t.Fatal("orphaned record survived the forced bootstrap")
+	}
+}

@@ -57,15 +57,29 @@ func RegisterMetrics(reg *obs.Registry) *Metrics {
 // RegisterSourceGauges registers the primary-side lag gauges, computed
 // from the tap's subscriber census at each scrape.
 func RegisterSourceGauges(reg *obs.Registry, t *Tap) {
+	RegisterSourceGaugesFunc(reg, func() *Tap { return t })
+}
+
+// RegisterSourceGaugesFunc is RegisterSourceGauges for a tap resolved at
+// scrape time: a node that starts serving the stream only after a
+// promotion (or stops after a demotion) registers once with a provider
+// returning the current tap, nil while there is none.
+func RegisterSourceGaugesFunc(reg *obs.Registry, tap func() *Tap) {
+	stats := func() LagStats {
+		if t := tap(); t != nil {
+			return t.LagStats()
+		}
+		return LagStats{}
+	}
 	reg.Func("jiffy_repl_replicas_connected",
 		"Replica connections currently subscribed (synced or catching up).",
-		func() float64 { return float64(t.LagStats().Replicas) })
+		func() float64 { return float64(stats().Replicas) })
 	reg.Func("jiffy_repl_lag_versions",
 		"Largest published-version minus replica-watermark over synced replicas.",
-		func() float64 { return float64(t.LagStats().MaxLagVersions) })
+		func() float64 { return float64(stats().MaxLagVersions) })
 	reg.Func("jiffy_repl_lag_bytes",
 		"Largest count of stream bytes past a synced replica's receipt ack.",
-		func() float64 { return float64(t.LagStats().MaxLagBytes) })
+		func() float64 { return float64(stats().MaxLagBytes) })
 }
 
 // RegisterReplicaGauges registers the replica-side watermark gauge.
@@ -74,4 +88,14 @@ func RegisterReplicaGauges(reg *obs.Registry, watermark func() int64) {
 	reg.Func("jiffy_repl_watermark",
 		"Replica's applied replication watermark (0: never synced).",
 		func() float64 { return float64(watermark()) })
+}
+
+// RegisterEpochGauge registers the node's fencing epoch — the one series
+// an operator watches during a failover: every survivor converges on the
+// new epoch, and a stale primary shows the old value until it is fenced.
+// epoch is durable.Sharded.Epoch or durable.Replica.Epoch.
+func RegisterEpochGauge(reg *obs.Registry, epoch func() int64) {
+	reg.Func("jiffy_repl_epoch",
+		"Fencing epoch this node believes current (bumped by each promotion).",
+		func() float64 { return float64(epoch()) })
 }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -18,12 +19,14 @@ import (
 // *durable.Replica satisfies it.
 type ReplicaStore[K cmp.Ordered, V any] interface {
 	Watermark() int64
+	Epoch() int64
+	AdoptEpoch(epoch, start int64) error
 	ApplyRecord(version int64, payload []byte) error
 	AdvanceTo(frontier int64)
 	BeginBootstrap() error
 	ApplyBootstrap(version int64, ops []jiffy.BatchOp[K, V]) error
 	FinishBootstrap(version int64) error
-	Promote() (int64, error)
+	PromoteAt(epoch int64) (int64, error)
 }
 
 // RunnerOptions tunes a Runner. The zero value selects the defaults.
@@ -91,6 +94,12 @@ type Runner[K cmp.Ordered, V any] struct {
 	bootVer int64
 	bootOps []jiffy.BatchOp[K, V]
 
+	// lastContact is the unix-nano time of the last frame received from
+	// the primary (0: none yet this process). The failover detector
+	// reads it: heartbeats arrive every HeartbeatEvery while the primary
+	// lives, so a stale lastContact is a dead or unreachable primary.
+	lastContact atomic.Int64
+
 	mu      sync.Mutex
 	conn    net.Conn
 	started bool
@@ -153,9 +162,17 @@ func (r *Runner[K, V]) Stop() {
 
 // Promote stops replication, applies every buffered record — thanks to
 // synchronous acks, that includes every write the old primary
-// acknowledged to a client — and promotes the local store to a primary.
-// It returns the version the node promoted at.
+// acknowledged to a client — and promotes the local store to a primary
+// under the next fencing epoch. It returns the version the node promoted
+// at. Automatic failover uses PromoteAt with the epoch its election
+// chose; Promote (the manual jiffyctl path) bumps by one.
 func (r *Runner[K, V]) Promote() (int64, error) {
+	return r.PromoteAt(r.store.Epoch() + 1)
+}
+
+// PromoteAt is Promote under an explicit fencing epoch (see
+// durable.Replica.PromoteAt for the epoch-history contract).
+func (r *Runner[K, V]) PromoteAt(epoch int64) (int64, error) {
 	r.Stop()
 	vers := make([]int64, 0, len(r.pending))
 	for v := range r.pending {
@@ -174,7 +191,19 @@ func (r *Runner[K, V]) Promote() (int64, error) {
 		r.store.AdvanceTo(maxV)
 	}
 	r.met.RecordsApplied.Add(uint64(len(vers)))
-	return r.store.Promote()
+	return r.store.PromoteAt(epoch)
+}
+
+// LastContact reports when the last frame (batch, heartbeat or
+// bootstrap chunk) arrived from the primary; the zero time when nothing
+// has arrived since the process started. Failure detectors compare it
+// against the heartbeat interval.
+func (r *Runner[K, V]) LastContact() time.Time {
+	ns := r.lastContact.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 func (r *Runner[K, V]) isStopped() bool {
@@ -237,13 +266,15 @@ func (r *Runner[K, V]) loop() {
 }
 
 // session speaks one connection's worth of the protocol: HELLO with the
-// local watermark, then frames until an error. Returns why it ended.
+// local watermark and fencing epoch, then frames until an error.
+// Returns why it ended.
 func (r *Runner[K, V]) session(c net.Conn) error {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	hello := binary.LittleEndian.AppendUint32(nil, 1)
+	hello := binary.LittleEndian.AppendUint32(nil, 2)
 	hello = binary.LittleEndian.AppendUint64(hello, uint64(r.store.Watermark()))
+	hello = binary.LittleEndian.AppendUint64(hello, uint64(r.store.Epoch()))
 	if err := r.writeFrame(c, wire.OpReplHello, hello); err != nil {
 		return err
 	}
@@ -255,7 +286,17 @@ func (r *Runner[K, V]) session(c net.Conn) error {
 		if err != nil {
 			return err
 		}
+		r.lastContact.Store(time.Now().UnixNano())
 		switch op {
+		case wire.OpReplEpoch:
+			if len(body) < 16 {
+				return fmt.Errorf("repl: short epoch body (%d bytes)", len(body))
+			}
+			epoch := int64(binary.LittleEndian.Uint64(body))
+			start := int64(binary.LittleEndian.Uint64(body[8:]))
+			if err := r.store.AdoptEpoch(epoch, start); err != nil {
+				return fmt.Errorf("repl: adopt epoch %d: %w", epoch, err)
+			}
 		case wire.OpReplSnapBegin:
 			if len(body) < 8 {
 				return fmt.Errorf("repl: short SnapBegin body (%d bytes)", len(body))

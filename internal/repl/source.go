@@ -21,6 +21,15 @@ type SourceStore[K cmp.Ordered, V any] interface {
 	TailAbove(version int64) ([]durable.TailRecord, error)
 	RecoveredVersion() int64
 	DurStats() durable.DurStats
+
+	// Epoch, EpochStart and EpochBoundaryAbove expose the store's
+	// persisted fencing-epoch history (durable's EpochFile): the current
+	// epoch and its start version are announced to every proto-2
+	// replica, and the boundary decides whether a rejoining replica may
+	// resume or must re-bootstrap.
+	Epoch() int64
+	EpochStart() int64
+	EpochBoundaryAbove(epoch int64) int64
 }
 
 // SourceOptions tunes a Source. The zero value selects the defaults.
@@ -56,6 +65,13 @@ type SourceOptions struct {
 
 	// Metrics receives the source's instrumentation; nil disables it.
 	Metrics *Metrics
+
+	// OnPeerEpoch, when non-nil, is called with any fencing epoch a
+	// connecting replica announces that is HIGHER than the store's own —
+	// proof that another node was promoted past this primary. The hook
+	// fences the node (stops writes, demotes); the offending connection
+	// is refused either way.
+	OnPeerEpoch func(epoch int64)
 }
 
 func (o SourceOptions) withDefaults() SourceOptions {
@@ -208,13 +224,56 @@ func (s *Source[K, V]) handle(c net.Conn) {
 		s.logf("repl: %s: bad hello (op %d, err %v)", c.RemoteAddr(), op, err)
 		return
 	}
-	if proto := binary.LittleEndian.Uint32(body); proto != 1 {
+	proto := binary.LittleEndian.Uint32(body)
+	if proto != 1 && proto != 2 {
 		s.logf("repl: %s: unsupported protocol %d", c.RemoteAddr(), proto)
 		return
 	}
 	want := int64(binary.LittleEndian.Uint64(body[4:]))
+	forceBootstrap := false
+	if proto >= 2 {
+		if len(body) < 20 {
+			s.logf("repl: %s: short proto-2 hello (%d bytes)", c.RemoteAddr(), len(body))
+			return
+		}
+		peerEpoch := int64(binary.LittleEndian.Uint64(body[12:]))
+		myEpoch := s.store.Epoch()
+		if peerEpoch > myEpoch {
+			// The replica has seen a newer primacy than ours: we are the
+			// stale primary. Refuse the stream and let the hook fence us.
+			s.logf("repl: %s: replica announces epoch %d above ours (%d); fencing",
+				c.RemoteAddr(), peerEpoch, myEpoch)
+			if s.opts.OnPeerEpoch != nil {
+				s.opts.OnPeerEpoch(peerEpoch)
+			}
+			return
+		}
+		// Announce our epoch before any catch-up tier, so the replica's
+		// history records the boundary before it applies a single record.
+		eb := binary.LittleEndian.AppendUint64(nil, uint64(myEpoch))
+		eb = binary.LittleEndian.AppendUint64(eb, uint64(s.store.EpochStart()))
+		if err := s.writeAll(c, wire.AppendFrame(nil, 0, wire.OpReplEpoch, eb)); err != nil {
+			s.logf("repl: %s: epoch announce: %v", c.RemoteAddr(), err)
+			return
+		}
+		if peerEpoch < myEpoch {
+			// The replica predates at least one promote. Below the first
+			// promote boundary above its epoch the histories are
+			// identical and a resume is exact; past it the replica may
+			// hold records the promote discarded, and only a full
+			// bootstrap converges it.
+			if boundary := s.store.EpochBoundaryAbove(peerEpoch); want > boundary {
+				s.logf("repl: %s: watermark %d past epoch-%d boundary %d; forcing bootstrap",
+					c.RemoteAddr(), want, peerEpoch, boundary)
+				forceBootstrap = true
+			}
+		}
+	}
 	c.SetReadDeadline(time.Time{})
 
+	if forceBootstrap {
+		want = -1
+	}
 	sb, filter, err := s.catchUp(c, want)
 	if err != nil {
 		s.logf("repl: %s: catch-up from version %d: %v", c.RemoteAddr(), want, err)

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/netpoll"
 	"repro/internal/obs"
+	"repro/internal/wire"
 	"repro/jiffy/durable"
 )
 
@@ -141,6 +142,26 @@ type Options struct {
 	// ReadOnly starts the server refusing writes with StatusReadOnly
 	// (replica serving). Promotion flips it off with SetReadOnly.
 	ReadOnly bool
+
+	// Epoch, when non-nil, reports the node's fencing epoch (see
+	// DESIGN.md §12) for OpCluster responses and for judging client
+	// epoch announcements. Nil reports epoch 0: an epoch-unaware
+	// deployment, which no announcement can fence.
+	Epoch func() int64
+
+	// Cluster, when non-nil, supplies the OpCluster response — the
+	// node's role, epoch, watermark and fleet member list. Nil makes the
+	// server synthesize a members-less ClusterInfo from Epoch, Watermark
+	// and the read-only/fenced flags, enough for a client to learn the
+	// node's role and epoch but not to discover its peers.
+	Cluster func() wire.ClusterInfo
+
+	// OnPeerEpoch, when non-nil, is called when an OpCluster request
+	// announces a fencing epoch HIGHER than this node's own — evidence
+	// that a newer primary exists somewhere. The hook decides what to do
+	// with it (a primary fences itself; a replica lets its failover
+	// detector repoint). Called from request handlers: it must not block.
+	OnPeerEpoch func(epoch int64)
 }
 
 // maxScanPageBytes caps the encoded size of one scan page, comfortably
@@ -179,6 +200,7 @@ type Server[K cmp.Ordered, V any] struct {
 	loops   []*loop[K, V] // event-loop core only
 
 	readOnly atomic.Bool
+	fenced   atomic.Bool
 
 	mu     sync.Mutex
 	conns  map[serverConn]struct{}
@@ -232,6 +254,23 @@ func (s *Server[K, V]) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
 
 // IsReadOnly reports whether writes currently answer StatusReadOnly.
 func (s *Server[K, V]) IsReadOnly() bool { return s.readOnly.Load() }
+
+// SetFenced flips whether writes answer StatusFenced — set when the node
+// has observed a fencing epoch above its own and must surrender primacy.
+// Fenced outranks read-only: a fenced ex-primary tells clients to
+// rediscover the fleet, not merely that it is a replica.
+func (s *Server[K, V]) SetFenced(f bool) { s.fenced.Store(f) }
+
+// IsFenced reports whether writes currently answer StatusFenced.
+func (s *Server[K, V]) IsFenced() bool { return s.fenced.Load() }
+
+// epoch reports the node's fencing epoch (0 when unconfigured).
+func (s *Server[K, V]) epoch() int64 {
+	if s.opts.Epoch != nil {
+		return s.opts.Epoch()
+	}
+	return 0
+}
 
 // readOK reports whether a read carrying the given version floor may be
 // served here. On a primary (no Watermark hook) every floor is

@@ -110,6 +110,8 @@ func (st *connState[K, V]) handle(dst []byte, id uint64, op byte, body []byte) [
 		return st.handleSnapClose(dst, id, body)
 	case wire.OpScan:
 		return st.handleScan(dst, id, body)
+	case wire.OpCluster:
+		return st.handleCluster(dst, id, body)
 	}
 	return errFrame(dst, id, wire.StatusBadRequest, "unknown opcode")
 }
@@ -183,6 +185,9 @@ func (st *connState[K, V]) handleGet(dst []byte, id uint64, body []byte) []byte 
 }
 
 func (st *connState[K, V]) handlePut(dst []byte, id uint64, body []byte) []byte {
+	if st.srv.fenced.Load() {
+		return statusFrame(dst, id, wire.StatusFenced)
+	}
 	if st.srv.readOnly.Load() {
 		return statusFrame(dst, id, wire.StatusReadOnly)
 	}
@@ -206,6 +211,9 @@ func (st *connState[K, V]) handlePut(dst []byte, id uint64, body []byte) []byte 
 }
 
 func (st *connState[K, V]) handleDel(dst []byte, id uint64, body []byte) []byte {
+	if st.srv.fenced.Load() {
+		return statusFrame(dst, id, wire.StatusFenced)
+	}
 	if st.srv.readOnly.Load() {
 		return statusFrame(dst, id, wire.StatusReadOnly)
 	}
@@ -224,6 +232,9 @@ func (st *connState[K, V]) handleDel(dst []byte, id uint64, body []byte) []byte 
 }
 
 func (st *connState[K, V]) handleBatch(dst []byte, id uint64, body []byte) []byte {
+	if st.srv.fenced.Load() {
+		return statusFrame(dst, id, wire.StatusFenced)
+	}
 	if st.srv.readOnly.Load() {
 		return statusFrame(dst, id, wire.StatusReadOnly)
 	}
@@ -325,6 +336,38 @@ func (st *connState[K, V]) handleSnapClose(dst []byte, id uint64, body []byte) [
 	}
 	st.srv.metrics.sessionsOpen.Add(-1)
 	return okFrame(dst, id, nil)
+}
+
+// handleCluster answers a topology/role inquiry and absorbs the caller's
+// epoch announcement. The response is the Cluster hook's ClusterInfo (or
+// a synthesized members-less one), with the role corrected to RoleFenced
+// while the fence flag is up. An announced epoch above the node's own is
+// forwarded to OnPeerEpoch — this is how a client that has already found
+// the new primary fences a stale one it still has a connection to.
+func (st *connState[K, V]) handleCluster(dst []byte, id uint64, body []byte) []byte {
+	srv := st.srv
+	if len(body) >= 8 {
+		if known := int64(binary.LittleEndian.Uint64(body)); known > srv.epoch() && srv.opts.OnPeerEpoch != nil {
+			srv.opts.OnPeerEpoch(known)
+		}
+	}
+	var ci wire.ClusterInfo
+	if srv.opts.Cluster != nil {
+		ci = srv.opts.Cluster()
+	} else {
+		ci = wire.ClusterInfo{Epoch: srv.epoch(), Role: wire.RolePrimary}
+		if wm := srv.opts.Watermark; wm != nil {
+			ci.Watermark = wm()
+		}
+		if srv.readOnly.Load() {
+			ci.Role = wire.RoleReplica
+		}
+	}
+	if srv.fenced.Load() {
+		ci.Role = wire.RoleFenced
+	}
+	st.vbuf = wire.AppendClusterInfo(st.vbuf[:0], ci)
+	return okFrame(dst, id, st.vbuf)
 }
 
 // handleScan delivers one cursored page. The iterator lives only inside

@@ -2,6 +2,7 @@ package server
 
 import (
 	"cmp"
+	"sync/atomic"
 
 	"repro/jiffy"
 	"repro/jiffy/durable"
@@ -109,3 +110,38 @@ func (s replicaStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) (int64, error) {
 	return s.r.BatchUpdateV(b)
 }
 func (s replicaStore[K, V]) Snapshot() Snap[K, V] { return s.r.Snapshot() }
+
+// SwitchableStore is a Store whose backend can be swapped while the
+// server keeps serving — the mechanism behind an in-process demotion: a
+// fenced ex-primary closes its durable.Sharded, reopens the directory as
+// a durable.Replica, and Swaps it in without dropping a single client
+// connection. Requests racing the swap land wholly on the old or the new
+// backend; writes racing a demotion fail with the old store's closed
+// error, which clients treat like any other transient write failure.
+type SwitchableStore[K cmp.Ordered, V any] struct {
+	cur atomic.Pointer[Store[K, V]]
+}
+
+// NewSwitchableStore returns a SwitchableStore initially serving s.
+func NewSwitchableStore[K cmp.Ordered, V any](s Store[K, V]) *SwitchableStore[K, V] {
+	sw := &SwitchableStore[K, V]{}
+	sw.cur.Store(&s)
+	return sw
+}
+
+// Swap atomically replaces the backend; in-flight requests finish on
+// whichever backend they started with.
+func (sw *SwitchableStore[K, V]) Swap(s Store[K, V]) { sw.cur.Store(&s) }
+
+// Current returns the backend currently being served.
+func (sw *SwitchableStore[K, V]) Current() Store[K, V] { return *sw.cur.Load() }
+
+func (sw *SwitchableStore[K, V]) Get(key K) (V, bool)             { return sw.Current().Get(key) }
+func (sw *SwitchableStore[K, V]) Put(key K, val V) (int64, error) { return sw.Current().Put(key, val) }
+func (sw *SwitchableStore[K, V]) Remove(key K) (int64, bool, error) {
+	return sw.Current().Remove(key)
+}
+func (sw *SwitchableStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) (int64, error) {
+	return sw.Current().BatchUpdate(b)
+}
+func (sw *SwitchableStore[K, V]) Snapshot() Snap[K, V] { return sw.Current().Snapshot() }

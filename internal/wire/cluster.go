@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Cluster roles, as reported in a ClusterInfo.
+const (
+	// RolePrimary: the node accepts writes and serves the replication
+	// stream.
+	RolePrimary = byte(iota)
+
+	// RoleReplica: the node follows a primary and serves watermark-gated
+	// reads; writes answer StatusReadOnly.
+	RoleReplica
+
+	// RoleFenced: the node was a primary but observed a higher fencing
+	// epoch; writes answer StatusFenced until it rejoins as a replica.
+	RoleFenced
+)
+
+// RoleName returns a human-readable role name.
+func RoleName(r byte) string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleReplica:
+		return "replica"
+	case RoleFenced:
+		return "fenced"
+	}
+	return fmt.Sprintf("role(%d)", r)
+}
+
+// Member is one fleet member as described by a ClusterInfo: its stable
+// node id, its client-serving address, and its replication-stream
+// address (empty when the node cannot serve the stream).
+type Member struct {
+	ID       string
+	Addr     string
+	ReplAddr string
+}
+
+// ClusterInfo is the OpCluster response payload: the serving node's view
+// of the fleet. Clients use it for primary rediscovery (find the member
+// whose role is primary at the highest epoch) and replica read routing;
+// failover detectors use Epoch and Watermark to rank candidates.
+//
+// Encoding: i64 epoch | u8 role | i64 watermark | u16 n | member*,
+// where each member is three uvarint-length-prefixed strings
+// (id, addr, replAddr). Members includes the serving node itself.
+type ClusterInfo struct {
+	Epoch     int64
+	Role      byte
+	Watermark int64
+	Members   []Member
+}
+
+// AppendClusterInfo appends the encoded form of ci to dst.
+func AppendClusterInfo(dst []byte, ci ClusterInfo) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ci.Epoch))
+	dst = append(dst, ci.Role)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ci.Watermark))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(ci.Members)))
+	for _, m := range ci.Members {
+		dst = AppendBytes(dst, []byte(m.ID))
+		dst = AppendBytes(dst, []byte(m.Addr))
+		dst = AppendBytes(dst, []byte(m.ReplAddr))
+	}
+	return dst
+}
+
+// DecodeClusterInfo decodes a ClusterInfo encoded by AppendClusterInfo.
+func DecodeClusterInfo(p []byte) (ClusterInfo, error) {
+	var ci ClusterInfo
+	if len(p) < 19 {
+		return ci, errors.New("wire: short cluster info")
+	}
+	ci.Epoch = int64(binary.LittleEndian.Uint64(p))
+	ci.Role = p[8]
+	ci.Watermark = int64(binary.LittleEndian.Uint64(p[9:]))
+	n := int(binary.LittleEndian.Uint16(p[17:]))
+	p = p[19:]
+	ci.Members = make([]Member, 0, n)
+	for i := 0; i < n; i++ {
+		var id, addr, repl []byte
+		var err error
+		if id, p, err = TakeBytes(p); err != nil {
+			return ci, fmt.Errorf("wire: cluster member id: %w", err)
+		}
+		if addr, p, err = TakeBytes(p); err != nil {
+			return ci, fmt.Errorf("wire: cluster member addr: %w", err)
+		}
+		if repl, p, err = TakeBytes(p); err != nil {
+			return ci, fmt.Errorf("wire: cluster member repl addr: %w", err)
+		}
+		ci.Members = append(ci.Members, Member{
+			ID: string(id), Addr: string(addr), ReplAddr: string(repl),
+		})
+	}
+	return ci, nil
+}

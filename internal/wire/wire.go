@@ -101,10 +101,16 @@ const (
 	// zero and unused. See DESIGN.md §11.
 
 	// OpReplHello, replica → primary, opens the stream. Body:
-	// u32 protocol (1) | i64 wantVersion — the replica's durable
-	// watermark; the primary resumes with records strictly above it
-	// (from its in-memory ring or its on-disk segments), or falls back
-	// to a checkpoint bootstrap when the tail below wantVersion is gone.
+	// u32 protocol | i64 wantVersion | proto 2: i64 epoch.
+	// wantVersion is the replica's durable watermark; the primary
+	// resumes with records strictly above it (from its in-memory ring or
+	// its on-disk segments), or falls back to a checkpoint bootstrap
+	// when the tail below wantVersion is gone — or when the replica's
+	// fencing epoch proves its history may have diverged past the
+	// promote boundary. Proto 1 omits the epoch (pre-failover peers);
+	// proto 2 peers receive an OpReplEpoch frame before the catch-up
+	// tier. A hello whose epoch is HIGHER than the serving primary's is
+	// fencing evidence: the primary refuses the stream and fences itself.
 	OpReplHello
 
 	// OpReplSnapBegin, primary → replica: a state bootstrap follows.
@@ -141,6 +147,23 @@ const (
 	// the newest OpReplBatch received; watermark reports the replica's
 	// applied version bound, which feeds the primary's lag gauges.
 	OpReplAck
+
+	// OpReplEpoch, primary → replica, the first frame after a proto-2
+	// OpReplHello is accepted. Body: i64 epoch | i64 epochStart — the
+	// primary's current fencing epoch and the version that epoch began
+	// at. The replica persists the pair so that, were it promoted later,
+	// its own epoch history carries the boundary.
+	OpReplEpoch
+
+	// OpCluster, client → server, on the ordinary request/response
+	// protocol. Body: empty, or i64 knownEpoch — the highest fencing
+	// epoch the caller has observed anywhere in the fleet. A server that
+	// believes itself primary at a LOWER epoch treats the announcement as
+	// fencing evidence (a newer primary exists) and fences itself.
+	// Response body: an encoded ClusterInfo (cluster.go) — the server's
+	// role, epoch, watermark and member list — which clients use for
+	// primary rediscovery and replica read routing.
+	OpCluster
 )
 
 // Scan cursor modes (OpScan body).
@@ -180,6 +203,14 @@ const (
 	// primary; a replica only accepts them after promotion. The body is
 	// empty.
 	StatusReadOnly
+
+	// StatusFenced: a write reached a node that was a primary but has
+	// observed a higher fencing epoch — another node was promoted in its
+	// place (it was partitioned away, or slow to die). Unlike
+	// StatusReadOnly this is terminal for the serving node's primacy:
+	// the client must rediscover the fleet's current primary (OpCluster)
+	// and retry there. The body is empty.
+	StatusFenced
 )
 
 // Batch op kinds (OpBatch body), matching jiffy/durable's record encoding.

@@ -78,6 +78,23 @@ type Options struct {
 	// backoff — a dead replica just costs one failed dial before the
 	// primary serves the read.
 	Replicas []string
+
+	// Rediscover makes writes that hit a dead, read-only or fenced
+	// server probe the fleet (the primary address, the replicas, and any
+	// member list learned from OpCluster) for the current primary,
+	// repoint the pool at it, and retry with capped jittered backoff
+	// until RetryBudget elapses. Retried writes are value-idempotent —
+	// re-applying a put or remove converges to the same state — and the
+	// client only accepts a primary whose watermark has reached its
+	// acked-version floor, so a retry can never land on a primary that
+	// would silently miss this client's acknowledged writes. Replica
+	// read routing is refreshed from the member list as a side effect.
+	// Default off.
+	Rediscover bool
+
+	// RetryBudget bounds one write's rediscovery retry loop (default
+	// 10s). Meaningful only with Rediscover.
+	RetryBudget time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +109,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ScanPageSize < 1 {
 		o.ScanPageSize = 512
+	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 10 * time.Second
 	}
 	return o
 }
@@ -113,23 +133,55 @@ func (e *RemoteError) Error() string {
 // Client is a pooled, pipelining jiffyd client. All methods are safe for
 // concurrent use. Create one with Dial; Close it when done.
 type Client[K cmp.Ordered, V any] struct {
-	codec  durable.Codec[K, V]
-	opts   Options
-	addr   string
-	conns  []atomic.Pointer[netConn]
-	next   atomic.Uint64
-	closed atomic.Bool
-	remu   sync.Mutex // serializes redials (and fences them against Close)
+	codec   durable.Codec[K, V]
+	opts    Options
+	conns   []atomic.Pointer[netConn]
+	next    atomic.Uint64
+	closed  atomic.Bool
+	closeCh chan struct{} // closed by Close; cancels dial-retry and retry sleeps
+	remu    sync.Mutex    // serializes redials/repoints (and fences them against Close)
+	addr    string        // current primary address; written only under remu
 
-	// Replica read routing (empty when Options.Replicas is).
-	reps    []atomic.Pointer[netConn] // lazily dialed, slot i ↔ Replicas[i]
+	// Replica read routing: the current replica set, swapped whole when
+	// rediscovery learns a new topology. Nil slots dial lazily.
+	reps    atomic.Pointer[repSet]
 	repNext atomic.Uint64
+
+	// epoch is the highest fencing epoch observed anywhere (announced in
+	// OpCluster probes so stale primaries fence on contact); members is
+	// the last member list learned from any OpCluster response.
+	epoch   atomic.Int64
+	members atomic.Pointer[[]wire.Member]
 
 	// floor is the read-your-writes bound: the highest commit version a
 	// write through this client was acknowledged at. Replica reads carry
 	// it so a lagging replica answers StatusBehind instead of hiding the
-	// caller's own writes.
+	// caller's own writes; rediscovery refuses any primary whose
+	// watermark has not reached it.
 	floor atomic.Int64
+}
+
+// repSet is one immutable replica routing table: parallel addresses and
+// lazily dialed connections.
+type repSet struct {
+	addrs []string
+	conns []atomic.Pointer[netConn]
+}
+
+func newRepSet(addrs []string) *repSet {
+	return &repSet{addrs: addrs, conns: make([]atomic.Pointer[netConn], len(addrs))}
+}
+
+func (rs *repSet) closeAll() error {
+	var firstErr error
+	for i := range rs.conns {
+		if nc := rs.conns[i].Load(); nc != nil {
+			if err := nc.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
 }
 
 // Dial connects the pool and returns a ready Client.
@@ -141,11 +193,12 @@ func Dial[K cmp.Ordered, V any](addr string, codec durable.Codec[K, V], opts ...
 	o = o.withDefaults()
 	c := &Client[K, V]{
 		codec: codec, opts: o, addr: addr,
-		conns: make([]atomic.Pointer[netConn], o.Conns),
-		reps:  make([]atomic.Pointer[netConn], len(o.Replicas)),
+		conns:   make([]atomic.Pointer[netConn], o.Conns),
+		closeCh: make(chan struct{}),
 	}
+	c.reps.Store(newRepSet(o.Replicas))
 	for i := 0; i < o.Conns; i++ {
-		nc, err := dialPrimary(addr, o)
+		nc, err := dialWithRetry(addr, o, c.closeCh)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -156,9 +209,12 @@ func Dial[K cmp.Ordered, V any](addr string, codec durable.Codec[K, V], opts ...
 }
 
 // Close severs every connection. In-flight requests fail with a transport
-// error. Close is idempotent.
+// error; a dial-retry loop or write-retry sleep in progress is cancelled
+// rather than slept out. Close is idempotent.
 func (c *Client[K, V]) Close() error {
-	c.closed.Store(true)
+	if c.closed.CompareAndSwap(false, true) {
+		close(c.closeCh) // wake retry sleeps before queueing on remu
+	}
 	c.remu.Lock() // no redial may race the sweep or outlive it
 	defer c.remu.Unlock()
 	var firstErr error
@@ -169,11 +225,9 @@ func (c *Client[K, V]) Close() error {
 			}
 		}
 	}
-	for i := range c.reps {
-		if nc := c.reps[i].Load(); nc != nil {
-			if err := nc.close(); err != nil && firstErr == nil {
-				firstErr = err
-			}
+	if rs := c.reps.Load(); rs != nil {
+		if err := rs.closeAll(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	return firstErr
@@ -200,7 +254,7 @@ func (c *Client[K, V]) conn() (*netConn, error) {
 	if nc = c.conns[i].Load(); nc != nil && !nc.broken() {
 		return nc, nil // another caller already redialed this slot
 	}
-	fresh, err := dialPrimary(c.addr, c.opts)
+	fresh, err := dialWithRetry(c.addr, c.opts, c.closeCh)
 	if err != nil {
 		return nil, err
 	}
@@ -220,14 +274,15 @@ var errNoReplicas = errors.New("client: no replicas configured")
 // retry: a dead replica costs one failed dial and the read falls back
 // to the primary.
 func (c *Client[K, V]) replicaConn() (*netConn, error) {
-	if len(c.reps) == 0 {
+	rs := c.reps.Load()
+	if rs == nil || len(rs.addrs) == 0 {
 		return nil, errNoReplicas
 	}
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
-	i := int(c.repNext.Add(1) % uint64(len(c.reps)))
-	nc := c.reps[i].Load()
+	i := int(c.repNext.Add(1) % uint64(len(rs.addrs)))
+	nc := rs.conns[i].Load()
 	if nc != nil && !nc.broken() {
 		return nc, nil
 	}
@@ -236,18 +291,44 @@ func (c *Client[K, V]) replicaConn() (*netConn, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
-	if nc = c.reps[i].Load(); nc != nil && !nc.broken() {
+	if c.reps.Load() != rs {
+		return nil, errNoReplicas // routing changed underfoot; the next read uses the new set
+	}
+	if nc = rs.conns[i].Load(); nc != nil && !nc.broken() {
 		return nc, nil
 	}
-	fresh, err := dialConn(c.opts.Replicas[i], c.opts)
+	fresh, err := dialConn(rs.addrs[i], c.opts)
 	if err != nil {
 		return nil, err
 	}
-	if old := c.reps[i].Load(); old != nil {
+	if old := rs.conns[i].Load(); old != nil {
 		old.close()
 	}
-	c.reps[i].Store(fresh)
+	rs.conns[i].Store(fresh)
 	return fresh, nil
+}
+
+// setReplicas swaps the replica routing table for addrs, closing the old
+// set's connections. A no-op when the addresses are unchanged.
+func (c *Client[K, V]) setReplicas(addrs []string) {
+	if old := c.reps.Load(); old != nil && slicesEqual(old.addrs, addrs) {
+		return
+	}
+	if old := c.reps.Swap(newRepSet(addrs)); old != nil {
+		old.closeAll()
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Floor returns the client's read-your-writes floor: the highest commit
@@ -324,15 +405,11 @@ func (c *Client[K, V]) get(nc *netConn, snapID uint64, floor int64, key K) (V, b
 // Put sets the value for key; on a durable server it returns once the
 // update is logged.
 func (c *Client[K, V]) Put(key K, val V) error {
-	nc, err := c.conn()
-	if err != nil {
-		return err
-	}
 	var kbuf [16]byte
 	kb := c.codec.Key.Append(kbuf[:0], key)
 	body := wire.AppendBytes(make([]byte, 0, len(kb)+17), kb)
 	body = c.codec.Value.Append(body, val)
-	status, resp, err := nc.roundTrip(wire.OpPut, body, nil)
+	status, resp, err := c.writeTrip(wire.OpPut, body)
 	if err != nil {
 		return err
 	}
@@ -345,12 +422,8 @@ func (c *Client[K, V]) Put(key K, val V) error {
 
 // Remove deletes key, reporting whether it was present.
 func (c *Client[K, V]) Remove(key K) (bool, error) {
-	nc, err := c.conn()
-	if err != nil {
-		return false, err
-	}
 	body := c.codec.Key.Append(make([]byte, 0, 16), key)
-	status, resp, err := nc.roundTrip(wire.OpDel, body, nil)
+	status, resp, err := c.writeTrip(wire.OpDel, body)
 	if err != nil {
 		return false, err
 	}
@@ -364,6 +437,61 @@ func (c *Client[K, V]) Remove(key K) (bool, error) {
 	return false, remoteErr(status, resp)
 }
 
+// writeTrip performs one write round trip on a pool connection. With
+// Options.Rediscover, a write that hits a dead connection, a read-only
+// replica or a fenced ex-primary triggers fleet rediscovery and a
+// capped-backoff retry until RetryBudget elapses. Safe to retry because
+// the ops are value-idempotent (a re-applied put or remove converges)
+// and rediscovery only accepts a primary caught up to the client's
+// acked-version floor.
+func (c *Client[K, V]) writeTrip(op byte, body []byte) (status byte, resp []byte, err error) {
+	attempt := func() (byte, []byte, error) {
+		nc, cerr := c.conn()
+		if cerr != nil {
+			return 0, nil, cerr
+		}
+		return nc.roundTrip(op, body, nil)
+	}
+	status, resp, err = attempt()
+	if !c.opts.Rediscover || !retryableWrite(status, err) {
+		return status, resp, err
+	}
+	var bo repl.Backoff
+	deadline := time.Now().Add(c.opts.RetryBudget)
+	for {
+		if c.closed.Load() {
+			return 0, nil, ErrClosed
+		}
+		c.rediscover()
+		d := bo.Next()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return status, resp, err // budget spent: surface the last failure
+		}
+		if d > remain {
+			d = remain
+		}
+		if !sleepOrCancel(d, c.closeCh) {
+			return 0, nil, ErrClosed
+		}
+		status, resp, err = attempt()
+		if !retryableWrite(status, err) {
+			return status, resp, err
+		}
+	}
+}
+
+// retryableWrite reports whether a write outcome is worth rediscovery: a
+// transport failure (dead conn, dial failure — but not ErrClosed), or a
+// server that cannot take writes at all (read-only replica, fenced
+// ex-primary). Real remote errors (bad request, store failure) are not.
+func retryableWrite(status byte, err error) bool {
+	if err != nil {
+		return !errors.Is(err, ErrClosed)
+	}
+	return status == wire.StatusReadOnly || status == wire.StatusFenced
+}
+
 // BatchUpdate applies ops — puts and removes spanning any keys — in one
 // atomic step on the server: no remote reader, snapshot or scan observes
 // the batch half-applied, even when its keys span shards. An empty batch
@@ -371,10 +499,6 @@ func (c *Client[K, V]) Remove(key K) (bool, error) {
 func (c *Client[K, V]) BatchUpdate(ops []jiffy.BatchOp[K, V]) error {
 	if len(ops) == 0 {
 		return nil
-	}
-	nc, err := c.conn()
-	if err != nil {
-		return err
 	}
 	body := binary.AppendUvarint(make([]byte, 0, 16+16*len(ops)), uint64(len(ops)))
 	var kbuf, vbuf []byte
@@ -390,7 +514,7 @@ func (c *Client[K, V]) BatchUpdate(ops []jiffy.BatchOp[K, V]) error {
 		body = wire.AppendBytes(body, kbuf)
 		body = wire.AppendBytes(body, vbuf)
 	}
-	status, resp, err := nc.roundTrip(wire.OpBatch, body, nil)
+	status, resp, err := c.writeTrip(wire.OpBatch, body)
 	if err != nil {
 		return err
 	}
@@ -519,6 +643,8 @@ func remoteErr(status byte, body []byte) error {
 		return ErrReadOnly
 	case wire.StatusBehind:
 		return ErrBehind
+	case wire.StatusFenced:
+		return ErrFenced
 	}
 	return &RemoteError{Status: status, Msg: string(body)}
 }
@@ -537,6 +663,12 @@ var ErrReadOnly = errors.New("client: server is a read-only replica")
 // reads on the primary; it surfaces only when no primary is reachable.
 var ErrBehind = errors.New("client: replica is behind the read floor")
 
+// ErrFenced is returned when a write reaches an ex-primary that has been
+// fenced — another node holds a higher fencing epoch. With
+// Options.Rediscover the client handles it by finding the new primary
+// and retrying; it surfaces only when rediscovery is off or exhausted.
+var ErrFenced = errors.New("client: server is fenced (superseded by a newer primary)")
+
 // dialConn dials one pooled connection (single attempt).
 func dialConn(addr string, o Options) (*netConn, error) {
 	nc, err := net.DialTimeout("tcp", addr, o.DialTimeout)
@@ -549,11 +681,13 @@ func dialConn(addr string, o Options) (*netConn, error) {
 	return newNetConn(nc, o.NoPipeline), nil
 }
 
-// dialPrimary dials a primary connection, retrying with capped jittered
-// exponential backoff when Options.DialRetry is set — the same schedule
-// replicas use to re-reach their primary — until DialRetryBudget
-// elapses.
-func dialPrimary(addr string, o Options) (*netConn, error) {
+// dialWithRetry dials a primary connection, retrying with capped
+// jittered exponential backoff when Options.DialRetry is set — the same
+// schedule replicas use to re-reach their primary — until
+// DialRetryBudget elapses or cancel is closed. Cancellation returns
+// ErrClosed immediately: Close must never wait out another caller's
+// retry budget.
+func dialWithRetry(addr string, o Options, cancel <-chan struct{}) (*netConn, error) {
 	nc, err := dialConn(addr, o)
 	if err == nil || !o.DialRetry {
 		return nc, err
@@ -567,11 +701,25 @@ func dialPrimary(addr string, o Options) (*netConn, error) {
 		} else if d > remain {
 			d = remain
 		}
-		time.Sleep(d)
+		if !sleepOrCancel(d, cancel) {
+			return nil, ErrClosed
+		}
 		if nc, nerr := dialConn(addr, o); nerr == nil {
 			return nc, nil
 		} else {
 			err = nerr
 		}
+	}
+}
+
+// sleepOrCancel sleeps d, reporting false if cancel closed first.
+func sleepOrCancel(d time.Duration, cancel <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-cancel:
+		return false
+	case <-t.C:
+		return true
 	}
 }

@@ -1,0 +1,167 @@
+package client
+
+import (
+	"encoding/binary"
+
+	"repro/internal/failover"
+	"repro/internal/wire"
+)
+
+// Member is one fleet member as reported by Cluster: its stable node id,
+// client-serving address, and replication-stream address.
+type Member struct {
+	ID       string
+	Addr     string
+	ReplAddr string
+}
+
+// ClusterInfo is a server's view of the fleet: its role and fencing
+// epoch, its applied watermark, and the member list (when the fleet is
+// configured with one).
+type ClusterInfo struct {
+	Epoch     int64
+	Role      string // "primary", "replica" or "fenced"
+	Watermark int64
+	Members   []Member
+}
+
+// Cluster asks the server this client's pool points at for its cluster
+// view, announcing the highest fencing epoch the client has seen (which
+// fences a stale primary on contact). The member list and epoch are
+// remembered for rediscovery.
+func (c *Client[K, V]) Cluster() (ClusterInfo, error) {
+	nc, err := c.conn()
+	if err != nil {
+		return ClusterInfo{}, err
+	}
+	var body []byte
+	if e := c.epoch.Load(); e > 0 {
+		body = binary.LittleEndian.AppendUint64(nil, uint64(e))
+	}
+	status, resp, err := nc.roundTrip(wire.OpCluster, body, nil)
+	if err != nil {
+		return ClusterInfo{}, err
+	}
+	if status != wire.StatusOK {
+		return ClusterInfo{}, remoteErr(status, resp)
+	}
+	ci, err := wire.DecodeClusterInfo(resp)
+	if err != nil {
+		return ClusterInfo{}, err
+	}
+	c.absorb(ci)
+	out := ClusterInfo{
+		Epoch:     ci.Epoch,
+		Role:      wire.RoleName(ci.Role),
+		Watermark: ci.Watermark,
+		Members:   make([]Member, len(ci.Members)),
+	}
+	for i, m := range ci.Members {
+		out.Members[i] = Member{ID: m.ID, Addr: m.Addr, ReplAddr: m.ReplAddr}
+	}
+	return out, nil
+}
+
+// absorb folds one ClusterInfo into the client's fleet knowledge.
+func (c *Client[K, V]) absorb(ci wire.ClusterInfo) {
+	c.noteEpoch(ci.Epoch)
+	if len(ci.Members) > 0 {
+		ms := ci.Members
+		c.members.Store(&ms)
+	}
+}
+
+// noteEpoch raises the highest-observed-epoch watermark.
+func (c *Client[K, V]) noteEpoch(e int64) {
+	for {
+		cur := c.epoch.Load()
+		if e <= cur || c.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// rediscover probes every address the client knows — the current primary
+// address, the configured replicas, and the members learned from past
+// OpCluster responses — for the fleet's current primary, and repoints
+// the pool at it. Probes announce the client's highest observed epoch,
+// so a stale primary the client can still reach is fenced as a side
+// effect. A primary whose watermark is below the client's acked-version
+// floor is refused: repointing there could silently lose acknowledged
+// writes, and a just-promoted real winner is ahead of the floor by the
+// promotion rank.
+func (c *Client[K, V]) rediscover() {
+	known := c.epoch.Load()
+	seen := map[string]bool{}
+	var addrs []string
+	add := func(a string) {
+		if a != "" && !seen[a] {
+			seen[a] = true
+			addrs = append(addrs, a)
+		}
+	}
+	c.remu.Lock()
+	add(c.addr)
+	c.remu.Unlock()
+	for _, a := range c.opts.Replicas {
+		add(a)
+	}
+	if ms := c.members.Load(); ms != nil {
+		for _, m := range *ms {
+			add(m.Addr)
+		}
+	}
+	var (
+		best     wire.ClusterInfo
+		bestAddr string
+		found    bool
+	)
+	for _, a := range addrs {
+		ci, err := failover.Probe(a, known, c.opts.DialTimeout)
+		if err != nil {
+			continue
+		}
+		c.absorb(ci)
+		if ci.Role == wire.RolePrimary && (!found || ci.Epoch > best.Epoch) {
+			best, bestAddr, found = ci, a, true
+		}
+	}
+	if !found || best.Watermark < c.floor.Load() {
+		return
+	}
+	c.repoint(bestAddr, best)
+}
+
+// repoint re-targets the pool at addr and refreshes replica routing from
+// ci's member list. Pool connections to the old primary are discarded;
+// the next use of each slot redials the new address.
+func (c *Client[K, V]) repoint(addr string, ci wire.ClusterInfo) {
+	var olds []*netConn
+	c.remu.Lock()
+	if c.closed.Load() {
+		c.remu.Unlock()
+		return
+	}
+	if c.addr != addr {
+		c.addr = addr
+		for i := range c.conns {
+			if nc := c.conns[i].Load(); nc != nil {
+				olds = append(olds, nc)
+				c.conns[i].Store(nil)
+			}
+		}
+	}
+	c.remu.Unlock()
+	for _, nc := range olds {
+		nc.close()
+	}
+	if len(ci.Members) > 0 {
+		raddrs := make([]string, 0, len(ci.Members)-1)
+		for _, m := range ci.Members {
+			if m.Addr != addr {
+				raddrs = append(raddrs, m.Addr)
+			}
+		}
+		c.setReplicas(raddrs)
+	}
+}

@@ -1,0 +1,176 @@
+package client_test
+
+import (
+	"errors"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/testutil"
+	"repro/internal/wire"
+	"repro/jiffy"
+	"repro/jiffy/client"
+)
+
+// Client-side failover tests: Close cancelling an in-flight dial-retry
+// loop, ErrFenced surfacing, and write rediscovery repointing the pool
+// at the fleet's new primary.
+
+// startClusterServer serves a mem store that reports the given role and
+// epoch over OpCluster (mutable via the returned server's SetFenced and
+// the hooks' closure state).
+func startClusterServer(t *testing.T, ci func() wire.ClusterInfo) (*server.Server[uint64, uint64], *jiffy.Sharded[uint64, uint64], string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := jiffy.NewSharded[uint64, uint64](4)
+	srv := server.Serve(ln, server.NewMemStore(mem), codec(), server.Options{
+		Epoch:   func() int64 { return ci().Epoch },
+		Cluster: ci,
+	})
+	t.Cleanup(func() { srv.Close() })
+	return srv, mem, srv.Addr().String()
+}
+
+// TestCloseCancelsDialRetry: a Close racing a dial-retry loop must
+// cancel it immediately — not wait out the retry budget. (Regression:
+// the retry loop used to sleep through plain time.Sleep, so a Close
+// could block behind tens of seconds of doomed redial attempts.)
+func TestCloseCancelsDialRetry(t *testing.T) {
+	testutil.LeakCheck(t)
+	srv, _, addr := startClusterServer(t, func() wire.ClusterInfo {
+		return wire.ClusterInfo{Epoch: 1, Role: wire.RolePrimary}
+	})
+	c, err := client.Dial(addr, codec(), client.Options{
+		DialRetry:       true,
+		DialRetryBudget: 30 * time.Second,
+		DialTimeout:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(1, 1); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	// Kill the server: the next operation's redial spins in the retry
+	// loop (connection refused, sleep, retry) for up to 30s.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+
+	// The first Put surfaces the broken pooled connection; the one after
+	// it redials and blocks inside the retry loop. Loop until the Put
+	// that Close cancels comes back with ErrClosed.
+	done := make(chan error, 1)
+	go func() {
+		for {
+			err := c.Put(2, 2)
+			if err == nil || errors.Is(err, client.ErrClosed) {
+				done <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(150 * time.Millisecond) // let a Put reach the retry sleep
+	start := time.Now()
+	// Close may surface the dead connection's close error; what matters
+	// is that it returns promptly and unblocks the Put.
+	_ = c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, client.ErrClosed) {
+			t.Fatalf("put during close returned %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("put still blocked 5s after Close — dial retry not cancelled")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("Close took %v against a 30s retry budget", waited)
+	}
+}
+
+// TestFencedSurfacesWithoutRediscover: a write hitting a fenced server
+// returns ErrFenced when rediscovery is off — the operator's signal that
+// the fleet moved on without this client being configured to follow.
+func TestFencedSurfacesWithoutRediscover(t *testing.T) {
+	testutil.LeakCheck(t)
+	srv, _, addr := startClusterServer(t, func() wire.ClusterInfo {
+		return wire.ClusterInfo{Epoch: 1, Role: wire.RolePrimary}
+	})
+	c, err := client.Dial(addr, codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put(1, 1); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	srv.SetFenced(true)
+	if err := c.Put(2, 2); !errors.Is(err, client.ErrFenced) {
+		t.Fatalf("put on a fenced server returned %v, want ErrFenced", err)
+	}
+}
+
+// TestWriteRediscoversNewPrimary: a write hitting a fenced ex-primary
+// probes the fleet, repoints at the member claiming primacy under the
+// highest epoch, and retries there — invisible to the caller.
+func TestWriteRediscoversNewPrimary(t *testing.T) {
+	testutil.LeakCheck(t)
+	var bAddr string
+	// Old primary A: epoch 1 — and its member list names B, which is how
+	// the client learns where to probe.
+	srvA, memA, aAddr := startClusterServer(t, func() wire.ClusterInfo {
+		return wire.ClusterInfo{
+			Epoch: 1, Role: wire.RolePrimary, Watermark: math.MaxInt64,
+			Members: []wire.Member{{ID: "b", Addr: bAddr}},
+		}
+	})
+	// New primary B: epoch 2, caught up past any floor.
+	_, memB, bAddr2 := startClusterServer(t, func() wire.ClusterInfo {
+		return wire.ClusterInfo{Epoch: 2, Role: wire.RolePrimary, Watermark: math.MaxInt64}
+	})
+	bAddr = bAddr2
+
+	c, err := client.Dial(aAddr, codec(), client.Options{
+		Rediscover:  true,
+		RetryBudget: 10 * time.Second,
+		DialTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put(1, 10); err != nil {
+		t.Fatalf("put via A: %v", err)
+	}
+	if _, ok := memA.Get(1); !ok {
+		t.Fatal("write did not land on A")
+	}
+	// Teach the client the member list (it also learns it lazily from
+	// rediscovery probes; Cluster makes the test deterministic).
+	if _, err := c.Cluster(); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+
+	// A is fenced; the same client must land the next write on B.
+	srvA.SetFenced(true)
+	if err := c.Put(2, 20); err != nil {
+		t.Fatalf("put after fencing: %v", err)
+	}
+	if v, ok := memB.Get(2); !ok || v != 20 {
+		t.Fatalf("write after fencing landed elsewhere (B has %d/%v)", v, ok)
+	}
+	// And the client's notion of the fleet epoch advanced.
+	ci, err := c.Cluster()
+	if err != nil {
+		t.Fatalf("cluster after repoint: %v", err)
+	}
+	if ci.Epoch != 2 || ci.Role != "primary" {
+		t.Fatalf("post-repoint cluster view: epoch %d role %s", ci.Epoch, ci.Role)
+	}
+}

@@ -1,0 +1,149 @@
+package durable
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// EpochFile is the fencing-epoch history a replicated store keeps next to
+// its WALs. Each line is "<epoch> <startVersion>": epoch N began when a
+// node promoted at startVersion (every version <= startVersion predates
+// the promote and is common to all histories that include epoch N). An
+// absent or empty file means the implicit first epoch — epoch 1,
+// starting at version 0 — which every store is born into; only a promote
+// ever appends an entry, so an empty history also proves no divergence
+// point exists.
+//
+// The history is what makes rejoin-after-fencing exact: a replica at
+// epoch e and watermark w may RESUME (ring or disk catch-up) against a
+// primary iff w <= the start version of the first epoch above e in the
+// primary's history — below that boundary the two histories are
+// guaranteed identical; above it the replica may hold records a promote
+// discarded, and only a full bootstrap is safe.
+const EpochFile = "EPOCH"
+
+// EpochEntry is one line of the epoch history.
+type EpochEntry struct {
+	Epoch int64 // fencing epoch number
+	Start int64 // version the epoch began at (the promote watermark)
+}
+
+// epochLog is the in-memory mirror of a directory's EpochFile, with
+// atomic (write-temp-then-rename) persistence.
+type epochLog struct {
+	mu      sync.Mutex
+	dir     string
+	entries []EpochEntry
+}
+
+// loadEpochLog reads dir's EpochFile (absent: the implicit first epoch).
+func loadEpochLog(dir string) (*epochLog, error) {
+	l := &epochLog{dir: dir}
+	f, err := os.Open(filepath.Join(dir, EpochFile))
+	if os.IsNotExist(err) {
+		return l, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e EpochEntry
+		if _, err := fmt.Sscanf(line, "%d %d", &e.Epoch, &e.Start); err != nil {
+			return nil, fmt.Errorf("durable: corrupt epoch history line %q: %w", line, err)
+		}
+		l.entries = append(l.entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(l.entries, func(i, j int) bool { return l.entries[i].Epoch < l.entries[j].Epoch })
+	return l, nil
+}
+
+// current returns the newest epoch in the history (1 when empty: the
+// implicit first epoch).
+func (l *epochLog) current() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) == 0 {
+		return 1
+	}
+	return l.entries[len(l.entries)-1].Epoch
+}
+
+// currentStart returns the start version of the current epoch (0 when
+// the history is empty — the implicit first epoch began at version 0).
+func (l *epochLog) currentStart() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) == 0 {
+		return 0
+	}
+	return l.entries[len(l.entries)-1].Start
+}
+
+// boundaryAbove returns the smallest start version among entries with
+// epoch strictly above e — the version bound below which a replica at
+// epoch e shares this store's history. MaxInt64 when no such entry
+// exists: promotes are the only divergence points, and none above e is
+// recorded.
+func (l *epochLog) boundaryAbove(e int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ent := range l.entries {
+		if ent.Epoch > e {
+			return ent.Start
+		}
+	}
+	return math.MaxInt64
+}
+
+// advance appends (epoch, start) to the history and persists it,
+// refusing to move backwards. Appending the current epoch again is a
+// no-op (idempotent adopt/promote retries).
+func (l *epochLog) advance(epoch, start int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) > 0 {
+		last := l.entries[len(l.entries)-1]
+		if epoch == last.Epoch && start == last.Start {
+			return nil
+		}
+		if epoch <= last.Epoch {
+			return fmt.Errorf("durable: epoch history cannot go from %d back to %d", last.Epoch, epoch)
+		}
+	}
+	entries := append(l.entries, EpochEntry{Epoch: epoch, Start: start})
+	var buf strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&buf, "%d %d\n", e.Epoch, e.Start)
+	}
+	tmp := filepath.Join(l.dir, EpochFile+".tmp")
+	if err := os.WriteFile(tmp, []byte(buf.String()), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, EpochFile)); err != nil {
+		return err
+	}
+	l.entries = entries
+	return nil
+}
+
+// history returns a copy of the entries (diagnostics and tests).
+func (l *epochLog) history() []EpochEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]EpochEntry(nil), l.entries...)
+}

@@ -1,0 +1,181 @@
+package durable
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/jiffy"
+)
+
+// Fencing-epoch history tests: the EPOCH file is what makes failover
+// safe, so its invariants — implicit first epoch, monotone advance,
+// persistence across reopen and across the primary→replica demote — get
+// direct coverage here.
+
+func epochCodec() Codec[string, string] {
+	return Codec[string, string]{Key: StringEnc(), Value: StringEnc()}
+}
+
+// TestEpochImplicitFirst: every store is born into epoch 1 at start 0
+// with an empty history — no EPOCH file is written until a promote.
+func TestEpochImplicitFirst(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 2, epochCodec(), Options[string]{NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	defer s.Close()
+	if e := s.Epoch(); e != 1 {
+		t.Fatalf("fresh store epoch %d, want 1", e)
+	}
+	if st := s.EpochStart(); st != 0 {
+		t.Fatalf("fresh store epoch start %d, want 0", st)
+	}
+	if b := s.EpochBoundaryAbove(1); b != math.MaxInt64 {
+		t.Fatalf("boundaryAbove(1) %d on an empty history, want MaxInt64", b)
+	}
+	if _, err := os.Stat(filepath.Join(dir, EpochFile)); !os.IsNotExist(err) {
+		t.Fatalf("EPOCH file exists before any promote (stat err %v)", err)
+	}
+}
+
+// TestEpochPromotePersists: PromoteAt records (epoch, watermark) in the
+// history, and both the epoch and the boundary survive close/reopen.
+func TestEpochPromotePersists(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenReplica(dir, 2, epochCodec(), Options[string]{NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenReplica: %v", err)
+	}
+	if err := r.ApplyRecord(7, encodePutRecord(t, "k", "v")); err != nil {
+		t.Fatalf("ApplyRecord: %v", err)
+	}
+	r.AdvanceTo(7)
+	wm, err := r.PromoteAt(3)
+	if err != nil {
+		t.Fatalf("PromoteAt: %v", err)
+	}
+	if wm != 7 {
+		t.Fatalf("promoted at watermark %d, want 7", wm)
+	}
+	if e := r.Epoch(); e != 3 {
+		t.Fatalf("epoch %d after PromoteAt(3)", e)
+	}
+	// Promoting to a lower or equal epoch must refuse: the fleet already
+	// moved past it.
+	if _, err := r.PromoteAt(3); err != nil {
+		t.Fatalf("idempotent re-promote at the current epoch: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A promoted replica's directory is a primary directory now.
+	s, err := OpenSharded(dir, 2, epochCodec(), Options[string]{NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenSharded after promote: %v", err)
+	}
+	defer s.Close()
+	if e := s.Epoch(); e != 3 {
+		t.Fatalf("epoch %d after reopen, want 3", e)
+	}
+	// A peer still at epoch 2 shares history only up to the promote
+	// point; one at epoch 3 has no boundary above it.
+	if b := s.EpochBoundaryAbove(2); b != 7 {
+		t.Fatalf("boundaryAbove(2) = %d, want the promote watermark 7", b)
+	}
+	if b := s.EpochBoundaryAbove(3); b != math.MaxInt64 {
+		t.Fatalf("boundaryAbove(3) = %d, want MaxInt64", b)
+	}
+	if got, ok := s.Get("k"); !ok || got != "v" {
+		t.Fatalf("key k after reopen: %q/%v", got, ok)
+	}
+}
+
+// TestEpochAdopt: a replica adopts the primary's higher epoch from the
+// stream handshake; adopting a lower one is a no-op; and the adoption
+// persists.
+func TestEpochAdopt(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenReplica(dir, 2, epochCodec(), Options[string]{NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenReplica: %v", err)
+	}
+	if err := r.AdoptEpoch(4, 100); err != nil {
+		t.Fatalf("AdoptEpoch(4): %v", err)
+	}
+	if err := r.AdoptEpoch(2, 50); err != nil {
+		t.Fatalf("AdoptEpoch(2) below current should no-op, got %v", err)
+	}
+	if e := r.Epoch(); e != 4 {
+		t.Fatalf("epoch %d after adopting 4 then 2, want 4", e)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r2, err := OpenReplica(dir, 2, epochCodec(), Options[string]{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r2.Close()
+	if e := r2.Epoch(); e != 4 {
+		t.Fatalf("epoch %d after reopen, want 4", e)
+	}
+}
+
+// TestEpochDemoteCycle is the fenced ex-primary's rejoin path: a primary
+// with data and history is closed, marked with MarkReplica, and reopened
+// as a replica — keeping its data, its exact versions, and its epoch
+// history, so the new primary can judge how much is still common.
+func TestEpochDemoteCycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 2, epochCodec(), Options[string]{NoSync: true, StrictClock: true})
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	var last int64
+	for _, k := range []string{"a", "b", "c"} {
+		v, err := s.PutV(k, "primary-"+k)
+		if err != nil {
+			t.Fatalf("PutV: %v", err)
+		}
+		last = v
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if err := MarkReplica(dir); err != nil {
+		t.Fatalf("MarkReplica: %v", err)
+	}
+	r, err := OpenReplica(dir, 2, epochCodec(), Options[string]{NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenReplica after demote: %v", err)
+	}
+	defer r.Close()
+	if wm := r.Watermark(); wm != last {
+		t.Fatalf("demoted replica watermark %d, want the primary's last version %d", wm, last)
+	}
+	if e := r.Epoch(); e != 1 {
+		t.Fatalf("demoted replica epoch %d, want 1", e)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if got, ok := r.Get(k); !ok || got != "primary-"+k {
+			t.Fatalf("key %s after demote: %q/%v", k, got, ok)
+		}
+	}
+	if r.Promoted() {
+		t.Fatal("demoted replica reports Promoted")
+	}
+}
+
+// encodePutRecord builds one WAL record payload holding a single put
+// (ApplyRecord consumes the WAL record encoding).
+func encodePutRecord(t *testing.T, k, v string) []byte {
+	t.Helper()
+	e := &encBuf{}
+	return append([]byte(nil),
+		encodeOps(e, []jiffy.BatchOp[string, string]{{Key: k, Val: v}}, epochCodec())...)
+}

@@ -82,6 +82,7 @@ type Replica[K cmp.Ordered, V any] struct {
 	mu        sync.Mutex
 	cur       atomic.Pointer[Sharded[K, V]]
 	clk       *replClock
+	elog      *epochLog
 	watermark atomic.Int64
 	promoted  atomic.Bool
 	closed    atomic.Bool
@@ -130,17 +131,38 @@ func OpenReplica[K cmp.Ordered, V any](dir string, shards int, codec Codec[K, V]
 	if err != nil {
 		return nil, err
 	}
+	elog, err := loadEpochLog(dir)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
 	r := &Replica[K, V]{
 		dir:    dir,
 		shards: shards,
 		codec:  codec,
 		opts:   o,
 		clk:    clk,
+		elog:   elog,
 		batch:  jiffy.NewBatch[K, V](16),
 	}
 	r.cur.Store(d)
 	r.watermark.Store(wm)
 	return r, nil
+}
+
+// MarkReplica writes the replica marker into dir, demoting a primary
+// store directory to a replica one: the next OpenReplica recovers its
+// state at the primary's exact versions and resumes (or re-bootstraps,
+// when its history diverged past a promote boundary) from the fleet's
+// current primary. This is the rejoin step for a fenced ex-primary; its
+// epoch history survives, so the new primary can judge exactly how much
+// of its state is still common history.
+func MarkReplica(dir string) error {
+	marker := filepath.Join(dir, ReplicaMarker)
+	if _, err := os.Stat(marker); err == nil {
+		return nil
+	}
+	return os.WriteFile(marker, []byte("replica store; do not open as a primary\n"), 0o644)
 }
 
 // openReplicaStore is OpenSharded with replica recovery semantics: the
@@ -317,7 +339,10 @@ func (r *Replica[K, V]) BeginBootstrap() error {
 		return err
 	}
 	for _, e := range ents {
-		if e.Name() == ReplicaMarker {
+		if e.Name() == ReplicaMarker || e.Name() == EpochFile {
+			// The epoch history survives a bootstrap: the post-bootstrap
+			// state is the primary's cut, and the adopted history entries
+			// describe exactly that history.
 			continue
 		}
 		if err := os.RemoveAll(filepath.Join(r.dir, e.Name())); err != nil {
@@ -388,8 +413,19 @@ func (r *Replica[K, V]) FinishBootstrap(version int64) error {
 // The caller (internal/repl's runner) must first apply every record it
 // has buffered, acknowledged or not: synchronous acks mean anything the
 // old primary acked to a client has reached this replica's buffer.
-// Promote is idempotent.
+// Promote is idempotent. It bumps the fencing epoch by one; automatic
+// failover uses PromoteAt to promote under a specific epoch instead.
 func (r *Replica[K, V]) Promote() (int64, error) {
+	return r.PromoteAt(r.elog.current() + 1)
+}
+
+// PromoteAt is Promote under an explicit fencing epoch: the promote
+// boundary (the watermark) is recorded in the persisted epoch history
+// BEFORE the node starts issuing versions, so any store that later
+// compares histories can tell exactly where this node's writes depart
+// from the old primary's. epoch must exceed the replica's current epoch.
+// Idempotent once promoted (the epoch argument is then ignored).
+func (r *Replica[K, V]) PromoteAt(epoch int64) (int64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed.Load() {
@@ -399,6 +435,16 @@ func (r *Replica[K, V]) Promote() (int64, error) {
 	if r.promoted.Load() {
 		return wm, nil
 	}
+	if cur := r.elog.current(); epoch <= cur {
+		return 0, fmt.Errorf("durable: promote epoch %d not above current epoch %d", epoch, cur)
+	}
+	// History first: a crash between the two steps leaves an unpromoted
+	// replica claiming a high epoch — it rejoins as a replica and the
+	// claim is harmless noise. The reverse order could leave a promoted
+	// primary at a stale epoch: unfenceable split-brain.
+	if err := r.elog.advance(epoch, wm); err != nil {
+		return 0, err
+	}
 	r.clk.strict.Store(tsc.NewStrictAt(r.clk.manual.Read()))
 	r.promoted.Store(true)
 	if err := os.Remove(filepath.Join(r.dir, ReplicaMarker)); err != nil && !os.IsNotExist(err) {
@@ -406,6 +452,40 @@ func (r *Replica[K, V]) Promote() (int64, error) {
 	}
 	return wm, nil
 }
+
+// Epoch reports the replica's fencing epoch — the newest epoch it has
+// adopted from a primary or promoted under (1: the implicit first
+// epoch).
+func (r *Replica[K, V]) Epoch() int64 { return r.elog.current() }
+
+// EpochStart reports the version the current epoch began at.
+func (r *Replica[K, V]) EpochStart() int64 { return r.elog.currentStart() }
+
+// EpochBoundaryAbove reports the divergence bound for a peer at epoch e
+// (see Sharded.EpochBoundaryAbove); meaningful once promoted and
+// serving replicas of its own.
+func (r *Replica[K, V]) EpochBoundaryAbove(e int64) int64 { return r.elog.boundaryAbove(e) }
+
+// AdoptEpoch records the primary's (epoch, start) pair in the local
+// epoch history. The replication runner calls it with every
+// OpReplEpoch frame; an epoch at or below the current one is a no-op
+// (reconnects re-announce), and adopting is refused after promotion —
+// a promoted node only moves its epoch by promoting again.
+func (r *Replica[K, V]) AdoptEpoch(epoch, start int64) error {
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	if r.promoted.Load() {
+		return ErrPromoted
+	}
+	if epoch <= r.elog.current() {
+		return nil
+	}
+	return r.elog.advance(epoch, start)
+}
+
+// EpochHistory returns a copy of the persisted epoch history.
+func (r *Replica[K, V]) EpochHistory() []EpochEntry { return r.elog.history() }
 
 // NumShards returns the number of shards.
 func (r *Replica[K, V]) NumShards() int { return r.cur.Load().NumShards() }
@@ -512,8 +592,21 @@ func (r *Replica[K, V]) TailAbove(version int64) ([]TailRecord, error) {
 	return r.cur.Load().TailAbove(version)
 }
 
-// RecoveredVersion reports the version floor recovery established.
-func (r *Replica[K, V]) RecoveredVersion() int64 { return r.cur.Load().RecoveredVersion() }
+// RecoveredVersion reports the version floor below which every update is
+// already durable locally: the replicated watermark once the stream has
+// applied records (each applied record is WAL-durable before the
+// watermark advances past it), else the floor recovery established. A
+// freshly promoted node hands this to its own replication tap, so the
+// frontier it announces to clients and replicas starts at the history it
+// actually holds rather than at the open-time floor (a replica that
+// booted empty has floor 0 — announcing that would make rediscovering
+// clients refuse the new primary as behind their acked writes).
+func (r *Replica[K, V]) RecoveredVersion() int64 {
+	if wm := r.watermark.Load(); wm > 0 {
+		return wm
+	}
+	return r.cur.Load().RecoveredVersion()
+}
 
 // Close syncs and closes the local logs. Idempotent.
 func (r *Replica[K, V]) Close() error {

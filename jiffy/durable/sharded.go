@@ -39,6 +39,7 @@ type Sharded[K cmp.Ordered, V any] struct {
 
 	floor int64                      // recovered version floor (max of checkpoint cut and replayed records)
 	feed  atomic.Pointer[feedHolder] // replication tap; nil when not replicating
+	elog  *epochLog                  // fencing-epoch history (epoch.go)
 }
 
 func shardWALDir(dir string, i int) string {
@@ -133,10 +134,38 @@ func OpenSharded[K cmp.Ordered, V any](dir string, shards int, codec Codec[K, V]
 		closeAll()
 		return nil, err
 	}
-	d := &Sharded[K, V]{s: s, wals: wals, codec: codec, dir: dir, opts: o, floor: floor}
+	elog, err := loadEpochLog(dir)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	d := &Sharded[K, V]{s: s, wals: wals, codec: codec, dir: dir, opts: o, floor: floor, elog: elog}
 	d.ckpt.recover(ckVer, ckPath)
 	return d, nil
 }
+
+// Epoch reports the store's fencing epoch: the epoch of the last
+// recorded promote, or 1 — the implicit first epoch — when the store
+// has never been through a failover. See EpochFile.
+func (d *Sharded[K, V]) Epoch() int64 { return d.elog.current() }
+
+// EpochStart reports the version the current epoch began at (0 for the
+// implicit first epoch).
+func (d *Sharded[K, V]) EpochStart() int64 { return d.elog.currentStart() }
+
+// EpochBoundaryAbove reports the version bound below which a replica at
+// epoch e shares this store's history (math.MaxInt64 when no promote
+// above e is recorded — no divergence point exists). The replication
+// source forces a bootstrap on replicas whose watermark exceeds it.
+func (d *Sharded[K, V]) EpochBoundaryAbove(e int64) int64 { return d.elog.boundaryAbove(e) }
+
+// AdvanceEpoch appends (epoch, start) to the persisted epoch history —
+// the record that epoch began at version start. It refuses to move the
+// epoch backwards and is idempotent on exact repeats.
+func (d *Sharded[K, V]) AdvanceEpoch(epoch, start int64) error { return d.elog.advance(epoch, start) }
+
+// EpochHistory returns a copy of the persisted epoch history.
+func (d *Sharded[K, V]) EpochHistory() []EpochEntry { return d.elog.history() }
 
 // RecoveredVersion reports the version floor recovery established: the
 // maximum of the newest checkpoint's cut and every replayed log record's
