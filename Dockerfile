@@ -1,0 +1,24 @@
+# Build jiffyd (and its operator/workload companions) into a minimal
+# runtime image. The compose file at the repo root wires a primary, a
+# replica, a looping netkv load generator, and a Prometheus + Grafana
+# pair provisioned with the per-stage latency dashboard
+# (deploy/grafana/jiffy-dashboard.json).
+#
+#	docker build -t jiffy .
+#	docker run -p 7420:7420 -p 7421:7421 jiffy \
+#	  -addr :7420 -metrics-addr :7421 -durable -dir /data
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -o /out/jiffyd ./cmd/jiffyd \
+ && CGO_ENABLED=0 go build -trimpath -o /out/jiffyctl ./cmd/jiffyctl \
+ && CGO_ENABLED=0 go build -trimpath -o /out/netkv ./examples/netkv
+
+FROM alpine:3.20
+RUN apk add --no-cache curl ca-certificates
+COPY --from=build /out/jiffyd /out/jiffyctl /out/netkv /usr/local/bin/
+VOLUME /data
+EXPOSE 7420 7421 7422
+ENTRYPOINT ["jiffyd"]
+CMD ["-addr", ":7420", "-metrics-addr", ":7421"]

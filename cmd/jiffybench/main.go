@@ -51,6 +51,8 @@ func main() {
 		micro    = flag.Bool("micro", false, "measure the read-scalability micro claims (deep-chain seeks, iterator allocs, merged-scan scaling) instead of a figure")
 		netBench = flag.Bool("net", false, "measure the network serving layer over loopback (conns sweep, pipelining on/off, batch amortization) instead of a figure")
 		replRd   = flag.Bool("replica-reads", false, "with -net: measure read offload through a WAL-shipped replica (primary-pinned vs replica-routed reads) instead of the serve-mode sweep")
+		traceAB  = flag.Bool("trace", false, "with -net: measure tracing overhead — every sweep point runs against a tracing-free server and a flight-recorder-enabled one (clients sampling trace IDs at -tracesample) in interleaved A·B·B·A order, and the file records the mean delta")
+		traceSmp = flag.Float64("tracesample", 0.01, "with -net -trace: client trace-ID sample rate for the traced runs (1: every request carries an ID — the wire-overhead worst case)")
 		conns    = flag.String("conns", "1,2,4,8,16,32,64,128,256", "with -net: comma-separated client connection counts to sweep")
 		netAddr  = flag.String("netaddr", "", "with -net: measure against this running jiffyd-protocol server instead of an in-process loopback one")
 		netThr   = flag.Int("netthreads", 64, "with -net: workload goroutines driving the client")
@@ -125,7 +127,7 @@ func main() {
 			}
 			return
 		}
-		res := runNet(*netAddr, connsList, *netThr, *keyspace, *prefill, *duration, *seed)
+		res := runNet(*netAddr, connsList, *netThr, *keyspace, *prefill, *duration, *seed, *traceAB, *traceSmp)
 		if *jsonOut != "" {
 			if err := writeNetJSON(*jsonOut, res); err != nil {
 				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)

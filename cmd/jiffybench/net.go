@@ -12,7 +12,9 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/jiffy"
 	"repro/jiffy/client"
@@ -38,18 +40,28 @@ import (
 
 // netFile is the -net JSON schema.
 type netFile struct {
-	Kind       string       `json:"kind"` // always "net"
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Shards     int          `json:"shards"`
-	Threads    int          `json:"threads"`
-	KeySpace   uint64       `json:"keyspace"`
-	Prefill    int          `json:"prefill"`
-	Duration   string       `json:"duration"`
-	When       string       `json:"when"`
-	Modes      []string     `json:"modes,omitempty"`
-	Parity     string       `json:"parity,omitempty"` // "ok" when both cores converged
-	Sweep      []netPoint   `json:"sweep"`
-	Batch      []netBatchPt `json:"batch"`
+	Kind       string   `json:"kind"` // always "net"
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Shards     int      `json:"shards"`
+	Threads    int      `json:"threads"`
+	KeySpace   uint64   `json:"keyspace"`
+	Prefill    int      `json:"prefill"`
+	Duration   string   `json:"duration"`
+	When       string   `json:"when"`
+	Modes      []string `json:"modes,omitempty"`
+	Parity     string   `json:"parity,omitempty"` // "ok" when both cores converged
+	// Trace marks a tracing A/B run (-trace): every sweep point was
+	// measured against a tracing-free server (A) and a server running the
+	// flight recorder with clients sampling trace IDs at TraceSample (B),
+	// in interleaved A·B·B·A order (per EXPERIMENTS.md, drift cancels),
+	// and appears twice in Sweep. TraceOverheadPct is the mean throughput
+	// cost of tracing across the sweep: positive means traced runs were
+	// slower.
+	Trace            bool         `json:"trace,omitempty"`
+	TraceSample      float64      `json:"trace_sample,omitempty"`
+	TraceOverheadPct float64      `json:"trace_overhead_pct,omitempty"`
+	Sweep            []netPoint   `json:"sweep"`
+	Batch            []netBatchPt `json:"batch"`
 }
 
 // netPoint is one conns-sweep measurement (mix ul: 25 % updates, 75 %
@@ -61,9 +73,11 @@ type netPoint struct {
 	Conns     int     `json:"conns"`
 	Threads   int     `json:"threads"`
 	Pipelined bool    `json:"pipelined"`
+	Traced    bool    `json:"traced,omitempty"` // client propagated a trace ID on every request
 	Mix       string  `json:"mix"`
 	TotalMops float64 `json:"total_mops"`
 	TotalOps  uint64  `json:"total_ops"`
+	Runs      int     `json:"runs,omitempty"` // >1: TotalMops is the mean of interleaved runs
 }
 
 // netBatchPt is one batch-amortization measurement (update-only, all
@@ -95,22 +109,56 @@ func netCodec() durable.Codec[uint64, *harness.Payload] {
 
 // startNetServer starts the in-process loopback server in the given mode,
 // prefilled directly (the dataset is the same either way and skipping the
-// network keeps setup fast). Returns the server and its address.
-func startNetServer(mode server.Mode, base harness.Config) (*server.Server[uint64, *harness.Payload], string) {
+// network keeps setup fast). With tracing the server gets a registered
+// flight recorder, exactly as jiffyd runs it. Returns the server and its
+// address.
+func startNetServer(mode server.Mode, base harness.Config, tracing bool) (*server.Server[uint64, *harness.Payload], string) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "net bench: listen: %v\n", err)
 		os.Exit(1)
 	}
+	opts := server.Options{Mode: mode}
+	if tracing {
+		rec := trace.NewRecorder(0)
+		rec.RegisterMetrics(obs.NewRegistry())
+		opts.Tracer = rec
+	}
 	s := jiffy.NewSharded[uint64, *harness.Payload](harness.ShardCount)
-	srv := server.Serve(ln, server.NewMemStore(s), netCodec(), server.Options{Mode: mode})
+	srv := server.Serve(ln, server.NewMemStore(s), netCodec(), opts)
 	harness.Prefill[uint64, *harness.Payload](&index.ShardedJiffy[uint64, *harness.Payload]{S: s}, base, harness.KeyA, harness.ValA)
 	return srv, srv.Addr().String()
 }
 
+// measureNetPoint runs one sweep measurement. A traced run reproduces a
+// deployed tracing setup on the client side: a local recorder plus a
+// trace ID sampled onto sampleRate of the requests (8 extra body bytes
+// and a span at every stage each one crosses).
+func measureNetPoint(addr string, conns int, pipelined, traced bool, sampleRate float64, cfg harness.Config) harness.Result {
+	copts := client.Options{Conns: conns, NoPipeline: !pipelined}
+	if traced {
+		copts.Tracer = trace.NewRecorder(0)
+		copts.TraceSample = sampleRate
+	}
+	c, err := client.Dial(addr, netCodec(), copts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "net bench: dial: %v\n", err)
+		os.Exit(1)
+	}
+	idx := index.NewNetJiffy(c)
+	res := harness.Run[uint64, *harness.Payload](idx, cfg, harness.KeyA, harness.ValA)
+	idx.Close()
+	return res
+}
+
 // sweepOne runs the conns sweep and the batch-amortization points against
-// addr, tagging every result with mode.
-func sweepOne(out *netFile, mode, addr string, connsList []int, threads int, base harness.Config) {
+// addr, tagging every result with mode. With a non-empty addrTraced every
+// sweep point is measured four times in A·B·B·A order — A against addr
+// (no tracing anywhere), B against addrTraced (flight recorder serving,
+// clients sampling trace IDs) — and lands as two averaged points, so
+// drift between runs cancels out of the traced-vs-untraced comparison.
+func sweepOne(out *netFile, mode, addr, addrTraced string, connsList []int, threads int, base harness.Config, sampleRate float64) {
+	traceAB := addrTraced != ""
 	base.Mix = workload.MixUpdateLookup
 	for _, conns := range connsList {
 		ptThreads := threads
@@ -120,25 +168,49 @@ func sweepOne(out *netFile, mode, addr string, connsList []int, threads int, bas
 		cfg := base
 		cfg.Threads = ptThreads
 		for _, pipelined := range []bool{true, false} {
-			c, err := client.Dial(addr, netCodec(), client.Options{Conns: conns, NoPipeline: !pipelined})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "net bench: dial: %v\n", err)
-				os.Exit(1)
+			order := []bool{false}
+			if traceAB {
+				order = []bool{false, true, true, false}
 			}
-			idx := index.NewNetJiffy(c)
-			res := harness.Run[uint64, *harness.Payload](idx, cfg, harness.KeyA, harness.ValA)
-			idx.Close()
-			out.Sweep = append(out.Sweep, netPoint{
-				Mode:      mode,
-				Conns:     conns,
-				Threads:   ptThreads,
-				Pipelined: pipelined,
-				Mix:       cfg.Mix.Name,
-				TotalMops: res.TotalMops(),
-				TotalOps:  res.TotalOps,
-			})
-			fmt.Printf("net   %-9s %-3s conns=%-3d pipelined=%-5v threads=%-3d total=%8.3f Mops/s\n",
-				mode, cfg.Mix.Name, conns, pipelined, ptThreads, res.TotalMops())
+			var mops [2]float64
+			var ops [2]uint64
+			var runs [2]int
+			for _, traced := range order {
+				a := addr
+				if traced {
+					a = addrTraced
+				}
+				res := measureNetPoint(a, conns, pipelined, traced, sampleRate, cfg)
+				i := 0
+				if traced {
+					i = 1
+				}
+				mops[i] += res.TotalMops()
+				ops[i] += res.TotalOps
+				runs[i]++
+			}
+			for i, traced := range []bool{false, true} {
+				if runs[i] == 0 {
+					continue
+				}
+				mean := mops[i] / float64(runs[i])
+				pt := netPoint{
+					Mode:      mode,
+					Conns:     conns,
+					Threads:   ptThreads,
+					Pipelined: pipelined,
+					Traced:    traced,
+					Mix:       cfg.Mix.Name,
+					TotalMops: mean,
+					TotalOps:  ops[i] / uint64(runs[i]),
+				}
+				if traceAB {
+					pt.Runs = runs[i]
+				}
+				out.Sweep = append(out.Sweep, pt)
+				fmt.Printf("net   %-9s %-3s conns=%-3d pipelined=%-5v traced=%-5v threads=%-3d total=%8.3f Mops/s\n",
+					mode, cfg.Mix.Name, conns, pipelined, traced, ptThreads, mean)
+			}
 		}
 	}
 
@@ -181,7 +253,7 @@ func sweepOne(out *netFile, mode, addr string, connsList []int, threads int, bas
 // serialize. addr == "" sweeps both serving cores over in-process loopback
 // servers and cross-checks their final contents; an external addr is
 // measured as-is.
-func runNet(addr string, connsList []int, threads int, keyspace uint64, prefill int, duration time.Duration, seed uint64) *netFile {
+func runNet(addr string, connsList []int, threads int, keyspace uint64, prefill int, duration time.Duration, seed uint64, traceAB bool, sampleRate float64) *netFile {
 	out := &netFile{
 		Kind:       "net",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -191,6 +263,10 @@ func runNet(addr string, connsList []int, threads int, keyspace uint64, prefill 
 		Prefill:    prefill,
 		Duration:   duration.String(),
 		When:       time.Now().UTC().Format(time.RFC3339),
+		Trace:      traceAB,
+	}
+	if traceAB {
+		out.TraceSample = sampleRate
 	}
 
 	base := harness.Config{
@@ -213,12 +289,19 @@ func runNet(addr string, connsList []int, threads int, keyspace uint64, prefill 
 		c.Close()
 		fmt.Printf("# net bench: external server %s (prefill %d over the wire)\n", addr, prefill)
 		out.Modes = []string{"external"}
-		sweepOne(out, "external", addr, connsList, threads, base)
+		// An external server can't be restarted with tracing on and off;
+		// the A/B then measures the client-side cost only.
+		addrTraced := ""
+		if traceAB {
+			addrTraced = addr
+		}
+		sweepOne(out, "external", addr, addrTraced, connsList, threads, base, sampleRate)
+		finishTraceAB(out, traceAB)
 		return out
 	}
 
 	for _, mode := range []server.Mode{server.ModeEventLoop, server.ModeGoroutine} {
-		srv, a := startNetServer(mode, base)
+		srv, a := startNetServer(mode, base, false)
 		actual := srv.Mode()
 		if actual != mode {
 			// Platform without event-loop support: the fallback would
@@ -227,11 +310,21 @@ func runNet(addr string, connsList []int, threads int, keyspace uint64, prefill 
 			srv.Close()
 			continue
 		}
+		// The B side of a tracing A/B gets its own server, identically
+		// prefilled, running the flight recorder the way jiffyd does.
+		addrTraced := ""
+		var srvTraced *server.Server[uint64, *harness.Payload]
+		if traceAB {
+			srvTraced, addrTraced = startNetServer(mode, base, true)
+		}
 		fmt.Printf("# net bench: loopback server on %s, core %v (%d shards, prefill %d)\n",
 			a, actual, harness.ShardCount, prefill)
 		out.Modes = append(out.Modes, actual.String())
-		sweepOne(out, actual.String(), a, connsList, threads, base)
+		sweepOne(out, actual.String(), a, addrTraced, connsList, threads, base, sampleRate)
 		srv.Close()
+		if srvTraced != nil {
+			srvTraced.Close()
+		}
 	}
 
 	out.Parity = checkParity(connsList)
@@ -240,7 +333,44 @@ func runNet(addr string, connsList []int, threads int, keyspace uint64, prefill 
 		os.Exit(1)
 	}
 	fmt.Printf("# net bench: serve-mode parity ok\n")
+	finishTraceAB(out, traceAB)
 	return out
+}
+
+// finishTraceAB summarizes a tracing A/B run: the mean percentage
+// throughput cost of tracing over every paired sweep point (positive:
+// traced slower). Left at zero for plain runs.
+func finishTraceAB(out *netFile, traceAB bool) {
+	if !traceAB {
+		return
+	}
+	type key struct {
+		mode      string
+		conns     int
+		pipelined bool
+	}
+	baseline := map[key]float64{}
+	for _, pt := range out.Sweep {
+		if !pt.Traced {
+			baseline[key{pt.Mode, pt.Conns, pt.Pipelined}] = pt.TotalMops
+		}
+	}
+	var sum float64
+	var n int
+	for _, pt := range out.Sweep {
+		if !pt.Traced {
+			continue
+		}
+		if b := baseline[key{pt.Mode, pt.Conns, pt.Pipelined}]; b > 0 {
+			sum += (b - pt.TotalMops) / b * 100
+			n++
+		}
+	}
+	if n > 0 {
+		out.TraceOverheadPct = sum / float64(n)
+	}
+	fmt.Printf("# net bench: tracing overhead %.2f%% mean over %d paired points (positive: traced slower)\n",
+		out.TraceOverheadPct, n)
 }
 
 // checkParity runs one deterministic workload against each serving core —

@@ -1,8 +1,10 @@
 // Command jiffyctl operates a running jiffyd through its observability
 // HTTP listener (-metrics-addr on the daemon):
 //
-//	jiffyctl -ctl 127.0.0.1:7421 status    # role, fencing epoch, watermark
-//	jiffyctl -ctl 127.0.0.1:7421 promote   # replica -> primary failover
+//	jiffyctl -ctl 127.0.0.1:7421 status         # role, fencing epoch, watermark
+//	jiffyctl -ctl 127.0.0.1:7421 promote        # replica -> primary failover
+//	jiffyctl -ctl 127.0.0.1:7421 trace          # recent flight-recorder spans
+//	jiffyctl -ctl 127.0.0.1:7421 trace -id HEX  # one trace, all its stages
 //
 // status reports the node's replication view: its role (standalone,
 // primary, replica, promoted, or fenced), its fencing epoch, its
@@ -17,14 +19,25 @@
 // themselves: the failure detector elects the most-caught-up replica and
 // promotes it under a bumped fencing epoch, so promote is only needed as
 // an operator override.
+//
+// trace reads the node's flight recorder (GET /trace, DESIGN.md §13) and
+// prints spans grouped by trace ID, one stage per line with its start
+// offset and duration, so "where did this request spend its time" is one
+// command. Filters pass through to the server: -id narrows to one trace,
+// -stage to one stage (wal, repl_apply, ...), -min-us to outliers, and
+// -limit bounds the span count. Batch-level spans (fsync, flush) and
+// untraced requests carry trace ID 0 and group under "(untraced)".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
+	"sort"
 	"strings"
 	"time"
 )
@@ -34,7 +47,7 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "request timeout")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: jiffyctl [-ctl host:port] <status|promote>\n\n")
+			"usage: jiffyctl [-ctl host:port] <status|promote|trace>\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,6 +62,9 @@ func main() {
 		resp, err = client.Get(base + "/replstatus")
 	case "promote":
 		resp, err = client.Post(base+"/promote", "application/json", nil)
+	case "trace":
+		traceCmd(client, base, flag.Args()[1:])
+		return
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -63,5 +79,104 @@ func main() {
 	if resp.StatusCode != http.StatusOK {
 		fmt.Fprintf(os.Stderr, "jiffyctl: %s\n", resp.Status)
 		os.Exit(1)
+	}
+}
+
+// span mirrors one element of /trace's spans array.
+type span struct {
+	Trace   string `json:"trace"`
+	Stage   string `json:"stage"`
+	Op      byte   `json:"op"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Extra   int64  `json:"extra"`
+}
+
+// traceCmd fetches /trace with the subcommand's own filter flags and
+// prints the spans grouped by trace ID, stages in start order.
+func traceCmd(client *http.Client, base string, args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	id := fs.String("id", "", "only spans of this trace ID (hex, as printed)")
+	stage := fs.String("stage", "", "only spans of this stage (client, server, wal, fsync, flush, repl_stream, repl_apply, repl_ack, ...)")
+	minUS := fs.Int("min-us", 0, "only spans at least this many microseconds long")
+	limit := fs.Int("limit", 256, "at most this many spans")
+	fs.Parse(args)
+
+	q := url.Values{}
+	if *id != "" {
+		q.Set("trace", strings.TrimPrefix(*id, "0x"))
+	}
+	if *stage != "" {
+		q.Set("stage", *stage)
+	}
+	if *minUS > 0 {
+		q.Set("min_us", fmt.Sprint(*minUS))
+	}
+	q.Set("limit", fmt.Sprint(*limit))
+
+	resp, err := client.Get(base + "/trace?" + q.Encode())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jiffyctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(os.Stderr, resp.Body)
+		fmt.Fprintf(os.Stderr, "jiffyctl: %s\n", resp.Status)
+		os.Exit(1)
+	}
+	var body struct {
+		Spans []span `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		fmt.Fprintf(os.Stderr, "jiffyctl: decoding /trace: %v\n", err)
+		os.Exit(1)
+	}
+	if len(body.Spans) == 0 {
+		fmt.Println("no spans (is traffic flowing? is -trace-sample 0?)")
+		return
+	}
+
+	// Group by trace ID; order groups by their earliest span so related
+	// output reads in wall-clock order, stages within a trace likewise.
+	groups := map[string][]span{}
+	for _, sp := range body.Spans {
+		groups[sp.Trace] = append(groups[sp.Trace], sp)
+	}
+	ids := make([]string, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	first := func(id string) int64 {
+		min := groups[id][0].StartNS
+		for _, sp := range groups[id] {
+			if sp.StartNS < min {
+				min = sp.StartNS
+			}
+		}
+		return min
+	}
+	sort.Slice(ids, func(a, b int) bool { return first(ids[a]) < first(ids[b]) })
+
+	for _, id := range ids {
+		sps := groups[id]
+		sort.Slice(sps, func(a, b int) bool { return sps[a].StartNS < sps[b].StartNS })
+		t0 := sps[0].StartNS
+		name := "trace " + id
+		if id == "0" {
+			name = "(untraced)"
+		}
+		fmt.Printf("%s  %s\n", name, time.Unix(0, t0).Format("15:04:05.000000"))
+		for _, sp := range sps {
+			extra := ""
+			if sp.Extra != 0 {
+				extra = fmt.Sprintf("  extra=%d", sp.Extra)
+			}
+			fmt.Printf("  %-14s +%-10s %-10s op=%d%s\n",
+				sp.Stage,
+				time.Duration(sp.StartNS-t0).Round(time.Microsecond),
+				time.Duration(sp.DurNS).Round(time.Microsecond),
+				sp.Op, extra)
+		}
 	}
 }

@@ -45,11 +45,20 @@
 // With -metrics-addr an HTTP sidecar listener serves GET /metrics (the
 // Prometheus text exposition: request rates and latencies by opcode,
 // connection and backpressure state, WAL and checkpoint activity, the
-// store's structural Stats, and Go runtime health), GET /healthz, and the
-// standard net/http/pprof endpoints under /debug/pprof/. The serving hot
-// path is instrumented whether or not the endpoint is enabled — the flag
-// only adds the listener — so the published benchmark numbers are the
-// instrumented ones. See DESIGN.md §10.
+// store's structural Stats, and Go runtime health), GET /healthz (JSON
+// liveness with the node's role, fencing epoch and watermark), GET /trace
+// (the flight recorder's recent spans), and the standard net/http/pprof
+// endpoints under /debug/pprof/. The serving hot path is instrumented
+// whether or not the endpoint is enabled — the flag only adds the
+// listener — so the published benchmark numbers are the instrumented
+// ones. See DESIGN.md §10.
+//
+// Request tracing (DESIGN.md §13) is always on: every request feeds the
+// per-stage latency histograms (jiffy_stage_seconds) and leaves spans in
+// a fixed-size lock-free flight recorder, stitched across processes by a
+// client-propagated trace ID when the client samples one. -trace-slow
+// logs a per-stage breakdown for outliers; -trace-sample dials the ring
+// write rate; `jiffyctl trace` pretty-prints the recorder.
 //
 // Logs are structured (log/slog), text by default, JSON with -log-json.
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, every
@@ -78,6 +87,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/repl"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/jiffy"
 	"repro/jiffy/durable"
@@ -95,12 +105,16 @@ func main() {
 		checkpt = flag.Duration("checkpoint-every", 0, "with -durable: checkpoint and truncate logs on this interval (0: never)")
 		mode    = flag.String("serve-mode", "auto", "serving core: auto, eventloop, goroutine (auto also honors JIFFY_SERVE_MODE)")
 		loops   = flag.Int("loops", 0, "event loop count with -serve-mode eventloop (0: GOMAXPROCS, capped at 8)")
-		metrics = flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz, /replstatus, /promote and /debug/pprof (empty: no HTTP listener)")
+		metrics = flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz, /trace, /replstatus, /promote and /debug/pprof (empty: no HTTP listener)")
 		logJSON = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 
 		replAddr  = flag.String("repl-addr", "", "with -durable: serve the replication stream on this address (primary role); on a replica, taken over after promotion")
 		replSync  = flag.Bool("repl-sync", false, "with -repl-addr: synchronous replication — a write is not acked until every synced replica confirms receipt (or times out)")
 		replicaOf = flag.String("replica-of", "", "run as a replica of this primary replication address (implies durable; reads served at the watermark, writes refused until promoted)")
+
+		traceSample = flag.Float64("trace-sample", 1, "fraction of spans written to the flight-recorder ring, 0..1 (the per-stage histograms always see every span; this only dials ring churn)")
+		traceSlow   = flag.Duration("trace-slow", 0, "log a structured per-stage breakdown for any request slower than this (0: never)")
+		fsyncDelay  = flag.Duration("fsync-delay", 0, "fault injection: sleep this long before every WAL fsync (testing only; shows up in the fsync/wal stages)")
 
 		nodeID    = flag.String("node-id", "", "stable fleet identity of this node (ranks election ties; required with -auto-failover)")
 		peersFlag = flag.String("peers", "", "other fleet members, comma-separated id=host:port[/replhost:port] (client address, optional replication address)")
@@ -124,6 +138,13 @@ func main() {
 
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
+
+	// The flight recorder is always constructed: stage histograms cost a
+	// few atomic adds per request, and the ring only fills when tracing is
+	// sampled on the client or -trace-sample is set. See DESIGN.md §13.
+	rec := trace.NewRecorder(0)
+	rec.RegisterMetrics(reg)
+	rec.SetSampleRate(*traceSample)
 
 	logf := func(format string, args ...any) {
 		logger.Info(fmt.Sprintf(format, args...))
@@ -156,7 +177,11 @@ func main() {
 		return &fleetNode{
 			logger: logger, logf: logf, codec: codec, reg: reg,
 			dir: *dir, shards: *shards,
-			dopts:    durable.Options[string]{NoSync: *noSync, Metrics: persist.NewMetrics(reg)},
+			dopts: durable.Options[string]{
+				NoSync: *noSync, Metrics: persist.NewMetrics(reg),
+				Tracer: rec, FsyncDelay: *fsyncDelay,
+			},
+			tracer:   rec,
 			replAddr: *replAddr, replSync: *replSync,
 			self:  wire.Member{ID: *nodeID, Addr: *addr, ReplAddr: *replAddr},
 			peers: peers, auto: *autoFail,
@@ -236,6 +261,9 @@ func main() {
 		Loops:       *loops,
 		Registry:    reg,
 		Logf:        logf,
+		Tracer:      rec,
+		TraceSlow:   *traceSlow,
+		TraceLog:    logger,
 	}
 	if fn != nil {
 		srvOpts.Epoch = fn.epoch
@@ -270,9 +298,22 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprintln(w, "ok")
+			// Machine-readable liveness: status plus the node's replication
+			// identity. The "ok" substring is load-bearing — deploy scripts
+			// and the CI smoke test grep for it.
+			hz := map[string]any{"status": "ok", "role": "standalone", "epoch": int64(0), "watermark": int64(0)}
+			if fn != nil {
+				st := fn.status()
+				for _, k := range []string{"role", "epoch", "watermark", "fenced", "node_id"} {
+					if v, ook := st[k]; ook {
+						hz[k] = v
+					}
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(hz)
 		})
+		mux.Handle("/trace", trace.Handler(rec))
 		mux.HandleFunc("/replstatus", func(w http.ResponseWriter, _ *http.Request) {
 			st := map[string]any{"role": "standalone", "watermark": int64(0)}
 			if fn != nil {

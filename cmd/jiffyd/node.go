@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/jiffy"
 	"repro/jiffy/durable"
@@ -32,6 +33,7 @@ type fleetNode struct {
 	logf   func(format string, args ...any)
 	codec  durable.Codec[string, []byte]
 	reg    *obs.Registry
+	tracer *trace.Recorder // flight recorder shared by every role the node plays
 
 	dir      string
 	shards   int
@@ -241,6 +243,7 @@ func (n *fleetNode) startRunner(addr string) {
 	r := repl.NewRunner(rst, n.codec, addr, repl.RunnerOptions{
 		Metrics: n.replMet,
 		Logf:    n.logf,
+		Tracer:  n.tracer,
 	})
 	n.mu.Lock()
 	n.runner = r
@@ -271,6 +274,7 @@ func (n *fleetNode) startSource(st repl.SourceStore[string, []byte]) error {
 		Metrics:     n.replMet,
 		Logf:        n.logf,
 		OnPeerEpoch: n.onPeerEpoch,
+		Tracer:      n.tracer,
 	})
 	go s.Serve(rln)
 	n.mu.Lock()
@@ -338,6 +342,7 @@ func (n *fleetNode) repoint(p wire.Member) error {
 	r := repl.NewRunner(rst, n.codec, p.ReplAddr, repl.RunnerOptions{
 		Metrics: n.replMet,
 		Logf:    n.logf,
+		Tracer:  n.tracer,
 	})
 	n.mu.Lock()
 	if n.rstore != rst {

@@ -18,6 +18,11 @@
 //	kill -9 <primary>; jiffyctl -ctl replica:7423 promote
 //	go run ./examples/netkv -addr replica:7430 -verify acked.txt
 //
+// With -trace-sample a fraction of requests carry a wire-propagated
+// trace ID (DESIGN.md §13); the server's /trace endpoint (and `jiffyctl
+// trace`) then shows their per-stage latency breakdown, stitched from
+// client enqueue to WAL fsync to replica apply.
+//
 // With a fleet running -auto-failover no promote step is needed:
 // -rediscover makes the workload itself ride through the failover —
 // writes that hit a dead or fenced server probe the fleet for the
@@ -33,6 +38,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/trace"
 	"repro/jiffy"
 	"repro/jiffy/client"
 	"repro/jiffy/durable"
@@ -46,10 +52,17 @@ func main() {
 	record := flag.String("record", "", "write every acked key and its final value to this file (consumed by -verify)")
 	verify := flag.String("verify", "", "verify every key in this file against the server and exit (non-zero on any lost or stale key)")
 	rediscover := flag.Bool("rediscover", false, "survive failovers: writes hitting a dead, read-only or fenced server probe the fleet for the current primary and retry there")
+	traceSample := flag.Float64("trace-sample", 0, "propagate a trace ID on this fraction of requests (0..1); the server's /trace endpoint then stitches their spans end to end")
 	flag.Parse()
 
 	codec := durable.Codec[string, []byte]{Key: durable.StringEnc(), Value: durable.BytesEnc()}
 	opts := client.Options{Conns: *conns}
+	var rec *trace.Recorder
+	if *traceSample > 0 {
+		rec = trace.NewRecorder(0)
+		opts.Tracer = rec
+		opts.TraceSample = *traceSample
+	}
 	if *replicas != "" {
 		opts.Replicas = strings.Split(*replicas, ",")
 	}
@@ -148,6 +161,18 @@ func main() {
 		}
 	}
 
+	if rec != nil {
+		// The client records its own spans (round trip, queue wait) into
+		// its local recorder; report how many requests carried a trace ID
+		// so smoke tests can assert propagation actually happened.
+		traced := map[uint64]bool{}
+		for _, sp := range rec.Snapshot() {
+			if sp.Trace != 0 {
+				traced[sp.Trace] = true
+			}
+		}
+		fmt.Printf("netkv: traced %d requests end to end\n", len(traced))
+	}
 	fmt.Printf("netkv: ok (%d keys written, %d scanned at version %d)\n", *n, seen, snap.Version())
 	os.Exit(0)
 }

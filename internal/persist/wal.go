@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // WAL file format. A segment is
@@ -80,6 +82,17 @@ type WALOptions struct {
 	// lock held: it must return quickly and must not call back into the
 	// WAL (a channel send or condition signal is the intended body).
 	OnRotate func(seq uint64, maxVer int64)
+
+	// Tracer, when non-nil, receives a batch-level fsync-stage span (trace
+	// ID 0, Extra = records flushed) from each group-commit leader. The
+	// per-request wal stage — queue wait plus this fsync, as one appender
+	// experienced it — is recorded a layer up, around Append.
+	Tracer *trace.Recorder
+
+	// FsyncDelay injects an artificial sleep before every fsync (fault
+	// injection: makes the wal/fsync stages dominate a request so trace
+	// attribution can be demonstrated and tested). Zero disables.
+	FsyncDelay time.Duration
 }
 
 func (o WALOptions) withDefaults() WALOptions {
@@ -364,10 +377,16 @@ func (w *WAL) writeBatch(batch []*appendReq) error {
 	}
 	if !w.opts.NoSync {
 		start := time.Now()
+		if d := w.opts.FsyncDelay; d > 0 {
+			time.Sleep(d) // fault injection; counted in the fsync stage
+		}
 		if err := w.f.Sync(); err != nil {
 			return err
 		}
 		w.met.FsyncSeconds.ObserveSince(start)
+		if tr := w.opts.Tracer; tr != nil {
+			tr.Record(trace.StageFsync, 0, 0, start, time.Since(start), int64(len(batch)))
+		}
 	}
 	w.size += int64(len(buf))
 	w.curMax = maxVer

@@ -475,6 +475,7 @@ func TestReplPromoteAppliesPending(t *testing.T) {
 	body = binary.LittleEndian.AppendUint32(body, uint32(len(recs)))
 	for _, rec := range recs {
 		body = binary.LittleEndian.AppendUint64(body, uint64(rec.Version))
+		body = binary.AppendUvarint(body, 0) // proto-3 trace ID
 		body = wire.AppendBytes(body, rec.Payload)
 	}
 	if _, err := r.applyBatch(cli, nil, body); err != nil {
@@ -513,7 +514,7 @@ type captureFeed struct {
 
 func (f *captureFeed) Begin() uint64  { return 0 }
 func (f *captureFeed) Abort(_ uint64) {}
-func (f *captureFeed) Publish(_ uint64, ver int64, payload []byte) {
+func (f *captureFeed) Publish(_ uint64, ver int64, payload []byte, _ uint64) {
 	f.mu.Lock()
 	f.recs = append(f.recs, durable.TailRecord{Version: ver, Payload: append([]byte(nil), payload...)})
 	f.mu.Unlock()

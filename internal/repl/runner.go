@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/jiffy"
 	"repro/jiffy/durable"
@@ -50,6 +51,12 @@ type RunnerOptions struct {
 
 	// Metrics receives the runner's instrumentation; nil disables it.
 	Metrics *Metrics
+
+	// Tracer, when non-nil, receives a repl_apply span for every traced
+	// record applied to the local store: the replica-side half of a write's
+	// end-to-end trace, joined to the primary's spans by the trace ID the
+	// proto-3 stream carries.
+	Tracer *trace.Recorder
 }
 
 func (o RunnerOptions) withDefaults() RunnerOptions {
@@ -90,7 +97,7 @@ type Runner[K cmp.Ordered, V any] struct {
 
 	// Loop-goroutine state (owned by loop; by Promote's caller after
 	// Stop).
-	pending map[int64][]byte
+	pending map[int64]pendingRec
 	bootVer int64
 	bootOps []jiffy.BatchOp[K, V]
 
@@ -120,10 +127,18 @@ func NewRunner[K cmp.Ordered, V any](store ReplicaStore[K, V], codec durable.Cod
 		opts:    opts,
 		met:     opts.Metrics,
 		bo:      &bo,
-		pending: make(map[int64][]byte),
+		pending: make(map[int64]pendingRec),
 		stopCh:  make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+}
+
+// pendingRec is one buffered stream record awaiting its frontier: the
+// copied payload plus the trace ID the proto-3 stream attached (0
+// untraced).
+type pendingRec struct {
+	payload []byte
+	tid     uint64
 }
 
 func (r *Runner[K, V]) logf(format string, args ...any) {
@@ -181,7 +196,7 @@ func (r *Runner[K, V]) PromoteAt(epoch int64) (int64, error) {
 	sort.Slice(vers, func(i, j int) bool { return vers[i] < vers[j] })
 	maxV := int64(0)
 	for _, v := range vers {
-		if err := r.store.ApplyRecord(v, r.pending[v]); err != nil {
+		if err := r.store.ApplyRecord(v, r.pending[v].payload); err != nil {
 			return 0, fmt.Errorf("repl: promote: apply buffered record at version %d: %w", v, err)
 		}
 		delete(r.pending, v)
@@ -272,7 +287,7 @@ func (r *Runner[K, V]) session(c net.Conn) error {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	hello := binary.LittleEndian.AppendUint32(nil, 2)
+	hello := binary.LittleEndian.AppendUint32(nil, 3)
 	hello = binary.LittleEndian.AppendUint64(hello, uint64(r.store.Watermark()))
 	hello = binary.LittleEndian.AppendUint64(hello, uint64(r.store.Epoch()))
 	if err := r.writeFrame(c, wire.OpReplHello, hello); err != nil {
@@ -399,18 +414,26 @@ func (r *Runner[K, V]) applyBatch(c net.Conn, ackBuf, body []byte) ([]byte, erro
 	p := body[20:]
 	wm := r.store.Watermark()
 	for i := uint32(0); i < n; i++ {
+		// Proto-3 record layout: i64 version | uvarint traceID | uvarint
+		// plen | payload (the hello announced proto 3, so the source
+		// always sends the trace ID; it is one byte for the untraced
+		// common case).
 		if len(p) < 8 {
 			return ackBuf, fmt.Errorf("repl: truncated batch record header")
 		}
 		ver := int64(binary.LittleEndian.Uint64(p))
-		payload, rest, err := wire.TakeBytes(p[8:])
+		tid, un := binary.Uvarint(p[8:])
+		if un <= 0 {
+			return ackBuf, fmt.Errorf("repl: truncated batch record trace ID")
+		}
+		payload, rest, err := wire.TakeBytes(p[8+un:])
 		if err != nil {
 			return ackBuf, fmt.Errorf("repl: batch record payload: %w", err)
 		}
 		p = rest
 		if ver > wm {
 			// Copy: payload aliases the connection's read buffer.
-			r.pending[ver] = append([]byte(nil), payload...)
+			r.pending[ver] = pendingRec{payload: append([]byte(nil), payload...), tid: tid}
 		}
 	}
 	ackBuf, err := r.sendAck(c, ackBuf, lastSeq)
@@ -425,9 +448,15 @@ func (r *Runner[K, V]) applyBatch(c net.Conn, ackBuf, body []byte) ([]byte, erro
 			}
 		}
 		sort.Slice(vers, func(i, j int) bool { return vers[i] < vers[j] })
+		tr := r.opts.Tracer
 		for _, v := range vers {
-			if err := r.store.ApplyRecord(v, r.pending[v]); err != nil {
+			rec := r.pending[v]
+			start := time.Now()
+			if err := r.store.ApplyRecord(v, rec.payload); err != nil {
 				return ackBuf, err
+			}
+			if tr != nil && rec.tid != 0 {
+				tr.Record(trace.StageReplApply, rec.tid, 0, start, time.Since(start), int64(len(rec.payload)))
 			}
 			delete(r.pending, v)
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/jiffy"
 	"repro/jiffy/durable"
@@ -72,6 +73,11 @@ type SourceOptions struct {
 	// fences the node (stops writes, demotes); the offending connection
 	// is refused either way.
 	OnPeerEpoch func(epoch int64)
+
+	// Tracer, when non-nil, receives the source's flight-recorder spans:
+	// repl_stream (a traced record's publish-to-socket-write latency) and
+	// repl_ack (batch write to replica receipt acknowledgement).
+	Tracer *trace.Recorder
 }
 
 func (o SourceOptions) withDefaults() SourceOptions {
@@ -225,10 +231,13 @@ func (s *Source[K, V]) handle(c net.Conn) {
 		return
 	}
 	proto := binary.LittleEndian.Uint32(body)
-	if proto != 1 && proto != 2 {
+	if proto < 1 || proto > 3 {
 		s.logf("repl: %s: unsupported protocol %d", c.RemoteAddr(), proto)
 		return
 	}
+	// Proto 3 record layout carries a per-record trace ID; older replicas
+	// get the proto<=2 layout on the same stream code path.
+	traced := proto >= 3
 	want := int64(binary.LittleEndian.Uint64(body[4:]))
 	forceBootstrap := false
 	if proto >= 2 {
@@ -274,15 +283,61 @@ func (s *Source[K, V]) handle(c net.Conn) {
 	if forceBootstrap {
 		want = -1
 	}
-	sb, filter, err := s.catchUp(c, want)
+	sb, filter, err := s.catchUp(c, want, traced)
 	if err != nil {
 		s.logf("repl: %s: catch-up from version %d: %v", c.RemoteAddr(), want, err)
 		return
 	}
 	defer s.tap.unsubscribe(sb)
-	go s.readAcks(c, sb)
+	var at *ackTrack
+	if s.opts.Tracer != nil {
+		at = &ackTrack{}
+	}
+	go s.readAcks(c, sb, at)
 	sb.markSynced()
-	s.stream(c, sb, filter)
+	s.stream(c, sb, filter, traced, at)
+}
+
+// ackTrack remembers when each streamed batch hit the socket, so the
+// replica's receipt acknowledgement can be turned into a repl_ack span.
+// Bounded: past ackTrackWindow outstanding sends the oldest is dropped
+// (its span is lost, nothing ever blocks on it). Stream goroutine pushes,
+// ack goroutine pops.
+type ackTrack struct {
+	mu  sync.Mutex
+	buf []ackSent
+}
+
+type ackSent struct {
+	seq    uint64
+	tid    uint64 // first traced record in the batch (0: none)
+	sentAt time.Time
+}
+
+const ackTrackWindow = 64
+
+func (a *ackTrack) push(seq, tid uint64, sentAt time.Time) {
+	a.mu.Lock()
+	if len(a.buf) >= ackTrackWindow {
+		a.buf = append(a.buf[:0], a.buf[1:]...)
+	}
+	a.buf = append(a.buf, ackSent{seq: seq, tid: tid, sentAt: sentAt})
+	a.mu.Unlock()
+}
+
+// pop removes every send at or below seq and records its repl_ack span.
+func (a *ackTrack) pop(tr *trace.Recorder, seq uint64, now time.Time) {
+	a.mu.Lock()
+	n := 0
+	for n < len(a.buf) && a.buf[n].seq <= seq {
+		n++
+	}
+	acked := a.buf[:n]
+	for _, e := range acked {
+		tr.Record(trace.StageReplAck, e.tid, 0, e.sentAt, now.Sub(e.sentAt), 0)
+	}
+	a.buf = append(a.buf[:0], a.buf[n:]...)
+	a.mu.Unlock()
 }
 
 // catchUp brings a replica at watermark want level with the stream and
@@ -292,7 +347,7 @@ func (s *Source[K, V]) handle(c net.Conn) {
 // is read, so any record missing from the read is published after the
 // subscription point and arrives on the stream; overlap is resolved by
 // the replica, which de-duplicates by version (versions are unique).
-func (s *Source[K, V]) catchUp(c net.Conn, want int64) (*sub, int64, error) {
+func (s *Source[K, V]) catchUp(c net.Conn, want int64, traced bool) (*sub, int64, error) {
 	// Tier 1: the ring still holds every record above want.
 	if sb, ok := s.tap.subscribeRing(want); ok {
 		return sb, want, nil
@@ -304,7 +359,7 @@ func (s *Source[K, V]) catchUp(c net.Conn, want int64) (*sub, int64, error) {
 		sb, frontier := s.tap.subscribe(false)
 		recs, err := s.store.TailAbove(want)
 		if err == nil {
-			if err := s.sendDiskTail(c, recs, frontier); err != nil {
+			if err := s.sendDiskTail(c, recs, frontier, traced); err != nil {
 				s.tap.unsubscribe(sb)
 				return nil, 0, err
 			}
@@ -326,14 +381,20 @@ func (s *Source[K, V]) catchUp(c net.Conn, want int64) (*sub, int64, error) {
 }
 
 // appendBatchFrame appends one OpReplBatch frame carrying recs (already
-// filtered) to dst.
-func appendBatchFrame(dst []byte, frontier int64, lastSeq uint64, recs []durable.TailRecord) []byte {
+// filtered) to dst. traced selects the proto-3 record layout, which
+// carries each record's trace ID between version and payload.
+func appendBatchFrame(dst []byte, frontier int64, lastSeq uint64, recs []durable.TailRecord, traced bool) []byte {
 	buf, lenAt := wire.BeginFrame(dst, 0, wire.OpReplBatch)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(frontier))
 	buf = binary.LittleEndian.AppendUint64(buf, lastSeq)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
 	for _, r := range recs {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Version))
+		if traced {
+			// Uvarint: the untraced common case (sampling keeps traced
+			// records rare) costs one byte, not eight.
+			buf = binary.AppendUvarint(buf, r.Tid)
+		}
 		buf = wire.AppendBytes(buf, r.Payload)
 	}
 	return wire.EndFrame(buf, lenAt)
@@ -350,7 +411,7 @@ func (s *Source[K, V]) writeAll(c net.Conn, buf []byte) error {
 // lastSeq 0 (they predate the stream cursor) and the frontier captured
 // at subscription: every record at or below it was durable before the
 // subscription point and is therefore in this tail.
-func (s *Source[K, V]) sendDiskTail(c net.Conn, recs []durable.TailRecord, frontier int64) error {
+func (s *Source[K, V]) sendDiskTail(c net.Conn, recs []durable.TailRecord, frontier int64, traced bool) error {
 	var frame []byte
 	for len(recs) > 0 {
 		n, bytes := 0, int64(0)
@@ -362,7 +423,7 @@ func (s *Source[K, V]) sendDiskTail(c net.Conn, recs []durable.TailRecord, front
 			bytes += sz
 			n++
 		}
-		frame = appendBatchFrame(frame[:0], frontier, 0, recs[:n])
+		frame = appendBatchFrame(frame[:0], frontier, 0, recs[:n], traced)
 		if err := s.writeAll(c, frame); err != nil {
 			return err
 		}
@@ -436,10 +497,12 @@ func (s *Source[K, V]) sendBootstrap(c net.Conn) (int64, error) {
 // when there is not. Records at or below filter are redundant with the
 // catch-up tier and dropped (their sequence numbers are still consumed
 // and acknowledged).
-func (s *Source[K, V]) stream(c net.Conn, sb *sub, filter int64) {
+func (s *Source[K, V]) stream(c net.Conn, sb *sub, filter int64, traced bool, at *ackTrack) {
 	var frame []byte
 	recs := make([]durable.TailRecord, 0, s.opts.BatchRecords)
+	pubs := make([]int64, 0, s.opts.BatchRecords) // publish nanos, parallel to recs
 	lastSeq := uint64(0)
+	tr := s.opts.Tracer
 	for {
 		batch, frontier, err := sb.nextBatch(s.opts.BatchRecords, s.opts.BatchBytes, s.opts.HeartbeatEvery)
 		if err != nil {
@@ -448,17 +511,37 @@ func (s *Source[K, V]) stream(c net.Conn, sb *sub, filter int64) {
 			}
 			return
 		}
-		recs = recs[:0]
+		recs, pubs = recs[:0], pubs[:0]
 		for _, e := range batch {
 			if e.ver > filter {
-				recs = append(recs, durable.TailRecord{Version: e.ver, Payload: e.payload})
+				recs = append(recs, durable.TailRecord{Version: e.ver, Payload: e.payload, Tid: e.tid})
+				pubs = append(pubs, e.pub)
 			}
 			lastSeq = e.seq
 		}
-		frame = appendBatchFrame(frame[:0], frontier, lastSeq, recs)
+		frame = appendBatchFrame(frame[:0], frontier, lastSeq, recs, traced)
 		if err := s.writeAll(c, frame); err != nil {
 			s.logf("repl: %s: write: %v", c.RemoteAddr(), err)
 			return
+		}
+		if tr != nil && len(batch) > 0 {
+			now := time.Now()
+			batchTid := uint64(0)
+			for i, r := range recs {
+				if r.Tid == 0 {
+					continue
+				}
+				if batchTid == 0 {
+					batchTid = r.Tid
+				}
+				// repl_stream: publish (WAL ack on the primary) to the byte
+				// hitting this replica's socket.
+				pub := time.Unix(0, pubs[i])
+				tr.Record(trace.StageReplStream, r.Tid, 0, pub, now.Sub(pub), int64(len(r.Payload)))
+			}
+			if at != nil {
+				at.push(lastSeq, batchTid, now)
+			}
 		}
 	}
 }
@@ -466,7 +549,7 @@ func (s *Source[K, V]) stream(c net.Conn, sb *sub, filter int64) {
 // readAcks drains OpReplAck frames, feeding the subscriber's receipt
 // cursor (synchronous-ack waits) and reported watermark (lag gauges). A
 // read error closes the connection, which unblocks the sender.
-func (s *Source[K, V]) readAcks(c net.Conn, sb *sub) {
+func (s *Source[K, V]) readAcks(c net.Conn, sb *sub, at *ackTrack) {
 	var buf []byte
 	for {
 		_, op, body, nbuf, err := wire.ReadFrame(c, buf)
@@ -480,6 +563,10 @@ func (s *Source[K, V]) readAcks(c net.Conn, sb *sub) {
 			c.Close()
 			return
 		}
-		sb.ack(binary.LittleEndian.Uint64(body), int64(binary.LittleEndian.Uint64(body[8:])))
+		seq := binary.LittleEndian.Uint64(body)
+		sb.ack(seq, int64(binary.LittleEndian.Uint64(body[8:])))
+		if at != nil {
+			at.pop(s.opts.Tracer, seq, time.Now())
+		}
 	}
 }

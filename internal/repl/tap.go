@@ -54,11 +54,16 @@ type Tap struct {
 	subs      map[*sub]struct{}
 }
 
-// entry is one published record in the ring.
+// entry is one published record in the ring. tid is the originating
+// request's trace ID (0 untraced) and pub the publish time in unix nanos:
+// the source turns them into repl_stream spans — publish to socket write —
+// for traced records.
 type entry struct {
 	seq     uint64
 	ver     int64
 	payload []byte
+	tid     uint64
+	pub     int64
 }
 
 // TapOptions tunes a Tap. The zero value selects the defaults.
@@ -139,8 +144,9 @@ func (t *Tap) Abort(token uint64) {
 // Publish implements durable.Feed. The payload is copied (the caller's
 // buffer is pooled). With SyncAcks set it blocks — bounded by SyncTimeout
 // — until every synced subscriber acknowledged receipt.
-func (t *Tap) Publish(token uint64, version int64, payload []byte) {
+func (t *Tap) Publish(token uint64, version int64, payload []byte, tid uint64) {
 	p := append([]byte(nil), payload...)
+	pub := time.Now().UnixNano()
 	t.opts.Metrics.RecordsPublished.Inc()
 	t.mu.Lock()
 	delete(t.inflight, token)
@@ -152,7 +158,7 @@ func (t *Tap) Publish(token uint64, version int64, payload []byte) {
 	if len(t.ring) == 0 {
 		t.firstSeq = seq
 	}
-	t.ring = append(t.ring, entry{seq: seq, ver: version, payload: p})
+	t.ring = append(t.ring, entry{seq: seq, ver: version, payload: p, tid: tid, pub: pub})
 	t.ringBytes += int64(len(p))
 	t.evictLocked()
 	t.cond.Broadcast()

@@ -8,7 +8,7 @@ import (
 // publish pushes one record through the full Begin/Publish bracket.
 func publish(t *Tap, ver int64, payload string) {
 	tok := t.Begin()
-	t.Publish(tok, ver, []byte(payload))
+	t.Publish(tok, ver, []byte(payload), 0)
 }
 
 func TestTapStreamDelivery(t *testing.T) {
@@ -49,7 +49,7 @@ func TestTapFrontierHeldByInflight(t *testing.T) {
 	if f := tap.Frontier(); f != 10 {
 		t.Fatalf("frontier %d with an in-flight update, want 10", f)
 	}
-	tap.Publish(slow, 12, []byte("slow"))
+	tap.Publish(slow, 12, []byte("slow"), 0)
 	if f := tap.Frontier(); f != 12 {
 		t.Fatalf("frontier %d after both published, want 12", f)
 	}

@@ -4,7 +4,9 @@ import (
 	"cmp"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -127,7 +129,17 @@ func (c *conn[K, V]) writeLoop() {
 			}
 		}
 		if !broken {
+			tr := c.st.srv.opts.Tracer
+			var fstart time.Time
+			if tr != nil {
+				fstart = time.Now()
+			}
 			if _, err := c.c.Write(wbuf); err == nil {
+				if tr != nil {
+					// Batch-level flush span (trace ID 0), as in the
+					// event-loop core's writev path.
+					tr.Record(trace.StageFlush, 0, 0, fstart, time.Since(fstart), int64(len(wbuf)))
+				}
 				c.st.srv.metrics.bytesOut.Add(uint64(len(wbuf)))
 			} else {
 				// Sever the connection so the reader unblocks; keep

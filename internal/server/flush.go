@@ -1,6 +1,11 @@
 package server
 
-import "repro/internal/netpoll"
+import (
+	"time"
+
+	"repro/internal/netpoll"
+	"repro/internal/trace"
+)
 
 // This file is the write half of the event-loop core: per-connection
 // output buffering, writev flush coalescing, and the backpressure that
@@ -127,6 +132,11 @@ func (l *loop[K, V]) flush(c *elConn[K, V]) {
 				break // resume reading below; the leftover flushes next pass
 			}
 			l.iov = c.out.pending(l.iov[:0])
+			tr := l.srv.opts.Tracer
+			var fstart time.Time
+			if tr != nil {
+				fstart = time.Now()
+			}
 			n, err := l.p.Writev(c.fd, l.iov)
 			if err == netpoll.ErrAgain {
 				l.setInterest(c, !c.paused, true)
@@ -135,6 +145,14 @@ func (l *loop[K, V]) flush(c *elConn[K, V]) {
 			if err != nil {
 				l.teardown(c)
 				return
+			}
+			if tr != nil {
+				// Flush spans are batch-level (trace ID 0): one writev
+				// carries many responses, so per-request flush attribution
+				// would mean tracking byte ranges per trace — the stage
+				// histogram and Extra byte count answer the capacity
+				// question without that bookkeeping.
+				tr.Record(trace.StageFlush, 0, 0, fstart, time.Since(fstart), int64(n))
 			}
 			m := l.srv.metrics
 			m.bytesOut.Add(uint64(n))

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"encoding/binary"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/jiffy"
 	"repro/jiffy/durable"
@@ -130,16 +133,42 @@ func opIndex(op byte) int {
 }
 
 // exec is the instrumented request executor both cores call instead of
-// connState.handle: count, time, execute, classify the response status.
+// connState.handle: strip the trace envelope, arm the request's trace
+// context, count, time, execute, classify the response status, and leave
+// the server-side span (plus the slow-request log line when the request
+// crossed Options.TraceSlow).
 func (st *connState[K, V]) exec(dst []byte, id uint64, op byte, body []byte) []byte {
 	m := st.srv.metrics
+	var tid uint64
+	if op&wire.FlagTraced != 0 {
+		if len(body) < 8 {
+			return errFrame(dst, id, wire.StatusBadRequest, "traced request: short body")
+		}
+		tid = binary.LittleEndian.Uint64(body)
+		body = body[8:]
+		op &= wire.OpMask
+	}
+	st.tctx.Arm(st.srv.opts.Tracer, tid, op)
 	oi := opIndex(op)
 	m.inflight.Add(1)
 	start := time.Now()
 	out := st.handle(dst, id, op, body)
-	m.latency[oi].ObserveSince(start)
+	dur := time.Since(start)
+	m.latency[oi].Observe(dur.Seconds())
 	m.inflight.Add(-1)
 	m.requests[oi].Inc()
+	if tr := st.srv.opts.Tracer; tr != nil {
+		tr.Record(trace.StageServer, tid, op, start, dur, int64(len(out)-len(dst)))
+		if slow := st.srv.opts.TraceSlow; slow > 0 && dur >= slow && st.srv.opts.TraceLog != nil {
+			wal := time.Duration(st.tctx.StageNanos(trace.StageWAL))
+			st.srv.opts.TraceLog.Warn("slow request",
+				"trace", strconv.FormatUint(tid, 16),
+				"op", opNames[oi],
+				"dur", dur,
+				"stage_wal", wal,
+				"stage_other", dur-wal)
+		}
+	}
 	// The response frame begins at len(dst): u32 len | u64 id | u8 status.
 	if len(out) >= len(dst)+13 {
 		if status := out[len(dst)+12]; int(status) < len(m.responses) {

@@ -34,6 +34,7 @@ package server
 import (
 	"cmp"
 	"errors"
+	"log/slog"
 	"net"
 	"os"
 	"sync"
@@ -42,6 +43,7 @@ import (
 
 	"repro/internal/netpoll"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/jiffy/durable"
 )
@@ -162,6 +164,21 @@ type Options struct {
 	// with it (a primary fences itself; a replica lets its failover
 	// detector repoint). Called from request handlers: it must not block.
 	OnPeerEpoch func(epoch int64)
+
+	// Tracer, when non-nil, receives a span per request at the exec seam
+	// (plus flush spans from both cores) and is threaded into store
+	// writes for WAL attribution; see internal/trace. Nil disables
+	// tracing entirely — the cost is one predicted branch per request.
+	Tracer *trace.Recorder
+
+	// TraceSlow, when positive, logs one structured line (via TraceLog)
+	// for every request whose service time crosses it, with the
+	// per-stage breakdown from the request's trace context.
+	TraceSlow time.Duration
+
+	// TraceLog receives the slow-request lines. Nil disables them even
+	// when TraceSlow is set.
+	TraceLog *slog.Logger
 }
 
 // maxScanPageBytes caps the encoded size of one scan page, comfortably

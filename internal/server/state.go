@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/jiffy"
 	"repro/jiffy/durable"
@@ -49,6 +50,13 @@ type connState[K cmp.Ordered, V any] struct {
 	kbuf  []byte // key encoding scratch
 	vbuf  []byte // value encoding scratch
 	batch *jiffy.Batch[K, V]
+
+	// tctx is the request's trace context, re-armed by exec for every
+	// request (same reuse discipline as the scratch buffers: exactly one
+	// goroutine executes this connection's requests at a time, so tracing
+	// allocates nothing per request). Store writes receive &tctx to
+	// attribute their WAL time and propagate the trace ID downstream.
+	tctx trace.Ctx
 }
 
 // closeSessions closes every session (connection teardown).
@@ -203,7 +211,7 @@ func (st *connState[K, V]) handlePut(dst []byte, id uint64, body []byte) []byte 
 	if err != nil {
 		return errFrame(dst, id, wire.StatusBadRequest, "put: "+err.Error())
 	}
-	ver, err := st.srv.store.Put(key, val)
+	ver, err := st.srv.store.Put(key, val, &st.tctx)
 	if err != nil {
 		return writeFailFrame(dst, id, "put", err)
 	}
@@ -221,7 +229,7 @@ func (st *connState[K, V]) handleDel(dst []byte, id uint64, body []byte) []byte 
 	if err != nil {
 		return errFrame(dst, id, wire.StatusBadRequest, "del: "+err.Error())
 	}
-	ver, ok, err := st.srv.store.Remove(key)
+	ver, ok, err := st.srv.store.Remove(key, &st.tctx)
 	if err != nil {
 		return writeFailFrame(dst, id, "del", err)
 	}
@@ -280,7 +288,7 @@ func (st *connState[K, V]) handleBatch(dst []byte, id uint64, body []byte) []byt
 			return errFrame(dst, id, wire.StatusBadRequest, "batch: unknown op kind")
 		}
 	}
-	ver, err := st.srv.store.BatchUpdate(b)
+	ver, err := st.srv.store.BatchUpdate(b, &st.tctx)
 	if err != nil {
 		return writeFailFrame(dst, id, "batch", err)
 	}

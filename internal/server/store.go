@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"sync/atomic"
 
+	"repro/internal/trace"
 	"repro/jiffy"
 	"repro/jiffy/durable"
 )
@@ -16,6 +17,9 @@ import (
 // floor for replica reads (version 0 when the update performed nothing:
 // a remove of an absent key, an empty batch, or an in-memory store that
 // does not track versions).
+// Updates also take the request's trace context (nil-safe, may be nil):
+// durable backends attribute their WAL time to it and propagate its trace
+// ID into the replication feed; in-memory backends ignore it.
 // All methods must be safe for concurrent use — every connection's handler
 // goroutine calls them directly, with no server-side serialization, so the
 // store's own concurrency story (lock-free updates, O(1) snapshots) is
@@ -25,13 +29,13 @@ type Store[K cmp.Ordered, V any] interface {
 	Get(key K) (V, bool)
 	// Put sets the value for key, durable when the store is, reporting
 	// the commit version.
-	Put(key K, val V) (int64, error)
+	Put(key K, val V, tc *trace.Ctx) (int64, error)
 	// Remove deletes key, reporting the commit version and whether it
 	// was present.
-	Remove(key K) (int64, bool, error)
+	Remove(key K, tc *trace.Ctx) (int64, bool, error)
 	// BatchUpdate applies b in one atomic (cross-shard) step, reporting
 	// the commit version.
-	BatchUpdate(b *jiffy.Batch[K, V]) (int64, error)
+	BatchUpdate(b *jiffy.Batch[K, V], tc *trace.Ctx) (int64, error)
 	// Snapshot registers a consistent snapshot of the store.
 	Snapshot() Snap[K, V]
 }
@@ -47,7 +51,8 @@ type Snap[K cmp.Ordered, V any] interface {
 }
 
 // memStore adapts the in-memory sharded frontend to Store (updates cannot
-// fail, so the error returns are uniformly nil).
+// fail, so the error returns are uniformly nil; there is no durable or
+// replicated stage to attribute, so the trace context is unused).
 type memStore[K cmp.Ordered, V any] struct {
 	s *jiffy.Sharded[K, V]
 }
@@ -58,14 +63,14 @@ func NewMemStore[K cmp.Ordered, V any](s *jiffy.Sharded[K, V]) Store[K, V] {
 }
 
 func (m memStore[K, V]) Get(key K) (V, bool) { return m.s.Get(key) }
-func (m memStore[K, V]) Put(key K, val V) (int64, error) {
+func (m memStore[K, V]) Put(key K, val V, _ *trace.Ctx) (int64, error) {
 	return m.s.PutVersioned(key, val), nil
 }
-func (m memStore[K, V]) Remove(key K) (int64, bool, error) {
+func (m memStore[K, V]) Remove(key K, _ *trace.Ctx) (int64, bool, error) {
 	ver, ok := m.s.RemoveVersioned(key)
 	return ver, ok, nil
 }
-func (m memStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) (int64, error) {
+func (m memStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V], _ *trace.Ctx) (int64, error) {
 	return m.s.BatchUpdateVersioned(b), nil
 }
 func (m memStore[K, V]) Snapshot() Snap[K, V] { return m.s.Snapshot() }
@@ -82,11 +87,15 @@ func NewDurableStore[K cmp.Ordered, V any](d *durable.Sharded[K, V]) Store[K, V]
 	return durStore[K, V]{d: d}
 }
 
-func (s durStore[K, V]) Get(key K) (V, bool)               { return s.d.Get(key) }
-func (s durStore[K, V]) Put(key K, val V) (int64, error)   { return s.d.PutV(key, val) }
-func (s durStore[K, V]) Remove(key K) (int64, bool, error) { return s.d.RemoveV(key) }
-func (s durStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) (int64, error) {
-	return s.d.BatchUpdateV(b)
+func (s durStore[K, V]) Get(key K) (V, bool) { return s.d.Get(key) }
+func (s durStore[K, V]) Put(key K, val V, tc *trace.Ctx) (int64, error) {
+	return s.d.PutVT(key, val, tc)
+}
+func (s durStore[K, V]) Remove(key K, tc *trace.Ctx) (int64, bool, error) {
+	return s.d.RemoveVT(key, tc)
+}
+func (s durStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V], tc *trace.Ctx) (int64, error) {
+	return s.d.BatchUpdateVT(b, tc)
 }
 func (s durStore[K, V]) Snapshot() Snap[K, V] { return s.d.Snapshot() }
 
@@ -103,10 +112,14 @@ func NewReplicaStore[K cmp.Ordered, V any](r *durable.Replica[K, V]) Store[K, V]
 	return replicaStore[K, V]{r: r}
 }
 
-func (s replicaStore[K, V]) Get(key K) (V, bool)               { return s.r.Get(key) }
-func (s replicaStore[K, V]) Put(key K, val V) (int64, error)   { return s.r.PutV(key, val) }
-func (s replicaStore[K, V]) Remove(key K) (int64, bool, error) { return s.r.RemoveV(key) }
-func (s replicaStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) (int64, error) {
+func (s replicaStore[K, V]) Get(key K) (V, bool) { return s.r.Get(key) }
+func (s replicaStore[K, V]) Put(key K, val V, _ *trace.Ctx) (int64, error) {
+	return s.r.PutV(key, val)
+}
+func (s replicaStore[K, V]) Remove(key K, _ *trace.Ctx) (int64, bool, error) {
+	return s.r.RemoveV(key)
+}
+func (s replicaStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V], _ *trace.Ctx) (int64, error) {
 	return s.r.BatchUpdateV(b)
 }
 func (s replicaStore[K, V]) Snapshot() Snap[K, V] { return s.r.Snapshot() }
@@ -136,12 +149,14 @@ func (sw *SwitchableStore[K, V]) Swap(s Store[K, V]) { sw.cur.Store(&s) }
 // Current returns the backend currently being served.
 func (sw *SwitchableStore[K, V]) Current() Store[K, V] { return *sw.cur.Load() }
 
-func (sw *SwitchableStore[K, V]) Get(key K) (V, bool)             { return sw.Current().Get(key) }
-func (sw *SwitchableStore[K, V]) Put(key K, val V) (int64, error) { return sw.Current().Put(key, val) }
-func (sw *SwitchableStore[K, V]) Remove(key K) (int64, bool, error) {
-	return sw.Current().Remove(key)
+func (sw *SwitchableStore[K, V]) Get(key K) (V, bool) { return sw.Current().Get(key) }
+func (sw *SwitchableStore[K, V]) Put(key K, val V, tc *trace.Ctx) (int64, error) {
+	return sw.Current().Put(key, val, tc)
 }
-func (sw *SwitchableStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) (int64, error) {
-	return sw.Current().BatchUpdate(b)
+func (sw *SwitchableStore[K, V]) Remove(key K, tc *trace.Ctx) (int64, bool, error) {
+	return sw.Current().Remove(key, tc)
+}
+func (sw *SwitchableStore[K, V]) BatchUpdate(b *jiffy.Batch[K, V], tc *trace.Ctx) (int64, error) {
+	return sw.Current().BatchUpdate(b, tc)
 }
 func (sw *SwitchableStore[K, V]) Snapshot() Snap[K, V] { return sw.Current().Snapshot() }

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the /trace endpoint: a JSON array of recent spans,
+// newest first. Query parameters filter server-side so jiffyctl can ask
+// narrow questions of a busy node:
+//
+//	?trace=HEX     only spans stitched by this trace ID
+//	?stage=NAME    only spans of this stage (e.g. wal, repl_apply)
+//	?min_us=N      only spans at least N microseconds long
+//	?limit=N       at most N spans (default 256)
+//
+// The response is built from one Snapshot: a bounded copy, no locks held
+// against the hot path, no state retained per request.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		limit := 256
+		if s := q.Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				limit = n
+			}
+		}
+		var wantTrace uint64
+		if s := q.Get("trace"); s != "" {
+			wantTrace, _ = strconv.ParseUint(s, 16, 64)
+		}
+		wantStage := q.Get("stage")
+		var minNS int64
+		if s := q.Get("min_us"); s != "" {
+			if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+				minNS = n * 1000
+			}
+		}
+
+		buf := []byte(`{"spans":[`)
+		n := 0
+		for _, sp := range r.Snapshot() {
+			if wantTrace != 0 && sp.Trace != wantTrace {
+				continue
+			}
+			if wantStage != "" && sp.Stage.String() != wantStage {
+				continue
+			}
+			if sp.Dur < minNS {
+				continue
+			}
+			if n == limit {
+				break
+			}
+			if n > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendSpanJSON(buf, sp)
+			n++
+		}
+		buf = append(buf, "]}\n"...)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+	})
+}
+
+// appendSpanJSON renders one span without encoding/json's reflection:
+// the endpoint may be curled in anger on a struggling node.
+func appendSpanJSON(b []byte, sp Span) []byte {
+	b = append(b, `{"trace":"`...)
+	b = strconv.AppendUint(b, sp.Trace, 16)
+	b = append(b, `","stage":"`...)
+	b = append(b, sp.Stage.String()...)
+	b = append(b, `","op":`...)
+	b = strconv.AppendUint(b, uint64(sp.Op), 10)
+	b = append(b, `,"start_ns":`...)
+	b = strconv.AppendInt(b, sp.Start, 10)
+	b = append(b, `,"dur_ns":`...)
+	b = strconv.AppendInt(b, sp.Dur, 10)
+	b = append(b, `,"extra":`...)
+	b = strconv.AppendInt(b, sp.Extra, 10)
+	return append(b, '}')
+}

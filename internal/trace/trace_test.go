@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/testutil"
+)
+
+func anchor() time.Time { return time.Unix(1700000000, 0) }
+
+// TestRecordSnapshotRoundTrip checks every span field survives the
+// seqlock cells and that Snapshot orders newest first.
+func TestRecordSnapshotRoundTrip(t *testing.T) {
+	r := NewRecorder(64)
+	base := anchor()
+	r.Record(StageWAL, 0xabcd, 5, base, 3*time.Millisecond, 42)
+	r.Record(StageServer, 0xabcd, 5, base.Add(time.Second), time.Millisecond, 0)
+
+	spans := r.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("snapshot has %d spans, want 2", len(spans))
+	}
+	if spans[0].Start < spans[1].Start {
+		t.Fatalf("snapshot not newest-first: %d then %d", spans[0].Start, spans[1].Start)
+	}
+	got := spans[1]
+	if got.Trace != 0xabcd || got.Stage != StageWAL || got.Op != 5 ||
+		got.Start != base.UnixNano() || got.Dur != int64(3*time.Millisecond) || got.Extra != 42 {
+		t.Fatalf("span fields mangled: %+v", got)
+	}
+}
+
+// TestWraparound overfills the rings several times over; the snapshot
+// must stay bounded by capacity and every surviving span intact.
+func TestWraparound(t *testing.T) {
+	r := NewRecorder(8) // tiny rings force many laps
+	cap := len(r.stripes) * len(r.stripes[0].slots)
+	base := anchor()
+	for i := 0; i < cap*10; i++ {
+		r.Record(StageServer, uint64(i)+1, 1, base.Add(time.Duration(i)), time.Microsecond, int64(i))
+	}
+	spans := r.Snapshot()
+	if len(spans) == 0 || len(spans) > cap {
+		t.Fatalf("snapshot has %d spans, want 1..%d", len(spans), cap)
+	}
+	for _, sp := range spans {
+		// Tid was written as i+1 and extra as i: a torn cell would break
+		// the invariant.
+		if sp.Trace != uint64(sp.Extra)+1 {
+			t.Fatalf("torn span survived snapshot: %+v", sp)
+		}
+	}
+}
+
+// TestConcurrentWritersAndReaders hammers the recorder from many
+// goroutines while snapshots run — the race detector and the seqlock
+// tear-check do the asserting.
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	r := NewRecorder(32)
+	reg := obs.NewRegistry()
+	r.RegisterMetrics(reg)
+	base := anchor()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				tid := uint64(w)<<32 | uint64(i)
+				r.Record(Stage(i%int(numStages)), tid+1, byte(i), base.Add(time.Duration(i)), time.Microsecond, int64(tid))
+			}
+		}(w)
+	}
+	for rd := 0; rd < 2; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, sp := range r.Snapshot() {
+					if sp.Trace != uint64(sp.Extra)+1 {
+						panic("torn read escaped the seqlock")
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	wgWriters := make(chan struct{})
+	go func() { wg.Wait(); close(wgWriters) }() // writers + readers
+	close(stop)
+	<-wgWriters
+}
+
+// TestSampleRateGatesRingOnly: at rate 0 nothing lands in the ring but
+// the stage histograms still see every span.
+func TestSampleRateGatesRingOnly(t *testing.T) {
+	r := NewRecorder(64)
+	reg := obs.NewRegistry()
+	r.RegisterMetrics(reg)
+	r.SetSampleRate(0)
+	for i := 0; i < 100; i++ {
+		r.Record(StageServer, uint64(i)+1, 1, anchor(), time.Millisecond, 0)
+	}
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("rate 0 wrote %d spans to the ring", len(got))
+	}
+	if got := r.hist[StageServer].Count(); got != 100 {
+		t.Fatalf("histogram saw %d spans at rate 0, want all 100", got)
+	}
+
+	r.SetSampleRate(1)
+	r.Record(StageServer, 7, 1, anchor(), time.Millisecond, 0)
+	if got := r.Snapshot(); len(got) != 1 {
+		t.Fatalf("rate 1 recorded %d spans, want 1", len(got))
+	}
+}
+
+// TestRecordAllocs: the hot path must not allocate.
+func TestRecordAllocs(t *testing.T) {
+	r := NewRecorder(64)
+	base := anchor()
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(StageServer, 1, 1, base, time.Microsecond, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per span, want 0", allocs)
+	}
+}
+
+// TestNilSafety: every method on a nil recorder and nil ctx is a no-op.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	r.Record(StageWAL, 1, 1, anchor(), time.Second, 0)
+	r.SetSampleRate(0.5)
+	r.RegisterMetrics(obs.NewRegistry())
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil recorder snapshot = %v", got)
+	}
+	var c *Ctx
+	c.Arm(nil, 1, 1)
+	c.Observe(StageWAL, anchor())
+	if c.ID() != 0 || c.StageNanos(StageWAL) != 0 {
+		t.Fatalf("nil ctx leaked state")
+	}
+}
+
+// TestCtxAccumulates: Observe feeds both the recorder and the per-stage
+// accumulator, and Arm resets between requests.
+func TestCtxAccumulates(t *testing.T) {
+	r := NewRecorder(64)
+	var c Ctx
+	c.Arm(r, 99, 5)
+	if c.ID() != 99 {
+		t.Fatalf("ID = %d, want 99", c.ID())
+	}
+	c.Observe(StageWAL, time.Now().Add(-2*time.Millisecond))
+	c.Observe(StageWAL, time.Now().Add(-time.Millisecond))
+	if ns := c.StageNanos(StageWAL); ns < int64(3*time.Millisecond) {
+		t.Fatalf("accumulated %dns, want >= 3ms", ns)
+	}
+	c.Arm(r, 100, 5)
+	if c.StageNanos(StageWAL) != 0 {
+		t.Fatalf("Arm did not reset the accumulators")
+	}
+	spans := r.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("ctx recorded %d spans, want 2", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Trace != 99 || sp.Op != 5 || sp.Stage != StageWAL {
+			t.Fatalf("ctx span mangled: %+v", sp)
+		}
+	}
+}
+
+// span mirrors the /trace JSON for decoding in tests.
+type jsonSpan struct {
+	Trace   string `json:"trace"`
+	Stage   string `json:"stage"`
+	Op      byte   `json:"op"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Extra   int64  `json:"extra"`
+}
+
+func getSpans(t *testing.T, srv *httptest.Server, query string) []jsonSpan {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + "/trace?" + query)
+	if err != nil {
+		t.Fatalf("GET /trace: %v", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Spans []jsonSpan `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode /trace: %v", err)
+	}
+	return body.Spans
+}
+
+// TestHandlerFilters drives the /trace endpoint's query parameters, with
+// a leak check: snapshot-serving must retain no goroutines or fds.
+func TestHandlerFilters(t *testing.T) {
+	testutil.LeakCheck(t)
+	r := NewRecorder(256)
+	base := anchor()
+	r.Record(StageServer, 0xbeef, 5, base, 10*time.Millisecond, 0)
+	r.Record(StageWAL, 0xbeef, 5, base, 8*time.Millisecond, 0)
+	r.Record(StageServer, 0xcafe, 3, base.Add(time.Second), 50*time.Microsecond, 0)
+	r.Record(StageFlush, 0, 0, base, time.Millisecond, 4096)
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	if got := getSpans(t, srv, ""); len(got) != 4 {
+		t.Fatalf("unfiltered: %d spans, want 4", len(got))
+	}
+	got := getSpans(t, srv, "trace="+strconv.FormatUint(0xbeef, 16))
+	if len(got) != 2 {
+		t.Fatalf("trace filter: %d spans, want 2", len(got))
+	}
+	for _, sp := range got {
+		if sp.Trace != "beef" {
+			t.Fatalf("trace filter leaked %+v", sp)
+		}
+	}
+	got = getSpans(t, srv, url.Values{"stage": {"wal"}}.Encode())
+	if len(got) != 1 || got[0].Stage != "wal" {
+		t.Fatalf("stage filter: %+v", got)
+	}
+	if got = getSpans(t, srv, "min_us=5000"); len(got) != 2 {
+		t.Fatalf("min_us filter: %d spans, want 2", len(got))
+	}
+	if got = getSpans(t, srv, "limit=1"); len(got) != 1 {
+		t.Fatalf("limit: %d spans, want 1", len(got))
+	}
+	if got[0].DurNS <= 0 || got[0].StartNS == 0 {
+		t.Fatalf("span timestamps missing: %+v", got[0])
+	}
+}

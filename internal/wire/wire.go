@@ -20,12 +20,25 @@
 // codec (jiffy/durable.Codec), exactly as the durability layer encodes log
 // records, so a store's WAL and its wire form share one encoding.
 //
-// The protocol is deliberately minimal: no versioned handshake (the magic
-// of the first frame is the id/op structure itself — a server rejects
-// malformed frames by closing the connection), no compression, no TLS.
-// Those belong to a fronting proxy; this layer's job is to move the
-// paper's operations — point ops, atomic batches, snapshot sessions and
-// cursored scans — with as little framing overhead as possible.
+// The protocol is deliberately minimal: no compression, no TLS (those
+// belong to a fronting proxy), and versioning only where a stream needs
+// it. The client/server half has no handshake at all — a server rejects
+// malformed frames by closing the connection — while the replication
+// half carries an explicit protocol number in OpReplHello. Extensions
+// follow one convention, the proto bump: a new field is appended to an
+// existing frame layout and announced by a higher hello protocol number
+// (proto 2 added the fencing epoch to the hello, proto 3 added the trace
+// ID to streamed records), so an old peer keeps speaking the old layout
+// and a new peer only uses the new field with a peer that announced it.
+// On the request path, where there is no hello, the same idea rides the
+// op byte instead: FlagTraced marks a request whose body is prefixed
+// with an optional trace ID, set only by clients explicitly opted into
+// tracing, and servers that predate it reject the unknown op byte — the
+// failure is confined to the caller who opted in.
+//
+// This layer's job is to move the paper's operations — point ops, atomic
+// batches, snapshot sessions and cursored scans — with as little framing
+// overhead as possible.
 package wire
 
 import (
@@ -101,16 +114,18 @@ const (
 	// zero and unused. See DESIGN.md §11.
 
 	// OpReplHello, replica → primary, opens the stream. Body:
-	// u32 protocol | i64 wantVersion | proto 2: i64 epoch.
+	// u32 protocol | i64 wantVersion | proto >= 2: i64 epoch.
 	// wantVersion is the replica's durable watermark; the primary
 	// resumes with records strictly above it (from its in-memory ring or
 	// its on-disk segments), or falls back to a checkpoint bootstrap
 	// when the tail below wantVersion is gone — or when the replica's
 	// fencing epoch proves its history may have diverged past the
 	// promote boundary. Proto 1 omits the epoch (pre-failover peers);
-	// proto 2 peers receive an OpReplEpoch frame before the catch-up
-	// tier. A hello whose epoch is HIGHER than the serving primary's is
-	// fencing evidence: the primary refuses the stream and fences itself.
+	// proto >= 2 peers receive an OpReplEpoch frame before the catch-up
+	// tier. Proto 3 additionally selects the traced OpReplBatch record
+	// layout (each record carries its uvarint trace ID). A hello whose epoch
+	// is HIGHER than the serving primary's is fencing evidence: the
+	// primary refuses the stream and fences itself.
 	OpReplHello
 
 	// OpReplSnapBegin, primary → replica: a state bootstrap follows.
@@ -131,7 +146,17 @@ const (
 	// OpReplBatch, primary → replica: a batch of WAL records riding the
 	// group-commit boundary, also the heartbeat (n = 0). Body:
 	//
-	//	i64 frontier | u64 lastSeq | u32 n | (i64 version | uvarint plen | payload)*
+	//	i64 frontier | u64 lastSeq | u32 n | record*
+	//
+	// where a record is, by the hello's protocol number,
+	//
+	//	proto <= 2:  i64 version | uvarint plen | payload
+	//	proto 3:     i64 version | uvarint traceID | uvarint plen | payload
+	//
+	// (traceID 0 — a single byte — when the originating write was
+	// untraced or the record was recovered from disk, where trace IDs
+	// are not persisted; sampling keeps traced records the exception,
+	// so the layout change costs one byte per record, not eight).
 	//
 	// frontier is the primary's stability bound: every record with
 	// version <= frontier has been delivered on this stream (or was
@@ -165,6 +190,20 @@ const (
 	// primary rediscovery and replica read routing.
 	OpCluster
 )
+
+// FlagTraced marks a traced request: set on the op byte of any request
+// opcode, it announces that the body is prefixed with a u64 trace ID
+// (little endian) stitching this request's spans across processes (see
+// internal/trace). The server strips the flag and the prefix before
+// dispatch; responses are unchanged (they are matched by id, not trace).
+// Clients set the flag only when tracing is explicitly enabled
+// (-trace-sample), so a pre-trace server that rejects the unknown op
+// byte only ever affects a caller who opted in — the request-path analog
+// of the repl hello's proto bump.
+const FlagTraced = byte(0x80)
+
+// OpMask recovers the opcode from a request's op byte (strips FlagTraced).
+const OpMask = byte(0x7f)
 
 // Scan cursor modes (OpScan body).
 const (

@@ -24,12 +24,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/repl"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/jiffy"
 	"repro/jiffy/durable"
@@ -95,6 +97,21 @@ type Options struct {
 	// RetryBudget bounds one write's rediscovery retry loop (default
 	// 10s). Meaningful only with Rediscover.
 	RetryBudget time.Duration
+
+	// Tracer, when non-nil, receives the client's flight-recorder spans:
+	// client (full round trip, retries included) and client_enqueue (time
+	// a request waited in the connection's write queue). Sampled requests
+	// additionally propagate their trace ID on the wire (wire.FlagTraced),
+	// so the server's and replicas' spans join the client's.
+	//
+	// Propagation is opt-in per request by sampling: a pre-tracing server
+	// rejects the flagged op, so only enable it against servers that
+	// understand it (this repo's, since the flag was introduced).
+	Tracer *trace.Recorder
+
+	// TraceSample is the fraction of requests (0..1) sampled for tracing
+	// when Tracer is set. 0 disables sampling; 1 traces everything.
+	TraceSample float64
 }
 
 func (o Options) withDefaults() Options {
@@ -336,6 +353,20 @@ func slicesEqual(a, b []string) bool {
 // reads carry it automatically.
 func (c *Client[K, V]) Floor() int64 { return c.floor.Load() }
 
+// traceArm decides whether this request is sampled for tracing. For a
+// sampled request it returns the op with wire.FlagTraced set, the body
+// prefixed with the fresh trace ID, and the ID; otherwise op and body come
+// back untouched with ID 0.
+func (c *Client[K, V]) traceArm(op byte, body []byte) (byte, []byte, uint64) {
+	if c.opts.Tracer == nil || c.opts.TraceSample <= 0 || rand.Float64() >= c.opts.TraceSample {
+		return op, body, 0
+	}
+	tid := rand.Uint64() | 1 // never 0: 0 means untraced everywhere
+	pre := make([]byte, 8, 8+len(body))
+	binary.LittleEndian.PutUint64(pre, tid)
+	return op | wire.FlagTraced, append(pre, body...), tid
+}
+
 // noteVersion folds a write acknowledgement's commit version into the
 // read-your-writes floor.
 func (c *Client[K, V]) noteVersion(resp []byte) {
@@ -388,7 +419,15 @@ func (c *Client[K, V]) get(nc *netConn, snapID uint64, floor int64, key K) (V, b
 	binary.LittleEndian.PutUint64(body, snapID)
 	binary.LittleEndian.PutUint64(body[8:], uint64(floor))
 	body = c.codec.Key.Append(body, key)
-	status, resp, err := nc.roundTrip(wire.OpGet, body, nil)
+	op, body, tid := c.traceArm(wire.OpGet, body)
+	var start time.Time
+	if tid != 0 {
+		start = time.Now()
+	}
+	status, resp, err := nc.roundTrip(op, body, nil)
+	if tid != 0 {
+		c.opts.Tracer.Record(trace.StageClient, tid, wire.OpGet, start, time.Since(start), int64(len(resp)))
+	}
 	if err != nil {
 		return zero, false, err
 	}
@@ -445,12 +484,22 @@ func (c *Client[K, V]) Remove(key K) (bool, error) {
 // and rediscovery only accepts a primary caught up to the client's
 // acked-version floor.
 func (c *Client[K, V]) writeTrip(op byte, body []byte) (status byte, resp []byte, err error) {
+	wop, wbody, tid := c.traceArm(op, body)
+	var start time.Time
+	if tid != 0 {
+		start = time.Now()
+		// The client span covers the whole trip, rediscovery retries
+		// included: it is the latency the caller observed.
+		defer func() {
+			c.opts.Tracer.Record(trace.StageClient, tid, op, start, time.Since(start), int64(len(resp)))
+		}()
+	}
 	attempt := func() (byte, []byte, error) {
 		nc, cerr := c.conn()
 		if cerr != nil {
 			return 0, nil, cerr
 		}
-		return nc.roundTrip(op, body, nil)
+		return nc.roundTrip(wop, wbody, nil)
 	}
 	status, resp, err = attempt()
 	if !c.opts.Rediscover || !retryableWrite(status, err) {
@@ -678,7 +727,7 @@ func dialConn(addr string, o Options) (*netConn, error) {
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // pipelined frames coalesce in our writer, not the kernel's
 	}
-	return newNetConn(nc, o.NoPipeline), nil
+	return newNetConn(nc, o.NoPipeline, o.Tracer), nil
 }
 
 // dialWithRetry dials a primary connection, retrying with capped

@@ -1,12 +1,15 @@
 package client
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -21,6 +24,7 @@ import (
 type netConn struct {
 	c      net.Conn
 	noPipe bool
+	tracer *trace.Recorder // client_enqueue spans; nil disables
 	seq    atomic.Uint64
 
 	// Pipelined mode. rstop is closed by the reader on a terminal error
@@ -59,7 +63,10 @@ func (nc *netConn) broken() bool {
 
 // call is one in-flight request: the correlation state between a caller,
 // the writer and the reader. done carries exactly one signal per round
-// trip, so pooled reuse is race-free.
+// trip, so pooled reuse is race-free. tid and enq feed the writer's
+// client_enqueue spans for traced requests; the writer copies them out
+// before the socket write, after which the call may be resolved and
+// recycled at any moment.
 type call struct {
 	id     uint64
 	op     byte
@@ -67,6 +74,8 @@ type call struct {
 	status byte
 	resp   []byte // response body, copied into the call's own buffer
 	err    error
+	tid    uint64 // trace ID (0: untraced)
+	enq    int64  // queue-entry time, unix nanos (traced only)
 	done   chan struct{}
 }
 
@@ -76,8 +85,8 @@ var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}
 // connection failure or Close.
 var errConnBroken = errors.New("client: connection broken")
 
-func newNetConn(c net.Conn, noPipe bool) *netConn {
-	nc := &netConn{c: c, noPipe: noPipe}
+func newNetConn(c net.Conn, noPipe bool, tracer *trace.Recorder) *netConn {
+	nc := &netConn{c: c, noPipe: noPipe, tracer: tracer}
 	if !noPipe {
 		nc.writeq = make(chan *call, 1024)
 		nc.stopc = make(chan struct{})
@@ -127,6 +136,11 @@ func (nc *netConn) roundTrip(op byte, body, respBuf []byte) (status byte, resp [
 	}
 	cl := callPool.Get().(*call)
 	cl.op, cl.body, cl.err = op, body, nil
+	cl.tid, cl.enq = 0, 0
+	if nc.tracer != nil && op&wire.FlagTraced != 0 && len(body) >= 8 {
+		cl.tid = binary.LittleEndian.Uint64(body)
+		cl.enq = time.Now().UnixNano()
+	}
 	id := nc.seq.Add(1)
 	cl.id = id
 
@@ -213,6 +227,10 @@ func (nc *netConn) writeLoop() {
 	defer nc.wg.Done()
 	defer close(nc.wdone)
 	var wbuf []byte
+	// Traced calls' (tid, enqueue time), copied out at encode time: once
+	// the frame is written the server may respond and the reader recycle
+	// the call, so the span is recorded from these copies only.
+	var traced []struct{ tid, enq uint64 }
 	for {
 		var cl *call
 		select {
@@ -222,11 +240,18 @@ func (nc *netConn) writeLoop() {
 		case <-nc.rstop:
 			return
 		}
+		traced = traced[:0]
+		if cl.tid != 0 {
+			traced = append(traced, struct{ tid, enq uint64 }{cl.tid, uint64(cl.enq)})
+		}
 		wbuf = wire.AppendFrame(wbuf[:0], cl.id, cl.op, cl.body)
 	drain:
 		for len(wbuf) < 256<<10 {
 			select {
 			case cl2 := <-nc.writeq:
+				if cl2.tid != 0 {
+					traced = append(traced, struct{ tid, enq uint64 }{cl2.tid, uint64(cl2.enq)})
+				}
 				wbuf = wire.AppendFrame(wbuf, cl2.id, cl2.op, cl2.body)
 			default:
 				break drain
@@ -237,6 +262,13 @@ func (nc *netConn) writeLoop() {
 			// fails every pending call, including the ones just encoded.
 			nc.c.Close()
 			return
+		}
+		if len(traced) > 0 {
+			now := time.Now()
+			for _, t := range traced {
+				enq := time.Unix(0, int64(t.enq))
+				nc.tracer.Record(trace.StageClientEnqueue, t.tid, 0, enq, now.Sub(enq), 0)
+			}
 		}
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/persist"
+	"repro/internal/trace"
 	"repro/internal/tsc"
 	"repro/jiffy"
 )
@@ -64,6 +65,15 @@ type Options[K cmp.Ordered] struct {
 	// watermark") exact, with no tie at the boundary to double-apply or
 	// drop. Ignored when Map.Clock is set explicitly.
 	StrictClock bool
+
+	// Tracer, when non-nil, receives the durability layer's flight-recorder
+	// spans: per-request wal stages (via the *VT update variants) and
+	// batch-level fsync stages from the log's group-commit leader.
+	Tracer *trace.Recorder
+
+	// FsyncDelay injects an artificial sleep into every log fsync (fault
+	// injection for trace-attribution tests and demos). Zero disables.
+	FsyncDelay time.Duration
 }
 
 // ErrClosed is returned by updates on a closed durable map.
@@ -116,6 +126,8 @@ func Open[K cmp.Ordered, V any](dir string, codec Codec[K, V], opts ...Options[K
 		SegmentBytes: o.SegmentBytes,
 		NoSync:       o.NoSync,
 		Metrics:      o.Metrics,
+		Tracer:       o.Tracer,
+		FsyncDelay:   o.FsyncDelay,
 	})
 	if err != nil {
 		return nil, err

@@ -7,7 +7,7 @@ package durable
 //	tok := f.Begin()          // before the in-memory commit
 //	ver := <commit in-memory> // version issued by the store's clock
 //	<append to WAL>
-//	f.Publish(tok, ver, payload) on success, f.Abort(tok) on failure
+//	f.Publish(tok, ver, payload, tid) on success, f.Abort(tok) on failure
 //
 // Begin is called before the update's commit version exists, so the feed
 // can record a lower bound: every version this update can commit at is
@@ -20,11 +20,14 @@ package durable
 // Publish's payload is the WAL record payload (record.go's encoding) and
 // is only valid for the duration of the call: the buffer is pooled.
 // Publish may block (bounded) when the source runs synchronous acks.
+// tid is the originating request's trace ID (internal/trace; 0 when
+// untraced), carried through the stream so a replica's apply span joins
+// the primary-side spans of the same write.
 // Abort retires a token whose update never produced a record (a remove of
 // an absent key, an empty batch, a failed log append).
 type Feed interface {
 	Begin() (token uint64)
-	Publish(token uint64, version int64, payload []byte)
+	Publish(token uint64, version int64, payload []byte, tid uint64)
 	Abort(token uint64)
 }
 

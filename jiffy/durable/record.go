@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/persist"
+	"repro/internal/trace"
 	"repro/jiffy"
 )
 
@@ -78,17 +80,23 @@ func appendRecord[K cmp.Ordered, V any](w *persist.WAL, ver int64, ops []jiffy.B
 // synchronous replica acks), and a failed append aborts the feed token so
 // the source's frontier does not stall on a write that never happened. A
 // nil feed degrades to plain appendRecord.
-func appendRecordFeed[K cmp.Ordered, V any](w *persist.WAL, ver int64, ops []jiffy.BatchOp[K, V], c Codec[K, V], f Feed, tok uint64) error {
-	if f == nil {
-		return appendRecord(w, ver, ops, c)
-	}
+//
+// tc is the originating request's trace context (nil-safe): the WAL
+// append — queue wait plus group-commit fsync, as this one request
+// experienced it — is attributed to trace.StageWAL, and the trace ID
+// rides the feed into the replication stream.
+func appendRecordFeed[K cmp.Ordered, V any](w *persist.WAL, ver int64, ops []jiffy.BatchOp[K, V], c Codec[K, V], f Feed, tok uint64, tc *trace.Ctx) error {
 	e := encPool.Get().(*encBuf)
 	payload := encodeOps(e, ops, c)
+	start := time.Now()
 	err := w.Append(ver, payload)
-	if err != nil {
-		f.Abort(tok)
-	} else {
-		f.Publish(tok, ver, payload)
+	tc.Observe(trace.StageWAL, start)
+	if f != nil {
+		if err != nil {
+			f.Abort(tok)
+		} else {
+			f.Publish(tok, ver, payload, tc.ID())
+		}
 	}
 	encPool.Put(e)
 	return err

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/persist"
+	"repro/internal/trace"
 	"repro/internal/tsc"
 	"repro/jiffy"
 )
@@ -90,7 +91,13 @@ func OpenSharded[K cmp.Ordered, V any](dir string, shards int, codec Codec[K, V]
 			}
 		}
 	}
-	wopts := persist.WALOptions{SegmentBytes: o.SegmentBytes, NoSync: o.NoSync, Metrics: o.Metrics}
+	wopts := persist.WALOptions{
+		SegmentBytes: o.SegmentBytes,
+		NoSync:       o.NoSync,
+		Metrics:      o.Metrics,
+		Tracer:       o.Tracer,
+		FsyncDelay:   o.FsyncDelay,
+	}
 	wals := make([]*persist.WAL, nWALs)
 	var recs []persist.Record
 	closeAll := func() {
@@ -195,10 +202,13 @@ func (d *Sharded[K, V]) getFeed() Feed {
 
 // TailRecord is one log record surfaced by TailAbove: a commit version and
 // the record's operation payload (record.go's encoding — the same bytes
-// replication ships and a replica's ApplyRecord consumes).
+// replication ships and a replica's ApplyRecord consumes). Tid is the
+// originating request's trace ID (internal/trace); disk-recovered records
+// carry 0 — trace IDs live only in the in-memory stream, never on disk.
 type TailRecord struct {
 	Version int64
 	Payload []byte
+	Tid     uint64
 }
 
 // TailAbove reads every live log record with version strictly above
@@ -270,6 +280,13 @@ func (d *Sharded[K, V]) Put(key K, val V) error {
 // PutV is Put, but additionally reports the version the update committed
 // at. Network servers return it to clients as the read-your-writes floor.
 func (d *Sharded[K, V]) PutV(key K, val V) (int64, error) {
+	return d.PutVT(key, val, nil)
+}
+
+// PutVT is PutV with the request's trace context (nil-safe): the WAL
+// append is attributed to its wal stage and the trace ID rides the
+// replication feed. See internal/trace.
+func (d *Sharded[K, V]) PutVT(key K, val V, tc *trace.Ctx) (int64, error) {
 	if d.closed.Load() {
 		return 0, ErrClosed
 	}
@@ -279,7 +296,7 @@ func (d *Sharded[K, V]) PutV(key K, val V) (int64, error) {
 		tok = f.Begin()
 	}
 	ver := d.s.PutVersioned(key, val)
-	err := appendRecordFeed(d.wals[d.s.ShardOf(key)], ver, []jiffy.BatchOp[K, V]{{Key: key, Val: val}}, d.codec, f, tok)
+	err := appendRecordFeed(d.wals[d.s.ShardOf(key)], ver, []jiffy.BatchOp[K, V]{{Key: key, Val: val}}, d.codec, f, tok, tc)
 	return ver, err
 }
 
@@ -293,6 +310,11 @@ func (d *Sharded[K, V]) Remove(key K) (bool, error) {
 // RemoveV is Remove, but additionally reports the version the remove
 // committed at (zero when key was absent).
 func (d *Sharded[K, V]) RemoveV(key K) (int64, bool, error) {
+	return d.RemoveVT(key, nil)
+}
+
+// RemoveVT is RemoveV with the request's trace context (see PutVT).
+func (d *Sharded[K, V]) RemoveVT(key K, tc *trace.Ctx) (int64, bool, error) {
 	if d.closed.Load() {
 		return 0, false, ErrClosed
 	}
@@ -308,7 +330,7 @@ func (d *Sharded[K, V]) RemoveV(key K) (int64, bool, error) {
 		}
 		return 0, false, nil
 	}
-	err := appendRecordFeed(d.wals[d.s.ShardOf(key)], ver, []jiffy.BatchOp[K, V]{{Key: key, Remove: true}}, d.codec, f, tok)
+	err := appendRecordFeed(d.wals[d.s.ShardOf(key)], ver, []jiffy.BatchOp[K, V]{{Key: key, Remove: true}}, d.codec, f, tok, tc)
 	return ver, true, err
 }
 
@@ -325,6 +347,12 @@ func (d *Sharded[K, V]) BatchUpdate(b *jiffy.Batch[K, V]) error {
 // BatchUpdateV is BatchUpdate, but additionally reports the version the
 // whole batch committed at (zero for an empty batch).
 func (d *Sharded[K, V]) BatchUpdateV(b *jiffy.Batch[K, V]) (int64, error) {
+	return d.BatchUpdateVT(b, nil)
+}
+
+// BatchUpdateVT is BatchUpdateV with the request's trace context (see
+// PutVT).
+func (d *Sharded[K, V]) BatchUpdateVT(b *jiffy.Batch[K, V], tc *trace.Ctx) (int64, error) {
 	if d.closed.Load() {
 		return 0, ErrClosed
 	}
@@ -347,7 +375,7 @@ func (d *Sharded[K, V]) BatchUpdateV(b *jiffy.Batch[K, V]) (int64, error) {
 			wi = i
 		}
 	}
-	err := appendRecordFeed(d.wals[wi], ver, ops, d.codec, f, tok)
+	err := appendRecordFeed(d.wals[wi], ver, ops, d.codec, f, tok, tc)
 	return ver, err
 }
 
